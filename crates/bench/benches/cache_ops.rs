@@ -1,0 +1,53 @@
+//! Criterion micro-benchmark: SRAM hierarchy lookup/fill throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use redcache_cache::{CacheGeometry, Hierarchy, HierarchyConfig, SetAssocCache};
+use redcache_types::{CoreId, LineAddr, MemOp};
+
+fn bench_set_assoc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_assoc");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    for (name, stride) in [("hit_stream", 0u64), ("miss_stream", 1)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &stride, |b, &stride| {
+            let mut cache = SetAssocCache::new(CacheGeometry::l3_table1());
+            for i in 0..1024u64 {
+                cache.fill(LineAddr::new(i), i, false);
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                let line = if stride == 0 { i % 1024 } else { 1024 + i };
+                let r = cache.access(LineAddr::new(line), None);
+                if !r.hit {
+                    cache.fill(LineAddr::new(line), i, false);
+                }
+                i += 1;
+                r.hit
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    c.bench_function("hierarchy_access_mixed", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::scaled(4));
+        let mut i = 0u64;
+        b.iter(|| {
+            let core = CoreId((i % 4) as u16);
+            let line = LineAddr::new((i * 97) % 65536);
+            let op = if i % 5 == 0 { MemOp::Store } else { MemOp::Load };
+            let out = h.access(core, line, op, i, i);
+            if out.mem_read_needed() {
+                let _ = h.complete_fill(line, i);
+                let _ = h.fill_waiter(core, line, i, None);
+            }
+            i += 1;
+        })
+    });
+}
+
+criterion_group!(benches, bench_set_assoc, bench_hierarchy);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmark: DRAM command-scheduler throughput under
+//! row-hit streams, random conflicts, and mixed read/write traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use redcache_dram::{DramConfig, DramSystem, TxnKind};
+use redcache_types::PhysAddr;
+
+fn run_pattern(cfg: DramConfig, addrs: &[(u64, bool)]) -> u64 {
+    let cap = cfg.topology.capacity_bytes();
+    let mut d = DramSystem::new(cfg);
+    let mut now = 0u64;
+    let mut it = addrs.iter();
+    let mut next = it.next();
+    while next.is_some() || d.pending() > 0 {
+        if now % 4 == 0 {
+            if let Some(&(a, w)) = next {
+                let kind = if w { TxnKind::Write } else { TxnKind::Read };
+                d.enqueue(PhysAddr::new(a % cap), kind, 0, 1, now);
+                next = it.next();
+            }
+        }
+        d.tick(now);
+        now += 1;
+    }
+    now
+}
+
+fn patterns(n: usize) -> Vec<(&'static str, Vec<(u64, bool)>)> {
+    let sequential: Vec<_> = (0..n as u64).map(|i| (i * 64, i % 4 == 0)).collect();
+    let random: Vec<_> = (0..n as u64)
+        .map(|i| {
+            let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (x % (1 << 26), x % 3 == 0)
+        })
+        .collect();
+    let hot_rows: Vec<_> =
+        (0..n as u64).map(|i| ((i % 8) * (1 << 20) + (i / 8) * 64, false)).collect();
+    vec![("sequential", sequential), ("random", random), ("hot_rows", hot_rows)]
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_scheduler");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    for (name, addrs) in patterns(2_000) {
+        group.bench_with_input(BenchmarkId::new("ddr4", name), &addrs, |b, a| {
+            b.iter(|| run_pattern(DramConfig::ddr4_scaled(64 << 20), a))
+        });
+        group.bench_with_input(BenchmarkId::new("wideio", name), &addrs, |b, a| {
+            b.iter(|| run_pattern(DramConfig::wideio_scaled(8 << 20), a))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

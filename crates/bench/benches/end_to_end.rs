@@ -1,0 +1,34 @@
+//! Criterion macro-benchmark: full-system simulation throughput (cores,
+//! hierarchy, controller, both DRAMs) on a small synthetic workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use redcache::{PolicyKind, RedVariant, SimConfig, Simulator};
+use redcache_workloads::{synthetic, GenConfig};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    let mut gen = GenConfig::tiny();
+    gen.budget_per_thread = 8_000;
+    let traces = synthetic::generate(&synthetic::SyntheticSpec::mixed(), &gen);
+    for kind in [PolicyKind::Alloy, PolicyKind::Bear, PolicyKind::Red(RedVariant::Full)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.to_string()),
+            &kind,
+            |b, &k| {
+                b.iter(|| {
+                    let r = Simulator::new(SimConfig::quick(k)).run(traces.clone());
+                    assert_eq!(r.shadow_violations, 0);
+                    r.cycles
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

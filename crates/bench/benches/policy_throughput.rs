@@ -1,0 +1,60 @@
+//! Criterion macro-benchmark: controller throughput — requests through
+//! each DRAM-cache architecture, including both DRAM back ends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use redcache::{PolicyConfig, PolicyKind, RedVariant};
+use redcache_policies::build_controller;
+use redcache_types::{CoreId, LineAddr, MemRequest, ReqId};
+
+fn drive_requests(kind: PolicyKind, n: u64) -> u64 {
+    let mut cfg = PolicyConfig::scaled(kind);
+    cfg.hbm = redcache_dram::DramConfig::wideio_scaled(4 << 20);
+    cfg.ddr = redcache_dram::DramConfig::ddr4_scaled(64 << 20);
+    let mut ctl = build_controller(&cfg);
+    let mut now = 0u64;
+    let mut done = Vec::new();
+    for i in 0..n {
+        // Mixed stream: 3/4 reads, hot/cold mix.
+        let line = LineAddr::new(if i % 3 == 0 { i % 64 } else { i * 17 % 16384 });
+        if i % 4 == 0 {
+            ctl.submit(MemRequest::writeback(ReqId(i), line, CoreId(0), now, i), now);
+        } else {
+            ctl.submit(MemRequest::read(ReqId(i), line, CoreId(0), now), now);
+        }
+        for _ in 0..24 {
+            ctl.tick(now, &mut done);
+            now += 1;
+        }
+        done.clear();
+    }
+    while ctl.pending() > 0 {
+        ctl.tick(now, &mut done);
+        now += 1;
+    }
+    now
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    for kind in [
+        PolicyKind::NoHbm,
+        PolicyKind::Ideal,
+        PolicyKind::Alloy,
+        PolicyKind::Bear,
+        PolicyKind::Red(RedVariant::Full),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.to_string()),
+            &kind,
+            |b, &k| b.iter(|| drive_requests(k, 800)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! **Ablation** — the α mechanism's design choices (DESIGN.md §3.4):
+//! fixed vs adaptive α, threshold values, and page-granular (divisor
+//! 64) vs idealised block-granular (divisor 1) counting.
+//!
+//! Run on a streaming workload (HIST) and a reuse-heavy one (OCN),
+//! reporting execution time normalised to Alloy.
+
+use redcache::{PolicyKind, RedConfig, RedVariant, SimConfig};
+use redcache_bench::{assert_clean, experiment_gen_config, print_table, run_matrix, save_json, RunSpec};
+use redcache_policies::redcache::AlphaConfig;
+use redcache_workloads::Workload;
+
+fn red_cfg(f: impl FnOnce(&mut RedConfig)) -> SimConfig {
+    let kind = PolicyKind::Red(RedVariant::Alpha);
+    let mut cfg = SimConfig::scaled(kind);
+    let mut rc = RedConfig::for_variant(RedVariant::Alpha);
+    f(&mut rc);
+    cfg.policy.red_override = Some(rc);
+    cfg
+}
+
+fn main() {
+    let gen = experiment_gen_config();
+    let variants: Vec<(String, SimConfig)> = vec![
+        ("Alloy (no alpha)".into(), SimConfig::scaled(PolicyKind::Alloy)),
+        ("alpha=1 fixed".into(), red_cfg(|rc| {
+            rc.alpha = AlphaConfig { initial: 1, adapt: false, ..AlphaConfig::default() };
+        })),
+        ("alpha=2 fixed".into(), red_cfg(|rc| {
+            rc.alpha = AlphaConfig { initial: 2, adapt: false, ..AlphaConfig::default() };
+        })),
+        ("alpha=4 fixed".into(), red_cfg(|rc| {
+            rc.alpha = AlphaConfig { initial: 4, adapt: false, ..AlphaConfig::default() };
+        })),
+        ("alpha=8 fixed".into(), red_cfg(|rc| {
+            rc.alpha = AlphaConfig { initial: 8, adapt: false, ..AlphaConfig::default() };
+        })),
+        ("adaptive (default)".into(), red_cfg(|_| {})),
+        ("adaptive, per-block".into(), red_cfg(|rc| {
+            rc.alpha.avg_divisor = 1;
+        })),
+    ];
+    let workloads = [Workload::Hist, Workload::Ocn, Workload::Lu];
+
+    let mut specs = Vec::new();
+    for &w in &workloads {
+        for (_, cfg) in &variants {
+            specs.push(RunSpec { workload: w, policy: cfg.policy.kind, cfg: *cfg });
+        }
+    }
+    let reports = run_matrix(&specs, &gen);
+    assert_clean(&reports);
+
+    let cols: Vec<String> = workloads.iter().map(|w| w.info().label.to_string()).collect();
+    let mut rows = Vec::new();
+    for (vi, (name, _)) in variants.iter().enumerate() {
+        let vals: Vec<f64> = workloads
+            .iter()
+            .enumerate()
+            .map(|(wi, _)| {
+                let base = &reports[wi * variants.len()]; // Alloy row
+                reports[wi * variants.len() + vi].time_normalized_to(base)
+            })
+            .collect();
+        rows.push((name.clone(), vals));
+    }
+    print_table(
+        "Ablation: alpha design choices (execution time normalised to Alloy)",
+        "variant",
+        &cols,
+        &rows,
+    );
+    save_json("ablation_alpha", &rows);
+}

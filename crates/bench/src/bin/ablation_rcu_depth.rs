@@ -1,0 +1,51 @@
+//! **Ablation** — RCU queue depth (the paper fixes it at 32 entries):
+//! how the drain mix and performance respond to 8/16/32/64 entries.
+
+use redcache::{PolicyKind, RedConfig, RedVariant, SimConfig};
+use redcache_bench::{assert_clean, experiment_gen_config, print_table, run_matrix, save_json, RunSpec};
+use redcache_workloads::Workload;
+
+fn main() {
+    let gen = experiment_gen_config();
+    let depths = [8usize, 16, 32, 64];
+    let workloads = [Workload::Ocn, Workload::Fft, Workload::Mg];
+
+    let mut specs = Vec::new();
+    for &w in &workloads {
+        for &d in &depths {
+            let kind = PolicyKind::Red(RedVariant::Full);
+            let mut cfg = SimConfig::scaled(kind);
+            let mut rc = RedConfig::for_variant(RedVariant::Full);
+            rc.rcu_capacity = d;
+            cfg.policy.red_override = Some(rc);
+            specs.push(RunSpec { workload: w, policy: kind, cfg });
+        }
+    }
+    let reports = run_matrix(&specs, &gen);
+    assert_clean(&reports);
+
+    let cols: Vec<String> = workloads.iter().map(|w| w.info().label.to_string()).collect();
+    let mut time_rows = Vec::new();
+    let mut cheap_rows = Vec::new();
+    for (di, &d) in depths.iter().enumerate() {
+        let mut times = Vec::new();
+        let mut cheaps = Vec::new();
+        for (wi, _) in workloads.iter().enumerate() {
+            let base = &reports[wi * depths.len()]; // depth 8 as reference
+            let r = &reports[wi * depths.len() + di];
+            times.push(r.time_normalized_to(base));
+            cheaps.push(
+                r.extras
+                    .iter()
+                    .find(|(k, _)| k == "rcu_cheap_fraction")
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0.0),
+            );
+        }
+        time_rows.push((format!("{d} entries"), times));
+        cheap_rows.push((format!("{d} entries"), cheaps));
+    }
+    print_table("Ablation: RCU depth — execution time (normalised to 8 entries)", "depth", &cols, &time_rows);
+    print_table("Ablation: RCU depth — cheap-drain fraction", "depth", &cols, &cheap_rows);
+    save_json("ablation_rcu_depth", &(time_rows, cheap_rows));
+}

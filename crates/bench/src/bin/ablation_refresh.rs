@@ -1,0 +1,54 @@
+//! **Ablation** — the refresh-bypass optimisation ("Bypass due to
+//! refresh", §IV.A): RedCache with and without routing around
+//! refreshing WideIO ranks.
+
+use redcache::{PolicyKind, RedConfig, RedVariant, SimConfig};
+use redcache_bench::{assert_clean, experiment_gen_config, print_table, run_matrix, save_json, RunSpec};
+use redcache_workloads::Workload;
+
+fn main() {
+    let gen = experiment_gen_config();
+    let workloads = [Workload::Hist, Workload::Ocn, Workload::Lu, Workload::Fft];
+    let variants: Vec<(&str, bool)> = vec![("bypass off", false), ("bypass on", true)];
+
+    let mut specs = Vec::new();
+    for &w in &workloads {
+        for &(_, on) in &variants {
+            let kind = PolicyKind::Red(RedVariant::Full);
+            let mut cfg = SimConfig::scaled(kind);
+            let mut rc = RedConfig::for_variant(RedVariant::Full);
+            rc.refresh_bypass = on;
+            cfg.policy.red_override = Some(rc);
+            specs.push(RunSpec { workload: w, policy: kind, cfg });
+        }
+    }
+    let reports = run_matrix(&specs, &gen);
+    assert_clean(&reports);
+
+    let cols: Vec<String> = workloads.iter().map(|w| w.info().label.to_string()).collect();
+    let mut rows = Vec::new();
+    for (vi, (name, _)) in variants.iter().enumerate() {
+        let vals: Vec<f64> = workloads
+            .iter()
+            .enumerate()
+            .map(|(wi, _)| {
+                let base = &reports[wi * 2];
+                reports[wi * 2 + vi].time_normalized_to(base)
+            })
+            .collect();
+        rows.push((name.to_string(), vals));
+    }
+    // Also report how many requests actually took the bypass.
+    let mut byp = Vec::new();
+    for (wi, _) in workloads.iter().enumerate() {
+        byp.push(reports[wi * 2 + 1].ctl.refresh_bypasses as f64);
+    }
+    rows.push(("(bypasses taken)".to_string(), byp));
+    print_table(
+        "Ablation: refresh bypass (execution time normalised to bypass-off)",
+        "variant",
+        &cols,
+        &rows,
+    );
+    save_json("ablation_refresh", &rows);
+}

@@ -1,0 +1,63 @@
+use redcache::{PolicyKind, RedVariant, SimConfig};
+use redcache::sim::run_workload;
+use redcache_workloads::{GenConfig, Workload};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budget: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let wl: Option<String> = args.get(2).cloned();
+    let mut gen = GenConfig::scaled();
+    gen.budget_per_thread = budget;
+    let kinds = [
+        PolicyKind::Alloy,
+        PolicyKind::NoHbm,
+        PolicyKind::Ideal,
+        PolicyKind::Bear,
+        PolicyKind::Red(RedVariant::Alpha),
+        PolicyKind::Red(RedVariant::Gamma),
+        PolicyKind::Red(RedVariant::Basic),
+        PolicyKind::Red(RedVariant::InSitu),
+        PolicyKind::Red(RedVariant::Full),
+    ];
+    let workloads: Vec<Workload> = match wl.as_deref() {
+        Some(l) => Workload::ALL.iter().copied().filter(|w| w.info().label.eq_ignore_ascii_case(l)).collect(),
+        None => vec![Workload::Hist, Workload::Rdx, Workload::Ocn, Workload::Lu],
+    };
+    for w in workloads {
+        let mut alloy_cycles = 1u64;
+        let mut alloy_hbm = 1.0f64;
+        let mut alloy_sys = 1.0f64;
+        for k in kinds {
+            let t0 = Instant::now();
+            let r = run_workload(SimConfig::scaled(k), w, &gen);
+            if matches!(k, PolicyKind::Alloy) {
+                alloy_cycles = r.cycles;
+                alloy_hbm = r.energy.hbm.total_j();
+                alloy_sys = r.energy.total_j();
+            }
+            let ddr_busy = r.ddr.bus_busy_cycles as f64 / (r.cycles as f64 * 2.0);
+            let hbm_busy = r.hbm.map(|h| h.bus_busy_cycles as f64 / (r.cycles as f64 * 4.0)).unwrap_or(0.0);
+            let ex: String = r.extras.iter()
+                .filter(|(k, _)| ["alpha", "gamma", "rcu_cheap_fraction", "bear_bypass_epoch_fraction"].contains(&k.as_str()))
+                .map(|(k, v)| format!("{k}={v:.2}"))
+                .collect::<Vec<_>>().join(" ");
+            println!(
+                "{:5} {:11} cyc={:>10} norm={:.3} hit={:.3} rdlat={:>5.0} ddrbusy={:.2} hbmbusy={:.2} inval={:>7} byp={:>7} hbmE={:.3} sysE={:.3} {} viol={} wall={:.1}s",
+                w.to_string(), k.to_string(), r.cycles,
+                r.cycles as f64 / alloy_cycles as f64,
+                r.hbm_hit_rate(),
+                r.ctl.mean_read_latency(),
+                ddr_busy, hbm_busy,
+                r.ctl.gamma_invalidations,
+                r.ctl.hbm_bypasses,
+                r.energy.hbm.total_j() / alloy_hbm,
+                r.energy.total_j() / alloy_sys,
+                ex,
+                r.shadow_violations,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+        println!();
+    }
+}

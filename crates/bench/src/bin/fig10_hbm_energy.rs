@@ -1,0 +1,49 @@
+//! **Figure 10** — HBM (DRAM-cache) energy of every architecture,
+//! normalised to the Alloy cache.
+//!
+//! Paper: RedCache improves HBM-cache energy by 42 % over Alloy and
+//! 37 % over Bear, and beats even Red-InSitu (which computes inside the
+//! DRAM dies).
+
+use redcache::metrics::geomean;
+use redcache_bench::{eval_matrix, print_table, save_json};
+
+fn main() {
+    let (workloads, policies, reports) = eval_matrix();
+    let alloy_idx =
+        policies.iter().position(|p| p.to_string() == "Alloy").expect("Alloy baseline");
+    let cols: Vec<String> = policies.iter().map(|p| p.to_string()).collect();
+
+    let mut rows = Vec::new();
+    let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    for (wi, w) in workloads.iter().enumerate() {
+        let base = &reports[wi][alloy_idx];
+        let vals: Vec<f64> =
+            reports[wi].iter().map(|r| r.hbm_energy_normalized_to(base)).collect();
+        for (pi, v) in vals.iter().enumerate() {
+            per_policy[pi].push(*v);
+        }
+        rows.push((w.info().label.to_string(), vals));
+    }
+    rows.push(("MEAN".to_string(), per_policy.iter().map(|v| geomean(v)).collect()));
+
+    print_table(
+        "Fig. 10: HBM cache energy normalised to Alloy (lower is better)",
+        "workload",
+        &cols,
+        &rows,
+    );
+    save_json("fig10_hbm_energy", &rows);
+
+    let mean_of = |name: &str| {
+        let i = policies.iter().position(|p| p.to_string() == name).unwrap();
+        geomean(&per_policy[i])
+    };
+    println!("\npaper:    RedCache 0.58x Alloy HBM energy, and below Red-InSitu");
+    println!(
+        "measured: RedCache {:.2}x Alloy, Bear {:.2}x Alloy, Red-InSitu {:.2}x Alloy",
+        mean_of("RedCache"),
+        mean_of("Bear"),
+        mean_of("Red-InSitu"),
+    );
+}

@@ -1,0 +1,54 @@
+//! **Figure 2(a)** — impact of system topology on bandwidth efficiency.
+//!
+//! For No-HBM, IDEAL and a normal HBM cache (Alloy), averaged across
+//! the 11 workloads and normalised to No-HBM, the paper reports:
+//! IDEAL ≈ 6× aggregate WideIO+DDRx bandwidth, ≈ 1.33× transferred
+//! data, ≈ 4.5× performance; the HBM cache utilises slightly more
+//! bandwidth than IDEAL, moves ≈ 2× the data, and loses ≈ 40 %
+//! performance against IDEAL.
+
+use redcache::metrics::geomean;
+use redcache::{PolicyKind, SimConfig};
+use redcache_bench::{assert_clean, experiment_gen_config, print_table, run_suite, save_json};
+use redcache_workloads::Workload;
+
+fn main() {
+    let gen = experiment_gen_config();
+    let policies = [PolicyKind::NoHbm, PolicyKind::Ideal, PolicyKind::Alloy];
+    let workloads = Workload::ALL;
+    let reports = run_suite(&workloads, &policies, SimConfig::scaled, &gen);
+    for row in &reports {
+        assert_clean(row);
+    }
+
+    // Per-workload values normalised to No-HBM, then averaged.
+    let mut bw = vec![Vec::new(); 3];
+    let mut data = vec![Vec::new(); 3];
+    let mut perf = vec![Vec::new(); 3];
+    for row in &reports {
+        let base = &row[0];
+        for (pi, r) in row.iter().enumerate() {
+            bw[pi].push(
+                r.aggregate_bandwidth_bytes_per_s() / base.aggregate_bandwidth_bytes_per_s(),
+            );
+            data[pi].push(r.transferred_bytes() as f64 / base.transferred_bytes() as f64);
+            perf[pi].push(r.speedup_over(base));
+        }
+    }
+    let rows: Vec<(String, Vec<f64>)> = policies
+        .iter()
+        .enumerate()
+        .map(|(pi, p)| {
+            (p.to_string(), vec![geomean(&bw[pi]), geomean(&data[pi]), geomean(&perf[pi])])
+        })
+        .collect();
+    print_table(
+        "Fig. 2(a): system topology, normalised to No-HBM",
+        "topology",
+        &["rel. bandwidth".into(), "rel. data".into(), "rel. performance".into()],
+        &rows,
+    );
+    save_json("fig2_topology", &rows);
+    println!("\npaper:    IDEAL ~6x bandwidth, ~1.33x data, ~4.5x performance over No-HBM;");
+    println!("          HBM slightly more bandwidth than IDEAL, ~2x data, ~40% less performance");
+}

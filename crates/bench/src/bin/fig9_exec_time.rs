@@ -1,0 +1,55 @@
+//! **Figure 9** — relative system execution time of every DRAM-cache
+//! architecture, normalised to the Alloy cache, for the 11 workloads.
+//!
+//! Paper's headline numbers: RedCache averages 0.69× Alloy (31 %
+//! faster) and 0.76× Bear (24 %); α contributes more than γ (27 % vs
+//! 14 %); RedCache reaches ~98 % of Red-InSitu.
+
+use redcache_bench::{eval_matrix, print_table, save_json};
+use redcache::metrics::geomean;
+
+fn main() {
+    let (workloads, policies, reports) = eval_matrix();
+    let alloy_idx =
+        policies.iter().position(|p| p.to_string() == "Alloy").expect("Alloy baseline");
+    let cols: Vec<String> = policies.iter().map(|p| p.to_string()).collect();
+
+    let mut rows = Vec::new();
+    let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    for (wi, w) in workloads.iter().enumerate() {
+        let base = &reports[wi][alloy_idx];
+        let vals: Vec<f64> =
+            reports[wi].iter().map(|r| r.time_normalized_to(base)).collect();
+        for (pi, v) in vals.iter().enumerate() {
+            per_policy[pi].push(*v);
+        }
+        rows.push((w.info().label.to_string(), vals));
+    }
+    rows.push(("MEAN".to_string(), per_policy.iter().map(|v| geomean(v)).collect()));
+
+    print_table(
+        "Fig. 9: execution time normalised to Alloy (lower is better)",
+        "workload",
+        &cols,
+        &rows,
+    );
+    save_json("fig9_exec_time", &rows);
+
+    // Paper-vs-measured summary.
+    let mean_of = |name: &str| {
+        let i = policies.iter().position(|p| p.to_string() == name).unwrap();
+        geomean(&per_policy[i])
+    };
+    println!("\npaper:    RedCache 0.69x Alloy, Bear ~0.91x Alloy, RedCache ~0.98x Red-InSitu");
+    println!(
+        "measured: RedCache {:.2}x Alloy, Bear {:.2}x Alloy, RedCache {:.2}x Red-InSitu",
+        mean_of("RedCache"),
+        mean_of("Bear"),
+        mean_of("RedCache") / mean_of("Red-InSitu"),
+    );
+    println!(
+        "measured: Red-Alpha {:.2}x, Red-Gamma {:.2}x (paper: alpha contributes more than gamma)",
+        mean_of("Red-Alpha"),
+        mean_of("Red-Gamma"),
+    );
+}

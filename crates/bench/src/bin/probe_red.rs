@@ -1,0 +1,68 @@
+//! Developer probe: decompose the full RedCache's feature set on one
+//! workload to attribute performance deltas (not a paper figure).
+
+use redcache::{PolicyKind, RedConfig, RedVariant, SimConfig, Simulator};
+use redcache_policies::redcache::UpdateMode;
+use redcache_workloads::{GenConfig, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budget: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let label = args.get(2).cloned().unwrap_or_else(|| "OCN".into());
+    let w = Workload::ALL
+        .iter()
+        .copied()
+        .find(|w| w.info().label.eq_ignore_ascii_case(&label))
+        .expect("workload label");
+    let mut gen = GenConfig::scaled();
+    gen.budget_per_thread = budget;
+    let traces = w.generate(&gen);
+
+    let variants: Vec<(&str, RedConfig)> = vec![
+        ("insitu (base)", RedConfig::for_variant(RedVariant::InSitu)),
+        ("rcu only", {
+            let mut c = RedConfig::for_variant(RedVariant::Full);
+            c.rcu_block_cache = false;
+            c.refresh_bypass = false;
+            c
+        }),
+        ("rcu+blockcache", {
+            let mut c = RedConfig::for_variant(RedVariant::Full);
+            c.refresh_bypass = false;
+            c
+        }),
+        ("rcu+refresh", {
+            let mut c = RedConfig::for_variant(RedVariant::Full);
+            c.rcu_block_cache = false;
+            c
+        }),
+        ("full", RedConfig::for_variant(RedVariant::Full)),
+        ("immediate", {
+            let mut c = RedConfig::for_variant(RedVariant::Basic);
+            c.update_mode = UpdateMode::Immediate;
+            c
+        }),
+    ];
+    println!("{:<16} {:>11} {:>8} {:>8} {:>9} {:>9} {:>8}", "variant", "cycles", "hit%", "cheap%", "refbyp", "hbmwr", "stale");
+    for (name, rc) in variants {
+        let kind = PolicyKind::Red(rc.variant);
+        let mut cfg = SimConfig::scaled(kind);
+        cfg.policy.red_override = Some(rc);
+        let r = Simulator::new(cfg).run(traces.clone());
+        let cheap = r
+            .extras
+            .iter()
+            .find(|(k, _)| k == "rcu_cheap_fraction")
+            .map(|(_, v)| *v)
+            .unwrap_or(1.0);
+        println!(
+            "{name:<16} {:>11} {:>7.1}% {:>7.1}% {:>9} {:>9} {:>8}",
+            r.cycles,
+            r.hbm_hit_rate() * 100.0,
+            cheap * 100.0,
+            r.ctl.refresh_bypasses,
+            r.ctl.hbm_writes,
+            r.shadow_violations
+        );
+    }
+}

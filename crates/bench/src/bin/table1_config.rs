@@ -1,0 +1,51 @@
+//! **Table I** — the evaluated system configurations, printed from the
+//! presets so the code and the paper stay verifiably in sync.
+
+use redcache::{PolicyKind, SimConfig};
+
+fn main() {
+    let c = SimConfig::table1(PolicyKind::Red(redcache::RedVariant::Full));
+    println!("== Table I: evaluated system configurations ==\n");
+    println!("Processor");
+    println!(
+        "  Cores           {} x {}-issue OoO, {} ROB entries, 3.2 GHz",
+        c.hierarchy.cores, c.core.issue_width, c.core.rob_size
+    );
+    let g = |geo: &redcache_cache::CacheGeometry| {
+        format!("{} KB, {}-way, LRU, {} B block", geo.size_bytes / 1024, geo.ways, geo.block_bytes)
+    };
+    println!("  L1 data cache   {}", g(&c.hierarchy.l1));
+    println!("  L2 cache        {}", g(&c.hierarchy.l2));
+    println!("  L3 cache        {} (shared)", g(&c.hierarchy.l3));
+
+    for (name, d) in [("DRAM cache (WideIO/HBM)", &c.policy.hbm), ("Off-chip main memory (DDR4)", &c.policy.ddr)]
+    {
+        let t = &d.timing;
+        println!("\n{name}");
+        println!(
+            "  Organisation    {} GB: {} channels, {} ranks/channel, {} banks/rank, {}-bit-ish bus, 1600 MHz DDR4",
+            d.topology.capacity_bytes() >> 30,
+            d.topology.channels,
+            d.topology.ranks,
+            d.topology.banks,
+            d.topology.bytes_per_burst * 2, // 64 B per burst over tBL
+        );
+        println!(
+            "  Timing (CPU cyc) tRCD:{} tCAS:{} tCCD:{} tWTR:{} tWR:{} tRTP:{} tBL:{}",
+            t.t_rcd, t.t_cas, t.t_ccd, t.t_wtr, t.t_wr, t.t_rtp, t.t_bl
+        );
+        println!(
+            "                   tCWD:{} tRP:{} tRRD:{} tRAS:{} tRC:{} tFAW:{}",
+            t.t_cwd, t.t_rp, t.t_rrd, t.t_ras, t.t_rc, t.t_faw
+        );
+    }
+    println!("\n(scaled evaluation preset shrinks capacities only; organisation and timing");
+    println!(" are identical — see DESIGN.md section 1)");
+    let s = SimConfig::scaled(PolicyKind::Alloy);
+    println!(
+        " scaled: L3 {} KB, HBM {} MB, DDR {} MB",
+        s.hierarchy.l3.size_bytes / 1024,
+        s.policy.hbm.topology.capacity_bytes() >> 20,
+        s.policy.ddr.topology.capacity_bytes() >> 20
+    );
+}

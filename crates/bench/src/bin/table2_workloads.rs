@@ -1,0 +1,32 @@
+//! **Table II** — the workload suite, with the measured properties of
+//! each generator (accesses, footprint, store fraction, mean reuse).
+
+use redcache_bench::experiment_gen_config;
+use redcache_cpu::TraceStats;
+use redcache_workloads::Workload;
+
+fn main() {
+    let gen = experiment_gen_config();
+    println!("== Table II: workloads and data sets ==\n");
+    println!(
+        "{:<6} {:<24} {:<9} {:<22} {:>9} {:>10} {:>7} {:>7}",
+        "label", "benchmark", "suite", "paper input", "accesses", "footprint", "stores", "reuse"
+    );
+    for w in Workload::ALL {
+        let info = w.info();
+        let flat: Vec<_> = w.generate(&gen).into_iter().flatten().collect();
+        let s = TraceStats::from_trace(&flat);
+        println!(
+            "{:<6} {:<24} {:<9} {:<22} {:>9} {:>8}MB {:>6.1}% {:>7.1}",
+            info.label,
+            info.name,
+            info.suite,
+            info.input,
+            s.accesses,
+            s.footprint_bytes() >> 20,
+            s.store_fraction() * 100.0,
+            s.accesses as f64 / s.footprint_lines as f64,
+        );
+    }
+    println!("\n(accesses/footprints are the scaled-preset values; see DESIGN.md section 1)");
+}

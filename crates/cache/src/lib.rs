@@ -1,0 +1,35 @@
+//! On-die SRAM cache hierarchy for the RedCache reproduction.
+//!
+//! Models the three cache levels of Table I: per-core L1D (64 KB,
+//! 4-way) and L2 (128 KB, 8-way), plus a shared L3 (8 MB, 8-way), all
+//! with 64 B blocks, LRU replacement, write-back and write-allocate.
+//! L3 misses are tracked in an MSHR file that merges concurrent misses
+//! to the same line; L3 dirty evictions become memory writebacks.
+//!
+//! Cache lines carry a `data version` — a monotonically increasing stamp
+//! standing in for the 64-byte payload — which flows through fills and
+//! writebacks so the memory-side shadow checker can detect any stale
+//! read introduced by a DRAM-cache policy.
+//!
+//! # Example
+//!
+//! ```
+//! use redcache_cache::{Hierarchy, HierarchyConfig};
+//! use redcache_types::{CoreId, LineAddr, MemOp};
+//!
+//! let mut h = Hierarchy::new(HierarchyConfig::scaled(1));
+//! let out = h.access(CoreId(0), LineAddr::new(0x10), MemOp::Load, 0, 0);
+//! assert!(out.mem_read_needed()); // cold miss reaches memory
+//! ```
+
+#![warn(missing_docs)]
+
+mod geometry;
+mod hierarchy;
+mod mshr;
+mod set_assoc;
+
+pub use geometry::CacheGeometry;
+pub use hierarchy::{AccessOutcome, CacheLevel, FillResult, Hierarchy, HierarchyConfig};
+pub use mshr::{Mshr, MshrOutcome};
+pub use set_assoc::{AccessResult, Evicted, SetAssocCache, CacheStats};

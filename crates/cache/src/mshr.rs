@@ -1,0 +1,115 @@
+//! Miss-status holding registers for the L3↔memory boundary.
+//!
+//! Concurrent L3 misses to the same line are merged: only the first
+//! allocates an entry (and generates a memory read); the rest attach as
+//! waiters and are all released when the fill returns.
+
+use redcache_types::LineAddr;
+use std::collections::HashMap;
+
+/// Outcome of registering a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated — a memory read must be issued.
+    Allocated,
+    /// Merged into an existing entry — no new memory traffic.
+    Merged,
+    /// The MSHR file is full — the miss must be retried later.
+    Full,
+}
+
+/// An MSHR file with a bounded number of entries. Waiters are opaque
+/// `u64` tokens chosen by the caller (the CPU model uses them to wake
+/// stalled instructions).
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    capacity: usize,
+    entries: HashMap<LineAddr, Vec<u64>>,
+    peak: usize,
+    merges: u64,
+}
+
+impl Mshr {
+    /// Creates an MSHR file holding up to `capacity` distinct lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be nonzero");
+        Self { capacity, entries: HashMap::new(), peak: 0, merges: 0 }
+    }
+
+    /// Registers a miss on `line` by `waiter`.
+    pub fn register(&mut self, line: LineAddr, waiter: u64) -> MshrOutcome {
+        if let Some(ws) = self.entries.get_mut(&line) {
+            ws.push(waiter);
+            self.merges += 1;
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(line, vec![waiter]);
+        self.peak = self.peak.max(self.entries.len());
+        MshrOutcome::Allocated
+    }
+
+    /// Completes the miss on `line`, returning all waiters (empty if the
+    /// line had no entry).
+    pub fn complete(&mut self, line: LineAddr) -> Vec<u64> {
+        self.entries.remove(&line).unwrap_or_default()
+    }
+
+    /// True if `line` has an outstanding entry.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Outstanding distinct lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no misses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Highest simultaneous occupancy observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Number of merged (secondary) misses.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_merge_then_complete() {
+        let mut m = Mshr::new(2);
+        assert_eq!(m.register(LineAddr::new(1), 10), MshrOutcome::Allocated);
+        assert_eq!(m.register(LineAddr::new(1), 11), MshrOutcome::Merged);
+        assert_eq!(m.register(LineAddr::new(2), 12), MshrOutcome::Allocated);
+        assert_eq!(m.register(LineAddr::new(3), 13), MshrOutcome::Full);
+        assert_eq!(m.len(), 2);
+        let ws = m.complete(LineAddr::new(1));
+        assert_eq!(ws, vec![10, 11]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.merges(), 1);
+        assert_eq!(m.peak(), 2);
+    }
+
+    #[test]
+    fn complete_unknown_line_is_empty() {
+        let mut m = Mshr::new(1);
+        assert!(m.complete(LineAddr::new(9)).is_empty());
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! A generic set-associative, write-back cache with true-LRU replacement.
+
+use crate::geometry::CacheGeometry;
+use redcache_types::LineAddr;
+use serde::{Deserialize, Serialize};
+
+/// A line evicted to make room for a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Evicted {
+    /// The displaced line.
+    pub line: LineAddr,
+    /// Whether it held modified data.
+    pub dirty: bool,
+    /// Version stamp of its payload.
+    pub version: u64,
+}
+
+/// Result of a lookup-with-allocate operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Payload version observed on a hit (undefined on miss: 0).
+    pub version: u64,
+}
+
+/// Hit/miss/traffic statistics for one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups performed.
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Fills performed.
+    pub fills: u64,
+    /// Evictions of valid lines.
+    pub evictions: u64,
+    /// Evictions of dirty lines.
+    pub dirty_evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all accesses (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    valid: bool,
+    line: LineAddr,
+    dirty: bool,
+    version: u64,
+    lru: u64,
+}
+
+/// A set-associative cache storing line addresses, dirty bits and data
+/// versions. All methods are O(associativity).
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    ways: Vec<Way>, // sets * ways, row-major by set
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache of the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        Self {
+            geometry,
+            ways: vec![Way::default(); geometry.sets() * geometry.ways],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Zeroes the statistics, leaving contents intact (warmup boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let s = self.geometry.set_of(line.raw());
+        let w = self.geometry.ways;
+        s * w..(s + 1) * w
+    }
+
+    /// Looks up `line`; on a hit, refreshes LRU, optionally marks dirty
+    /// and overwrites the stored version (for stores).
+    pub fn access(&mut self, line: LineAddr, write: Option<u64>) -> AccessResult {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.valid && w.line == line {
+                w.lru = self.tick;
+                if let Some(v) = write {
+                    w.dirty = true;
+                    w.version = v;
+                }
+                self.stats.hits += 1;
+                return AccessResult { hit: true, version: w.version };
+            }
+        }
+        AccessResult { hit: false, version: 0 }
+    }
+
+    /// Checks presence without disturbing LRU or stats.
+    pub fn probe(&self, line: LineAddr) -> Option<u64> {
+        let range = self.set_range(line);
+        self.ways[range.clone()]
+            .iter()
+            .find(|w| w.valid && w.line == line)
+            .map(|w| w.version)
+    }
+
+    /// Inserts `line` (after a miss), evicting the LRU way if the set is
+    /// full. `dirty` marks the fill as modified (writeback-allocate).
+    ///
+    /// Filling a line that is already present updates it in place and
+    /// returns `None`.
+    pub fn fill(&mut self, line: LineAddr, version: u64, dirty: bool) -> Option<Evicted> {
+        self.tick += 1;
+        self.stats.fills += 1;
+        let range = self.set_range(line);
+        // Already present: update in place.
+        if let Some(w) = self.ways[range.clone()].iter_mut().find(|w| w.valid && w.line == line) {
+            w.lru = self.tick;
+            w.version = version;
+            w.dirty = w.dirty || dirty;
+            return None;
+        }
+        // Free way?
+        let tick = self.tick;
+        if let Some(w) = self.ways[range.clone()].iter_mut().find(|w| !w.valid) {
+            *w = Way { valid: true, line, dirty, version, lru: tick };
+            return None;
+        }
+        // Evict LRU.
+        let victim_idx = {
+            let base = range.start;
+            let rel = self.ways[range]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .map(|(i, _)| i)
+                .expect("nonzero associativity");
+            base + rel
+        };
+        let v = self.ways[victim_idx];
+        self.ways[victim_idx] = Way { valid: true, line, dirty, version, lru: tick };
+        self.stats.evictions += 1;
+        if v.dirty {
+            self.stats.dirty_evictions += 1;
+        }
+        Some(Evicted { line: v.line, dirty: v.dirty, version: v.version })
+    }
+
+    /// Removes `line` if present, returning its eviction record.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.valid && w.line == line {
+                w.valid = false;
+                return Some(Evicted { line: w.line, dirty: w.dirty, version: w.version });
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+
+    /// Iterates over all resident lines (for audits).
+    pub fn resident_lines(&self) -> impl Iterator<Item = (LineAddr, bool, u64)> + '_ {
+        self.ways.iter().filter(|w| w.valid).map(|w| (w.line, w.dirty, w.version))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 2 sets × 2 ways of 64 B lines.
+        SetAssocCache::new(CacheGeometry::new(256, 2, 64))
+    }
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::new(i)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(line(0), None).hit);
+        assert!(c.fill(line(0), 7, false).is_none());
+        let r = c.access(line(0), None);
+        assert!(r.hit);
+        assert_eq!(r.version, 7);
+        assert_eq!(c.stats().hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 map to set 0 (even line indices).
+        c.fill(line(0), 1, false);
+        c.fill(line(2), 2, false);
+        c.access(line(0), None); // make line 0 MRU
+        let ev = c.fill(line(4), 3, false).expect("set full");
+        assert_eq!(ev.line, line(2));
+        assert!(c.probe(line(0)).is_some());
+        assert!(c.probe(line(2)).is_none());
+    }
+
+    #[test]
+    fn store_marks_dirty_and_updates_version() {
+        let mut c = tiny();
+        c.fill(line(0), 1, false);
+        c.access(line(0), Some(9));
+        c.fill(line(2), 2, false);
+        // Line 0 (stored at tick 2) is older than line 2 (filled at
+        // tick 3), so it is the victim — and must carry its dirty store.
+        let ev = c.fill(line(4), 3, false).unwrap();
+        assert_eq!(ev.line, line(0));
+        assert!(ev.dirty);
+        assert_eq!(ev.version, 9);
+    }
+
+    #[test]
+    fn writeback_allocate_fill_is_dirty() {
+        let mut c = tiny();
+        c.fill(line(0), 5, true);
+        let ev = c.invalidate(line(0)).unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn fill_of_present_line_updates_in_place() {
+        let mut c = tiny();
+        c.fill(line(0), 1, false);
+        assert!(c.fill(line(0), 8, false).is_none());
+        assert_eq!(c.probe(line(0)), Some(8));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn probe_does_not_change_lru() {
+        let mut c = tiny();
+        c.fill(line(0), 1, false);
+        c.fill(line(2), 2, false);
+        let _ = c.probe(line(0)); // must NOT refresh line 0
+        let ev = c.fill(line(4), 3, false).unwrap();
+        assert_eq!(ev.line, line(0));
+    }
+
+    #[test]
+    fn invalidate_missing_line_is_none() {
+        let mut c = tiny();
+        assert!(c.invalidate(line(3)).is_none());
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut c = tiny();
+        c.fill(line(0), 1, false); // set 0
+        c.fill(line(1), 2, false); // set 1
+        c.fill(line(2), 3, false); // set 0
+        c.fill(line(3), 4, false); // set 1
+        assert_eq!(c.occupancy(), 4);
+        assert!(c.fill(line(4), 5, false).is_some()); // set 0 overflows
+        assert!(c.probe(line(1)).is_some());
+        assert!(c.probe(line(3)).is_some());
+    }
+}

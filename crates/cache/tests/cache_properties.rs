@@ -1,0 +1,221 @@
+//! Property tests: the set-associative cache matches a naive reference
+//! model, and the hierarchy never loses dirty data.
+
+use proptest::prelude::*;
+use redcache_cache::{CacheGeometry, Hierarchy, HierarchyConfig, SetAssocCache};
+use redcache_types::{CoreId, LineAddr, MemOp};
+use std::collections::HashMap;
+
+/// A deliberately naive reference LRU cache: per-set vectors ordered by
+/// recency, no clever bookkeeping.
+struct RefCache {
+    sets: Vec<Vec<(u64, bool, u64)>>, // (line, dirty, version), MRU last
+    ways: usize,
+    nsets: usize,
+}
+
+impl RefCache {
+    fn new(nsets: usize, ways: usize) -> Self {
+        Self { sets: vec![Vec::new(); nsets], ways, nsets }
+    }
+
+    fn set(&mut self, line: u64) -> &mut Vec<(u64, bool, u64)> {
+        let idx = (line as usize) % self.nsets;
+        &mut self.sets[idx]
+    }
+
+    fn access(&mut self, line: u64, write: Option<u64>) -> Option<u64> {
+        let set = self.set(line);
+        if let Some(pos) = set.iter().position(|e| e.0 == line) {
+            let mut e = set.remove(pos);
+            if let Some(v) = write {
+                e.1 = true;
+                e.2 = v;
+            }
+            let ver = e.2;
+            set.push(e);
+            Some(ver)
+        } else {
+            None
+        }
+    }
+
+    fn fill(&mut self, line: u64, version: u64, dirty: bool) -> Option<(u64, bool, u64)> {
+        let ways = self.ways;
+        let set = self.set(line);
+        if let Some(pos) = set.iter().position(|e| e.0 == line) {
+            let mut e = set.remove(pos);
+            e.2 = version;
+            e.1 |= dirty;
+            set.push(e);
+            return None;
+        }
+        let victim = if set.len() == ways { Some(set.remove(0)) } else { None };
+        set.push((line, dirty, version));
+        victim
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access { line: u64, store: Option<u64> },
+    Fill { line: u64, version: u64, dirty: bool },
+    Invalidate { line: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..64, prop::option::of(1u64..1000)).prop_map(|(line, store)| Op::Access { line, store }),
+        (0u64..64, 1u64..1000, any::<bool>())
+            .prop_map(|(line, version, dirty)| Op::Fill { line, version, dirty }),
+        (0u64..64).prop_map(|line| Op::Invalidate { line }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn set_assoc_matches_reference(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let geom = CacheGeometry::new(2048, 4, 64); // 8 sets x 4 ways
+        let mut dut = SetAssocCache::new(geom);
+        let mut reference = RefCache::new(geom.sets(), geom.ways);
+        for op in &ops {
+            match *op {
+                Op::Access { line, store } => {
+                    let r = dut.access(LineAddr::new(line), store);
+                    let e = reference.access(line, store);
+                    prop_assert_eq!(r.hit, e.is_some(), "hit mismatch on {:?}", op);
+                    if let Some(v) = e {
+                        prop_assert_eq!(r.version, v, "version mismatch on {:?}", op);
+                    }
+                }
+                Op::Fill { line, version, dirty } => {
+                    let r = dut.fill(LineAddr::new(line), version, dirty);
+                    let e = reference.fill(line, version, dirty);
+                    match (r, e) {
+                        (None, None) => {}
+                        (Some(ev), Some((l, d, v))) => {
+                            prop_assert_eq!(ev.line.raw(), l);
+                            prop_assert_eq!(ev.dirty, d);
+                            prop_assert_eq!(ev.version, v);
+                        }
+                        (a, b) => prop_assert!(false, "eviction mismatch {:?} vs {:?}", a, b),
+                    }
+                }
+                Op::Invalidate { line } => {
+                    let r = dut.invalidate(LineAddr::new(line));
+                    let set = reference.set(line);
+                    let e = set.iter().position(|x| x.0 == line).map(|p| set.remove(p));
+                    prop_assert_eq!(r.is_some(), e.is_some());
+                }
+            }
+        }
+        // Final residency agrees.
+        let dut_lines: std::collections::BTreeSet<u64> =
+            dut.resident_lines().map(|(l, _, _)| l.raw()).collect();
+        let ref_lines: std::collections::BTreeSet<u64> =
+            reference.sets.iter().flatten().map(|e| e.0).collect();
+        prop_assert_eq!(dut_lines, ref_lines);
+    }
+
+    /// Every version stored by the CPU is observable afterwards from
+    /// somewhere: a later load of the same line (with no intervening
+    /// store) returns either the stored version or the line reached
+    /// memory as a writeback carrying it.
+    #[test]
+    fn hierarchy_never_loses_dirty_data(
+        accesses in prop::collection::vec((0u64..96, any::<bool>()), 1..400)
+    ) {
+        let mut h = Hierarchy::new(HierarchyConfig {
+            cores: 2,
+            l1: CacheGeometry::new(256, 2, 64),
+            l2: CacheGeometry::new(512, 2, 64),
+            l3: CacheGeometry::new(1024, 2, 64),
+            l1_latency: 4, l2_latency: 12, l3_latency: 38,
+            mshr_entries: 8,
+        });
+        // memory[line] = version last written back.
+        let mut memory: HashMap<u64, u64> = HashMap::new();
+        // expected[line] = newest version stored by the CPU side.
+        let mut expected: HashMap<u64, u64> = HashMap::new();
+        let mut next_version = 1u64;
+
+        for (i, &(linez, is_store)) in accesses.iter().enumerate() {
+            let core = CoreId((i % 2) as u16);
+            let line = LineAddr::new(linez);
+            let (op, sv) = if is_store {
+                next_version += 1;
+                (MemOp::Store, next_version)
+            } else {
+                (MemOp::Load, 0)
+            };
+            let out = h.access(core, line, op, sv, i as u64);
+            for wb in &out.writebacks {
+                memory.insert(wb.line.raw(), wb.version);
+            }
+            match out.hit_level {
+                Some(_) => {
+                    if !is_store {
+                        // A load hit must observe the newest version this
+                        // core could have produced; with two non-coherent
+                        // private caches we only require it to be one of
+                        // the versions ever stored or loaded for the line.
+                        let v = out.version;
+                        let newest = expected.get(&linez).copied().unwrap_or(0);
+                        let at_mem = memory.get(&linez).copied().unwrap_or(0);
+                        prop_assert!(
+                            v <= newest.max(at_mem).max(next_version),
+                            "impossible version {v}"
+                        );
+                    }
+                }
+                None => {
+                    if out.mem_read_needed() {
+                        let mem_v = memory.get(&linez).copied().unwrap_or(0);
+                        let fr = h.complete_fill(line, mem_v);
+                        for wb in &fr.writebacks {
+                            memory.insert(wb.line.raw(), wb.version);
+                        }
+                        for _w in fr.waiters {
+                            let wbs = h.fill_waiter(core, line, mem_v, is_store.then_some(sv));
+                            for wb in wbs {
+                                memory.insert(wb.line.raw(), wb.version);
+                            }
+                        }
+                    }
+                }
+            }
+            if is_store && !out.must_retry() {
+                expected.insert(linez, sv);
+            }
+        }
+        // Drain: every line's newest version must be findable in some
+        // cache level or at memory. We check single-core lines only
+        // (cross-core racing lines are exempt by the documented
+        // no-coherence simplification) — here all lines are shared, so
+        // check the weaker global property: for every line, SOME copy
+        // holds a version >= the memory version.
+        for (&linez, &mem_v) in &memory {
+            let line = LineAddr::new(linez);
+            let newest = expected.get(&linez).copied().unwrap_or(0);
+            if newest > mem_v {
+                // Must still be cached somewhere (it was never written
+                // back): probe all levels via a fresh load on core 0/1.
+                let mut found = false;
+                for c in 0..2u16 {
+                    let out = h.access(CoreId(c), line, MemOp::Load, 0, 0);
+                    if out.hit_level.is_some() && out.version >= mem_v {
+                        found = true;
+                        break;
+                    }
+                    if out.mem_read_needed() {
+                        let _ = h.complete_fill(line, mem_v);
+                        let _ = h.fill_waiter(CoreId(c), line, mem_v, None);
+                    }
+                }
+                prop_assert!(found, "line {linez}: newest {newest} lost (memory {mem_v})");
+            }
+        }
+    }
+}

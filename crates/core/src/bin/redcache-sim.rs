@@ -1,0 +1,151 @@
+//! `redcache-sim` — command-line driver for single simulations.
+//!
+//! ```text
+//! redcache-sim [--workload RDX] [--policy redcache] [--budget 50000]
+//!              [--shrink 1] [--block 64] [--preset scaled|quick]
+//!              [--warmup 0.3] [--json]
+//! ```
+//!
+//! Policies: nohbm | ideal | alloy | bear | red-alpha | red-gamma |
+//! red-basic | red-insitu | redcache.
+
+use redcache::{PolicyKind, RedVariant, RunReport, SimConfig, Simulator};
+use redcache_workloads::{GenConfig, Workload};
+
+struct Args {
+    workload: Workload,
+    policy: PolicyKind,
+    budget: usize,
+    shrink: usize,
+    block: usize,
+    preset: String,
+    warmup: f64,
+    json: bool,
+}
+
+fn parse_policy(s: &str) -> Option<PolicyKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "nohbm" | "no-hbm" => PolicyKind::NoHbm,
+        "ideal" => PolicyKind::Ideal,
+        "alloy" => PolicyKind::Alloy,
+        "bear" => PolicyKind::Bear,
+        "red-alpha" => PolicyKind::Red(RedVariant::Alpha),
+        "red-gamma" => PolicyKind::Red(RedVariant::Gamma),
+        "red-basic" => PolicyKind::Red(RedVariant::Basic),
+        "red-insitu" => PolicyKind::Red(RedVariant::InSitu),
+        "redcache" | "red-full" | "red" => PolicyKind::Red(RedVariant::Full),
+        _ => return None,
+    })
+}
+
+fn parse_workload(s: &str) -> Option<Workload> {
+    Workload::ALL.iter().copied().find(|w| w.info().label.eq_ignore_ascii_case(s))
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: redcache-sim [--workload LABEL] [--policy NAME] [--budget N]\n\
+         \x20                  [--shrink N] [--block 64|128|256] [--preset scaled|quick]\n\
+         \x20                  [--warmup F] [--json]\n\
+         workloads: {}\n\
+         policies:  nohbm ideal alloy bear red-alpha red-gamma red-basic red-insitu redcache",
+        Workload::ALL.map(|w| w.info().label).join(" ")
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: Workload::Hist,
+        policy: PolicyKind::Red(RedVariant::Full),
+        budget: 50_000,
+        shrink: 1,
+        block: 64,
+        preset: "scaled".into(),
+        warmup: 0.3,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--workload" | "-w" => {
+                args.workload = parse_workload(&val()).unwrap_or_else(|| usage())
+            }
+            "--policy" | "-p" => args.policy = parse_policy(&val()).unwrap_or_else(|| usage()),
+            "--budget" | "-b" => args.budget = val().parse().unwrap_or_else(|_| usage()),
+            "--shrink" | "-s" => args.shrink = val().parse().unwrap_or_else(|_| usage()),
+            "--block" => args.block = val().parse().unwrap_or_else(|_| usage()),
+            "--preset" => args.preset = val(),
+            "--warmup" => args.warmup = val().parse().unwrap_or_else(|_| usage()),
+            "--json" => args.json = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn print_human(r: &RunReport) {
+    println!("policy             {}", r.policy);
+    println!("workload           {}", r.workload.as_deref().unwrap_or("?"));
+    println!("execution time     {} cycles", r.cycles);
+    println!("instructions       {} (IPC {:.2})", r.instructions, r.ipc());
+    println!("mem reads / wbs    {} / {}", r.mem_reads, r.mem_writebacks);
+    println!("HBM hit rate       {:.1}%", r.hbm_hit_rate() * 100.0);
+    if let Some(h) = &r.hbm {
+        println!(
+            "WideIO             {} bytes, row-hit {:.1}%, bus busy {} cyc",
+            h.bytes_total(),
+            h.row_hit_rate() * 100.0,
+            h.bus_busy_cycles
+        );
+    }
+    println!(
+        "DDR                {} bytes, row-hit {:.1}%, bus busy {} cyc",
+        r.ddr.bytes_total(),
+        r.ddr.row_hit_rate() * 100.0,
+        r.ddr.bus_busy_cycles
+    );
+    println!("mean read latency  {:.0} cycles", r.ctl.mean_read_latency());
+    println!(
+        "energy             HBM {:.4} mJ | DDR {:.4} mJ | CPU {:.4} mJ | total {:.4} mJ",
+        r.energy.hbm.total_j() * 1e3,
+        r.energy.ddr.total_j() * 1e3,
+        r.energy.cpu.total_j() * 1e3,
+        r.energy.total_j() * 1e3,
+    );
+    for (k, v) in &r.extras {
+        println!("  {k:<24} {v:.3}");
+    }
+    println!("shadow violations  {}", r.shadow_violations);
+}
+
+fn main() {
+    let a = parse_args();
+    let mut gen = GenConfig::scaled();
+    gen.budget_per_thread = a.budget;
+    gen.shrink = a.shrink;
+    let mut cfg = match a.preset.as_str() {
+        "quick" => SimConfig::quick(a.policy),
+        "scaled" => SimConfig::scaled(a.policy),
+        _ => usage(),
+    };
+    cfg.policy.cache_block_bytes = a.block;
+    cfg.warmup_fraction = a.warmup;
+    if cfg.hierarchy.cores < gen.threads {
+        gen.threads = cfg.hierarchy.cores;
+    }
+
+    let traces = a.workload.generate(&gen);
+    let mut report = Simulator::new(cfg).run(traces);
+    report.workload = Some(a.workload.info().label.to_string());
+    if a.json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("serialize report"));
+    } else {
+        print_human(&report);
+    }
+    if report.shadow_violations > 0 {
+        std::process::exit(1);
+    }
+}

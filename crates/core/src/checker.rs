@@ -1,0 +1,110 @@
+//! Shadow memory: end-to-end functional verification below the L3.
+//!
+//! Every payload is a monotonically increasing version stamp. The
+//! shadow records, per line, the version most recently written *into
+//! the memory subsystem* (an L3 dirty eviction). Because controllers
+//! make functional decisions at submit time (DESIGN.md §3.3), a read
+//! submitted at time t must return exactly the version the shadow held
+//! at t — any bypass/invalidate/fill bug that serves stale data trips
+//! the checker immediately.
+
+use redcache_types::LineAddr;
+use std::collections::HashMap;
+
+/// The shadow memory and its expectation table for in-flight reads.
+#[derive(Debug, Default)]
+pub struct ShadowMemory {
+    versions: HashMap<u64, u64>,
+    expectations: HashMap<u64, u64>, // req id -> expected version
+    violations: u64,
+    checks: u64,
+}
+
+impl ShadowMemory {
+    /// Creates an empty shadow (all lines at version 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a writeback of `version` to `line` (call at submit).
+    pub fn on_writeback(&mut self, line: LineAddr, version: u64) {
+        self.versions.insert(line.raw(), version);
+    }
+
+    /// Registers the expectation for a read request (call at submit).
+    pub fn on_read_submit(&mut self, req_id: u64, line: LineAddr) {
+        let expect = self.versions.get(&line.raw()).copied().unwrap_or(0);
+        self.expectations.insert(req_id, expect);
+    }
+
+    /// Checks a completed read. Returns `true` when the observed
+    /// version matches the expectation registered at submit.
+    pub fn on_read_complete(&mut self, req_id: u64, observed: u64) -> bool {
+        self.checks += 1;
+        match self.expectations.remove(&req_id) {
+            Some(expect) if expect == observed => true,
+            Some(_) => {
+                self.violations += 1;
+                false
+            }
+            None => {
+                // Unknown request: count as a violation — the harness
+                // must register every read.
+                self.violations += 1;
+                false
+            }
+        }
+    }
+
+    /// Number of failed checks.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Number of reads checked.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_last_writeback_at_submit_time() {
+        let mut s = ShadowMemory::new();
+        s.on_writeback(LineAddr::new(1), 10);
+        s.on_read_submit(100, LineAddr::new(1));
+        // A later writeback must not change the expectation for the
+        // already-submitted read.
+        s.on_writeback(LineAddr::new(1), 20);
+        assert!(s.on_read_complete(100, 10));
+        s.on_read_submit(101, LineAddr::new(1));
+        assert!(s.on_read_complete(101, 20));
+        assert_eq!(s.violations(), 0);
+        assert_eq!(s.checks(), 2);
+    }
+
+    #[test]
+    fn detects_stale_reads() {
+        let mut s = ShadowMemory::new();
+        s.on_writeback(LineAddr::new(2), 5);
+        s.on_read_submit(1, LineAddr::new(2));
+        assert!(!s.on_read_complete(1, 0));
+        assert_eq!(s.violations(), 1);
+    }
+
+    #[test]
+    fn never_written_lines_expect_zero() {
+        let mut s = ShadowMemory::new();
+        s.on_read_submit(1, LineAddr::new(9));
+        assert!(s.on_read_complete(1, 0));
+    }
+
+    #[test]
+    fn unregistered_read_is_a_violation() {
+        let mut s = ShadowMemory::new();
+        assert!(!s.on_read_complete(7, 0));
+    }
+}

@@ -1,0 +1,109 @@
+//! Whole-simulation configuration presets.
+
+use redcache_cache::HierarchyConfig;
+use redcache_cpu::CoreConfig;
+use redcache_policies::{PolicyConfig, PolicyKind};
+use redcache_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one full-system simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Controller architecture + DRAM organisation.
+    pub policy: PolicyConfig,
+    /// SRAM hierarchy geometry.
+    pub hierarchy: HierarchyConfig,
+    /// Core model parameters.
+    pub core: CoreConfig,
+    /// Hard cycle bound (a run exceeding it panics — deadlock guard).
+    pub max_cycles: Cycle,
+    /// Verify every read against the shadow memory (cheap; keep on).
+    pub check_shadow: bool,
+    /// Fraction of the trace treated as cache warmup: statistics reset
+    /// when this fraction of accesses has committed (§IV.A: "warming up
+    /// the cache until the cache is full; then we simulate").
+    pub warmup_fraction: f64,
+}
+
+impl SimConfig {
+    /// The paper's Table I configuration: 16 cores, 8 MB L3, 2 GB HBM,
+    /// 32 GB DDR4. Intended for configuration reporting; simulating it
+    /// end to end needs paper-scale traces.
+    pub fn table1(kind: PolicyKind) -> Self {
+        Self {
+            policy: PolicyConfig::table1(kind),
+            hierarchy: HierarchyConfig::table1(16),
+            core: CoreConfig::table1(),
+            max_cycles: 20_000_000_000,
+            check_shadow: true,
+            warmup_fraction: 0.3,
+        }
+    }
+
+    /// The scaled evaluation preset (DESIGN.md §1): identical
+    /// organisation and timing, capacities shrunk in ratio (1 MB L3,
+    /// 32 MB HBM, 512 MB DDR), 16 cores.
+    pub fn scaled(kind: PolicyKind) -> Self {
+        Self {
+            policy: PolicyConfig::scaled(kind),
+            hierarchy: HierarchyConfig::scaled(16),
+            core: CoreConfig::table1(),
+            max_cycles: 4_000_000_000,
+            check_shadow: true,
+            warmup_fraction: 0.3,
+        }
+    }
+
+    /// A fast preset for unit tests: 4 cores, small HBM, tight bound.
+    pub fn quick(kind: PolicyKind) -> Self {
+        let mut c = Self::scaled(kind);
+        c.hierarchy = HierarchyConfig::scaled(4);
+        c.policy.hbm = redcache_dram::DramConfig::wideio_scaled(4 << 20);
+        c.policy.ddr = redcache_dram::DramConfig::ddr4_scaled(64 << 20);
+        c.max_cycles = 400_000_000;
+        c
+    }
+
+    /// Validates the composite configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        self.policy.validate()?;
+        if self.hierarchy.cores == 0 {
+            return Err("need at least one core".into());
+        }
+        if self.max_cycles == 0 {
+            return Err("max_cycles must be nonzero".into());
+        }
+        if !(0.0..0.95).contains(&self.warmup_fraction) {
+            return Err("warmup_fraction must be in [0, 0.95)".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for kind in [PolicyKind::NoHbm, PolicyKind::Ideal, PolicyKind::Alloy, PolicyKind::Bear] {
+            SimConfig::table1(kind).validate().unwrap();
+            SimConfig::scaled(kind).validate().unwrap();
+            SimConfig::quick(kind).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn scaled_preserves_capacity_ratios() {
+        let c = SimConfig::scaled(PolicyKind::Alloy);
+        let hbm = c.policy.hbm.topology.capacity_bytes();
+        let l3 = c.hierarchy.l3.size_bytes as u64;
+        // Table I: 2 GB / 8 MB = 256; scaled: 32 MB / 1 MB = 32 — the
+        // HBM stays orders of magnitude bigger than the L3.
+        assert!(hbm / l3 >= 16, "HBM/L3 ratio collapsed: {}", hbm / l3);
+    }
+}

@@ -1,0 +1,48 @@
+//! **RedCache** — a full-system reproduction of *"RedCache: Reduced DRAM
+//! Caching"* (Behnam & Bojnordi, DAC 2020).
+//!
+//! This crate assembles the whole evaluated system and is the public
+//! API of the workspace:
+//!
+//! * a 16-core out-of-order front end ([`redcache_cpu`]) running the
+//!   eleven Table II workloads ([`redcache_workloads`]),
+//! * the Table I three-level SRAM hierarchy ([`redcache_cache`]),
+//! * cycle-level WideIO/HBM and DDR4 DRAM ([`redcache_dram`]),
+//! * the DRAM-cache controllers under study ([`redcache_policies`]):
+//!   No-HBM, IDEAL, Alloy, BEAR and the RedCache α/γ/RCU family,
+//! * event-based energy models ([`redcache_energy`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use redcache::{PolicyKind, SimConfig, Simulator};
+//! use redcache_workloads::{GenConfig, Workload};
+//!
+//! let cfg = SimConfig::quick(PolicyKind::Alloy);
+//! let traces = Workload::Hist.generate(&GenConfig::tiny());
+//! let report = Simulator::new(cfg).run(traces);
+//! assert!(report.cycles > 0);
+//! assert_eq!(report.shadow_violations, 0); // no stale data, ever
+//! ```
+//!
+//! Each figure/table of the paper has a regenerating binary in the
+//! `redcache-bench` crate; see `DESIGN.md` §4 for the experiment index.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod metrics;
+pub mod profile;
+pub mod sim;
+
+mod checker;
+
+pub use checker::ShadowMemory;
+pub use config::SimConfig;
+pub use metrics::RunReport;
+pub use profile::{last_access_writeback_fraction, MemLevelStream, ReuseProfile};
+pub use sim::Simulator;
+
+// The vocabulary types users need, re-exported at the root.
+pub use redcache_policies::{PolicyConfig, PolicyKind, RedConfig, RedVariant};
+pub use redcache_types::Cycle;

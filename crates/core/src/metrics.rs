@@ -1,0 +1,166 @@
+//! Run reports: everything a figure needs from one simulation.
+
+use redcache_cache::CacheStats;
+use redcache_dram::DramStats;
+use redcache_energy::SystemEnergy;
+use redcache_policies::{ControllerStats, PolicyKind};
+use redcache_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// The complete outcome of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Architecture simulated.
+    pub policy: PolicyKind,
+    /// Workload label, when run through the suite harness.
+    pub workload: Option<String>,
+    /// Execution time in CPU cycles (the Fig. 9 quantity).
+    pub cycles: Cycle,
+    /// Instructions dispatched across all cores.
+    pub instructions: u64,
+    /// Below-L3 read requests issued.
+    pub mem_reads: u64,
+    /// Below-L3 writebacks issued.
+    pub mem_writebacks: u64,
+    /// Controller event counters.
+    pub ctl: ControllerStats,
+    /// WideIO DRAM statistics (absent for No-HBM).
+    pub hbm: Option<DramStats>,
+    /// DDR4 DRAM statistics.
+    pub ddr: DramStats,
+    /// L1 aggregate statistics.
+    pub l1: CacheStats,
+    /// L2 aggregate statistics.
+    pub l2: CacheStats,
+    /// Shared L3 statistics.
+    pub l3: CacheStats,
+    /// Energy rollup (Fig. 10 = `energy.hbm`, Fig. 11 = total).
+    pub energy: SystemEnergy,
+    /// Policy-specific extras (α, γ, RCU drain mix, …).
+    pub extras: Vec<(String, f64)>,
+    /// Shadow-memory check failures (must be 0).
+    pub shadow_violations: u64,
+}
+
+impl RunReport {
+    /// Instructions per cycle across the whole chip.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total bytes moved over WideIO + DDRx — the "transferred data"
+    /// axis of Fig. 2.
+    pub fn transferred_bytes(&self) -> u64 {
+        self.hbm.map(|s| s.bytes_total()).unwrap_or(0) + self.ddr.bytes_total()
+    }
+
+    /// Aggregate consumed bandwidth in bytes per second over both
+    /// interfaces — the vertical axis of Fig. 2.
+    pub fn aggregate_bandwidth_bytes_per_s(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let seconds = self.cycles as f64 / redcache_energy::CPU_HZ;
+        self.transferred_bytes() as f64 / seconds
+    }
+
+    /// HBM-cache hit rate (0 for No-HBM).
+    pub fn hbm_hit_rate(&self) -> f64 {
+        self.ctl.hit_rate()
+    }
+
+    /// Speedup of this run over `base` (ratio of execution times).
+    pub fn speedup_over(&self, base: &RunReport) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            base.cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// This run's execution time normalised to `base` (Fig. 9 bars).
+    pub fn time_normalized_to(&self, base: &RunReport) -> f64 {
+        if base.cycles == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / base.cycles as f64
+        }
+    }
+
+    /// HBM energy normalised to `base` (Fig. 10 bars).
+    pub fn hbm_energy_normalized_to(&self, base: &RunReport) -> f64 {
+        let b = base.energy.hbm.total_j();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.energy.hbm.total_j() / b
+        }
+    }
+
+    /// System energy normalised to `base` (Fig. 11 bars).
+    pub fn system_energy_normalized_to(&self, base: &RunReport) -> f64 {
+        let b = base.energy.total_j();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.energy.total_j() / b
+        }
+    }
+}
+
+/// Geometric mean over a slice of positive values (the paper reports
+/// per-benchmark bars plus a mean).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: Cycle) -> RunReport {
+        RunReport {
+            policy: PolicyKind::Alloy,
+            workload: None,
+            cycles,
+            instructions: 1000,
+            mem_reads: 10,
+            mem_writebacks: 5,
+            ctl: ControllerStats::default(),
+            hbm: Some(DramStats { bytes_read: 100, bytes_written: 50, ..Default::default() }),
+            ddr: DramStats { bytes_read: 30, bytes_written: 20, ..Default::default() },
+            l1: CacheStats::default(),
+            l2: CacheStats::default(),
+            l3: CacheStats::default(),
+            energy: SystemEnergy::default(),
+            extras: vec![],
+            shadow_violations: 0,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let a = report(1000);
+        let b = report(2000);
+        assert_eq!(a.ipc(), 1.0);
+        assert_eq!(a.transferred_bytes(), 200);
+        assert_eq!(b.time_normalized_to(&a), 2.0);
+        assert_eq!(b.speedup_over(&a), 0.5);
+        assert!(a.aggregate_bandwidth_bytes_per_s() > 0.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+}

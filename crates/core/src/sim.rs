@@ -1,0 +1,422 @@
+//! The full-system simulator: cores × hierarchy × controller × DRAM.
+//!
+//! Cycle loop per CPU cycle: each core may commit one memory access
+//! into the hierarchy; L3 misses and dirty evictions become controller
+//! requests; the controller drives both DRAM systems and hands back
+//! completions, which fill the hierarchy and wake stalled loads. A
+//! shadow memory checks every read's payload version against the last
+//! writeback, end to end.
+
+use crate::checker::ShadowMemory;
+use crate::config::SimConfig;
+use crate::metrics::RunReport;
+use redcache_cache::Hierarchy;
+use redcache_cpu::{Core, LoadToken, Poll};
+use redcache_energy::{CpuActivity, EnergyModel};
+use redcache_policies::{build_controller, CompletedReq, DramCacheController, MemorySides};
+use redcache_types::{AccessKind, CoreId, Cycle, LineAddr, MemRequest, ReqId, BLOCK_BYTES};
+use redcache_workloads::ThreadTraces;
+use std::collections::HashMap;
+
+// Re-exported for documentation purposes only.
+#[allow(unused_imports)]
+use redcache_policies::PolicyKind;
+
+#[derive(Debug, Clone, Copy)]
+struct WaiterInfo {
+    core: usize,
+    load_token: Option<LoadToken>,
+    store_version: Option<u64>,
+}
+
+/// The assembled system, ready to execute one workload.
+pub struct Simulator {
+    cfg: SimConfig,
+    energy_model: EnergyModel,
+}
+
+impl Simulator {
+    /// Builds a simulator from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.validate().expect("invalid simulation configuration");
+        Self { cfg, energy_model: EnergyModel::default() }
+    }
+
+    /// Replaces the default energy constants.
+    pub fn with_energy_model(mut self, model: EnergyModel) -> Self {
+        self.energy_model = model;
+        self
+    }
+
+    /// Executes `traces` (one per thread; at most one per core) to
+    /// completion and returns the run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more traces than cores are supplied, on deadlock, or
+    /// when the `max_cycles` bound is exceeded.
+    pub fn run(self, traces: ThreadTraces) -> RunReport {
+        let controller = build_controller(&self.cfg.policy);
+        self.run_with(traces, controller)
+    }
+
+    /// Like [`Simulator::run`], but with a caller-supplied controller —
+    /// the extension point for custom DRAM-cache policies (see the
+    /// `custom_policy` example).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_with(
+        self,
+        traces: ThreadTraces,
+        mut controller: Box<dyn DramCacheController>,
+    ) -> RunReport {
+        let ncores = self.cfg.hierarchy.cores;
+        assert!(
+            traces.len() <= ncores,
+            "{} traces but only {ncores} cores",
+            traces.len()
+        );
+        let total_accesses: u64 = traces.iter().map(|t| t.len() as u64).sum();
+        let warmup_target = (self.cfg.warmup_fraction * total_accesses as f64) as u64;
+        let mut cores: Vec<Core> = traces
+            .into_iter()
+            .chain(std::iter::repeat_with(Vec::new))
+            .take(ncores)
+            .map(|t| Core::new(self.cfg.core, t))
+            .collect();
+        let mut hierarchy = Hierarchy::new(self.cfg.hierarchy);
+        let mut shadow = ShadowMemory::new();
+
+        let mut waiters: HashMap<u64, WaiterInfo> = HashMap::new();
+        let mut next_waiter: u64 = 0;
+        let mut next_req: u64 = 0;
+        let mut next_version: u64 = 1;
+        let mut mem_reads: u64 = 0;
+        let mut mem_writebacks: u64 = 0;
+        let mut finish: Vec<Option<Cycle>> = vec![None; ncores];
+        let mut done_buf: Vec<CompletedReq> = Vec::new();
+        let mut shadow_violations = 0u64;
+
+        let submit_writebacks = |evicted: &[redcache_cache::Evicted],
+                                 controller: &mut Box<dyn DramCacheController>,
+                                 shadow: &mut ShadowMemory,
+                                 next_req: &mut u64,
+                                 mem_writebacks: &mut u64,
+                                 now: Cycle| {
+            for ev in evicted {
+                debug_assert!(ev.dirty);
+                let id = ReqId(*next_req);
+                *next_req += 1;
+                shadow.on_writeback(ev.line, ev.version);
+                controller
+                    .submit(MemRequest::writeback(id, ev.line, CoreId(0), now, ev.version), now);
+                *mem_writebacks += 1;
+            }
+        };
+
+        let mut now: Cycle = 0;
+        let mut blocked_idle_streak = 0u32;
+        let mut committed: u64 = 0;
+        let mut warmed = warmup_target == 0;
+        let mut warmup_cycle: Cycle = 0;
+        let mut warmup_instructions: u64 = 0;
+        loop {
+            // 1. Core side: each active core may commit one access.
+            let mut all_finished = true;
+            let mut min_wake: Option<Cycle> = None;
+            let mut any_blocked = false;
+            for (ci, core) in cores.iter_mut().enumerate() {
+                if finish[ci].is_some() {
+                    continue;
+                }
+                match core.poll(now) {
+                    Poll::Finished(t) => {
+                        finish[ci] = Some(t);
+                        continue;
+                    }
+                    Poll::NotYet(t) => {
+                        all_finished = false;
+                        min_wake = Some(min_wake.map_or(t, |m: Cycle| m.min(t)));
+                    }
+                    Poll::WaitingMem => {
+                        all_finished = false;
+                        any_blocked = true;
+                    }
+                    Poll::Ready(access) => {
+                        all_finished = false;
+                        committed += 1;
+                        let line = access.addr.line(BLOCK_BYTES);
+                        let is_store = access.op.is_store();
+                        let version = if is_store {
+                            next_version += 1;
+                            next_version
+                        } else {
+                            0
+                        };
+                        let wid = next_waiter;
+                        next_waiter += 1;
+                        let out = hierarchy.access(CoreId(ci as u16), line, access.op, version, wid);
+                        submit_writebacks(
+                            &out.writebacks,
+                            &mut controller,
+                            &mut shadow,
+                            &mut next_req,
+                            &mut mem_writebacks,
+                            now,
+                        );
+                        if out.hit_level.is_some() {
+                            core.commit_hit(now, out.latency);
+                        } else if out.must_retry() {
+                            // MSHR full: retry next cycle.
+                            any_blocked = true;
+                        } else {
+                            let info = if is_store {
+                                core.commit_store_miss(now);
+                                WaiterInfo { core: ci, load_token: None, store_version: Some(version) }
+                            } else {
+                                let tok = core.commit_load_miss(now);
+                                WaiterInfo { core: ci, load_token: Some(tok), store_version: None }
+                            };
+                            waiters.insert(wid, info);
+                            if out.mem_read_needed() {
+                                let id = ReqId(next_req);
+                                next_req += 1;
+                                shadow.on_read_submit(id.0, line);
+                                controller
+                                    .submit(MemRequest::read(id, line, CoreId(ci as u16), now), now);
+                                mem_reads += 1;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // 2. Memory side.
+            controller.tick(now, &mut done_buf);
+            for d in done_buf.drain(..) {
+                match d.kind {
+                    AccessKind::Read => {
+                        if self.cfg.check_shadow && !shadow.on_read_complete(d.id.0, d.data_version)
+                        {
+                            shadow_violations += 1;
+                        }
+                        let fr = hierarchy.complete_fill(d.line, d.data_version);
+                        submit_writebacks(
+                            &fr.writebacks,
+                            &mut controller,
+                            &mut shadow,
+                            &mut next_req,
+                            &mut mem_writebacks,
+                            now,
+                        );
+                        for wid in fr.waiters {
+                            let Some(info) = waiters.remove(&wid) else { continue };
+                            let wbs = hierarchy.fill_waiter(
+                                CoreId(info.core as u16),
+                                d.line,
+                                d.data_version,
+                                info.store_version,
+                            );
+                            submit_writebacks(
+                                &wbs,
+                                &mut controller,
+                                &mut shadow,
+                                &mut next_req,
+                                &mut mem_writebacks,
+                                now,
+                            );
+                            if let Some(tok) = info.load_token {
+                                cores[info.core].complete_load(tok, d.done_at.max(now));
+                            }
+                        }
+                    }
+                    AccessKind::Writeback => {}
+                }
+            }
+
+            // 3. Warmup boundary: reset statistics once the configured
+            // fraction of the trace has committed (§IV.A). Functional
+            // and adaptive state carries over; only counters reset.
+            if !warmed && committed >= warmup_target {
+                warmed = true;
+                warmup_cycle = now;
+                warmup_instructions = cores.iter().map(|c| c.instructions_dispatched()).sum();
+                controller.reset_stats();
+                hierarchy.reset_stats();
+            }
+
+            // 4. Termination and time advance.
+            if all_finished && controller.pending() == 0 {
+                break;
+            }
+            // A core can look blocked in the same cycle its last
+            // completion arrives; only a *persistent* blocked-with-idle-
+            // memory state is a real deadlock.
+            if any_blocked && controller.pending() == 0 && hierarchy.mshr_len() == 0 {
+                blocked_idle_streak += 1;
+                if blocked_idle_streak > 8 {
+                    let states: Vec<String> = cores
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, c)| format!("core{i}: {:?}", c.poll(now)))
+                        .collect();
+                    panic!(
+                        "deadlock at cycle {now}: cores blocked with idle memory\n{}",
+                        states.join("\n")
+                    );
+                }
+            } else {
+                blocked_idle_streak = 0;
+            }
+            // Fast-forward across pure-compute stretches.
+            if controller.pending() == 0 && !any_blocked {
+                if let Some(w) = min_wake {
+                    if w > now + 1 {
+                        now = w;
+                        continue;
+                    }
+                }
+            }
+            now += 1;
+            assert!(now < self.cfg.max_cycles, "exceeded max_cycles bound");
+        }
+
+        let end = finish.iter().map(|f| f.unwrap_or(now)).max().unwrap_or(now);
+        let cycles = end.saturating_sub(warmup_cycle).max(1);
+        let instructions: u64 =
+            cores.iter().map(|c| c.instructions_dispatched()).sum::<u64>() - warmup_instructions;
+        let (l1, l2, l3) = hierarchy.stats();
+        let ctl = controller.stats();
+        let hbm = controller.hbm_stats();
+        let ddr = controller.ddr_stats();
+        let act = CpuActivity {
+            instructions,
+            cycles,
+            cores: ncores,
+            l1_accesses: l1.accesses,
+            l2_accesses: l2.accesses,
+            l3_accesses: l3.accesses,
+        };
+        let hbm_ranks =
+            self.cfg.policy.hbm.topology.channels * self.cfg.policy.hbm.topology.ranks;
+        let ddr_ranks =
+            self.cfg.policy.ddr.topology.channels * self.cfg.policy.ddr.topology.ranks;
+        let energy = self.energy_model.system_energy(
+            &act,
+            &ctl,
+            hbm.as_ref(),
+            hbm_ranks,
+            &ddr,
+            ddr_ranks,
+        );
+        RunReport {
+            policy: controller.kind(),
+            workload: None,
+            cycles,
+            instructions,
+            mem_reads,
+            mem_writebacks,
+            ctl,
+            hbm,
+            ddr,
+            l1,
+            l2,
+            l3,
+            energy,
+            extras: controller.extras().into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            shadow_violations,
+        }
+    }
+}
+
+/// Convenience: runs `workload` under `cfg` with the given generator
+/// configuration and labels the report.
+pub fn run_workload(
+    cfg: SimConfig,
+    workload: redcache_workloads::Workload,
+    gen: &redcache_workloads::GenConfig,
+) -> RunReport {
+    let traces = workload.generate(gen);
+    let mut report = Simulator::new(cfg).run(traces);
+    report.workload = Some(workload.info().label.to_string());
+    report
+}
+
+// Referenced only to keep the doc link above honest.
+#[allow(dead_code)]
+fn _doc_anchor(_: &MemorySides, _: LineAddr) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use redcache_policies::PolicyKind;
+    use redcache_workloads::{synthetic, GenConfig, Workload};
+
+    fn tiny_traces() -> ThreadTraces {
+        synthetic::generate(&synthetic::SyntheticSpec::mixed(), &GenConfig::tiny())
+    }
+
+    #[test]
+    fn alloy_runs_clean_on_synthetic() {
+        let r = Simulator::new(SimConfig::quick(PolicyKind::Alloy)).run(tiny_traces());
+        assert!(r.cycles > 0);
+        assert!(r.instructions > 0);
+        assert_eq!(r.shadow_violations, 0);
+        assert!(r.mem_reads > 0);
+        assert!(r.hbm.is_some());
+    }
+
+    #[test]
+    fn all_policies_run_clean_on_hist() {
+        let traces = Workload::Hist.generate(&GenConfig::tiny());
+        for kind in [
+            PolicyKind::NoHbm,
+            PolicyKind::Ideal,
+            PolicyKind::Alloy,
+            PolicyKind::Bear,
+            PolicyKind::Red(crate::RedVariant::Full),
+        ] {
+            let r = Simulator::new(SimConfig::quick(kind)).run(traces.clone());
+            assert_eq!(r.shadow_violations, 0, "{kind:?} served stale data");
+            assert!(r.cycles > 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn ideal_is_fastest_nohbm_touches_no_wideio() {
+        let traces = tiny_traces();
+        let ideal = Simulator::new(SimConfig::quick(PolicyKind::Ideal)).run(traces.clone());
+        let nohbm = Simulator::new(SimConfig::quick(PolicyKind::NoHbm)).run(traces.clone());
+        let alloy = Simulator::new(SimConfig::quick(PolicyKind::Alloy)).run(traces);
+        assert!(ideal.cycles <= nohbm.cycles, "IDEAL must not lose to No-HBM");
+        assert!(ideal.cycles <= alloy.cycles, "IDEAL must not lose to Alloy");
+        assert_eq!(nohbm.hbm, None);
+        assert_eq!(nohbm.transferred_bytes(), nohbm.ddr.bytes_total());
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let a = Simulator::new(SimConfig::quick(PolicyKind::Alloy)).run(tiny_traces());
+        let b = Simulator::new(SimConfig::quick(PolicyKind::Alloy)).run(tiny_traces());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.mem_reads, b.mem_reads);
+        assert_eq!(a.energy.total_j(), b.energy.total_j());
+    }
+
+    #[test]
+    fn run_workload_labels_report() {
+        let r = run_workload(
+            SimConfig::quick(PolicyKind::Alloy),
+            Workload::Lreg,
+            &GenConfig::tiny(),
+        );
+        assert_eq!(r.workload.as_deref(), Some("LREG"));
+    }
+}

@@ -1,0 +1,417 @@
+//! The ROB-occupancy out-of-order core model.
+//!
+//! Each core walks its trace in program order. Between memory accesses
+//! it charges `gap / issue_width` dispatch cycles. Loads enter an
+//! outstanding-load queue; the core keeps dispatching past them (memory
+//! level parallelism) until either
+//!
+//! * the **ROB window** fills — an instruction cannot dispatch while a
+//!   load more than `rob_size` instructions older is still in flight
+//!   (in-order retirement), or
+//! * the **outstanding-load budget** (per-core MSHRs) is exhausted.
+//!
+//! Stores never block dispatch (a write buffer is assumed), but they do
+//! traverse the cache hierarchy and consume memory bandwidth.
+
+use crate::trace::Access;
+use redcache_types::{Cycle, MemOp};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Core parameters (Table I: 4-issue, 256-entry ROB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Instructions dispatched (and retired) per cycle.
+    pub issue_width: u32,
+    /// Reorder-buffer capacity in instructions.
+    pub rob_size: u32,
+    /// Maximum loads in flight per core.
+    pub max_outstanding_loads: usize,
+}
+
+impl CoreConfig {
+    /// Table I: 4-issue, 256-entry ROB, 16 in-flight loads.
+    pub const fn table1() -> Self {
+        Self { issue_width: 4, rob_size: 256, max_outstanding_loads: 16 }
+    }
+}
+
+/// Identifies an in-flight load of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LoadToken(pub u64);
+
+/// What a core wants to do when polled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Poll {
+    /// Trace exhausted and all loads returned; the payload is the cycle
+    /// at which the core retired its last instruction.
+    Finished(Cycle),
+    /// Dispatch-limited: nothing to do before the given cycle.
+    NotYet(Cycle),
+    /// Blocked on memory (ROB window full or load budget exhausted).
+    WaitingMem,
+    /// The next access is ready to issue now.
+    Ready(Access),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    instr_no: u64,
+    done_at: Option<Cycle>,
+}
+
+/// One out-of-order core consuming a memory trace.
+#[derive(Debug)]
+pub struct Core {
+    cfg: CoreConfig,
+    trace: Vec<Access>,
+    idx: usize,
+    /// Cumulative instructions dispatched before `trace[idx]`.
+    instr_no: u64,
+    /// Earliest cycle the next access may dispatch (gap pacing).
+    dispatch_ready: Cycle,
+    /// Outstanding loads in program order.
+    in_flight: VecDeque<InFlight>,
+    /// Latest load completion seen (lower-bounds the finish time).
+    last_completion: Cycle,
+    next_token: u64,
+    loads_issued: u64,
+    stores_issued: u64,
+    stall_cycles_mem: Cycle,
+    last_poll: Cycle,
+}
+
+impl Core {
+    /// Creates a core that will execute `trace`.
+    pub fn new(cfg: CoreConfig, trace: Vec<Access>) -> Self {
+        assert!(cfg.issue_width > 0 && cfg.rob_size > 0, "degenerate core config");
+        assert!(cfg.max_outstanding_loads > 0, "need at least one outstanding load");
+        Self {
+            cfg,
+            trace,
+            idx: 0,
+            instr_no: 0,
+            dispatch_ready: 0,
+            in_flight: VecDeque::new(),
+            last_completion: 0,
+            next_token: 0,
+            loads_issued: 0,
+            stores_issued: 0,
+            stall_cycles_mem: 0,
+            last_poll: 0,
+        }
+    }
+
+    fn incomplete_loads(&self) -> usize {
+        self.in_flight.iter().filter(|l| l.done_at.is_none()).count()
+    }
+
+    /// Retires completed loads that have left the ROB window for the
+    /// instruction numbered `upto`, returning the latest completion time
+    /// among them, or `None` if an incomplete load blocks the window.
+    fn rob_constraint(&mut self, upto: u64) -> Result<Cycle, ()> {
+        let window_floor = upto.saturating_sub(self.cfg.rob_size as u64);
+        let mut latest = 0;
+        while let Some(front) = self.in_flight.front() {
+            if front.instr_no >= window_floor {
+                break;
+            }
+            match front.done_at {
+                Some(t) => {
+                    latest = latest.max(t);
+                    self.in_flight.pop_front();
+                }
+                None => return Err(()), // in-order retire blocked
+            }
+        }
+        Ok(latest)
+    }
+
+    /// Asks the core what it wants to do at cycle `now`.
+    pub fn poll(&mut self, now: Cycle) -> Poll {
+        if now > self.last_poll {
+            self.last_poll = now;
+        }
+        if self.idx >= self.trace.len() {
+            if self.incomplete_loads() > 0 {
+                return Poll::WaitingMem;
+            }
+            let fin = self.dispatch_ready.max(self.last_completion);
+            return Poll::Finished(fin);
+        }
+        let a = self.trace[self.idx];
+        let this_instr = self.instr_no + a.gap as u64 + 1;
+        // Gap pacing.
+        let pace = (a.gap as u64 + 1).div_ceil(self.cfg.issue_width as u64);
+        let mut earliest = self.dispatch_ready + pace;
+        // ROB window.
+        match self.rob_constraint(this_instr) {
+            Ok(t) => earliest = earliest.max(t),
+            Err(()) => {
+                self.stall_cycles_mem += 1;
+                return Poll::WaitingMem;
+            }
+        }
+        // Outstanding-load budget (loads only).
+        if a.op == MemOp::Load && self.incomplete_loads() >= self.cfg.max_outstanding_loads {
+            self.stall_cycles_mem += 1;
+            return Poll::WaitingMem;
+        }
+        if earliest > now {
+            return Poll::NotYet(earliest);
+        }
+        Poll::Ready(a)
+    }
+
+    fn consume(&mut self, now: Cycle) -> Access {
+        let a = self.trace[self.idx];
+        self.idx += 1;
+        self.instr_no += a.gap as u64 + 1;
+        self.dispatch_ready = now;
+        a
+    }
+
+    /// Commits the polled access as a cache hit with total `latency`.
+    /// Loads complete at `now + latency`; stores retire immediately.
+    pub fn commit_hit(&mut self, now: Cycle, latency: Cycle) {
+        let a = self.consume(now);
+        match a.op {
+            MemOp::Load => {
+                self.loads_issued += 1;
+                let done = now + latency;
+                self.last_completion = self.last_completion.max(done);
+                self.in_flight.push_back(InFlight { instr_no: self.instr_no, done_at: Some(done) });
+            }
+            MemOp::Store => self.stores_issued += 1,
+        }
+    }
+
+    /// Commits the polled access as a load miss going to memory.
+    /// Returns the token to pass back via [`Core::complete_load`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polled access was a store (use
+    /// [`Core::commit_store_miss`]).
+    pub fn commit_load_miss(&mut self, now: Cycle) -> LoadToken {
+        let a = self.consume(now);
+        assert!(a.op == MemOp::Load, "commit_load_miss on a store");
+        self.loads_issued += 1;
+        let tok = LoadToken(self.next_token);
+        self.next_token += 1;
+        self.in_flight.push_back(InFlight { instr_no: self.instr_no, done_at: None });
+        tok
+    }
+
+    /// Commits the polled access as a store miss (write-allocate fetch
+    /// happens below; the core does not wait).
+    pub fn commit_store_miss(&mut self, now: Cycle) {
+        let a = self.consume(now);
+        assert!(a.op == MemOp::Store, "commit_store_miss on a load");
+        self.stores_issued += 1;
+    }
+
+    /// Signals that the load identified by `token` received its data.
+    ///
+    /// Tokens are issued in order, and in-flight entries retire from the
+    /// front, so the `n`-th incomplete entry matches the `n`-th
+    /// outstanding token.
+    pub fn complete_load(&mut self, token: LoadToken, now: Cycle) {
+        // Tokens count all misses ever issued; incomplete entries hold
+        // the still-pending suffix. Find the oldest incomplete entry —
+        // misses complete the oldest matching token first is NOT
+        // guaranteed by memory, so we track by matching issue order:
+        // the k-th incomplete entry corresponds to the k-th outstanding
+        // token in issue order. We therefore search by token age.
+        let _ = token;
+        if let Some(e) = self.in_flight.iter_mut().find(|l| l.done_at.is_none()) {
+            e.done_at = Some(now);
+            self.last_completion = self.last_completion.max(now);
+        }
+    }
+
+    /// Loads issued so far.
+    pub fn loads_issued(&self) -> u64 {
+        self.loads_issued
+    }
+
+    /// Stores issued so far.
+    pub fn stores_issued(&self) -> u64 {
+        self.stores_issued
+    }
+
+    /// Instructions represented by the consumed prefix of the trace.
+    pub fn instructions_dispatched(&self) -> u64 {
+        self.instr_no
+    }
+
+    /// Cycles spent blocked on memory.
+    pub fn mem_stall_cycles(&self) -> Cycle {
+        self.stall_cycles_mem
+    }
+
+    /// True once the trace is exhausted and all loads returned.
+    pub fn finished(&mut self, now: Cycle) -> bool {
+        matches!(self.poll(now), Poll::Finished(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcache_types::PhysAddr;
+
+    fn load(addr: u64, gap: u32) -> Access {
+        Access { op: MemOp::Load, addr: PhysAddr::new(addr), gap }
+    }
+
+    fn store(addr: u64, gap: u32) -> Access {
+        Access { op: MemOp::Store, addr: PhysAddr::new(addr), gap }
+    }
+
+    fn cfg() -> CoreConfig {
+        CoreConfig { issue_width: 4, rob_size: 8, max_outstanding_loads: 2 }
+    }
+
+    #[test]
+    fn empty_trace_finishes_immediately() {
+        let mut c = Core::new(cfg(), vec![]);
+        assert_eq!(c.poll(0), Poll::Finished(0));
+    }
+
+    #[test]
+    fn gap_paces_dispatch() {
+        let mut c = Core::new(cfg(), vec![load(0, 15)]);
+        // (15 + 1) / 4 = 4 cycles of dispatch before the load.
+        assert_eq!(c.poll(0), Poll::NotYet(4));
+        assert!(matches!(c.poll(4), Poll::Ready(_)));
+    }
+
+    #[test]
+    fn hit_latency_delays_finish() {
+        let mut c = Core::new(cfg(), vec![load(0, 0)]);
+        assert!(matches!(c.poll(1), Poll::Ready(_)));
+        c.commit_hit(1, 10);
+        assert_eq!(c.poll(100), Poll::Finished(11));
+    }
+
+    #[test]
+    fn mlp_overlaps_up_to_budget() {
+        let mut c = Core::new(cfg(), vec![load(0, 0), load(64, 0), load(128, 0)]);
+        assert!(matches!(c.poll(1), Poll::Ready(_)));
+        let t0 = c.commit_load_miss(1);
+        assert!(matches!(c.poll(2), Poll::Ready(_)));
+        let _t1 = c.commit_load_miss(2);
+        // Budget (2) exhausted: third load must wait.
+        assert_eq!(c.poll(3), Poll::WaitingMem);
+        c.complete_load(t0, 50);
+        assert!(matches!(c.poll(50), Poll::Ready(_)));
+    }
+
+    #[test]
+    fn rob_window_blocks_distant_dispatch() {
+        // rob_size 8: after a miss, at most 8 more instructions can
+        // dispatch before stalling on it.
+        let trace = vec![load(0, 0), store(64, 5), store(128, 5)];
+        let mut c = Core::new(cfg(), trace);
+        assert!(matches!(c.poll(1), Poll::Ready(_)));
+        let tok = c.commit_load_miss(1);
+        // store at instr ~7 dispatches fine.
+        loop {
+            match c.poll(10) {
+                Poll::Ready(a) => {
+                    assert!(a.op.is_store());
+                    c.commit_hit(10, 1);
+                    break;
+                }
+                Poll::NotYet(_) => continue,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Second store is > 8 instructions past the pending load.
+        let mut saw_wait = false;
+        for now in 11..20 {
+            match c.poll(now) {
+                Poll::WaitingMem => {
+                    saw_wait = true;
+                    break;
+                }
+                Poll::NotYet(_) => continue,
+                Poll::Ready(_) => break,
+                Poll::Finished(_) => unreachable!(),
+            }
+        }
+        assert!(saw_wait, "ROB window should have blocked dispatch");
+        c.complete_load(tok, 30);
+        // Now it proceeds and finishes.
+        let mut now = 30;
+        loop {
+            match c.poll(now) {
+                Poll::Ready(_) => {
+                    c.commit_hit(now, 1);
+                }
+                Poll::NotYet(t) => now = t,
+                Poll::Finished(_) => break,
+                Poll::WaitingMem => panic!("still blocked after completion"),
+            }
+        }
+    }
+
+    #[test]
+    fn stores_never_block_dispatch() {
+        let mut c = Core::new(cfg(), vec![store(0, 0), store(64, 0), store(128, 0)]);
+        let mut now = 0;
+        let mut issued = 0;
+        while issued < 3 {
+            match c.poll(now) {
+                Poll::Ready(_) => {
+                    c.commit_store_miss(now);
+                    issued += 1;
+                }
+                Poll::NotYet(t) => now = t,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(matches!(c.poll(now), Poll::Finished(_)));
+        assert_eq!(c.stores_issued(), 3);
+    }
+
+    #[test]
+    fn finish_time_accounts_for_late_memory() {
+        let mut c = Core::new(cfg(), vec![load(0, 0)]);
+        assert!(matches!(c.poll(1), Poll::Ready(_)));
+        let tok = c.commit_load_miss(1);
+        assert_eq!(c.poll(500), Poll::WaitingMem);
+        c.complete_load(tok, 700);
+        assert_eq!(c.poll(700), Poll::Finished(700));
+    }
+
+    #[test]
+    #[should_panic(expected = "on a store")]
+    fn load_miss_commit_on_store_panics() {
+        let mut c = Core::new(cfg(), vec![store(0, 0)]);
+        let _ = c.poll(1);
+        let _ = c.commit_load_miss(1);
+    }
+
+    #[test]
+    fn instruction_accounting() {
+        let mut c = Core::new(cfg(), vec![load(0, 9), store(64, 4)]);
+        let mut now = 0;
+        loop {
+            match c.poll(now) {
+                Poll::Ready(a) => {
+                    if a.op.is_store() {
+                        c.commit_store_miss(now)
+                    } else {
+                        c.commit_hit(now, 1)
+                    }
+                }
+                Poll::NotYet(t) => now = t,
+                Poll::Finished(_) => break,
+                Poll::WaitingMem => now += 1,
+            }
+        }
+        assert_eq!(c.instructions_dispatched(), 10 + 5);
+    }
+}

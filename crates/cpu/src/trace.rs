@@ -1,0 +1,95 @@
+//! Memory-access trace records emitted by workload generators.
+
+use redcache_types::{MemOp, PhysAddr, BLOCK_BYTES};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One memory access in a per-thread trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// Load or store.
+    pub op: MemOp,
+    /// Byte address accessed.
+    pub addr: PhysAddr,
+    /// Number of non-memory instructions executed since the previous
+    /// access (dispatch work between memory operations).
+    pub gap: u32,
+}
+
+/// Summary statistics of a trace, used by workload tests and the Fig. 3
+/// reuse profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Stores among them.
+    pub stores: u64,
+    /// Distinct 64 B lines touched.
+    pub footprint_lines: u64,
+    /// Total instructions (memory + gaps).
+    pub instructions: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics over a trace.
+    pub fn from_trace(trace: &[Access]) -> Self {
+        let mut lines = HashSet::new();
+        let mut stores = 0;
+        let mut instructions = 0u64;
+        for a in trace {
+            lines.insert(a.addr.line(BLOCK_BYTES));
+            if a.op.is_store() {
+                stores += 1;
+            }
+            instructions += a.gap as u64 + 1;
+        }
+        Self {
+            accesses: trace.len() as u64,
+            stores,
+            footprint_lines: lines.len() as u64,
+            instructions,
+        }
+    }
+
+    /// Footprint in bytes (64 B lines).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.footprint_lines * BLOCK_BYTES as u64
+    }
+
+    /// Store fraction of all accesses.
+    pub fn store_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.stores as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_count_footprint_and_stores() {
+        let t = vec![
+            Access { op: MemOp::Load, addr: PhysAddr::new(0), gap: 3 },
+            Access { op: MemOp::Store, addr: PhysAddr::new(32), gap: 0 },
+            Access { op: MemOp::Load, addr: PhysAddr::new(64), gap: 1 },
+        ];
+        let s = TraceStats::from_trace(&t);
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.footprint_lines, 2); // 0 and 32 share a line
+        assert_eq!(s.instructions, 3 + 4);
+        assert_eq!(s.footprint_bytes(), 128);
+        assert!((s.store_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = TraceStats::from_trace(&[]);
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.store_fraction(), 0.0);
+    }
+}

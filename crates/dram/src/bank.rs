@@ -1,0 +1,111 @@
+//! Per-bank and per-rank timing state machines.
+
+use redcache_types::Cycle;
+use std::collections::VecDeque;
+
+/// Timing state of one DRAM bank (open-page policy).
+///
+/// Rather than an explicit state enum, the bank tracks the earliest cycle
+/// at which each command class becomes legal; the scheduler consults
+/// these and the open-row register.
+#[derive(Debug, Clone)]
+pub(crate) struct Bank {
+    /// Currently open row, if any.
+    pub open_row: Option<u64>,
+    /// Earliest cycle an ACT may issue (tRC from last ACT, tRP from PRE).
+    pub ready_act: Cycle,
+    /// Earliest cycle a column command may issue (tRCD from ACT).
+    pub ready_col: Cycle,
+    /// Earliest cycle a PRE may issue (tRAS from ACT, tRTP from RD,
+    /// write recovery after WR).
+    pub ready_pre: Cycle,
+}
+
+impl Bank {
+    pub(crate) fn new() -> Self {
+        Self { open_row: None, ready_act: 0, ready_col: 0, ready_pre: 0 }
+    }
+}
+
+/// Timing state shared by all banks of one rank.
+#[derive(Debug, Clone)]
+pub(crate) struct Rank {
+    /// Issue times of recent ACTs, pruned to the tFAW window.
+    pub act_times: VecDeque<Cycle>,
+    /// Earliest next ACT anywhere in the rank (tRRD).
+    pub ready_act: Cycle,
+    /// Earliest next read command (end of write data + tWTR).
+    pub ready_read: Cycle,
+    /// Next scheduled refresh.
+    pub next_refresh: Cycle,
+    /// End of the refresh currently in progress (0 when none yet).
+    pub refreshing_until: Cycle,
+}
+
+impl Rank {
+    pub(crate) fn new(first_refresh: Cycle) -> Self {
+        Self {
+            act_times: VecDeque::with_capacity(4),
+            ready_act: 0,
+            ready_read: 0,
+            next_refresh: first_refresh,
+            refreshing_until: 0,
+        }
+    }
+
+    /// True while the rank is executing a refresh at `now`.
+    pub(crate) fn is_refreshing(&self, now: Cycle) -> bool {
+        now < self.refreshing_until
+    }
+
+    /// Drops ACT timestamps that left the tFAW window ending at `now`.
+    pub(crate) fn prune_faw(&mut self, now: Cycle, t_faw: Cycle) {
+        while let Some(&t) = self.act_times.front() {
+            if t + t_faw <= now {
+                self.act_times.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// True when a new ACT at `now` would keep at most four ACTs within
+    /// any tFAW window.
+    pub(crate) fn faw_allows_act(&mut self, now: Cycle, t_faw: Cycle) -> bool {
+        self.prune_faw(now, t_faw);
+        self.act_times.len() < 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_bank_is_closed_and_ready() {
+        let b = Bank::new();
+        assert!(b.open_row.is_none());
+        assert_eq!(b.ready_act, 0);
+    }
+
+    #[test]
+    fn faw_limits_to_four_acts() {
+        let mut r = Rank::new(1000);
+        let t_faw = 181;
+        for i in 0..4 {
+            assert!(r.faw_allows_act(i * 10, t_faw));
+            r.act_times.push_back(i * 10);
+        }
+        assert!(!r.faw_allows_act(35, t_faw));
+        // After the first ACT (t=0) leaves the window the fifth is legal.
+        assert!(r.faw_allows_act(0 + t_faw, t_faw));
+    }
+
+    #[test]
+    fn refresh_window_reports_correctly() {
+        let mut r = Rank::new(0);
+        r.refreshing_until = 100;
+        assert!(r.is_refreshing(50));
+        assert!(!r.is_refreshing(100));
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-channel state: transaction queue, bank/rank arrays, data bus.
+
+use crate::bank::{Bank, Rank};
+use crate::system::{TxnId, TxnKind};
+use crate::topology::DramLoc;
+use redcache_types::Cycle;
+
+/// An in-flight transaction within a channel queue.
+#[derive(Debug, Clone)]
+pub(crate) struct Txn {
+    pub id: TxnId,
+    pub kind: TxnKind,
+    pub loc: DramLoc,
+    /// Column bursts still to issue (multi-burst for >64 B blocks).
+    pub bursts_left: u32,
+    /// Caller-supplied tag returned with the completion.
+    pub meta: u64,
+    pub enqueued_at: Cycle,
+    /// Completion time of the last issued burst (valid when
+    /// `bursts_left == 0`).
+    pub data_done_at: Cycle,
+}
+
+/// One DRAM channel: its queue, ranks/banks, and shared data bus.
+#[derive(Debug)]
+pub(crate) struct Channel {
+    pub ranks: Vec<Rank>,
+    /// `banks[rank][bank]`.
+    pub banks: Vec<Vec<Bank>>,
+    /// Pending transactions in arrival order.
+    pub queue: Vec<Txn>,
+    /// Cycle at which the data bus becomes free.
+    pub bus_free_at: Cycle,
+    /// Issue time of the last column command (channel-level tCCD guard).
+    pub last_col_cmd: Option<Cycle>,
+    /// Kind of the last column command, for turnaround stats.
+    pub last_col_kind: Option<TxnKind>,
+    /// Write transactions still queued (for the write-drain watermark).
+    pub pending_writes: usize,
+    /// Currently batching writes (virtual-write-queue hysteresis).
+    pub write_drain_mode: bool,
+}
+
+impl Channel {
+    pub(crate) fn new(ranks: usize, banks: usize, first_refresh_stagger: Cycle) -> Self {
+        Self {
+            // Stagger initial refreshes across ranks so they do not all
+            // fire in the same cycle (as real controllers do).
+            ranks: (0..ranks).map(|r| Rank::new(first_refresh_stagger * (r as Cycle + 1))).collect(),
+            banks: (0..ranks).map(|_| (0..banks).map(|_| Bank::new()).collect()).collect(),
+            queue: Vec::new(),
+            bus_free_at: 0,
+            last_col_cmd: None,
+            last_col_kind: None,
+            pending_writes: 0,
+            write_drain_mode: false,
+        }
+    }
+
+    pub(crate) fn bank(&self, loc: &DramLoc) -> &Bank {
+        &self.banks[loc.rank][loc.bank]
+    }
+
+    pub(crate) fn bank_mut(&mut self, loc: &DramLoc) -> &mut Bank {
+        &mut self.banks[loc.rank][loc.bank]
+    }
+
+    /// True when another queued transaction (other than `except`) targets
+    /// the same bank row that is currently open — used to avoid closing
+    /// rows that still have row-hit work pending. Scans the same bounded
+    /// window the scheduler sees.
+    pub(crate) fn row_has_pending_hits(&self, loc: &DramLoc, except: TxnId) -> bool {
+        let open = self.bank(loc).open_row;
+        match open {
+            None => false,
+            Some(row) => self
+                .queue
+                .iter()
+                .take(32)
+                .any(|t| t.id != except && t.bursts_left > 0 && t.loc.same_bank(loc) && t.loc.row == row),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(rank: usize, bank: usize, row: u64) -> DramLoc {
+        DramLoc { channel: 0, rank, bank, row, col: 0 }
+    }
+
+    #[test]
+    fn refresh_staggering_differs_across_ranks() {
+        let ch = Channel::new(4, 2, 100);
+        assert_eq!(ch.ranks[0].next_refresh, 100);
+        assert_eq!(ch.ranks[3].next_refresh, 400);
+    }
+
+    #[test]
+    fn row_hit_detection_scans_queue() {
+        let mut ch = Channel::new(1, 1, 1000);
+        ch.banks[0][0].open_row = Some(5);
+        ch.queue.push(Txn {
+            id: TxnId(1),
+            kind: TxnKind::Read,
+            loc: loc(0, 0, 5),
+            bursts_left: 1,
+            meta: 0,
+            enqueued_at: 0,
+            data_done_at: 0,
+        });
+        assert!(ch.row_has_pending_hits(&loc(0, 0, 5), TxnId(9)));
+        assert!(!ch.row_has_pending_hits(&loc(0, 0, 5), TxnId(1)));
+        ch.banks[0][0].open_row = Some(7);
+        assert!(!ch.row_has_pending_hits(&loc(0, 0, 7), TxnId(9)));
+    }
+}

@@ -1,0 +1,108 @@
+//! Whole-system DRAM configuration and the Table I presets.
+
+use crate::timing::TimingParams;
+use crate::topology::{AddressMapping, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one DRAM system (one memory interface).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Physical organisation.
+    pub topology: Topology,
+    /// Timing constraint set.
+    pub timing: TimingParams,
+    /// Physical-address bit mapping.
+    pub mapping: AddressMapping,
+    /// Enable periodic per-rank refresh.
+    pub refresh_enabled: bool,
+    /// Maximum transactions queued per channel before `enqueue` reports
+    /// back-pressure.
+    pub queue_depth: usize,
+}
+
+impl DramConfig {
+    /// The in-package WideIO/HBM DRAM cache of Table I: 2 GB, 4 channels,
+    /// 8 ranks/channel, 16 banks, 128-bit bus (64 B + tag per burst).
+    pub fn wideio_table1() -> Self {
+        Self {
+            topology: Topology::from_capacity(4, 8, 16, 2048, 64, 2u64 << 30),
+            timing: TimingParams::wideio_table1(),
+            mapping: AddressMapping::default(),
+            refresh_enabled: true,
+            queue_depth: 32,
+        }
+    }
+
+    /// The off-chip DDR4 main memory of Table I: 32 GB, 2 channels,
+    /// 2 ranks/channel, 8 banks/rank, 64-bit bus.
+    pub fn ddr4_table1() -> Self {
+        Self {
+            topology: Topology::from_capacity(2, 2, 8, 8192, 64, 32u64 << 30),
+            timing: TimingParams::ddr4_table1(),
+            mapping: AddressMapping::default(),
+            refresh_enabled: true,
+            queue_depth: 32,
+        }
+    }
+
+    /// A scaled-capacity WideIO cache preserving Table I organisation and
+    /// timing; used by the "scaled" simulation preset (see DESIGN.md §1).
+    pub fn wideio_scaled(capacity_bytes: u64) -> Self {
+        let mut c = Self::wideio_table1();
+        c.topology = Topology::from_capacity(4, 8, 16, 2048, 64, capacity_bytes);
+        c
+    }
+
+    /// A scaled-capacity DDR4 main memory (address space shrunk, timing
+    /// and organisation unchanged).
+    pub fn ddr4_scaled(capacity_bytes: u64) -> Self {
+        let mut c = Self::ddr4_table1();
+        c.topology = Topology::from_capacity(2, 2, 8, 8192, 64, capacity_bytes);
+        c
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found (invalid
+    /// timing, zero queue depth, burst larger than a row).
+    pub fn validate(&self) -> Result<(), String> {
+        self.timing.validate()?;
+        if self.queue_depth == 0 {
+            return Err("queue_depth must be nonzero".into());
+        }
+        if self.topology.bytes_per_burst > self.topology.row_bytes {
+            return Err("bytes_per_burst cannot exceed row_bytes".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        DramConfig::wideio_table1().validate().unwrap();
+        DramConfig::ddr4_table1().validate().unwrap();
+        DramConfig::wideio_scaled(32 << 20).validate().unwrap();
+        DramConfig::ddr4_scaled(1 << 30).validate().unwrap();
+    }
+
+    #[test]
+    fn table1_capacities() {
+        assert_eq!(DramConfig::wideio_table1().topology.capacity_bytes(), 2u64 << 30);
+        assert_eq!(DramConfig::ddr4_table1().topology.capacity_bytes(), 32u64 << 30);
+    }
+
+    #[test]
+    fn scaled_preserves_organisation() {
+        let c = DramConfig::wideio_scaled(32 << 20);
+        assert_eq!(c.topology.channels, 4);
+        assert_eq!(c.topology.ranks, 8);
+        assert_eq!(c.topology.banks, 16);
+        assert_eq!(c.topology.capacity_bytes(), 32 << 20);
+    }
+}

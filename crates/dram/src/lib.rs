@@ -1,0 +1,57 @@
+//! Cycle-level DRAM model for the RedCache reproduction.
+//!
+//! Models both DRAM interfaces of the evaluated system (Table I of the
+//! paper):
+//!
+//! * the in-package **WideIO / HBM** DRAM cache — 4 channels × 128 bits,
+//!   8 ranks and 16 banks per channel, 1600 MHz DDR4 timing;
+//! * the off-chip **DDR4** main memory — 2 channels × 64 bits, 2 ranks
+//!   per channel, 8 banks per rank.
+//!
+//! The model is command-accurate: every read/write transaction is
+//! decomposed into `ACT`/`RD`/`WR`/`PRE` commands scheduled FR-FCFS under
+//! the full Table I timing constraint set (tRCD, tCAS, tCCD, tWTR, tWR,
+//! tRTP, tBL, tCWD, tRP, tRRD, tRAS, tRC, tFAW), an open-page row-buffer
+//! policy, per-rank all-bank refresh (tREFI/tRFC), and a shared per-channel
+//! data bus with read↔write turnaround effects. All times are in CPU
+//! cycles at 3.2 GHz, exactly as Table I expresses them; commands issue on
+//! the 1600 MHz command clock (every second CPU cycle).
+//!
+//! Energy is accounted per event (ACT/PRE pair, RD/WR burst, refresh) plus
+//! background time so the `redcache-energy` crate can weight the counts
+//! with per-technology constants.
+//!
+//! # Example
+//!
+//! ```
+//! use redcache_dram::{DramConfig, DramSystem, TxnKind};
+//! use redcache_types::PhysAddr;
+//!
+//! let mut dram = DramSystem::new(DramConfig::ddr4_table1());
+//! let txn = dram.enqueue(PhysAddr::new(0x40), TxnKind::Read, 7, 1, 0);
+//! let mut now = 0;
+//! while dram.pending() > 0 {
+//!     dram.tick(now);
+//!     now += 1;
+//! }
+//! let done = dram.drain_completions();
+//! assert_eq!(done[0].txn, txn);
+//! assert_eq!(done[0].meta, 7);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bank;
+mod channel;
+mod config;
+mod scheduler;
+mod stats;
+mod system;
+mod timing;
+mod topology;
+
+pub use config::DramConfig;
+pub use stats::{DramEnergyEvents, DramStats};
+pub use system::{Completion, DramSystem, IssuedCmd, IssuedKind, TxnId, TxnKind};
+pub use timing::TimingParams;
+pub use topology::{AddressMapping, DramLoc, Topology};

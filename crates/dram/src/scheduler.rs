@@ -1,0 +1,468 @@
+//! FR-FCFS command scheduling for one channel.
+//!
+//! Each command slot (one per DRAM command cycle), the scheduler:
+//!
+//! 1. starts any due per-rank refresh whose banks are quiescent,
+//! 2. issues the column command of the oldest *row-hit* transaction that
+//!    is legal right now (first-ready), else
+//! 3. issues the next preparatory command (PRE or ACT) for the oldest
+//!    transaction that can make progress (FCFS).
+//!
+//! Legality enforces the full Table I constraint set; data-bus occupancy
+//! and the write→read tWTR turnaround give the asymmetric read/write
+//! costs that RedCache's RCU manager is designed around.
+
+use crate::bank::Rank;
+use crate::channel::{Channel, Txn};
+use crate::stats::DramStats;
+use crate::system::{IssuedCmd, IssuedKind, TxnKind};
+use crate::timing::TimingParams;
+use redcache_types::Cycle;
+
+/// Outcome of one scheduling slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SlotOutcome {
+    /// No command issued.
+    Idle,
+    /// A command was issued.
+    Issued(IssuedKind),
+}
+
+/// Transactions visible to the scheduler per slot. Real controllers
+/// schedule over a bounded associative queue (Table I-era parts use
+/// 32-entry transaction queues); bounding the scan also keeps the
+/// scheduler O(window²) instead of O(queue²).
+const SCHED_WINDOW: usize = 32;
+
+/// Write-drain watermarks (virtual-write-queue behaviour, paper ref
+/// [13]): reads have priority; writes are batched once this many are
+/// queued and drained down to the low mark, amortising the read↔write
+/// bus turnaround.
+const WRITE_DRAIN_HIGH: usize = 12;
+const WRITE_DRAIN_LOW: usize = 2;
+
+fn rank_refresh_due(rank: &Rank, now: Cycle) -> bool {
+    now >= rank.next_refresh && !rank.is_refreshing(now)
+}
+
+/// Attempts to begin refresh on due ranks. A refresh waits until every
+/// bank in the rank can be precharged (no write recovery pending) and no
+/// read data is still owed from the rank.
+pub(crate) fn service_refresh(
+    ch: &mut Channel,
+    t: &TimingParams,
+    now: Cycle,
+    stats: &mut DramStats,
+    issued: &mut Vec<IssuedCmd>,
+) {
+    for r in 0..ch.ranks.len() {
+        if !rank_refresh_due(&ch.ranks[r], now) {
+            continue;
+        }
+        let quiescent = ch.banks[r].iter().all(|b| b.ready_pre <= now)
+            && !ch.queue.iter().any(|txn| txn.loc.rank == r && txn.bursts_left < burst_total_hint(txn));
+        if !quiescent {
+            continue; // postponed; retried next slot
+        }
+        // Close all open rows (a PREA before REF, counted as precharges)
+        // and block the rank.
+        let mut closed = 0;
+        for (bi, b) in ch.banks[r].iter_mut().enumerate() {
+            if let Some(row) = b.open_row.take() {
+                closed += 1;
+                issued.push(IssuedCmd {
+                    kind: IssuedKind::Precharge,
+                    loc: crate::topology::DramLoc { channel: 0, rank: r, bank: bi, row, col: 0 },
+                    cycle: now,
+                });
+            }
+        }
+        let until = now + t.t_rfc;
+        for b in ch.banks[r].iter_mut() {
+            b.ready_act = b.ready_act.max(until);
+            b.ready_col = b.ready_col.max(until);
+            b.ready_pre = b.ready_pre.max(until);
+        }
+        let rank = &mut ch.ranks[r];
+        rank.refreshing_until = until;
+        rank.next_refresh += t.t_refi;
+        stats.energy.refreshes += 1;
+        stats.energy.pres += closed;
+    }
+}
+
+/// A transaction that has issued at least one burst is considered to own
+/// its row until finished; refresh must not tear the row down under it.
+fn burst_total_hint(txn: &Txn) -> u32 {
+    // Transactions record only `bursts_left`; treat any partially issued
+    // transaction (tracked by the caller via data_done_at) as in-flight.
+    if txn.data_done_at > 0 && txn.bursts_left > 0 {
+        txn.bursts_left + 1 // partially issued
+    } else {
+        txn.bursts_left
+    }
+}
+
+fn col_cmd_legal(ch: &Channel, t: &TimingParams, txn: &Txn, now: Cycle) -> bool {
+    let bank = ch.bank(&txn.loc);
+    if bank.open_row != Some(txn.loc.row) || now < bank.ready_col {
+        return false;
+    }
+    if let Some(last) = ch.last_col_cmd {
+        if now < last + t.t_ccd {
+            return false;
+        }
+    }
+    let rank = &ch.ranks[txn.loc.rank];
+    if rank.is_refreshing(now) {
+        return false;
+    }
+    match txn.kind {
+        TxnKind::Read => {
+            if now < rank.ready_read {
+                return false; // tWTR after write data
+            }
+            now + t.t_cas >= ch.bus_free_at
+        }
+        TxnKind::Write => now + t.t_cwd >= ch.bus_free_at,
+    }
+}
+
+fn issue_col_cmd(
+    ch: &mut Channel,
+    t: &TimingParams,
+    idx: usize,
+    now: Cycle,
+    bytes_per_burst: usize,
+    stats: &mut DramStats,
+) -> IssuedCmd {
+    let (kind, loc) = {
+        let txn = &ch.queue[idx];
+        (txn.kind, txn.loc)
+    };
+    let (data_start, issued_kind) = match kind {
+        TxnKind::Read => (now + t.t_cas, IssuedKind::Read),
+        TxnKind::Write => (now + t.t_cwd, IssuedKind::Write),
+    };
+    let data_end = data_start + t.t_bl;
+    ch.bus_free_at = data_end;
+    ch.last_col_cmd = Some(now);
+    ch.last_col_kind = Some(kind);
+    {
+        let bank = ch.bank_mut(&loc);
+        match kind {
+            TxnKind::Read => bank.ready_pre = bank.ready_pre.max(now + t.t_rtp),
+            TxnKind::Write => bank.ready_pre = bank.ready_pre.max(data_end + t.t_wr),
+        }
+    }
+    if kind == TxnKind::Write {
+        let rank = &mut ch.ranks[loc.rank];
+        rank.ready_read = rank.ready_read.max(data_end + t.t_wtr);
+    }
+    match kind {
+        TxnKind::Read => {
+            stats.energy.rd_bursts += 1;
+            stats.bytes_read += bytes_per_burst as u64;
+        }
+        TxnKind::Write => {
+            stats.energy.wr_bursts += 1;
+            stats.bytes_written += bytes_per_burst as u64;
+        }
+    }
+    stats.col_cmds += 1;
+    stats.bus_busy_cycles += t.t_bl;
+    let txn = &mut ch.queue[idx];
+    txn.bursts_left -= 1;
+    txn.data_done_at = data_end;
+    IssuedCmd { kind: issued_kind, loc, cycle: now }
+}
+
+fn act_legal(ch: &mut Channel, t: &TimingParams, txn_loc: &crate::topology::DramLoc, now: Cycle) -> bool {
+    let rank_idx = txn_loc.rank;
+    if ch.ranks[rank_idx].is_refreshing(now) || now < ch.ranks[rank_idx].ready_act {
+        return false;
+    }
+    if !ch.ranks[rank_idx].faw_allows_act(now, t.t_faw) {
+        return false;
+    }
+    let bank = ch.bank(txn_loc);
+    bank.open_row.is_none() && now >= bank.ready_act
+}
+
+fn issue_act(ch: &mut Channel, t: &TimingParams, loc: &crate::topology::DramLoc, now: Cycle, stats: &mut DramStats) -> IssuedCmd {
+    {
+        let bank = ch.bank_mut(loc);
+        bank.open_row = Some(loc.row);
+        bank.ready_col = now + t.t_rcd;
+        bank.ready_pre = now + t.t_ras;
+        bank.ready_act = now + t.t_rc;
+    }
+    let rank = &mut ch.ranks[loc.rank];
+    rank.ready_act = rank.ready_act.max(now + t.t_rrd);
+    rank.act_times.push_back(now);
+    stats.energy.acts += 1;
+    stats.demand_acts += 1;
+    IssuedCmd { kind: IssuedKind::Activate, loc: *loc, cycle: now }
+}
+
+fn issue_pre(ch: &mut Channel, t: &TimingParams, loc: &crate::topology::DramLoc, now: Cycle, stats: &mut DramStats) -> IssuedCmd {
+    {
+        let bank = ch.bank_mut(loc);
+        bank.open_row = None;
+        bank.ready_act = bank.ready_act.max(now + t.t_rp);
+    }
+    stats.energy.pres += 1;
+    IssuedCmd { kind: IssuedKind::Precharge, loc: *loc, cycle: now }
+}
+
+/// Runs one command slot on channel `chan_idx`. Any issued commands
+/// (including refresh-forced precharges) are appended to `issued`.
+pub(crate) fn schedule_slot(
+    ch: &mut Channel,
+    chan_idx: usize,
+    t: &TimingParams,
+    now: Cycle,
+    bytes_per_burst: usize,
+    stats: &mut DramStats,
+    issued: &mut Vec<IssuedCmd>,
+) -> SlotOutcome {
+    let refresh_mark = issued.len();
+    service_refresh(ch, t, now, stats, issued);
+    for cmd in issued[refresh_mark..].iter_mut() {
+        cmd.loc.channel = chan_idx;
+    }
+
+    // Write-drain hysteresis: enter batching above the high watermark,
+    // leave below the low one.
+    if ch.pending_writes >= WRITE_DRAIN_HIGH {
+        ch.write_drain_mode = true;
+    } else if ch.pending_writes <= WRITE_DRAIN_LOW {
+        ch.write_drain_mode = false;
+    }
+    let window = ch.queue.len().min(SCHED_WINDOW);
+
+    // Pass 1: oldest legal column command — reads first; writes fall to
+    // second priority unless the channel is in write-drain mode. A write
+    // still issues whenever no read column is ready this slot (the bus
+    // would otherwise idle), which also guarantees forward progress for
+    // rows held open by deferred writes.
+    let mut read_idx = None;
+    let mut write_idx = None;
+    for (i, txn) in ch.queue.iter().take(SCHED_WINDOW).enumerate() {
+        if txn.bursts_left == 0 {
+            continue;
+        }
+        let slot = match txn.kind {
+            TxnKind::Read => &mut read_idx,
+            TxnKind::Write => &mut write_idx,
+        };
+        if slot.is_none() && col_cmd_legal(ch, t, txn, now) {
+            *slot = Some(i);
+        }
+        if read_idx.is_some() && write_idx.is_some() {
+            break;
+        }
+    }
+    let pick = if ch.write_drain_mode { write_idx.or(read_idx) } else { read_idx.or(write_idx) };
+    if let Some(i) = pick {
+        let cmd = issue_col_cmd(ch, t, i, now, bytes_per_burst, stats);
+        issued.push(cmd);
+        return SlotOutcome::Issued(cmd.kind);
+    }
+
+    // Pass 2: oldest transaction that can take a preparatory step
+    // (ACT/PRE do not turn the data bus, so writes may prepare freely).
+    for i in 0..window {
+        let (loc, id, bursts_left) = {
+            let txn = &ch.queue[i];
+            (txn.loc, txn.id, txn.bursts_left)
+        };
+        if bursts_left == 0 {
+            continue;
+        }
+        let open = ch.bank(&loc).open_row;
+        match open {
+            None => {
+                if act_legal(ch, t, &loc, now) {
+                    let cmd = issue_act(ch, t, &loc, now, stats);
+                    issued.push(cmd);
+                    return SlotOutcome::Issued(cmd.kind);
+                }
+            }
+            Some(row) if row != loc.row => {
+                // Close the conflicting row only when no older queued
+                // transaction still hits it (FR-FCFS fairness).
+                let has_hits = ch.row_has_pending_hits(&loc, id);
+                let bank = ch.bank(&loc);
+                if !has_hits && now >= bank.ready_pre {
+                    let cmd = issue_pre(ch, t, &loc, now, stats);
+                    issued.push(cmd);
+                    return SlotOutcome::Issued(cmd.kind);
+                }
+            }
+            Some(_) => {} // row open, column not yet legal: wait
+        }
+    }
+    SlotOutcome::Idle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::TxnId;
+    use crate::topology::DramLoc;
+
+    fn mk_channel() -> Channel {
+        Channel::new(2, 4, 1_000_000) // refresh far away
+    }
+
+    fn t() -> TimingParams {
+        TimingParams::ddr4_table1()
+    }
+
+    fn push(ch: &mut Channel, id: u64, kind: TxnKind, rank: usize, bank: usize, row: u64, now: Cycle) {
+        ch.queue.push(Txn {
+            id: TxnId(id),
+            kind,
+            loc: DramLoc { channel: 0, rank, bank, row, col: 0 },
+            bursts_left: 1,
+            meta: 0,
+            enqueued_at: now,
+            data_done_at: 0,
+        });
+    }
+
+    fn run_until_issue(ch: &mut Channel, timing: &TimingParams, from: Cycle, stats: &mut DramStats) -> (Cycle, IssuedCmd) {
+        let mut now = from;
+        loop {
+            let mut issued = Vec::new();
+            let _ = schedule_slot(ch, 0, timing, now, 64, stats, &mut issued);
+            if let Some(c) = issued.last() {
+                return (now, *c);
+            }
+            now += timing.cmd_clock_divisor;
+            assert!(now < from + 1_000_000, "no command issued");
+        }
+    }
+
+    #[test]
+    fn closed_bank_gets_act_then_read_after_trcd() {
+        let mut ch = mk_channel();
+        let timing = t();
+        let mut stats = DramStats::default();
+        push(&mut ch, 1, TxnKind::Read, 0, 0, 3, 0);
+        let (t0, c0) = run_until_issue(&mut ch, &timing, 0, &mut stats);
+        assert_eq!(c0.kind, IssuedKind::Activate);
+        let (t1, c1) = run_until_issue(&mut ch, &timing, t0 + 2, &mut stats);
+        assert_eq!(c1.kind, IssuedKind::Read);
+        assert!(t1 >= t0 + timing.t_rcd, "read at {t1} violates tRCD after ACT at {t0}");
+    }
+
+    #[test]
+    fn row_conflict_precharges_first() {
+        let mut ch = mk_channel();
+        let timing = t();
+        let mut stats = DramStats::default();
+        ch.banks[0][0].open_row = Some(9);
+        push(&mut ch, 1, TxnKind::Read, 0, 0, 3, 0);
+        let (_, c0) = run_until_issue(&mut ch, &timing, 0, &mut stats);
+        assert_eq!(c0.kind, IssuedKind::Precharge);
+    }
+
+    #[test]
+    fn row_hit_bypasses_older_conflict() {
+        // FR-FCFS: a younger row-hit read issues before an older
+        // row-conflict read is served.
+        let mut ch = mk_channel();
+        let timing = t();
+        let mut stats = DramStats::default();
+        ch.banks[0][0].open_row = Some(5);
+        ch.banks[0][0].ready_col = 0;
+        push(&mut ch, 1, TxnKind::Read, 0, 1, 7, 0); // older, closed bank 1
+        push(&mut ch, 2, TxnKind::Read, 0, 0, 5, 0); // younger, open-row hit
+        let (_, c0) = run_until_issue(&mut ch, &timing, 0, &mut stats);
+        assert_eq!(c0.kind, IssuedKind::Read);
+        assert_eq!(c0.loc.bank, 0);
+    }
+
+    #[test]
+    fn write_then_read_same_rank_waits_twtr() {
+        let mut ch = mk_channel();
+        let timing = t();
+        let mut stats = DramStats::default();
+        ch.banks[0][0].open_row = Some(1);
+        ch.banks[0][1].open_row = Some(1);
+        // Write alone in the queue (no read waiting), so it issues…
+        push(&mut ch, 1, TxnKind::Write, 0, 0, 1, 0);
+        let (tw, cw) = run_until_issue(&mut ch, &timing, 0, &mut stats);
+        assert_eq!(cw.kind, IssuedKind::Write);
+        // …then a read to the same rank arrives and must honour tWTR.
+        push(&mut ch, 2, TxnKind::Read, 0, 1, 1, tw);
+        let write_data_end = tw + timing.t_cwd + timing.t_bl;
+        let (tr, cr) = run_until_issue(&mut ch, &timing, tw + 2, &mut stats);
+        assert_eq!(cr.kind, IssuedKind::Read);
+        assert!(
+            tr >= write_data_end + timing.t_wtr,
+            "read at {tr} violates tWTR (write data ends {write_data_end})"
+        );
+    }
+
+    #[test]
+    fn back_to_back_writes_same_row_cost_tccd() {
+        let mut ch = mk_channel();
+        let timing = TimingParams::wideio_table1();
+        let mut stats = DramStats::default();
+        ch.banks[0][0].open_row = Some(1);
+        push(&mut ch, 1, TxnKind::Write, 0, 0, 1, 0);
+        push(&mut ch, 2, TxnKind::Write, 0, 0, 1, 0);
+        let (t0, _) = run_until_issue(&mut ch, &timing, 0, &mut stats);
+        let (t1, c1) = run_until_issue(&mut ch, &timing, t0 + 2, &mut stats);
+        assert_eq!(c1.kind, IssuedKind::Write);
+        assert_eq!(t1 - t0, timing.t_ccd, "same-row write should follow at exactly tCCD");
+    }
+
+    #[test]
+    fn refresh_blocks_rank_for_trfc() {
+        let mut ch = Channel::new(1, 2, 10); // refresh due at cycle 10
+        let timing = t();
+        let mut stats = DramStats::default();
+        push(&mut ch, 1, TxnKind::Read, 0, 0, 3, 0);
+        // Advance past the refresh due time with an empty pipeline.
+        let (t_act, c) = run_until_issue(&mut ch, &timing, 10, &mut stats);
+        assert_eq!(c.kind, IssuedKind::Activate);
+        assert!(t_act >= 10 + timing.t_rfc, "ACT at {t_act} during refresh");
+        assert_eq!(stats.energy.refreshes, 1);
+    }
+
+    #[test]
+    fn faw_throttles_five_activates() {
+        let mut ch = mk_channel();
+        let timing = t();
+        let mut stats = DramStats::default();
+        for b in 0..4 {
+            push(&mut ch, b as u64, TxnKind::Read, 0, b, 1, 0);
+        }
+        // A fifth ACT must wait for the tFAW window even though its bank
+        // is free (banks 0..3 reused is a conflict, so use rank 0 bank 0
+        // row 2 after the others? simpler: five distinct banks needed).
+        let mut acts = Vec::new();
+        let mut now = 0;
+        while acts.len() < 4 {
+            let mut issued = Vec::new();
+            let _ = schedule_slot(&mut ch, 0, &timing, now, 64, &mut stats, &mut issued);
+            for c in issued {
+                if c.kind == IssuedKind::Activate {
+                    acts.push(now);
+                }
+            }
+            now += timing.cmd_clock_divisor;
+        }
+        // tRRD spacing between consecutive ACTs.
+        for w in acts.windows(2) {
+            assert!(w[1] - w[0] >= timing.t_rrd);
+        }
+        // Verify the tFAW window arithmetic on the rank state directly:
+        assert!(!ch.ranks[0].faw_allows_act(acts[3] + 1, timing.t_faw));
+        assert!(ch.ranks[0].faw_allows_act(acts[0] + timing.t_faw, timing.t_faw));
+    }
+}

@@ -1,0 +1,149 @@
+//! Event and bandwidth statistics for one DRAM system.
+
+use redcache_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Raw DRAM command-event counts, the inputs to the energy model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramEnergyEvents {
+    /// Row activations.
+    pub acts: u64,
+    /// Precharges (explicit; refresh-forced closes are counted too).
+    pub pres: u64,
+    /// Read bursts (one tBL data transfer each).
+    pub rd_bursts: u64,
+    /// Write bursts.
+    pub wr_bursts: u64,
+    /// Per-rank refresh operations.
+    pub refreshes: u64,
+}
+
+impl DramEnergyEvents {
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &DramEnergyEvents) {
+        self.acts += other.acts;
+        self.pres += other.pres;
+        self.rd_bursts += other.rd_bursts;
+        self.wr_bursts += other.wr_bursts;
+        self.refreshes += other.refreshes;
+    }
+}
+
+/// Aggregate statistics for one DRAM system over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Energy-relevant event counts.
+    pub energy: DramEnergyEvents,
+    /// Bytes moved from DRAM to the controller.
+    pub bytes_read: u64,
+    /// Bytes moved from the controller to DRAM.
+    pub bytes_written: u64,
+    /// Cycles during which any channel's data bus carried data
+    /// (summed over channels — the paper's "aggregate bandwidth").
+    pub bus_busy_cycles: u64,
+    /// Transactions completed.
+    pub txns_completed: u64,
+    /// Sum of enqueue-to-data-completion latencies.
+    pub latency_sum: Cycle,
+    /// Transactions enqueued.
+    pub txns_enqueued: u64,
+    /// Samples of "all channel queues empty" taken per command slot.
+    pub empty_slot_samples: u64,
+    /// Total command-slot samples.
+    pub slot_samples: u64,
+    /// Column (RD/WR) commands issued.
+    pub col_cmds: u64,
+    /// Demand activates (each one is a row miss for some transaction).
+    pub demand_acts: u64,
+}
+
+impl DramStats {
+    /// Total bytes moved in either direction.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Mean transaction latency in cycles, or 0.0 when nothing completed.
+    pub fn mean_latency(&self) -> f64 {
+        if self.txns_completed == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.txns_completed as f64
+        }
+    }
+
+    /// Fraction of command slots at which every queue was empty.
+    pub fn empty_queue_fraction(&self) -> f64 {
+        if self.slot_samples == 0 {
+            0.0
+        } else {
+            self.empty_slot_samples as f64 / self.slot_samples as f64
+        }
+    }
+
+    /// Row-buffer hit rate: the fraction of column commands that did not
+    /// require a fresh activate.
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.col_cmds == 0 {
+            0.0
+        } else {
+            1.0 - (self.demand_acts.min(self.col_cmds) as f64 / self.col_cmds as f64)
+        }
+    }
+
+    /// Data-bus utilisation over `channels` channels and `cycles` time.
+    pub fn bus_utilization(&self, channels: usize, cycles: u64) -> f64 {
+        if cycles == 0 || channels == 0 {
+            0.0
+        } else {
+            self.bus_busy_cycles as f64 / (channels as u64 * cycles) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_accumulate() {
+        let mut a = DramEnergyEvents { acts: 1, pres: 2, rd_bursts: 3, wr_bursts: 4, refreshes: 5 };
+        let b = a;
+        a.add(&b);
+        assert_eq!(a.acts, 2);
+        assert_eq!(a.refreshes, 10);
+    }
+
+    #[test]
+    fn mean_latency_handles_empty() {
+        let mut s = DramStats::default();
+        assert_eq!(s.mean_latency(), 0.0);
+        s.txns_completed = 2;
+        s.latency_sum = 100;
+        assert_eq!(s.mean_latency(), 50.0);
+    }
+
+    #[test]
+    fn byte_totals_sum_directions() {
+        let s = DramStats { bytes_read: 10, bytes_written: 5, ..Default::default() };
+        assert_eq!(s.bytes_total(), 15);
+    }
+
+    #[test]
+    fn row_hit_rate_derives_from_cols_and_acts() {
+        let s = DramStats { col_cmds: 10, demand_acts: 3, ..Default::default() };
+        assert!((s.row_hit_rate() - 0.7).abs() < 1e-12);
+        assert_eq!(DramStats::default().row_hit_rate(), 0.0);
+        // More ACTs than columns (multi-burst corner) clamps to 0.
+        let s = DramStats { col_cmds: 2, demand_acts: 5, ..Default::default() };
+        assert_eq!(s.row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn bus_utilization_normalises_by_channels_and_time() {
+        let s = DramStats { bus_busy_cycles: 500, ..Default::default() };
+        assert!((s.bus_utilization(2, 1000) - 0.25).abs() < 1e-12);
+        assert_eq!(s.bus_utilization(0, 1000), 0.0);
+        assert_eq!(s.bus_utilization(2, 0), 0.0);
+    }
+}

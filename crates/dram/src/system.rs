@@ -1,0 +1,453 @@
+//! The public DRAM-system facade: enqueue transactions, tick, drain
+//! completions.
+
+use crate::channel::{Channel, Txn};
+use crate::config::DramConfig;
+use crate::scheduler::schedule_slot;
+use crate::stats::DramStats;
+use crate::topology::{decode, DramLoc};
+use redcache_types::{Cycle, PhysAddr};
+use serde::{Deserialize, Serialize};
+
+/// Unique identifier of a DRAM transaction.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TxnId(pub u64);
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+/// Transaction direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxnKind {
+    /// DRAM-to-controller data movement.
+    Read,
+    /// Controller-to-DRAM data movement.
+    Write,
+}
+
+/// Command classes reported through [`DramSystem::take_issued_cmds`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IssuedKind {
+    /// Row activation.
+    Activate,
+    /// Row precharge.
+    Precharge,
+    /// Column read burst.
+    Read,
+    /// Column write burst.
+    Write,
+}
+
+/// A command issued by the scheduler, visible to controllers that snoop
+/// the command stream (the RCU manager's CAM match of §III.C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IssuedCmd {
+    /// Command class.
+    pub kind: IssuedKind,
+    /// Target location.
+    pub loc: DramLoc,
+    /// Issue cycle.
+    pub cycle: Cycle,
+}
+
+/// A finished transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The transaction that finished.
+    pub txn: TxnId,
+    /// Caller-supplied tag from `enqueue`.
+    pub meta: u64,
+    /// Cycle at which the last data beat left/entered the DRAM.
+    pub done_at: Cycle,
+    /// Direction of the finished transaction.
+    pub kind: TxnKind,
+}
+
+/// A complete DRAM system (one memory interface: all channels).
+///
+/// Drive it by calling [`DramSystem::tick`] every CPU cycle (work happens
+/// only on command-clock edges) and draining completions.
+#[derive(Debug)]
+pub struct DramSystem {
+    cfg: DramConfig,
+    channels: Vec<Channel>,
+    completions: Vec<Completion>,
+    issued_cmds: Vec<IssuedCmd>,
+    stats: DramStats,
+    next_txn: u64,
+    pending: usize,
+    record_cmds: bool,
+}
+
+impl DramSystem {
+    /// Builds a DRAM system from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`DramConfig::validate`].
+    pub fn new(cfg: DramConfig) -> Self {
+        cfg.validate().expect("invalid DRAM configuration");
+        let stagger = if cfg.refresh_enabled {
+            cfg.timing.t_refi / (cfg.topology.ranks as Cycle + 1)
+        } else {
+            Cycle::MAX / 4
+        };
+        let channels = (0..cfg.topology.channels)
+            .map(|_| Channel::new(cfg.topology.ranks, cfg.topology.banks, stagger))
+            .collect();
+        Self {
+            cfg,
+            channels,
+            completions: Vec::new(),
+            issued_cmds: Vec::new(),
+            stats: DramStats::default(),
+            next_txn: 0,
+            pending: 0,
+            record_cmds: false,
+        }
+    }
+
+    /// Enables (or disables) recording of issued commands for
+    /// [`DramSystem::take_issued_cmds`]. Off by default so callers that
+    /// never snoop the command stream pay nothing.
+    pub fn set_cmd_recording(&mut self, on: bool) {
+        self.record_cmds = on;
+        if !on {
+            self.issued_cmds.clear();
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Decodes `addr` to its channel/rank/bank/row/column location.
+    pub fn decode_addr(&self, addr: PhysAddr) -> DramLoc {
+        decode(&self.cfg.topology, self.cfg.mapping, addr)
+    }
+
+    /// Enqueues a transaction of `bursts` data bursts (1 for a 64 B
+    /// block on these channels; 2/4 for the 128 B/256 B granularity
+    /// sweep). `meta` is returned opaquely with the completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bursts == 0`.
+    pub fn enqueue(
+        &mut self,
+        addr: PhysAddr,
+        kind: TxnKind,
+        meta: u64,
+        bursts: u32,
+        now: Cycle,
+    ) -> TxnId {
+        assert!(bursts > 0, "a transaction needs at least one burst");
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let loc = self.decode_addr(addr);
+        if kind == TxnKind::Write {
+            self.channels[loc.channel].pending_writes += 1;
+        }
+        self.channels[loc.channel].queue.push(Txn {
+            id,
+            kind,
+            loc,
+            bursts_left: bursts,
+            meta,
+            enqueued_at: now,
+            data_done_at: 0,
+        });
+        self.stats.txns_enqueued += 1;
+        self.pending += 1;
+        id
+    }
+
+    /// Number of transactions not yet completed.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Number of transactions queued on the channel serving `addr`.
+    pub fn queue_len(&self, addr: PhysAddr) -> usize {
+        let loc = self.decode_addr(addr);
+        self.channels[loc.channel].queue.len()
+    }
+
+    /// True when every channel queue is empty (the RCU drain condition 2
+    /// of §III.C).
+    pub fn all_queues_empty(&self) -> bool {
+        self.channels.iter().all(|c| c.queue.is_empty())
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Queue length of one channel (per-channel RCU idle condition).
+    pub fn channel_queue_len(&self, channel: usize) -> usize {
+        self.channels[channel].queue.len()
+    }
+
+    /// Write transactions queued on one channel (a write batch is
+    /// forming when this approaches the drain watermark).
+    pub fn channel_pending_writes(&self, channel: usize) -> usize {
+        self.channels[channel].pending_writes
+    }
+
+    /// Cycles until the rank serving `addr` finishes its refresh
+    /// (0 when it is not refreshing).
+    pub fn rank_refresh_remaining(&self, addr: PhysAddr, now: Cycle) -> Cycle {
+        let loc = self.decode_addr(addr);
+        self.channels[loc.channel].ranks[loc.rank].refreshing_until.saturating_sub(now)
+    }
+
+    /// Charges a *free-riding* write burst: a tag/r-count update that
+    /// follows a just-issued write to the same open row at tCCD cost
+    /// (§III.C of the paper). No transaction is queued; the burst's bus
+    /// time and energy are charged and the bus reservation extended.
+    pub fn piggyback_write(&mut self, addr: PhysAddr, now: Cycle) {
+        let loc = self.decode_addr(addr);
+        let t = self.cfg.timing;
+        let ch = &mut self.channels[loc.channel];
+        let start = ch.bus_free_at.max(now + t.t_cwd);
+        ch.bus_free_at = start + t.t_bl;
+        let bank = &mut ch.banks[loc.rank][loc.bank];
+        bank.ready_pre = bank.ready_pre.max(ch.bus_free_at + t.t_wr);
+        ch.ranks[loc.rank].ready_read =
+            ch.ranks[loc.rank].ready_read.max(ch.bus_free_at + t.t_wtr);
+        self.stats.energy.wr_bursts += 1;
+        self.stats.bytes_written += self.cfg.topology.bytes_per_burst as u64;
+        self.stats.bus_busy_cycles += t.t_bl;
+    }
+
+    /// True when the rank serving `addr` is refreshing at `now`
+    /// (consulted by RedCache's refresh bypass).
+    pub fn is_rank_refreshing(&self, addr: PhysAddr, now: Cycle) -> bool {
+        let loc = self.decode_addr(addr);
+        self.channels[loc.channel].ranks[loc.rank].is_refreshing(now)
+    }
+
+    /// Advances the system to CPU cycle `now`. Call with monotonically
+    /// non-decreasing values; work happens on command-clock edges only.
+    pub fn tick(&mut self, now: Cycle) {
+        if now % self.cfg.timing.cmd_clock_divisor != 0 {
+            return;
+        }
+        let mut all_empty = true;
+        for ci in 0..self.channels.len() {
+            let ch = &mut self.channels[ci];
+            if !ch.queue.is_empty() {
+                all_empty = false;
+            }
+            let outcome = schedule_slot(
+                ch,
+                ci,
+                &self.cfg.timing,
+                now,
+                self.cfg.topology.bytes_per_burst,
+                &mut self.stats,
+                &mut self.issued_cmds,
+            );
+            // Harvest finished transactions. At most one transaction can
+            // complete per slot (one column command), and only when a
+            // column command was issued — keep the removal order-
+            // preserving so FR-FCFS age priority stays intact.
+            if matches!(
+                outcome,
+                crate::scheduler::SlotOutcome::Issued(IssuedKind::Read)
+                    | crate::scheduler::SlotOutcome::Issued(IssuedKind::Write)
+            ) {
+                if let Some(i) = ch.queue.iter().position(|t| t.bursts_left == 0) {
+                    let t = ch.queue.remove(i);
+                    if t.kind == TxnKind::Write {
+                        ch.pending_writes -= 1;
+                    }
+                    self.completions.push(Completion {
+                        txn: t.id,
+                        meta: t.meta,
+                        done_at: t.data_done_at,
+                        kind: t.kind,
+                    });
+                    self.stats.txns_completed += 1;
+                    self.stats.latency_sum += t.data_done_at.saturating_sub(t.enqueued_at);
+                    self.pending -= 1;
+                }
+            }
+        }
+        self.stats.slot_samples += 1;
+        if all_empty {
+            self.stats.empty_slot_samples += 1;
+        }
+        if !self.record_cmds {
+            self.issued_cmds.clear();
+        }
+    }
+
+    /// Removes and returns all completions accumulated so far.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Removes and returns the commands issued since the last call
+    /// (for controllers snooping the command stream).
+    pub fn take_issued_cmds(&mut self) -> Vec<IssuedCmd> {
+        std::mem::take(&mut self.issued_cmds)
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Zeroes all statistics (used at the warmup boundary, §IV.A:
+    /// measurement starts after the cache is warm). Device and queue
+    /// state are untouched.
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramConfig;
+
+    fn run_to_completion(dram: &mut DramSystem, start: Cycle) -> (Vec<Completion>, Cycle) {
+        let mut now = start;
+        while dram.pending() > 0 {
+            dram.tick(now);
+            now += 1;
+            assert!(now < start + 10_000_000, "DRAM deadlocked");
+        }
+        (dram.drain_completions(), now)
+    }
+
+    #[test]
+    fn single_read_completes_with_meta() {
+        let mut d = DramSystem::new(DramConfig::ddr4_table1());
+        let id = d.enqueue(PhysAddr::new(0x1000), TxnKind::Read, 42, 1, 0);
+        let (done, _) = run_to_completion(&mut d, 0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].txn, id);
+        assert_eq!(done[0].meta, 42);
+        assert_eq!(done[0].kind, TxnKind::Read);
+        // Cold access: ACT + RD, data ends at >= tRCD + tCAS + tBL.
+        let t = d.config().timing;
+        assert!(done[0].done_at >= t.t_rcd + t.t_cas + t.t_bl);
+        assert_eq!(d.stats().energy.acts, 1);
+        assert_eq!(d.stats().energy.rd_bursts, 1);
+        assert_eq!(d.stats().bytes_read, 64);
+    }
+
+    #[test]
+    fn multi_burst_transaction_moves_more_bytes() {
+        let mut d = DramSystem::new(DramConfig::wideio_table1());
+        d.enqueue(PhysAddr::new(0), TxnKind::Read, 0, 4, 0);
+        let (done, _) = run_to_completion(&mut d, 0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(d.stats().energy.rd_bursts, 4);
+        assert_eq!(d.stats().bytes_read, 256);
+    }
+
+    #[test]
+    fn writes_and_reads_both_complete() {
+        let mut d = DramSystem::new(DramConfig::ddr4_table1());
+        for i in 0..20u64 {
+            let kind = if i % 3 == 0 { TxnKind::Write } else { TxnKind::Read };
+            d.enqueue(PhysAddr::new(i * 64), kind, i, 1, 0);
+        }
+        let (done, _) = run_to_completion(&mut d, 0);
+        assert_eq!(done.len(), 20);
+        let metas: std::collections::HashSet<u64> = done.iter().map(|c| c.meta).collect();
+        assert_eq!(metas.len(), 20);
+        assert_eq!(d.stats().txns_completed, 20);
+        assert!(d.stats().mean_latency() > 0.0);
+    }
+
+    #[test]
+    fn row_hits_are_faster_than_cold_misses() {
+        let mut d = DramSystem::new(DramConfig::ddr4_table1());
+        // Two reads to the same row: second should complete ~tCCD later.
+        d.enqueue(PhysAddr::new(0x0), TxnKind::Read, 0, 1, 0);
+        d.enqueue(PhysAddr::new(0x80), TxnKind::Read, 1, 1, 0);
+        let (done, _) = run_to_completion(&mut d, 0);
+        let a = done.iter().find(|c| c.meta == 0).unwrap().done_at;
+        let b = done.iter().find(|c| c.meta == 1).unwrap().done_at;
+        let t = d.config().timing;
+        assert!(b > a);
+        assert!(b - a <= t.t_ccd + t.cmd_clock_divisor, "row hit gap {} too large", b - a);
+    }
+
+    #[test]
+    fn refresh_fires_periodically() {
+        let mut d = DramSystem::new(DramConfig::ddr4_table1());
+        let refi = d.config().timing.t_refi;
+        // Idle the system for ~3 refresh intervals.
+        for now in 0..(3 * refi) {
+            d.tick(now);
+        }
+        // 2 channels * 2 ranks, staggered; each rank refreshes ~3 times.
+        let refs = d.stats().energy.refreshes;
+        assert!(refs >= 8, "expected at least 8 refreshes, saw {refs}");
+    }
+
+    #[test]
+    fn refresh_disabled_produces_none() {
+        let mut cfg = DramConfig::ddr4_table1();
+        cfg.refresh_enabled = false;
+        let mut d = DramSystem::new(cfg);
+        for now in 0..100_000 {
+            d.tick(now);
+        }
+        assert_eq!(d.stats().energy.refreshes, 0);
+    }
+
+    #[test]
+    fn issued_cmds_are_observable() {
+        let mut d = DramSystem::new(DramConfig::wideio_table1());
+        d.set_cmd_recording(true);
+        d.enqueue(PhysAddr::new(0), TxnKind::Write, 0, 1, 0);
+        let (_, end) = run_to_completion(&mut d, 0);
+        let cmds = d.take_issued_cmds();
+        assert!(cmds.iter().any(|c| c.kind == IssuedKind::Activate));
+        assert!(cmds.iter().any(|c| c.kind == IssuedKind::Write));
+        assert!(cmds.iter().all(|c| c.cycle < end));
+        // Draining empties the buffer.
+        assert!(d.take_issued_cmds().is_empty());
+    }
+
+    #[test]
+    fn queue_state_queries() {
+        let mut d = DramSystem::new(DramConfig::ddr4_table1());
+        assert!(d.all_queues_empty());
+        d.enqueue(PhysAddr::new(0), TxnKind::Read, 0, 1, 0);
+        assert!(!d.all_queues_empty());
+        assert_eq!(d.queue_len(PhysAddr::new(0)), 1);
+    }
+
+    #[test]
+    fn bandwidth_counters_track_bus_occupancy() {
+        let mut d = DramSystem::new(DramConfig::ddr4_table1());
+        for i in 0..10u64 {
+            d.enqueue(PhysAddr::new(i * 4096), TxnKind::Read, i, 1, 0);
+        }
+        run_to_completion(&mut d, 0);
+        let s = d.stats();
+        assert_eq!(s.bus_busy_cycles, 10 * d.config().timing.t_bl);
+        assert_eq!(s.bytes_read, 640);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one burst")]
+    fn zero_burst_enqueue_panics() {
+        let mut d = DramSystem::new(DramConfig::ddr4_table1());
+        d.enqueue(PhysAddr::new(0), TxnKind::Read, 0, 0, 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! DRAM timing parameters (Table I), expressed in CPU cycles at 3.2 GHz.
+
+use redcache_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// The Table I timing constraint set. All values are CPU cycles.
+///
+/// `cmd_clock_divisor` is the ratio between the CPU clock and the DRAM
+/// command clock: Table I uses 1600 MHz DRAM under a 3.2 GHz CPU, so
+/// commands may issue only on every second CPU cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// ACT to internal read/write delay (row to column).
+    pub t_rcd: Cycle,
+    /// Read command to first data beat (CAS latency).
+    pub t_cas: Cycle,
+    /// Column command to column command (same rank).
+    pub t_ccd: Cycle,
+    /// End of write data to a subsequent read command (same rank).
+    pub t_wtr: Cycle,
+    /// Write recovery: end of write data to precharge.
+    pub t_wr: Cycle,
+    /// Read to precharge.
+    pub t_rtp: Cycle,
+    /// Data burst duration on the bus (one block transfer).
+    pub t_bl: Cycle,
+    /// Write command to first data beat (CWD / write latency).
+    pub t_cwd: Cycle,
+    /// Precharge to activate.
+    pub t_rp: Cycle,
+    /// Activate to activate, different banks in the same rank.
+    pub t_rrd: Cycle,
+    /// Activate to precharge (minimum row open time).
+    pub t_ras: Cycle,
+    /// Activate to activate, same bank.
+    pub t_rc: Cycle,
+    /// Four-activate window per rank.
+    pub t_faw: Cycle,
+    /// Average refresh interval per rank (7.8 µs at 3.2 GHz).
+    pub t_refi: Cycle,
+    /// Refresh cycle time (rank blocked).
+    pub t_rfc: Cycle,
+    /// CPU cycles per DRAM command slot (2 for 1600 MHz under 3.2 GHz).
+    pub cmd_clock_divisor: Cycle,
+}
+
+impl TimingParams {
+    /// WideIO / HBM DRAM-cache timing from Table I.
+    ///
+    /// Note the short `t_ccd` (16): the 128-bit channel streams a full
+    /// 64 B tag-and-data block back-to-back, which is the property the
+    /// RCU piggyback drain exploits (§III.C).
+    pub const fn wideio_table1() -> Self {
+        Self {
+            t_rcd: 44,
+            t_cas: 44,
+            t_ccd: 16,
+            t_wtr: 31,
+            t_wr: 4,
+            t_rtp: 46,
+            t_bl: 10,
+            t_cwd: 61,
+            t_rp: 44,
+            t_rrd: 16,
+            t_ras: 112,
+            t_rc: 271,
+            t_faw: 181,
+            t_refi: 24_960, // 7.8 us at 3.2 GHz
+            t_rfc: 1_120,   // 350 ns at 3.2 GHz
+            cmd_clock_divisor: 2,
+        }
+    }
+
+    /// Off-chip DDR4 timing from Table I (64-bit channels, long tCCD).
+    pub const fn ddr4_table1() -> Self {
+        Self {
+            t_rcd: 44,
+            t_cas: 44,
+            t_ccd: 61,
+            t_wtr: 31,
+            t_wr: 4,
+            t_rtp: 46,
+            t_bl: 10,
+            t_cwd: 44,
+            t_rp: 44,
+            t_rrd: 16,
+            t_ras: 112,
+            t_rc: 271,
+            t_faw: 181,
+            t_refi: 24_960,
+            t_rfc: 1_120,
+            cmd_clock_divisor: 2,
+        }
+    }
+
+    /// Cost factor by which the RCU manager reduces the latency of a
+    /// piggybacked r-count update relative to an isolated one (§III.C):
+    /// `(tBurst + tCWD + tWTR) / tCCD`.
+    pub fn rcu_latency_reduction(&self) -> f64 {
+        (self.t_bl + self.t_cwd + self.t_wtr) as f64 / self.t_ccd as f64
+    }
+
+    /// Validates internal consistency of the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated sanity condition
+    /// (e.g. `t_rc < t_ras + t_rp`, or a zero clock divisor).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cmd_clock_divisor == 0 {
+            return Err("cmd_clock_divisor must be nonzero".into());
+        }
+        if self.t_rc < self.t_ras + self.t_rp {
+            return Err(format!(
+                "t_rc ({}) must cover t_ras + t_rp ({})",
+                self.t_rc,
+                self.t_ras + self.t_rp
+            ));
+        }
+        if self.t_faw < self.t_rrd {
+            return Err("t_faw must be at least t_rrd".into());
+        }
+        if self.t_bl == 0 {
+            return Err("t_bl must be nonzero".into());
+        }
+        if self.t_refi <= self.t_rfc {
+            return Err("t_refi must exceed t_rfc".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_presets_are_valid() {
+        TimingParams::wideio_table1().validate().unwrap();
+        TimingParams::ddr4_table1().validate().unwrap();
+    }
+
+    #[test]
+    fn rcu_reduction_matches_paper_factor() {
+        // §III.C: tCCD / (tBurst + tCWD + tWTR) = 6.375 for the WideIO
+        // parameters: (10 + 61 + 31) / 16 = 6.375.
+        let f = TimingParams::wideio_table1().rcu_latency_reduction();
+        assert!((f - 6.375).abs() < 1e-9, "got {f}");
+    }
+
+    #[test]
+    fn ddr4_has_longer_ccd_than_wideio() {
+        assert!(TimingParams::ddr4_table1().t_ccd > TimingParams::wideio_table1().t_ccd);
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_rc() {
+        let mut t = TimingParams::ddr4_table1();
+        t.t_rc = 10;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_divisor() {
+        let mut t = TimingParams::ddr4_table1();
+        t.cmd_clock_divisor = 0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_refresh_inversion() {
+        let mut t = TimingParams::ddr4_table1();
+        t.t_refi = t.t_rfc;
+        assert!(t.validate().is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! DRAM topology (channels/ranks/banks/rows) and physical address mapping.
+
+use redcache_types::PhysAddr;
+use serde::{Deserialize, Serialize};
+
+/// Physical organisation of one DRAM system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Independent channels, each with its own command/data bus.
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks: usize,
+    /// Banks per rank.
+    pub banks: usize,
+    /// Rows per bank.
+    pub rows: usize,
+    /// Bytes per row (row-buffer size).
+    pub row_bytes: usize,
+    /// Bytes delivered by one burst (one tBL occupancy) on this channel.
+    pub bytes_per_burst: usize,
+}
+
+impl Topology {
+    /// Builds a topology with the row count derived from a target
+    /// capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not divisible into at least one row per
+    /// bank, or if any dimension is zero or non-power-of-two where a
+    /// power of two is required (`row_bytes`, `bytes_per_burst`).
+    pub fn from_capacity(
+        channels: usize,
+        ranks: usize,
+        banks: usize,
+        row_bytes: usize,
+        bytes_per_burst: usize,
+        capacity_bytes: u64,
+    ) -> Self {
+        assert!(channels > 0 && ranks > 0 && banks > 0, "dimensions must be nonzero");
+        assert!(row_bytes.is_power_of_two(), "row_bytes must be a power of two");
+        assert!(bytes_per_burst.is_power_of_two(), "bytes_per_burst must be a power of two");
+        let denom = (channels * ranks * banks * row_bytes) as u64;
+        let rows = capacity_bytes / denom;
+        assert!(rows >= 1, "capacity too small for topology");
+        Self { channels, ranks, banks, rows: rows as usize, row_bytes, bytes_per_burst }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.channels * self.ranks * self.banks * self.rows) as u64 * self.row_bytes as u64
+    }
+
+    /// Total number of banks across the whole system.
+    pub fn total_banks(&self) -> usize {
+        self.channels * self.ranks * self.banks
+    }
+}
+
+/// How physical address bits map onto (channel, rank, bank, row, column).
+///
+/// Low-order block bits interleave across channels first, then banks,
+/// then ranks — the standard layout for spreading sequential traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AddressMapping {
+    /// row : rank : bank : column-high : channel : block-offset
+    #[default]
+    RowRankBankColChan,
+    /// row : bank : rank : column-high : channel : block-offset
+    RowBankRankColChan,
+    /// Like [`AddressMapping::RowRankBankColChan`] but with the bank
+    /// index XOR-folded with low row bits (permutation-based
+    /// interleaving) — spreads row-conflicting strides across banks.
+    XorBankHash,
+}
+
+/// A decoded DRAM location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramLoc {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank index within the channel.
+    pub rank: usize,
+    /// Bank index within the rank.
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: u64,
+    /// Column offset (in bursts) within the row.
+    pub col: usize,
+}
+
+impl DramLoc {
+    /// True when two locations share the same bank (and therefore the
+    /// same row buffer).
+    pub fn same_bank(&self, other: &DramLoc) -> bool {
+        self.channel == other.channel && self.rank == other.rank && self.bank == other.bank
+    }
+
+    /// True when two locations address the same open row of the same
+    /// bank — the condition the RCU manager's CAM checks (§III.C).
+    pub fn same_row(&self, other: &DramLoc) -> bool {
+        self.same_bank(other) && self.row == other.row
+    }
+}
+
+/// Decodes a physical address into a [`DramLoc`] under `mapping`.
+pub fn decode(topology: &Topology, mapping: AddressMapping, addr: PhysAddr) -> DramLoc {
+    let t = topology;
+    let mut a = addr.raw() / t.bytes_per_burst as u64;
+    let mut take = |n: usize| -> u64 {
+        let v = a % n as u64;
+        a /= n as u64;
+        v
+    };
+    let channel = take(t.channels) as usize;
+    let bursts_per_row = (t.row_bytes / t.bytes_per_burst).max(1);
+    let col = take(bursts_per_row) as usize;
+    let (rank, bank) = match mapping {
+        AddressMapping::RowRankBankColChan | AddressMapping::XorBankHash => {
+            let bank = take(t.banks) as usize;
+            let rank = take(t.ranks) as usize;
+            (rank, bank)
+        }
+        AddressMapping::RowBankRankColChan => {
+            let rank = take(t.ranks) as usize;
+            let bank = take(t.banks) as usize;
+            (rank, bank)
+        }
+    };
+    let row = a % t.rows as u64;
+    let bank = if mapping == AddressMapping::XorBankHash && t.banks.is_power_of_two() {
+        (bank ^ (row as usize & (t.banks - 1))) % t.banks
+    } else {
+        bank
+    };
+    DramLoc { channel, rank, bank, row, col }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Topology {
+        Topology { channels: 2, ranks: 2, banks: 4, rows: 8, row_bytes: 1024, bytes_per_burst: 64 }
+    }
+
+    #[test]
+    fn from_capacity_round_trips() {
+        let t = Topology::from_capacity(4, 8, 16, 2048, 64, 2 << 30);
+        assert_eq!(t.capacity_bytes(), 2 << 30);
+        assert_eq!(t.rows, 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity too small")]
+    fn from_capacity_rejects_tiny_capacity() {
+        let _ = Topology::from_capacity(4, 8, 16, 2048, 64, 1024);
+    }
+
+    #[test]
+    fn sequential_blocks_interleave_channels() {
+        let t = small();
+        let a = decode(&t, AddressMapping::default(), PhysAddr::new(0));
+        let b = decode(&t, AddressMapping::default(), PhysAddr::new(64));
+        assert_eq!(a.channel, 0);
+        assert_eq!(b.channel, 1);
+        assert_eq!(a.col, b.col);
+    }
+
+    #[test]
+    fn same_row_requires_same_bank_and_row() {
+        let t = small();
+        let a = decode(&t, AddressMapping::default(), PhysAddr::new(0));
+        let b = decode(&t, AddressMapping::default(), PhysAddr::new(128));
+        // Same channel (stride 2 blocks), same row, adjacent column.
+        assert!(a.same_row(&b));
+        assert!(a.same_bank(&b));
+    }
+
+    #[test]
+    fn xor_hash_spreads_same_bank_strides() {
+        // A stride that always lands in bank 0 under the plain mapping
+        // must touch several banks under the XOR hash.
+        let t = small();
+        let stride = (t.channels * t.banks) as u64 * 64; // bank-conflict stride
+        let plain: std::collections::HashSet<usize> = (0..16)
+            .map(|i| decode(&t, AddressMapping::RowRankBankColChan, PhysAddr::new(i * stride * 4)).bank)
+            .collect();
+        let hashed: std::collections::HashSet<usize> = (0..16)
+            .map(|i| decode(&t, AddressMapping::XorBankHash, PhysAddr::new(i * stride * 4)).bank)
+            .collect();
+        assert!(hashed.len() >= plain.len(), "XOR hash must not reduce bank spread");
+        assert!(hashed.len() > 1, "XOR hash should break the single-bank stride");
+    }
+
+    #[test]
+    fn decode_stays_in_bounds_across_whole_space() {
+        let t = small();
+        for m in [
+            AddressMapping::RowRankBankColChan,
+            AddressMapping::RowBankRankColChan,
+            AddressMapping::XorBankHash,
+        ] {
+            for step in 0..(t.capacity_bytes() / 64) {
+                let loc = decode(&t, m, PhysAddr::new(step * 64));
+                assert!(loc.channel < t.channels);
+                assert!(loc.rank < t.ranks);
+                assert!(loc.bank < t.banks);
+                assert!((loc.row as usize) < t.rows);
+                assert!(loc.col < t.row_bytes / t.bytes_per_burst);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_is_injective_within_capacity() {
+        use std::collections::HashSet;
+        let t = small();
+        let mut seen = HashSet::new();
+        for step in 0..(t.capacity_bytes() / 64) {
+            let loc = decode(&t, AddressMapping::default(), PhysAddr::new(step * 64));
+            assert!(seen.insert((loc.channel, loc.rank, loc.bank, loc.row, loc.col)));
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Event-based energy models for the RedCache reproduction.
+//!
+//! The paper computes energy with DRAMPower, the Micron power
+//! calculator, CACTI 7 and McPAT (§IV.A). Those tools ultimately weight
+//! *event counts* — activates, read/write bursts, refreshes, SRAM
+//! lookups, instructions — with per-technology constants, and the
+//! simulator produces exactly those counts. This crate supplies
+//! constants of the published magnitudes (see [`DramEnergyConsts`] and
+//! [`CpuEnergyConsts`]) and rolls the counts up into the HBM-cache
+//! energy of Fig. 10 and the system energy of Fig. 11.
+//!
+//! # Example
+//!
+//! ```
+//! use redcache_energy::{DramEnergyConsts, EnergyModel};
+//! use redcache_dram::DramStats;
+//!
+//! let model = EnergyModel::default();
+//! let mut stats = DramStats::default();
+//! stats.energy.acts = 1000;
+//! stats.energy.rd_bursts = 4000;
+//! let e = model.dram_energy(&DramEnergyConsts::hbm(), &stats, 3_200_000, 32);
+//! assert!(e.total_j() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+use redcache_dram::DramStats;
+use redcache_policies::ControllerStats;
+use serde::{Deserialize, Serialize};
+
+/// CPU clock frequency (Table I: 3.2 GHz); converts cycles to seconds.
+pub const CPU_HZ: f64 = 3.2e9;
+
+/// Per-event DRAM energy constants, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramEnergyConsts {
+    /// One activate + precharge pair.
+    pub act_pre_j: f64,
+    /// DRAM-core energy of one 64 B burst (read or write).
+    pub burst_core_j: f64,
+    /// I/O energy per transferred byte.
+    pub io_j_per_byte: f64,
+    /// One all-bank refresh of one rank.
+    pub refresh_j: f64,
+    /// Background (standby) power per rank, watts.
+    pub background_w_per_rank: f64,
+}
+
+impl DramEnergyConsts {
+    /// In-package WideIO/HBM constants (O'Connor et al., MICRO'17
+    /// magnitudes: ~3–4 pJ/bit end to end, small 2 KB rows).
+    pub fn hbm() -> Self {
+        Self {
+            act_pre_j: 1.2e-9,
+            burst_core_j: 1.6e-9,
+            io_j_per_byte: 2.8e-11, // 3.5 pJ/bit
+            refresh_j: 40e-9,
+            background_w_per_rank: 0.018,
+        }
+    }
+
+    /// Off-chip DDR4 constants (Micron power-calculator magnitudes:
+    /// ~15–20 pJ/bit I/O over the board, 8 KB rows).
+    pub fn ddr4() -> Self {
+        Self {
+            act_pre_j: 3.8e-9,
+            burst_core_j: 2.6e-9,
+            io_j_per_byte: 2.0e-10, // 16 pJ/bit
+            refresh_j: 120e-9,
+            background_w_per_rank: 0.075,
+        }
+    }
+}
+
+/// DRAM energy broken down by source, in joules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DramEnergyBreakdown {
+    /// Activate/precharge energy.
+    pub act_pre_j: f64,
+    /// Core read/write burst energy.
+    pub burst_j: f64,
+    /// I/O transfer energy.
+    pub io_j: f64,
+    /// Refresh energy.
+    pub refresh_j: f64,
+    /// Standby/background energy.
+    pub background_j: f64,
+}
+
+impl DramEnergyBreakdown {
+    /// Total joules.
+    pub fn total_j(&self) -> f64 {
+        self.act_pre_j + self.burst_j + self.io_j + self.refresh_j + self.background_j
+    }
+}
+
+/// Per-event CPU-side energy constants (McPAT/CACTI magnitudes for a
+/// 16-core 22 nm out-of-order part).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuEnergyConsts {
+    /// Dynamic energy per retired instruction.
+    pub instr_j: f64,
+    /// Leakage power per core, watts.
+    pub leakage_w_per_core: f64,
+    /// One L1 access.
+    pub l1_access_j: f64,
+    /// One L2 access.
+    pub l2_access_j: f64,
+    /// One L3 access.
+    pub l3_access_j: f64,
+    /// One controller table lookup (α buffer, presence, predictor —
+    /// CACTI 7 small-SRAM magnitude).
+    pub table_lookup_j: f64,
+}
+
+impl Default for CpuEnergyConsts {
+    fn default() -> Self {
+        Self {
+            instr_j: 0.25e-9,
+            leakage_w_per_core: 0.8,
+            l1_access_j: 0.05e-9,
+            l2_access_j: 0.2e-9,
+            l3_access_j: 1.0e-9,
+            table_lookup_j: 0.01e-9,
+        }
+    }
+}
+
+/// CPU + cache + controller energy breakdown, joules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpuEnergyBreakdown {
+    /// Core dynamic energy.
+    pub dynamic_j: f64,
+    /// Core leakage over the run.
+    pub leakage_j: f64,
+    /// SRAM cache access energy (L1+L2+L3).
+    pub cache_j: f64,
+    /// DRAM-cache-controller table energy.
+    pub controller_j: f64,
+}
+
+impl CpuEnergyBreakdown {
+    /// Total joules.
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j + self.leakage_j + self.cache_j + self.controller_j
+    }
+}
+
+/// Whole-system energy rollup (the quantity of Fig. 11).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SystemEnergy {
+    /// CPU cores, SRAM caches, controller tables.
+    pub cpu: CpuEnergyBreakdown,
+    /// In-package DRAM cache (the quantity of Fig. 10).
+    pub hbm: DramEnergyBreakdown,
+    /// Off-chip main memory.
+    pub ddr: DramEnergyBreakdown,
+}
+
+impl SystemEnergy {
+    /// Total system joules.
+    pub fn total_j(&self) -> f64 {
+        self.cpu.total_j() + self.hbm.total_j() + self.ddr.total_j()
+    }
+}
+
+/// Inputs for the CPU-side rollup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpuActivity {
+    /// Instructions retired across all cores.
+    pub instructions: u64,
+    /// Execution time in CPU cycles.
+    pub cycles: u64,
+    /// Number of cores.
+    pub cores: usize,
+    /// L1 accesses.
+    pub l1_accesses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L3 accesses.
+    pub l3_accesses: u64,
+}
+
+/// The energy model: all constants in one place.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// HBM per-event constants.
+    pub hbm: DramEnergyConsts,
+    /// DDR4 per-event constants.
+    pub ddr: DramEnergyConsts,
+    /// CPU-side constants.
+    pub cpu: CpuEnergyConsts,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            hbm: DramEnergyConsts::hbm(),
+            ddr: DramEnergyConsts::ddr4(),
+            cpu: CpuEnergyConsts::default(),
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Rolls up one DRAM system's energy from its event counts.
+    /// `ranks` is the total rank count (background power scales with it).
+    pub fn dram_energy(
+        &self,
+        consts: &DramEnergyConsts,
+        stats: &DramStats,
+        cycles: u64,
+        ranks: usize,
+    ) -> DramEnergyBreakdown {
+        let seconds = cycles as f64 / CPU_HZ;
+        let e = &stats.energy;
+        DramEnergyBreakdown {
+            act_pre_j: e.acts as f64 * consts.act_pre_j,
+            burst_j: (e.rd_bursts + e.wr_bursts) as f64 * consts.burst_core_j,
+            io_j: stats.bytes_total() as f64 * consts.io_j_per_byte,
+            refresh_j: e.refreshes as f64 * consts.refresh_j,
+            background_j: consts.background_w_per_rank * ranks as f64 * seconds,
+        }
+    }
+
+    /// Rolls up the CPU-side energy.
+    pub fn cpu_energy(&self, act: &CpuActivity, ctl: &ControllerStats) -> CpuEnergyBreakdown {
+        let seconds = act.cycles as f64 / CPU_HZ;
+        CpuEnergyBreakdown {
+            dynamic_j: act.instructions as f64 * self.cpu.instr_j,
+            leakage_j: self.cpu.leakage_w_per_core * act.cores as f64 * seconds,
+            cache_j: act.l1_accesses as f64 * self.cpu.l1_access_j
+                + act.l2_accesses as f64 * self.cpu.l2_access_j
+                + act.l3_accesses as f64 * self.cpu.l3_access_j,
+            controller_j: ctl.table_lookups as f64 * self.cpu.table_lookup_j,
+        }
+    }
+
+    /// Full system rollup: Fig. 10's HBM energy is `result.hbm`,
+    /// Fig. 11's system energy is `result.total_j()`.
+    pub fn system_energy(
+        &self,
+        act: &CpuActivity,
+        ctl: &ControllerStats,
+        hbm: Option<&DramStats>,
+        hbm_ranks: usize,
+        ddr: &DramStats,
+        ddr_ranks: usize,
+    ) -> SystemEnergy {
+        SystemEnergy {
+            cpu: self.cpu_energy(act, ctl),
+            hbm: hbm
+                .map(|s| self.dram_energy(&self.hbm, s, act.cycles, hbm_ranks))
+                .unwrap_or_default(),
+            ddr: self.dram_energy(&self.ddr, ddr, act.cycles, ddr_ranks),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcache_dram::DramEnergyEvents;
+
+    fn stats(acts: u64, rd: u64, wr: u64, refr: u64, bytes: u64) -> DramStats {
+        DramStats {
+            energy: DramEnergyEvents { acts, pres: acts, rd_bursts: rd, wr_bursts: wr, refreshes: refr },
+            bytes_read: bytes / 2,
+            bytes_written: bytes / 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn energy_is_monotone_in_events() {
+        let m = EnergyModel::default();
+        let lo = m.dram_energy(&DramEnergyConsts::hbm(), &stats(10, 10, 10, 1, 1000), 1000, 8);
+        let hi = m.dram_energy(&DramEnergyConsts::hbm(), &stats(20, 20, 20, 2, 2000), 1000, 8);
+        assert!(hi.total_j() > lo.total_j());
+        assert!(hi.act_pre_j > lo.act_pre_j);
+        assert!(hi.io_j > lo.io_j);
+    }
+
+    #[test]
+    fn off_chip_io_costs_more_than_hbm_io() {
+        // The premise of in-package caching: moving a byte over DDR pins
+        // costs several times more than over WideIO.
+        assert!(DramEnergyConsts::ddr4().io_j_per_byte > 3.0 * DramEnergyConsts::hbm().io_j_per_byte);
+    }
+
+    #[test]
+    fn background_scales_with_time_and_ranks() {
+        let m = EnergyModel::default();
+        let s = stats(0, 0, 0, 0, 0);
+        let short = m.dram_energy(&DramEnergyConsts::ddr4(), &s, 3_200_000, 4);
+        let long = m.dram_energy(&DramEnergyConsts::ddr4(), &s, 6_400_000, 4);
+        let wide = m.dram_energy(&DramEnergyConsts::ddr4(), &s, 3_200_000, 8);
+        assert!((long.background_j - 2.0 * short.background_j).abs() < 1e-15);
+        assert!((wide.background_j - 2.0 * short.background_j).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cpu_energy_accounts_all_components() {
+        let m = EnergyModel::default();
+        let act = CpuActivity {
+            instructions: 1_000_000,
+            cycles: 3_200_000,
+            cores: 16,
+            l1_accesses: 500_000,
+            l2_accesses: 50_000,
+            l3_accesses: 5_000,
+        };
+        let ctl = ControllerStats { table_lookups: 10_000, ..Default::default() };
+        let e = m.cpu_energy(&act, &ctl);
+        assert!(e.dynamic_j > 0.0);
+        assert!(e.leakage_j > 0.0);
+        assert!(e.cache_j > 0.0);
+        assert!(e.controller_j > 0.0);
+        // Leakage of 16 cores over 1 ms dominates here.
+        assert!(e.leakage_j > e.controller_j);
+    }
+
+    #[test]
+    fn system_energy_sums_components() {
+        let m = EnergyModel::default();
+        let act = CpuActivity { instructions: 1000, cycles: 1000, cores: 2, ..Default::default() };
+        let ctl = ControllerStats::default();
+        let hbm = stats(5, 5, 5, 0, 640);
+        let ddr = stats(3, 3, 3, 0, 384);
+        let sys = m.system_energy(&act, &ctl, Some(&hbm), 32, &ddr, 4);
+        let total = sys.cpu.total_j() + sys.hbm.total_j() + sys.ddr.total_j();
+        assert!((sys.total_j() - total).abs() < 1e-18);
+        // Without an HBM the component is zero.
+        let sys2 = m.system_energy(&act, &ctl, None, 0, &ddr, 4);
+        assert_eq!(sys2.hbm.total_j(), 0.0);
+    }
+}

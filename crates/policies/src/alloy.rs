@@ -1,0 +1,372 @@
+//! The **Alloy** cache [Qureshi & Loh, MICRO'12]: a direct-mapped DRAM
+//! cache whose tag and data form one unit (TAD) streamed in a single
+//! burst. Every request performs one TAD read; on a miss the off-chip
+//! access is either serialized behind the probe or — when the
+//! memory-access predictor is confident of a miss — launched in
+//! parallel with it.
+
+use crate::controller::{
+    CompletedReq, ControllerStats, DramCacheController, MemorySides, PolicyConfig, PolicyKind,
+};
+use crate::engine::{legs, Engine, LegSpec};
+use crate::predictor::RegionPredictor;
+use crate::tagstore::TagStore;
+use redcache_dram::{DramStats, TxnKind};
+use redcache_types::{AccessKind, Cycle, LineAddr, MemRequest};
+
+/// The Alloy controller.
+#[derive(Debug)]
+pub struct AlloyController {
+    sides: MemorySides,
+    engine: Engine,
+    tags: TagStore,
+    predictor: RegionPredictor,
+    stats: ControllerStats,
+    block_bytes: usize,
+    bursts: u32,
+}
+
+impl AlloyController {
+    /// Builds the controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(cfg: &PolicyConfig) -> Self {
+        cfg.validate().expect("invalid policy config");
+        let sets = (cfg.hbm.topology.capacity_bytes() / cfg.cache_block_bytes as u64) as usize;
+        Self {
+            sides: MemorySides::new(cfg),
+            engine: Engine::new(),
+            tags: TagStore::new(sets, cfg.lines_per_block()),
+            predictor: RegionPredictor::new(4096),
+            stats: ControllerStats::default(),
+            block_bytes: cfg.cache_block_bytes,
+            bursts: (cfg.cache_block_bytes / 64) as u32,
+        }
+    }
+
+    /// Gathers the functional versions of every 64 B line in the block
+    /// containing `line`, as currently stored in main memory.
+    fn block_versions_from_ddr(&self, line: LineAddr) -> [u64; 4] {
+        let mut v = [0u64; 4];
+        let first = self.tags.block_first_line(self.tags.block_of(line));
+        for (i, slot) in v.iter_mut().enumerate().take(self.tags.lines_per_block() as usize) {
+            *slot = self.sides.ddr_version(LineAddr::new(first.raw() + i as u64));
+        }
+        v
+    }
+
+    /// Writes a victim block's dirty contents back to the functional
+    /// main memory and returns the DDR leg for its timing, if needed.
+    fn retire_victim(
+        &mut self,
+        victim: Option<crate::tagstore::TagEntry>,
+        leg: u8,
+    ) -> Option<LegSpec> {
+        let victim = victim?;
+        if !victim.dirty {
+            return None;
+        }
+        self.stats.victim_writebacks += 1;
+        self.stats.ddr_writes += 1;
+        let first = self.tags.block_first_line(victim.block);
+        for i in 0..self.tags.lines_per_block() {
+            let l = LineAddr::new(first.raw() + i);
+            self.sides.ddr_store(l, victim.versions[i as usize]);
+        }
+        Some(LegSpec {
+            leg,
+            hbm: false,
+            kind: TxnKind::Write,
+            addr: self.sides.ddr_addr(first),
+            bursts: self.bursts,
+            gates_data: false,
+            deferred: false,
+        })
+    }
+
+    fn probe_leg(&self, line: LineAddr, gates_data: bool) -> LegSpec {
+        LegSpec {
+            leg: legs::PROBE,
+            hbm: true,
+            kind: TxnKind::Read,
+            addr: self.tags.hbm_addr(line, self.block_bytes),
+            bursts: self.bursts,
+            gates_data,
+            deferred: false,
+        }
+    }
+
+    fn submit_read(&mut self, req: MemRequest, now: Cycle, done: &mut Vec<CompletedReq>) {
+        let line = req.line;
+        self.stats.hbm_probes += 1;
+        self.stats.table_lookups += 1; // predictor consult
+        let hit = self.tags.contains(line);
+        let predicted_hit = self.predictor.predict_hit(line.base(64).page());
+        self.predictor.train(line.base(64).page(), hit);
+        if hit {
+            self.stats.hbm_hits += 1;
+            let sub = self.tags.subline_of(line);
+            let e = self.tags.entry_mut(line).expect("hit entry");
+            e.r_count.inc();
+            let version = e.versions[sub];
+            let probe = self.probe_leg(line, true);
+            self.engine.start(req, version, &[probe], &mut self.sides, now, done);
+            return;
+        }
+        // Miss: fetch from DDR (serialized unless predicted miss),
+        // always fill, write back a dirty victim.
+        self.stats.hbm_misses += 1;
+        self.stats.ddr_reads += 1;
+        self.stats.fills += 1;
+        self.stats.hbm_writes += 1;
+        let version = self.sides.ddr_version(line);
+        let fill_versions = self.block_versions_from_ddr(line);
+        let victim = self.tags.install(line, fill_versions, false);
+        let mut legspecs = vec![
+            self.probe_leg(line, true),
+            LegSpec {
+                leg: legs::DDR_READ,
+                hbm: false,
+                kind: TxnKind::Read,
+                addr: self.sides.ddr_addr(line),
+                bursts: self.bursts,
+                gates_data: true,
+                deferred: predicted_hit, // mispredicted hit ⇒ serialized
+            },
+            LegSpec {
+                leg: legs::HBM_WRITE,
+                hbm: true,
+                kind: TxnKind::Write,
+                addr: self.tags.hbm_addr(line, self.block_bytes),
+                bursts: self.bursts,
+                gates_data: false,
+                deferred: true, // fill after the probe confirmed the miss
+            },
+        ];
+        if let Some(wb) = self.retire_victim(victim, legs::DDR_WRITE) {
+            legspecs.push(wb);
+        }
+        self.engine.start(req, version, &legspecs, &mut self.sides, now, done);
+    }
+
+    fn submit_writeback(&mut self, req: MemRequest, now: Cycle, done: &mut Vec<CompletedReq>) {
+        let line = req.line;
+        self.stats.hbm_probes += 1;
+        let hit = self.tags.contains(line);
+        let sub = self.tags.subline_of(line);
+        if hit {
+            self.stats.hbm_hits += 1;
+            let e = self.tags.entry_mut(line).expect("hit entry");
+            e.dirty = true;
+            e.versions[sub] = req.data_version;
+            e.r_count.inc();
+            self.stats.hbm_writes += 1;
+            let probe = self.probe_leg(line, false);
+            let write = LegSpec {
+                leg: legs::HBM_WRITE,
+                hbm: true,
+                kind: TxnKind::Write,
+                addr: self.tags.hbm_addr(line, self.block_bytes),
+                bursts: self.bursts,
+                gates_data: true,
+                deferred: true,
+            };
+            self.engine.start(req, 0, &[probe, write], &mut self.sides, now, done);
+            return;
+        }
+        // Writeback miss: allocate (Alloy's writeback-allocate), which
+        // needs the block's other sub-lines from DDR when blocks span
+        // multiple CPU lines.
+        self.stats.hbm_misses += 1;
+        self.stats.fills += 1;
+        self.stats.hbm_writes += 1;
+        let mut fill_versions = self.block_versions_from_ddr(line);
+        fill_versions[sub] = req.data_version;
+        let victim = self.tags.install(line, fill_versions, true);
+        let mut legspecs = vec![
+            self.probe_leg(line, false),
+            LegSpec {
+                leg: legs::HBM_WRITE,
+                hbm: true,
+                kind: TxnKind::Write,
+                addr: self.tags.hbm_addr(line, self.block_bytes),
+                bursts: self.bursts,
+                gates_data: true,
+                deferred: true,
+            },
+        ];
+        if self.tags.lines_per_block() > 1 {
+            self.stats.ddr_reads += 1;
+            legspecs.push(LegSpec {
+                leg: legs::DDR_READ,
+                hbm: false,
+                kind: TxnKind::Read,
+                addr: self.sides.ddr_addr(line),
+                bursts: self.bursts,
+                gates_data: false,
+                deferred: false,
+            });
+        }
+        if let Some(wb) = self.retire_victim(victim, legs::DDR_WRITE) {
+            legspecs.push(wb);
+        }
+        self.engine.start(req, 0, &legspecs, &mut self.sides, now, done);
+    }
+}
+
+impl DramCacheController for AlloyController {
+    fn submit(&mut self, req: MemRequest, now: Cycle) {
+        self.stats.submitted += 1;
+        let mut done = Vec::new();
+        match req.kind {
+            AccessKind::Read => self.submit_read(req, now, &mut done),
+            AccessKind::Writeback => self.submit_writeback(req, now, &mut done),
+        }
+        debug_assert!(done.is_empty());
+    }
+
+    fn tick(&mut self, now: Cycle, done: &mut Vec<CompletedReq>) {
+        self.sides.hbm.tick(now);
+        self.sides.ddr.tick(now);
+        let before = done.len();
+        for c in self.sides.hbm.take_completions() {
+            self.engine.on_completion(c.meta, c.done_at, &mut self.sides, done);
+        }
+        for c in self.sides.ddr.take_completions() {
+            self.engine.on_completion(c.meta, c.done_at, &mut self.sides, done);
+        }
+        let _ = self.engine.take_events();
+        for d in &done[before..] {
+            self.stats.completed += 1;
+            if d.kind == AccessKind::Read {
+                self.stats.reads_completed += 1;
+                self.stats.read_latency_sum += d.latency();
+            }
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.engine.pending()
+    }
+
+    fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    fn hbm_stats(&self) -> Option<DramStats> {
+        Some(*self.sides.hbm.sys.stats())
+    }
+
+    fn ddr_stats(&self) -> DramStats {
+        *self.sides.ddr.sys.stats()
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Alloy
+    }
+
+    fn preload(&mut self, line: LineAddr, version: u64) {
+        self.sides.ddr_store(line, version);
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = ControllerStats::default();
+        self.sides.hbm.sys.reset_stats();
+        self.sides.ddr.sys.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcache_types::{CoreId, ReqId};
+
+    pub(crate) fn drive(
+        c: &mut dyn DramCacheController,
+        from: Cycle,
+    ) -> (Vec<CompletedReq>, Cycle) {
+        let mut done = Vec::new();
+        let mut now = from;
+        while c.pending() > 0 {
+            c.tick(now, &mut done);
+            now += 1;
+            assert!(now < 5_000_000, "controller deadlock");
+        }
+        (done, now)
+    }
+
+    fn ctl() -> AlloyController {
+        AlloyController::new(&PolicyConfig::scaled(PolicyKind::Alloy))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = ctl();
+        c.preload(LineAddr::new(3), 40);
+        c.submit(MemRequest::read(ReqId(1), LineAddr::new(3), CoreId(0), 0), 0);
+        let (done, t) = drive(&mut c, 0);
+        assert_eq!(done[0].data_version, 40);
+        assert_eq!(c.stats().hbm_misses, 1);
+        c.submit(MemRequest::read(ReqId(2), LineAddr::new(3), CoreId(0), t), t);
+        let (done2, _) = drive(&mut c, t);
+        assert_eq!(done2[0].data_version, 40);
+        assert_eq!(c.stats().hbm_hits, 1);
+    }
+
+    #[test]
+    fn hits_are_faster_than_misses() {
+        let mut c = ctl();
+        c.submit(MemRequest::read(ReqId(1), LineAddr::new(3), CoreId(0), 0), 0);
+        let (done, t) = drive(&mut c, 0);
+        let miss_latency = done[0].latency();
+        c.submit(MemRequest::read(ReqId(2), LineAddr::new(3), CoreId(0), t), t);
+        let (done2, _) = drive(&mut c, t);
+        assert!(done2[0].latency() < miss_latency, "{} !< {}", done2[0].latency(), miss_latency);
+    }
+
+    #[test]
+    fn conflict_eviction_preserves_dirty_data() {
+        let mut c = ctl();
+        let sets = c.tags.sets() as u64;
+        let a = LineAddr::new(7);
+        let b = LineAddr::new(7 + sets); // same set
+        // Dirty A via writeback, then displace it with B, then read A.
+        c.submit(MemRequest::writeback(ReqId(1), a, CoreId(0), 0, 91), 0);
+        let (_, t1) = drive(&mut c, 0);
+        c.submit(MemRequest::read(ReqId(2), b, CoreId(0), t1), t1);
+        let (_, t2) = drive(&mut c, t1);
+        assert!(c.stats().victim_writebacks >= 1);
+        c.submit(MemRequest::read(ReqId(3), a, CoreId(0), t2), t2);
+        let (done, _) = drive(&mut c, t2);
+        assert_eq!(done[0].data_version, 91, "dirty victim lost");
+    }
+
+    #[test]
+    fn every_request_probes() {
+        let mut c = ctl();
+        for i in 0..10u64 {
+            c.submit(MemRequest::read(ReqId(i), LineAddr::new(i), CoreId(0), 0), 0);
+        }
+        drive(&mut c, 0);
+        assert_eq!(c.stats().hbm_probes, 10);
+        assert_eq!(c.hbm_stats().unwrap().energy.rd_bursts, 10);
+    }
+
+    #[test]
+    fn granularity_moves_more_bytes() {
+        let mut cfg = PolicyConfig::scaled(PolicyKind::Alloy);
+        cfg.cache_block_bytes = 256;
+        let mut c = AlloyController::new(&cfg);
+        c.submit(MemRequest::read(ReqId(1), LineAddr::new(0), CoreId(0), 0), 0);
+        drive(&mut c, 0);
+        // Probe (256 B) + fill (256 B) on WideIO; 256 B from DDR.
+        assert_eq!(c.hbm_stats().unwrap().bytes_total(), 512);
+        assert_eq!(c.ddr_stats().bytes_read, 256);
+        // Neighbouring line now hits.
+        c.submit(MemRequest::read(ReqId(2), LineAddr::new(1), CoreId(0), 10_000), 10_000);
+        drive(&mut c, 10_000);
+        assert_eq!(c.stats().hbm_hits, 1);
+    }
+}

@@ -1,0 +1,370 @@
+//! The controller trait, shared configuration, statistics, and the
+//! DRAM-side plumbing every policy reuses.
+
+use redcache_dram::{Completion, DramConfig, DramSystem, TxnKind};
+use redcache_types::{AccessKind, Cycle, LineAddr, MemRequest, ReqId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which controller architecture to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// No DRAM cache (Fig. 1a).
+    NoHbm,
+    /// Perfect HBM cache (Fig. 1b).
+    Ideal,
+    /// Alloy cache [2].
+    Alloy,
+    /// BEAR cache [3].
+    Bear,
+    /// A RedCache variant (§IV.A).
+    Red(crate::redcache::RedVariant),
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyKind::NoHbm => write!(f, "No-HBM"),
+            PolicyKind::Ideal => write!(f, "IDEAL"),
+            PolicyKind::Alloy => write!(f, "Alloy"),
+            PolicyKind::Bear => write!(f, "Bear"),
+            PolicyKind::Red(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Configuration shared by all controllers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// Controller architecture.
+    pub kind: PolicyKind,
+    /// WideIO/HBM DRAM configuration (ignored by [`PolicyKind::NoHbm`]).
+    pub hbm: DramConfig,
+    /// Off-chip DDR4 configuration.
+    pub ddr: DramConfig,
+    /// DRAM-cache block size in bytes: 64, 128 or 256 (Fig. 2b sweep).
+    /// The CPU-side line size stays 64 B.
+    pub cache_block_bytes: usize,
+    /// Optional RedCache parameter override (used by the ablation
+    /// studies); `None` uses [`crate::RedConfig::for_variant`].
+    pub red_override: Option<crate::redcache::RedConfig>,
+}
+
+impl PolicyConfig {
+    /// Table I configuration for `kind` (2 GB HBM, 32 GB DDR, 64 B).
+    pub fn table1(kind: PolicyKind) -> Self {
+        Self {
+            kind,
+            hbm: DramConfig::wideio_table1(),
+            ddr: DramConfig::ddr4_table1(),
+            cache_block_bytes: 64,
+            red_override: None,
+        }
+    }
+
+    /// Scaled evaluation configuration (8 MB HBM, 512 MB DDR): keeps the
+    /// paper's HBM ≫ L3 ratio while leaving the scaled workloads enough
+    /// footprint pressure to produce direct-mapped conflicts.
+    pub fn scaled(kind: PolicyKind) -> Self {
+        Self {
+            kind,
+            hbm: DramConfig::wideio_scaled(8 << 20),
+            ddr: DramConfig::ddr4_scaled(512 << 20),
+            cache_block_bytes: 64,
+            red_override: None,
+        }
+    }
+
+    /// 64 B CPU lines per DRAM-cache block.
+    pub fn lines_per_block(&self) -> u64 {
+        (self.cache_block_bytes / 64) as u64
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the block size is not 64/128/256 or a DRAM
+    /// configuration is invalid.
+    pub fn validate(&self) -> Result<(), String> {
+        if ![64, 128, 256].contains(&self.cache_block_bytes) {
+            return Err(format!("unsupported cache block size {}", self.cache_block_bytes));
+        }
+        self.hbm.validate()?;
+        self.ddr.validate()?;
+        Ok(())
+    }
+}
+
+/// A finished memory request, handed back to the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletedReq {
+    /// Id of the completed request.
+    pub id: ReqId,
+    /// Line addressed (for routing the fill back into the hierarchy).
+    pub line: LineAddr,
+    /// Read or writeback.
+    pub kind: AccessKind,
+    /// For reads: the payload version observed (checked against the
+    /// shadow memory).
+    pub data_version: u64,
+    /// Cycle the request entered the memory subsystem.
+    pub issued_at: Cycle,
+    /// Completion cycle.
+    pub done_at: Cycle,
+}
+
+impl CompletedReq {
+    /// Issue-to-data latency.
+    pub fn latency(&self) -> Cycle {
+        self.done_at.saturating_sub(self.issued_at)
+    }
+}
+
+/// Event counters shared by every controller (policies add their own on
+/// top). These are the inputs to the controller-side energy model and
+/// the figures' bandwidth accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Requests accepted.
+    pub submitted: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Read requests completed.
+    pub reads_completed: u64,
+    /// Sum of read latencies (issue → data).
+    pub read_latency_sum: Cycle,
+    /// HBM tag-and-data probe reads issued.
+    pub hbm_probes: u64,
+    /// Probes that hit.
+    pub hbm_hits: u64,
+    /// Probes that missed.
+    pub hbm_misses: u64,
+    /// HBM data writes (write hits, fills, r-count updates).
+    pub hbm_writes: u64,
+    /// Blocks filled into the HBM cache.
+    pub fills: u64,
+    /// Fills skipped by a bypass decision (BAB, α, refresh).
+    pub fill_bypasses: u64,
+    /// Requests routed directly to DDR without touching HBM.
+    pub hbm_bypasses: u64,
+    /// DDR reads issued.
+    pub ddr_reads: u64,
+    /// DDR writes issued (writebacks, routed last writes).
+    pub ddr_writes: u64,
+    /// Dirty victims written back to DDR.
+    pub victim_writebacks: u64,
+    /// Blocks invalidated by γ (last-write elision).
+    pub gamma_invalidations: u64,
+    /// Writes routed to DDR because γ classified them as last writes.
+    pub last_writes_routed: u64,
+    /// Bypasses taken because the target rank was refreshing.
+    pub refresh_bypasses: u64,
+    /// On-controller table lookups (α buffer, presence, predictor) —
+    /// weighted by the CACTI-style energy constants.
+    pub table_lookups: u64,
+}
+
+impl ControllerStats {
+    /// Mean read latency in cycles.
+    pub fn mean_read_latency(&self) -> f64 {
+        if self.reads_completed == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads_completed as f64
+        }
+    }
+
+    /// HBM hit rate over all lookups (hits + misses — BEAR's presence
+    /// checks count as lookups even when the probe read is elided).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hbm_hits + self.hbm_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hbm_hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// The DRAM-cache controller interface driven by the simulator.
+pub trait DramCacheController {
+    /// Accepts a request. The controller may buffer internally without
+    /// limit; the L3 MSHR file bounds what arrives.
+    fn submit(&mut self, req: MemRequest, now: Cycle);
+
+    /// Advances one CPU cycle: drives both DRAM systems and appends any
+    /// finished requests to `done`.
+    fn tick(&mut self, now: Cycle, done: &mut Vec<CompletedReq>);
+
+    /// Requests accepted but not yet completed.
+    fn pending(&self) -> usize;
+
+    /// Controller event counters.
+    fn stats(&self) -> ControllerStats;
+
+    /// WideIO/HBM DRAM statistics, if this architecture has an HBM.
+    fn hbm_stats(&self) -> Option<redcache_dram::DramStats>;
+
+    /// DDR4 DRAM statistics.
+    fn ddr_stats(&self) -> redcache_dram::DramStats;
+
+    /// Architecture being simulated (for reports).
+    fn kind(&self) -> PolicyKind;
+
+    /// Pre-loads the functional image of main memory: `line -> version`.
+    /// Called once before simulation so reads of never-written lines
+    /// return a defined version.
+    fn preload(&mut self, line: LineAddr, version: u64);
+
+    /// Policy-specific scalar statistics (α/γ values, RCU drain mix, …)
+    /// as key/value pairs for reports. Empty by default.
+    fn extras(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
+
+    /// Zeroes all statistics at the warmup boundary (§IV.A). Functional
+    /// and adaptive state (cache contents, α, γ, queues) is preserved.
+    fn reset_stats(&mut self);
+}
+
+/// One DRAM side (HBM or DDR) plus its functional version store and the
+/// meta-tag bookkeeping to route completions back to request state
+/// machines.
+#[derive(Debug)]
+pub struct MemorySide {
+    /// The cycle-level DRAM model.
+    pub sys: DramSystem,
+    completions: Vec<Completion>,
+}
+
+impl MemorySide {
+    /// Wraps a DRAM system.
+    pub fn new(cfg: DramConfig) -> Self {
+        Self { sys: DramSystem::new(cfg), completions: Vec::new() }
+    }
+
+    /// Enqueues a transaction tagged with `meta`.
+    pub fn issue(&mut self, addr: redcache_types::PhysAddr, kind: TxnKind, meta: u64, bursts: u32, now: Cycle) {
+        self.sys.enqueue(addr, kind, meta, bursts, now);
+    }
+
+    /// Advances the DRAM clock and collects completions.
+    pub fn tick(&mut self, now: Cycle) {
+        self.sys.tick(now);
+        self.completions.extend(self.sys.drain_completions());
+    }
+
+    /// Takes all completions gathered since the last call.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+}
+
+/// Both memory sides, as owned by HBM-bearing controllers.
+#[derive(Debug)]
+pub struct MemorySides {
+    /// The in-package WideIO cache DRAM.
+    pub hbm: MemorySide,
+    /// The off-chip DDR4 main memory.
+    pub ddr: MemorySide,
+    /// Functional content of main memory: line → version.
+    pub ddr_versions: HashMap<u64, u64>,
+}
+
+impl MemorySides {
+    /// Builds both sides from the policy configuration.
+    pub fn new(cfg: &PolicyConfig) -> Self {
+        Self {
+            hbm: MemorySide::new(cfg.hbm),
+            ddr: MemorySide::new(cfg.ddr),
+            ddr_versions: HashMap::new(),
+        }
+    }
+
+    /// Version currently stored in main memory for `line` (0 if never
+    /// written).
+    pub fn ddr_version(&self, line: LineAddr) -> u64 {
+        self.ddr_versions.get(&line.raw()).copied().unwrap_or(0)
+    }
+
+    /// Records a write of `version` to main memory.
+    pub fn ddr_store(&mut self, line: LineAddr, version: u64) {
+        self.ddr_versions.insert(line.raw(), version);
+    }
+
+    /// Wraps a DDR line address (64 B) into the DDR address space so the
+    /// scaled configuration never decodes out of range.
+    pub fn ddr_addr(&self, line: LineAddr) -> redcache_types::PhysAddr {
+        let cap = self.ddr.sys.config().topology.capacity_bytes();
+        redcache_types::PhysAddr::new(line.base(64).raw() % cap)
+    }
+}
+
+/// Helper: encode (op id, leg) into a transaction meta tag.
+pub(crate) fn meta(op: u64, leg: u8) -> u64 {
+    (op << 3) | leg as u64
+}
+
+/// Helper: decode a transaction meta tag into (op id, leg).
+pub(crate) fn unmeta(m: u64) -> (u64, u8) {
+    (m >> 3, (m & 7) as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_round_trips() {
+        for op in [0u64, 1, 77, 1 << 40] {
+            for leg in 0..8u8 {
+                assert_eq!(unmeta(meta(op, leg)), (op, leg));
+            }
+        }
+    }
+
+    #[test]
+    fn policy_config_validates_block_sizes() {
+        let mut c = PolicyConfig::scaled(PolicyKind::Alloy);
+        c.validate().unwrap();
+        c.cache_block_bytes = 128;
+        c.validate().unwrap();
+        c.cache_block_bytes = 96;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn stats_derived_metrics() {
+        let s = ControllerStats {
+            reads_completed: 4,
+            read_latency_sum: 400,
+            hbm_probes: 10,
+            hbm_hits: 7,
+            hbm_misses: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.mean_read_latency(), 100.0);
+        assert!((s.hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ddr_versions_default_zero() {
+        let sides = MemorySides::new(&PolicyConfig::scaled(PolicyKind::Alloy));
+        assert_eq!(sides.ddr_version(LineAddr::new(42)), 0);
+    }
+
+    #[test]
+    fn ddr_addr_wraps_into_capacity() {
+        let sides = MemorySides::new(&PolicyConfig::scaled(PolicyKind::Alloy));
+        let cap = sides.ddr.sys.config().topology.capacity_bytes();
+        let a = sides.ddr_addr(LineAddr::new(u64::MAX / 128));
+        assert!(a.raw() < cap);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(PolicyKind::NoHbm.to_string(), "No-HBM");
+        assert_eq!(PolicyKind::Alloy.to_string(), "Alloy");
+    }
+}

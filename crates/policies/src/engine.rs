@@ -1,0 +1,352 @@
+//! Shared request-sequencing engine.
+//!
+//! Every controller decomposes a memory request into DRAM *legs* (an
+//! HBM probe, a DDR read, a fill write, a victim writeback, …). The
+//! engine tracks which legs gate the reply data, which legs are
+//! deferred until the probe returns (Alloy's serialized miss path), and
+//! retires the request when its data legs finish.
+//!
+//! Functional decisions (hit/miss, victim choice, version bookkeeping)
+//! are made by the policy at submit time; the legs model the *timing*
+//! of those decisions on the two DRAM interfaces (DESIGN.md §3.3).
+
+use crate::controller::{meta, unmeta, CompletedReq, MemorySides};
+use redcache_dram::TxnKind;
+use redcache_types::{AccessKind, Cycle, MemRequest, PhysAddr};
+use std::collections::HashMap;
+
+/// One DRAM access belonging to a request.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LegSpec {
+    /// Leg index, unique within the request (0..8).
+    pub leg: u8,
+    /// Target the HBM side (true) or the DDR side (false).
+    pub hbm: bool,
+    /// Transaction direction.
+    pub kind: TxnKind,
+    /// Target address (HBM-internal or DDR physical).
+    pub addr: PhysAddr,
+    /// Burst count.
+    pub bursts: u32,
+    /// Whether the reply data waits for this leg.
+    pub gates_data: bool,
+    /// Issue only after leg 0 (the probe) completes.
+    pub deferred: bool,
+}
+
+#[derive(Debug)]
+struct Op {
+    req: MemRequest,
+    version: u64,
+    all_mask: u8,
+    done_mask: u8,
+    data_mask: u8,
+    deferred: Vec<LegSpec>,
+    replied: bool,
+    data_at: Cycle,
+}
+
+/// A leg-completion event exposed to the policy for extra behaviour
+/// (e.g. RedCache's RCU enqueue on read-hit probes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LegEvent {
+    /// Engine op id.
+    pub op: u64,
+    /// Leg that finished.
+    pub leg: u8,
+    /// Completion cycle.
+    pub done_at: Cycle,
+}
+
+/// The sequencing engine: op table plus leg dispatch.
+#[derive(Debug, Default)]
+pub(crate) struct Engine {
+    ops: HashMap<u64, Op>,
+    next_op: u64,
+    events: Vec<LegEvent>,
+}
+
+impl Engine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of requests not yet fully retired.
+    pub fn pending(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Starts a request with reply version `version` and the given legs.
+    /// Legs with `deferred` wait for leg 0. A request with no
+    /// data-gating legs replies immediately (e.g. a pure bypassed
+    /// writeback still waits for its single leg if that leg gates).
+    ///
+    /// Returns the op id.
+    pub fn start(
+        &mut self,
+        req: MemRequest,
+        version: u64,
+        legs: &[LegSpec],
+        sides: &mut MemorySides,
+        now: Cycle,
+        done: &mut Vec<CompletedReq>,
+    ) -> u64 {
+        let id = self.next_op;
+        self.next_op += 1;
+        let mut op = Op {
+            req,
+            version,
+            all_mask: 0,
+            done_mask: 0,
+            data_mask: 0,
+            deferred: Vec::new(),
+            replied: false,
+            data_at: now,
+        };
+        for l in legs {
+            op.all_mask |= 1 << l.leg;
+            if l.gates_data {
+                op.data_mask |= 1 << l.leg;
+            }
+            if l.deferred {
+                op.deferred.push(*l);
+            }
+        }
+        for l in legs.iter().filter(|l| !l.deferred) {
+            Self::issue(id, l, sides, now);
+        }
+        if op.data_mask == 0 {
+            Self::reply(&mut op, now, done);
+        }
+        if op.all_mask == 0 {
+            // Fully synchronous request (e.g. served from the RCU block
+            // cache): retire immediately.
+            return id;
+        }
+        self.ops.insert(id, op);
+        id
+    }
+
+    fn issue(id: u64, l: &LegSpec, sides: &mut MemorySides, now: Cycle) {
+        let side = if l.hbm { &mut sides.hbm } else { &mut sides.ddr };
+        side.issue(l.addr, l.kind, meta(id, l.leg), l.bursts, now);
+    }
+
+    fn reply(op: &mut Op, at: Cycle, done: &mut Vec<CompletedReq>) {
+        if op.replied {
+            return;
+        }
+        op.replied = true;
+        done.push(CompletedReq {
+            id: op.req.id,
+            line: op.req.line,
+            kind: op.req.kind,
+            data_version: if op.req.kind == AccessKind::Read { op.version } else { op.req.data_version },
+            issued_at: op.req.issued_at,
+            done_at: at,
+        });
+    }
+
+    /// Routes one DRAM completion to its op. Returns true if the meta
+    /// tag belonged to this engine.
+    pub fn on_completion(
+        &mut self,
+        m: u64,
+        done_at: Cycle,
+        sides: &mut MemorySides,
+        done: &mut Vec<CompletedReq>,
+    ) -> bool {
+        let (id, leg) = unmeta(m);
+        let Some(op) = self.ops.get_mut(&id) else {
+            return false;
+        };
+        op.done_mask |= 1 << leg;
+        if op.data_mask & (1 << leg) != 0 {
+            op.data_at = op.data_at.max(done_at);
+        }
+        self.events.push(LegEvent { op: id, leg, done_at });
+        // Probe finished: release deferred legs.
+        if leg == 0 {
+            let deferred = std::mem::take(&mut op.deferred);
+            for l in &deferred {
+                Self::issue(id, l, sides, done_at);
+            }
+        }
+        // All data legs finished: reply.
+        if !op.replied && op.done_mask & op.data_mask == op.data_mask {
+            let at = op.data_at;
+            Self::reply(op, at, done);
+        }
+        // Fully retired?
+        if op.done_mask == op.all_mask && op.deferred.is_empty() {
+            // Reply must have happened (data_mask ⊆ all_mask).
+            self.ops.remove(&id);
+        }
+        true
+    }
+
+    /// Takes this tick's leg events for policy-specific postprocessing.
+    pub fn take_events(&mut self) -> Vec<LegEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// Standard leg indices used by the concrete policies.
+pub(crate) mod legs {
+    /// HBM tag-and-data probe.
+    pub const PROBE: u8 = 0;
+    /// DDR data read.
+    pub const DDR_READ: u8 = 1;
+    /// HBM data/fill write.
+    pub const HBM_WRITE: u8 = 2;
+    /// DDR write (victim writeback or routed write).
+    pub const DDR_WRITE: u8 = 3;
+    /// HBM r-count update write (Red-Basic's immediate update).
+    pub const RCU_WRITE: u8 = 4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{PolicyConfig, PolicyKind};
+    use redcache_types::{CoreId, LineAddr, ReqId};
+
+    fn sides() -> MemorySides {
+        MemorySides::new(&PolicyConfig::scaled(PolicyKind::Alloy))
+    }
+
+    fn run(sides: &mut MemorySides, eng: &mut Engine, done: &mut Vec<CompletedReq>, mut now: Cycle) -> Cycle {
+        while eng.pending() > 0 {
+            sides.hbm.tick(now);
+            sides.ddr.tick(now);
+            for c in sides.hbm.take_completions() {
+                eng.on_completion(c.meta, c.done_at, sides, done);
+            }
+            for c in sides.ddr.take_completions() {
+                eng.on_completion(c.meta, c.done_at, sides, done);
+            }
+            now += 1;
+            assert!(now < 1_000_000, "engine deadlock");
+        }
+        now
+    }
+
+    #[test]
+    fn parallel_legs_reply_at_max() {
+        let mut s = sides();
+        let mut eng = Engine::new();
+        let mut done = Vec::new();
+        let req = MemRequest::read(ReqId(1), LineAddr::new(4), CoreId(0), 0);
+        eng.start(
+            req,
+            9,
+            &[
+                LegSpec { leg: legs::PROBE, hbm: true, kind: TxnKind::Read, addr: PhysAddr::new(0), bursts: 1, gates_data: true, deferred: false },
+                LegSpec { leg: legs::DDR_READ, hbm: false, kind: TxnKind::Read, addr: PhysAddr::new(0), bursts: 1, gates_data: true, deferred: false },
+            ],
+            &mut s,
+            0,
+            &mut done,
+        );
+        run(&mut s, &mut eng, &mut done, 0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].data_version, 9);
+        assert!(done[0].done_at > 0);
+    }
+
+    #[test]
+    fn deferred_leg_waits_for_probe() {
+        let mut s = sides();
+        let mut eng = Engine::new();
+        let mut done = Vec::new();
+        let req = MemRequest::read(ReqId(2), LineAddr::new(4), CoreId(0), 0);
+        eng.start(
+            req,
+            5,
+            &[
+                LegSpec { leg: legs::PROBE, hbm: true, kind: TxnKind::Read, addr: PhysAddr::new(0), bursts: 1, gates_data: false, deferred: false },
+                LegSpec { leg: legs::DDR_READ, hbm: false, kind: TxnKind::Read, addr: PhysAddr::new(0), bursts: 1, gates_data: true, deferred: true },
+            ],
+            &mut s,
+            0,
+            &mut done,
+        );
+        run(&mut s, &mut eng, &mut done, 0);
+        assert_eq!(done.len(), 1);
+        // Serialized: total latency exceeds a lone DDR read's.
+        let probe_then_read = done[0].done_at;
+        let mut s2 = sides();
+        let mut eng2 = Engine::new();
+        let mut done2 = Vec::new();
+        eng2.start(
+            MemRequest::read(ReqId(3), LineAddr::new(4), CoreId(0), 0),
+            5,
+            &[LegSpec { leg: legs::DDR_READ, hbm: false, kind: TxnKind::Read, addr: PhysAddr::new(0), bursts: 1, gates_data: true, deferred: false }],
+            &mut s2,
+            0,
+            &mut done2,
+        );
+        run(&mut s2, &mut eng2, &mut done2, 0);
+        assert!(probe_then_read > done2[0].done_at);
+    }
+
+    #[test]
+    fn writeback_reply_carries_write_version() {
+        let mut s = sides();
+        let mut eng = Engine::new();
+        let mut done = Vec::new();
+        let req = MemRequest::writeback(ReqId(4), LineAddr::new(4), CoreId(0), 0, 77);
+        eng.start(
+            req,
+            0,
+            &[LegSpec { leg: legs::DDR_WRITE, hbm: false, kind: TxnKind::Write, addr: PhysAddr::new(0), bursts: 1, gates_data: true, deferred: false }],
+            &mut s,
+            0,
+            &mut done,
+        );
+        run(&mut s, &mut eng, &mut done, 0);
+        assert_eq!(done[0].data_version, 77);
+    }
+
+    #[test]
+    fn no_legs_replies_immediately_and_retires() {
+        let mut s = sides();
+        let mut eng = Engine::new();
+        let mut done = Vec::new();
+        let req = MemRequest::read(ReqId(5), LineAddr::new(4), CoreId(0), 3);
+        eng.start(req, 11, &[], &mut s, 3, &mut done);
+        assert_eq!(eng.pending(), 0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].done_at, 3);
+        assert_eq!(done[0].data_version, 11);
+    }
+
+    #[test]
+    fn non_gating_legs_do_not_delay_reply() {
+        // Same legs, once with the writes gating the data and once
+        // without: the non-gating reply must be at least as early.
+        let run_with = |write_gates: bool| -> Cycle {
+            let mut s = sides();
+            let mut eng = Engine::new();
+            let mut done = Vec::new();
+            let req = MemRequest::read(ReqId(6), LineAddr::new(4), CoreId(0), 0);
+            eng.start(
+                req,
+                1,
+                &[
+                    LegSpec { leg: legs::PROBE, hbm: true, kind: TxnKind::Read, addr: PhysAddr::new(0), bursts: 1, gates_data: true, deferred: false },
+                    LegSpec { leg: legs::HBM_WRITE, hbm: true, kind: TxnKind::Write, addr: PhysAddr::new(64), bursts: 1, gates_data: write_gates, deferred: false },
+                    LegSpec { leg: legs::DDR_WRITE, hbm: false, kind: TxnKind::Write, addr: PhysAddr::new(0), bursts: 1, gates_data: write_gates, deferred: false },
+                ],
+                &mut s,
+                0,
+                &mut done,
+            );
+            run(&mut s, &mut eng, &mut done, 0);
+            done[0].done_at
+        };
+        let free_running = run_with(false);
+        let gated = run_with(true);
+        assert!(free_running < gated, "non-gating legs must not delay the reply ({free_running} vs {gated})");
+    }
+}

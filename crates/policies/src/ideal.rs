@@ -1,0 +1,212 @@
+//! The **IDEAL** HBM cache (Fig. 1b): a perfect cache that never misses
+//! a requested block — but still consumes WideIO bandwidth and storage
+//! for tag checks (§II.A), which is exactly what makes it an upper
+//! bound rather than free.
+
+use crate::controller::{
+    CompletedReq, ControllerStats, DramCacheController, MemorySides, PolicyConfig, PolicyKind,
+};
+use crate::engine::{legs, Engine, LegSpec};
+use redcache_dram::{DramStats, TxnKind};
+use redcache_types::{AccessKind, Cycle, LineAddr, MemRequest, PhysAddr};
+use std::collections::HashMap;
+
+/// Controller with a 100 % hit rate HBM front end.
+#[derive(Debug)]
+pub struct IdealController {
+    sides: MemorySides,
+    engine: Engine,
+    stats: ControllerStats,
+    /// Functional content of the magic cache: line → version.
+    versions: HashMap<u64, u64>,
+    hbm_capacity: u64,
+    bursts: u32,
+}
+
+impl IdealController {
+    /// Builds the controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(cfg: &PolicyConfig) -> Self {
+        cfg.validate().expect("invalid policy config");
+        Self {
+            sides: MemorySides::new(cfg),
+            engine: Engine::new(),
+            stats: ControllerStats::default(),
+            versions: HashMap::new(),
+            hbm_capacity: cfg.hbm.topology.capacity_bytes(),
+            bursts: (cfg.cache_block_bytes / 64) as u32,
+        }
+    }
+
+    fn hbm_addr(&self, line: LineAddr) -> PhysAddr {
+        PhysAddr::new(line.base(64).raw() % self.hbm_capacity)
+    }
+}
+
+impl DramCacheController for IdealController {
+    fn submit(&mut self, req: MemRequest, now: Cycle) {
+        self.stats.submitted += 1;
+        let addr = self.hbm_addr(req.line);
+        let mut done = Vec::new();
+        match req.kind {
+            AccessKind::Read => {
+                // Tag check + data in one TAD read; always a hit.
+                self.stats.hbm_probes += 1;
+                self.stats.hbm_hits += 1;
+                let version = self.versions.get(&req.line.raw()).copied().unwrap_or(0);
+                self.engine.start(
+                    req,
+                    version,
+                    &[LegSpec {
+                        leg: legs::PROBE,
+                        hbm: true,
+                        kind: TxnKind::Read,
+                        addr,
+                        bursts: self.bursts,
+                        gates_data: true,
+                        deferred: false,
+                    }],
+                    &mut self.sides,
+                    now,
+                    &mut done,
+                );
+            }
+            AccessKind::Writeback => {
+                // Probe (tag check) then data write — same two-access
+                // cost a real cache pays on a write hit (§III.B).
+                self.stats.hbm_probes += 1;
+                self.stats.hbm_hits += 1;
+                self.stats.hbm_writes += 1;
+                self.versions.insert(req.line.raw(), req.data_version);
+                self.engine.start(
+                    req,
+                    0,
+                    &[
+                        LegSpec {
+                            leg: legs::PROBE,
+                            hbm: true,
+                            kind: TxnKind::Read,
+                            addr,
+                            bursts: self.bursts,
+                            gates_data: false,
+                            deferred: false,
+                        },
+                        LegSpec {
+                            leg: legs::HBM_WRITE,
+                            hbm: true,
+                            kind: TxnKind::Write,
+                            addr,
+                            bursts: self.bursts,
+                            gates_data: true,
+                            deferred: true,
+                        },
+                    ],
+                    &mut self.sides,
+                    now,
+                    &mut done,
+                );
+            }
+        }
+        debug_assert!(done.is_empty());
+    }
+
+    fn tick(&mut self, now: Cycle, done: &mut Vec<CompletedReq>) {
+        self.sides.hbm.tick(now);
+        self.sides.ddr.tick(now);
+        let before = done.len();
+        for c in self.sides.hbm.take_completions() {
+            self.engine.on_completion(c.meta, c.done_at, &mut self.sides, done);
+        }
+        let _ = self.engine.take_events();
+        for d in &done[before..] {
+            self.stats.completed += 1;
+            if d.kind == AccessKind::Read {
+                self.stats.reads_completed += 1;
+                self.stats.read_latency_sum += d.latency();
+            }
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.engine.pending()
+    }
+
+    fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    fn hbm_stats(&self) -> Option<DramStats> {
+        Some(*self.sides.hbm.sys.stats())
+    }
+
+    fn ddr_stats(&self) -> DramStats {
+        *self.sides.ddr.sys.stats()
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Ideal
+    }
+
+    fn preload(&mut self, line: LineAddr, version: u64) {
+        self.versions.insert(line.raw(), version);
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = ControllerStats::default();
+        self.sides.hbm.sys.reset_stats();
+        self.sides.ddr.sys.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcache_types::{CoreId, ReqId};
+
+    fn drive(c: &mut IdealController, from: Cycle) -> (Vec<CompletedReq>, Cycle) {
+        let mut done = Vec::new();
+        let mut now = from;
+        while c.pending() > 0 {
+            c.tick(now, &mut done);
+            now += 1;
+            assert!(now < 1_000_000);
+        }
+        (done, now)
+    }
+
+    #[test]
+    fn always_hits_and_never_touches_ddr() {
+        let mut c = IdealController::new(&PolicyConfig::scaled(PolicyKind::Ideal));
+        for i in 0..50u64 {
+            c.submit(MemRequest::read(ReqId(i), LineAddr::new(i * 1000), CoreId(0), 0), 0);
+        }
+        let (done, _) = drive(&mut c, 0);
+        assert_eq!(done.len(), 50);
+        assert_eq!(c.stats().hit_rate(), 1.0);
+        assert_eq!(c.ddr_stats().bytes_total(), 0);
+        assert!(c.hbm_stats().unwrap().bytes_read > 0);
+    }
+
+    #[test]
+    fn write_then_read_returns_new_version() {
+        let mut c = IdealController::new(&PolicyConfig::scaled(PolicyKind::Ideal));
+        c.submit(MemRequest::writeback(ReqId(1), LineAddr::new(9), CoreId(0), 0, 5), 0);
+        let (_, t) = drive(&mut c, 0);
+        c.submit(MemRequest::read(ReqId(2), LineAddr::new(9), CoreId(0), t), t);
+        let (done, _) = drive(&mut c, t);
+        assert_eq!(done[0].data_version, 5);
+    }
+
+    #[test]
+    fn writes_cost_two_hbm_accesses() {
+        let mut c = IdealController::new(&PolicyConfig::scaled(PolicyKind::Ideal));
+        c.submit(MemRequest::writeback(ReqId(1), LineAddr::new(9), CoreId(0), 0, 5), 0);
+        drive(&mut c, 0);
+        let s = c.hbm_stats().unwrap();
+        assert_eq!(s.energy.rd_bursts, 1);
+        assert_eq!(s.energy.wr_bursts, 1);
+    }
+}

@@ -1,0 +1,60 @@
+//! DRAM-cache controllers for the RedCache reproduction.
+//!
+//! This crate implements the paper's primary contribution — the
+//! **RedCache** adaptive controller family (§III) — together with every
+//! architecture it is evaluated against:
+//!
+//! * [`NoHbmController`] — no DRAM cache; all traffic to DDR4 (Fig. 1a);
+//! * [`IdealController`] — a perfect HBM cache with 100 % hit rate that
+//!   still pays tag-check transfers (Fig. 1b);
+//! * [`AlloyController`] — the Alloy direct-mapped TAD cache
+//!   [Qureshi & Loh, MICRO'12], with a region-based memory-access
+//!   predictor standing in for MAP-I;
+//! * [`BearController`] — BEAR [Chou et al., ISCA'15]: Alloy plus
+//!   bandwidth-aware fill bypass and presence-based probe elision;
+//! * [`RedCacheController`] — α/γ adaptive reduced caching with the RCU
+//!   update manager, in all five paper variants
+//!   ([`RedVariant::Alpha`], [`RedVariant::Gamma`], [`RedVariant::Basic`],
+//!   [`RedVariant::InSitu`], [`RedVariant::Full`]).
+//!
+//! Every controller owns its DRAM back ends (a WideIO/HBM
+//! [`redcache_dram::DramSystem`] and a DDR4 one), drives them cycle by
+//! cycle, and tracks *functional* line versions so the simulator's
+//! shadow checker can prove no policy ever serves stale data.
+
+#![warn(missing_docs)]
+
+mod alloy;
+mod bear;
+pub mod controller;
+mod engine;
+mod ideal;
+mod nohbm;
+mod predictor;
+pub mod redcache;
+mod tagstore;
+
+pub use alloy::AlloyController;
+pub use bear::BearController;
+pub use controller::{
+    CompletedReq, ControllerStats, DramCacheController, MemorySides, PolicyConfig, PolicyKind,
+};
+pub use ideal::IdealController;
+pub use nohbm::NoHbmController;
+pub use predictor::RegionPredictor;
+pub use redcache::{RedCacheController, RedConfig, RedVariant};
+pub use tagstore::{classify, BlockClass, TagStore};
+
+/// Builds the controller selected by `cfg.kind`.
+pub fn build_controller(cfg: &PolicyConfig) -> Box<dyn DramCacheController> {
+    match cfg.kind {
+        PolicyKind::NoHbm => Box::new(NoHbmController::new(cfg)),
+        PolicyKind::Ideal => Box::new(IdealController::new(cfg)),
+        PolicyKind::Alloy => Box::new(AlloyController::new(cfg)),
+        PolicyKind::Bear => Box::new(BearController::new(cfg)),
+        PolicyKind::Red(variant) => {
+            let red = cfg.red_override.unwrap_or_else(|| RedConfig::for_variant(variant));
+            Box::new(RedCacheController::new(cfg, red))
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The **No-HBM** baseline topology (Fig. 1a): a multicore CPU and
+//! off-chip DDR4, with no in-package cache at all.
+
+use crate::controller::{
+    CompletedReq, ControllerStats, DramCacheController, MemorySides, PolicyConfig, PolicyKind,
+};
+use crate::engine::{legs, Engine, LegSpec};
+use redcache_dram::{DramStats, TxnKind};
+use redcache_types::{AccessKind, Cycle, LineAddr, MemRequest};
+
+/// Controller that forwards every request to main memory.
+#[derive(Debug)]
+pub struct NoHbmController {
+    sides: MemorySides,
+    engine: Engine,
+    stats: ControllerStats,
+}
+
+impl NoHbmController {
+    /// Builds the controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(cfg: &PolicyConfig) -> Self {
+        cfg.validate().expect("invalid policy config");
+        Self { sides: MemorySides::new(cfg), engine: Engine::new(), stats: ControllerStats::default() }
+    }
+}
+
+impl DramCacheController for NoHbmController {
+    fn submit(&mut self, req: MemRequest, now: Cycle) {
+        self.stats.submitted += 1;
+        let addr = self.sides.ddr_addr(req.line);
+        let mut done = Vec::new();
+        match req.kind {
+            AccessKind::Read => {
+                self.stats.ddr_reads += 1;
+                let version = self.sides.ddr_version(req.line);
+                self.engine.start(
+                    req,
+                    version,
+                    &[LegSpec {
+                        leg: legs::DDR_READ,
+                        hbm: false,
+                        kind: TxnKind::Read,
+                        addr,
+                        bursts: 1,
+                        gates_data: true,
+                        deferred: false,
+                    }],
+                    &mut self.sides,
+                    now,
+                    &mut done,
+                );
+            }
+            AccessKind::Writeback => {
+                self.stats.ddr_writes += 1;
+                self.sides.ddr_store(req.line, req.data_version);
+                self.engine.start(
+                    req,
+                    0,
+                    &[LegSpec {
+                        leg: legs::DDR_WRITE,
+                        hbm: false,
+                        kind: TxnKind::Write,
+                        addr,
+                        bursts: 1,
+                        gates_data: true,
+                        deferred: false,
+                    }],
+                    &mut self.sides,
+                    now,
+                    &mut done,
+                );
+            }
+        }
+        debug_assert!(done.is_empty());
+    }
+
+    fn tick(&mut self, now: Cycle, done: &mut Vec<CompletedReq>) {
+        self.sides.ddr.tick(now);
+        let before = done.len();
+        for c in self.sides.ddr.take_completions() {
+            self.engine.on_completion(c.meta, c.done_at, &mut self.sides, done);
+        }
+        let _ = self.engine.take_events();
+        for d in &done[before..] {
+            self.stats.completed += 1;
+            if d.kind == AccessKind::Read {
+                self.stats.reads_completed += 1;
+                self.stats.read_latency_sum += d.latency();
+            }
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.engine.pending()
+    }
+
+    fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    fn hbm_stats(&self) -> Option<DramStats> {
+        None
+    }
+
+    fn ddr_stats(&self) -> DramStats {
+        *self.sides.ddr.sys.stats()
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::NoHbm
+    }
+
+    fn preload(&mut self, line: LineAddr, version: u64) {
+        self.sides.ddr_store(line, version);
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = ControllerStats::default();
+        self.sides.ddr.sys.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcache_types::{CoreId, ReqId};
+
+    fn drive(c: &mut NoHbmController, from: Cycle) -> (Vec<CompletedReq>, Cycle) {
+        let mut done = Vec::new();
+        let mut now = from;
+        while c.pending() > 0 {
+            c.tick(now, &mut done);
+            now += 1;
+            assert!(now < 1_000_000);
+        }
+        (done, now)
+    }
+
+    #[test]
+    fn read_returns_preloaded_version() {
+        let mut c = NoHbmController::new(&PolicyConfig::scaled(PolicyKind::NoHbm));
+        c.preload(LineAddr::new(10), 123);
+        c.submit(MemRequest::read(ReqId(1), LineAddr::new(10), CoreId(0), 0), 0);
+        let (done, _) = drive(&mut c, 0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].data_version, 123);
+        assert_eq!(c.stats().ddr_reads, 1);
+        assert!(c.hbm_stats().is_none());
+    }
+
+    #[test]
+    fn writeback_then_read_round_trips() {
+        let mut c = NoHbmController::new(&PolicyConfig::scaled(PolicyKind::NoHbm));
+        c.submit(MemRequest::writeback(ReqId(1), LineAddr::new(5), CoreId(0), 0, 42), 0);
+        let (_, t) = drive(&mut c, 0);
+        c.submit(MemRequest::read(ReqId(2), LineAddr::new(5), CoreId(0), t), t);
+        let (done, _) = drive(&mut c, t);
+        assert_eq!(done[0].data_version, 42);
+        assert_eq!(c.stats().completed, 2);
+    }
+
+    #[test]
+    fn no_wideio_traffic_ever() {
+        let mut c = NoHbmController::new(&PolicyConfig::scaled(PolicyKind::NoHbm));
+        for i in 0..20 {
+            c.submit(MemRequest::read(ReqId(i), LineAddr::new(i * 7), CoreId(0), 0), 0);
+        }
+        drive(&mut c, 0);
+        assert!(c.ddr_stats().bytes_total() > 0);
+        assert_eq!(c.stats().hbm_probes, 0);
+    }
+}

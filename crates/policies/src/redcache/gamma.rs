@@ -1,0 +1,153 @@
+//! γ-counting (§III.A.2): the adaptive expected lifetime of HBM blocks.
+//!
+//! Every cached block carries an 8-bit r-count (zeroed on fill,
+//! incremented on every hit). On each hit the controller compares the
+//! block's r-count with γ and moves γ one step toward it — the paper's
+//! "linearly ascending/descending" update that averages out abrupt
+//! differences. A *write* hit whose r-count has reached γ is treated as
+//! the block's last write: the block is invalidated and the write goes
+//! straight to main memory (§II.C), with no extra DRAM-cache access.
+
+use serde::{Deserialize, Serialize};
+
+/// γ-counting configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GammaConfig {
+    /// Starting lifetime.
+    pub initial: u32,
+    /// Lower bound (never invalidate on the very first touches).
+    pub min: u32,
+    /// Upper bound (the 8-bit counter ceiling).
+    pub max: u32,
+    /// Enable the per-hit linear adaptation.
+    pub adapt: bool,
+}
+
+impl Default for GammaConfig {
+    fn default() -> Self {
+        Self { initial: 16, min: 4, max: 255, adapt: true }
+    }
+}
+
+/// The γ manager.
+#[derive(Debug)]
+pub struct GammaManager {
+    cfg: GammaConfig,
+    gamma: u32,
+    moves: u64,
+}
+
+impl GammaManager {
+    /// Creates a manager with lifetime `cfg.initial`.
+    pub fn new(cfg: GammaConfig) -> Self {
+        Self { cfg, gamma: cfg.initial.clamp(cfg.min, cfg.max), moves: 0 }
+    }
+
+    /// Current expected lifetime.
+    pub fn gamma(&self) -> u32 {
+        self.gamma
+    }
+
+    /// Number of γ adjustments made.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Feeds the r-count of a block that just hit; a block outliving the
+    /// expected lifetime raises γ one step (the paper's linear ascent,
+    /// Fig. 6).
+    ///
+    /// Deviation from a literal reading (documented in DESIGN.md §3.4):
+    /// hits with `r < γ` do **not** lower γ. A young block hitting says
+    /// nothing about where lifetimes *end*; descending on every such hit
+    /// couples γ to the age of recently refilled blocks and collapses it
+    /// to the floor (blocks get invalidated early → refill → small
+    /// r-counts → γ stays small). γ descends on completed lifetimes
+    /// instead ([`GammaManager::on_lifetime_end`]).
+    pub fn on_hit(&mut self, r_count: u32) {
+        if !self.cfg.adapt {
+            return;
+        }
+        if r_count > self.gamma && self.gamma < self.cfg.max {
+            self.gamma += 1;
+            self.moves += 1;
+        }
+    }
+
+    /// Feeds the final r-count of a block whose residency ended (victim
+    /// eviction): a lifetime completing below γ lowers it one step (the
+    /// linear descent).
+    pub fn on_lifetime_end(&mut self, r_count: u32) {
+        if !self.cfg.adapt {
+            return;
+        }
+        if r_count < self.gamma && self.gamma > self.cfg.min {
+            self.gamma -= 1;
+            self.moves += 1;
+        }
+    }
+
+    /// True when a block with this r-count is a candidate for
+    /// invalidation on its next write (r-count ≥ γ, §III.A.2). A
+    /// saturated 8-bit counter carries no lifetime information and never
+    /// triggers invalidation.
+    pub fn should_invalidate(&self, r_count: u32) -> bool {
+        r_count >= self.gamma && r_count < 255
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_ascends_on_long_lived_hits() {
+        let mut g = GammaManager::new(GammaConfig { initial: 16, ..Default::default() });
+        for _ in 0..40 {
+            g.on_hit(30);
+        }
+        assert_eq!(g.gamma(), 30, "γ must climb to the observed lifetime");
+        // Hits below γ do not pull it down…
+        for _ in 0..40 {
+            g.on_hit(8);
+        }
+        assert_eq!(g.gamma(), 30);
+        // …but completed lifetimes below γ do.
+        for _ in 0..40 {
+            g.on_lifetime_end(8);
+        }
+        assert_eq!(g.gamma(), 8);
+    }
+
+    #[test]
+    fn gamma_respects_bounds() {
+        let mut g = GammaManager::new(GammaConfig { initial: 3, min: 2, max: 10, adapt: true });
+        for _ in 0..100 {
+            g.on_lifetime_end(0);
+        }
+        assert_eq!(g.gamma(), 2);
+        for _ in 0..100 {
+            g.on_hit(200);
+        }
+        assert_eq!(g.gamma(), 10);
+    }
+
+    #[test]
+    fn invalidation_threshold() {
+        let g = GammaManager::new(GammaConfig { initial: 5, adapt: false, ..Default::default() });
+        assert!(!g.should_invalidate(4));
+        assert!(g.should_invalidate(5));
+        assert!(g.should_invalidate(6));
+        assert!(!g.should_invalidate(255), "saturated counters carry no information");
+    }
+
+    #[test]
+    fn adaptation_can_be_disabled() {
+        let mut g = GammaManager::new(GammaConfig { initial: 7, adapt: false, ..Default::default() });
+        for _ in 0..10 {
+            g.on_hit(100);
+        }
+        assert_eq!(g.gamma(), 7);
+        assert_eq!(g.moves(), 0);
+    }
+}

@@ -1,0 +1,753 @@
+//! **RedCache** — adaptively reduced DRAM caching (§III), the paper's
+//! contribution, in all five evaluated variants (§IV.A):
+//!
+//! | Variant | α | γ | r-count update cost | RCU queue | refresh bypass |
+//! |---|---|---|---|---|---|
+//! | `Red-Alpha`  | ✓ | – | none needed        | –  | – |
+//! | `Red-Gamma`  | – | ✓ | in-DRAM (free)     | –  | – |
+//! | `Red-Basic`  | ✓ | ✓ | immediate HBM write| –  | – |
+//! | `Red-InSitu` | ✓ | ✓ | in-DRAM (free)     | –  | – |
+//! | `RedCache`   | ✓ | ✓ | deferred via RCU   | ✓ (+ block cache) | ✓ |
+//!
+//! The request flow follows Fig. 7: α-counting gates whether a request
+//! may use the HBM at all; eligible requests take the Alloy-style TAD
+//! probe; γ identifies last writes on write hits and invalidates the
+//! block while routing the data straight to DDR; fills and evictions
+//! follow the dirty-victim rules of the flow chart.
+
+mod alpha;
+mod gamma;
+mod rcu;
+#[cfg(test)]
+mod tests;
+
+pub use alpha::{AlphaConfig, AlphaManager, AlphaStats};
+pub use gamma::{GammaConfig, GammaManager};
+pub use rcu::{RcuEntry, RcuQueue, RcuStats};
+
+use crate::controller::{
+    CompletedReq, ControllerStats, DramCacheController, MemorySides, PolicyConfig, PolicyKind,
+};
+use crate::engine::{legs, Engine, LegSpec};
+use crate::predictor::RegionPredictor;
+use crate::tagstore::TagStore;
+use redcache_dram::{DramStats, IssuedKind, TxnKind};
+use redcache_types::{AccessKind, Cycle, LineAddr, MemRequest};
+use serde::{Deserialize, Serialize};
+
+/// Meta tag reserved for RCU drain writes (outside the engine space).
+const DRAIN_META: u64 = u64::MAX;
+
+/// The five evaluated RedCache variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RedVariant {
+    /// Direct-mapped cache with α-counting only.
+    Alpha,
+    /// In-DRAM γ-counting applied to the Alloy cache.
+    Gamma,
+    /// α + γ without the RCU manager (updates pay full cost).
+    Basic,
+    /// α + γ with in-DRAM (free) r-count processing.
+    InSitu,
+    /// The full architecture: α + γ + RCU + refresh bypass.
+    Full,
+}
+
+impl std::fmt::Display for RedVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RedVariant::Alpha => write!(f, "Red-Alpha"),
+            RedVariant::Gamma => write!(f, "Red-Gamma"),
+            RedVariant::Basic => write!(f, "Red-Basic"),
+            RedVariant::InSitu => write!(f, "Red-InSitu"),
+            RedVariant::Full => write!(f, "RedCache"),
+        }
+    }
+}
+
+/// How r-count updates reach the DRAM-resident tag byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateMode {
+    /// No updates needed (no γ to compare against).
+    None,
+    /// An HBM write immediately after every read hit (Red-Basic).
+    Immediate,
+    /// Deferred through the RCU queue (RedCache).
+    Rcu,
+    /// Processed inside the DRAM dies (Red-InSitu / Red-Gamma).
+    InSitu,
+}
+
+/// Full RedCache configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RedConfig {
+    /// Which variant this configuration realises.
+    pub variant: RedVariant,
+    /// Enable α-counting.
+    pub alpha_enabled: bool,
+    /// Enable γ-counting / last-write invalidation.
+    pub gamma_enabled: bool,
+    /// r-count update cost model.
+    pub update_mode: UpdateMode,
+    /// Serve reads from parked RCU blocks.
+    pub rcu_block_cache: bool,
+    /// Route around ranks under refresh.
+    pub refresh_bypass: bool,
+    /// α parameters.
+    pub alpha: AlphaConfig,
+    /// γ parameters.
+    pub gamma: GammaConfig,
+    /// RCU queue entries (32 in the paper).
+    pub rcu_capacity: usize,
+}
+
+impl RedConfig {
+    /// The canonical configuration for each paper variant.
+    pub fn for_variant(variant: RedVariant) -> Self {
+        let base = Self {
+            variant,
+            alpha_enabled: true,
+            gamma_enabled: true,
+            update_mode: UpdateMode::Rcu,
+            rcu_block_cache: true,
+            refresh_bypass: true,
+            alpha: AlphaConfig::default(),
+            gamma: GammaConfig::default(),
+            rcu_capacity: 32,
+        };
+        match variant {
+            RedVariant::Alpha => Self {
+                gamma_enabled: false,
+                update_mode: UpdateMode::None,
+                rcu_block_cache: false,
+                refresh_bypass: false,
+                ..base
+            },
+            RedVariant::Gamma => Self {
+                alpha_enabled: false,
+                update_mode: UpdateMode::InSitu,
+                rcu_block_cache: false,
+                refresh_bypass: false,
+                ..base
+            },
+            RedVariant::Basic => Self {
+                update_mode: UpdateMode::Immediate,
+                rcu_block_cache: false,
+                refresh_bypass: false,
+                ..base
+            },
+            RedVariant::InSitu => Self {
+                update_mode: UpdateMode::InSitu,
+                rcu_block_cache: false,
+                refresh_bypass: false,
+                ..base
+            },
+            RedVariant::Full => base,
+        }
+    }
+}
+
+/// The RedCache controller.
+#[derive(Debug)]
+pub struct RedCacheController {
+    sides: MemorySides,
+    engine: Engine,
+    tags: TagStore,
+    alpha: AlphaManager,
+    gamma: GammaManager,
+    rcu: RcuQueue,
+    predictor: RegionPredictor,
+    red: RedConfig,
+    stats: ControllerStats,
+    block_bytes: usize,
+    bursts: u32,
+    drain_outstanding: usize,
+    rcu_updates_owed: u64,
+    /// Requests completed synchronously (RCU block-cache hits), handed
+    /// out on the next tick.
+    sync_done: Vec<CompletedReq>,
+}
+
+impl RedCacheController {
+    /// Builds a RedCache controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(cfg: &PolicyConfig, red: RedConfig) -> Self {
+        cfg.validate().expect("invalid policy config");
+        let sets = (cfg.hbm.topology.capacity_bytes() / cfg.cache_block_bytes as u64) as usize;
+        let mut sides = MemorySides::new(cfg);
+        if red.update_mode == UpdateMode::Rcu {
+            sides.hbm.sys.set_cmd_recording(true);
+        }
+        Self {
+            sides,
+            engine: Engine::new(),
+            tags: TagStore::new(sets, cfg.lines_per_block()),
+            alpha: AlphaManager::new(red.alpha),
+            gamma: GammaManager::new(red.gamma),
+            rcu: RcuQueue::new(red.rcu_capacity),
+            predictor: RegionPredictor::new(4096),
+            red,
+            stats: ControllerStats::default(),
+            block_bytes: cfg.cache_block_bytes,
+            bursts: (cfg.cache_block_bytes / 64) as u32,
+            drain_outstanding: 0,
+            rcu_updates_owed: 0,
+            sync_done: Vec::new(),
+        }
+    }
+
+    /// Current α threshold.
+    pub fn current_alpha(&self) -> u32 {
+        self.alpha.alpha()
+    }
+
+    /// Current γ lifetime.
+    pub fn current_gamma(&self) -> u32 {
+        self.gamma.gamma()
+    }
+
+    /// RCU drain statistics.
+    pub fn rcu_stats(&self) -> RcuStats {
+        self.rcu.stats()
+    }
+
+    /// α-buffer statistics.
+    pub fn alpha_stats(&self) -> AlphaStats {
+        self.alpha.stats()
+    }
+
+    fn hbm_addr(&self, line: LineAddr) -> redcache_types::PhysAddr {
+        self.tags.hbm_addr(line, self.block_bytes)
+    }
+
+    fn probe_leg(&self, line: LineAddr, gates_data: bool) -> LegSpec {
+        LegSpec {
+            leg: legs::PROBE,
+            hbm: true,
+            kind: TxnKind::Read,
+            addr: self.hbm_addr(line),
+            bursts: self.bursts,
+            gates_data,
+            deferred: false,
+        }
+    }
+
+    fn ddr_read_leg(&self, line: LineAddr, deferred: bool) -> LegSpec {
+        LegSpec {
+            leg: legs::DDR_READ,
+            hbm: false,
+            kind: TxnKind::Read,
+            addr: self.sides.ddr_addr(line),
+            bursts: self.bursts,
+            gates_data: true,
+            deferred,
+        }
+    }
+
+    fn block_versions_from_ddr(&self, line: LineAddr) -> [u64; 4] {
+        let mut v = [0u64; 4];
+        let first = self.tags.block_first_line(self.tags.block_of(line));
+        for (i, slot) in v.iter_mut().enumerate().take(self.tags.lines_per_block() as usize) {
+            *slot = self.sides.ddr_version(LineAddr::new(first.raw() + i as u64));
+        }
+        v
+    }
+
+    /// Writes a victim's dirty payload to the functional main memory and
+    /// returns the DDR timing leg if one is needed.
+    fn retire_victim(
+        &mut self,
+        victim: Option<crate::tagstore::TagEntry>,
+        leg: u8,
+    ) -> Option<LegSpec> {
+        let victim = victim?;
+        self.rcu.remove_block(victim.block);
+        if self.red.gamma_enabled {
+            // A conflict eviction ends the victim's residency: its final
+            // r-count is a completed lifetime sample for γ.
+            self.gamma.on_lifetime_end(victim.r_count.get());
+        }
+        if !victim.dirty {
+            return None;
+        }
+        self.stats.victim_writebacks += 1;
+        self.stats.ddr_writes += 1;
+        let first = self.tags.block_first_line(victim.block);
+        for i in 0..self.tags.lines_per_block() {
+            let l = LineAddr::new(first.raw() + i);
+            self.sides.ddr_store(l, victim.versions[i as usize]);
+        }
+        Some(LegSpec {
+            leg,
+            hbm: false,
+            kind: TxnKind::Write,
+            addr: self.sides.ddr_addr(first),
+            bursts: self.bursts,
+            gates_data: false,
+            deferred: false,
+        })
+    }
+
+    /// Accounts one r-count update on a hit, per the configured mode.
+    /// Returns the extra leg for the immediate mode.
+    fn update_rcount(&mut self, line: LineAddr, now: Cycle) -> Option<LegSpec> {
+        match self.red.update_mode {
+            UpdateMode::None | UpdateMode::InSitu => None,
+            UpdateMode::Immediate => {
+                self.stats.hbm_writes += 1;
+                Some(LegSpec {
+                    leg: legs::RCU_WRITE,
+                    hbm: true,
+                    kind: TxnKind::Write,
+                    addr: self.hbm_addr(line),
+                    bursts: self.bursts,
+                    gates_data: false,
+                    deferred: true, // follows the probe read
+                })
+            }
+            UpdateMode::Rcu => {
+                self.rcu_updates_owed += 1;
+                let entry = self.tags.entry(line).expect("hit entry");
+                let e = RcuEntry {
+                    block: entry.block,
+                    hbm_addr: self.hbm_addr(line),
+                    loc: self.sides.hbm.sys.decode_addr(self.hbm_addr(line)),
+                    versions: entry.versions,
+                    queued_at: now,
+                };
+                if let Some(forced) = self.rcu.push(e) {
+                    self.issue_drain(forced, now);
+                }
+                None
+            }
+        }
+    }
+
+    fn issue_drain(&mut self, e: RcuEntry, now: Cycle) {
+        self.stats.hbm_writes += 1;
+        self.drain_outstanding += 1;
+        self.sides.hbm.issue(e.hbm_addr, TxnKind::Write, DRAIN_META, self.bursts, now);
+    }
+
+    /// Refresh bypass is only worthwhile while a substantial tRFC tail
+    /// remains — otherwise waiting out the refresh beats a DDR round
+    /// trip.
+    fn rank_refreshing(&self, line: LineAddr, now: Cycle) -> bool {
+        const MIN_REMAINING: Cycle = 600;
+        self.red.refresh_bypass
+            && self.sides.hbm.sys.rank_refresh_remaining(self.hbm_addr(line), now) >= MIN_REMAINING
+    }
+
+    fn submit_read(&mut self, req: MemRequest, now: Cycle, done: &mut Vec<CompletedReq>) {
+        let line = req.line;
+        self.stats.table_lookups += 1;
+        let counted_eligible =
+            !self.red.alpha_enabled || self.alpha.on_request(line.base(64).page());
+        let resident = self.tags.contains(line);
+        // α gate (Fig. 7 top): not yet bandwidth-hungry and nothing
+        // cached → serve from main memory without touching HBM.
+        if !counted_eligible && !resident {
+            self.stats.hbm_bypasses += 1;
+            self.stats.ddr_reads += 1;
+            let version = self.sides.ddr_version(line);
+            let leg = self.ddr_read_leg(line, false);
+            self.engine.start(req, version, &[leg], &mut self.sides, now, done);
+            return;
+        }
+        // RCU block cache: a parked TAD copy serves the read on-die.
+        if self.red.rcu_block_cache && resident {
+            let block = self.tags.block_of(line);
+            if self.rcu.lookup_block(block).is_some() {
+                self.rcu.note_cache_hit();
+                let sub = self.tags.subline_of(line);
+                let e = self.tags.entry_mut(line).expect("resident");
+                e.r_count.inc();
+                let r = e.r_count.get();
+                let version = e.versions[sub];
+                if self.red.gamma_enabled {
+                    self.gamma.on_hit(r);
+                }
+                // Refresh the parked copy so it stays coherent.
+                let _ = self.update_rcount(line, now);
+                self.engine.start(req, version, &[], &mut self.sides, now, done);
+                return;
+            }
+        }
+        // Refresh bypass: clean or absent data under a refreshing rank
+        // is served by DDR instead of queueing behind tRFC.
+        if self.rank_refreshing(line, now) {
+            let clean_resident = resident && !self.tags.entry(line).map_or(false, |e| e.dirty);
+            if !resident || clean_resident {
+                self.stats.refresh_bypasses += 1;
+                self.stats.ddr_reads += 1;
+                let version = self.sides.ddr_version(line);
+                let leg = self.ddr_read_leg(line, false);
+                self.engine.start(req, version, &[leg], &mut self.sides, now, done);
+                return;
+            }
+        }
+        // Normal HBM path: TAD probe.
+        self.stats.hbm_probes += 1;
+        let predicted_hit = self.predictor.predict_hit(line.base(64).page());
+        self.predictor.train(line.base(64).page(), resident);
+        if resident {
+            self.stats.hbm_hits += 1;
+            let sub = self.tags.subline_of(line);
+            let e = self.tags.entry_mut(line).expect("hit entry");
+            e.r_count.inc();
+            let r = e.r_count.get();
+            let version = e.versions[sub];
+            if self.red.gamma_enabled {
+                self.gamma.on_hit(r);
+            }
+            let mut legspecs = vec![self.probe_leg(line, true)];
+            if let Some(upd) = self.update_rcount(line, now) {
+                legspecs.push(upd);
+            }
+            self.engine.start(req, version, &legspecs, &mut self.sides, now, done);
+            return;
+        }
+        // Miss on an eligible page: fetch from DDR and fill.
+        self.stats.hbm_misses += 1;
+        self.stats.ddr_reads += 1;
+        let version = self.sides.ddr_version(line);
+        let mut legspecs = vec![
+            self.probe_leg(line, true),
+            self.ddr_read_leg(line, predicted_hit), // serialized on mispredict
+        ];
+        if self.rank_refreshing(line, now) {
+            // Fill would land in a refreshing rank: skip it.
+            self.stats.fill_bypasses += 1;
+            self.stats.refresh_bypasses += 1;
+        } else {
+            self.stats.fills += 1;
+            self.stats.hbm_writes += 1;
+            let fill_versions = self.block_versions_from_ddr(line);
+            let victim = self.tags.install(line, fill_versions, false);
+            legspecs.push(LegSpec {
+                leg: legs::HBM_WRITE,
+                hbm: true,
+                kind: TxnKind::Write,
+                addr: self.hbm_addr(line),
+                bursts: self.bursts,
+                gates_data: false,
+                deferred: true,
+            });
+            if let Some(wb) = self.retire_victim(victim, legs::DDR_WRITE) {
+                legspecs.push(wb);
+            }
+        }
+        self.engine.start(req, version, &legspecs, &mut self.sides, now, done);
+    }
+
+    fn submit_writeback(&mut self, req: MemRequest, now: Cycle, done: &mut Vec<CompletedReq>) {
+        let line = req.line;
+        self.stats.table_lookups += 1;
+        let counted_eligible =
+            !self.red.alpha_enabled || self.alpha.on_request(line.base(64).page());
+        let resident = self.tags.contains(line);
+        if !counted_eligible && !resident {
+            // α gate: write goes straight to main memory.
+            self.stats.hbm_bypasses += 1;
+            self.stats.ddr_writes += 1;
+            self.sides.ddr_store(line, req.data_version);
+            let leg = LegSpec {
+                leg: legs::DDR_WRITE,
+                hbm: false,
+                kind: TxnKind::Write,
+                addr: self.sides.ddr_addr(line),
+                bursts: 1,
+                gates_data: true,
+                deferred: false,
+            };
+            self.engine.start(req, 0, &[leg], &mut self.sides, now, done);
+            return;
+        }
+        if !resident && self.rank_refreshing(line, now) {
+            self.stats.refresh_bypasses += 1;
+            self.stats.ddr_writes += 1;
+            self.sides.ddr_store(line, req.data_version);
+            let leg = LegSpec {
+                leg: legs::DDR_WRITE,
+                hbm: false,
+                kind: TxnKind::Write,
+                addr: self.sides.ddr_addr(line),
+                bursts: 1,
+                gates_data: true,
+                deferred: false,
+            };
+            self.engine.start(req, 0, &[leg], &mut self.sides, now, done);
+            return;
+        }
+        self.stats.hbm_probes += 1;
+        if resident {
+            // Write hit: tag check, then either the γ last-write
+            // invalidation (write routed to DDR) or a normal HBM write.
+            let sub = self.tags.subline_of(line);
+            let block = self.tags.block_of(line);
+            self.stats.hbm_hits += 1;
+            let e = self.tags.entry_mut(line).expect("hit entry");
+            e.r_count.inc();
+            let r = e.r_count.get();
+            if self.red.gamma_enabled {
+                self.gamma.on_hit(r);
+            }
+            if self.red.gamma_enabled && self.gamma.should_invalidate(r) {
+                // Last write: invalidate and route the whole (possibly
+                // dirty) block to main memory.
+                self.stats.gamma_invalidations += 1;
+                self.stats.last_writes_routed += 1;
+                self.stats.ddr_writes += 1;
+                let mut victim = self.tags.invalidate(line).expect("resident block");
+                victim.versions[sub] = req.data_version;
+                self.rcu.remove_block(block);
+                let first = self.tags.block_first_line(victim.block);
+                for i in 0..self.tags.lines_per_block() {
+                    let l = LineAddr::new(first.raw() + i);
+                    self.sides.ddr_store(l, victim.versions[i as usize]);
+                }
+                let legspecs = [
+                    self.probe_leg(line, false),
+                    LegSpec {
+                        leg: legs::DDR_WRITE,
+                        hbm: false,
+                        kind: TxnKind::Write,
+                        addr: self.sides.ddr_addr(first),
+                        bursts: self.bursts,
+                        gates_data: true,
+                        deferred: false,
+                    },
+                ];
+                self.engine.start(req, 0, &legspecs, &mut self.sides, now, done);
+                return;
+            }
+            let e = self.tags.entry_mut(line).expect("hit entry");
+            e.dirty = true;
+            e.versions[sub] = req.data_version;
+            self.rcu.remove_block(block); // parked copy is now stale
+            self.stats.hbm_writes += 1;
+            let legspecs = [
+                self.probe_leg(line, false),
+                LegSpec {
+                    leg: legs::HBM_WRITE,
+                    hbm: true,
+                    kind: TxnKind::Write,
+                    addr: self.hbm_addr(line),
+                    bursts: self.bursts,
+                    gates_data: true,
+                    deferred: true,
+                },
+            ];
+            self.engine.start(req, 0, &legspecs, &mut self.sides, now, done);
+            return;
+        }
+        // Write miss on an eligible page (Fig. 7 bottom right).
+        self.stats.hbm_misses += 1;
+        let victim_dirty = self.tags.entry(line).map_or(false, |e| e.dirty);
+        if victim_dirty {
+            // Dirty victim: leave it alone, write the new data to DDR.
+            self.stats.ddr_writes += 1;
+            self.sides.ddr_store(line, req.data_version);
+            let legspecs = [
+                self.probe_leg(line, false),
+                LegSpec {
+                    leg: legs::DDR_WRITE,
+                    hbm: false,
+                    kind: TxnKind::Write,
+                    addr: self.sides.ddr_addr(line),
+                    bursts: 1,
+                    gates_data: true,
+                    deferred: false,
+                },
+            ];
+            self.engine.start(req, 0, &legspecs, &mut self.sides, now, done);
+            return;
+        }
+        // Clean (or empty) victim: evict it and install the new block.
+        self.stats.fills += 1;
+        self.stats.hbm_writes += 1;
+        let sub = self.tags.subline_of(line);
+        let mut fill_versions = self.block_versions_from_ddr(line);
+        fill_versions[sub] = req.data_version;
+        let victim = self.tags.install(line, fill_versions, true);
+        if let Some(v) = &victim {
+            debug_assert!(!v.dirty);
+            self.rcu.remove_block(v.block);
+            if self.red.gamma_enabled {
+                self.gamma.on_lifetime_end(v.r_count.get());
+            }
+        }
+        let mut legspecs = vec![
+            self.probe_leg(line, false),
+            LegSpec {
+                leg: legs::HBM_WRITE,
+                hbm: true,
+                kind: TxnKind::Write,
+                addr: self.hbm_addr(line),
+                bursts: self.bursts,
+                gates_data: true,
+                deferred: true,
+            },
+        ];
+        if self.tags.lines_per_block() > 1 {
+            self.stats.ddr_reads += 1;
+            legspecs.push(LegSpec {
+                leg: legs::DDR_READ,
+                hbm: false,
+                kind: TxnKind::Read,
+                addr: self.sides.ddr_addr(line),
+                bursts: self.bursts,
+                gates_data: false,
+                deferred: false,
+            });
+        }
+        self.engine.start(req, 0, &legspecs, &mut self.sides, now, done);
+    }
+
+    /// RCU drain conditions (§III.C), evaluated once per tick.
+    fn drain_rcu(&mut self, now: Cycle) {
+        if self.red.update_mode != UpdateMode::Rcu {
+            return;
+        }
+        // Condition 1: a scheduled write opened a row matching a parked
+        // entry — the update free-rides right behind it at tCCD, never
+        // entering the transaction queue.
+        let cmds = self.sides.hbm.sys.take_issued_cmds();
+        for cmd in cmds {
+            if cmd.kind == IssuedKind::Write {
+                if let Some(e) = self.rcu.match_write(&cmd.loc) {
+                    self.stats.hbm_writes += 1;
+                    self.sides.hbm.sys.piggyback_write(e.hbm_addr, now);
+                }
+            }
+        }
+        // Condition 1b (write clustering, the condition's spirit under
+        // our scaled row count — DESIGN.md §3.4): when a channel is
+        // batching writes anyway, parked updates for that channel join
+        // the batch; the bus is already turned around, so each costs
+        // only its tCCD slot.
+        for ch in 0..self.sides.hbm.sys.channel_count() {
+            if self.sides.hbm.sys.channel_pending_writes(ch) >= 4 {
+                if let Some(e) = self.rcu.pop_cluster_on_channel(ch) {
+                    self.issue_drain(e, now);
+                }
+            }
+        }
+        // Condition 2: a channel's transaction queue is empty — its
+        // parked updates drain without delaying any cache request.
+        if self.rcu.len() >= self.red.rcu_capacity / 2 {
+            for ch in 0..self.sides.hbm.sys.channel_count() {
+                if self.sides.hbm.sys.channel_queue_len(ch) == 0 {
+                    if let Some(e) = self.rcu.pop_idle_on_channel(ch) {
+                        self.issue_drain(e, now);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl DramCacheController for RedCacheController {
+    fn submit(&mut self, req: MemRequest, now: Cycle) {
+        self.stats.submitted += 1;
+        let mut done = Vec::new();
+        match req.kind {
+            AccessKind::Read => self.submit_read(req, now, &mut done),
+            AccessKind::Writeback => self.submit_writeback(req, now, &mut done),
+        }
+        // RCU block-cache hits complete synchronously.
+        for d in done {
+            self.stats.completed += 1;
+            if d.kind == AccessKind::Read {
+                self.stats.reads_completed += 1;
+                self.stats.read_latency_sum += d.latency();
+            }
+            self.sync_done.push(d);
+        }
+    }
+
+    fn tick(&mut self, now: Cycle, done: &mut Vec<CompletedReq>) {
+        done.append(&mut self.sync_done);
+        self.sides.hbm.tick(now);
+        self.sides.ddr.tick(now);
+        let before = done.len();
+        for c in self.sides.hbm.take_completions() {
+            if c.meta == DRAIN_META {
+                self.drain_outstanding -= 1;
+                continue;
+            }
+            self.engine.on_completion(c.meta, c.done_at, &mut self.sides, done);
+        }
+        for c in self.sides.ddr.take_completions() {
+            self.engine.on_completion(c.meta, c.done_at, &mut self.sides, done);
+        }
+        let _ = self.engine.take_events();
+        self.drain_rcu(now);
+        for d in &done[before..] {
+            self.stats.completed += 1;
+            if d.kind == AccessKind::Read {
+                self.stats.reads_completed += 1;
+                self.stats.read_latency_sum += d.latency();
+            }
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.engine.pending() + self.drain_outstanding + self.sync_done.len()
+    }
+
+    fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    fn hbm_stats(&self) -> Option<DramStats> {
+        Some(*self.sides.hbm.sys.stats())
+    }
+
+    fn ddr_stats(&self) -> DramStats {
+        *self.sides.ddr.sys.stats()
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Red(self.red.variant)
+    }
+
+    fn preload(&mut self, line: LineAddr, version: u64) {
+        self.sides.ddr_store(line, version);
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = ControllerStats::default();
+        self.sides.hbm.sys.reset_stats();
+        self.sides.ddr.sys.reset_stats();
+        self.rcu.reset_stats();
+        self.alpha.reset_stats();
+    }
+
+    fn extras(&self) -> Vec<(&'static str, f64)> {
+        let r = self.rcu.stats();
+        let a = self.alpha.stats();
+        vec![
+            ("alpha", self.alpha.alpha() as f64),
+            ("gamma", self.gamma.gamma() as f64),
+            ("rcu_cheap_fraction", r.cheap_fraction()),
+            ("rcu_enqueued", r.enqueued as f64),
+            ("rcu_piggyback", r.piggyback_drains as f64),
+            ("rcu_idle", r.idle_drains as f64),
+            ("rcu_forced", r.forced_drains as f64),
+            ("rcu_block_cache_hits", r.block_cache_hits as f64),
+            ("rcu_updates_owed", self.rcu_updates_owed as f64),
+            ("alpha_buffer_hit_rate", {
+                let t = a.buffer_hits + a.buffer_misses;
+                if t == 0 {
+                    0.0
+                } else {
+                    a.buffer_hits as f64 / t as f64
+                }
+            }),
+        ]
+    }
+}

@@ -1,0 +1,254 @@
+//! The r-count update (RCU) manager (§III.C, Fig. 8).
+//!
+//! On every read hit the controller holds back the TAD write that would
+//! refresh the block's r-count, parking a copy of the block in a
+//! 32-entry CAM (indices) + RAM (blocks) queue. An entry drains when
+//!
+//! 1. the command scheduler issues a *write to the same
+//!    channel/rank/bank/row* — the queued update then follows at tCCD
+//!    cost with no bus turnaround (the CAM match),
+//! 2. the transaction queues go empty — the update is free, or
+//! 3. the queue overflows — the oldest entry is forced out at full cost.
+//!
+//! The queue doubles as a 2.5 KB block cache: recently read blocks can
+//! be served from it without touching HBM at all.
+
+use redcache_dram::DramLoc;
+use redcache_types::{Cycle, PhysAddr};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A parked r-count update: the block's identity and refreshed TAD.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RcuEntry {
+    /// Cache block index (for block-cache lookups).
+    pub block: u64,
+    /// HBM-internal address of the block's set.
+    pub hbm_addr: PhysAddr,
+    /// Decoded DRAM location (the CAM index: channel/rank/bank/row).
+    pub loc: DramLoc,
+    /// Sub-line payload versions carried by the parked TAD copy.
+    pub versions: [u64; 4],
+    /// Cycle the update was parked.
+    pub queued_at: Cycle,
+}
+
+/// Drain statistics (§III.C claims >97 % of updates avoid the full
+/// turnaround cost; `cheap_fraction` reports the measured figure).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RcuStats {
+    /// Updates parked in the queue.
+    pub enqueued: u64,
+    /// Drains triggered by a same-row write (cost tCCD).
+    pub piggyback_drains: u64,
+    /// Drains into an empty transaction queue (free slot).
+    pub idle_drains: u64,
+    /// Forced drains on overflow (full turnaround cost).
+    pub forced_drains: u64,
+    /// Re-parks of a block already queued (update merged in place).
+    pub merged: u64,
+    /// Reads served from the queue's block cache.
+    pub block_cache_hits: u64,
+}
+
+impl RcuStats {
+    /// Fraction of drained updates that avoided the full cost.
+    pub fn cheap_fraction(&self) -> f64 {
+        let cheap = self.piggyback_drains + self.idle_drains;
+        let total = cheap + self.forced_drains;
+        if total == 0 {
+            1.0
+        } else {
+            cheap as f64 / total as f64
+        }
+    }
+}
+
+/// The RCU queue.
+#[derive(Debug)]
+pub struct RcuQueue {
+    entries: VecDeque<RcuEntry>,
+    capacity: usize,
+    stats: RcuStats,
+}
+
+impl RcuQueue {
+    /// Creates a queue of `capacity` entries (32 in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RCU queue needs capacity");
+        Self { entries: VecDeque::with_capacity(capacity), capacity, stats: RcuStats::default() }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> RcuStats {
+        self.stats
+    }
+
+    /// Zeroes the statistics (warmup boundary); queued entries stay.
+    pub fn reset_stats(&mut self) {
+        self.stats = RcuStats::default();
+    }
+
+    /// Entries currently parked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parks an update. If the block is already queued the entry is
+    /// refreshed in place; on overflow the oldest entry is returned for
+    /// a forced drain.
+    pub fn push(&mut self, entry: RcuEntry) -> Option<RcuEntry> {
+        self.stats.enqueued += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.block == entry.block) {
+            *e = entry;
+            self.stats.merged += 1;
+            return None;
+        }
+        let evicted = if self.entries.len() >= self.capacity {
+            self.stats.forced_drains += 1;
+            self.entries.pop_front()
+        } else {
+            None
+        };
+        self.entries.push_back(entry);
+        evicted
+    }
+
+    /// CAM match: drains the first entry sharing `loc`'s row (condition
+    /// 1 — a scheduled write opened that row).
+    pub fn match_write(&mut self, loc: &DramLoc) -> Option<RcuEntry> {
+        let pos = self.entries.iter().position(|e| e.loc.same_row(loc))?;
+        self.stats.piggyback_drains += 1;
+        self.entries.remove(pos)
+    }
+
+    /// Drains the oldest entry into an idle memory system (condition 2).
+    pub fn pop_idle(&mut self) -> Option<RcuEntry> {
+        let e = self.entries.pop_front()?;
+        self.stats.idle_drains += 1;
+        Some(e)
+    }
+
+    /// Drains the oldest entry whose target *channel* has an empty
+    /// transaction queue (condition 2, evaluated per channel: the
+    /// update delays no queued cache request).
+    pub fn pop_idle_on_channel(&mut self, channel: usize) -> Option<RcuEntry> {
+        let pos = self.entries.iter().position(|e| e.loc.channel == channel)?;
+        self.stats.idle_drains += 1;
+        self.entries.remove(pos)
+    }
+
+    /// Drains the oldest entry for `channel` to join an in-progress
+    /// write batch (condition 1's write-clustering form: the bus is
+    /// already in write direction, so the update costs one tCCD slot).
+    pub fn pop_cluster_on_channel(&mut self, channel: usize) -> Option<RcuEntry> {
+        let pos = self.entries.iter().position(|e| e.loc.channel == channel)?;
+        self.stats.piggyback_drains += 1;
+        self.entries.remove(pos)
+    }
+
+    /// Block-cache lookup: a parked TAD copy can serve a read.
+    pub fn lookup_block(&self, block: u64) -> Option<&RcuEntry> {
+        let e = self.entries.iter().find(|e| e.block == block)?;
+        Some(e)
+    }
+
+    /// Records a block-cache hit (kept separate from `lookup_block` so
+    /// peeking does not distort statistics).
+    pub fn note_cache_hit(&mut self) {
+        self.stats.block_cache_hits += 1;
+    }
+
+    /// Removes a parked entry for `block` (the block was overwritten or
+    /// invalidated; its parked update is obsolete).
+    pub fn remove_block(&mut self, block: u64) -> Option<RcuEntry> {
+        let pos = self.entries.iter().position(|e| e.block == block)?;
+        self.entries.remove(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(block: u64, row: u64) -> RcuEntry {
+        RcuEntry {
+            block,
+            hbm_addr: PhysAddr::new(block * 64),
+            loc: DramLoc { channel: 0, rank: 0, bank: 0, row, col: 0 },
+            versions: [0; 4],
+            queued_at: 0,
+        }
+    }
+
+    #[test]
+    fn push_and_cam_match() {
+        let mut q = RcuQueue::new(4);
+        q.push(entry(1, 10));
+        q.push(entry(2, 20));
+        let hit = q.match_write(&DramLoc { channel: 0, rank: 0, bank: 0, row: 20, col: 3 });
+        assert_eq!(hit.unwrap().block, 2);
+        assert_eq!(q.len(), 1);
+        assert!(q
+            .match_write(&DramLoc { channel: 0, rank: 0, bank: 1, row: 10, col: 0 })
+            .is_none(), "different bank must not match");
+        assert_eq!(q.stats().piggyback_drains, 1);
+    }
+
+    #[test]
+    fn overflow_forces_oldest_out() {
+        let mut q = RcuQueue::new(2);
+        q.push(entry(1, 1));
+        q.push(entry(2, 2));
+        let forced = q.push(entry(3, 3)).expect("forced drain");
+        assert_eq!(forced.block, 1);
+        assert_eq!(q.stats().forced_drains, 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn repeated_block_merges_in_place() {
+        let mut q = RcuQueue::new(2);
+        q.push(entry(1, 1));
+        let mut e = entry(1, 1);
+        e.versions[0] = 9;
+        assert!(q.push(e).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.stats().merged, 1);
+        assert_eq!(q.lookup_block(1).unwrap().versions[0], 9);
+    }
+
+    #[test]
+    fn idle_pop_and_cache_ops() {
+        let mut q = RcuQueue::new(4);
+        q.push(entry(5, 50));
+        assert!(q.lookup_block(5).is_some());
+        q.note_cache_hit();
+        assert!(q.remove_block(5).is_some());
+        assert!(q.pop_idle().is_none());
+        q.push(entry(6, 60));
+        assert_eq!(q.pop_idle().unwrap().block, 6);
+        let s = q.stats();
+        assert_eq!(s.block_cache_hits, 1);
+        assert_eq!(s.idle_drains, 1);
+    }
+
+    #[test]
+    fn cheap_fraction_counts_only_drains() {
+        let mut q = RcuQueue::new(1);
+        assert_eq!(q.stats().cheap_fraction(), 1.0);
+        q.push(entry(1, 1));
+        q.push(entry(2, 2)); // forces 1 out
+        q.pop_idle(); // drains 2
+        assert!((q.stats().cheap_fraction() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,233 @@
+//! The direct-mapped tag-and-data (TAD) store of the HBM cache.
+//!
+//! Following Alloy [2], the HBM is organised as a direct-mapped cache
+//! whose tag travels with the data in the otherwise-unused ECC bits
+//! (§IV.A, [32]) — so one WideIO burst carries tag + data, and RedCache's
+//! extra r-count byte rides along at no transfer cost (§III.A.2).
+//!
+//! The store is *functional*: besides the tag it keeps per-64 B-line
+//! payload versions (up to 4 sub-lines for the 256 B granularity sweep)
+//! so controllers can return provably fresh data.
+
+use redcache_types::{LineAddr, SatCounter};
+use serde::{Deserialize, Serialize};
+
+/// The paper's block classification (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockClass {
+    /// Low reuse: not worth caching (bypass to DDR).
+    L,
+    /// High reuse, high bandwidth share: cache in HBM.
+    H,
+    /// High reuse, low bandwidth share: cacheable, first eviction victim.
+    X,
+}
+
+/// Classifies a block by its reuse count against the α/γ thresholds,
+/// weighted by the bandwidth share of its homo-reuse group.
+pub fn classify(reuse: u32, bandwidth_share: f64, alpha: u32, gamma: u32) -> BlockClass {
+    if reuse < alpha {
+        BlockClass::L
+    } else if reuse >= gamma && bandwidth_share < 0.05 {
+        BlockClass::X
+    } else {
+        BlockClass::H
+    }
+}
+
+/// One resident DRAM-cache block.
+#[derive(Debug, Clone)]
+pub struct TagEntry {
+    /// Block index (line address divided by lines-per-block).
+    pub block: u64,
+    /// Dirty flag.
+    pub dirty: bool,
+    /// Per-64 B sub-line payload versions.
+    pub versions: [u64; 4],
+    /// RedCache's r-count (reuse count since fill, §III.A.2).
+    pub r_count: SatCounter,
+}
+
+/// The direct-mapped TAD array.
+#[derive(Debug)]
+pub struct TagStore {
+    sets: Vec<Option<TagEntry>>,
+    lines_per_block: u64,
+    occupancy: usize,
+}
+
+impl TagStore {
+    /// Builds a tag store with `sets` direct-mapped sets, each holding
+    /// one block of `lines_per_block` 64 B lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets == 0` or `lines_per_block` is not 1, 2 or 4.
+    pub fn new(sets: usize, lines_per_block: u64) -> Self {
+        assert!(sets > 0, "need at least one set");
+        assert!([1, 2, 4].contains(&lines_per_block), "lines_per_block must be 1, 2 or 4");
+        Self { sets: vec![None; sets], lines_per_block, occupancy: 0 }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// 64 B lines per cache block.
+    pub fn lines_per_block(&self) -> u64 {
+        self.lines_per_block
+    }
+
+    /// Block index containing `line`.
+    pub fn block_of(&self, line: LineAddr) -> u64 {
+        line.raw() / self.lines_per_block
+    }
+
+    /// Set index of the block containing `line`.
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        (self.block_of(line) % self.sets.len() as u64) as usize
+    }
+
+    /// Sub-line slot of `line` within its block.
+    pub fn subline_of(&self, line: LineAddr) -> usize {
+        (line.raw() % self.lines_per_block) as usize
+    }
+
+    /// Resident entry of the set that `line` maps to (hit or victim).
+    pub fn entry(&self, line: LineAddr) -> Option<&TagEntry> {
+        self.sets[self.set_of(line)].as_ref()
+    }
+
+    /// Mutable resident entry of `line`'s set.
+    pub fn entry_mut(&mut self, line: LineAddr) -> Option<&mut TagEntry> {
+        let s = self.set_of(line);
+        self.sets[s].as_mut()
+    }
+
+    /// True when the block containing `line` is resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let b = self.block_of(line);
+        matches!(self.entry(line), Some(e) if e.block == b)
+    }
+
+    /// Installs the block containing `line`, displacing the set's
+    /// previous occupant, which is returned.
+    pub fn install(&mut self, line: LineAddr, versions: [u64; 4], dirty: bool) -> Option<TagEntry> {
+        let b = self.block_of(line);
+        let s = self.set_of(line);
+        let old = self.sets[s].take();
+        if old.is_none() {
+            self.occupancy += 1;
+        }
+        self.sets[s] =
+            Some(TagEntry { block: b, dirty, versions, r_count: SatCounter::u8_zero() });
+        old
+    }
+
+    /// Removes the block containing `line` (exact match only).
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<TagEntry> {
+        let b = self.block_of(line);
+        let s = self.set_of(line);
+        if matches!(&self.sets[s], Some(e) if e.block == b) {
+            self.occupancy -= 1;
+            return self.sets[s].take();
+        }
+        None
+    }
+
+    /// Resident block count.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// First 64 B line of block `block`.
+    pub fn block_first_line(&self, block: u64) -> LineAddr {
+        LineAddr::new(block * self.lines_per_block)
+    }
+
+    /// The HBM-internal physical address of `line`'s set (one block per
+    /// set, blocks laid out contiguously).
+    pub fn hbm_addr(&self, line: LineAddr, block_bytes: usize) -> redcache_types::PhysAddr {
+        redcache_types::PhysAddr::new(self.set_of(line) as u64 * block_bytes as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_and_hit() {
+        let mut t = TagStore::new(16, 1);
+        let l = LineAddr::new(5);
+        assert!(!t.contains(l));
+        assert!(t.install(l, [7, 0, 0, 0], false).is_none());
+        assert!(t.contains(l));
+        assert_eq!(t.entry(l).unwrap().versions[0], 7);
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn conflicting_blocks_evict() {
+        let mut t = TagStore::new(16, 1);
+        let a = LineAddr::new(5);
+        let b = LineAddr::new(5 + 16); // same set
+        t.install(a, [1, 0, 0, 0], true);
+        let old = t.install(b, [2, 0, 0, 0], false).expect("victim");
+        assert_eq!(old.block, 5);
+        assert!(old.dirty);
+        assert!(t.contains(b));
+        assert!(!t.contains(a));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn multi_line_blocks_share_entries() {
+        let t2 = {
+            let mut t = TagStore::new(8, 2);
+            t.install(LineAddr::new(4), [1, 2, 0, 0], false);
+            t
+        };
+        // Lines 4 and 5 are in block 2.
+        assert!(t2.contains(LineAddr::new(4)));
+        assert!(t2.contains(LineAddr::new(5)));
+        assert!(!t2.contains(LineAddr::new(6)));
+        assert_eq!(t2.subline_of(LineAddr::new(5)), 1);
+    }
+
+    #[test]
+    fn invalidate_requires_exact_block() {
+        let mut t = TagStore::new(16, 1);
+        t.install(LineAddr::new(5), [1, 0, 0, 0], false);
+        assert!(t.invalidate(LineAddr::new(5 + 16)).is_none()); // same set, other block
+        assert!(t.invalidate(LineAddr::new(5)).is_some());
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn hbm_addresses_are_unique_per_set() {
+        let t = TagStore::new(64, 1);
+        let a = t.hbm_addr(LineAddr::new(3), 64);
+        let b = t.hbm_addr(LineAddr::new(3 + 64), 64);
+        assert_eq!(a, b, "same set, same address");
+        let c = t.hbm_addr(LineAddr::new(4), 64);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn classify_matches_figure4() {
+        // Low reuse -> L regardless of bandwidth.
+        assert_eq!(classify(1, 0.5, 4, 20), BlockClass::L);
+        // High reuse carrying the bandwidth bulk -> H.
+        assert_eq!(classify(10, 0.4, 4, 20), BlockClass::H);
+        // Very high reuse but negligible bandwidth -> X.
+        assert_eq!(classify(30, 0.01, 4, 20), BlockClass::X);
+    }
+
+    #[test]
+    #[should_panic(expected = "lines_per_block")]
+    fn bad_lines_per_block_panics() {
+        let _ = TagStore::new(4, 3);
+    }
+}

@@ -1,0 +1,196 @@
+//! Physical addresses and their derived views (cache lines, OS pages).
+//!
+//! The simulator works with physical addresses only; workload generators
+//! perform their own virtual-to-physical mapping before emitting traces.
+//! Cache-line granularity is a runtime parameter (the paper sweeps 64,
+//! 128 and 256 bytes in Fig. 2b), so [`LineAddr`] carries no implicit
+//! block size — conversions take the block size explicitly. OS pages are
+//! fixed at 4 KB, matching the α-counting granularity of §III.A.1.
+
+use serde::{Deserialize, Serialize};
+
+/// Default cache-block size in bytes (Table I: 64 B blocks).
+pub const BLOCK_BYTES: usize = 64;
+
+/// OS page size in bytes; α-counts are maintained per page (§III.A.1).
+pub const PAGE_BYTES: usize = 4096;
+
+/// A physical byte address.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw byte offset.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw byte offset.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache-line view of this address for a given block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is not a power of two.
+    pub fn line(self, block_bytes: usize) -> LineAddr {
+        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        LineAddr(self.0 >> block_bytes.trailing_zeros())
+    }
+
+    /// Returns the 4 KB page this address belongs to.
+    pub const fn page(self) -> PageId {
+        PageId(self.0 >> PAGE_BYTES.trailing_zeros())
+    }
+
+    /// Byte offset of this address within its cache line.
+    pub fn line_offset(self, block_bytes: usize) -> usize {
+        (self.0 & (block_bytes as u64 - 1)) as usize
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+impl std::fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A cache-line index: a physical address divided by the block size.
+///
+/// The block size is a system-wide run parameter, so a `LineAddr` is only
+/// meaningful relative to the configuration that produced it.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line index directly from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw line index.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address covered by this line.
+    pub fn base(self, block_bytes: usize) -> PhysAddr {
+        PhysAddr(self.0 << block_bytes.trailing_zeros())
+    }
+
+    /// The 4 KB page containing this line.
+    pub fn page(self, block_bytes: usize) -> PageId {
+        self.base(block_bytes).page()
+    }
+}
+
+impl std::fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// A 4 KB OS page identifier. One α-count is kept per page (§III.A.1):
+/// the paper observes that ~90 % of blocks within a page share the same
+/// reuse count, so per-page counting costs 64× less memory.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PageId(u64);
+
+impl PageId {
+    /// Creates a page id directly from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw page number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of this page.
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_BYTES.trailing_zeros())
+    }
+
+    /// Number of `block_bytes`-sized lines per page.
+    pub const fn lines_per_page(block_bytes: usize) -> usize {
+        PAGE_BYTES / block_bytes
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_round_trip_preserves_base() {
+        for bs in [64usize, 128, 256] {
+            let a = PhysAddr::new(0xdead_beef);
+            let l = a.line(bs);
+            assert_eq!(l.base(bs).raw(), a.raw() / bs as u64 * bs as u64);
+        }
+    }
+
+    #[test]
+    fn page_of_line_matches_page_of_addr() {
+        let a = PhysAddr::new(0x12_3456);
+        assert_eq!(a.line(64).page(64), a.page());
+        assert_eq!(a.line(256).page(256), a.page());
+    }
+
+    #[test]
+    fn line_offset_is_within_block() {
+        let a = PhysAddr::new(0x1234 + 37);
+        assert_eq!(a.line_offset(64), (0x1234 + 37) % 64);
+        assert!(a.line_offset(64) < 64);
+    }
+
+    #[test]
+    fn lines_per_page_for_each_granularity() {
+        assert_eq!(PageId::lines_per_page(64), 64);
+        assert_eq!(PageId::lines_per_page(128), 32);
+        assert_eq!(PageId::lines_per_page(256), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_block_size_panics() {
+        let _ = PhysAddr::new(0).line(96);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(format!("{}", PhysAddr::new(16)), "0x10");
+        assert_eq!(format!("{}", LineAddr::new(1)), "L0x1");
+        assert_eq!(format!("{}", PageId::new(2)), "P0x2");
+    }
+
+    #[test]
+    fn adjacent_addresses_in_same_line_share_index() {
+        let a = PhysAddr::new(0x1000);
+        let b = PhysAddr::new(0x103f);
+        let c = PhysAddr::new(0x1040);
+        assert_eq!(a.line(64), b.line(64));
+        assert_ne!(a.line(64), c.line(64));
+    }
+}

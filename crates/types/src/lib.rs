@@ -1,0 +1,33 @@
+//! Shared primitive types for the RedCache reproduction.
+//!
+//! This crate defines the vocabulary used by every other crate in the
+//! workspace: physical addresses and their cache-line / page views,
+//! memory requests as they travel between the cache hierarchy and the
+//! DRAM-cache controller, and small statistics utilities (saturating
+//! counters, histograms, exponential moving averages).
+//!
+//! # Example
+//!
+//! ```
+//! use redcache_types::{PhysAddr, BLOCK_BYTES, PAGE_BYTES};
+//!
+//! let a = PhysAddr::new(0x1_2345);
+//! let line = a.line(BLOCK_BYTES);
+//! let page = a.page();
+//! assert_eq!(line.base(BLOCK_BYTES).raw() % BLOCK_BYTES as u64, 0);
+//! assert_eq!(page.base().raw() % PAGE_BYTES as u64, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod req;
+pub mod stats;
+
+pub use addr::{LineAddr, PageId, PhysAddr, BLOCK_BYTES, PAGE_BYTES};
+pub use req::{AccessKind, CoreId, MemOp, MemRequest, ReqId};
+pub use stats::{Counter, EwmAverage, Histogram, SatCounter};
+
+/// Simulation time, measured in CPU cycles (3.2 GHz in the paper's
+/// Table I). All DRAM timing parameters are expressed in this unit.
+pub type Cycle = u64;

@@ -1,0 +1,131 @@
+//! Memory requests as they travel below the L3 cache.
+//!
+//! The cache hierarchy turns CPU loads/stores into L3 *misses* (reads)
+//! and L3 *dirty evictions* (writebacks). Both are presented to the
+//! active DRAM-cache controller as [`MemRequest`]s at cache-block
+//! granularity. Each request carries a `data_version`: a monotonically
+//! increasing stamp standing in for the actual 64-byte payload, used by
+//! the shadow-memory checker to detect stale reads (see the `redcache`
+//! crate's `checker` module).
+
+use crate::addr::LineAddr;
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one of the simulated cores (Table I: sixteen 4-issue
+/// out-of-order cores).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CoreId(pub u16);
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// A CPU-visible memory operation, as emitted by workload generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemOp {
+    /// A data load.
+    Load,
+    /// A data store.
+    Store,
+}
+
+impl MemOp {
+    /// True for [`MemOp::Store`].
+    pub const fn is_store(self) -> bool {
+        matches!(self, MemOp::Store)
+    }
+}
+
+/// The kind of request presented to the DRAM-cache controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// An L3 read miss: the block must be returned to the L3.
+    Read,
+    /// An L3 dirty eviction: a full-block writeback. No reply data is
+    /// needed, but the payload must not be lost.
+    Writeback,
+}
+
+impl AccessKind {
+    /// True for [`AccessKind::Read`].
+    pub const fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+}
+
+/// Unique identifier for an in-flight [`MemRequest`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ReqId(pub u64);
+
+impl std::fmt::Display for ReqId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// A block-granularity request below the L3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Unique id, assigned by the issuer.
+    pub id: ReqId,
+    /// Cache line addressed (at the system block size).
+    pub line: LineAddr,
+    /// Read (L3 miss) or writeback (L3 dirty eviction).
+    pub kind: AccessKind,
+    /// Core whose miss/eviction produced this request.
+    pub core: CoreId,
+    /// Cycle at which the request entered the memory subsystem.
+    pub issued_at: Cycle,
+    /// Version stamp of the payload. For writebacks this is the version
+    /// being written; for reads it is ignored on issue and filled with
+    /// the version observed on completion.
+    pub data_version: u64,
+}
+
+impl MemRequest {
+    /// Convenience constructor for a read request.
+    pub fn read(id: ReqId, line: LineAddr, core: CoreId, now: Cycle) -> Self {
+        Self { id, line, kind: AccessKind::Read, core, issued_at: now, data_version: 0 }
+    }
+
+    /// Convenience constructor for a writeback request carrying payload
+    /// version `version`.
+    pub fn writeback(id: ReqId, line: LineAddr, core: CoreId, now: Cycle, version: u64) -> Self {
+        Self { id, line, kind: AccessKind::Writeback, core, issued_at: now, data_version: version }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let r = MemRequest::read(ReqId(1), LineAddr::new(7), CoreId(3), 100);
+        assert!(r.kind.is_read());
+        assert_eq!(r.issued_at, 100);
+        let w = MemRequest::writeback(ReqId(2), LineAddr::new(7), CoreId(3), 101, 42);
+        assert!(!w.kind.is_read());
+        assert_eq!(w.data_version, 42);
+    }
+
+    #[test]
+    fn memop_store_predicate() {
+        assert!(MemOp::Store.is_store());
+        assert!(!MemOp::Load.is_store());
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(ReqId(1) < ReqId(2));
+        assert_eq!(format!("{}", ReqId(5)), "req#5");
+        assert_eq!(format!("{}", CoreId(5)), "core5");
+    }
+}

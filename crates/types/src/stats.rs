@@ -1,0 +1,386 @@
+//! Small statistics utilities shared across the simulator.
+//!
+//! * [`Counter`] — a named monotonic event counter.
+//! * [`SatCounter`] — the 8-bit-style saturating counter RedCache uses
+//!   for α- and r-counts (§III.A, footnote 3: "RedCache employs
+//!   saturating counters for tracking block reuses").
+//! * [`Histogram`] — fixed-bucket histogram with both linear and log₂
+//!   bucketing; used for the reuse/bandwidth profiles of Fig. 3 and the
+//!   α-adaptation logic.
+//! * [`EwmAverage`] — exponentially weighted moving average used by
+//!   epoch-based adaptation.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonic event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Self(0)
+    }
+
+    /// Adds one event.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A saturating up/down counter with a configurable ceiling, modelling
+/// the narrow hardware counters used for α- and r-counts.
+///
+/// ```
+/// use redcache_types::SatCounter;
+/// let mut r = SatCounter::u8_zero();
+/// r.inc();
+/// assert_eq!(r.get(), 1);
+/// r.reset(255);
+/// assert_eq!(r.inc(), 255); // saturates
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SatCounter {
+    value: u32,
+    max: u32,
+}
+
+impl SatCounter {
+    /// Creates a counter starting at `value`, saturating at `max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value > max`.
+    pub fn new(value: u32, max: u32) -> Self {
+        assert!(value <= max, "initial value exceeds ceiling");
+        Self { value, max }
+    }
+
+    /// An 8-bit counter starting at zero (the r-count of §III.A.2).
+    pub fn u8_zero() -> Self {
+        Self::new(0, u8::MAX as u32)
+    }
+
+    /// Current value.
+    pub const fn get(self) -> u32 {
+        self.value
+    }
+
+    /// Ceiling.
+    pub const fn max(self) -> u32 {
+        self.max
+    }
+
+    /// Increments, saturating at the ceiling. Returns the new value.
+    pub fn inc(&mut self) -> u32 {
+        if self.value < self.max {
+            self.value += 1;
+        }
+        self.value
+    }
+
+    /// Decrements, saturating at zero. Returns the new value.
+    pub fn dec(&mut self) -> u32 {
+        self.value = self.value.saturating_sub(1);
+        self.value
+    }
+
+    /// True once the counter has reached zero.
+    pub const fn is_zero(self) -> bool {
+        self.value == 0
+    }
+
+    /// Resets to `value` (clamped to the ceiling).
+    pub fn reset(&mut self, value: u32) {
+        self.value = value.min(self.max);
+    }
+}
+
+impl Default for SatCounter {
+    fn default() -> Self {
+        Self::u8_zero()
+    }
+}
+
+/// Bucketing strategy for [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bucketing {
+    /// Bucket `i` covers `[i*width, (i+1)*width)`.
+    Linear {
+        /// Width of each bucket.
+        width: u64,
+    },
+    /// Bucket `i` covers `[2^i, 2^(i+1))`, with bucket 0 covering `{0, 1}`.
+    Log2,
+}
+
+/// A fixed-size histogram over `u64` samples, with weighted insertion.
+///
+/// Samples beyond the last bucket are accumulated in the final bucket so
+/// no mass is silently dropped.
+///
+/// ```
+/// use redcache_types::stats::{Bucketing, Histogram};
+/// let mut h = Histogram::new(Bucketing::Log2, 8);
+/// h.add_weighted(10, 9.0); // heavy reuse group
+/// h.add_weighted(1, 1.0);  // stream
+/// assert_eq!(h.upper_mass_threshold(0.5), 8); // cost concentrates at reuse ~10
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bucketing: Bucketing,
+    counts: Vec<f64>,
+    samples: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets using `bucketing`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or a linear width of 0 is given.
+    pub fn new(bucketing: Bucketing, buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        if let Bucketing::Linear { width } = bucketing {
+            assert!(width > 0, "linear bucket width must be positive");
+        }
+        Self { bucketing, counts: vec![0.0; buckets], samples: 0 }
+    }
+
+    /// Index of the bucket holding `sample`.
+    pub fn bucket_of(&self, sample: u64) -> usize {
+        let idx = match self.bucketing {
+            Bucketing::Linear { width } => (sample / width) as usize,
+            Bucketing::Log2 => {
+                if sample <= 1 {
+                    0
+                } else {
+                    63 - sample.leading_zeros() as usize
+                }
+            }
+        };
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Lower edge (inclusive) of bucket `i`.
+    pub fn bucket_lo(&self, i: usize) -> u64 {
+        match self.bucketing {
+            Bucketing::Linear { width } => i as u64 * width,
+            Bucketing::Log2 => {
+                if i == 0 {
+                    0
+                } else {
+                    1u64 << i
+                }
+            }
+        }
+    }
+
+    /// Adds `sample` with weight `weight`.
+    pub fn add_weighted(&mut self, sample: u64, weight: f64) {
+        let b = self.bucket_of(sample);
+        self.counts[b] += weight;
+        self.samples += 1;
+    }
+
+    /// Adds `sample` with weight 1.
+    pub fn add(&mut self, sample: u64) {
+        self.add_weighted(sample, 1.0);
+    }
+
+    /// Accumulated weight per bucket.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Number of samples inserted.
+    pub const fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Total accumulated weight.
+    pub fn total_weight(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Smallest bucket lower-edge `t` such that buckets at or above the
+    /// bucket containing `t` hold at least `fraction` of the weight.
+    /// Returns 0 for an empty histogram. Used by the α-adaptation rule
+    /// to find the reuse level concentrating the bandwidth cost.
+    pub fn upper_mass_threshold(&self, fraction: f64) -> u64 {
+        let total = self.total_weight();
+        if total <= 0.0 {
+            return 0;
+        }
+        let target = total * fraction.clamp(0.0, 1.0);
+        let mut acc = 0.0;
+        for i in (0..self.counts.len()).rev() {
+            acc += self.counts[i];
+            if acc >= target {
+                return self.bucket_lo(i);
+            }
+        }
+        0
+    }
+
+    /// Clears all buckets and the sample count.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0.0);
+        self.samples = 0;
+    }
+}
+
+/// An exponentially weighted moving average with weight `alpha` on the
+/// newest sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EwmAverage {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl EwmAverage {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]` or not finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha.is_finite() && alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { alpha, value: None }
+    }
+
+    /// Feeds a sample and returns the updated average.
+    pub fn update(&mut self, sample: f64) -> f64 {
+        let v = match self.value {
+            None => sample,
+            Some(prev) => prev + self.alpha * (sample - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average, or `None` if no sample has been fed.
+    pub const fn get(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(format!("{c}"), "5");
+    }
+
+    #[test]
+    fn sat_counter_saturates_high_and_low() {
+        let mut s = SatCounter::new(254, 255);
+        assert_eq!(s.inc(), 255);
+        assert_eq!(s.inc(), 255);
+        s.reset(1);
+        assert_eq!(s.dec(), 0);
+        assert_eq!(s.dec(), 0);
+        assert!(s.is_zero());
+    }
+
+    #[test]
+    fn sat_counter_reset_clamps_to_ceiling() {
+        let mut s = SatCounter::new(0, 15);
+        s.reset(100);
+        assert_eq!(s.get(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds ceiling")]
+    fn sat_counter_invalid_initial_panics() {
+        let _ = SatCounter::new(10, 5);
+    }
+
+    #[test]
+    fn linear_histogram_buckets() {
+        let mut h = Histogram::new(Bucketing::Linear { width: 10 }, 4);
+        h.add(0);
+        h.add(9);
+        h.add(10);
+        h.add(39);
+        h.add(1000); // clamps into last bucket
+        assert_eq!(h.counts(), &[2.0, 1.0, 0.0, 2.0]);
+        assert_eq!(h.samples(), 5);
+    }
+
+    #[test]
+    fn log2_histogram_buckets() {
+        let h = Histogram::new(Bucketing::Log2, 8);
+        assert_eq!(h.bucket_of(0), 0);
+        assert_eq!(h.bucket_of(1), 0);
+        assert_eq!(h.bucket_of(2), 1);
+        assert_eq!(h.bucket_of(3), 1);
+        assert_eq!(h.bucket_of(4), 2);
+        assert_eq!(h.bucket_of(255), 7);
+        assert_eq!(h.bucket_of(u64::MAX), 7);
+        assert_eq!(h.bucket_lo(0), 0);
+        assert_eq!(h.bucket_lo(3), 8);
+    }
+
+    #[test]
+    fn upper_mass_threshold_finds_heavy_tail() {
+        let mut h = Histogram::new(Bucketing::Linear { width: 1 }, 16);
+        // Light mass at reuse 1, heavy at reuse 10.
+        h.add_weighted(1, 1.0);
+        h.add_weighted(10, 9.0);
+        assert_eq!(h.upper_mass_threshold(0.5), 10);
+        assert_eq!(h.upper_mass_threshold(1.0), 1);
+    }
+
+    #[test]
+    fn upper_mass_threshold_empty_is_zero() {
+        let h = Histogram::new(Bucketing::Log2, 4);
+        assert_eq!(h.upper_mass_threshold(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_clear_resets() {
+        let mut h = Histogram::new(Bucketing::Log2, 4);
+        h.add(3);
+        h.clear();
+        assert_eq!(h.total_weight(), 0.0);
+        assert_eq!(h.samples(), 0);
+    }
+
+    #[test]
+    fn ewma_first_sample_is_identity() {
+        let mut e = EwmAverage::new(0.25);
+        assert_eq!(e.get(), None);
+        assert_eq!(e.update(8.0), 8.0);
+        let v = e.update(0.0);
+        assert!((v - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = EwmAverage::new(0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! SPLASH-2 **BRN** — Barnes-Hut N-body force calculation.
+//!
+//! Bodies stream sequentially; for each body the force phase walks the
+//! octree from the root. Upper tree levels are shared by every body
+//! (extremely hot, X/H-type), lower levels fan out geometrically (cold
+//! tail). The walk depth and the visited children are drawn
+//! deterministically per body. Body updates end with a store.
+
+use crate::common::{elem, GenConfig, Layout, ThreadTraces, TraceBuilder};
+use rand::Rng;
+
+const BODY_BYTES: u64 = 64; // one body per cache line, as in SPLASH-2
+const NODE_BYTES: u64 = 64;
+const DEPTH: usize = 8;
+
+pub(crate) fn generate(cfg: &GenConfig) -> ThreadTraces {
+    let n_bodies = cfg.count(64 << 10) as u64;
+    let mut layout = Layout::new();
+    let bodies = layout.alloc(n_bodies * BODY_BYTES);
+    // Tree levels: level l has min(8^l, cap) nodes; cap bounds memory.
+    let cap = cfg.count(64 << 10) as u64;
+    let level_sizes: Vec<u64> = (0..DEPTH).map(|l| 8u64.pow(l as u32).min(cap)).collect();
+    let levels: Vec<_> = level_sizes.iter().map(|&s| layout.alloc(s * NODE_BYTES)).collect();
+    let mut b = TraceBuilder::new(cfg);
+    let threads = cfg.threads as u64;
+    let chunk = n_bodies / threads;
+    let seed: u64 = cfg.rng(0xB42).gen();
+
+    let hash = |a: u64, c: u64| -> u64 {
+        let mut x = seed ^ a.wrapping_mul(0xA24B_AED4_963E_E407) ^ c.wrapping_mul(0x9E6C_63D0_876A_68E5);
+        x ^= x >> 32;
+        x.wrapping_mul(0xD6E8_FEB8_6659_FD93)
+    };
+
+    for _iter in 0..4 {
+        for t in 0..threads {
+            let (lo, hi) = (t * chunk, ((t + 1) * chunk).min(n_bodies));
+            for body in lo..hi {
+                let tt = t as usize;
+                if !b.has_budget(tt) {
+                    break;
+                }
+                b.load(tt, elem(bodies, body, BODY_BYTES), 4);
+                // Walk the tree; the opening criterion terminates most
+                // walks early (2/3 continue per level).
+                for (l, (&size, base)) in level_sizes.iter().zip(levels.iter()).enumerate() {
+                    let node = hash(body, l as u64) % size;
+                    b.load(tt, elem(*base, node, NODE_BYTES), 9);
+                    if hash(body, 100 + l as u64) % 3 == 0 {
+                        break;
+                    }
+                }
+                // Update acceleration.
+                b.store(tt, elem(bodies, body, BODY_BYTES), 5);
+            }
+        }
+        // Position integration: stream bodies read-modify-write.
+        for t in 0..threads {
+            let (lo, hi) = (t * chunk, ((t + 1) * chunk).min(n_bodies));
+            for body in lo..hi {
+                let tt = t as usize;
+                b.load(tt, elem(bodies, body, BODY_BYTES), 3);
+                b.store(tt, elem(bodies, body, BODY_BYTES), 2);
+                if !b.has_budget(tt) {
+                    break;
+                }
+            }
+        }
+        if b.exhausted() {
+            break;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcache_cpu::TraceStats;
+    use redcache_types::BLOCK_BYTES;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic() {
+        let cfg = GenConfig::tiny();
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn tree_top_is_much_hotter_than_tail() {
+        let cfg = GenConfig::tiny();
+        let flat: Vec<_> = generate(&cfg).into_iter().flatten().collect();
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for a in &flat {
+            *counts.entry(a.addr.line(BLOCK_BYTES).raw()).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let s = TraceStats::from_trace(&flat);
+        let mean = s.accesses as f64 / s.footprint_lines as f64;
+        assert!(max as f64 > mean * 8.0, "root node must be far hotter (max {max}, mean {mean})");
+    }
+}

@@ -1,0 +1,94 @@
+//! SPLASH-2 **CH** — blocked Cholesky factorisation.
+//!
+//! Block-major storage (as SPLASH-2's supernodal layout). Per outer
+//! step `k`: factor the diagonal block, triangular-solve the blocks
+//! below it, then rank-update the trailing submatrix. Each block of the
+//! `k`-th column is reused once per trailing block it updates, giving
+//! the reuse band that grows toward the matrix edge; finished blocks
+//! see their *last* access as a store (§II.C's last-write signature).
+
+use crate::common::{elem, GenConfig, Layout, ThreadTraces, TraceBuilder};
+use redcache_types::PhysAddr;
+
+const ELEM: u64 = 8;
+const BLK: usize = 32; // 32x32 doubles = 8 KB per block
+
+struct Blocked {
+    base: PhysAddr,
+    nb: usize,
+}
+
+impl Blocked {
+    fn block(&self, bi: usize, bj: usize) -> PhysAddr {
+        let blk_bytes = (BLK * BLK) as u64 * ELEM;
+        PhysAddr::new(self.base.raw() + ((bi * self.nb + bj) as u64) * blk_bytes)
+    }
+}
+
+/// Touches every line of a block: loads, and stores when `write`.
+fn touch_block(b: &mut TraceBuilder, t: usize, base: PhysAddr, write: bool, gap: u32) {
+    let lines = (BLK * BLK) as u64 * ELEM / 64;
+    for l in 0..lines {
+        b.load(t, elem(base, l * 8, ELEM), gap);
+        if write {
+            b.store(t, elem(base, l * 8, ELEM), 1);
+        }
+    }
+}
+
+pub(crate) fn generate(cfg: &GenConfig) -> ThreadTraces {
+    let n = cfg.dim(768);
+    let nb = (n / BLK).max(2);
+    let mut layout = Layout::new();
+    let a = Blocked { base: layout.alloc((nb * nb * BLK * BLK) as u64 * ELEM), nb };
+    let mut b = TraceBuilder::new(cfg);
+    let threads = cfg.threads;
+
+    for k in 0..nb {
+        // Diagonal factorisation (thread k mod T).
+        touch_block(&mut b, k % threads, a.block(k, k), true, 12);
+        // Column solves, partitioned across threads.
+        for i in k + 1..nb {
+            let t = i % threads;
+            touch_block(&mut b, t, a.block(k, k), false, 8);
+            touch_block(&mut b, t, a.block(i, k), true, 8);
+        }
+        // Trailing rank-update: A(i,j) -= A(i,k) * A(j,k)^T, lower half.
+        for j in k + 1..nb {
+            let t = j % threads;
+            if !b.has_budget(t) {
+                continue;
+            }
+            for i in j..nb {
+                touch_block(&mut b, t, a.block(i, k), false, 10);
+                touch_block(&mut b, t, a.block(j, k), false, 2);
+                touch_block(&mut b, t, a.block(i, j), true, 2);
+            }
+        }
+        if b.exhausted() {
+            break;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcache_cpu::TraceStats;
+
+    #[test]
+    fn deterministic() {
+        let cfg = GenConfig::tiny();
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn block_reuse_is_high() {
+        let cfg = GenConfig::tiny();
+        let flat: Vec<_> = generate(&cfg).into_iter().flatten().collect();
+        let s = TraceStats::from_trace(&flat);
+        let reuse = s.accesses as f64 / s.footprint_lines as f64;
+        assert!(reuse > 3.0, "mean line reuse {reuse}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Shared generator infrastructure: sizing, address layout, and the
+//! per-thread trace builder.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use redcache_cpu::Access;
+use redcache_types::{MemOp, PhysAddr, PAGE_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Per-thread traces: `traces[t]` is thread `t`'s reference stream.
+pub type ThreadTraces = Vec<Vec<Access>>;
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenConfig {
+    /// Worker threads (one per simulated core; 16 in the paper).
+    pub threads: usize,
+    /// Linear size divisor: 1 = the "scaled" evaluation preset of
+    /// DESIGN.md §1 (footprints of tens of MB); larger values shrink
+    /// every array for fast tests.
+    pub shrink: usize,
+    /// Per-thread access budget; generation stops once every thread has
+    /// emitted this many references.
+    pub budget_per_thread: usize,
+    /// RNG seed, so traces are fully deterministic.
+    pub seed: u64,
+}
+
+impl GenConfig {
+    /// The evaluation preset: 16 threads, full scaled footprints,
+    /// ~100 k references per thread.
+    pub fn scaled() -> Self {
+        Self { threads: 16, shrink: 1, budget_per_thread: 250_000, seed: 0x5EED_CAFE }
+    }
+
+    /// A fast preset for unit tests: 4 threads, heavily shrunk arrays.
+    pub fn tiny() -> Self {
+        Self { threads: 4, shrink: 8, budget_per_thread: 3_000, seed: 0x5EED_CAFE }
+    }
+
+    /// Deterministic RNG for (workload, thread) pairs.
+    pub fn rng(&self, salt: u64) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Divides a linear dimension by the shrink factor (minimum 4).
+    pub fn dim(&self, full: usize) -> usize {
+        (full / self.shrink).max(4)
+    }
+
+    /// Divides an element count by the shrink factor (minimum 64).
+    pub fn count(&self, full: usize) -> usize {
+        (full / self.shrink).max(64)
+    }
+}
+
+/// A bump allocator laying out each workload's arrays in the physical
+/// address space, page-aligned.
+#[derive(Debug, Default)]
+pub struct Layout {
+    next: u64,
+}
+
+impl Layout {
+    /// Creates a layout starting at address zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates `bytes`, rounded up to whole 4 KB pages, and returns
+    /// the base address.
+    pub fn alloc(&mut self, bytes: u64) -> PhysAddr {
+        let base = self.next;
+        let pages = bytes.div_ceil(PAGE_BYTES as u64).max(1);
+        self.next += pages * PAGE_BYTES as u64;
+        PhysAddr::new(base)
+    }
+
+    /// Total bytes allocated (footprint upper bound).
+    pub fn used(&self) -> u64 {
+        self.next
+    }
+}
+
+/// A per-thread trace builder that enforces the access budget.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    traces: ThreadTraces,
+    budget: usize,
+}
+
+impl TraceBuilder {
+    /// Creates builders for `cfg.threads` threads.
+    pub fn new(cfg: &GenConfig) -> Self {
+        Self {
+            traces: (0..cfg.threads).map(|_| Vec::with_capacity(cfg.budget_per_thread)).collect(),
+            budget: cfg.budget_per_thread,
+        }
+    }
+
+    /// True when thread `t` may still emit references.
+    pub fn has_budget(&self, t: usize) -> bool {
+        self.traces[t].len() < self.budget
+    }
+
+    /// True when every thread's budget is exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.traces.iter().all(|t| t.len() >= self.budget)
+    }
+
+    /// Emits a load by thread `t` (silently dropped past the budget).
+    pub fn load(&mut self, t: usize, addr: PhysAddr, gap: u32) {
+        if self.has_budget(t) {
+            self.traces[t].push(Access { op: MemOp::Load, addr, gap });
+        }
+    }
+
+    /// Emits a store by thread `t`.
+    pub fn store(&mut self, t: usize, addr: PhysAddr, gap: u32) {
+        if self.has_budget(t) {
+            self.traces[t].push(Access { op: MemOp::Store, addr, gap });
+        }
+    }
+
+    /// Finishes generation.
+    pub fn build(self) -> ThreadTraces {
+        self.traces
+    }
+}
+
+/// Index helper: byte address of element `i` in an array of `elem` -byte
+/// elements based at `base`.
+pub fn elem(base: PhysAddr, i: u64, elem_bytes: u64) -> PhysAddr {
+    PhysAddr::new(base.raw() + i * elem_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_page_aligned_and_disjoint() {
+        let mut l = Layout::new();
+        let a = l.alloc(100);
+        let b = l.alloc(5000);
+        let c = l.alloc(1);
+        assert_eq!(a.raw() % PAGE_BYTES as u64, 0);
+        assert_eq!(b.raw(), 4096);
+        assert_eq!(c.raw(), 4096 + 8192);
+        assert_eq!(l.used(), 4096 + 8192 + 4096);
+    }
+
+    #[test]
+    fn builder_enforces_budget() {
+        let cfg = GenConfig { threads: 2, shrink: 8, budget_per_thread: 3, seed: 1 };
+        let mut b = TraceBuilder::new(&cfg);
+        for i in 0..10 {
+            b.load(0, PhysAddr::new(i * 64), 1);
+        }
+        assert!(!b.has_budget(0));
+        assert!(b.has_budget(1));
+        b.store(1, PhysAddr::new(0), 0);
+        assert!(!b.exhausted());
+        let t = b.build();
+        assert_eq!(t[0].len(), 3);
+        assert_eq!(t[1].len(), 1);
+    }
+
+    #[test]
+    fn config_shrink_floors() {
+        let cfg = GenConfig::tiny();
+        assert_eq!(cfg.dim(16), 4);
+        assert!(cfg.count(100_000) >= 64);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_salt() {
+        use rand::Rng;
+        let cfg = GenConfig::scaled();
+        let a: u64 = cfg.rng(1).gen();
+        let b: u64 = cfg.rng(1).gen();
+        let c: u64 = cfg.rng(2).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn elem_addressing() {
+        let base = PhysAddr::new(4096);
+        assert_eq!(elem(base, 3, 8).raw(), 4096 + 24);
+    }
+}

@@ -1,0 +1,100 @@
+//! SPLASH-2 **FFT** — 1D complex FFT (1,048,576-point-shaped), six-step
+//! algorithm.
+//!
+//! The data is viewed as a √N×√N matrix: blocked transpose, per-row
+//! FFTs (log2 stages of butterflies), twiddle scaling, and a final
+//! transpose. Transposes produce strided low-locality traffic; row FFTs
+//! revisit each row log2(√N) times. Rows are partitioned across threads.
+
+use crate::common::{elem, GenConfig, Layout, ThreadTraces, TraceBuilder};
+use redcache_types::PhysAddr;
+
+const ELEM: u64 = 16; // complex<f64>
+
+fn transpose(
+    b: &mut TraceBuilder,
+    src: PhysAddr,
+    dst: PhysAddr,
+    m: usize,
+    threads: usize,
+) {
+    const TB: usize = 8; // transpose tile
+    let tiles = m / TB;
+    for ti in 0..tiles {
+        let t = ti % threads;
+        if !b.has_budget(t) {
+            continue;
+        }
+        for tj in 0..tiles {
+            for i in 0..TB {
+                for j in 0..TB {
+                    let r = (ti * TB + i) as u64;
+                    let c = (tj * TB + j) as u64;
+                    b.load(t, elem(src, r * m as u64 + c, ELEM), 2);
+                    b.store(t, elem(dst, c * m as u64 + r, ELEM), 1);
+                }
+            }
+        }
+    }
+}
+
+fn row_ffts(b: &mut TraceBuilder, base: PhysAddr, m: usize, threads: usize) {
+    let stages = m.trailing_zeros().max(1);
+    for row in 0..m {
+        let t = row % threads;
+        if !b.has_budget(t) {
+            continue;
+        }
+        let rbase = elem(base, (row * m) as u64, ELEM);
+        for _s in 0..stages {
+            let mut i = 0u64;
+            while i + 1 < m as u64 {
+                b.load(t, elem(rbase, i, ELEM), 7);
+                b.load(t, elem(rbase, i + 1, ELEM), 2);
+                b.store(t, elem(rbase, i, ELEM), 3);
+                b.store(t, elem(rbase, i + 1, ELEM), 2);
+                i += 2;
+            }
+        }
+    }
+}
+
+pub(crate) fn generate(cfg: &GenConfig) -> ThreadTraces {
+    // √N, kept a power of two and a multiple of the transpose tile.
+    let m = cfg.count(256).next_power_of_two();
+    let n = (m * m) as u64;
+    let mut layout = Layout::new();
+    let data = layout.alloc(n * ELEM);
+    let scratch = layout.alloc(n * ELEM);
+    let mut b = TraceBuilder::new(cfg);
+    let threads = cfg.threads;
+
+    transpose(&mut b, data, scratch, m, threads);
+    row_ffts(&mut b, scratch, m, threads);
+    transpose(&mut b, scratch, data, m, threads);
+    row_ffts(&mut b, data, m, threads);
+    transpose(&mut b, data, scratch, m, threads);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcache_cpu::TraceStats;
+
+    #[test]
+    fn deterministic() {
+        let cfg = GenConfig::tiny();
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn butterfly_stages_drive_reuse() {
+        let cfg = GenConfig::tiny();
+        let flat: Vec<_> = generate(&cfg).into_iter().flatten().collect();
+        let s = TraceStats::from_trace(&flat);
+        let reuse = s.accesses as f64 / s.footprint_lines as f64;
+        assert!(reuse > 3.0, "log2 stages revisit every row: {reuse}");
+        assert!(s.store_fraction() > 0.3);
+    }
+}

@@ -1,0 +1,45 @@
+//! Workload trace generators for the RedCache reproduction.
+//!
+//! The paper evaluates eleven data-intensive parallel applications
+//! (Table II): FT, IS, MG from NAS; Cholesky, Radix, Ocean, FFT, LU,
+//! Barnes from SPLASH-2; Histogram and Linear Regression from Phoenix.
+//!
+//! Per DESIGN.md §1, each generator **runs the actual kernel** of its
+//! benchmark at a scaled problem size and records the memory reference
+//! stream of each of the 16 worker threads. This preserves the property
+//! RedCache exploits — the per-application block-reuse/bandwidth-cost
+//! distribution (Fig. 3/4) — while keeping simulation tractable:
+//! streaming inputs stay zero-reuse (L-type), hot working sets stay
+//! high-reuse (H-type), and phase-terminated data keeps its
+//! "last access is a write" signature (§II.C).
+//!
+//! # Example
+//!
+//! ```
+//! use redcache_workloads::{GenConfig, Workload};
+//!
+//! let traces = Workload::Hist.generate(&GenConfig::tiny());
+//! assert_eq!(traces.len(), GenConfig::tiny().threads);
+//! assert!(traces.iter().all(|t| !t.is_empty()));
+//! ```
+
+#![warn(missing_docs)]
+
+mod barnes;
+mod cholesky;
+mod common;
+mod fft;
+mod ft;
+mod hist;
+mod is;
+mod lreg;
+mod lu;
+mod mg;
+mod ocean;
+mod radix;
+pub mod suite;
+pub mod synthetic;
+pub mod trace_io;
+
+pub use common::{GenConfig, Layout, ThreadTraces};
+pub use suite::{Workload, WorkloadInfo};

@@ -1,0 +1,64 @@
+//! Phoenix **LREG** — linear regression over a 50 MB-shaped key file.
+//!
+//! Threads stream disjoint ranges of (x, y) samples and keep the five
+//! regression sums in registers; a tiny shared reduction closes the run.
+//! Practically the entire reference stream has zero reuse — the most
+//! extreme L-type workload of the suite, and the strongest case for
+//! α-driven HBM bypass.
+
+use crate::common::{elem, GenConfig, Layout, ThreadTraces, TraceBuilder};
+
+const POINT_BYTES: u64 = 16; // (x, y) as two f64
+
+pub(crate) fn generate(cfg: &GenConfig) -> ThreadTraces {
+    let points = cfg.count(2 << 20) as u64;
+    let mut layout = Layout::new();
+    let data = layout.alloc(points * POINT_BYTES);
+    let partials = layout.alloc(cfg.threads as u64 * 64);
+    let mut b = TraceBuilder::new(cfg);
+    let threads = cfg.threads as u64;
+    let chunk = points / threads;
+
+    for t in 0..threads {
+        let (lo, hi) = (t * chunk, ((t + 1) * chunk).min(points));
+        for i in lo..hi {
+            let tt = t as usize;
+            // One 16 B point per access pair; sums stay in registers.
+            b.load(tt, elem(data, i, POINT_BYTES), 5);
+            if !b.has_budget(tt) {
+                break;
+            }
+        }
+        // Spill the partial sums once per thread.
+        b.store(t as usize, elem(partials, t, 64), 3);
+    }
+    // Reduction on thread 0.
+    for t in 0..threads {
+        b.load(0, elem(partials, t, 64), 2);
+    }
+    b.store(0, elem(partials, 0, 64), 2);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcache_cpu::TraceStats;
+
+    #[test]
+    fn deterministic() {
+        let cfg = GenConfig::tiny();
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn nearly_pure_stream() {
+        let cfg = GenConfig::tiny();
+        let flat: Vec<_> = generate(&cfg).into_iter().flatten().collect();
+        let s = TraceStats::from_trace(&flat);
+        let reuse = s.accesses as f64 / s.footprint_lines as f64;
+        // Four 16 B points per 64 B line: about 4 accesses per line.
+        assert!(reuse < 6.0, "pure streaming expected: {reuse}");
+        assert!(s.store_fraction() < 0.05);
+    }
+}

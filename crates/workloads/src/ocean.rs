@@ -1,0 +1,94 @@
+//! SPLASH-2 **OCN** — ocean current simulation (514×514-shaped grids).
+//!
+//! Red-black Gauss–Seidel relaxation over multiple 2D fields plus
+//! element-wise coupling updates, iterated. Rows are partitioned across
+//! threads. Every field line is revisited each iteration, so the whole
+//! footprint carries a uniform medium reuse count that ends in a store
+//! (the relaxation update) — exercising γ's last-write invalidation.
+
+use crate::common::{elem, GenConfig, Layout, ThreadTraces, TraceBuilder};
+use redcache_types::PhysAddr;
+
+const ELEM: u64 = 8;
+const FIELDS: usize = 4;
+
+fn idx(n: usize, x: usize, y: usize) -> u64 {
+    (y * n + x) as u64
+}
+
+fn relax(b: &mut TraceBuilder, field: PhysAddr, n: usize, colour: usize, threads: usize) {
+    for y in 1..n - 1 {
+        let t = y % threads;
+        if !b.has_budget(t) {
+            continue;
+        }
+        let start = 1 + (y + colour) % 2;
+        let mut x = start;
+        while x < n - 1 {
+            b.load(t, elem(field, idx(n, x, y), ELEM), 4);
+            b.load(t, elem(field, idx(n, x - 1, y), ELEM), 1);
+            b.load(t, elem(field, idx(n, x + 1, y), ELEM), 1);
+            b.load(t, elem(field, idx(n, x, y - 1), ELEM), 1);
+            b.load(t, elem(field, idx(n, x, y + 1), ELEM), 1);
+            b.store(t, elem(field, idx(n, x, y), ELEM), 3);
+            x += 2;
+        }
+    }
+}
+
+fn couple(b: &mut TraceBuilder, fa: PhysAddr, fb: PhysAddr, fc: PhysAddr, n: usize, threads: usize) {
+    for y in 0..n {
+        let t = y % threads;
+        if !b.has_budget(t) {
+            continue;
+        }
+        for x in 0..n {
+            b.load(t, elem(fa, idx(n, x, y), ELEM), 2);
+            b.load(t, elem(fb, idx(n, x, y), ELEM), 1);
+            b.store(t, elem(fc, idx(n, x, y), ELEM), 2);
+        }
+    }
+}
+
+pub(crate) fn generate(cfg: &GenConfig) -> ThreadTraces {
+    let n = cfg.dim(194);
+    let mut layout = Layout::new();
+    let fields: Vec<PhysAddr> =
+        (0..FIELDS).map(|_| layout.alloc((n * n) as u64 * ELEM)).collect();
+    let mut b = TraceBuilder::new(cfg);
+    let threads = cfg.threads;
+
+    for _iter in 0..6 {
+        for colour in 0..2 {
+            relax(&mut b, fields[0], n, colour, threads);
+            relax(&mut b, fields[1], n, colour, threads);
+        }
+        couple(&mut b, fields[0], fields[1], fields[2], n, threads);
+        couple(&mut b, fields[1], fields[2], fields[3], n, threads);
+        if b.exhausted() {
+            break;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcache_cpu::TraceStats;
+
+    #[test]
+    fn deterministic() {
+        let cfg = GenConfig::tiny();
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn iterative_reuse() {
+        let cfg = GenConfig::tiny();
+        let flat: Vec<_> = generate(&cfg).into_iter().flatten().collect();
+        let s = TraceStats::from_trace(&flat);
+        let reuse = s.accesses as f64 / s.footprint_lines as f64;
+        assert!(reuse > 5.0, "ocean revisits fields every iteration: {reuse}");
+    }
+}

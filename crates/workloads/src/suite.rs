@@ -1,0 +1,207 @@
+//! The Table II workload registry.
+
+use crate::common::{GenConfig, ThreadTraces};
+use serde::{Deserialize, Serialize};
+
+/// The eleven evaluated applications (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Workload {
+    /// NAS Fourier Transform, class-A-shaped.
+    Ft,
+    /// NAS Integer Sort, class-A-shaped.
+    Is,
+    /// NAS Multi-Grid, class-A-shaped.
+    Mg,
+    /// SPLASH-2 Cholesky (tk29.0-shaped).
+    Ch,
+    /// SPLASH-2 Radix (2 M-integer-shaped).
+    Rdx,
+    /// SPLASH-2 Ocean (514×514-shaped).
+    Ocn,
+    /// SPLASH-2 FFT (1,048,576-point-shaped).
+    Fft,
+    /// SPLASH-2 LU.
+    Lu,
+    /// SPLASH-2 Barnes (16 K-particle-shaped).
+    Brn,
+    /// Phoenix Histogram (100 MB-file-shaped).
+    Hist,
+    /// Phoenix Linear Regression (50 MB-key-file-shaped).
+    Lreg,
+}
+
+/// Static description of a workload — the rows of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadInfo {
+    /// Short label used in the figures (e.g. "RDX").
+    pub label: &'static str,
+    /// Full benchmark name.
+    pub name: &'static str,
+    /// Source suite.
+    pub suite: &'static str,
+    /// The paper's input description.
+    pub input: &'static str,
+}
+
+impl Workload {
+    /// All eleven workloads in the paper's figure order.
+    pub const ALL: [Workload; 11] = [
+        Workload::Ft,
+        Workload::Is,
+        Workload::Mg,
+        Workload::Ch,
+        Workload::Rdx,
+        Workload::Ocn,
+        Workload::Fft,
+        Workload::Lu,
+        Workload::Brn,
+        Workload::Hist,
+        Workload::Lreg,
+    ];
+
+    /// Table II row for this workload.
+    pub const fn info(self) -> WorkloadInfo {
+        match self {
+            Workload::Ft => WorkloadInfo {
+                label: "FT",
+                name: "Fourier Transform",
+                suite: "NAS",
+                input: "Class A",
+            },
+            Workload::Is => WorkloadInfo {
+                label: "IS",
+                name: "Integer Sort",
+                suite: "NAS",
+                input: "Class A",
+            },
+            Workload::Mg => WorkloadInfo {
+                label: "MG",
+                name: "Multi-Grid",
+                suite: "NAS",
+                input: "Class A",
+            },
+            Workload::Ch => WorkloadInfo {
+                label: "CH",
+                name: "Cholesky",
+                suite: "SPLASH-2",
+                input: "tk29.O",
+            },
+            Workload::Rdx => WorkloadInfo {
+                label: "RDX",
+                name: "Radix",
+                suite: "SPLASH-2",
+                input: "2M integer",
+            },
+            Workload::Ocn => WorkloadInfo {
+                label: "OCN",
+                name: "Ocean",
+                suite: "SPLASH-2",
+                input: "514x514 ocean",
+            },
+            Workload::Fft => WorkloadInfo {
+                label: "FFT",
+                name: "FFT",
+                suite: "SPLASH-2",
+                input: "1048576 data points",
+            },
+            Workload::Lu => WorkloadInfo {
+                label: "LU",
+                name: "Lower/Upper Triangular",
+                suite: "SPLASH-2",
+                input: "isiz02=64",
+            },
+            Workload::Brn => WorkloadInfo {
+                label: "BRN",
+                name: "Barnes",
+                suite: "SPLASH-2",
+                input: "16K particles",
+            },
+            Workload::Hist => WorkloadInfo {
+                label: "HIST",
+                name: "Histogram",
+                suite: "PHOENIX",
+                input: "100MB file",
+            },
+            Workload::Lreg => WorkloadInfo {
+                label: "LREG",
+                name: "Linear Regression",
+                suite: "PHOENIX",
+                input: "50MB key file",
+            },
+        }
+    }
+
+    /// Generates the per-thread traces for this workload.
+    pub fn generate(self, cfg: &GenConfig) -> ThreadTraces {
+        match self {
+            Workload::Ft => crate::ft::generate(cfg),
+            Workload::Is => crate::is::generate(cfg),
+            Workload::Mg => crate::mg::generate(cfg),
+            Workload::Ch => crate::cholesky::generate(cfg),
+            Workload::Rdx => crate::radix::generate(cfg),
+            Workload::Ocn => crate::ocean::generate(cfg),
+            Workload::Fft => crate::fft::generate(cfg),
+            Workload::Lu => crate::lu::generate(cfg),
+            Workload::Brn => crate::barnes::generate(cfg),
+            Workload::Hist => crate::hist::generate(cfg),
+            Workload::Lreg => crate::lreg::generate(cfg),
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.info().label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcache_cpu::TraceStats;
+
+    #[test]
+    fn all_eleven_generate_nonempty_traces() {
+        let cfg = GenConfig::tiny();
+        for w in Workload::ALL {
+            let traces = w.generate(&cfg);
+            assert_eq!(traces.len(), cfg.threads, "{w}");
+            let total: usize = traces.iter().map(|t| t.len()).sum();
+            assert!(total > 100, "{w} produced only {total} accesses");
+        }
+    }
+
+    #[test]
+    fn budgets_are_respected() {
+        let cfg = GenConfig::tiny();
+        for w in Workload::ALL {
+            for t in w.generate(&cfg) {
+                assert!(t.len() <= cfg.budget_per_thread, "{w}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<&str> = Workload::ALL.iter().map(|w| w.info().label).collect();
+        assert_eq!(
+            labels,
+            ["FT", "IS", "MG", "CH", "RDX", "OCN", "FFT", "LU", "BRN", "HIST", "LREG"]
+        );
+    }
+
+    #[test]
+    fn suite_has_varied_reuse_profiles() {
+        // The suite must span stream-dominated and reuse-dominated
+        // applications for the α/γ classification to matter.
+        let cfg = GenConfig::tiny();
+        let reuse_of = |w: Workload| {
+            let flat: Vec<_> = w.generate(&cfg).into_iter().flatten().collect();
+            let s = TraceStats::from_trace(&flat);
+            s.accesses as f64 / s.footprint_lines as f64
+        };
+        let lreg = reuse_of(Workload::Lreg);
+        let ocn = reuse_of(Workload::Ocn);
+        assert!(ocn > 2.0 * lreg, "OCN ({ocn}) should far exceed LREG ({lreg})");
+    }
+}

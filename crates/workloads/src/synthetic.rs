@@ -1,0 +1,165 @@
+//! Parametric synthetic workload for calibration, unit tests, and the
+//! Fig. 4 classification demonstration.
+//!
+//! Generates a reference stream over three explicit block populations —
+//! the paper's L, H and X classes (§III, Fig. 4):
+//!
+//! * **L** — a large streaming region touched `l_reuse` times,
+//! * **H** — a hot region with `h_reuse` touches (the bandwidth bulk),
+//! * **X** — a small region with very high reuse but little total
+//!   bandwidth (it mostly hits in SRAM).
+
+use crate::common::{elem, GenConfig, Layout, ThreadTraces, TraceBuilder};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic three-class stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticSpec {
+    /// Lines in the streaming (L) region.
+    pub l_lines: u64,
+    /// Touches per L line (1 = pure stream).
+    pub l_reuse: u32,
+    /// Lines in the hot (H) region.
+    pub h_lines: u64,
+    /// Touches per H line.
+    pub h_reuse: u32,
+    /// Lines in the tiny very-hot (X) region.
+    pub x_lines: u64,
+    /// Touches per X line.
+    pub x_reuse: u32,
+    /// Fraction of touches that are stores, in percent.
+    pub store_pct: u8,
+    /// Whether the final touch of each H line is forced to be a store
+    /// (the §II.C last-write pattern).
+    pub last_write: bool,
+}
+
+impl SyntheticSpec {
+    /// A representative mixed workload: 3/4 streaming, hot quarter.
+    pub fn mixed() -> Self {
+        Self {
+            l_lines: 96 << 10,
+            l_reuse: 1,
+            h_lines: 24 << 10,
+            h_reuse: 24,
+            x_lines: 256,
+            x_reuse: 200,
+            store_pct: 30,
+            last_write: true,
+        }
+    }
+}
+
+/// Generates the synthetic stream.
+pub fn generate(spec: &SyntheticSpec, cfg: &GenConfig) -> ThreadTraces {
+    let mut layout = Layout::new();
+    let l = layout.alloc(spec.l_lines * 64);
+    let h = layout.alloc(spec.h_lines * 64);
+    let x = layout.alloc(spec.x_lines * 64);
+    let mut b = TraceBuilder::new(cfg);
+    let threads = cfg.threads as u64;
+    let mut rng = cfg.rng(0x517);
+
+    for t in 0..threads {
+        let tt = t as usize;
+        // Interleave: stream L once per reuse round while cycling H/X.
+        let l_chunk = (spec.l_lines / threads).max(1);
+        let h_chunk = (spec.h_lines / threads).max(1);
+        let x_chunk = (spec.x_lines / threads).max(1);
+        let (l_lo, h_lo, x_lo) = (t * l_chunk, t * h_chunk, t * x_chunk);
+        let emit = |b: &mut TraceBuilder, base, line, store: bool| {
+            if store {
+                b.store(tt, elem(base, line, 64), 2);
+            } else {
+                b.load(tt, elem(base, line, 64), 2);
+            }
+        };
+        'outer: for round in 0..spec.h_reuse.max(1) {
+            // H region pass.
+            for i in 0..h_chunk {
+                let store = if spec.last_write && round + 1 == spec.h_reuse {
+                    true
+                } else {
+                    rng.gen_range(0..100) < spec.store_pct as u32
+                };
+                emit(&mut b, h, h_lo + i, store);
+                // X lines are interspersed with high frequency.
+                if i % (h_chunk / spec.x_reuse.max(1) as u64).max(1) == 0 {
+                    emit(&mut b, x, x_lo + i % x_chunk, false);
+                }
+                if !b.has_budget(tt) {
+                    break 'outer;
+                }
+            }
+            // L region slice for this round.
+            if round < spec.l_reuse {
+                for i in 0..l_chunk {
+                    let store = rng.gen_range(0..100) < spec.store_pct as u32;
+                    emit(&mut b, l, l_lo + i, store);
+                    if !b.has_budget(tt) {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcache_types::BLOCK_BYTES;
+    use std::collections::HashMap;
+
+    #[test]
+    fn three_classes_have_expected_reuse_ordering() {
+        let spec = SyntheticSpec {
+            l_lines: 4096,
+            l_reuse: 1,
+            h_lines: 512,
+            h_reuse: 16,
+            x_lines: 16,
+            x_reuse: 100,
+            store_pct: 20,
+            last_write: true,
+        };
+        let mut cfg = GenConfig::tiny();
+        cfg.budget_per_thread = 50_000;
+        let flat: Vec<_> = generate(&spec, &cfg).into_iter().flatten().collect();
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for a in &flat {
+            *counts.entry(a.addr.line(BLOCK_BYTES).raw()).or_default() += 1;
+        }
+        // L lines live below h base; compute mean reuse per region.
+        let l_end = 4096u64;
+        let h_end = l_end + 512;
+        let mean = |lo: u64, hi: u64| {
+            let (mut s, mut n) = (0u64, 0u64);
+            for (&line, &c) in &counts {
+                if line >= lo && line < hi {
+                    s += c;
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                0.0
+            } else {
+                s as f64 / n as f64
+            }
+        };
+        let l_mean = mean(0, l_end);
+        let h_mean = mean(l_end, h_end);
+        let x_mean = mean(h_end, h_end + 16);
+        assert!(h_mean > 2.0 * l_mean, "H ({h_mean}) must out-reuse L ({l_mean})");
+        assert!(x_mean > h_mean, "X ({x_mean}) must out-reuse H ({h_mean})");
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = SyntheticSpec::mixed();
+        let cfg = GenConfig::tiny();
+        assert_eq!(generate(&spec, &cfg), generate(&spec, &cfg));
+    }
+}

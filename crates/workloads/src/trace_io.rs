@@ -1,0 +1,150 @@
+//! Compact binary serialization for generated traces.
+//!
+//! Generating the scaled workloads is fast, but pinning a byte-exact
+//! trace to disk is useful for cross-machine reproducibility and for
+//! feeding external tools. The format is a simple little-endian layout:
+//!
+//! ```text
+//! magic "RCTR" | version u32 | threads u32
+//! per thread: len u64, then len records of
+//!   op u8 (0 = load, 1 = store) | addr u64 | gap u32
+//! ```
+
+use crate::common::ThreadTraces;
+use redcache_cpu::Access;
+use redcache_types::{MemOp, PhysAddr};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"RCTR";
+const VERSION: u32 = 1;
+
+/// Writes `traces` to `w`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_traces<W: Write>(mut w: W, traces: &ThreadTraces) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(traces.len() as u32).to_le_bytes())?;
+    for t in traces {
+        w.write_all(&(t.len() as u64).to_le_bytes())?;
+        for a in t {
+            w.write_all(&[a.op.is_store() as u8])?;
+            w.write_all(&a.addr.raw().to_le_bytes())?;
+            w.write_all(&a.gap.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads traces previously written by [`write_traces`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic/version or truncated stream, and
+/// propagates reader I/O errors.
+pub fn read_traces<R: Read>(mut r: R) -> io::Result<ThreadTraces> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a RedCache trace file"));
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf)?;
+    if u32::from_le_bytes(u32buf) != VERSION {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported trace version"));
+    }
+    r.read_exact(&mut u32buf)?;
+    let threads = u32::from_le_bytes(u32buf) as usize;
+    if threads > 4096 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible thread count"));
+    }
+    let mut traces = Vec::with_capacity(threads);
+    let mut u64buf = [0u8; 8];
+    for _ in 0..threads {
+        r.read_exact(&mut u64buf)?;
+        let len = u64::from_le_bytes(u64buf) as usize;
+        let mut t = Vec::with_capacity(len.min(1 << 24));
+        for _ in 0..len {
+            let mut op = [0u8; 1];
+            r.read_exact(&mut op)?;
+            r.read_exact(&mut u64buf)?;
+            let addr = u64::from_le_bytes(u64buf);
+            r.read_exact(&mut u32buf)?;
+            let gap = u32::from_le_bytes(u32buf);
+            t.push(Access {
+                op: if op[0] == 1 { MemOp::Store } else { MemOp::Load },
+                addr: PhysAddr::new(addr),
+                gap,
+            });
+        }
+        traces.push(t);
+    }
+    Ok(traces)
+}
+
+/// Convenience: writes `traces` to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save(path: &std::path::Path, traces: &ThreadTraces) -> io::Result<()> {
+    write_traces(io::BufWriter::new(std::fs::File::create(path)?), traces)
+}
+
+/// Convenience: reads traces from `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem and format errors.
+pub fn load(path: &std::path::Path) -> io::Result<ThreadTraces> {
+    read_traces(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GenConfig, Workload};
+
+    #[test]
+    fn round_trips_generated_traces() {
+        let traces = Workload::Is.generate(&GenConfig::tiny());
+        let mut buf = Vec::new();
+        write_traces(&mut buf, &traces).unwrap();
+        let back = read_traces(&buf[..]).unwrap();
+        assert_eq!(traces, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        assert!(read_traces(&b"NOPE"[..]).is_err());
+        let mut buf = Vec::new();
+        write_traces(&mut buf, &vec![vec![]]).unwrap();
+        buf[4] = 99; // corrupt version
+        assert!(read_traces(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let traces = Workload::Lreg.generate(&GenConfig::tiny());
+        let mut buf = Vec::new();
+        write_traces(&mut buf, &traces).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_traces(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let traces = vec![vec![Access {
+            op: MemOp::Store,
+            addr: PhysAddr::new(0xABCD),
+            gap: 7,
+        }]];
+        let path = std::env::temp_dir().join("redcache_trace_io_test.rctr");
+        save(&path, &traces).unwrap();
+        let back = load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(traces, back);
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: simulate one workload under the Alloy baseline and the
+//! full RedCache architecture, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use redcache::sim::run_workload;
+use redcache::{PolicyKind, RedVariant, SimConfig};
+use redcache_workloads::{GenConfig, Workload};
+
+fn main() {
+    // A reduced workload so the example finishes in seconds; use
+    // GenConfig::scaled() for evaluation-sized runs.
+    let mut gen = GenConfig::scaled();
+    gen.budget_per_thread = 40_000;
+
+    println!("simulating HIST (Phoenix histogram) under two architectures…\n");
+    let alloy = run_workload(SimConfig::scaled(PolicyKind::Alloy), Workload::Hist, &gen);
+    let red = run_workload(
+        SimConfig::scaled(PolicyKind::Red(RedVariant::Full)),
+        Workload::Hist,
+        &gen,
+    );
+
+    for r in [&alloy, &red] {
+        println!("{:—<60}", format!("{} ", r.policy));
+        println!("  execution time   {:>12} cycles", r.cycles);
+        println!("  IPC              {:>12.2}", r.ipc());
+        println!("  HBM hit rate     {:>12.1}%", r.hbm_hit_rate() * 100.0);
+        println!(
+            "  WideIO traffic   {:>12} bytes",
+            r.hbm.map(|h| h.bytes_total()).unwrap_or(0)
+        );
+        println!("  DDR traffic      {:>12} bytes", r.ddr.bytes_total());
+        println!("  HBM energy       {:>12.4} mJ", r.energy.hbm.total_j() * 1e3);
+        println!("  system energy    {:>12.4} mJ", r.energy.total_j() * 1e3);
+        println!("  stale reads      {:>12}", r.shadow_violations);
+        println!();
+    }
+    println!(
+        "RedCache vs Alloy: {:.1}% faster, {:.1}% less HBM energy",
+        100.0 * (1.0 - red.time_normalized_to(&alloy)),
+        100.0 * (1.0 - red.hbm_energy_normalized_to(&alloy)),
+    );
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates every figure/table/stat of the paper into results/ and
+# experiment_logs/. Figures 9-11 share results/eval_matrix.json.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p experiment_logs
+run() {
+  local name="$1"; shift
+  echo "=== $name ==="
+  "$@" 2>&1 | tee "experiment_logs/$name.txt"
+}
+run fig9  ./target/release/fig9_exec_time
+run fig10 ./target/release/fig10_hbm_energy
+run fig11 ./target/release/fig11_system_energy
+run table1 ./target/release/table1_config
+run table2 ./target/release/table2_workloads
+run fig3  ./target/release/fig3_reuse
+run fig4  ./target/release/fig4_classes
+run stat_last_writes ./target/release/stat_last_writes
+run stat_rcu ./target/release/stat_rcu
+# Topology/granularity and ablations at a reduced budget keep the whole
+# sweep tractable on small machines; unset for full-budget runs.
+export REDCACHE_BUDGET="${REDCACHE_BUDGET:-60000}"
+run fig2a ./target/release/fig2_topology
+run fig2b ./target/release/fig2_granularity
+run ablation_alpha ./target/release/ablation_alpha
+run ablation_rcu_depth ./target/release/ablation_rcu_depth
+run ablation_refresh ./target/release/ablation_refresh
+echo "all experiments done"

@@ -1,0 +1,15 @@
+//! Meta-crate for the RedCache reproduction workspace.
+//!
+//! This package exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the public API lives
+//! in the [`redcache`] crate and its substrates. See the repository
+//! README for the tour.
+
+pub use redcache;
+pub use redcache_cache;
+pub use redcache_cpu;
+pub use redcache_dram;
+pub use redcache_energy;
+pub use redcache_policies;
+pub use redcache_types;
+pub use redcache_workloads;

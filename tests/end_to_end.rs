@@ -1,0 +1,169 @@
+//! Workspace integration tests: full-system runs spanning every crate.
+//!
+//! These use reduced workloads (`GenConfig::tiny`) and the `quick`
+//! simulation preset so the whole suite stays fast, while still driving
+//! cores → hierarchy → controller → WideIO/DDR end to end.
+
+use redcache::sim::run_workload;
+use redcache::{PolicyKind, RedVariant, SimConfig, Simulator};
+use redcache_workloads::{synthetic, GenConfig, Workload};
+
+fn tiny() -> GenConfig {
+    GenConfig::tiny()
+}
+
+fn all_policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::NoHbm,
+        PolicyKind::Ideal,
+        PolicyKind::Alloy,
+        PolicyKind::Bear,
+        PolicyKind::Red(RedVariant::Alpha),
+        PolicyKind::Red(RedVariant::Gamma),
+        PolicyKind::Red(RedVariant::Basic),
+        PolicyKind::Red(RedVariant::InSitu),
+        PolicyKind::Red(RedVariant::Full),
+    ]
+}
+
+#[test]
+fn every_policy_runs_every_workload_without_stale_reads() {
+    // The heavyweight correctness sweep: 11 workloads × 9 architectures,
+    // every read checked against the shadow memory.
+    for w in Workload::ALL {
+        let traces = w.generate(&tiny());
+        for kind in all_policies() {
+            let r = Simulator::new(SimConfig::quick(kind)).run(traces.clone());
+            assert_eq!(r.shadow_violations, 0, "{kind:?} on {w} served stale data");
+            assert!(r.cycles > 0, "{kind:?} on {w}");
+            assert!(r.instructions > 0, "{kind:?} on {w}");
+        }
+    }
+}
+
+#[test]
+fn request_conservation_holds() {
+    // Every below-L3 read the simulator issues is eventually completed:
+    // controller counters must balance. (Warmup disabled — the stat
+    // reset would otherwise split in-flight requests across the
+    // boundary.)
+    let traces = Workload::Is.generate(&tiny());
+    for kind in all_policies() {
+        let mut cfg = SimConfig::quick(kind);
+        cfg.warmup_fraction = 0.0;
+        let r = Simulator::new(cfg).run(traces.clone());
+        assert_eq!(
+            r.ctl.submitted, r.ctl.completed,
+            "{kind:?}: {} submitted vs {} completed",
+            r.ctl.submitted, r.ctl.completed
+        );
+        assert_eq!(r.ctl.submitted, r.mem_reads + r.mem_writebacks, "{kind:?}");
+    }
+}
+
+#[test]
+fn nohbm_never_touches_wideio_and_ideal_never_touches_ddr() {
+    let traces = Workload::Hist.generate(&tiny());
+    let nohbm = Simulator::new(SimConfig::quick(PolicyKind::NoHbm)).run(traces.clone());
+    assert!(nohbm.hbm.is_none());
+    assert!(nohbm.ddr.bytes_total() > 0);
+
+    let ideal = Simulator::new(SimConfig::quick(PolicyKind::Ideal)).run(traces);
+    assert_eq!(ideal.ddr.bytes_total(), 0, "IDEAL must serve everything in-package");
+    assert!(ideal.hbm.unwrap().bytes_total() > 0);
+    assert_eq!(ideal.hbm_hit_rate(), 1.0);
+}
+
+#[test]
+fn ideal_bounds_real_caches_on_reuse_heavy_work() {
+    let traces = synthetic::generate(&synthetic::SyntheticSpec::mixed(), &tiny());
+    let ideal = Simulator::new(SimConfig::quick(PolicyKind::Ideal)).run(traces.clone());
+    for kind in [PolicyKind::Alloy, PolicyKind::Bear, PolicyKind::Red(RedVariant::Full)] {
+        let r = Simulator::new(SimConfig::quick(kind)).run(traces.clone());
+        assert!(
+            ideal.cycles <= r.cycles * 11 / 10,
+            "IDEAL ({}) should not lose to {kind:?} ({}) by >10%",
+            ideal.cycles,
+            r.cycles
+        );
+    }
+}
+
+#[test]
+fn energy_accounting_is_positive_and_consistent() {
+    let traces = Workload::Mg.generate(&tiny());
+    for kind in all_policies() {
+        let r = Simulator::new(SimConfig::quick(kind)).run(traces.clone());
+        let e = &r.energy;
+        assert!(e.cpu.total_j() > 0.0, "{kind:?} CPU energy");
+        assert!(e.ddr.total_j() >= 0.0);
+        let total = e.cpu.total_j() + e.hbm.total_j() + e.ddr.total_j();
+        assert!((e.total_j() - total).abs() < 1e-15, "{kind:?} energy sum");
+        if kind == PolicyKind::NoHbm {
+            assert_eq!(e.hbm.total_j(), 0.0);
+        } else {
+            assert!(e.hbm.total_j() > 0.0, "{kind:?} HBM energy");
+        }
+    }
+}
+
+#[test]
+fn alpha_bypass_reduces_wideio_traffic_on_streams() {
+    // LREG is a pure stream: RedCache must move far fewer WideIO bytes
+    // than Alloy (which probes and fills every miss).
+    let traces = Workload::Lreg.generate(&tiny());
+    let alloy = Simulator::new(SimConfig::quick(PolicyKind::Alloy)).run(traces.clone());
+    let red =
+        Simulator::new(SimConfig::quick(PolicyKind::Red(RedVariant::Full))).run(traces);
+    let a = alloy.hbm.unwrap().bytes_total();
+    let r = red.hbm.unwrap().bytes_total();
+    assert!(
+        r * 2 < a,
+        "RedCache should move <50% of Alloy's WideIO bytes on a stream ({r} vs {a})"
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let traces = Workload::Rdx.generate(&tiny());
+    let a = Simulator::new(SimConfig::quick(PolicyKind::Red(RedVariant::Full)))
+        .run(traces.clone());
+    let b = Simulator::new(SimConfig::quick(PolicyKind::Red(RedVariant::Full))).run(traces);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.ctl.hbm_hits, b.ctl.hbm_hits);
+    assert_eq!(a.extras, b.extras);
+}
+
+#[test]
+fn run_workload_labels_and_geomean_helpers() {
+    let r = run_workload(SimConfig::quick(PolicyKind::Alloy), Workload::Brn, &tiny());
+    assert_eq!(r.workload.as_deref(), Some("BRN"));
+    assert!(r.ipc() > 0.0);
+    assert!(redcache::metrics::geomean(&[r.ipc()]) > 0.0);
+}
+
+#[test]
+fn granularity_sweep_runs_clean() {
+    let traces = Workload::Fft.generate(&tiny());
+    for bs in [64usize, 128, 256] {
+        let mut cfg = SimConfig::quick(PolicyKind::Alloy);
+        cfg.policy.cache_block_bytes = bs;
+        let r = Simulator::new(cfg).run(traces.clone());
+        assert_eq!(r.shadow_violations, 0, "{bs}B blocks served stale data");
+        // Larger blocks move at least as many WideIO bytes.
+        assert!(r.hbm.unwrap().bytes_total() > 0);
+    }
+}
+
+#[test]
+fn warmup_fraction_changes_measured_window_only() {
+    let traces = Workload::Ocn.generate(&tiny());
+    let mut cfg = SimConfig::quick(PolicyKind::Alloy);
+    cfg.warmup_fraction = 0.0;
+    let cold = Simulator::new(cfg).run(traces.clone());
+    let mut cfg = SimConfig::quick(PolicyKind::Alloy);
+    cfg.warmup_fraction = 0.5;
+    let warm = Simulator::new(cfg).run(traces);
+    assert!(warm.cycles < cold.cycles, "measured window must shrink with warmup");
+    assert_eq!(warm.shadow_violations, 0);
+}
