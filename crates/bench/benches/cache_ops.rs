@@ -1,9 +1,9 @@
 //! Criterion micro-benchmark: SRAM hierarchy lookup/fill throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use redcache_cache::{CacheGeometry, Hierarchy, HierarchyConfig, SetAssocCache};
 use redcache_types::{CoreId, LineAddr, MemOp};
+use std::time::Duration;
 
 fn bench_set_assoc(c: &mut Criterion) {
     let mut group = c.benchmark_group("set_assoc");
@@ -38,7 +38,11 @@ fn bench_hierarchy(c: &mut Criterion) {
         b.iter(|| {
             let core = CoreId((i % 4) as u16);
             let line = LineAddr::new((i * 97) % 65536);
-            let op = if i % 5 == 0 { MemOp::Store } else { MemOp::Load };
+            let op = if i % 5 == 0 {
+                MemOp::Store
+            } else {
+                MemOp::Load
+            };
             let out = h.access(core, line, op, i, i);
             if out.mem_read_needed() {
                 let _ = h.complete_fill(line, i);

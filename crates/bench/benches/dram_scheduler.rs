@@ -2,9 +2,9 @@
 //! row-hit streams, random conflicts, and mixed read/write traffic.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use redcache_dram::{DramConfig, DramSystem, TxnKind};
 use redcache_types::PhysAddr;
+use std::time::Duration;
 
 fn run_pattern(cfg: DramConfig, addrs: &[(u64, bool)]) -> u64 {
     let cap = cfg.topology.capacity_bytes();
@@ -34,9 +34,14 @@ fn patterns(n: usize) -> Vec<(&'static str, Vec<(u64, bool)>)> {
             (x % (1 << 26), x % 3 == 0)
         })
         .collect();
-    let hot_rows: Vec<_> =
-        (0..n as u64).map(|i| ((i % 8) * (1 << 20) + (i / 8) * 64, false)).collect();
-    vec![("sequential", sequential), ("random", random), ("hot_rows", hot_rows)]
+    let hot_rows: Vec<_> = (0..n as u64)
+        .map(|i| ((i % 8) * (1 << 20) + (i / 8) * 64, false))
+        .collect();
+    vec![
+        ("sequential", sequential),
+        ("random", random),
+        ("hot_rows", hot_rows),
+    ]
 }
 
 fn bench_scheduler(c: &mut Criterion) {

@@ -2,9 +2,9 @@
 //! hierarchy, controller, both DRAMs) on a small synthetic workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use redcache::{PolicyKind, RedVariant, SimConfig, Simulator};
 use redcache_workloads::{synthetic, GenConfig};
+use std::time::Duration;
 
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
@@ -14,7 +14,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut gen = GenConfig::tiny();
     gen.budget_per_thread = 8_000;
     let traces = synthetic::generate(&synthetic::SyntheticSpec::mixed(), &gen);
-    for kind in [PolicyKind::Alloy, PolicyKind::Bear, PolicyKind::Red(RedVariant::Full)] {
+    for kind in [
+        PolicyKind::Alloy,
+        PolicyKind::Bear,
+        PolicyKind::Red(RedVariant::Full),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(kind.to_string()),
             &kind,

@@ -2,10 +2,10 @@
 //! each DRAM-cache architecture, including both DRAM back ends.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use redcache::{PolicyConfig, PolicyKind, RedVariant};
 use redcache_policies::build_controller;
 use redcache_types::{CoreId, LineAddr, MemRequest, ReqId};
+use std::time::Duration;
 
 fn drive_requests(kind: PolicyKind, n: u64) -> u64 {
     let mut cfg = PolicyConfig::scaled(kind);
@@ -18,7 +18,10 @@ fn drive_requests(kind: PolicyKind, n: u64) -> u64 {
         // Mixed stream: 3/4 reads, hot/cold mix.
         let line = LineAddr::new(if i % 3 == 0 { i % 64 } else { i * 17 % 16384 });
         if i % 4 == 0 {
-            ctl.submit(MemRequest::writeback(ReqId(i), line, CoreId(0), now, i), now);
+            ctl.submit(
+                MemRequest::writeback(ReqId(i), line, CoreId(0), now, i),
+                now,
+            );
         } else {
             ctl.submit(MemRequest::read(ReqId(i), line, CoreId(0), now), now);
         }

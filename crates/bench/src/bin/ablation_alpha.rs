@@ -6,7 +6,9 @@
 //! reporting execution time normalised to Alloy.
 
 use redcache::{PolicyKind, RedConfig, RedVariant, SimConfig};
-use redcache_bench::{assert_clean, experiment_gen_config, print_table, run_matrix, save_json, RunSpec};
+use redcache_bench::{
+    assert_clean, experiment_gen_config, print_table, run_matrix, save_json, RunSpec,
+};
 use redcache_policies::redcache::AlphaConfig;
 use redcache_workloads::Workload;
 
@@ -22,36 +24,77 @@ fn red_cfg(f: impl FnOnce(&mut RedConfig)) -> SimConfig {
 fn main() {
     let gen = experiment_gen_config();
     let variants: Vec<(String, SimConfig)> = vec![
-        ("Alloy (no alpha)".into(), SimConfig::scaled(PolicyKind::Alloy)),
-        ("alpha=1 fixed".into(), red_cfg(|rc| {
-            rc.alpha = AlphaConfig { initial: 1, adapt: false, ..AlphaConfig::default() };
-        })),
-        ("alpha=2 fixed".into(), red_cfg(|rc| {
-            rc.alpha = AlphaConfig { initial: 2, adapt: false, ..AlphaConfig::default() };
-        })),
-        ("alpha=4 fixed".into(), red_cfg(|rc| {
-            rc.alpha = AlphaConfig { initial: 4, adapt: false, ..AlphaConfig::default() };
-        })),
-        ("alpha=8 fixed".into(), red_cfg(|rc| {
-            rc.alpha = AlphaConfig { initial: 8, adapt: false, ..AlphaConfig::default() };
-        })),
+        (
+            "Alloy (no alpha)".into(),
+            SimConfig::scaled(PolicyKind::Alloy),
+        ),
+        (
+            "alpha=1 fixed".into(),
+            red_cfg(|rc| {
+                rc.alpha = AlphaConfig {
+                    initial: 1,
+                    adapt: false,
+                    ..AlphaConfig::default()
+                };
+            }),
+        ),
+        (
+            "alpha=2 fixed".into(),
+            red_cfg(|rc| {
+                rc.alpha = AlphaConfig {
+                    initial: 2,
+                    adapt: false,
+                    ..AlphaConfig::default()
+                };
+            }),
+        ),
+        (
+            "alpha=4 fixed".into(),
+            red_cfg(|rc| {
+                rc.alpha = AlphaConfig {
+                    initial: 4,
+                    adapt: false,
+                    ..AlphaConfig::default()
+                };
+            }),
+        ),
+        (
+            "alpha=8 fixed".into(),
+            red_cfg(|rc| {
+                rc.alpha = AlphaConfig {
+                    initial: 8,
+                    adapt: false,
+                    ..AlphaConfig::default()
+                };
+            }),
+        ),
         ("adaptive (default)".into(), red_cfg(|_| {})),
-        ("adaptive, per-block".into(), red_cfg(|rc| {
-            rc.alpha.avg_divisor = 1;
-        })),
+        (
+            "adaptive, per-block".into(),
+            red_cfg(|rc| {
+                rc.alpha.avg_divisor = 1;
+            }),
+        ),
     ];
     let workloads = [Workload::Hist, Workload::Ocn, Workload::Lu];
 
     let mut specs = Vec::new();
     for &w in &workloads {
         for (_, cfg) in &variants {
-            specs.push(RunSpec { workload: w, policy: cfg.policy.kind, cfg: *cfg });
+            specs.push(RunSpec {
+                workload: w,
+                policy: cfg.policy.kind,
+                cfg: *cfg,
+            });
         }
     }
     let reports = run_matrix(&specs, &gen);
     assert_clean(&reports);
 
-    let cols: Vec<String> = workloads.iter().map(|w| w.info().label.to_string()).collect();
+    let cols: Vec<String> = workloads
+        .iter()
+        .map(|w| w.info().label.to_string())
+        .collect();
     let mut rows = Vec::new();
     for (vi, (name, _)) in variants.iter().enumerate() {
         let vals: Vec<f64> = workloads

@@ -2,7 +2,9 @@
 //! how the drain mix and performance respond to 8/16/32/64 entries.
 
 use redcache::{PolicyKind, RedConfig, RedVariant, SimConfig};
-use redcache_bench::{assert_clean, experiment_gen_config, print_table, run_matrix, save_json, RunSpec};
+use redcache_bench::{
+    assert_clean, experiment_gen_config, print_table, run_matrix, save_json, RunSpec,
+};
 use redcache_workloads::Workload;
 
 fn main() {
@@ -18,13 +20,20 @@ fn main() {
             let mut rc = RedConfig::for_variant(RedVariant::Full);
             rc.rcu_capacity = d;
             cfg.policy.red_override = Some(rc);
-            specs.push(RunSpec { workload: w, policy: kind, cfg });
+            specs.push(RunSpec {
+                workload: w,
+                policy: kind,
+                cfg,
+            });
         }
     }
     let reports = run_matrix(&specs, &gen);
     assert_clean(&reports);
 
-    let cols: Vec<String> = workloads.iter().map(|w| w.info().label.to_string()).collect();
+    let cols: Vec<String> = workloads
+        .iter()
+        .map(|w| w.info().label.to_string())
+        .collect();
     let mut time_rows = Vec::new();
     let mut cheap_rows = Vec::new();
     for (di, &d) in depths.iter().enumerate() {
@@ -45,7 +54,17 @@ fn main() {
         time_rows.push((format!("{d} entries"), times));
         cheap_rows.push((format!("{d} entries"), cheaps));
     }
-    print_table("Ablation: RCU depth — execution time (normalised to 8 entries)", "depth", &cols, &time_rows);
-    print_table("Ablation: RCU depth — cheap-drain fraction", "depth", &cols, &cheap_rows);
+    print_table(
+        "Ablation: RCU depth — execution time (normalised to 8 entries)",
+        "depth",
+        &cols,
+        &time_rows,
+    );
+    print_table(
+        "Ablation: RCU depth — cheap-drain fraction",
+        "depth",
+        &cols,
+        &cheap_rows,
+    );
     save_json("ablation_rcu_depth", &(time_rows, cheap_rows));
 }

@@ -3,7 +3,9 @@
 //! refreshing WideIO ranks.
 
 use redcache::{PolicyKind, RedConfig, RedVariant, SimConfig};
-use redcache_bench::{assert_clean, experiment_gen_config, print_table, run_matrix, save_json, RunSpec};
+use redcache_bench::{
+    assert_clean, experiment_gen_config, print_table, run_matrix, save_json, RunSpec,
+};
 use redcache_workloads::Workload;
 
 fn main() {
@@ -19,13 +21,20 @@ fn main() {
             let mut rc = RedConfig::for_variant(RedVariant::Full);
             rc.refresh_bypass = on;
             cfg.policy.red_override = Some(rc);
-            specs.push(RunSpec { workload: w, policy: kind, cfg });
+            specs.push(RunSpec {
+                workload: w,
+                policy: kind,
+                cfg,
+            });
         }
     }
     let reports = run_matrix(&specs, &gen);
     assert_clean(&reports);
 
-    let cols: Vec<String> = workloads.iter().map(|w| w.info().label.to_string()).collect();
+    let cols: Vec<String> = workloads
+        .iter()
+        .map(|w| w.info().label.to_string())
+        .collect();
     let mut rows = Vec::new();
     for (vi, (name, _)) in variants.iter().enumerate() {
         let vals: Vec<f64> = workloads

@@ -1,5 +1,5 @@
-use redcache::{PolicyKind, RedVariant, SimConfig};
 use redcache::sim::run_workload;
+use redcache::{PolicyKind, RedVariant, SimConfig};
 use redcache_workloads::{GenConfig, Workload};
 use std::time::Instant;
 
@@ -21,7 +21,11 @@ fn main() {
         PolicyKind::Red(RedVariant::Full),
     ];
     let workloads: Vec<Workload> = match wl.as_deref() {
-        Some(l) => Workload::ALL.iter().copied().filter(|w| w.info().label.eq_ignore_ascii_case(l)).collect(),
+        Some(l) => Workload::ALL
+            .iter()
+            .copied()
+            .filter(|w| w.info().label.eq_ignore_ascii_case(l))
+            .collect(),
         None => vec![Workload::Hist, Workload::Rdx, Workload::Ocn, Workload::Lu],
     };
     for w in workloads {
@@ -37,11 +41,25 @@ fn main() {
                 alloy_sys = r.energy.total_j();
             }
             let ddr_busy = r.ddr.bus_busy_cycles as f64 / (r.cycles as f64 * 2.0);
-            let hbm_busy = r.hbm.map(|h| h.bus_busy_cycles as f64 / (r.cycles as f64 * 4.0)).unwrap_or(0.0);
-            let ex: String = r.extras.iter()
-                .filter(|(k, _)| ["alpha", "gamma", "rcu_cheap_fraction", "bear_bypass_epoch_fraction"].contains(&k.as_str()))
+            let hbm_busy = r
+                .hbm
+                .map(|h| h.bus_busy_cycles as f64 / (r.cycles as f64 * 4.0))
+                .unwrap_or(0.0);
+            let ex: String = r
+                .extras
+                .iter()
+                .filter(|(k, _)| {
+                    [
+                        "alpha",
+                        "gamma",
+                        "rcu_cheap_fraction",
+                        "bear_bypass_epoch_fraction",
+                    ]
+                    .contains(&k.as_str())
+                })
                 .map(|(k, v)| format!("{k}={v:.2}"))
-                .collect::<Vec<_>>().join(" ");
+                .collect::<Vec<_>>()
+                .join(" ");
             println!(
                 "{:5} {:11} cyc={:>10} norm={:.3} hit={:.3} rdlat={:>5.0} ddrbusy={:.2} hbmbusy={:.2} inval={:>7} byp={:>7} hbmE={:.3} sysE={:.3} {} viol={} wall={:.1}s",
                 w.to_string(), k.to_string(), r.cycles,

@@ -10,22 +10,29 @@ use redcache_bench::{eval_matrix, print_table, save_json};
 
 fn main() {
     let (workloads, policies, reports) = eval_matrix();
-    let alloy_idx =
-        policies.iter().position(|p| p.to_string() == "Alloy").expect("Alloy baseline");
+    let alloy_idx = policies
+        .iter()
+        .position(|p| p.to_string() == "Alloy")
+        .expect("Alloy baseline");
     let cols: Vec<String> = policies.iter().map(|p| p.to_string()).collect();
 
     let mut rows = Vec::new();
     let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
     for (wi, w) in workloads.iter().enumerate() {
         let base = &reports[wi][alloy_idx];
-        let vals: Vec<f64> =
-            reports[wi].iter().map(|r| r.system_energy_normalized_to(base)).collect();
+        let vals: Vec<f64> = reports[wi]
+            .iter()
+            .map(|r| r.system_energy_normalized_to(base))
+            .collect();
         for (pi, v) in vals.iter().enumerate() {
             per_policy[pi].push(*v);
         }
         rows.push((w.info().label.to_string(), vals));
     }
-    rows.push(("MEAN".to_string(), per_policy.iter().map(|v| geomean(v)).collect()));
+    rows.push((
+        "MEAN".to_string(),
+        per_policy.iter().map(|v| geomean(v)).collect(),
+    ));
 
     print_table(
         "Fig. 11: system energy normalised to Alloy (lower is better)",

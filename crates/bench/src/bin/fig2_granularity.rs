@@ -55,7 +55,12 @@ fn main() {
     print_table(
         "Fig. 2(b): data granularity, normalised to the 64B HBM cache",
         "granularity",
-        &["rel. bandwidth".into(), "rel. data".into(), "rel. performance".into(), "hit rate".into()],
+        &[
+            "rel. bandwidth".into(),
+            "rel. data".into(),
+            "rel. performance".into(),
+            "hit rate".into(),
+        ],
         &rows,
     );
     save_json("fig2_granularity", &rows);

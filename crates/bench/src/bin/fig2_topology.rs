@@ -28,9 +28,8 @@ fn main() {
     for row in &reports {
         let base = &row[0];
         for (pi, r) in row.iter().enumerate() {
-            bw[pi].push(
-                r.aggregate_bandwidth_bytes_per_s() / base.aggregate_bandwidth_bytes_per_s(),
-            );
+            bw[pi]
+                .push(r.aggregate_bandwidth_bytes_per_s() / base.aggregate_bandwidth_bytes_per_s());
             data[pi].push(r.transferred_bytes() as f64 / base.transferred_bytes() as f64);
             perf[pi].push(r.speedup_over(base));
         }
@@ -39,13 +38,20 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(pi, p)| {
-            (p.to_string(), vec![geomean(&bw[pi]), geomean(&data[pi]), geomean(&perf[pi])])
+            (
+                p.to_string(),
+                vec![geomean(&bw[pi]), geomean(&data[pi]), geomean(&perf[pi])],
+            )
         })
         .collect();
     print_table(
         "Fig. 2(a): system topology, normalised to No-HBM",
         "topology",
-        &["rel. bandwidth".into(), "rel. data".into(), "rel. performance".into()],
+        &[
+            "rel. bandwidth".into(),
+            "rel. data".into(),
+            "rel. performance".into(),
+        ],
         &rows,
     );
     save_json("fig2_topology", &rows);

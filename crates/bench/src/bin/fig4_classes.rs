@@ -22,11 +22,17 @@ fn main() {
 
     let (alpha, gamma) = (2u32, 40u32);
     println!("\n== Fig. 4: block classes under alpha={alpha}, gamma={gamma} ==");
-    println!("{:>7} {:>10} {:>12} {:>7}", "reuse", "blocks", "cost share", "class");
+    println!(
+        "{:>7} {:>10} {:>12} {:>7}",
+        "reuse", "blocks", "cost share", "class"
+    );
     let total_blocks: u64 = profile.blocks_by_reuse.iter().sum();
     let mut counts = [0u64; 3];
-    for (r, (&blocks, &cost)) in
-        profile.blocks_by_reuse.iter().zip(profile.cost_by_reuse.iter()).enumerate()
+    for (r, (&blocks, &cost)) in profile
+        .blocks_by_reuse
+        .iter()
+        .zip(profile.cost_by_reuse.iter())
+        .enumerate()
     {
         if blocks == 0 {
             continue;

@@ -5,27 +5,34 @@
 //! faster) and 0.76× Bear (24 %); α contributes more than γ (27 % vs
 //! 14 %); RedCache reaches ~98 % of Red-InSitu.
 
-use redcache_bench::{eval_matrix, print_table, save_json};
 use redcache::metrics::geomean;
+use redcache_bench::{eval_matrix, print_table, save_json};
 
 fn main() {
     let (workloads, policies, reports) = eval_matrix();
-    let alloy_idx =
-        policies.iter().position(|p| p.to_string() == "Alloy").expect("Alloy baseline");
+    let alloy_idx = policies
+        .iter()
+        .position(|p| p.to_string() == "Alloy")
+        .expect("Alloy baseline");
     let cols: Vec<String> = policies.iter().map(|p| p.to_string()).collect();
 
     let mut rows = Vec::new();
     let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
     for (wi, w) in workloads.iter().enumerate() {
         let base = &reports[wi][alloy_idx];
-        let vals: Vec<f64> =
-            reports[wi].iter().map(|r| r.time_normalized_to(base)).collect();
+        let vals: Vec<f64> = reports[wi]
+            .iter()
+            .map(|r| r.time_normalized_to(base))
+            .collect();
         for (pi, v) in vals.iter().enumerate() {
             per_policy[pi].push(*v);
         }
         rows.push((w.info().label.to_string(), vals));
     }
-    rows.push(("MEAN".to_string(), per_policy.iter().map(|v| geomean(v)).collect()));
+    rows.push((
+        "MEAN".to_string(),
+        per_policy.iter().map(|v| geomean(v)).collect(),
+    ));
 
     print_table(
         "Fig. 9: execution time normalised to Alloy (lower is better)",

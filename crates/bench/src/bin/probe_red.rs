@@ -43,7 +43,10 @@ fn main() {
             c
         }),
     ];
-    println!("{:<16} {:>11} {:>8} {:>8} {:>9} {:>9} {:>8}", "variant", "cycles", "hit%", "cheap%", "refbyp", "hbmwr", "stale");
+    println!(
+        "{:<16} {:>11} {:>8} {:>8} {:>9} {:>9} {:>8}",
+        "variant", "cycles", "hit%", "cheap%", "refbyp", "hbmwr", "stale"
+    );
     for (name, rc) in variants {
         let kind = PolicyKind::Red(rc.variant);
         let mut cfg = SimConfig::scaled(kind);

@@ -1,0 +1,96 @@
+//! **Timing-audit sweep** — runs the evaluation policies with the
+//! runtime [`redcache_dram::TimingAuditor`] attached to both DRAM
+//! systems and reports what the auditor saw: commands validated,
+//! violations (must be zero), command-level row-hit rates and data-bus
+//! occupancy per interface. This is the observability companion to the
+//! offline property tests: the same Table I rules, checked live inside
+//! full-system runs.
+
+use redcache::{PolicyKind, RedVariant, RunReport, SimConfig};
+use redcache_bench::{assert_clean, experiment_gen_config, run_suite, save_json};
+use redcache_workloads::Workload;
+
+fn audit_row(r: &RunReport) -> (u64, u64, f64, f64) {
+    let mut cmds = 0;
+    let mut violations = 0;
+    let mut hbm_hit = f64::NAN;
+    let mut ddr_hit = f64::NAN;
+    if let Some(a) = &r.hbm_audit {
+        cmds += a.cmds_audited;
+        violations += a.violations;
+        hbm_hit = a.total_histogram().row_hit_rate();
+    }
+    if let Some(a) = &r.ddr_audit {
+        cmds += a.cmds_audited;
+        violations += a.violations;
+        ddr_hit = a.total_histogram().row_hit_rate();
+    }
+    (cmds, violations, hbm_hit, ddr_hit)
+}
+
+fn main() {
+    let gen = experiment_gen_config();
+    let policies = [
+        PolicyKind::NoHbm,
+        PolicyKind::Alloy,
+        PolicyKind::Bear,
+        PolicyKind::Red(RedVariant::Full),
+    ];
+    let reports = run_suite(
+        &Workload::ALL,
+        &policies,
+        |k| {
+            let mut c = SimConfig::scaled(k);
+            c.audit_timing = true;
+            c
+        },
+        &gen,
+    );
+
+    println!("\n== Runtime timing audit (all commands, both DRAM interfaces) ==\n");
+    println!(
+        "{:>5} {:>8} {:>12} {:>10} {:>12} {:>12}",
+        "wl", "policy", "cmds", "violations", "hbm rowhit", "ddr rowhit"
+    );
+    let mut out = Vec::new();
+    let mut total_cmds = 0u64;
+    let mut total_violations = 0u64;
+    for row in &reports {
+        assert_clean(row);
+        for r in row {
+            let (cmds, violations, hbm_hit, ddr_hit) = audit_row(r);
+            assert!(cmds > 0, "{} audited no commands", r.policy);
+            total_cmds += cmds;
+            total_violations += violations;
+            let pct = |v: f64| {
+                if v.is_nan() {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}%", v * 100.0)
+                }
+            };
+            println!(
+                "{:>5} {:>8} {:>12} {:>10} {:>12} {:>12}",
+                r.workload.as_deref().unwrap_or("?"),
+                r.policy.to_string(),
+                cmds,
+                violations,
+                pct(hbm_hit),
+                pct(ddr_hit),
+            );
+            out.push((
+                r.workload.clone(),
+                r.policy.to_string(),
+                r.hbm_audit.clone(),
+                r.ddr_audit.clone(),
+            ));
+        }
+    }
+    println!("\ntotal commands audited: {total_cmds}");
+    println!("total violations:       {total_violations}");
+    assert_eq!(
+        total_violations, 0,
+        "timing violations in a full-system run"
+    );
+    save_json("stat_audit", &out);
+}

@@ -30,7 +30,11 @@ fn main() {
         assert_clean(row);
         let r = &row[0];
         let get = |k: &str| {
-            r.extras.iter().find(|(key, _)| key == k).map(|(_, v)| *v).unwrap_or(0.0)
+            r.extras
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0)
         };
         let cheap = get("rcu_cheap_fraction");
         cheap_sum += cheap;
@@ -48,7 +52,10 @@ fn main() {
         out.push((r.workload.clone(), cheap));
     }
     let t = TimingParams::wideio_table1();
-    println!("\nmean cheap-drain fraction: {:.1}%", 100.0 * cheap_sum / n as f64);
+    println!(
+        "\nmean cheap-drain fraction: {:.1}%",
+        100.0 * cheap_sum / n as f64
+    );
     println!("paper:                     >97% avoid the costly path");
     println!(
         "latency reduction of a piggybacked update: {:.3}x (paper: 6.375x)",

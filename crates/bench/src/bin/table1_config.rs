@@ -12,14 +12,21 @@ fn main() {
         c.hierarchy.cores, c.core.issue_width, c.core.rob_size
     );
     let g = |geo: &redcache_cache::CacheGeometry| {
-        format!("{} KB, {}-way, LRU, {} B block", geo.size_bytes / 1024, geo.ways, geo.block_bytes)
+        format!(
+            "{} KB, {}-way, LRU, {} B block",
+            geo.size_bytes / 1024,
+            geo.ways,
+            geo.block_bytes
+        )
     };
     println!("  L1 data cache   {}", g(&c.hierarchy.l1));
     println!("  L2 cache        {}", g(&c.hierarchy.l2));
     println!("  L3 cache        {} (shared)", g(&c.hierarchy.l3));
 
-    for (name, d) in [("DRAM cache (WideIO/HBM)", &c.policy.hbm), ("Off-chip main memory (DDR4)", &c.policy.ddr)]
-    {
+    for (name, d) in [
+        ("DRAM cache (WideIO/HBM)", &c.policy.hbm),
+        ("Off-chip main memory (DDR4)", &c.policy.ddr),
+    ] {
         let t = &d.timing;
         println!("\n{name}");
         println!(

@@ -55,7 +55,10 @@ pub fn run_matrix(specs: &[RunSpec], gen: &GenConfig) -> Vec<RunReport> {
     let n = specs.len();
     let results: Vec<Mutex<Option<RunReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
     crossbeam::scope(|s| {
         for _ in 0..workers {
             s.spawn(|_| loop {
@@ -72,7 +75,10 @@ pub fn run_matrix(specs: &[RunSpec], gen: &GenConfig) -> Vec<RunReport> {
         }
     })
     .expect("simulation worker panicked");
-    results.into_iter().map(|m| m.into_inner().unwrap().expect("missing result")).collect()
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("missing result"))
+        .collect()
 }
 
 /// Runs every workload under every policy; returns
@@ -86,7 +92,11 @@ pub fn run_suite(
     let mut specs = Vec::new();
     for &w in workloads {
         for &p in policies {
-            specs.push(RunSpec { workload: w, policy: p, cfg: cfg_of(p) });
+            specs.push(RunSpec {
+                workload: w,
+                policy: p,
+                cfg: cfg_of(p),
+            });
         }
     }
     let flat = run_matrix(&specs, gen);
@@ -97,11 +107,9 @@ pub fn run_suite(
 pub fn assert_clean(reports: &[RunReport]) {
     for r in reports {
         assert_eq!(
-            r.shadow_violations,
-            0,
+            r.shadow_violations, 0,
             "{} on {:?} served stale data",
-            r.policy,
-            r.workload
+            r.policy, r.workload
         );
     }
 }
@@ -110,7 +118,13 @@ pub fn assert_clean(reports: &[RunReport]) {
 /// entry of `cols`, rows from `rows`.
 pub fn print_table(title: &str, row_label: &str, cols: &[String], rows: &[(String, Vec<f64>)]) {
     println!("\n== {title} ==");
-    let w0 = rows.iter().map(|(l, _)| l.len()).chain([row_label.len()]).max().unwrap_or(8) + 2;
+    let w0 = rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .chain([row_label.len()])
+        .max()
+        .unwrap_or(8)
+        + 2;
     let wc = cols.iter().map(|c| c.len().max(7)).collect::<Vec<_>>();
     print!("{row_label:<w0$}");
     for (c, w) in cols.iter().zip(&wc) {
@@ -158,9 +172,7 @@ pub fn eval_matrix() -> (Vec<Workload>, Vec<PolicyKind>, Vec<Vec<RunReport>>) {
     if std::env::var("REDCACHE_RERUN").is_err() {
         if let Ok(s) = std::fs::read_to_string(cache) {
             if let Ok(m) = serde_json::from_str::<Vec<Vec<RunReport>>>(&s) {
-                if m.len() == workloads.len()
-                    && m.iter().all(|row| row.len() == policies.len())
-                {
+                if m.len() == workloads.len() && m.iter().all(|row| row.len() == policies.len()) {
                     eprintln!("(using cached {})", cache.display());
                     return (workloads, policies, m);
                 }
@@ -227,7 +239,15 @@ mod tests {
         let names: Vec<String> = figure_policies().iter().map(|p| p.to_string()).collect();
         assert_eq!(
             names,
-            ["Alloy", "Bear", "Red-Alpha", "Red-Gamma", "Red-Basic", "Red-InSitu", "RedCache"]
+            [
+                "Alloy",
+                "Bear",
+                "Red-Alpha",
+                "Red-Gamma",
+                "Red-Basic",
+                "Red-InSitu",
+                "RedCache"
+            ]
         );
     }
 }

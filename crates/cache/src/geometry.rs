@@ -22,13 +22,23 @@ impl CacheGeometry {
     /// `ways * block_bytes`, if any field is zero, or if the resulting
     /// set count is not a power of two.
     pub fn new(size_bytes: usize, ways: usize, block_bytes: usize) -> Self {
-        assert!(size_bytes > 0 && ways > 0 && block_bytes > 0, "geometry fields must be nonzero");
         assert!(
-            size_bytes % (ways * block_bytes) == 0,
+            size_bytes > 0 && ways > 0 && block_bytes > 0,
+            "geometry fields must be nonzero"
+        );
+        assert!(
+            size_bytes.is_multiple_of(ways * block_bytes),
             "capacity must divide into ways × block size"
         );
-        let g = Self { size_bytes, ways, block_bytes };
-        assert!(g.sets().is_power_of_two(), "set count must be a power of two");
+        let g = Self {
+            size_bytes,
+            ways,
+            block_bytes,
+        };
+        assert!(
+            g.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
         g
     }
 

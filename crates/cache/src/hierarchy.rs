@@ -208,7 +208,11 @@ impl Hierarchy {
     ) -> AccessOutcome {
         let c = core.0 as usize;
         assert!(c < self.cfg.cores, "core out of range");
-        let write = if op.is_store() { Some(store_version) } else { None };
+        let write = if op.is_store() {
+            Some(store_version)
+        } else {
+            None
+        };
         let mut writebacks = Vec::new();
 
         // L1.
@@ -276,7 +280,10 @@ impl Hierarchy {
                 writebacks.push(ev);
             }
         }
-        FillResult { waiters, writebacks }
+        FillResult {
+            waiters,
+            writebacks,
+        }
     }
 
     /// Populates `core`'s private levels after [`Hierarchy::complete_fill`],
@@ -289,7 +296,13 @@ impl Hierarchy {
         store_version: Option<u64>,
     ) -> Vec<Evicted> {
         let mut writebacks = Vec::new();
-        self.fill_private_levels(core.0 as usize, line, version, store_version, &mut writebacks);
+        self.fill_private_levels(
+            core.0 as usize,
+            line,
+            version,
+            store_version,
+            &mut writebacks,
+        );
         writebacks
     }
 
@@ -326,7 +339,11 @@ impl Hierarchy {
         // is harmless for profiling; only emit the writeback records.
         newest
             .into_iter()
-            .map(|(line, version)| Evicted { line: LineAddr::new(line), dirty: true, version })
+            .map(|(line, version)| Evicted {
+                line: LineAddr::new(line),
+                dirty: true,
+                version,
+            })
             .collect()
     }
 
@@ -424,7 +441,13 @@ mod tests {
         // Fill line 0, store to it, then displace it from L1 set 0 by
         // touching lines 2 and 4 (all even lines map to L1 set 0).
         for (i, v) in [(0u64, 10u64), (2, 0), (4, 0)] {
-            let out = h.access(CoreId(0), line(i), if v > 0 { MemOp::Store } else { MemOp::Load }, v, i);
+            let out = h.access(
+                CoreId(0),
+                line(i),
+                if v > 0 { MemOp::Store } else { MemOp::Load },
+                v,
+                i,
+            );
             if out.mem_read_needed() {
                 h.complete_fill(line(i), 1);
                 h.fill_waiter(CoreId(0), line(i), 1, (v > 0).then_some(v));
@@ -440,7 +463,9 @@ mod tests {
     fn mshr_full_reports_retry() {
         let mut h = Hierarchy::new(tiny_cfg());
         for i in 0..4 {
-            assert!(h.access(CoreId(0), line(100 + i), MemOp::Load, 0, i).mem_read_needed());
+            assert!(h
+                .access(CoreId(0), line(100 + i), MemOp::Load, 0, i)
+                .mem_read_needed());
         }
         let out = h.access(CoreId(0), line(200), MemOp::Load, 0, 9);
         assert!(out.must_retry());

@@ -32,4 +32,4 @@ mod set_assoc;
 pub use geometry::CacheGeometry;
 pub use hierarchy::{AccessOutcome, CacheLevel, FillResult, Hierarchy, HierarchyConfig};
 pub use mshr::{Mshr, MshrOutcome};
-pub use set_assoc::{AccessResult, Evicted, SetAssocCache, CacheStats};
+pub use set_assoc::{AccessResult, CacheStats, Evicted, SetAssocCache};

@@ -37,7 +37,12 @@ impl Mshr {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be nonzero");
-        Self { capacity, entries: HashMap::new(), peak: 0, merges: 0 }
+        Self {
+            capacity,
+            entries: HashMap::new(),
+            peak: 0,
+            merges: 0,
+        }
     }
 
     /// Registers a miss on `line` by `waiter`.

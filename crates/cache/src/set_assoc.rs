@@ -115,10 +115,16 @@ impl SetAssocCache {
                     w.version = v;
                 }
                 self.stats.hits += 1;
-                return AccessResult { hit: true, version: w.version };
+                return AccessResult {
+                    hit: true,
+                    version: w.version,
+                };
             }
         }
-        AccessResult { hit: false, version: 0 }
+        AccessResult {
+            hit: false,
+            version: 0,
+        }
     }
 
     /// Checks presence without disturbing LRU or stats.
@@ -140,7 +146,10 @@ impl SetAssocCache {
         self.stats.fills += 1;
         let range = self.set_range(line);
         // Already present: update in place.
-        if let Some(w) = self.ways[range.clone()].iter_mut().find(|w| w.valid && w.line == line) {
+        if let Some(w) = self.ways[range.clone()]
+            .iter_mut()
+            .find(|w| w.valid && w.line == line)
+        {
             w.lru = self.tick;
             w.version = version;
             w.dirty = w.dirty || dirty;
@@ -149,7 +158,13 @@ impl SetAssocCache {
         // Free way?
         let tick = self.tick;
         if let Some(w) = self.ways[range.clone()].iter_mut().find(|w| !w.valid) {
-            *w = Way { valid: true, line, dirty, version, lru: tick };
+            *w = Way {
+                valid: true,
+                line,
+                dirty,
+                version,
+                lru: tick,
+            };
             return None;
         }
         // Evict LRU.
@@ -164,12 +179,22 @@ impl SetAssocCache {
             base + rel
         };
         let v = self.ways[victim_idx];
-        self.ways[victim_idx] = Way { valid: true, line, dirty, version, lru: tick };
+        self.ways[victim_idx] = Way {
+            valid: true,
+            line,
+            dirty,
+            version,
+            lru: tick,
+        };
         self.stats.evictions += 1;
         if v.dirty {
             self.stats.dirty_evictions += 1;
         }
-        Some(Evicted { line: v.line, dirty: v.dirty, version: v.version })
+        Some(Evicted {
+            line: v.line,
+            dirty: v.dirty,
+            version: v.version,
+        })
     }
 
     /// Removes `line` if present, returning its eviction record.
@@ -178,7 +203,11 @@ impl SetAssocCache {
         for w in &mut self.ways[range] {
             if w.valid && w.line == line {
                 w.valid = false;
-                return Some(Evicted { line: w.line, dirty: w.dirty, version: w.version });
+                return Some(Evicted {
+                    line: w.line,
+                    dirty: w.dirty,
+                    version: w.version,
+                });
             }
         }
         None
@@ -191,7 +220,10 @@ impl SetAssocCache {
 
     /// Iterates over all resident lines (for audits).
     pub fn resident_lines(&self) -> impl Iterator<Item = (LineAddr, bool, u64)> + '_ {
-        self.ways.iter().filter(|w| w.valid).map(|w| (w.line, w.dirty, w.version))
+        self.ways
+            .iter()
+            .filter(|w| w.valid)
+            .map(|w| (w.line, w.dirty, w.version))
     }
 }
 

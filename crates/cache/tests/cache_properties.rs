@@ -16,7 +16,11 @@ struct RefCache {
 
 impl RefCache {
     fn new(nsets: usize, ways: usize) -> Self {
-        Self { sets: vec![Vec::new(); nsets], ways, nsets }
+        Self {
+            sets: vec![Vec::new(); nsets],
+            ways,
+            nsets,
+        }
     }
 
     fn set(&mut self, line: u64) -> &mut Vec<(u64, bool, u64)> {
@@ -50,7 +54,11 @@ impl RefCache {
             set.push(e);
             return None;
         }
-        let victim = if set.len() == ways { Some(set.remove(0)) } else { None };
+        let victim = if set.len() == ways {
+            Some(set.remove(0))
+        } else {
+            None
+        };
         set.push((line, dirty, version));
         victim
     }
@@ -58,16 +66,29 @@ impl RefCache {
 
 #[derive(Debug, Clone)]
 enum Op {
-    Access { line: u64, store: Option<u64> },
-    Fill { line: u64, version: u64, dirty: bool },
-    Invalidate { line: u64 },
+    Access {
+        line: u64,
+        store: Option<u64>,
+    },
+    Fill {
+        line: u64,
+        version: u64,
+        dirty: bool,
+    },
+    Invalidate {
+        line: u64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u64..64, prop::option::of(1u64..1000)).prop_map(|(line, store)| Op::Access { line, store }),
-        (0u64..64, 1u64..1000, any::<bool>())
-            .prop_map(|(line, version, dirty)| Op::Fill { line, version, dirty }),
+        (0u64..64, prop::option::of(1u64..1000))
+            .prop_map(|(line, store)| Op::Access { line, store }),
+        (0u64..64, 1u64..1000, any::<bool>()).prop_map(|(line, version, dirty)| Op::Fill {
+            line,
+            version,
+            dirty
+        }),
         (0u64..64).prop_map(|line| Op::Invalidate { line }),
     ]
 }

@@ -39,7 +39,10 @@ fn parse_policy(s: &str) -> Option<PolicyKind> {
 }
 
 fn parse_workload(s: &str) -> Option<Workload> {
-    Workload::ALL.iter().copied().find(|w| w.info().label.eq_ignore_ascii_case(s))
+    Workload::ALL
+        .iter()
+        .copied()
+        .find(|w| w.info().label.eq_ignore_ascii_case(s))
 }
 
 fn usage() -> ! {
@@ -88,7 +91,10 @@ fn parse_args() -> Args {
 
 fn print_human(r: &RunReport) {
     println!("policy             {}", r.policy);
-    println!("workload           {}", r.workload.as_deref().unwrap_or("?"));
+    println!(
+        "workload           {}",
+        r.workload.as_deref().unwrap_or("?")
+    );
     println!("execution time     {} cycles", r.cycles);
     println!("instructions       {} (IPC {:.2})", r.instructions, r.ipc());
     println!("mem reads / wbs    {} / {}", r.mem_reads, r.mem_writebacks);
@@ -141,7 +147,10 @@ fn main() {
     let mut report = Simulator::new(cfg).run(traces);
     report.workload = Some(a.workload.info().label.to_string());
     if a.json {
-        println!("{}", serde_json::to_string_pretty(&report).expect("serialize report"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serialize report")
+        );
     } else {
         print_human(&report);
     }

@@ -23,6 +23,12 @@ pub struct SimConfig {
     /// when this fraction of accesses has committed (§IV.A: "warming up
     /// the cache until the cache is full; then we simulate").
     pub warmup_fraction: f64,
+    /// Attach a runtime [`redcache_dram::TimingAuditor`] to both DRAM
+    /// systems, re-validating every issued command against the Table I
+    /// constraints as it streams out. Off by default: the audit is
+    /// strictly observational but costs a per-command check.
+    #[serde(default)]
+    pub audit_timing: bool,
 }
 
 impl SimConfig {
@@ -37,6 +43,7 @@ impl SimConfig {
             max_cycles: 20_000_000_000,
             check_shadow: true,
             warmup_fraction: 0.3,
+            audit_timing: false,
         }
     }
 
@@ -51,6 +58,7 @@ impl SimConfig {
             max_cycles: 4_000_000_000,
             check_shadow: true,
             warmup_fraction: 0.3,
+            audit_timing: false,
         }
     }
 
@@ -90,7 +98,12 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for kind in [PolicyKind::NoHbm, PolicyKind::Ideal, PolicyKind::Alloy, PolicyKind::Bear] {
+        for kind in [
+            PolicyKind::NoHbm,
+            PolicyKind::Ideal,
+            PolicyKind::Alloy,
+            PolicyKind::Bear,
+        ] {
             SimConfig::table1(kind).validate().unwrap();
             SimConfig::scaled(kind).validate().unwrap();
             SimConfig::quick(kind).validate().unwrap();

@@ -1,7 +1,7 @@
 //! Run reports: everything a figure needs from one simulation.
 
 use redcache_cache::CacheStats;
-use redcache_dram::DramStats;
+use redcache_dram::{AuditStats, DramStats};
 use redcache_energy::SystemEnergy;
 use redcache_policies::{ControllerStats, PolicyKind};
 use redcache_types::Cycle;
@@ -40,6 +40,15 @@ pub struct RunReport {
     pub extras: Vec<(String, f64)>,
     /// Shadow-memory check failures (must be 0).
     pub shadow_violations: u64,
+    /// WideIO timing-audit results: present when
+    /// [`crate::SimConfig::audit_timing`] was on and the architecture
+    /// has an HBM side.
+    #[serde(default)]
+    pub hbm_audit: Option<AuditStats>,
+    /// DDR4 timing-audit results: present when
+    /// [`crate::SimConfig::audit_timing`] was on.
+    #[serde(default)]
+    pub ddr_audit: Option<AuditStats>,
 }
 
 impl RunReport {
@@ -135,14 +144,24 @@ mod tests {
             mem_reads: 10,
             mem_writebacks: 5,
             ctl: ControllerStats::default(),
-            hbm: Some(DramStats { bytes_read: 100, bytes_written: 50, ..Default::default() }),
-            ddr: DramStats { bytes_read: 30, bytes_written: 20, ..Default::default() },
+            hbm: Some(DramStats {
+                bytes_read: 100,
+                bytes_written: 50,
+                ..Default::default()
+            }),
+            ddr: DramStats {
+                bytes_read: 30,
+                bytes_written: 20,
+                ..Default::default()
+            },
             l1: CacheStats::default(),
             l2: CacheStats::default(),
             l3: CacheStats::default(),
             energy: SystemEnergy::default(),
             extras: vec![],
             shadow_violations: 0,
+            hbm_audit: None,
+            ddr_audit: None,
         }
     }
 

@@ -55,18 +55,30 @@ impl MemLevelStream {
                 waiter += 1;
                 let out = h.access(core, line, a.op, sv, waiter);
                 for wb in &out.writebacks {
-                    events.push(MemEvent { line: wb.line, kind: AccessKind::Writeback });
+                    events.push(MemEvent {
+                        line: wb.line,
+                        kind: AccessKind::Writeback,
+                    });
                 }
                 if out.mem_read_needed() {
-                    events.push(MemEvent { line, kind: AccessKind::Read });
+                    events.push(MemEvent {
+                        line,
+                        kind: AccessKind::Read,
+                    });
                     let fr = h.complete_fill(line, sv.max(1));
                     for wb in &fr.writebacks {
-                        events.push(MemEvent { line: wb.line, kind: AccessKind::Writeback });
+                        events.push(MemEvent {
+                            line: wb.line,
+                            kind: AccessKind::Writeback,
+                        });
                     }
                     for _w in fr.waiters {
                         let wbs = h.fill_waiter(core, line, 1, a.op.is_store().then_some(sv));
                         for wb in &wbs {
-                            events.push(MemEvent { line: wb.line, kind: AccessKind::Writeback });
+                            events.push(MemEvent {
+                                line: wb.line,
+                                kind: AccessKind::Writeback,
+                            });
                         }
                     }
                 }
@@ -82,7 +94,10 @@ impl MemLevelStream {
         let mut drained = h.drain_dirty();
         drained.sort_by_key(|e| e.line.raw());
         for wb in drained {
-            events.push(MemEvent { line: wb.line, kind: AccessKind::Writeback });
+            events.push(MemEvent {
+                line: wb.line,
+                kind: AccessKind::Writeback,
+            });
         }
         Self { events }
     }
@@ -120,7 +135,10 @@ impl ReuseProfile {
         if total > 0.0 {
             cost.iter_mut().for_each(|c| *c /= total);
         }
-        Self { cost_by_reuse: cost, blocks_by_reuse: blocks }
+        Self {
+            cost_by_reuse: cost,
+            blocks_by_reuse: blocks,
+        }
     }
 
     /// The reuse level whose group carries the largest cost share.
@@ -135,8 +153,8 @@ impl ReuseProfile {
 
     /// Fraction of cost carried by groups in `[lo, hi]`.
     pub fn cost_share(&self, lo: usize, hi: usize) -> f64 {
-        self.cost_by_reuse[lo.min(self.cost_by_reuse.len() - 1)
-            ..=hi.min(self.cost_by_reuse.len() - 1)]
+        self.cost_by_reuse
+            [lo.min(self.cost_by_reuse.len() - 1)..=hi.min(self.cost_by_reuse.len() - 1)]
             .iter()
             .sum()
     }
@@ -199,7 +217,11 @@ mod tests {
     fn streaming_workload_cost_sits_at_low_reuse() {
         let p = ReuseProfile::from_stream(&stream_of(Workload::Lreg), 150);
         // LREG is a pure stream: nearly all cost in the 0/1-reuse bins.
-        assert!(p.cost_share(0, 2) > 0.85, "LREG low-reuse share {}", p.cost_share(0, 2));
+        assert!(
+            p.cost_share(0, 2) > 0.85,
+            "LREG low-reuse share {}",
+            p.cost_share(0, 2)
+        );
     }
 
     fn stream_of_budget(w: Workload, budget: usize) -> MemLevelStream {
@@ -247,6 +269,9 @@ mod tests {
 
     #[test]
     fn empty_stream_fraction_is_zero() {
-        assert_eq!(last_access_writeback_fraction(&MemLevelStream::default(), 1), 0.0);
+        assert_eq!(
+            last_access_writeback_fraction(&MemLevelStream::default(), 1),
+            0.0
+        );
     }
 }

@@ -43,7 +43,19 @@ impl Simulator {
     /// Panics if the configuration fails [`SimConfig::validate`].
     pub fn new(cfg: SimConfig) -> Self {
         cfg.validate().expect("invalid simulation configuration");
-        Self { cfg, energy_model: EnergyModel::default() }
+        let mut cfg = cfg;
+        if cfg.audit_timing {
+            // Propagate the top-level switch into both DRAM systems so
+            // [`Simulator::run`] builds them with auditors attached.
+            // Callers of `run_with` own their controller's DRAM configs
+            // and opt in through `DramConfig::audit` directly.
+            cfg.policy.hbm.audit = true;
+            cfg.policy.ddr.audit = true;
+        }
+        Self {
+            cfg,
+            energy_model: EnergyModel::default(),
+        }
     }
 
     /// Replaces the default energy constants.
@@ -114,8 +126,10 @@ impl Simulator {
                 let id = ReqId(*next_req);
                 *next_req += 1;
                 shadow.on_writeback(ev.line, ev.version);
-                controller
-                    .submit(MemRequest::writeback(id, ev.line, CoreId(0), now, ev.version), now);
+                controller.submit(
+                    MemRequest::writeback(id, ev.line, CoreId(0), now, ev.version),
+                    now,
+                );
                 *mem_writebacks += 1;
             }
         };
@@ -161,7 +175,8 @@ impl Simulator {
                         };
                         let wid = next_waiter;
                         next_waiter += 1;
-                        let out = hierarchy.access(CoreId(ci as u16), line, access.op, version, wid);
+                        let out =
+                            hierarchy.access(CoreId(ci as u16), line, access.op, version, wid);
                         submit_writebacks(
                             &out.writebacks,
                             &mut controller,
@@ -178,18 +193,28 @@ impl Simulator {
                         } else {
                             let info = if is_store {
                                 core.commit_store_miss(now);
-                                WaiterInfo { core: ci, load_token: None, store_version: Some(version) }
+                                WaiterInfo {
+                                    core: ci,
+                                    load_token: None,
+                                    store_version: Some(version),
+                                }
                             } else {
                                 let tok = core.commit_load_miss(now);
-                                WaiterInfo { core: ci, load_token: Some(tok), store_version: None }
+                                WaiterInfo {
+                                    core: ci,
+                                    load_token: Some(tok),
+                                    store_version: None,
+                                }
                             };
                             waiters.insert(wid, info);
                             if out.mem_read_needed() {
                                 let id = ReqId(next_req);
                                 next_req += 1;
                                 shadow.on_read_submit(id.0, line);
-                                controller
-                                    .submit(MemRequest::read(id, line, CoreId(ci as u16), now), now);
+                                controller.submit(
+                                    MemRequest::read(id, line, CoreId(ci as u16), now),
+                                    now,
+                                );
                                 mem_reads += 1;
                             }
                         }
@@ -216,7 +241,9 @@ impl Simulator {
                             now,
                         );
                         for wid in fr.waiters {
-                            let Some(info) = waiters.remove(&wid) else { continue };
+                            let Some(info) = waiters.remove(&wid) else {
+                                continue;
+                            };
                             let wbs = hierarchy.fill_waiter(
                                 CoreId(info.core as u16),
                                 d.line,
@@ -289,8 +316,11 @@ impl Simulator {
 
         let end = finish.iter().map(|f| f.unwrap_or(now)).max().unwrap_or(now);
         let cycles = end.saturating_sub(warmup_cycle).max(1);
-        let instructions: u64 =
-            cores.iter().map(|c| c.instructions_dispatched()).sum::<u64>() - warmup_instructions;
+        let instructions: u64 = cores
+            .iter()
+            .map(|c| c.instructions_dispatched())
+            .sum::<u64>()
+            - warmup_instructions;
         let (l1, l2, l3) = hierarchy.stats();
         let ctl = controller.stats();
         let hbm = controller.hbm_stats();
@@ -303,18 +333,11 @@ impl Simulator {
             l2_accesses: l2.accesses,
             l3_accesses: l3.accesses,
         };
-        let hbm_ranks =
-            self.cfg.policy.hbm.topology.channels * self.cfg.policy.hbm.topology.ranks;
-        let ddr_ranks =
-            self.cfg.policy.ddr.topology.channels * self.cfg.policy.ddr.topology.ranks;
-        let energy = self.energy_model.system_energy(
-            &act,
-            &ctl,
-            hbm.as_ref(),
-            hbm_ranks,
-            &ddr,
-            ddr_ranks,
-        );
+        let hbm_ranks = self.cfg.policy.hbm.topology.channels * self.cfg.policy.hbm.topology.ranks;
+        let ddr_ranks = self.cfg.policy.ddr.topology.channels * self.cfg.policy.ddr.topology.ranks;
+        let energy =
+            self.energy_model
+                .system_energy(&act, &ctl, hbm.as_ref(), hbm_ranks, &ddr, ddr_ranks);
         RunReport {
             policy: controller.kind(),
             workload: None,
@@ -329,8 +352,14 @@ impl Simulator {
             l2,
             l3,
             energy,
-            extras: controller.extras().into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            extras: controller
+                .extras()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
             shadow_violations,
+            hbm_audit: controller.hbm_audit(),
+            ddr_audit: controller.ddr_audit(),
         }
     }
 }
@@ -395,7 +424,10 @@ mod tests {
         let ideal = Simulator::new(SimConfig::quick(PolicyKind::Ideal)).run(traces.clone());
         let nohbm = Simulator::new(SimConfig::quick(PolicyKind::NoHbm)).run(traces.clone());
         let alloy = Simulator::new(SimConfig::quick(PolicyKind::Alloy)).run(traces);
-        assert!(ideal.cycles <= nohbm.cycles, "IDEAL must not lose to No-HBM");
+        assert!(
+            ideal.cycles <= nohbm.cycles,
+            "IDEAL must not lose to No-HBM"
+        );
         assert!(ideal.cycles <= alloy.cycles, "IDEAL must not lose to Alloy");
         assert_eq!(nohbm.hbm, None);
         assert_eq!(nohbm.transferred_bytes(), nohbm.ddr.bytes_total());
@@ -408,6 +440,38 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.mem_reads, b.mem_reads);
         assert_eq!(a.energy.total_j(), b.energy.total_j());
+    }
+
+    #[test]
+    fn audit_timing_attaches_clean_auditors() {
+        let mut cfg = SimConfig::quick(PolicyKind::Alloy);
+        cfg.audit_timing = true;
+        let r = Simulator::new(cfg).run(tiny_traces());
+        let hbm = r.hbm_audit.as_ref().expect("HBM audit attached");
+        let ddr = r.ddr_audit.as_ref().expect("DDR audit attached");
+        assert!(hbm.cmds_audited > 0, "HBM auditor saw no commands");
+        assert!(ddr.cmds_audited > 0, "DDR auditor saw no commands");
+        assert!(
+            hbm.clean(),
+            "HBM violations: first {:?}",
+            hbm.first_violation
+        );
+        assert!(
+            ddr.clean(),
+            "DDR violations: first {:?}",
+            ddr.first_violation
+        );
+
+        // No-HBM only has a DDR side to audit.
+        let mut cfg = SimConfig::quick(PolicyKind::NoHbm);
+        cfg.audit_timing = true;
+        let r = Simulator::new(cfg).run(tiny_traces());
+        assert!(r.hbm_audit.is_none());
+        assert!(r.ddr_audit.expect("DDR audit attached").clean());
+
+        // Off by default: no audit payload in the report.
+        let r = Simulator::new(SimConfig::quick(PolicyKind::Alloy)).run(tiny_traces());
+        assert!(r.hbm_audit.is_none() && r.ddr_audit.is_none());
     }
 
     #[test]

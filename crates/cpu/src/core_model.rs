@@ -32,7 +32,11 @@ pub struct CoreConfig {
 impl CoreConfig {
     /// Table I: 4-issue, 256-entry ROB, 16 in-flight loads.
     pub const fn table1() -> Self {
-        Self { issue_width: 4, rob_size: 256, max_outstanding_loads: 16 }
+        Self {
+            issue_width: 4,
+            rob_size: 256,
+            max_outstanding_loads: 16,
+        }
     }
 }
 
@@ -84,8 +88,14 @@ pub struct Core {
 impl Core {
     /// Creates a core that will execute `trace`.
     pub fn new(cfg: CoreConfig, trace: Vec<Access>) -> Self {
-        assert!(cfg.issue_width > 0 && cfg.rob_size > 0, "degenerate core config");
-        assert!(cfg.max_outstanding_loads > 0, "need at least one outstanding load");
+        assert!(
+            cfg.issue_width > 0 && cfg.rob_size > 0,
+            "degenerate core config"
+        );
+        assert!(
+            cfg.max_outstanding_loads > 0,
+            "need at least one outstanding load"
+        );
         Self {
             cfg,
             trace,
@@ -103,7 +113,10 @@ impl Core {
     }
 
     fn incomplete_loads(&self) -> usize {
-        self.in_flight.iter().filter(|l| l.done_at.is_none()).count()
+        self.in_flight
+            .iter()
+            .filter(|l| l.done_at.is_none())
+            .count()
     }
 
     /// Retires completed loads that have left the ROB window for the
@@ -180,7 +193,10 @@ impl Core {
                 self.loads_issued += 1;
                 let done = now + latency;
                 self.last_completion = self.last_completion.max(done);
-                self.in_flight.push_back(InFlight { instr_no: self.instr_no, done_at: Some(done) });
+                self.in_flight.push_back(InFlight {
+                    instr_no: self.instr_no,
+                    done_at: Some(done),
+                });
             }
             MemOp::Store => self.stores_issued += 1,
         }
@@ -199,7 +215,10 @@ impl Core {
         self.loads_issued += 1;
         let tok = LoadToken(self.next_token);
         self.next_token += 1;
-        self.in_flight.push_back(InFlight { instr_no: self.instr_no, done_at: None });
+        self.in_flight.push_back(InFlight {
+            instr_no: self.instr_no,
+            done_at: None,
+        });
         tok
     }
 
@@ -262,15 +281,27 @@ mod tests {
     use redcache_types::PhysAddr;
 
     fn load(addr: u64, gap: u32) -> Access {
-        Access { op: MemOp::Load, addr: PhysAddr::new(addr), gap }
+        Access {
+            op: MemOp::Load,
+            addr: PhysAddr::new(addr),
+            gap,
+        }
     }
 
     fn store(addr: u64, gap: u32) -> Access {
-        Access { op: MemOp::Store, addr: PhysAddr::new(addr), gap }
+        Access {
+            op: MemOp::Store,
+            addr: PhysAddr::new(addr),
+            gap,
+        }
     }
 
     fn cfg() -> CoreConfig {
-        CoreConfig { issue_width: 4, rob_size: 8, max_outstanding_loads: 2 }
+        CoreConfig {
+            issue_width: 4,
+            rob_size: 8,
+            max_outstanding_loads: 2,
+        }
     }
 
     #[test]

@@ -73,9 +73,21 @@ mod tests {
     #[test]
     fn stats_count_footprint_and_stores() {
         let t = vec![
-            Access { op: MemOp::Load, addr: PhysAddr::new(0), gap: 3 },
-            Access { op: MemOp::Store, addr: PhysAddr::new(32), gap: 0 },
-            Access { op: MemOp::Load, addr: PhysAddr::new(64), gap: 1 },
+            Access {
+                op: MemOp::Load,
+                addr: PhysAddr::new(0),
+                gap: 3,
+            },
+            Access {
+                op: MemOp::Store,
+                addr: PhysAddr::new(32),
+                gap: 0,
+            },
+            Access {
+                op: MemOp::Load,
+                addr: PhysAddr::new(64),
+                gap: 1,
+            },
         ];
         let s = TraceStats::from_trace(&t);
         assert_eq!(s.accesses, 3);

@@ -1,0 +1,657 @@
+//! Runtime timing audit: incremental validation of the issued command
+//! stream against the Table I constraint set.
+//!
+//! The [`TimingAuditor`] is the always-available counterpart of the
+//! test-only replay checker in `tests/timing_properties.rs`. It consumes
+//! every [`IssuedCmd`] as the scheduler emits it and re-verifies each
+//! constraint from scratch, using its own shadow copy of the device
+//! state — so a bookkeeping bug in the scheduler cannot hide itself from
+//! the audit, and any simulation (not just the proptests) can run with
+//! the audit enabled.
+//!
+//! Design constraints:
+//!
+//! * **Allocation-free on the hot path.** All shadow state (per-bank,
+//!   per-rank, per-channel) is preallocated from the topology when the
+//!   auditor is constructed; [`TimingAuditor::observe`] performs no heap
+//!   allocation, so enabling the audit never perturbs allocator-sensitive
+//!   measurements and disabling it costs exactly one `Option` check.
+//! * **Record, don't panic.** Violations are counted per rule and the
+//!   first offending command is kept with the deadline it missed; the
+//!   simulation keeps running so a long run reports *all* the damage.
+//! * **Observability as a side effect.** Because the auditor already sees
+//!   every command, it also maintains per-channel command histograms
+//!   (ACT/PRE/RD/WR/REF), data-bus busy time, and a command-level
+//!   row-hit rate — the numbers Fig. 2-style bandwidth analyses need.
+
+use crate::system::{IssuedCmd, IssuedKind};
+use crate::timing::TimingParams;
+use crate::topology::Topology;
+use redcache_types::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// The timing rules the auditor enforces, used to label violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimingRule {
+    /// Command not aligned to the DRAM command clock.
+    ClockAlign,
+    /// Illegal bank state transition (ACT to an open bank, PRE or column
+    /// command to a closed bank, or a location outside the topology).
+    BankState,
+    /// ACT→ACT, same bank.
+    Trc,
+    /// PRE→ACT, same bank.
+    Trp,
+    /// ACT→PRE minimum row-open time.
+    Tras,
+    /// ACT→column command.
+    Trcd,
+    /// Read→PRE.
+    Trtp,
+    /// End of write data→PRE (write recovery).
+    Twr,
+    /// ACT→ACT, different banks of the same rank.
+    Trrd,
+    /// More than four ACTs per rank inside the tFAW window.
+    Tfaw,
+    /// End of write data→read command, same rank.
+    Twtr,
+    /// Column→column command on the same channel.
+    Tccd,
+    /// Two data bursts overlapping on the channel data bus.
+    BusOverlap,
+    /// REF issued to a rank with open banks or one already refreshing.
+    RefreshState,
+    /// Command issued into a rank's tRFC refresh window.
+    RefreshBlock,
+}
+
+/// All rules, in a fixed order (indexes the per-rule counters).
+pub const ALL_RULES: [TimingRule; 15] = [
+    TimingRule::ClockAlign,
+    TimingRule::BankState,
+    TimingRule::Trc,
+    TimingRule::Trp,
+    TimingRule::Tras,
+    TimingRule::Trcd,
+    TimingRule::Trtp,
+    TimingRule::Twr,
+    TimingRule::Trrd,
+    TimingRule::Tfaw,
+    TimingRule::Twtr,
+    TimingRule::Tccd,
+    TimingRule::BusOverlap,
+    TimingRule::RefreshState,
+    TimingRule::RefreshBlock,
+];
+
+const RULE_COUNT: usize = ALL_RULES.len();
+
+fn rule_index(rule: TimingRule) -> usize {
+    ALL_RULES
+        .iter()
+        .position(|&r| r == rule)
+        .expect("rule in ALL_RULES")
+}
+
+/// One recorded timing violation: which rule, which command, and the
+/// earliest cycle at which the command would have been legal (0 for pure
+/// state violations with no deadline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViolationRecord {
+    /// The violated rule.
+    pub rule: TimingRule,
+    /// The offending command.
+    pub cmd: IssuedCmd,
+    /// Earliest legal issue cycle (the deadline the command jumped).
+    pub deadline: Cycle,
+}
+
+/// Per-channel command counts and bus occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CmdHistogram {
+    /// Row activations.
+    pub acts: u64,
+    /// Precharges (demand and refresh-forced).
+    pub pres: u64,
+    /// Column reads.
+    pub reads: u64,
+    /// Column writes.
+    pub writes: u64,
+    /// Per-rank refreshes.
+    pub refreshes: u64,
+    /// Cycles the channel data bus carried data (tBL per column command).
+    pub bus_busy_cycles: u64,
+}
+
+impl CmdHistogram {
+    /// Column commands observed on this channel.
+    pub fn col_cmds(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Row-hit rate at command level: the fraction of column commands
+    /// that reused an already-open row (clamped to 0 when multi-burst
+    /// accounting makes ACTs outnumber columns).
+    pub fn row_hit_rate(&self) -> f64 {
+        let cols = self.col_cmds();
+        if cols == 0 {
+            0.0
+        } else {
+            1.0 - (self.acts.min(cols) as f64 / cols as f64)
+        }
+    }
+}
+
+/// Snapshot of everything the auditor has observed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AuditStats {
+    /// Commands observed.
+    pub cmds_audited: u64,
+    /// Total violations (a command can break more than one rule).
+    pub violations: u64,
+    /// Violation counts, indexed like [`ALL_RULES`].
+    pub rule_counts: [u64; RULE_COUNT],
+    /// The first violation observed, in full detail.
+    pub first_violation: Option<ViolationRecord>,
+    /// Per-channel command histograms.
+    pub per_channel: Vec<CmdHistogram>,
+    /// Cycle of the last observed command (for bus-busy fractions).
+    pub last_cycle: Cycle,
+}
+
+impl AuditStats {
+    /// Violation count for one rule.
+    pub fn rule_count(&self, rule: TimingRule) -> u64 {
+        self.rule_counts[rule_index(rule)]
+    }
+
+    /// Aggregate histogram over all channels.
+    pub fn total_histogram(&self) -> CmdHistogram {
+        let mut t = CmdHistogram::default();
+        for h in &self.per_channel {
+            t.acts += h.acts;
+            t.pres += h.pres;
+            t.reads += h.reads;
+            t.writes += h.writes;
+            t.refreshes += h.refreshes;
+            t.bus_busy_cycles += h.bus_busy_cycles;
+        }
+        t
+    }
+
+    /// Fraction of time `channel`'s data bus carried data, over the span
+    /// from cycle 0 to the last observed command.
+    pub fn bus_busy_fraction(&self, channel: usize) -> f64 {
+        if self.last_cycle == 0 || channel >= self.per_channel.len() {
+            0.0
+        } else {
+            self.per_channel[channel].bus_busy_cycles as f64 / self.last_cycle as f64
+        }
+    }
+
+    /// True when no command broke any rule.
+    pub fn clean(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Shadow timing state of one bank.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankShadow {
+    open: bool,
+    last_act: Option<Cycle>,
+    last_pre: Option<Cycle>,
+    last_rd: Option<Cycle>,
+    last_wr_data_end: Option<Cycle>,
+}
+
+/// Shadow timing state of one rank. The tFAW window needs only the last
+/// four ACT times, kept in a fixed ring so observation never allocates.
+#[derive(Debug, Clone, Copy, Default)]
+struct RankShadow {
+    acts: [Cycle; 4],
+    act_count: u64,
+    wr_data_end: Option<Cycle>,
+    refreshing_until: Cycle,
+}
+
+impl RankShadow {
+    fn last_act(&self) -> Option<Cycle> {
+        if self.act_count == 0 {
+            None
+        } else {
+            Some(self.acts[((self.act_count - 1) % 4) as usize])
+        }
+    }
+
+    /// The ACT that would fall out of the window if one more issued now:
+    /// with four or more past ACTs, the fourth-most-recent one.
+    fn faw_anchor(&self) -> Option<Cycle> {
+        if self.act_count < 4 {
+            None
+        } else {
+            Some(self.acts[(self.act_count % 4) as usize])
+        }
+    }
+
+    fn push_act(&mut self, now: Cycle) {
+        self.acts[(self.act_count % 4) as usize] = now;
+        self.act_count += 1;
+    }
+}
+
+/// Shadow state of one channel.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChanShadow {
+    last_col: Option<Cycle>,
+    bus_free_at: Cycle,
+}
+
+/// Incremental Table I timing validator over an issued-command stream.
+///
+/// Feed commands in issue order with [`TimingAuditor::observe`]; read the
+/// verdict with [`TimingAuditor::stats`]. State updates are applied even
+/// for violating commands so one bug does not cascade into spurious
+/// reports against every later command.
+#[derive(Debug, Clone)]
+pub struct TimingAuditor {
+    t: TimingParams,
+    ranks_per_channel: usize,
+    banks_per_rank: usize,
+    banks: Vec<BankShadow>,
+    ranks: Vec<RankShadow>,
+    chans: Vec<ChanShadow>,
+    stats: AuditStats,
+}
+
+impl TimingAuditor {
+    /// Builds an auditor sized for `topology` under `timing`. All shadow
+    /// state is allocated here, once.
+    pub fn new(topology: &Topology, timing: TimingParams) -> Self {
+        let nch = topology.channels;
+        let nr = topology.ranks;
+        let nb = topology.banks;
+        Self {
+            t: timing,
+            ranks_per_channel: nr,
+            banks_per_rank: nb,
+            banks: vec![BankShadow::default(); nch * nr * nb],
+            ranks: vec![RankShadow::default(); nch * nr],
+            chans: vec![ChanShadow::default(); nch],
+            stats: AuditStats {
+                per_channel: vec![CmdHistogram::default(); nch],
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Everything observed so far.
+    pub fn stats(&self) -> &AuditStats {
+        &self.stats
+    }
+
+    /// Zeroes the counters (warmup boundary). Shadow timing state is
+    /// preserved so constraints keep holding across the reset.
+    pub fn reset_stats(&mut self) {
+        let nch = self.chans.len();
+        self.stats = AuditStats {
+            per_channel: vec![CmdHistogram::default(); nch],
+            ..Default::default()
+        };
+    }
+
+    fn violate(&mut self, rule: TimingRule, cmd: &IssuedCmd, deadline: Cycle) {
+        self.stats.violations += 1;
+        self.stats.rule_counts[rule_index(rule)] += 1;
+        if self.stats.first_violation.is_none() {
+            self.stats.first_violation = Some(ViolationRecord {
+                rule,
+                cmd: *cmd,
+                deadline,
+            });
+        }
+    }
+
+    /// Validates one command and folds it into the shadow state.
+    pub fn observe(&mut self, cmd: &IssuedCmd) {
+        self.stats.cmds_audited += 1;
+        let now = cmd.cycle;
+        self.stats.last_cycle = self.stats.last_cycle.max(now);
+        let t = self.t;
+        if !now.is_multiple_of(t.cmd_clock_divisor) {
+            self.violate(TimingRule::ClockAlign, cmd, now + 1);
+        }
+        let loc = cmd.loc;
+        if loc.channel >= self.chans.len()
+            || loc.rank >= self.ranks_per_channel
+            || loc.bank >= self.banks_per_rank
+        {
+            self.violate(TimingRule::BankState, cmd, 0);
+            return;
+        }
+        let rank_idx = loc.channel * self.ranks_per_channel + loc.rank;
+        let bank_idx = rank_idx * self.banks_per_rank + loc.bank;
+
+        {
+            let hist = &mut self.stats.per_channel[loc.channel];
+            match cmd.kind {
+                IssuedKind::Activate => hist.acts += 1,
+                IssuedKind::Precharge => hist.pres += 1,
+                IssuedKind::Read => {
+                    hist.reads += 1;
+                    hist.bus_busy_cycles += t.t_bl;
+                }
+                IssuedKind::Write => {
+                    hist.writes += 1;
+                    hist.bus_busy_cycles += t.t_bl;
+                }
+                IssuedKind::Refresh => hist.refreshes += 1,
+            }
+        }
+
+        // No command other than the refresh itself may target a rank
+        // inside its tRFC window. The refresh-forced precharges are not
+        // exempt: they issue in the same slot as REF but *before* it in
+        // stream order, so the window is not yet set when they arrive.
+        let ref_until = self.ranks[rank_idx].refreshing_until;
+        if cmd.kind != IssuedKind::Refresh && now < ref_until {
+            self.violate(TimingRule::RefreshBlock, cmd, ref_until);
+        }
+
+        match cmd.kind {
+            IssuedKind::Activate => {
+                let b = self.banks[bank_idx];
+                if b.open {
+                    self.violate(TimingRule::BankState, cmd, 0);
+                }
+                if let Some(a) = b.last_act {
+                    if now < a + t.t_rc {
+                        self.violate(TimingRule::Trc, cmd, a + t.t_rc);
+                    }
+                }
+                if let Some(p) = b.last_pre {
+                    if now < p + t.t_rp {
+                        self.violate(TimingRule::Trp, cmd, p + t.t_rp);
+                    }
+                }
+                let r = self.ranks[rank_idx];
+                if let Some(prev) = r.last_act() {
+                    if now < prev + t.t_rrd {
+                        self.violate(TimingRule::Trrd, cmd, prev + t.t_rrd);
+                    }
+                }
+                if let Some(anchor) = r.faw_anchor() {
+                    if now < anchor + t.t_faw {
+                        self.violate(TimingRule::Tfaw, cmd, anchor + t.t_faw);
+                    }
+                }
+                self.ranks[rank_idx].push_act(now);
+                let b = &mut self.banks[bank_idx];
+                b.open = true;
+                b.last_act = Some(now);
+            }
+            IssuedKind::Precharge => {
+                let b = self.banks[bank_idx];
+                if !b.open {
+                    self.violate(TimingRule::BankState, cmd, 0);
+                }
+                if let Some(a) = b.last_act {
+                    if now < a + t.t_ras {
+                        self.violate(TimingRule::Tras, cmd, a + t.t_ras);
+                    }
+                }
+                if let Some(r) = b.last_rd {
+                    if now < r + t.t_rtp {
+                        self.violate(TimingRule::Trtp, cmd, r + t.t_rtp);
+                    }
+                }
+                if let Some(w) = b.last_wr_data_end {
+                    if now < w + t.t_wr {
+                        self.violate(TimingRule::Twr, cmd, w + t.t_wr);
+                    }
+                }
+                let b = &mut self.banks[bank_idx];
+                b.open = false;
+                b.last_pre = Some(now);
+            }
+            IssuedKind::Read | IssuedKind::Write => {
+                let b = self.banks[bank_idx];
+                if !b.open {
+                    self.violate(TimingRule::BankState, cmd, 0);
+                }
+                if let Some(a) = b.last_act {
+                    if now < a + t.t_rcd {
+                        self.violate(TimingRule::Trcd, cmd, a + t.t_rcd);
+                    }
+                }
+                if let Some(last) = self.chans[loc.channel].last_col {
+                    if now < last + t.t_ccd {
+                        self.violate(TimingRule::Tccd, cmd, last + t.t_ccd);
+                    }
+                }
+                self.chans[loc.channel].last_col = Some(now);
+                let (start, end) = match cmd.kind {
+                    IssuedKind::Read => (now + t.t_cas, now + t.t_cas + t.t_bl),
+                    _ => (now + t.t_cwd, now + t.t_cwd + t.t_bl),
+                };
+                let free = self.chans[loc.channel].bus_free_at;
+                if start < free {
+                    self.violate(
+                        TimingRule::BusOverlap,
+                        cmd,
+                        free.saturating_sub(start) + now,
+                    );
+                }
+                self.chans[loc.channel].bus_free_at = end;
+                match cmd.kind {
+                    IssuedKind::Read => {
+                        if let Some(wend) = self.ranks[rank_idx].wr_data_end {
+                            if now < wend + t.t_wtr {
+                                self.violate(TimingRule::Twtr, cmd, wend + t.t_wtr);
+                            }
+                        }
+                        self.banks[bank_idx].last_rd = Some(now);
+                    }
+                    _ => {
+                        self.banks[bank_idx].last_wr_data_end = Some(end);
+                        self.ranks[rank_idx].wr_data_end = Some(end);
+                    }
+                }
+            }
+            IssuedKind::Refresh => {
+                if now < ref_until {
+                    self.violate(TimingRule::RefreshState, cmd, ref_until);
+                }
+                let base = rank_idx * self.banks_per_rank;
+                let any_open = self.banks[base..base + self.banks_per_rank]
+                    .iter()
+                    .any(|b| b.open);
+                if any_open {
+                    self.violate(TimingRule::RefreshState, cmd, 0);
+                }
+                self.ranks[rank_idx].refreshing_until = now + t.t_rfc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::DramLoc;
+
+    fn topo() -> Topology {
+        Topology {
+            channels: 2,
+            ranks: 2,
+            banks: 4,
+            rows: 64,
+            row_bytes: 1024,
+            bytes_per_burst: 64,
+        }
+    }
+
+    fn t() -> TimingParams {
+        TimingParams::ddr4_table1()
+    }
+
+    fn cmd(kind: IssuedKind, channel: usize, rank: usize, bank: usize, cycle: Cycle) -> IssuedCmd {
+        IssuedCmd {
+            kind,
+            loc: DramLoc {
+                channel,
+                rank,
+                bank,
+                row: 1,
+                col: 0,
+            },
+            cycle,
+        }
+    }
+
+    #[test]
+    fn legal_open_read_close_sequence_is_clean() {
+        let timing = t();
+        let div = timing.cmd_clock_divisor;
+        let align = |c: Cycle| c.next_multiple_of(div);
+        let mut a = TimingAuditor::new(&topo(), timing);
+        a.observe(&cmd(IssuedKind::Activate, 0, 0, 0, 0));
+        a.observe(&cmd(IssuedKind::Read, 0, 0, 0, align(timing.t_rcd)));
+        let pre_at = align((timing.t_rcd + timing.t_rtp).max(timing.t_ras));
+        a.observe(&cmd(IssuedKind::Precharge, 0, 0, 0, pre_at));
+        a.observe(&cmd(
+            IssuedKind::Activate,
+            0,
+            0,
+            0,
+            align((pre_at + timing.t_rp).max(timing.t_rc)),
+        ));
+        assert!(
+            a.stats().clean(),
+            "violations: {:?}",
+            a.stats().first_violation
+        );
+        assert_eq!(a.stats().cmds_audited, 4);
+        assert_eq!(a.stats().per_channel[0].acts, 2);
+        assert_eq!(a.stats().per_channel[0].reads, 1);
+    }
+
+    #[test]
+    fn trcd_violation_is_caught_with_deadline() {
+        let timing = t();
+        let mut a = TimingAuditor::new(&topo(), timing);
+        a.observe(&cmd(IssuedKind::Activate, 0, 0, 0, 0));
+        a.observe(&cmd(IssuedKind::Read, 0, 0, 0, 2)); // far before tRCD
+        assert_eq!(a.stats().rule_count(TimingRule::Trcd), 1);
+        let v = a.stats().first_violation.expect("violation recorded");
+        assert_eq!(v.rule, TimingRule::Trcd);
+        assert_eq!(v.deadline, timing.t_rcd);
+    }
+
+    #[test]
+    fn act_to_open_bank_is_bank_state_violation() {
+        let mut a = TimingAuditor::new(&topo(), t());
+        a.observe(&cmd(IssuedKind::Activate, 0, 0, 0, 0));
+        a.observe(&cmd(IssuedKind::Activate, 0, 0, 0, 400));
+        assert!(a.stats().rule_count(TimingRule::BankState) >= 1);
+    }
+
+    #[test]
+    fn off_clock_command_is_flagged() {
+        let mut a = TimingAuditor::new(&topo(), t());
+        a.observe(&cmd(IssuedKind::Activate, 0, 0, 0, 1));
+        assert_eq!(a.stats().rule_count(TimingRule::ClockAlign), 1);
+    }
+
+    #[test]
+    fn out_of_range_location_is_flagged_not_panicking() {
+        let mut a = TimingAuditor::new(&topo(), t());
+        a.observe(&cmd(IssuedKind::Activate, 7, 0, 0, 0));
+        assert_eq!(a.stats().rule_count(TimingRule::BankState), 1);
+    }
+
+    #[test]
+    fn faw_window_allows_four_blocks_fifth() {
+        let timing = t();
+        let mut a = TimingAuditor::new(&topo(), timing);
+        // Four ACTs spaced exactly tRRD apart: legal.
+        for i in 0..4 {
+            a.observe(&cmd(
+                IssuedKind::Activate,
+                0,
+                0,
+                i,
+                i as Cycle * timing.t_rrd,
+            ));
+        }
+        assert!(a.stats().clean());
+        // A fifth inside the window of the first: tFAW violation. Use a
+        // second row on bank 0? bank 0 is open — use a different rank's
+        // bank to keep bank-state clean... same rank is required, so
+        // reuse is impossible without PRE; accept the BankState pairing
+        // by checking the tFAW count alone.
+        a.observe(&cmd(IssuedKind::Activate, 0, 0, 0, 4 * timing.t_rrd));
+        assert_eq!(a.stats().rule_count(TimingRule::Tfaw), 1);
+    }
+
+    #[test]
+    fn refresh_blocks_rank_until_trfc() {
+        let timing = t();
+        let mut a = TimingAuditor::new(&topo(), timing);
+        a.observe(&cmd(IssuedKind::Refresh, 0, 0, 0, 0));
+        assert!(a.stats().clean());
+        a.observe(&cmd(IssuedKind::Activate, 0, 0, 0, timing.t_rfc - 2));
+        assert_eq!(a.stats().rule_count(TimingRule::RefreshBlock), 1);
+        // The other rank is unaffected.
+        a.observe(&cmd(IssuedKind::Activate, 0, 1, 0, timing.t_rfc - 2));
+        assert_eq!(a.stats().rule_count(TimingRule::RefreshBlock), 1);
+    }
+
+    #[test]
+    fn refresh_with_open_bank_is_refresh_state_violation() {
+        let mut a = TimingAuditor::new(&topo(), t());
+        a.observe(&cmd(IssuedKind::Activate, 0, 0, 0, 0));
+        a.observe(&cmd(IssuedKind::Refresh, 0, 0, 0, 400));
+        assert_eq!(a.stats().rule_count(TimingRule::RefreshState), 1);
+    }
+
+    #[test]
+    fn histogram_and_bus_fraction_accumulate() {
+        let timing = t();
+        let mut a = TimingAuditor::new(&topo(), timing);
+        a.observe(&cmd(IssuedKind::Activate, 1, 0, 0, 0));
+        a.observe(&cmd(IssuedKind::Write, 1, 0, 0, timing.t_rcd));
+        let h = a.stats().per_channel[1];
+        assert_eq!(h.acts, 1);
+        assert_eq!(h.writes, 1);
+        assert_eq!(h.bus_busy_cycles, timing.t_bl);
+        assert!(a.stats().bus_busy_fraction(1) > 0.0);
+        assert_eq!(a.stats().bus_busy_fraction(0), 0.0);
+        assert_eq!(a.stats().total_histogram().col_cmds(), 1);
+    }
+
+    #[test]
+    fn reset_stats_preserves_shadow_state() {
+        let timing = t();
+        let mut a = TimingAuditor::new(&topo(), timing);
+        a.observe(&cmd(IssuedKind::Activate, 0, 0, 0, 0));
+        a.reset_stats();
+        assert_eq!(a.stats().cmds_audited, 0);
+        // The bank is still open in the shadow: a second ACT violates.
+        a.observe(&cmd(IssuedKind::Activate, 0, 0, 0, 400));
+        assert!(a.stats().rule_count(TimingRule::BankState) >= 1);
+    }
+
+    #[test]
+    fn row_hit_rate_from_histogram() {
+        let h = CmdHistogram {
+            acts: 3,
+            reads: 6,
+            writes: 4,
+            ..Default::default()
+        };
+        assert!((h.row_hit_rate() - 0.7).abs() < 1e-12);
+        assert_eq!(CmdHistogram::default().row_hit_rate(), 0.0);
+    }
+}

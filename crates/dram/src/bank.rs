@@ -23,7 +23,12 @@ pub(crate) struct Bank {
 
 impl Bank {
     pub(crate) fn new() -> Self {
-        Self { open_row: None, ready_act: 0, ready_col: 0, ready_pre: 0 }
+        Self {
+            open_row: None,
+            ready_act: 0,
+            ready_col: 0,
+            ready_pre: 0,
+        }
     }
 }
 

@@ -46,8 +46,12 @@ impl Channel {
         Self {
             // Stagger initial refreshes across ranks so they do not all
             // fire in the same cycle (as real controllers do).
-            ranks: (0..ranks).map(|r| Rank::new(first_refresh_stagger * (r as Cycle + 1))).collect(),
-            banks: (0..ranks).map(|_| (0..banks).map(|_| Bank::new()).collect()).collect(),
+            ranks: (0..ranks)
+                .map(|r| Rank::new(first_refresh_stagger * (r as Cycle + 1)))
+                .collect(),
+            banks: (0..ranks)
+                .map(|_| (0..banks).map(|_| Bank::new()).collect())
+                .collect(),
             queue: Vec::new(),
             bus_free_at: 0,
             last_col_cmd: None,
@@ -73,11 +77,9 @@ impl Channel {
         let open = self.bank(loc).open_row;
         match open {
             None => false,
-            Some(row) => self
-                .queue
-                .iter()
-                .take(32)
-                .any(|t| t.id != except && t.bursts_left > 0 && t.loc.same_bank(loc) && t.loc.row == row),
+            Some(row) => self.queue.iter().take(32).any(|t| {
+                t.id != except && t.bursts_left > 0 && t.loc.same_bank(loc) && t.loc.row == row
+            }),
         }
     }
 }
@@ -86,8 +88,17 @@ impl Channel {
 mod tests {
     use super::*;
 
+    /// A nonzero channel index: a `Channel` never inspects its own index,
+    /// so matching helpers (`same_bank`, `row_has_pending_hits`) must
+    /// work for any attributed channel, not just 0.
     fn loc(rank: usize, bank: usize, row: u64) -> DramLoc {
-        DramLoc { channel: 0, rank, bank, row, col: 0 }
+        DramLoc {
+            channel: 3,
+            rank,
+            bank,
+            row,
+            col: 0,
+        }
     }
 
     #[test]

@@ -18,6 +18,12 @@ pub struct DramConfig {
     /// Maximum transactions queued per channel before `enqueue` reports
     /// back-pressure.
     pub queue_depth: usize,
+    /// Run the system with the runtime timing audit enabled: every
+    /// issued command is validated against the Table I constraints by a
+    /// [`crate::TimingAuditor`]. Off by default; when off, no audit
+    /// state is allocated and the per-command cost is one branch.
+    #[serde(default)]
+    pub audit: bool,
 }
 
 impl DramConfig {
@@ -30,6 +36,7 @@ impl DramConfig {
             mapping: AddressMapping::default(),
             refresh_enabled: true,
             queue_depth: 32,
+            audit: false,
         }
     }
 
@@ -42,6 +49,7 @@ impl DramConfig {
             mapping: AddressMapping::default(),
             refresh_enabled: true,
             queue_depth: 32,
+            audit: false,
         }
     }
 
@@ -93,8 +101,14 @@ mod tests {
 
     #[test]
     fn table1_capacities() {
-        assert_eq!(DramConfig::wideio_table1().topology.capacity_bytes(), 2u64 << 30);
-        assert_eq!(DramConfig::ddr4_table1().topology.capacity_bytes(), 32u64 << 30);
+        assert_eq!(
+            DramConfig::wideio_table1().topology.capacity_bytes(),
+            2u64 << 30
+        );
+        assert_eq!(
+            DramConfig::ddr4_table1().topology.capacity_bytes(),
+            32u64 << 30
+        );
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! background time so the `redcache-energy` crate can weight the counts
 //! with per-technology constants.
 //!
+//! The emitted command stream is observable ([`DramSystem::take_issued_cmds`],
+//! including per-rank REF commands) and can be validated online: enabling
+//! [`DramConfig::audit`] attaches a [`TimingAuditor`] that re-checks every
+//! command against the full constraint set as it issues and reports
+//! violations plus per-channel command histograms through
+//! [`DramSystem::audit_stats`]. See the `audit` module docs.
+//!
 //! # Example
 //!
 //! ```
@@ -41,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+mod audit;
 mod bank;
 mod channel;
 mod config;
@@ -50,6 +58,7 @@ mod system;
 mod timing;
 mod topology;
 
+pub use audit::{AuditStats, CmdHistogram, TimingAuditor, TimingRule, ViolationRecord, ALL_RULES};
 pub use config::DramConfig;
 pub use stats::{DramEnergyEvents, DramStats};
 pub use system::{Completion, DramSystem, IssuedCmd, IssuedKind, TxnId, TxnKind};

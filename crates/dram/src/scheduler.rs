@@ -47,9 +47,12 @@ fn rank_refresh_due(rank: &Rank, now: Cycle) -> bool {
 
 /// Attempts to begin refresh on due ranks. A refresh waits until every
 /// bank in the rank can be precharged (no write recovery pending) and no
-/// read data is still owed from the rank.
+/// read data is still owed from the rank. `chan_idx` is the index of
+/// `ch` within the system, so every emitted command carries the channel
+/// that actually issued it.
 pub(crate) fn service_refresh(
     ch: &mut Channel,
+    chan_idx: usize,
     t: &TimingParams,
     now: Cycle,
     stats: &mut DramStats,
@@ -60,7 +63,10 @@ pub(crate) fn service_refresh(
             continue;
         }
         let quiescent = ch.banks[r].iter().all(|b| b.ready_pre <= now)
-            && !ch.queue.iter().any(|txn| txn.loc.rank == r && txn.bursts_left < burst_total_hint(txn));
+            && !ch
+                .queue
+                .iter()
+                .any(|txn| txn.loc.rank == r && txn.bursts_left < burst_total_hint(txn));
         if !quiescent {
             continue; // postponed; retried next slot
         }
@@ -72,11 +78,28 @@ pub(crate) fn service_refresh(
                 closed += 1;
                 issued.push(IssuedCmd {
                     kind: IssuedKind::Precharge,
-                    loc: crate::topology::DramLoc { channel: 0, rank: r, bank: bi, row, col: 0 },
+                    loc: crate::topology::DramLoc {
+                        channel: chan_idx,
+                        rank: r,
+                        bank: bi,
+                        row,
+                        col: 0,
+                    },
                     cycle: now,
                 });
             }
         }
+        issued.push(IssuedCmd {
+            kind: IssuedKind::Refresh,
+            loc: crate::topology::DramLoc {
+                channel: chan_idx,
+                rank: r,
+                bank: 0,
+                row: 0,
+                col: 0,
+            },
+            cycle: now,
+        });
         let until = now + t.t_rfc;
         for b in ch.banks[r].iter_mut() {
             b.ready_act = b.ready_act.max(until);
@@ -174,10 +197,19 @@ fn issue_col_cmd(
     let txn = &mut ch.queue[idx];
     txn.bursts_left -= 1;
     txn.data_done_at = data_end;
-    IssuedCmd { kind: issued_kind, loc, cycle: now }
+    IssuedCmd {
+        kind: issued_kind,
+        loc,
+        cycle: now,
+    }
 }
 
-fn act_legal(ch: &mut Channel, t: &TimingParams, txn_loc: &crate::topology::DramLoc, now: Cycle) -> bool {
+fn act_legal(
+    ch: &mut Channel,
+    t: &TimingParams,
+    txn_loc: &crate::topology::DramLoc,
+    now: Cycle,
+) -> bool {
     let rank_idx = txn_loc.rank;
     if ch.ranks[rank_idx].is_refreshing(now) || now < ch.ranks[rank_idx].ready_act {
         return false;
@@ -189,7 +221,13 @@ fn act_legal(ch: &mut Channel, t: &TimingParams, txn_loc: &crate::topology::Dram
     bank.open_row.is_none() && now >= bank.ready_act
 }
 
-fn issue_act(ch: &mut Channel, t: &TimingParams, loc: &crate::topology::DramLoc, now: Cycle, stats: &mut DramStats) -> IssuedCmd {
+fn issue_act(
+    ch: &mut Channel,
+    t: &TimingParams,
+    loc: &crate::topology::DramLoc,
+    now: Cycle,
+    stats: &mut DramStats,
+) -> IssuedCmd {
     {
         let bank = ch.bank_mut(loc);
         bank.open_row = Some(loc.row);
@@ -202,17 +240,31 @@ fn issue_act(ch: &mut Channel, t: &TimingParams, loc: &crate::topology::DramLoc,
     rank.act_times.push_back(now);
     stats.energy.acts += 1;
     stats.demand_acts += 1;
-    IssuedCmd { kind: IssuedKind::Activate, loc: *loc, cycle: now }
+    IssuedCmd {
+        kind: IssuedKind::Activate,
+        loc: *loc,
+        cycle: now,
+    }
 }
 
-fn issue_pre(ch: &mut Channel, t: &TimingParams, loc: &crate::topology::DramLoc, now: Cycle, stats: &mut DramStats) -> IssuedCmd {
+fn issue_pre(
+    ch: &mut Channel,
+    t: &TimingParams,
+    loc: &crate::topology::DramLoc,
+    now: Cycle,
+    stats: &mut DramStats,
+) -> IssuedCmd {
     {
         let bank = ch.bank_mut(loc);
         bank.open_row = None;
         bank.ready_act = bank.ready_act.max(now + t.t_rp);
     }
     stats.energy.pres += 1;
-    IssuedCmd { kind: IssuedKind::Precharge, loc: *loc, cycle: now }
+    IssuedCmd {
+        kind: IssuedKind::Precharge,
+        loc: *loc,
+        cycle: now,
+    }
 }
 
 /// Runs one command slot on channel `chan_idx`. Any issued commands
@@ -226,11 +278,7 @@ pub(crate) fn schedule_slot(
     stats: &mut DramStats,
     issued: &mut Vec<IssuedCmd>,
 ) -> SlotOutcome {
-    let refresh_mark = issued.len();
-    service_refresh(ch, t, now, stats, issued);
-    for cmd in issued[refresh_mark..].iter_mut() {
-        cmd.loc.channel = chan_idx;
-    }
+    service_refresh(ch, chan_idx, t, now, stats, issued);
 
     // Write-drain hysteresis: enter batching above the high watermark,
     // leave below the low one.
@@ -263,7 +311,11 @@ pub(crate) fn schedule_slot(
             break;
         }
     }
-    let pick = if ch.write_drain_mode { write_idx.or(read_idx) } else { read_idx.or(write_idx) };
+    let pick = if ch.write_drain_mode {
+        write_idx.or(read_idx)
+    } else {
+        read_idx.or(write_idx)
+    };
     if let Some(i) = pick {
         let cmd = issue_col_cmd(ch, t, i, now, bytes_per_burst, stats);
         issued.push(cmd);
@@ -312,6 +364,10 @@ mod tests {
     use crate::system::TxnId;
     use crate::topology::DramLoc;
 
+    /// Tests schedule on a nonzero channel index so any hardcoded
+    /// `channel: 0` attribution regression fails loudly.
+    const CH: usize = 1;
+
     fn mk_channel() -> Channel {
         Channel::new(2, 4, 1_000_000) // refresh far away
     }
@@ -320,11 +376,25 @@ mod tests {
         TimingParams::ddr4_table1()
     }
 
-    fn push(ch: &mut Channel, id: u64, kind: TxnKind, rank: usize, bank: usize, row: u64, now: Cycle) {
+    fn push(
+        ch: &mut Channel,
+        id: u64,
+        kind: TxnKind,
+        rank: usize,
+        bank: usize,
+        row: u64,
+        now: Cycle,
+    ) {
         ch.queue.push(Txn {
             id: TxnId(id),
             kind,
-            loc: DramLoc { channel: 0, rank, bank, row, col: 0 },
+            loc: DramLoc {
+                channel: CH,
+                rank,
+                bank,
+                row,
+                col: 0,
+            },
             bursts_left: 1,
             meta: 0,
             enqueued_at: now,
@@ -332,12 +402,20 @@ mod tests {
         });
     }
 
-    fn run_until_issue(ch: &mut Channel, timing: &TimingParams, from: Cycle, stats: &mut DramStats) -> (Cycle, IssuedCmd) {
+    fn run_until_issue(
+        ch: &mut Channel,
+        timing: &TimingParams,
+        from: Cycle,
+        stats: &mut DramStats,
+    ) -> (Cycle, IssuedCmd) {
         let mut now = from;
         loop {
             let mut issued = Vec::new();
-            let _ = schedule_slot(ch, 0, timing, now, 64, stats, &mut issued);
+            let _ = schedule_slot(ch, CH, timing, now, 64, stats, &mut issued);
             if let Some(c) = issued.last() {
+                for c in &issued {
+                    assert_eq!(c.loc.channel, CH, "command attributed to the wrong channel");
+                }
                 return (now, *c);
             }
             now += timing.cmd_clock_divisor;
@@ -355,7 +433,10 @@ mod tests {
         assert_eq!(c0.kind, IssuedKind::Activate);
         let (t1, c1) = run_until_issue(&mut ch, &timing, t0 + 2, &mut stats);
         assert_eq!(c1.kind, IssuedKind::Read);
-        assert!(t1 >= t0 + timing.t_rcd, "read at {t1} violates tRCD after ACT at {t0}");
+        assert!(
+            t1 >= t0 + timing.t_rcd,
+            "read at {t1} violates tRCD after ACT at {t0}"
+        );
     }
 
     #[test]
@@ -418,7 +499,11 @@ mod tests {
         let (t0, _) = run_until_issue(&mut ch, &timing, 0, &mut stats);
         let (t1, c1) = run_until_issue(&mut ch, &timing, t0 + 2, &mut stats);
         assert_eq!(c1.kind, IssuedKind::Write);
-        assert_eq!(t1 - t0, timing.t_ccd, "same-row write should follow at exactly tCCD");
+        assert_eq!(
+            t1 - t0,
+            timing.t_ccd,
+            "same-row write should follow at exactly tCCD"
+        );
     }
 
     #[test]
@@ -427,10 +512,17 @@ mod tests {
         let timing = t();
         let mut stats = DramStats::default();
         push(&mut ch, 1, TxnKind::Read, 0, 0, 3, 0);
-        // Advance past the refresh due time with an empty pipeline.
-        let (t_act, c) = run_until_issue(&mut ch, &timing, 10, &mut stats);
+        // Advance past the refresh due time with an empty pipeline: the
+        // refresh itself is now an observable command.
+        let (t_ref, c) = run_until_issue(&mut ch, &timing, 10, &mut stats);
+        assert_eq!(c.kind, IssuedKind::Refresh);
+        assert_eq!(c.loc.rank, 0);
+        let (t_act, c) = run_until_issue(&mut ch, &timing, t_ref + 2, &mut stats);
         assert_eq!(c.kind, IssuedKind::Activate);
-        assert!(t_act >= 10 + timing.t_rfc, "ACT at {t_act} during refresh");
+        assert!(
+            t_act >= t_ref + timing.t_rfc,
+            "ACT at {t_act} during refresh"
+        );
         assert_eq!(stats.energy.refreshes, 1);
     }
 
@@ -449,9 +541,10 @@ mod tests {
         let mut now = 0;
         while acts.len() < 4 {
             let mut issued = Vec::new();
-            let _ = schedule_slot(&mut ch, 0, &timing, now, 64, &mut stats, &mut issued);
+            let _ = schedule_slot(&mut ch, CH, &timing, now, 64, &mut stats, &mut issued);
             for c in issued {
                 if c.kind == IssuedKind::Activate {
+                    assert_eq!(c.loc.channel, CH);
                     acts.push(now);
                 }
             }

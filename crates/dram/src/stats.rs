@@ -55,6 +55,11 @@ pub struct DramStats {
     pub col_cmds: u64,
     /// Demand activates (each one is a row miss for some transaction).
     pub demand_acts: u64,
+    /// Timing-audit violations observed so far. Always 0 when the
+    /// runtime audit is disabled; see [`crate::TimingAuditor`] and
+    /// [`crate::AuditStats`] for the full per-rule breakdown.
+    #[serde(default)]
+    pub audit_violations: u64,
 }
 
 impl DramStats {
@@ -107,7 +112,13 @@ mod tests {
 
     #[test]
     fn events_accumulate() {
-        let mut a = DramEnergyEvents { acts: 1, pres: 2, rd_bursts: 3, wr_bursts: 4, refreshes: 5 };
+        let mut a = DramEnergyEvents {
+            acts: 1,
+            pres: 2,
+            rd_bursts: 3,
+            wr_bursts: 4,
+            refreshes: 5,
+        };
         let b = a;
         a.add(&b);
         assert_eq!(a.acts, 2);
@@ -125,23 +136,38 @@ mod tests {
 
     #[test]
     fn byte_totals_sum_directions() {
-        let s = DramStats { bytes_read: 10, bytes_written: 5, ..Default::default() };
+        let s = DramStats {
+            bytes_read: 10,
+            bytes_written: 5,
+            ..Default::default()
+        };
         assert_eq!(s.bytes_total(), 15);
     }
 
     #[test]
     fn row_hit_rate_derives_from_cols_and_acts() {
-        let s = DramStats { col_cmds: 10, demand_acts: 3, ..Default::default() };
+        let s = DramStats {
+            col_cmds: 10,
+            demand_acts: 3,
+            ..Default::default()
+        };
         assert!((s.row_hit_rate() - 0.7).abs() < 1e-12);
         assert_eq!(DramStats::default().row_hit_rate(), 0.0);
         // More ACTs than columns (multi-burst corner) clamps to 0.
-        let s = DramStats { col_cmds: 2, demand_acts: 5, ..Default::default() };
+        let s = DramStats {
+            col_cmds: 2,
+            demand_acts: 5,
+            ..Default::default()
+        };
         assert_eq!(s.row_hit_rate(), 0.0);
     }
 
     #[test]
     fn bus_utilization_normalises_by_channels_and_time() {
-        let s = DramStats { bus_busy_cycles: 500, ..Default::default() };
+        let s = DramStats {
+            bus_busy_cycles: 500,
+            ..Default::default()
+        };
         assert!((s.bus_utilization(2, 1000) - 0.25).abs() < 1e-12);
         assert_eq!(s.bus_utilization(0, 1000), 0.0);
         assert_eq!(s.bus_utilization(2, 0), 0.0);

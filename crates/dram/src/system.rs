@@ -1,6 +1,7 @@
 //! The public DRAM-system facade: enqueue transactions, tick, drain
 //! completions.
 
+use crate::audit::{AuditStats, TimingAuditor};
 use crate::channel::{Channel, Txn};
 use crate::config::DramConfig;
 use crate::scheduler::schedule_slot;
@@ -41,6 +42,9 @@ pub enum IssuedKind {
     Read,
     /// Column write burst.
     Write,
+    /// Per-rank all-bank refresh (REF). The `bank`/`row`/`col` fields of
+    /// its location are 0 — a refresh addresses the whole rank.
+    Refresh,
 }
 
 /// A command issued by the scheduler, visible to controllers that snoop
@@ -82,6 +86,9 @@ pub struct DramSystem {
     next_txn: u64,
     pending: usize,
     record_cmds: bool,
+    /// Present only when the runtime timing audit is enabled; boxed so
+    /// the audit-off system carries a single pointer of overhead.
+    auditor: Option<Box<TimingAuditor>>,
 }
 
 impl DramSystem {
@@ -100,6 +107,9 @@ impl DramSystem {
         let channels = (0..cfg.topology.channels)
             .map(|_| Channel::new(cfg.topology.ranks, cfg.topology.banks, stagger))
             .collect();
+        let auditor = cfg
+            .audit
+            .then(|| Box::new(TimingAuditor::new(&cfg.topology, cfg.timing)));
         Self {
             cfg,
             channels,
@@ -109,6 +119,36 @@ impl DramSystem {
             next_txn: 0,
             pending: 0,
             record_cmds: false,
+            auditor,
+        }
+    }
+
+    /// Enables or disables the runtime timing audit. Enabling constructs
+    /// a fresh [`TimingAuditor`] (its view starts at the current device
+    /// state boundary); disabling drops all audit state.
+    pub fn set_timing_audit(&mut self, on: bool) {
+        self.cfg.audit = on;
+        self.auditor =
+            on.then(|| Box::new(TimingAuditor::new(&self.cfg.topology, self.cfg.timing)));
+    }
+
+    /// The audit verdict so far, when the audit is enabled.
+    pub fn audit_stats(&self) -> Option<&AuditStats> {
+        self.auditor.as_deref().map(TimingAuditor::stats)
+    }
+
+    /// Feeds one raw command straight to the auditor (and, when command
+    /// recording is on, into the observable stream) as if the scheduler
+    /// had emitted it. This is the fault-injection hook: tests use it to
+    /// prove the audit actually fires on an illegal command. It does not
+    /// touch device state, so the scheduled stream stays legal.
+    pub fn inject_raw_cmd(&mut self, cmd: IssuedCmd) {
+        if let Some(a) = self.auditor.as_deref_mut() {
+            a.observe(&cmd);
+            self.stats.audit_violations = a.stats().violations;
+        }
+        if self.record_cmds {
+            self.issued_cmds.push(cmd);
         }
     }
 
@@ -205,7 +245,9 @@ impl DramSystem {
     /// (0 when it is not refreshing).
     pub fn rank_refresh_remaining(&self, addr: PhysAddr, now: Cycle) -> Cycle {
         let loc = self.decode_addr(addr);
-        self.channels[loc.channel].ranks[loc.rank].refreshing_until.saturating_sub(now)
+        self.channels[loc.channel].ranks[loc.rank]
+            .refreshing_until
+            .saturating_sub(now)
     }
 
     /// Charges a *free-riding* write burst: a tag/r-count update that
@@ -220,8 +262,7 @@ impl DramSystem {
         ch.bus_free_at = start + t.t_bl;
         let bank = &mut ch.banks[loc.rank][loc.bank];
         bank.ready_pre = bank.ready_pre.max(ch.bus_free_at + t.t_wr);
-        ch.ranks[loc.rank].ready_read =
-            ch.ranks[loc.rank].ready_read.max(ch.bus_free_at + t.t_wtr);
+        ch.ranks[loc.rank].ready_read = ch.ranks[loc.rank].ready_read.max(ch.bus_free_at + t.t_wtr);
         self.stats.energy.wr_bursts += 1;
         self.stats.bytes_written += self.cfg.topology.bytes_per_burst as u64;
         self.stats.bus_busy_cycles += t.t_bl;
@@ -237,9 +278,12 @@ impl DramSystem {
     /// Advances the system to CPU cycle `now`. Call with monotonically
     /// non-decreasing values; work happens on command-clock edges only.
     pub fn tick(&mut self, now: Cycle) {
-        if now % self.cfg.timing.cmd_clock_divisor != 0 {
+        if !now.is_multiple_of(self.cfg.timing.cmd_clock_divisor) {
             return;
         }
+        // Commands already in the buffer were audited when they were
+        // emitted (or injected); only this slot's additions are new.
+        let audit_mark = self.issued_cmds.len();
         let mut all_empty = true;
         for ci in 0..self.channels.len() {
             let ch = &mut self.channels[ci];
@@ -285,6 +329,12 @@ impl DramSystem {
         if all_empty {
             self.stats.empty_slot_samples += 1;
         }
+        if let Some(a) = self.auditor.as_deref_mut() {
+            for cmd in &self.issued_cmds[audit_mark..] {
+                a.observe(cmd);
+            }
+            self.stats.audit_violations = a.stats().violations;
+        }
         if !self.record_cmds {
             self.issued_cmds.clear();
         }
@@ -311,6 +361,9 @@ impl DramSystem {
     /// state are untouched.
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
+        if let Some(a) = self.auditor.as_deref_mut() {
+            a.reset_stats();
+        }
     }
 }
 
@@ -360,7 +413,11 @@ mod tests {
     fn writes_and_reads_both_complete() {
         let mut d = DramSystem::new(DramConfig::ddr4_table1());
         for i in 0..20u64 {
-            let kind = if i % 3 == 0 { TxnKind::Write } else { TxnKind::Read };
+            let kind = if i % 3 == 0 {
+                TxnKind::Write
+            } else {
+                TxnKind::Read
+            };
             d.enqueue(PhysAddr::new(i * 64), kind, i, 1, 0);
         }
         let (done, _) = run_to_completion(&mut d, 0);
@@ -382,7 +439,11 @@ mod tests {
         let b = done.iter().find(|c| c.meta == 1).unwrap().done_at;
         let t = d.config().timing;
         assert!(b > a);
-        assert!(b - a <= t.t_ccd + t.cmd_clock_divisor, "row hit gap {} too large", b - a);
+        assert!(
+            b - a <= t.t_ccd + t.cmd_clock_divisor,
+            "row hit gap {} too large",
+            b - a
+        );
     }
 
     #[test]

@@ -37,13 +37,29 @@ impl Topology {
         bytes_per_burst: usize,
         capacity_bytes: u64,
     ) -> Self {
-        assert!(channels > 0 && ranks > 0 && banks > 0, "dimensions must be nonzero");
-        assert!(row_bytes.is_power_of_two(), "row_bytes must be a power of two");
-        assert!(bytes_per_burst.is_power_of_two(), "bytes_per_burst must be a power of two");
+        assert!(
+            channels > 0 && ranks > 0 && banks > 0,
+            "dimensions must be nonzero"
+        );
+        assert!(
+            row_bytes.is_power_of_two(),
+            "row_bytes must be a power of two"
+        );
+        assert!(
+            bytes_per_burst.is_power_of_two(),
+            "bytes_per_burst must be a power of two"
+        );
         let denom = (channels * ranks * banks * row_bytes) as u64;
         let rows = capacity_bytes / denom;
         assert!(rows >= 1, "capacity too small for topology");
-        Self { channels, ranks, banks, rows: rows as usize, row_bytes, bytes_per_burst }
+        Self {
+            channels,
+            ranks,
+            banks,
+            rows: rows as usize,
+            row_bytes,
+            bytes_per_burst,
+        }
     }
 
     /// Total capacity in bytes.
@@ -133,7 +149,13 @@ pub fn decode(topology: &Topology, mapping: AddressMapping, addr: PhysAddr) -> D
     } else {
         bank
     };
-    DramLoc { channel, rank, bank, row, col }
+    DramLoc {
+        channel,
+        rank,
+        bank,
+        row,
+        col,
+    }
 }
 
 #[cfg(test)]
@@ -141,7 +163,14 @@ mod tests {
     use super::*;
 
     fn small() -> Topology {
-        Topology { channels: 2, ranks: 2, banks: 4, rows: 8, row_bytes: 1024, bytes_per_burst: 64 }
+        Topology {
+            channels: 2,
+            ranks: 2,
+            banks: 4,
+            rows: 8,
+            row_bytes: 1024,
+            bytes_per_burst: 64,
+        }
     }
 
     #[test]
@@ -184,13 +213,33 @@ mod tests {
         let t = small();
         let stride = (t.channels * t.banks) as u64 * 64; // bank-conflict stride
         let plain: std::collections::HashSet<usize> = (0..16)
-            .map(|i| decode(&t, AddressMapping::RowRankBankColChan, PhysAddr::new(i * stride * 4)).bank)
+            .map(|i| {
+                decode(
+                    &t,
+                    AddressMapping::RowRankBankColChan,
+                    PhysAddr::new(i * stride * 4),
+                )
+                .bank
+            })
             .collect();
         let hashed: std::collections::HashSet<usize> = (0..16)
-            .map(|i| decode(&t, AddressMapping::XorBankHash, PhysAddr::new(i * stride * 4)).bank)
+            .map(|i| {
+                decode(
+                    &t,
+                    AddressMapping::XorBankHash,
+                    PhysAddr::new(i * stride * 4),
+                )
+                .bank
+            })
             .collect();
-        assert!(hashed.len() >= plain.len(), "XOR hash must not reduce bank spread");
-        assert!(hashed.len() > 1, "XOR hash should break the single-bank stride");
+        assert!(
+            hashed.len() >= plain.len(),
+            "XOR hash must not reduce bank spread"
+        );
+        assert!(
+            hashed.len() > 1,
+            "XOR hash should break the single-bank stride"
+        );
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Proves the zero-cost claims of the audit layer: `observe()` performs
+//! no heap allocation per command (all auditor state is preallocated at
+//! construction), and a disabled audit exposes no auditor at all.
+//!
+//! This file deliberately contains a single `#[test]`: the counting
+//! allocator below is process-global, and a concurrently running test
+//! would pollute the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use redcache_dram::{DramConfig, DramSystem, TimingAuditor, TxnKind};
+use redcache_types::PhysAddr;
+
+#[test]
+fn observe_is_allocation_free() {
+    // Generate a realistic legal command stream first (with the audit
+    // off), so the measured loop below is pure observation.
+    let mut cfg = DramConfig::ddr4_scaled(64 << 20);
+    cfg.refresh_enabled = true;
+    cfg.audit = false;
+    let topology = cfg.topology;
+    let timing = cfg.timing;
+    let capacity = topology.capacity_bytes();
+    let mut d = DramSystem::new(cfg);
+    assert!(d.audit_stats().is_none(), "disabled audit must not exist");
+    d.set_cmd_recording(true);
+    let mut now = 0;
+    for i in 0..400u64 {
+        let kind = if i % 3 == 0 {
+            TxnKind::Write
+        } else {
+            TxnKind::Read
+        };
+        d.enqueue(PhysAddr::new((i * 0x1_2345) % capacity), kind, i, 1, now);
+        d.tick(now);
+        now += 1;
+    }
+    while d.pending() > 0 {
+        d.tick(now);
+        now += 1;
+        assert!(now < 10_000_000, "scheduler deadlock");
+    }
+    let cmds = d.take_issued_cmds();
+    // 400 single-burst transactions guarantee >= 400 column commands
+    // alone, before ACT/PRE/REF traffic.
+    assert!(
+        cmds.len() >= 400,
+        "stream too small to be a meaningful measurement"
+    );
+
+    // All auditor allocation happens here, in the constructor.
+    let mut auditor = TimingAuditor::new(&topology, timing);
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for c in &cmds {
+        auditor.observe(c);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "observe() allocated {} time(s) over {} commands",
+        after - before,
+        cmds.len()
+    );
+    assert_eq!(auditor.stats().cmds_audited, cmds.len() as u64);
+    assert!(
+        auditor.stats().clean(),
+        "legal stream flagged: {:?}",
+        auditor.stats().first_violation
+    );
+}

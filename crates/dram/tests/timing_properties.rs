@@ -6,7 +6,9 @@
 //! so a bug in the scheduler's bookkeeping cannot hide itself.
 
 use proptest::prelude::*;
-use redcache_dram::{DramConfig, DramSystem, IssuedCmd, IssuedKind, TimingParams, TxnKind};
+use redcache_dram::{
+    DramConfig, DramSystem, IssuedCmd, IssuedKind, TimingParams, Topology, TxnKind,
+};
 use redcache_types::{Cycle, PhysAddr};
 use std::collections::HashMap;
 
@@ -24,6 +26,7 @@ fn check_stream(cmds: &[IssuedCmd], t: &TimingParams) {
     let mut banks: HashMap<(usize, usize, usize), BankShadow> = HashMap::new();
     let mut rank_acts: HashMap<(usize, usize), Vec<Cycle>> = HashMap::new();
     let mut rank_wr_data_end: HashMap<(usize, usize), Cycle> = HashMap::new();
+    let mut rank_refreshing: HashMap<(usize, usize), Cycle> = HashMap::new();
     let mut chan_last_col: HashMap<usize, Cycle> = HashMap::new();
     let mut chan_bus_free: HashMap<usize, Cycle> = HashMap::new();
 
@@ -31,7 +34,30 @@ fn check_stream(cmds: &[IssuedCmd], t: &TimingParams) {
         let bkey = (c.loc.channel, c.loc.rank, c.loc.bank);
         let rkey = (c.loc.channel, c.loc.rank);
         let now = c.cycle;
-        assert_eq!(now % t.cmd_clock_divisor, 0, "command off the command clock at {now}");
+        assert_eq!(
+            now % t.cmd_clock_divisor,
+            0,
+            "command off the command clock at {now}"
+        );
+        // No command may land inside a rank's tRFC refresh window. The
+        // refresh-forced precharges are emitted before REF in stream
+        // order, so they are naturally outside the window.
+        if c.kind == IssuedKind::Refresh {
+            let until = rank_refreshing.get(&rkey).copied().unwrap_or(0);
+            assert!(now >= until, "REF at {now} to a rank already refreshing");
+            for ((ch, rk, _), bs) in banks.iter() {
+                if (*ch, *rk) == rkey {
+                    assert!(!bs.open, "REF at {now} with an open bank in the rank");
+                }
+            }
+            rank_refreshing.insert(rkey, now + t.t_rfc);
+            continue;
+        }
+        let until = rank_refreshing.get(&rkey).copied().unwrap_or(0);
+        assert!(
+            now >= until,
+            "command at {now} inside refresh window (until {until})"
+        );
         let b = banks.entry(bkey).or_default();
         match c.kind {
             IssuedKind::Activate => {
@@ -46,8 +72,7 @@ fn check_stream(cmds: &[IssuedCmd], t: &TimingParams) {
                 if let Some(&prev) = acts.last() {
                     assert!(now >= prev + t.t_rrd, "tRRD violated at {now}");
                 }
-                let in_window =
-                    acts.iter().filter(|&&a| a + t.t_faw > now).count();
+                let in_window = acts.iter().filter(|&&a| a + t.t_faw > now).count();
                 assert!(in_window < 4, "tFAW violated at {now}");
                 acts.push(now);
                 b.open = true;
@@ -79,7 +104,10 @@ fn check_stream(cmds: &[IssuedCmd], t: &TimingParams) {
                     _ => (now + t.t_cwd, now + t.t_cwd + t.t_bl),
                 };
                 let free = chan_bus_free.entry(c.loc.channel).or_insert(0);
-                assert!(start >= *free, "data bus overlap at {now}: start {start} < free {free}");
+                assert!(
+                    start >= *free,
+                    "data bus overlap at {now}: start {start} < free {free}"
+                );
                 *free = end;
                 match c.kind {
                     IssuedKind::Read => {
@@ -94,6 +122,7 @@ fn check_stream(cmds: &[IssuedCmd], t: &TimingParams) {
                     }
                 }
             }
+            IssuedKind::Refresh => unreachable!("handled above"),
         }
     }
 }
@@ -107,11 +136,24 @@ fn small_config(wideio: bool) -> DramConfig {
     // Refresh left on: the checker must hold across refresh boundaries
     // too (refresh closes rows; subsequent ACTs re-open them).
     cfg.refresh_enabled = true;
+    // Runtime audit on: every property doubles as a cross-validation of
+    // the TimingAuditor against this file's independent replay checker.
+    cfg.audit = true;
+    cfg
+}
+
+/// A DDR4-timing configuration with four channels, so channel
+/// attribution bugs (commands tagged with the wrong channel) corrupt
+/// the per-channel tCCD/bus checks and fail loudly.
+fn multi_channel_config() -> DramConfig {
+    let mut cfg = small_config(false);
+    cfg.topology = Topology::from_capacity(4, 2, 8, 8192, 64, 64 << 20);
     cfg
 }
 
 fn run_mix(cfg: DramConfig, txns: &[(u64, bool, u8)]) -> (Vec<IssuedCmd>, TimingParams) {
     let timing = cfg.timing;
+    let audited = cfg.audit;
     let capacity = cfg.topology.capacity_bytes();
     let mut d = DramSystem::new(cfg);
     d.set_cmd_recording(true);
@@ -123,7 +165,11 @@ fn run_mix(cfg: DramConfig, txns: &[(u64, bool, u8)]) -> (Vec<IssuedCmd>, Timing
         // Inject a new transaction every few cycles.
         if now % 8 == 0 {
             if let Some(&(addr, is_write, bursts)) = next {
-                let kind = if is_write { TxnKind::Write } else { TxnKind::Read };
+                let kind = if is_write {
+                    TxnKind::Write
+                } else {
+                    TxnKind::Read
+                };
                 let b = (bursts % 4) as u32 + 1;
                 d.enqueue(PhysAddr::new(addr % capacity), kind, queued as u64, b, now);
                 queued += 1;
@@ -133,6 +179,16 @@ fn run_mix(cfg: DramConfig, txns: &[(u64, bool, u8)]) -> (Vec<IssuedCmd>, Timing
         d.tick(now);
         now += 1;
         assert!(now < 50_000_000, "scheduler deadlock");
+    }
+    if audited {
+        let a = d.audit_stats().expect("audit enabled");
+        assert!(
+            a.clean(),
+            "runtime auditor disagrees with the replay checker: {} violations, first {:?}",
+            a.violations,
+            a.first_violation
+        );
+        assert_eq!(d.stats().audit_violations, 0);
     }
     (d.take_issued_cmds(), timing)
 }
@@ -200,5 +256,155 @@ proptest! {
         // Completion timestamps never precede enqueue order by more than
         // the pipeline allows (sanity: all strictly positive).
         prop_assert!(done.iter().all(|c| c.done_at > 0));
+    }
+}
+
+/// Deterministic replay of the shrunken failure case checked into
+/// `timing_properties.proptest-regressions`. The proptest runner replays
+/// that seed through the RNG, which is sensitive to strategy changes;
+/// this test pins the exact shrunken transaction mix verbatim so the
+/// historical failure stays covered even if the strategies evolve.
+#[test]
+fn regression_seed_replays_clean() {
+    const SEED_TXNS: [(u64, bool, u8); 100] = [
+        (3421527881872869776, true, 43),
+        (5911896574355304760, true, 219),
+        (15575238159561347043, true, 102),
+        (13285221057439491152, false, 163),
+        (16304760475176611573, false, 254),
+        (9512711805335671659, true, 135),
+        (11591169208965952586, true, 4),
+        (101615201663310777, true, 92),
+        (18401162023938887485, true, 206),
+        (8669770081069379626, false, 96),
+        (13456138453892338706, false, 135),
+        (8866108754132752854, true, 132),
+        (8579692609156526068, false, 134),
+        (806402800028910018, false, 254),
+        (9958102452384119968, true, 42),
+        (10832733478766149253, true, 144),
+        (13528501312037570966, true, 110),
+        (4600434042210209671, true, 57),
+        (3073476364164708137, true, 111),
+        (13850734319839029032, true, 149),
+        (13514779440260877987, true, 189),
+        (9444729357892282446, false, 14),
+        (3449180842693600733, false, 1),
+        (14146130720837175750, true, 103),
+        (16172987260254158436, true, 17),
+        (685951462987504825, false, 175),
+        (4215560755892380956, false, 229),
+        (3481364551261212411, false, 111),
+        (10710020149271628700, false, 254),
+        (3362633110275829990, true, 47),
+        (11056117604711414465, false, 158),
+        (15826023834810902789, false, 223),
+        (16702644434422295714, true, 6),
+        (11422016640324279765, true, 27),
+        (12478136847579622984, false, 200),
+        (7046706276242757206, false, 185),
+        (18011694902586890493, false, 236),
+        (14667040285566650638, true, 185),
+        (14133835935384156204, false, 203),
+        (11282538624983213831, true, 241),
+        (17211649094717078279, false, 133),
+        (9309375407156156510, true, 85),
+        (9996999684300345636, true, 26),
+        (20126706902101729, false, 187),
+        (362700578603806746, true, 16),
+        (17216376396538195426, false, 53),
+        (14897845418217802864, false, 26),
+        (14828601955907374455, false, 87),
+        (10533387018348900508, true, 190),
+        (11984016800300291786, false, 132),
+        (10968136801389348129, false, 93),
+        (7611169625714813419, false, 233),
+        (16674871556005724472, false, 69),
+        (3798911631701136270, true, 84),
+        (1344979876501485426, true, 32),
+        (9606938795700906714, false, 164),
+        (7339191258631931710, false, 212),
+        (543113202188895879, false, 46),
+        (2881307454065498113, false, 189),
+        (17915527416019412763, true, 76),
+        (2589423655208894504, true, 196),
+        (1676520692929262143, false, 213),
+        (15395244062415644332, false, 240),
+        (5642987906731373585, true, 9),
+        (7333118104444911555, false, 195),
+        (3066273493199964847, true, 251),
+        (7441007336884393395, true, 150),
+        (4296966398117978098, true, 254),
+        (16771667903273445005, true, 87),
+        (1597186525052528746, false, 189),
+        (10193439409792333224, true, 71),
+        (18159228868664302349, true, 108),
+        (3647615397524859393, false, 228),
+        (8831280639264159090, true, 192),
+        (5852570615876979029, true, 104),
+        (1574932103844213247, true, 50),
+        (10650696671428635693, false, 66),
+        (12859562780622255878, false, 92),
+        (17000805457670888588, false, 80),
+        (16313886873586377597, true, 235),
+        (8782622102422800747, true, 111),
+        (11916201468623917585, true, 8),
+        (8470835813105630387, false, 123),
+        (5256661503258228536, true, 228),
+        (7718746097985796648, false, 147),
+        (6322418535507001510, true, 133),
+        (2201854216583801566, true, 148),
+        (821186000618907152, false, 47),
+        (11542408888010333266, false, 165),
+        (5295227864244317568, true, 252),
+        (1565406270776871826, false, 209),
+        (11619774934836011758, true, 108),
+        (4702584756216942183, true, 28),
+        (4477440332378530242, false, 226),
+        (2985454911808989828, false, 13),
+        (11861565646555931957, true, 20),
+        (8897656683368772755, false, 204),
+        (5232658652964084189, true, 15),
+        (5570520471139665521, false, 8),
+        (403428215670555257, false, 61),
+    ];
+    for wideio in [false, true] {
+        let (cmds, t) = run_mix(small_config(wideio), &SEED_TXNS);
+        check_stream(&cmds, &t);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ddr4_multi_channel_command_stream_is_legal(
+        txns in prop::collection::vec((any::<u64>(), any::<bool>(), any::<u8>()), 1..120)
+    ) {
+        let cfg = multi_channel_config();
+        let channels = cfg.topology.channels;
+        let capacity = cfg.topology.capacity_bytes();
+        // Channel bits sit directly above the burst offset, so the
+        // expected channel of each transaction is derivable from its
+        // address alone.
+        let expected: std::collections::HashSet<usize> = txns
+            .iter()
+            .map(|&(addr, _, _)| ((addr % capacity) as usize / 64) % channels)
+            .collect();
+        let (cmds, t) = run_mix(cfg, &txns);
+        check_stream(&cmds, &t);
+        let mut col_channels = std::collections::HashSet::new();
+        for c in &cmds {
+            prop_assert!(c.loc.channel < channels, "channel {} out of range", c.loc.channel);
+            if matches!(c.kind, IssuedKind::Read | IssuedKind::Write) {
+                col_channels.insert(c.loc.channel);
+            }
+        }
+        // Every channel the address map routes to must see at least one
+        // column command, and no column command may appear on a channel
+        // no transaction was routed to (refresh fires everywhere, so it
+        // is excluded from the attribution check).
+        prop_assert_eq!(&col_channels, &expected,
+            "column-command channels disagree with the address map");
     }
 }

@@ -265,7 +265,13 @@ mod tests {
 
     fn stats(acts: u64, rd: u64, wr: u64, refr: u64, bytes: u64) -> DramStats {
         DramStats {
-            energy: DramEnergyEvents { acts, pres: acts, rd_bursts: rd, wr_bursts: wr, refreshes: refr },
+            energy: DramEnergyEvents {
+                acts,
+                pres: acts,
+                rd_bursts: rd,
+                wr_bursts: wr,
+                refreshes: refr,
+            },
             bytes_read: bytes / 2,
             bytes_written: bytes / 2,
             ..Default::default()
@@ -275,8 +281,18 @@ mod tests {
     #[test]
     fn energy_is_monotone_in_events() {
         let m = EnergyModel::default();
-        let lo = m.dram_energy(&DramEnergyConsts::hbm(), &stats(10, 10, 10, 1, 1000), 1000, 8);
-        let hi = m.dram_energy(&DramEnergyConsts::hbm(), &stats(20, 20, 20, 2, 2000), 1000, 8);
+        let lo = m.dram_energy(
+            &DramEnergyConsts::hbm(),
+            &stats(10, 10, 10, 1, 1000),
+            1000,
+            8,
+        );
+        let hi = m.dram_energy(
+            &DramEnergyConsts::hbm(),
+            &stats(20, 20, 20, 2, 2000),
+            1000,
+            8,
+        );
         assert!(hi.total_j() > lo.total_j());
         assert!(hi.act_pre_j > lo.act_pre_j);
         assert!(hi.io_j > lo.io_j);
@@ -286,7 +302,9 @@ mod tests {
     fn off_chip_io_costs_more_than_hbm_io() {
         // The premise of in-package caching: moving a byte over DDR pins
         // costs several times more than over WideIO.
-        assert!(DramEnergyConsts::ddr4().io_j_per_byte > 3.0 * DramEnergyConsts::hbm().io_j_per_byte);
+        assert!(
+            DramEnergyConsts::ddr4().io_j_per_byte > 3.0 * DramEnergyConsts::hbm().io_j_per_byte
+        );
     }
 
     #[test]
@@ -311,7 +329,10 @@ mod tests {
             l2_accesses: 50_000,
             l3_accesses: 5_000,
         };
-        let ctl = ControllerStats { table_lookups: 10_000, ..Default::default() };
+        let ctl = ControllerStats {
+            table_lookups: 10_000,
+            ..Default::default()
+        };
         let e = m.cpu_energy(&act, &ctl);
         assert!(e.dynamic_j > 0.0);
         assert!(e.leakage_j > 0.0);
@@ -324,7 +345,12 @@ mod tests {
     #[test]
     fn system_energy_sums_components() {
         let m = EnergyModel::default();
-        let act = CpuActivity { instructions: 1000, cycles: 1000, cores: 2, ..Default::default() };
+        let act = CpuActivity {
+            instructions: 1000,
+            cycles: 1000,
+            cores: 2,
+            ..Default::default()
+        };
         let ctl = ControllerStats::default();
         let hbm = stats(5, 5, 5, 0, 640);
         let ddr = stats(3, 3, 3, 0, 384);

@@ -11,7 +11,7 @@ use crate::controller::{
 use crate::engine::{legs, Engine, LegSpec};
 use crate::predictor::RegionPredictor;
 use crate::tagstore::TagStore;
-use redcache_dram::{DramStats, TxnKind};
+use redcache_dram::{AuditStats, DramStats, TxnKind};
 use redcache_types::{AccessKind, Cycle, LineAddr, MemRequest};
 
 /// The Alloy controller.
@@ -51,8 +51,14 @@ impl AlloyController {
     fn block_versions_from_ddr(&self, line: LineAddr) -> [u64; 4] {
         let mut v = [0u64; 4];
         let first = self.tags.block_first_line(self.tags.block_of(line));
-        for (i, slot) in v.iter_mut().enumerate().take(self.tags.lines_per_block() as usize) {
-            *slot = self.sides.ddr_version(LineAddr::new(first.raw() + i as u64));
+        for (i, slot) in v
+            .iter_mut()
+            .enumerate()
+            .take(self.tags.lines_per_block() as usize)
+        {
+            *slot = self
+                .sides
+                .ddr_version(LineAddr::new(first.raw() + i as u64));
         }
         v
     }
@@ -112,7 +118,8 @@ impl AlloyController {
             e.r_count.inc();
             let version = e.versions[sub];
             let probe = self.probe_leg(line, true);
-            self.engine.start(req, version, &[probe], &mut self.sides, now, done);
+            self.engine
+                .start(req, version, &[probe], &mut self.sides, now, done);
             return;
         }
         // Miss: fetch from DDR (serialized unless predicted miss),
@@ -148,7 +155,8 @@ impl AlloyController {
         if let Some(wb) = self.retire_victim(victim, legs::DDR_WRITE) {
             legspecs.push(wb);
         }
-        self.engine.start(req, version, &legspecs, &mut self.sides, now, done);
+        self.engine
+            .start(req, version, &legspecs, &mut self.sides, now, done);
     }
 
     fn submit_writeback(&mut self, req: MemRequest, now: Cycle, done: &mut Vec<CompletedReq>) {
@@ -173,7 +181,8 @@ impl AlloyController {
                 gates_data: true,
                 deferred: true,
             };
-            self.engine.start(req, 0, &[probe, write], &mut self.sides, now, done);
+            self.engine
+                .start(req, 0, &[probe, write], &mut self.sides, now, done);
             return;
         }
         // Writeback miss: allocate (Alloy's writeback-allocate), which
@@ -212,7 +221,8 @@ impl AlloyController {
         if let Some(wb) = self.retire_victim(victim, legs::DDR_WRITE) {
             legspecs.push(wb);
         }
-        self.engine.start(req, 0, &legspecs, &mut self.sides, now, done);
+        self.engine
+            .start(req, 0, &legspecs, &mut self.sides, now, done);
     }
 }
 
@@ -232,10 +242,12 @@ impl DramCacheController for AlloyController {
         self.sides.ddr.tick(now);
         let before = done.len();
         for c in self.sides.hbm.take_completions() {
-            self.engine.on_completion(c.meta, c.done_at, &mut self.sides, done);
+            self.engine
+                .on_completion(c.meta, c.done_at, &mut self.sides, done);
         }
         for c in self.sides.ddr.take_completions() {
-            self.engine.on_completion(c.meta, c.done_at, &mut self.sides, done);
+            self.engine
+                .on_completion(c.meta, c.done_at, &mut self.sides, done);
         }
         let _ = self.engine.take_events();
         for d in &done[before..] {
@@ -261,6 +273,14 @@ impl DramCacheController for AlloyController {
 
     fn ddr_stats(&self) -> DramStats {
         *self.sides.ddr.sys.stats()
+    }
+
+    fn hbm_audit(&self) -> Option<AuditStats> {
+        self.sides.hbm_audit()
+    }
+
+    fn ddr_audit(&self) -> Option<AuditStats> {
+        self.sides.ddr_audit()
     }
 
     fn kind(&self) -> PolicyKind {
@@ -305,11 +325,17 @@ mod tests {
     fn cold_miss_then_hit() {
         let mut c = ctl();
         c.preload(LineAddr::new(3), 40);
-        c.submit(MemRequest::read(ReqId(1), LineAddr::new(3), CoreId(0), 0), 0);
+        c.submit(
+            MemRequest::read(ReqId(1), LineAddr::new(3), CoreId(0), 0),
+            0,
+        );
         let (done, t) = drive(&mut c, 0);
         assert_eq!(done[0].data_version, 40);
         assert_eq!(c.stats().hbm_misses, 1);
-        c.submit(MemRequest::read(ReqId(2), LineAddr::new(3), CoreId(0), t), t);
+        c.submit(
+            MemRequest::read(ReqId(2), LineAddr::new(3), CoreId(0), t),
+            t,
+        );
         let (done2, _) = drive(&mut c, t);
         assert_eq!(done2[0].data_version, 40);
         assert_eq!(c.stats().hbm_hits, 1);
@@ -318,12 +344,23 @@ mod tests {
     #[test]
     fn hits_are_faster_than_misses() {
         let mut c = ctl();
-        c.submit(MemRequest::read(ReqId(1), LineAddr::new(3), CoreId(0), 0), 0);
+        c.submit(
+            MemRequest::read(ReqId(1), LineAddr::new(3), CoreId(0), 0),
+            0,
+        );
         let (done, t) = drive(&mut c, 0);
         let miss_latency = done[0].latency();
-        c.submit(MemRequest::read(ReqId(2), LineAddr::new(3), CoreId(0), t), t);
+        c.submit(
+            MemRequest::read(ReqId(2), LineAddr::new(3), CoreId(0), t),
+            t,
+        );
         let (done2, _) = drive(&mut c, t);
-        assert!(done2[0].latency() < miss_latency, "{} !< {}", done2[0].latency(), miss_latency);
+        assert!(
+            done2[0].latency() < miss_latency,
+            "{} !< {}",
+            done2[0].latency(),
+            miss_latency
+        );
     }
 
     #[test]
@@ -332,7 +369,7 @@ mod tests {
         let sets = c.tags.sets() as u64;
         let a = LineAddr::new(7);
         let b = LineAddr::new(7 + sets); // same set
-        // Dirty A via writeback, then displace it with B, then read A.
+                                         // Dirty A via writeback, then displace it with B, then read A.
         c.submit(MemRequest::writeback(ReqId(1), a, CoreId(0), 0, 91), 0);
         let (_, t1) = drive(&mut c, 0);
         c.submit(MemRequest::read(ReqId(2), b, CoreId(0), t1), t1);
@@ -347,7 +384,10 @@ mod tests {
     fn every_request_probes() {
         let mut c = ctl();
         for i in 0..10u64 {
-            c.submit(MemRequest::read(ReqId(i), LineAddr::new(i), CoreId(0), 0), 0);
+            c.submit(
+                MemRequest::read(ReqId(i), LineAddr::new(i), CoreId(0), 0),
+                0,
+            );
         }
         drive(&mut c, 0);
         assert_eq!(c.stats().hbm_probes, 10);
@@ -359,13 +399,19 @@ mod tests {
         let mut cfg = PolicyConfig::scaled(PolicyKind::Alloy);
         cfg.cache_block_bytes = 256;
         let mut c = AlloyController::new(&cfg);
-        c.submit(MemRequest::read(ReqId(1), LineAddr::new(0), CoreId(0), 0), 0);
+        c.submit(
+            MemRequest::read(ReqId(1), LineAddr::new(0), CoreId(0), 0),
+            0,
+        );
         drive(&mut c, 0);
         // Probe (256 B) + fill (256 B) on WideIO; 256 B from DDR.
         assert_eq!(c.hbm_stats().unwrap().bytes_total(), 512);
         assert_eq!(c.ddr_stats().bytes_read, 256);
         // Neighbouring line now hits.
-        c.submit(MemRequest::read(ReqId(2), LineAddr::new(1), CoreId(0), 10_000), 10_000);
+        c.submit(
+            MemRequest::read(ReqId(2), LineAddr::new(1), CoreId(0), 10_000),
+            10_000,
+        );
         drive(&mut c, 10_000);
         assert_eq!(c.stats().hbm_hits, 1);
     }

@@ -16,7 +16,7 @@ use crate::controller::{
 };
 use crate::engine::{legs, Engine, LegSpec};
 use crate::tagstore::TagStore;
-use redcache_dram::{DramStats, TxnKind};
+use redcache_dram::{AuditStats, DramStats, TxnKind};
 use redcache_types::{AccessKind, Cycle, LineAddr, MemRequest};
 
 /// Epoch length (requests) for the bypass gain estimator.
@@ -121,9 +121,16 @@ impl BearController {
         }
         self.epoch_reqs = 0;
         let s = &self.sampler;
-        let fill_rate = if s.fill_accesses == 0 { 0.0 } else { s.fill_hits as f64 / s.fill_accesses as f64 };
-        let bypass_rate =
-            if s.bypass_accesses == 0 { 0.0 } else { s.bypass_hits as f64 / s.bypass_accesses as f64 };
+        let fill_rate = if s.fill_accesses == 0 {
+            0.0
+        } else {
+            s.fill_hits as f64 / s.fill_accesses as f64
+        };
+        let bypass_rate = if s.bypass_accesses == 0 {
+            0.0
+        } else {
+            s.bypass_hits as f64 / s.bypass_accesses as f64
+        };
         self.bypass_enabled = fill_rate - bypass_rate < BYPASS_COST_THRESHOLD;
         self.epochs_total += 1;
         self.epochs_bypassing += self.bypass_enabled as u64;
@@ -147,8 +154,14 @@ impl BearController {
     fn block_versions_from_ddr(&self, line: LineAddr) -> [u64; 4] {
         let mut v = [0u64; 4];
         let first = self.tags.block_first_line(self.tags.block_of(line));
-        for (i, slot) in v.iter_mut().enumerate().take(self.tags.lines_per_block() as usize) {
-            *slot = self.sides.ddr_version(LineAddr::new(first.raw() + i as u64));
+        for (i, slot) in v
+            .iter_mut()
+            .enumerate()
+            .take(self.tags.lines_per_block() as usize)
+        {
+            *slot = self
+                .sides
+                .ddr_version(LineAddr::new(first.raw() + i as u64));
         }
         v
     }
@@ -202,7 +215,8 @@ impl BearController {
                 gates_data: true,
                 deferred: false,
             };
-            self.engine.start(req, version, &[probe], &mut self.sides, now, done);
+            self.engine
+                .start(req, version, &[probe], &mut self.sides, now, done);
             return;
         }
         // Presence says absent: no probe at all (miss-probe elision).
@@ -239,7 +253,8 @@ impl BearController {
         } else {
             self.stats.fill_bypasses += 1;
         }
-        self.engine.start(req, version, &legspecs, &mut self.sides, now, done);
+        self.engine
+            .start(req, version, &legspecs, &mut self.sides, now, done);
     }
 
     fn submit_writeback(&mut self, req: MemRequest, now: Cycle, done: &mut Vec<CompletedReq>) {
@@ -265,7 +280,8 @@ impl BearController {
                 gates_data: true,
                 deferred: false,
             };
-            self.engine.start(req, 0, &[write], &mut self.sides, now, done);
+            self.engine
+                .start(req, 0, &[write], &mut self.sides, now, done);
             return;
         }
         // Writeback miss: straight to DDR (no allocate, no probe).
@@ -282,7 +298,8 @@ impl BearController {
             gates_data: true,
             deferred: false,
         };
-        self.engine.start(req, 0, &[write], &mut self.sides, now, done);
+        self.engine
+            .start(req, 0, &[write], &mut self.sides, now, done);
     }
 }
 
@@ -302,10 +319,12 @@ impl DramCacheController for BearController {
         self.sides.ddr.tick(now);
         let before = done.len();
         for c in self.sides.hbm.take_completions() {
-            self.engine.on_completion(c.meta, c.done_at, &mut self.sides, done);
+            self.engine
+                .on_completion(c.meta, c.done_at, &mut self.sides, done);
         }
         for c in self.sides.ddr.take_completions() {
-            self.engine.on_completion(c.meta, c.done_at, &mut self.sides, done);
+            self.engine
+                .on_completion(c.meta, c.done_at, &mut self.sides, done);
         }
         let _ = self.engine.take_events();
         for d in &done[before..] {
@@ -331,6 +350,14 @@ impl DramCacheController for BearController {
 
     fn ddr_stats(&self) -> DramStats {
         *self.sides.ddr.sys.stats()
+    }
+
+    fn hbm_audit(&self) -> Option<AuditStats> {
+        self.sides.hbm_audit()
+    }
+
+    fn ddr_audit(&self) -> Option<AuditStats> {
+        self.sides.ddr_audit()
     }
 
     fn kind(&self) -> PolicyKind {
@@ -387,7 +414,10 @@ mod tests {
     fn read_miss_skips_probe() {
         let mut c = ctl();
         c.preload(LineAddr::new(5), 50);
-        c.submit(MemRequest::read(ReqId(1), LineAddr::new(5), CoreId(0), 0), 0);
+        c.submit(
+            MemRequest::read(ReqId(1), LineAddr::new(5), CoreId(0), 0),
+            0,
+        );
         let (done, _) = drive(&mut c, 0);
         assert_eq!(done[0].data_version, 50);
         // Absent block: zero probe reads; WideIO only sees a fill (if any).
@@ -400,22 +430,40 @@ mod tests {
         let mut c = ctl();
         for i in 0..2000u64 {
             // Avoid the sampler groups to observe follower behaviour.
-            c.submit(MemRequest::read(ReqId(i), LineAddr::new(i * 7 + 2), CoreId(0), 0), 0);
+            c.submit(
+                MemRequest::read(ReqId(i), LineAddr::new(i * 7 + 2), CoreId(0), 0),
+                0,
+            );
         }
         drive(&mut c, 0);
         let s = c.stats();
-        assert!(s.fill_bypasses > s.fills * 3, "fills {} bypasses {}", s.fills, s.fill_bypasses);
+        assert!(
+            s.fill_bypasses > s.fills * 3,
+            "fills {} bypasses {}",
+            s.fills,
+            s.fill_bypasses
+        );
     }
 
     #[test]
     fn writeback_miss_goes_straight_to_ddr() {
         let mut c = ctl();
-        c.submit(MemRequest::writeback(ReqId(1), LineAddr::new(9), CoreId(0), 0, 7), 0);
+        c.submit(
+            MemRequest::writeback(ReqId(1), LineAddr::new(9), CoreId(0), 0, 7),
+            0,
+        );
         let (_, t) = drive(&mut c, 0);
-        assert_eq!(c.hbm_stats().unwrap().bytes_total(), 0, "no WideIO traffic for absent writeback");
+        assert_eq!(
+            c.hbm_stats().unwrap().bytes_total(),
+            0,
+            "no WideIO traffic for absent writeback"
+        );
         assert_eq!(c.ddr_stats().bytes_written, 64);
         // And the data is readable afterwards.
-        c.submit(MemRequest::read(ReqId(2), LineAddr::new(9), CoreId(0), t), t);
+        c.submit(
+            MemRequest::read(ReqId(2), LineAddr::new(9), CoreId(0), t),
+            t,
+        );
         let (done, _) = drive(&mut c, t);
         assert_eq!(done[0].data_version, 7);
     }
@@ -425,18 +473,27 @@ mod tests {
         let mut c = ctl();
         // Force a fill via the always-fill sampler group (set 0):
         // line 0 maps to set 0.
-        c.submit(MemRequest::read(ReqId(1), LineAddr::new(0), CoreId(0), 0), 0);
+        c.submit(
+            MemRequest::read(ReqId(1), LineAddr::new(0), CoreId(0), 0),
+            0,
+        );
         let (_, t) = drive(&mut c, 0);
         assert_eq!(c.stats().fills, 1);
         let rd_before = c.hbm_stats().unwrap().energy.rd_bursts;
-        c.submit(MemRequest::writeback(ReqId(2), LineAddr::new(0), CoreId(0), t, 9), t);
+        c.submit(
+            MemRequest::writeback(ReqId(2), LineAddr::new(0), CoreId(0), t, 9),
+            t,
+        );
         let (_, t2) = drive(&mut c, t);
         assert_eq!(
             c.hbm_stats().unwrap().energy.rd_bursts,
             rd_before,
             "DCP write hit must not read tags"
         );
-        c.submit(MemRequest::read(ReqId(3), LineAddr::new(0), CoreId(0), t2), t2);
+        c.submit(
+            MemRequest::read(ReqId(3), LineAddr::new(0), CoreId(0), t2),
+            t2,
+        );
         let (done, _) = drive(&mut c, t2);
         assert_eq!(done[0].data_version, 9);
     }
@@ -450,7 +507,10 @@ mod tests {
         for round in 0..6u64 {
             for i in 0..(EPOCH / 4) {
                 let line = LineAddr::new((i % 512) * 7 + 2);
-                c.submit(MemRequest::read(ReqId(round * 100_000 + i), line, CoreId(0), now), now);
+                c.submit(
+                    MemRequest::read(ReqId(round * 100_000 + i), line, CoreId(0), now),
+                    now,
+                );
                 let (_, t) = drive(&mut c, now);
                 now = t;
             }

@@ -1,7 +1,7 @@
 //! The controller trait, shared configuration, statistics, and the
 //! DRAM-side plumbing every policy reuses.
 
-use redcache_dram::{Completion, DramConfig, DramSystem, TxnKind};
+use redcache_dram::{AuditStats, Completion, DramConfig, DramSystem, TxnKind};
 use redcache_types::{AccessKind, Cycle, LineAddr, MemRequest, ReqId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -88,7 +88,10 @@ impl PolicyConfig {
     /// configuration is invalid.
     pub fn validate(&self) -> Result<(), String> {
         if ![64, 128, 256].contains(&self.cache_block_bytes) {
-            return Err(format!("unsupported cache block size {}", self.cache_block_bytes));
+            return Err(format!(
+                "unsupported cache block size {}",
+                self.cache_block_bytes
+            ));
         }
         self.hbm.validate()?;
         self.ddr.validate()?;
@@ -209,6 +212,20 @@ pub trait DramCacheController {
     /// DDR4 DRAM statistics.
     fn ddr_stats(&self) -> redcache_dram::DramStats;
 
+    /// Timing-audit results for the WideIO side, when the runtime audit
+    /// ([`redcache_dram::DramConfig::audit`]) is enabled and this
+    /// architecture has an HBM. `None` by default, so custom controllers
+    /// without audit support keep compiling.
+    fn hbm_audit(&self) -> Option<AuditStats> {
+        None
+    }
+
+    /// Timing-audit results for the DDR side, when the runtime audit is
+    /// enabled. `None` by default.
+    fn ddr_audit(&self) -> Option<AuditStats> {
+        None
+    }
+
     /// Architecture being simulated (for reports).
     fn kind(&self) -> PolicyKind;
 
@@ -241,11 +258,21 @@ pub struct MemorySide {
 impl MemorySide {
     /// Wraps a DRAM system.
     pub fn new(cfg: DramConfig) -> Self {
-        Self { sys: DramSystem::new(cfg), completions: Vec::new() }
+        Self {
+            sys: DramSystem::new(cfg),
+            completions: Vec::new(),
+        }
     }
 
     /// Enqueues a transaction tagged with `meta`.
-    pub fn issue(&mut self, addr: redcache_types::PhysAddr, kind: TxnKind, meta: u64, bursts: u32, now: Cycle) {
+    pub fn issue(
+        &mut self,
+        addr: redcache_types::PhysAddr,
+        kind: TxnKind,
+        meta: u64,
+        bursts: u32,
+        now: Cycle,
+    ) {
         self.sys.enqueue(addr, kind, meta, bursts, now);
     }
 
@@ -298,6 +325,17 @@ impl MemorySides {
     pub fn ddr_addr(&self, line: LineAddr) -> redcache_types::PhysAddr {
         let cap = self.ddr.sys.config().topology.capacity_bytes();
         redcache_types::PhysAddr::new(line.base(64).raw() % cap)
+    }
+
+    /// Snapshot of the HBM side's timing audit (when enabled) — the
+    /// shared implementation behind [`DramCacheController::hbm_audit`].
+    pub fn hbm_audit(&self) -> Option<AuditStats> {
+        self.hbm.sys.audit_stats().cloned()
+    }
+
+    /// Snapshot of the DDR side's timing audit (when enabled).
+    pub fn ddr_audit(&self) -> Option<AuditStats> {
+        self.ddr.sys.audit_stats().cloned()
     }
 }
 

@@ -128,7 +128,11 @@ impl Engine {
     }
 
     fn issue(id: u64, l: &LegSpec, sides: &mut MemorySides, now: Cycle) {
-        let side = if l.hbm { &mut sides.hbm } else { &mut sides.ddr };
+        let side = if l.hbm {
+            &mut sides.hbm
+        } else {
+            &mut sides.ddr
+        };
         side.issue(l.addr, l.kind, meta(id, l.leg), l.bursts, now);
     }
 
@@ -141,7 +145,11 @@ impl Engine {
             id: op.req.id,
             line: op.req.line,
             kind: op.req.kind,
-            data_version: if op.req.kind == AccessKind::Read { op.version } else { op.req.data_version },
+            data_version: if op.req.kind == AccessKind::Read {
+                op.version
+            } else {
+                op.req.data_version
+            },
             issued_at: op.req.issued_at,
             done_at: at,
         });
@@ -164,7 +172,11 @@ impl Engine {
         if op.data_mask & (1 << leg) != 0 {
             op.data_at = op.data_at.max(done_at);
         }
-        self.events.push(LegEvent { op: id, leg, done_at });
+        self.events.push(LegEvent {
+            op: id,
+            leg,
+            done_at,
+        });
         // Probe finished: release deferred legs.
         if leg == 0 {
             let deferred = std::mem::take(&mut op.deferred);
@@ -215,7 +227,12 @@ mod tests {
         MemorySides::new(&PolicyConfig::scaled(PolicyKind::Alloy))
     }
 
-    fn run(sides: &mut MemorySides, eng: &mut Engine, done: &mut Vec<CompletedReq>, mut now: Cycle) -> Cycle {
+    fn run(
+        sides: &mut MemorySides,
+        eng: &mut Engine,
+        done: &mut Vec<CompletedReq>,
+        mut now: Cycle,
+    ) -> Cycle {
         while eng.pending() > 0 {
             sides.hbm.tick(now);
             sides.ddr.tick(now);
@@ -241,8 +258,24 @@ mod tests {
             req,
             9,
             &[
-                LegSpec { leg: legs::PROBE, hbm: true, kind: TxnKind::Read, addr: PhysAddr::new(0), bursts: 1, gates_data: true, deferred: false },
-                LegSpec { leg: legs::DDR_READ, hbm: false, kind: TxnKind::Read, addr: PhysAddr::new(0), bursts: 1, gates_data: true, deferred: false },
+                LegSpec {
+                    leg: legs::PROBE,
+                    hbm: true,
+                    kind: TxnKind::Read,
+                    addr: PhysAddr::new(0),
+                    bursts: 1,
+                    gates_data: true,
+                    deferred: false,
+                },
+                LegSpec {
+                    leg: legs::DDR_READ,
+                    hbm: false,
+                    kind: TxnKind::Read,
+                    addr: PhysAddr::new(0),
+                    bursts: 1,
+                    gates_data: true,
+                    deferred: false,
+                },
             ],
             &mut s,
             0,
@@ -264,8 +297,24 @@ mod tests {
             req,
             5,
             &[
-                LegSpec { leg: legs::PROBE, hbm: true, kind: TxnKind::Read, addr: PhysAddr::new(0), bursts: 1, gates_data: false, deferred: false },
-                LegSpec { leg: legs::DDR_READ, hbm: false, kind: TxnKind::Read, addr: PhysAddr::new(0), bursts: 1, gates_data: true, deferred: true },
+                LegSpec {
+                    leg: legs::PROBE,
+                    hbm: true,
+                    kind: TxnKind::Read,
+                    addr: PhysAddr::new(0),
+                    bursts: 1,
+                    gates_data: false,
+                    deferred: false,
+                },
+                LegSpec {
+                    leg: legs::DDR_READ,
+                    hbm: false,
+                    kind: TxnKind::Read,
+                    addr: PhysAddr::new(0),
+                    bursts: 1,
+                    gates_data: true,
+                    deferred: true,
+                },
             ],
             &mut s,
             0,
@@ -281,7 +330,15 @@ mod tests {
         eng2.start(
             MemRequest::read(ReqId(3), LineAddr::new(4), CoreId(0), 0),
             5,
-            &[LegSpec { leg: legs::DDR_READ, hbm: false, kind: TxnKind::Read, addr: PhysAddr::new(0), bursts: 1, gates_data: true, deferred: false }],
+            &[LegSpec {
+                leg: legs::DDR_READ,
+                hbm: false,
+                kind: TxnKind::Read,
+                addr: PhysAddr::new(0),
+                bursts: 1,
+                gates_data: true,
+                deferred: false,
+            }],
             &mut s2,
             0,
             &mut done2,
@@ -299,7 +356,15 @@ mod tests {
         eng.start(
             req,
             0,
-            &[LegSpec { leg: legs::DDR_WRITE, hbm: false, kind: TxnKind::Write, addr: PhysAddr::new(0), bursts: 1, gates_data: true, deferred: false }],
+            &[LegSpec {
+                leg: legs::DDR_WRITE,
+                hbm: false,
+                kind: TxnKind::Write,
+                addr: PhysAddr::new(0),
+                bursts: 1,
+                gates_data: true,
+                deferred: false,
+            }],
             &mut s,
             0,
             &mut done,
@@ -334,9 +399,33 @@ mod tests {
                 req,
                 1,
                 &[
-                    LegSpec { leg: legs::PROBE, hbm: true, kind: TxnKind::Read, addr: PhysAddr::new(0), bursts: 1, gates_data: true, deferred: false },
-                    LegSpec { leg: legs::HBM_WRITE, hbm: true, kind: TxnKind::Write, addr: PhysAddr::new(64), bursts: 1, gates_data: write_gates, deferred: false },
-                    LegSpec { leg: legs::DDR_WRITE, hbm: false, kind: TxnKind::Write, addr: PhysAddr::new(0), bursts: 1, gates_data: write_gates, deferred: false },
+                    LegSpec {
+                        leg: legs::PROBE,
+                        hbm: true,
+                        kind: TxnKind::Read,
+                        addr: PhysAddr::new(0),
+                        bursts: 1,
+                        gates_data: true,
+                        deferred: false,
+                    },
+                    LegSpec {
+                        leg: legs::HBM_WRITE,
+                        hbm: true,
+                        kind: TxnKind::Write,
+                        addr: PhysAddr::new(64),
+                        bursts: 1,
+                        gates_data: write_gates,
+                        deferred: false,
+                    },
+                    LegSpec {
+                        leg: legs::DDR_WRITE,
+                        hbm: false,
+                        kind: TxnKind::Write,
+                        addr: PhysAddr::new(0),
+                        bursts: 1,
+                        gates_data: write_gates,
+                        deferred: false,
+                    },
                 ],
                 &mut s,
                 0,
@@ -347,6 +436,9 @@ mod tests {
         };
         let free_running = run_with(false);
         let gated = run_with(true);
-        assert!(free_running < gated, "non-gating legs must not delay the reply ({free_running} vs {gated})");
+        assert!(
+            free_running < gated,
+            "non-gating legs must not delay the reply ({free_running} vs {gated})"
+        );
     }
 }

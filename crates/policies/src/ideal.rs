@@ -7,7 +7,7 @@ use crate::controller::{
     CompletedReq, ControllerStats, DramCacheController, MemorySides, PolicyConfig, PolicyKind,
 };
 use crate::engine::{legs, Engine, LegSpec};
-use redcache_dram::{DramStats, TxnKind};
+use redcache_dram::{AuditStats, DramStats, TxnKind};
 use redcache_types::{AccessKind, Cycle, LineAddr, MemRequest, PhysAddr};
 use std::collections::HashMap;
 
@@ -118,7 +118,8 @@ impl DramCacheController for IdealController {
         self.sides.ddr.tick(now);
         let before = done.len();
         for c in self.sides.hbm.take_completions() {
-            self.engine.on_completion(c.meta, c.done_at, &mut self.sides, done);
+            self.engine
+                .on_completion(c.meta, c.done_at, &mut self.sides, done);
         }
         let _ = self.engine.take_events();
         for d in &done[before..] {
@@ -144,6 +145,14 @@ impl DramCacheController for IdealController {
 
     fn ddr_stats(&self) -> DramStats {
         *self.sides.ddr.sys.stats()
+    }
+
+    fn hbm_audit(&self) -> Option<AuditStats> {
+        self.sides.hbm_audit()
+    }
+
+    fn ddr_audit(&self) -> Option<AuditStats> {
+        self.sides.ddr_audit()
     }
 
     fn kind(&self) -> PolicyKind {
@@ -181,7 +190,10 @@ mod tests {
     fn always_hits_and_never_touches_ddr() {
         let mut c = IdealController::new(&PolicyConfig::scaled(PolicyKind::Ideal));
         for i in 0..50u64 {
-            c.submit(MemRequest::read(ReqId(i), LineAddr::new(i * 1000), CoreId(0), 0), 0);
+            c.submit(
+                MemRequest::read(ReqId(i), LineAddr::new(i * 1000), CoreId(0), 0),
+                0,
+            );
         }
         let (done, _) = drive(&mut c, 0);
         assert_eq!(done.len(), 50);
@@ -193,9 +205,15 @@ mod tests {
     #[test]
     fn write_then_read_returns_new_version() {
         let mut c = IdealController::new(&PolicyConfig::scaled(PolicyKind::Ideal));
-        c.submit(MemRequest::writeback(ReqId(1), LineAddr::new(9), CoreId(0), 0, 5), 0);
+        c.submit(
+            MemRequest::writeback(ReqId(1), LineAddr::new(9), CoreId(0), 0, 5),
+            0,
+        );
         let (_, t) = drive(&mut c, 0);
-        c.submit(MemRequest::read(ReqId(2), LineAddr::new(9), CoreId(0), t), t);
+        c.submit(
+            MemRequest::read(ReqId(2), LineAddr::new(9), CoreId(0), t),
+            t,
+        );
         let (done, _) = drive(&mut c, t);
         assert_eq!(done[0].data_version, 5);
     }
@@ -203,7 +221,10 @@ mod tests {
     #[test]
     fn writes_cost_two_hbm_accesses() {
         let mut c = IdealController::new(&PolicyConfig::scaled(PolicyKind::Ideal));
-        c.submit(MemRequest::writeback(ReqId(1), LineAddr::new(9), CoreId(0), 0, 5), 0);
+        c.submit(
+            MemRequest::writeback(ReqId(1), LineAddr::new(9), CoreId(0), 0, 5),
+            0,
+        );
         drive(&mut c, 0);
         let s = c.hbm_stats().unwrap();
         assert_eq!(s.energy.rd_bursts, 1);

@@ -53,7 +53,9 @@ pub fn build_controller(cfg: &PolicyConfig) -> Box<dyn DramCacheController> {
         PolicyKind::Alloy => Box::new(AlloyController::new(cfg)),
         PolicyKind::Bear => Box::new(BearController::new(cfg)),
         PolicyKind::Red(variant) => {
-            let red = cfg.red_override.unwrap_or_else(|| RedConfig::for_variant(variant));
+            let red = cfg
+                .red_override
+                .unwrap_or_else(|| RedConfig::for_variant(variant));
             Box::new(RedCacheController::new(cfg, red))
         }
     }

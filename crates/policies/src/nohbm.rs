@@ -5,7 +5,7 @@ use crate::controller::{
     CompletedReq, ControllerStats, DramCacheController, MemorySides, PolicyConfig, PolicyKind,
 };
 use crate::engine::{legs, Engine, LegSpec};
-use redcache_dram::{DramStats, TxnKind};
+use redcache_dram::{AuditStats, DramStats, TxnKind};
 use redcache_types::{AccessKind, Cycle, LineAddr, MemRequest};
 
 /// Controller that forwards every request to main memory.
@@ -24,7 +24,11 @@ impl NoHbmController {
     /// Panics if `cfg` fails validation.
     pub fn new(cfg: &PolicyConfig) -> Self {
         cfg.validate().expect("invalid policy config");
-        Self { sides: MemorySides::new(cfg), engine: Engine::new(), stats: ControllerStats::default() }
+        Self {
+            sides: MemorySides::new(cfg),
+            engine: Engine::new(),
+            stats: ControllerStats::default(),
+        }
     }
 }
 
@@ -82,7 +86,8 @@ impl DramCacheController for NoHbmController {
         self.sides.ddr.tick(now);
         let before = done.len();
         for c in self.sides.ddr.take_completions() {
-            self.engine.on_completion(c.meta, c.done_at, &mut self.sides, done);
+            self.engine
+                .on_completion(c.meta, c.done_at, &mut self.sides, done);
         }
         let _ = self.engine.take_events();
         for d in &done[before..] {
@@ -108,6 +113,10 @@ impl DramCacheController for NoHbmController {
 
     fn ddr_stats(&self) -> DramStats {
         *self.sides.ddr.sys.stats()
+    }
+
+    fn ddr_audit(&self) -> Option<AuditStats> {
+        self.sides.ddr_audit()
     }
 
     fn kind(&self) -> PolicyKind {
@@ -144,7 +153,10 @@ mod tests {
     fn read_returns_preloaded_version() {
         let mut c = NoHbmController::new(&PolicyConfig::scaled(PolicyKind::NoHbm));
         c.preload(LineAddr::new(10), 123);
-        c.submit(MemRequest::read(ReqId(1), LineAddr::new(10), CoreId(0), 0), 0);
+        c.submit(
+            MemRequest::read(ReqId(1), LineAddr::new(10), CoreId(0), 0),
+            0,
+        );
         let (done, _) = drive(&mut c, 0);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].data_version, 123);
@@ -155,9 +167,15 @@ mod tests {
     #[test]
     fn writeback_then_read_round_trips() {
         let mut c = NoHbmController::new(&PolicyConfig::scaled(PolicyKind::NoHbm));
-        c.submit(MemRequest::writeback(ReqId(1), LineAddr::new(5), CoreId(0), 0, 42), 0);
+        c.submit(
+            MemRequest::writeback(ReqId(1), LineAddr::new(5), CoreId(0), 0, 42),
+            0,
+        );
         let (_, t) = drive(&mut c, 0);
-        c.submit(MemRequest::read(ReqId(2), LineAddr::new(5), CoreId(0), t), t);
+        c.submit(
+            MemRequest::read(ReqId(2), LineAddr::new(5), CoreId(0), t),
+            t,
+        );
         let (done, _) = drive(&mut c, t);
         assert_eq!(done[0].data_version, 42);
         assert_eq!(c.stats().completed, 2);
@@ -167,7 +185,10 @@ mod tests {
     fn no_wideio_traffic_ever() {
         let mut c = NoHbmController::new(&PolicyConfig::scaled(PolicyKind::NoHbm));
         for i in 0..20 {
-            c.submit(MemRequest::read(ReqId(i), LineAddr::new(i * 7), CoreId(0), 0), 0);
+            c.submit(
+                MemRequest::read(ReqId(i), LineAddr::new(i * 7), CoreId(0), 0),
+                0,
+            );
         }
         drive(&mut c, 0);
         assert!(c.ddr_stats().bytes_total() > 0);

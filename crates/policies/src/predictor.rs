@@ -22,7 +22,11 @@ impl RegionPredictor {
     /// power of two), initialised weakly toward "hit".
     pub fn new(entries: usize) -> Self {
         let n = entries.next_power_of_two().max(16);
-        Self { table: vec![SatCounter::new(2, 3); n], correct: 0, wrong: 0 }
+        Self {
+            table: vec![SatCounter::new(2, 3); n],
+            correct: 0,
+            wrong: 0,
+        }
     }
 
     fn slot(&self, page: PageId) -> usize {

@@ -187,7 +187,12 @@ mod tests {
     use super::*;
 
     fn mgr(initial: u32, adapt: bool) -> AlphaManager {
-        AlphaManager::new(AlphaConfig { initial, adapt, epoch: 64, ..Default::default() })
+        AlphaManager::new(AlphaConfig {
+            initial,
+            adapt,
+            epoch: 64,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -244,7 +249,10 @@ mod tests {
             m.on_request(PageId::new(0));
         }
         let after_hot = m.alpha();
-        assert!(after_hot > 4, "hot epochs should raise alpha, got {after_hot}");
+        assert!(
+            after_hot > 4,
+            "hot epochs should raise alpha, got {after_hot}"
+        );
         // Pure streaming epochs (every page touched once) pull α back
         // toward its floor so streams are not penalised for long.
         for i in 0..16 * 4096u64 {

@@ -25,7 +25,12 @@ pub struct GammaConfig {
 
 impl Default for GammaConfig {
     fn default() -> Self {
-        Self { initial: 16, min: 4, max: 255, adapt: true }
+        Self {
+            initial: 16,
+            min: 4,
+            max: 255,
+            adapt: true,
+        }
     }
 }
 
@@ -40,7 +45,11 @@ pub struct GammaManager {
 impl GammaManager {
     /// Creates a manager with lifetime `cfg.initial`.
     pub fn new(cfg: GammaConfig) -> Self {
-        Self { cfg, gamma: cfg.initial.clamp(cfg.min, cfg.max), moves: 0 }
+        Self {
+            cfg,
+            gamma: cfg.initial.clamp(cfg.min, cfg.max),
+            moves: 0,
+        }
     }
 
     /// Current expected lifetime.
@@ -102,7 +111,10 @@ mod tests {
 
     #[test]
     fn gamma_ascends_on_long_lived_hits() {
-        let mut g = GammaManager::new(GammaConfig { initial: 16, ..Default::default() });
+        let mut g = GammaManager::new(GammaConfig {
+            initial: 16,
+            ..Default::default()
+        });
         for _ in 0..40 {
             g.on_hit(30);
         }
@@ -121,7 +133,12 @@ mod tests {
 
     #[test]
     fn gamma_respects_bounds() {
-        let mut g = GammaManager::new(GammaConfig { initial: 3, min: 2, max: 10, adapt: true });
+        let mut g = GammaManager::new(GammaConfig {
+            initial: 3,
+            min: 2,
+            max: 10,
+            adapt: true,
+        });
         for _ in 0..100 {
             g.on_lifetime_end(0);
         }
@@ -134,16 +151,27 @@ mod tests {
 
     #[test]
     fn invalidation_threshold() {
-        let g = GammaManager::new(GammaConfig { initial: 5, adapt: false, ..Default::default() });
+        let g = GammaManager::new(GammaConfig {
+            initial: 5,
+            adapt: false,
+            ..Default::default()
+        });
         assert!(!g.should_invalidate(4));
         assert!(g.should_invalidate(5));
         assert!(g.should_invalidate(6));
-        assert!(!g.should_invalidate(255), "saturated counters carry no information");
+        assert!(
+            !g.should_invalidate(255),
+            "saturated counters carry no information"
+        );
     }
 
     #[test]
     fn adaptation_can_be_disabled() {
-        let mut g = GammaManager::new(GammaConfig { initial: 7, adapt: false, ..Default::default() });
+        let mut g = GammaManager::new(GammaConfig {
+            initial: 7,
+            adapt: false,
+            ..Default::default()
+        });
         for _ in 0..10 {
             g.on_hit(100);
         }

@@ -31,7 +31,7 @@ use crate::controller::{
 use crate::engine::{legs, Engine, LegSpec};
 use crate::predictor::RegionPredictor;
 use crate::tagstore::TagStore;
-use redcache_dram::{DramStats, IssuedKind, TxnKind};
+use redcache_dram::{AuditStats, DramStats, IssuedKind, TxnKind};
 use redcache_types::{AccessKind, Cycle, LineAddr, MemRequest};
 use serde::{Deserialize, Serialize};
 
@@ -250,8 +250,14 @@ impl RedCacheController {
     fn block_versions_from_ddr(&self, line: LineAddr) -> [u64; 4] {
         let mut v = [0u64; 4];
         let first = self.tags.block_first_line(self.tags.block_of(line));
-        for (i, slot) in v.iter_mut().enumerate().take(self.tags.lines_per_block() as usize) {
-            *slot = self.sides.ddr_version(LineAddr::new(first.raw() + i as u64));
+        for (i, slot) in v
+            .iter_mut()
+            .enumerate()
+            .take(self.tags.lines_per_block() as usize)
+        {
+            *slot = self
+                .sides
+                .ddr_version(LineAddr::new(first.raw() + i as u64));
         }
         v
     }
@@ -329,7 +335,9 @@ impl RedCacheController {
     fn issue_drain(&mut self, e: RcuEntry, now: Cycle) {
         self.stats.hbm_writes += 1;
         self.drain_outstanding += 1;
-        self.sides.hbm.issue(e.hbm_addr, TxnKind::Write, DRAIN_META, self.bursts, now);
+        self.sides
+            .hbm
+            .issue(e.hbm_addr, TxnKind::Write, DRAIN_META, self.bursts, now);
     }
 
     /// Refresh bypass is only worthwhile while a substantial tRFC tail
@@ -338,7 +346,12 @@ impl RedCacheController {
     fn rank_refreshing(&self, line: LineAddr, now: Cycle) -> bool {
         const MIN_REMAINING: Cycle = 600;
         self.red.refresh_bypass
-            && self.sides.hbm.sys.rank_refresh_remaining(self.hbm_addr(line), now) >= MIN_REMAINING
+            && self
+                .sides
+                .hbm
+                .sys
+                .rank_refresh_remaining(self.hbm_addr(line), now)
+                >= MIN_REMAINING
     }
 
     fn submit_read(&mut self, req: MemRequest, now: Cycle, done: &mut Vec<CompletedReq>) {
@@ -354,7 +367,8 @@ impl RedCacheController {
             self.stats.ddr_reads += 1;
             let version = self.sides.ddr_version(line);
             let leg = self.ddr_read_leg(line, false);
-            self.engine.start(req, version, &[leg], &mut self.sides, now, done);
+            self.engine
+                .start(req, version, &[leg], &mut self.sides, now, done);
             return;
         }
         // RCU block cache: a parked TAD copy serves the read on-die.
@@ -372,20 +386,22 @@ impl RedCacheController {
                 }
                 // Refresh the parked copy so it stays coherent.
                 let _ = self.update_rcount(line, now);
-                self.engine.start(req, version, &[], &mut self.sides, now, done);
+                self.engine
+                    .start(req, version, &[], &mut self.sides, now, done);
                 return;
             }
         }
         // Refresh bypass: clean or absent data under a refreshing rank
         // is served by DDR instead of queueing behind tRFC.
         if self.rank_refreshing(line, now) {
-            let clean_resident = resident && !self.tags.entry(line).map_or(false, |e| e.dirty);
+            let clean_resident = resident && !self.tags.entry(line).is_some_and(|e| e.dirty);
             if !resident || clean_resident {
                 self.stats.refresh_bypasses += 1;
                 self.stats.ddr_reads += 1;
                 let version = self.sides.ddr_version(line);
                 let leg = self.ddr_read_leg(line, false);
-                self.engine.start(req, version, &[leg], &mut self.sides, now, done);
+                self.engine
+                    .start(req, version, &[leg], &mut self.sides, now, done);
                 return;
             }
         }
@@ -407,7 +423,8 @@ impl RedCacheController {
             if let Some(upd) = self.update_rcount(line, now) {
                 legspecs.push(upd);
             }
-            self.engine.start(req, version, &legspecs, &mut self.sides, now, done);
+            self.engine
+                .start(req, version, &legspecs, &mut self.sides, now, done);
             return;
         }
         // Miss on an eligible page: fetch from DDR and fill.
@@ -440,7 +457,8 @@ impl RedCacheController {
                 legspecs.push(wb);
             }
         }
-        self.engine.start(req, version, &legspecs, &mut self.sides, now, done);
+        self.engine
+            .start(req, version, &legspecs, &mut self.sides, now, done);
     }
 
     fn submit_writeback(&mut self, req: MemRequest, now: Cycle, done: &mut Vec<CompletedReq>) {
@@ -463,7 +481,8 @@ impl RedCacheController {
                 gates_data: true,
                 deferred: false,
             };
-            self.engine.start(req, 0, &[leg], &mut self.sides, now, done);
+            self.engine
+                .start(req, 0, &[leg], &mut self.sides, now, done);
             return;
         }
         if !resident && self.rank_refreshing(line, now) {
@@ -479,7 +498,8 @@ impl RedCacheController {
                 gates_data: true,
                 deferred: false,
             };
-            self.engine.start(req, 0, &[leg], &mut self.sides, now, done);
+            self.engine
+                .start(req, 0, &[leg], &mut self.sides, now, done);
             return;
         }
         self.stats.hbm_probes += 1;
@@ -521,7 +541,8 @@ impl RedCacheController {
                         deferred: false,
                     },
                 ];
-                self.engine.start(req, 0, &legspecs, &mut self.sides, now, done);
+                self.engine
+                    .start(req, 0, &legspecs, &mut self.sides, now, done);
                 return;
             }
             let e = self.tags.entry_mut(line).expect("hit entry");
@@ -541,12 +562,13 @@ impl RedCacheController {
                     deferred: true,
                 },
             ];
-            self.engine.start(req, 0, &legspecs, &mut self.sides, now, done);
+            self.engine
+                .start(req, 0, &legspecs, &mut self.sides, now, done);
             return;
         }
         // Write miss on an eligible page (Fig. 7 bottom right).
         self.stats.hbm_misses += 1;
-        let victim_dirty = self.tags.entry(line).map_or(false, |e| e.dirty);
+        let victim_dirty = self.tags.entry(line).is_some_and(|e| e.dirty);
         if victim_dirty {
             // Dirty victim: leave it alone, write the new data to DDR.
             self.stats.ddr_writes += 1;
@@ -563,7 +585,8 @@ impl RedCacheController {
                     deferred: false,
                 },
             ];
-            self.engine.start(req, 0, &legspecs, &mut self.sides, now, done);
+            self.engine
+                .start(req, 0, &legspecs, &mut self.sides, now, done);
             return;
         }
         // Clean (or empty) victim: evict it and install the new block.
@@ -604,7 +627,8 @@ impl RedCacheController {
                 deferred: false,
             });
         }
-        self.engine.start(req, 0, &legspecs, &mut self.sides, now, done);
+        self.engine
+            .start(req, 0, &legspecs, &mut self.sides, now, done);
     }
 
     /// RCU drain conditions (§III.C), evaluated once per tick.
@@ -679,10 +703,12 @@ impl DramCacheController for RedCacheController {
                 self.drain_outstanding -= 1;
                 continue;
             }
-            self.engine.on_completion(c.meta, c.done_at, &mut self.sides, done);
+            self.engine
+                .on_completion(c.meta, c.done_at, &mut self.sides, done);
         }
         for c in self.sides.ddr.take_completions() {
-            self.engine.on_completion(c.meta, c.done_at, &mut self.sides, done);
+            self.engine
+                .on_completion(c.meta, c.done_at, &mut self.sides, done);
         }
         let _ = self.engine.take_events();
         self.drain_rcu(now);
@@ -709,6 +735,14 @@ impl DramCacheController for RedCacheController {
 
     fn ddr_stats(&self) -> DramStats {
         *self.sides.ddr.sys.stats()
+    }
+
+    fn hbm_audit(&self) -> Option<AuditStats> {
+        self.sides.hbm_audit()
+    }
+
+    fn ddr_audit(&self) -> Option<AuditStats> {
+        self.sides.ddr_audit()
     }
 
     fn kind(&self) -> PolicyKind {

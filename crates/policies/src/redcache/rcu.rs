@@ -80,7 +80,11 @@ impl RcuQueue {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "RCU queue needs capacity");
-        Self { entries: VecDeque::with_capacity(capacity), capacity, stats: RcuStats::default() }
+        Self {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            stats: RcuStats::default(),
+        }
     }
 
     /// Statistics so far.
@@ -184,7 +188,13 @@ mod tests {
         RcuEntry {
             block,
             hbm_addr: PhysAddr::new(block * 64),
-            loc: DramLoc { channel: 0, rank: 0, bank: 0, row, col: 0 },
+            loc: DramLoc {
+                channel: 0,
+                rank: 0,
+                bank: 0,
+                row,
+                col: 0,
+            },
             versions: [0; 4],
             queued_at: 0,
         }
@@ -195,12 +205,26 @@ mod tests {
         let mut q = RcuQueue::new(4);
         q.push(entry(1, 10));
         q.push(entry(2, 20));
-        let hit = q.match_write(&DramLoc { channel: 0, rank: 0, bank: 0, row: 20, col: 3 });
+        let hit = q.match_write(&DramLoc {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row: 20,
+            col: 3,
+        });
         assert_eq!(hit.unwrap().block, 2);
         assert_eq!(q.len(), 1);
-        assert!(q
-            .match_write(&DramLoc { channel: 0, rank: 0, bank: 1, row: 10, col: 0 })
-            .is_none(), "different bank must not match");
+        assert!(
+            q.match_write(&DramLoc {
+                channel: 0,
+                rank: 0,
+                bank: 1,
+                row: 10,
+                col: 0
+            })
+            .is_none(),
+            "different bank must not match"
+        );
         assert_eq!(q.stats().piggyback_drains, 1);
     }
 

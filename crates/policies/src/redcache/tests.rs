@@ -31,7 +31,10 @@ fn ctl_with(variant: RedVariant, f: impl FnOnce(&mut RedConfig)) -> RedCacheCont
 }
 
 fn read(c: &mut RedCacheController, id: u64, line: u64, now: Cycle) -> (Vec<CompletedReq>, Cycle) {
-    c.submit(MemRequest::read(ReqId(id), LineAddr::new(line), CoreId(0), now), now);
+    c.submit(
+        MemRequest::read(ReqId(id), LineAddr::new(line), CoreId(0), now),
+        now,
+    );
     drive(c, now)
 }
 
@@ -42,7 +45,10 @@ fn write(
     version: u64,
     now: Cycle,
 ) -> (Vec<CompletedReq>, Cycle) {
-    c.submit(MemRequest::writeback(ReqId(id), LineAddr::new(line), CoreId(0), now, version), now);
+    c.submit(
+        MemRequest::writeback(ReqId(id), LineAddr::new(line), CoreId(0), now, version),
+        now,
+    );
     drive(c, now)
 }
 
@@ -63,7 +69,11 @@ fn alpha_gate_bypasses_cold_pages() {
         now = t;
     }
     assert_eq!(c.stats().hbm_bypasses, 3);
-    assert_eq!(c.stats().hbm_probes, 0, "no HBM traffic before the page qualifies");
+    assert_eq!(
+        c.stats().hbm_probes,
+        0,
+        "no HBM traffic before the page qualifies"
+    );
     // Fourth touch qualifies the page: probe + miss + fill.
     let (_, t) = read(&mut c, 3, 1, now);
     assert_eq!(c.stats().hbm_probes, 1);
@@ -145,7 +155,10 @@ fn write_miss_with_dirty_victim_bypasses() {
     now = t;
     let (_, t) = write(&mut c, 4, b, 100, now);
     now = t;
-    assert!(c.tags.contains(LineAddr::new(3)), "dirty victim must not be disturbed");
+    assert!(
+        c.tags.contains(LineAddr::new(3)),
+        "dirty victim must not be disturbed"
+    );
     assert!(!c.tags.contains(LineAddr::new(b)));
     // Both blocks' data must be readable.
     let (done, t2) = read(&mut c, 5, b, now);
@@ -206,7 +219,10 @@ fn red_basic_pays_immediate_update_writes() {
     }
     let wb = basic.hbm_stats().unwrap().energy.wr_bursts;
     let wi = insitu.hbm_stats().unwrap().energy.wr_bursts;
-    assert!(wb > wi + 5, "Red-Basic must write r-counts back ({wb} vs {wi})");
+    assert!(
+        wb > wi + 5,
+        "Red-Basic must write r-counts back ({wb} vs {wi})"
+    );
 }
 
 #[test]
@@ -227,8 +243,14 @@ fn rcu_block_cache_serves_repeated_reads_without_hbm() {
     // Third read hit should find the block parked in the RCU queue…
     // unless the idle drain already flushed it between requests. Issue
     // two back-to-back reads without draining in between.
-    c.submit(MemRequest::read(ReqId(100), LineAddr::new(3), CoreId(0), now), now);
-    c.submit(MemRequest::read(ReqId(101), LineAddr::new(3), CoreId(0), now), now);
+    c.submit(
+        MemRequest::read(ReqId(100), LineAddr::new(3), CoreId(0), now),
+        now,
+    );
+    c.submit(
+        MemRequest::read(ReqId(101), LineAddr::new(3), CoreId(0), now),
+        now,
+    );
     let (done, _) = drive(&mut c, now);
     assert_eq!(done.len(), 2);
     assert!(c.rcu_stats().block_cache_hits >= 1, "{:?}", c.rcu_stats());

@@ -65,8 +65,15 @@ impl TagStore {
     /// Panics if `sets == 0` or `lines_per_block` is not 1, 2 or 4.
     pub fn new(sets: usize, lines_per_block: u64) -> Self {
         assert!(sets > 0, "need at least one set");
-        assert!([1, 2, 4].contains(&lines_per_block), "lines_per_block must be 1, 2 or 4");
-        Self { sets: vec![None; sets], lines_per_block, occupancy: 0 }
+        assert!(
+            [1, 2, 4].contains(&lines_per_block),
+            "lines_per_block must be 1, 2 or 4"
+        );
+        Self {
+            sets: vec![None; sets],
+            lines_per_block,
+            occupancy: 0,
+        }
     }
 
     /// Number of sets.
@@ -120,8 +127,12 @@ impl TagStore {
         if old.is_none() {
             self.occupancy += 1;
         }
-        self.sets[s] =
-            Some(TagEntry { block: b, dirty, versions, r_count: SatCounter::u8_zero() });
+        self.sets[s] = Some(TagEntry {
+            block: b,
+            dirty,
+            versions,
+            r_count: SatCounter::u8_zero(),
+        });
         old
     }
 

@@ -38,7 +38,10 @@ impl PhysAddr {
     ///
     /// Panics if `block_bytes` is not a power of two.
     pub fn line(self, block_bytes: usize) -> LineAddr {
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         LineAddr(self.0 >> block_bytes.trailing_zeros())
     }
 

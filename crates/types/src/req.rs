@@ -92,13 +92,27 @@ pub struct MemRequest {
 impl MemRequest {
     /// Convenience constructor for a read request.
     pub fn read(id: ReqId, line: LineAddr, core: CoreId, now: Cycle) -> Self {
-        Self { id, line, kind: AccessKind::Read, core, issued_at: now, data_version: 0 }
+        Self {
+            id,
+            line,
+            kind: AccessKind::Read,
+            core,
+            issued_at: now,
+            data_version: 0,
+        }
     }
 
     /// Convenience constructor for a writeback request carrying payload
     /// version `version`.
     pub fn writeback(id: ReqId, line: LineAddr, core: CoreId, now: Cycle, version: u64) -> Self {
-        Self { id, line, kind: AccessKind::Writeback, core, issued_at: now, data_version: version }
+        Self {
+            id,
+            line,
+            kind: AccessKind::Writeback,
+            core,
+            issued_at: now,
+            data_version: version,
+        }
     }
 }
 

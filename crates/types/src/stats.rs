@@ -160,7 +160,11 @@ impl Histogram {
         if let Bucketing::Linear { width } = bucketing {
             assert!(width > 0, "linear bucket width must be positive");
         }
-        Self { bucketing, counts: vec![0.0; buckets], samples: 0 }
+        Self {
+            bucketing,
+            counts: vec![0.0; buckets],
+            samples: 0,
+        }
     }
 
     /// Index of the bucket holding `sample`.
@@ -261,7 +265,10 @@ impl EwmAverage {
     ///
     /// Panics if `alpha` is outside `(0, 1]` or not finite.
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha.is_finite() && alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(
+            alpha.is_finite() && alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1]"
+        );
         Self { alpha, value: None }
     }
 

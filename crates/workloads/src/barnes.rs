@@ -20,14 +20,18 @@ pub(crate) fn generate(cfg: &GenConfig) -> ThreadTraces {
     // Tree levels: level l has min(8^l, cap) nodes; cap bounds memory.
     let cap = cfg.count(64 << 10) as u64;
     let level_sizes: Vec<u64> = (0..DEPTH).map(|l| 8u64.pow(l as u32).min(cap)).collect();
-    let levels: Vec<_> = level_sizes.iter().map(|&s| layout.alloc(s * NODE_BYTES)).collect();
+    let levels: Vec<_> = level_sizes
+        .iter()
+        .map(|&s| layout.alloc(s * NODE_BYTES))
+        .collect();
     let mut b = TraceBuilder::new(cfg);
     let threads = cfg.threads as u64;
     let chunk = n_bodies / threads;
     let seed: u64 = cfg.rng(0xB42).gen();
 
     let hash = |a: u64, c: u64| -> u64 {
-        let mut x = seed ^ a.wrapping_mul(0xA24B_AED4_963E_E407) ^ c.wrapping_mul(0x9E6C_63D0_876A_68E5);
+        let mut x =
+            seed ^ a.wrapping_mul(0xA24B_AED4_963E_E407) ^ c.wrapping_mul(0x9E6C_63D0_876A_68E5);
         x ^= x >> 32;
         x.wrapping_mul(0xD6E8_FEB8_6659_FD93)
     };
@@ -97,6 +101,9 @@ mod tests {
         let max = counts.values().copied().max().unwrap();
         let s = TraceStats::from_trace(&flat);
         let mean = s.accesses as f64 / s.footprint_lines as f64;
-        assert!(max as f64 > mean * 8.0, "root node must be far hotter (max {max}, mean {mean})");
+        assert!(
+            max as f64 > mean * 8.0,
+            "root node must be far hotter (max {max}, mean {mean})"
+        );
     }
 }

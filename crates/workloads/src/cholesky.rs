@@ -40,7 +40,10 @@ pub(crate) fn generate(cfg: &GenConfig) -> ThreadTraces {
     let n = cfg.dim(768);
     let nb = (n / BLK).max(2);
     let mut layout = Layout::new();
-    let a = Blocked { base: layout.alloc((nb * nb * BLK * BLK) as u64 * ELEM), nb };
+    let a = Blocked {
+        base: layout.alloc((nb * nb * BLK * BLK) as u64 * ELEM),
+        nb,
+    };
     let mut b = TraceBuilder::new(cfg);
     let threads = cfg.threads;
 

@@ -30,12 +30,22 @@ impl GenConfig {
     /// The evaluation preset: 16 threads, full scaled footprints,
     /// ~100 k references per thread.
     pub fn scaled() -> Self {
-        Self { threads: 16, shrink: 1, budget_per_thread: 250_000, seed: 0x5EED_CAFE }
+        Self {
+            threads: 16,
+            shrink: 1,
+            budget_per_thread: 250_000,
+            seed: 0x5EED_CAFE,
+        }
     }
 
     /// A fast preset for unit tests: 4 threads, heavily shrunk arrays.
     pub fn tiny() -> Self {
-        Self { threads: 4, shrink: 8, budget_per_thread: 3_000, seed: 0x5EED_CAFE }
+        Self {
+            threads: 4,
+            shrink: 8,
+            budget_per_thread: 3_000,
+            seed: 0x5EED_CAFE,
+        }
     }
 
     /// Deterministic RNG for (workload, thread) pairs.
@@ -93,7 +103,9 @@ impl TraceBuilder {
     /// Creates builders for `cfg.threads` threads.
     pub fn new(cfg: &GenConfig) -> Self {
         Self {
-            traces: (0..cfg.threads).map(|_| Vec::with_capacity(cfg.budget_per_thread)).collect(),
+            traces: (0..cfg.threads)
+                .map(|_| Vec::with_capacity(cfg.budget_per_thread))
+                .collect(),
             budget: cfg.budget_per_thread,
         }
     }
@@ -111,14 +123,22 @@ impl TraceBuilder {
     /// Emits a load by thread `t` (silently dropped past the budget).
     pub fn load(&mut self, t: usize, addr: PhysAddr, gap: u32) {
         if self.has_budget(t) {
-            self.traces[t].push(Access { op: MemOp::Load, addr, gap });
+            self.traces[t].push(Access {
+                op: MemOp::Load,
+                addr,
+                gap,
+            });
         }
     }
 
     /// Emits a store by thread `t`.
     pub fn store(&mut self, t: usize, addr: PhysAddr, gap: u32) {
         if self.has_budget(t) {
-            self.traces[t].push(Access { op: MemOp::Store, addr, gap });
+            self.traces[t].push(Access {
+                op: MemOp::Store,
+                addr,
+                gap,
+            });
         }
     }
 
@@ -152,7 +172,12 @@ mod tests {
 
     #[test]
     fn builder_enforces_budget() {
-        let cfg = GenConfig { threads: 2, shrink: 8, budget_per_thread: 3, seed: 1 };
+        let cfg = GenConfig {
+            threads: 2,
+            shrink: 8,
+            budget_per_thread: 3,
+            seed: 1,
+        };
         let mut b = TraceBuilder::new(&cfg);
         for i in 0..10 {
             b.load(0, PhysAddr::new(i * 64), 1);

@@ -11,13 +11,7 @@ use redcache_types::PhysAddr;
 
 const ELEM: u64 = 16; // complex<f64>
 
-fn transpose(
-    b: &mut TraceBuilder,
-    src: PhysAddr,
-    dst: PhysAddr,
-    m: usize,
-    threads: usize,
-) {
+fn transpose(b: &mut TraceBuilder, src: PhysAddr, dst: PhysAddr, m: usize, threads: usize) {
     const TB: usize = 8; // transpose tile
     let tiles = m / TB;
     for ti in 0..tiles {

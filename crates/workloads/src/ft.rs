@@ -23,28 +23,29 @@ pub(crate) fn generate(cfg: &GenConfig) -> ThreadTraces {
     let threads = cfg.threads;
 
     // Butterfly stages along one dimension for every pencil.
-    let dim_pass = |b: &mut TraceBuilder, len: usize, pencils: u64, stride_of: &dyn Fn(u64, u64) -> u64| {
-        let stages = len.trailing_zeros().max(1);
-        for p in 0..pencils {
-            let t = (p % threads as u64) as usize;
-            if !b.has_budget(t) {
-                continue;
-            }
-            for _s in 0..stages {
-                let mut i = 0u64;
-                while i + 1 < len as u64 {
-                    let a0 = stride_of(p, i);
-                    let a1 = stride_of(p, i + 1);
-                    // Butterfly: load both, compute (twiddle), store both.
-                    b.load(t, elem(grid, a0, COMPLEX_BYTES), 6);
-                    b.load(t, elem(grid, a1, COMPLEX_BYTES), 2);
-                    b.store(t, elem(grid, a0, COMPLEX_BYTES), 4);
-                    b.store(t, elem(grid, a1, COMPLEX_BYTES), 2);
-                    i += 2;
+    let dim_pass =
+        |b: &mut TraceBuilder, len: usize, pencils: u64, stride_of: &dyn Fn(u64, u64) -> u64| {
+            let stages = len.trailing_zeros().max(1);
+            for p in 0..pencils {
+                let t = (p % threads as u64) as usize;
+                if !b.has_budget(t) {
+                    continue;
+                }
+                for _s in 0..stages {
+                    let mut i = 0u64;
+                    while i + 1 < len as u64 {
+                        let a0 = stride_of(p, i);
+                        let a1 = stride_of(p, i + 1);
+                        // Butterfly: load both, compute (twiddle), store both.
+                        b.load(t, elem(grid, a0, COMPLEX_BYTES), 6);
+                        b.load(t, elem(grid, a1, COMPLEX_BYTES), 2);
+                        b.store(t, elem(grid, a0, COMPLEX_BYTES), 4);
+                        b.store(t, elem(grid, a1, COMPLEX_BYTES), 2);
+                        i += 2;
+                    }
                 }
             }
-        }
-    };
+        };
 
     // Dimension X: unit stride within a pencil.
     let nxy = (nx * ny) as u64;
@@ -89,6 +90,10 @@ mod tests {
         let flat: Vec<_> = generate(&cfg).into_iter().flatten().collect();
         let s = TraceStats::from_trace(&flat);
         // Butterflies are 2 loads / 2 stores; evolve adds 1/1.
-        assert!(s.store_fraction() > 0.3 && s.store_fraction() < 0.6, "{}", s.store_fraction());
+        assert!(
+            s.store_fraction() > 0.3 && s.store_fraction() < 0.6,
+            "{}",
+            s.store_fraction()
+        );
     }
 }

@@ -39,7 +39,10 @@ pub(crate) fn generate(cfg: &GenConfig) -> ThreadTraces {
     let n = cfg.dim(768);
     let nb = (n / BLK).max(2);
     let mut layout = Layout::new();
-    let a = Blocked { base: layout.alloc((nb * nb * BLK * BLK) as u64 * ELEM), nb };
+    let a = Blocked {
+        base: layout.alloc((nb * nb * BLK * BLK) as u64 * ELEM),
+        nb,
+    };
     let mut b = TraceBuilder::new(cfg);
     let threads = cfg.threads;
 
@@ -88,6 +91,9 @@ mod tests {
         let flat: Vec<_> = generate(&cfg).into_iter().flatten().collect();
         let s = TraceStats::from_trace(&flat);
         let reuse = s.accesses as f64 / s.footprint_lines as f64;
-        assert!(reuse > 3.0, "pivot blocks are reused per trailing block: {reuse}");
+        assert!(
+            reuse > 3.0,
+            "pivot blocks are reused per trailing block: {reuse}"
+        );
     }
 }

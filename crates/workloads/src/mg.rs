@@ -53,7 +53,11 @@ fn restrict(b: &mut TraceBuilder, fine: &Level, coarse: &Level, threads: usize) 
         let t = z % threads;
         for y in 0..nc {
             for x in 0..nc {
-                b.load(t, elem(fine.base, idx(fine.n, 2 * x, 2 * y, 2 * z), ELEM), 4);
+                b.load(
+                    t,
+                    elem(fine.base, idx(fine.n, 2 * x, 2 * y, 2 * z), ELEM),
+                    4,
+                );
                 b.store(t, elem(coarse.base, idx(nc, x, y, z), ELEM), 2);
             }
             if !b.has_budget(t) {
@@ -71,7 +75,11 @@ fn prolong(b: &mut TraceBuilder, coarse: &Level, fine: &Level, threads: usize) {
         for y in 0..nc {
             for x in 0..nc {
                 b.load(t, elem(coarse.base, idx(nc, x, y, z), ELEM), 3);
-                b.store(t, elem(fine.base, idx(fine.n, 2 * x, 2 * y, 2 * z), ELEM), 2);
+                b.store(
+                    t,
+                    elem(fine.base, idx(fine.n, 2 * x, 2 * y, 2 * z), ELEM),
+                    2,
+                );
             }
             if !b.has_budget(t) {
                 break;

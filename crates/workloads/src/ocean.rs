@@ -36,7 +36,14 @@ fn relax(b: &mut TraceBuilder, field: PhysAddr, n: usize, colour: usize, threads
     }
 }
 
-fn couple(b: &mut TraceBuilder, fa: PhysAddr, fb: PhysAddr, fc: PhysAddr, n: usize, threads: usize) {
+fn couple(
+    b: &mut TraceBuilder,
+    fa: PhysAddr,
+    fb: PhysAddr,
+    fc: PhysAddr,
+    n: usize,
+    threads: usize,
+) {
     for y in 0..n {
         let t = y % threads;
         if !b.has_budget(t) {
@@ -53,8 +60,9 @@ fn couple(b: &mut TraceBuilder, fa: PhysAddr, fb: PhysAddr, fc: PhysAddr, n: usi
 pub(crate) fn generate(cfg: &GenConfig) -> ThreadTraces {
     let n = cfg.dim(194);
     let mut layout = Layout::new();
-    let fields: Vec<PhysAddr> =
-        (0..FIELDS).map(|_| layout.alloc((n * n) as u64 * ELEM)).collect();
+    let fields: Vec<PhysAddr> = (0..FIELDS)
+        .map(|_| layout.alloc((n * n) as u64 * ELEM))
+        .collect();
     let mut b = TraceBuilder::new(cfg);
     let threads = cfg.threads;
 
@@ -89,6 +97,9 @@ mod tests {
         let flat: Vec<_> = generate(&cfg).into_iter().flatten().collect();
         let s = TraceStats::from_trace(&flat);
         let reuse = s.accesses as f64 / s.footprint_lines as f64;
-        assert!(reuse > 5.0, "ocean revisits fields every iteration: {reuse}");
+        assert!(
+            reuse > 5.0,
+            "ocean revisits fields every iteration: {reuse}"
+        );
     }
 }

@@ -22,7 +22,8 @@ pub(crate) fn generate(cfg: &GenConfig) -> ThreadTraces {
     let chunk = n / threads;
     let seed: u64 = cfg.rng(0x0A01).gen();
     let digit = |pass: u64, i: u64| -> u64 {
-        let mut x = seed ^ i.wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ pass.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut x =
+            seed ^ i.wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ pass.wrapping_mul(0xA24B_AED4_963E_E407);
         x ^= x >> 31;
         x = x.wrapping_mul(0xD6E8_FEB8_6659_FD93);
         x % RADIX
@@ -84,7 +85,10 @@ mod tests {
         let s = TraceStats::from_trace(&flat);
         let reuse = s.accesses as f64 / s.footprint_lines as f64;
         // Streams dominate; hot histograms lift reuse only mildly.
-        assert!(reuse < 64.0, "radix should stay stream-dominated, reuse {reuse}");
+        assert!(
+            reuse < 64.0,
+            "radix should stay stream-dominated, reuse {reuse}"
+        );
         assert!(s.store_fraction() > 0.2 && s.store_fraction() < 0.5);
     }
 }

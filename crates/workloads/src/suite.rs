@@ -202,6 +202,9 @@ mod tests {
         };
         let lreg = reuse_of(Workload::Lreg);
         let ocn = reuse_of(Workload::Ocn);
-        assert!(ocn > 2.0 * lreg, "OCN ({ocn}) should far exceed LREG ({lreg})");
+        assert!(
+            ocn > 2.0 * lreg,
+            "OCN ({ocn}) should far exceed LREG ({lreg})"
+        );
     }
 }

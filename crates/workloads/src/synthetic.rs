@@ -152,7 +152,10 @@ mod tests {
         let l_mean = mean(0, l_end);
         let h_mean = mean(l_end, h_end);
         let x_mean = mean(h_end, h_end + 16);
-        assert!(h_mean > 2.0 * l_mean, "H ({h_mean}) must out-reuse L ({l_mean})");
+        assert!(
+            h_mean > 2.0 * l_mean,
+            "H ({h_mean}) must out-reuse L ({l_mean})"
+        );
         assert!(x_mean > h_mean, "X ({x_mean}) must out-reuse H ({h_mean})");
     }
 

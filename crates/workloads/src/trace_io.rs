@@ -48,17 +48,26 @@ pub fn read_traces<R: Read>(mut r: R) -> io::Result<ThreadTraces> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a RedCache trace file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a RedCache trace file",
+        ));
     }
     let mut u32buf = [0u8; 4];
     r.read_exact(&mut u32buf)?;
     if u32::from_le_bytes(u32buf) != VERSION {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported trace version"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unsupported trace version",
+        ));
     }
     r.read_exact(&mut u32buf)?;
     let threads = u32::from_le_bytes(u32buf) as usize;
     if threads > 4096 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible thread count"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "implausible thread count",
+        ));
     }
     let mut traces = Vec::with_capacity(threads);
     let mut u64buf = [0u8; 8];
@@ -74,7 +83,11 @@ pub fn read_traces<R: Read>(mut r: R) -> io::Result<ThreadTraces> {
             r.read_exact(&mut u32buf)?;
             let gap = u32::from_le_bytes(u32buf);
             t.push(Access {
-                op: if op[0] == 1 { MemOp::Store } else { MemOp::Load },
+                op: if op[0] == 1 {
+                    MemOp::Store
+                } else {
+                    MemOp::Load
+                },
                 addr: PhysAddr::new(addr),
                 gap,
             });

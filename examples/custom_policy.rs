@@ -61,7 +61,9 @@ impl DramCacheController for CoinFlipController {
                 if let Some(&(line, version)) = self.tags.get(&set) {
                     if line == req.line.raw() {
                         self.stats.hbm_hits += 1;
-                        self.sides.hbm.issue(self.hbm_addr(req.line), TxnKind::Read, meta, 1, now);
+                        self.sides
+                            .hbm
+                            .issue(self.hbm_addr(req.line), TxnKind::Read, meta, 1, now);
                         self.inflight.push((meta, req, version));
                         return;
                     }
@@ -72,7 +74,9 @@ impl DramCacheController for CoinFlipController {
                 if self.flip {
                     self.stats.fills += 1;
                     self.tags.insert(set, (req.line.raw(), version));
-                    self.sides.hbm.issue(self.hbm_addr(req.line), TxnKind::Write, u64::MAX, 1, now);
+                    self.sides
+                        .hbm
+                        .issue(self.hbm_addr(req.line), TxnKind::Write, u64::MAX, 1, now);
                 } else {
                     self.stats.fill_bypasses += 1;
                 }
@@ -113,7 +117,11 @@ impl DramCacheController for CoinFlipController {
                     id: req.id,
                     line: req.line,
                     kind: req.kind,
-                    data_version: if req.kind == AccessKind::Read { version } else { req.data_version },
+                    data_version: if req.kind == AccessKind::Read {
+                        version
+                    } else {
+                        req.data_version
+                    },
                     issued_at: req.issued_at,
                     done_at: c.done_at,
                 });
@@ -160,13 +168,20 @@ fn main() {
 
     // Custom controller through the same simulator.
     let traces = w.generate(&gen);
-    let custom = Simulator::new(cfg).run_with(traces, Box::new(CoinFlipController::new(&cfg.policy)));
+    let custom =
+        Simulator::new(cfg).run_with(traces, Box::new(CoinFlipController::new(&cfg.policy)));
 
     let alloy = run_workload(cfg, w, &gen);
-    let red =
-        run_workload(SimConfig::scaled(PolicyKind::Red(RedVariant::Full)), w, &gen);
+    let red = run_workload(
+        SimConfig::scaled(PolicyKind::Red(RedVariant::Full)),
+        w,
+        &gen,
+    );
 
-    println!("{:<12} {:>12} {:>10} {:>8}", "policy", "cycles", "hitrate", "stale");
+    println!(
+        "{:<12} {:>12} {:>10} {:>8}",
+        "policy", "cycles", "hitrate", "stale"
+    );
     for (name, r) in [("CoinFlip", &custom), ("Alloy", &alloy), ("RedCache", &red)] {
         println!(
             "{name:<12} {:>12} {:>9.1}% {:>8}",
@@ -175,6 +190,9 @@ fn main() {
             r.shadow_violations
         );
     }
-    assert_eq!(custom.shadow_violations, 0, "even toy policies must not serve stale data");
+    assert_eq!(
+        custom.shadow_violations, 0,
+        "even toy policies must not serve stale data"
+    );
     println!("\n(the shadow checker validated every read of all three policies)");
 }

@@ -33,7 +33,10 @@ fn main() {
             r.hbm.map(|h| h.bytes_total()).unwrap_or(0)
         );
         println!("  DDR traffic      {:>12} bytes", r.ddr.bytes_total());
-        println!("  HBM energy       {:>12.4} mJ", r.energy.hbm.total_j() * 1e3);
+        println!(
+            "  HBM energy       {:>12.4} mJ",
+            r.energy.hbm.total_j() * 1e3
+        );
         println!("  system energy    {:>12.4} mJ", r.energy.total_j() * 1e3);
         println!("  stale reads      {:>12}", r.shadow_violations);
         println!();

@@ -21,13 +21,16 @@ fn main() {
         "{:<18} {:>12} {:>9} {:>12} {:>12}",
         "gamma", "cycles", "hitrate", "invalidations", "ddr writes"
     );
-    let mut settings: Vec<(String, GammaConfig)> = vec![
-        ("adaptive".into(), GammaConfig::default()),
-    ];
+    let mut settings: Vec<(String, GammaConfig)> =
+        vec![("adaptive".into(), GammaConfig::default())];
     for fixed in [4u32, 8, 16, 32, 64] {
         settings.push((
             format!("fixed {fixed}"),
-            GammaConfig { initial: fixed, adapt: false, ..GammaConfig::default() },
+            GammaConfig {
+                initial: fixed,
+                adapt: false,
+                ..GammaConfig::default()
+            },
         ));
     }
     for (name, gamma) in settings {

@@ -69,7 +69,11 @@ fn nohbm_never_touches_wideio_and_ideal_never_touches_ddr() {
     assert!(nohbm.ddr.bytes_total() > 0);
 
     let ideal = Simulator::new(SimConfig::quick(PolicyKind::Ideal)).run(traces);
-    assert_eq!(ideal.ddr.bytes_total(), 0, "IDEAL must serve everything in-package");
+    assert_eq!(
+        ideal.ddr.bytes_total(),
+        0,
+        "IDEAL must serve everything in-package"
+    );
     assert!(ideal.hbm.unwrap().bytes_total() > 0);
     assert_eq!(ideal.hbm_hit_rate(), 1.0);
 }
@@ -78,7 +82,11 @@ fn nohbm_never_touches_wideio_and_ideal_never_touches_ddr() {
 fn ideal_bounds_real_caches_on_reuse_heavy_work() {
     let traces = synthetic::generate(&synthetic::SyntheticSpec::mixed(), &tiny());
     let ideal = Simulator::new(SimConfig::quick(PolicyKind::Ideal)).run(traces.clone());
-    for kind in [PolicyKind::Alloy, PolicyKind::Bear, PolicyKind::Red(RedVariant::Full)] {
+    for kind in [
+        PolicyKind::Alloy,
+        PolicyKind::Bear,
+        PolicyKind::Red(RedVariant::Full),
+    ] {
         let r = Simulator::new(SimConfig::quick(kind)).run(traces.clone());
         assert!(
             ideal.cycles <= r.cycles * 11 / 10,
@@ -113,8 +121,7 @@ fn alpha_bypass_reduces_wideio_traffic_on_streams() {
     // than Alloy (which probes and fills every miss).
     let traces = Workload::Lreg.generate(&tiny());
     let alloy = Simulator::new(SimConfig::quick(PolicyKind::Alloy)).run(traces.clone());
-    let red =
-        Simulator::new(SimConfig::quick(PolicyKind::Red(RedVariant::Full))).run(traces);
+    let red = Simulator::new(SimConfig::quick(PolicyKind::Red(RedVariant::Full))).run(traces);
     let a = alloy.hbm.unwrap().bytes_total();
     let r = red.hbm.unwrap().bytes_total();
     assert!(
@@ -126,8 +133,7 @@ fn alpha_bypass_reduces_wideio_traffic_on_streams() {
 #[test]
 fn deterministic_across_runs() {
     let traces = Workload::Rdx.generate(&tiny());
-    let a = Simulator::new(SimConfig::quick(PolicyKind::Red(RedVariant::Full)))
-        .run(traces.clone());
+    let a = Simulator::new(SimConfig::quick(PolicyKind::Red(RedVariant::Full))).run(traces.clone());
     let b = Simulator::new(SimConfig::quick(PolicyKind::Red(RedVariant::Full))).run(traces);
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.ctl.hbm_hits, b.ctl.hbm_hits);
@@ -164,6 +170,9 @@ fn warmup_fraction_changes_measured_window_only() {
     let mut cfg = SimConfig::quick(PolicyKind::Alloy);
     cfg.warmup_fraction = 0.5;
     let warm = Simulator::new(cfg).run(traces);
-    assert!(warm.cycles < cold.cycles, "measured window must shrink with warmup");
+    assert!(
+        warm.cycles < cold.cycles,
+        "measured window must shrink with warmup"
+    );
     assert_eq!(warm.shadow_violations, 0);
 }
