@@ -1,0 +1,175 @@
+//! Wall-clock speed benchmark for the event-driven time advance.
+//!
+//! Runs the quick-config evaluation matrix (all 11 workloads under the
+//! 7 figure architectures) twice — once with event-driven time advance
+//! (the default) and once cycle-by-cycle (`time_skip = false`, the
+//! behaviour of `REDCACHE_NO_SKIP=1`) — and reports wall-clock,
+//! simulations/second and simulated cycles/second per policy, plus the
+//! overall speedup. As a side effect it asserts that both walks produce
+//! bit-identical reports, so every benchmark run is also an
+//! equivalence check.
+//!
+//! Results are written to `BENCH_speed.json` at the repository root.
+//! The JSON is emitted by hand (no serde), keeping this binary
+//! dependency-free beyond the simulator itself.
+//!
+//! `REDCACHE_BUDGET` overrides the per-thread access budget (default:
+//! the tiny preset's 3 000) for longer, steadier measurements.
+
+use redcache::{PolicyKind, RedVariant, RunReport, SimConfig, Simulator};
+use redcache_workloads::{GenConfig, Workload};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The seven figure architectures, in the paper's legend order.
+fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Alloy,
+        PolicyKind::Bear,
+        PolicyKind::Red(RedVariant::Alpha),
+        PolicyKind::Red(RedVariant::Gamma),
+        PolicyKind::Red(RedVariant::Basic),
+        PolicyKind::Red(RedVariant::InSitu),
+        PolicyKind::Red(RedVariant::Full),
+    ]
+}
+
+struct PolicyRow {
+    policy: String,
+    sims: usize,
+    /// Simulated cycles summed over the policy's runs (identical in
+    /// both modes — asserted).
+    cycles: u64,
+    event_s: f64,
+    cycle_s: f64,
+}
+
+/// Runs one (policy, workload) pair in one mode and returns the report
+/// plus the *minimum* wall-clock over `REPEATS` runs. Min-of-N is the
+/// standard defence against scheduler noise; both modes get the same
+/// treatment, so the ratio is unbiased.
+fn run_timed(kind: PolicyKind, w: Workload, gen: &GenConfig, skip: bool) -> (RunReport, f64) {
+    const REPEATS: usize = 2;
+    let mut best: Option<(RunReport, f64)> = None;
+    for _ in 0..REPEATS {
+        let mut cfg = SimConfig::quick(kind);
+        cfg.time_skip = skip;
+        let traces = w.generate(gen);
+        let started = Instant::now();
+        let report = Simulator::new(cfg).run(traces);
+        let t = started.elapsed().as_secs_f64();
+        match &best {
+            Some((prev, pt)) => {
+                assert_eq!(prev, &report, "{kind} on {w}: repeat run diverged");
+                if t < *pt {
+                    best = Some((report, t));
+                }
+            }
+            None => best = Some((report, t)),
+        }
+    }
+    best.expect("REPEATS >= 1")
+}
+
+fn main() {
+    let mut gen = GenConfig::tiny();
+    if let Ok(v) = std::env::var("REDCACHE_BUDGET") {
+        if let Ok(b) = v.parse() {
+            gen.budget_per_thread = b;
+        }
+    }
+    if std::env::var_os("REDCACHE_NO_SKIP").is_some() {
+        eprintln!("warning: REDCACHE_NO_SKIP is set; unset it — bench_speed controls both modes itself");
+    }
+
+    let workloads = Workload::ALL;
+    let mut rows: Vec<PolicyRow> = Vec::new();
+    let mut total_event = 0.0f64;
+    let mut total_cycle = 0.0f64;
+    for &kind in &policies() {
+        let mut row = PolicyRow {
+            policy: kind.to_string(),
+            sims: 0,
+            cycles: 0,
+            event_s: 0.0,
+            cycle_s: 0.0,
+        };
+        for &w in &workloads {
+            let (fast, t_fast) = run_timed(kind, w, &gen, true);
+            let (slow, t_slow) = run_timed(kind, w, &gen, false);
+            assert_eq!(
+                fast, slow,
+                "{kind} on {w}: event-driven report diverged from cycle-accurate walk"
+            );
+            row.sims += 1;
+            row.cycles += fast.cycles;
+            row.event_s += t_fast;
+            row.cycle_s += t_slow;
+        }
+        eprintln!(
+            "{:<12} {:>8.3}s event-driven  {:>8.3}s cycle-accurate  ({:.2}x)",
+            row.policy,
+            row.event_s,
+            row.cycle_s,
+            row.cycle_s / row.event_s.max(1e-12),
+        );
+        total_event += row.event_s;
+        total_cycle += row.cycle_s;
+        rows.push(row);
+    }
+
+    let sims: usize = rows.iter().map(|r| r.sims).sum();
+    let speedup = total_cycle / total_event.max(1e-12);
+    eprintln!(
+        "\ntotal: {sims} sims  {total_event:.3}s event-driven vs {total_cycle:.3}s cycle-accurate  => {speedup:.2}x"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"config\": \"quick\",");
+    let _ = writeln!(json, "  \"budget_per_thread\": {},", gen.budget_per_thread);
+    let _ = writeln!(json, "  \"workloads\": {},", workloads.len());
+    let _ = writeln!(json, "  \"policies\": {},", rows.len());
+    let _ = writeln!(json, "  \"total\": {{");
+    let _ = writeln!(json, "    \"sims\": {sims},");
+    let _ = writeln!(json, "    \"event_driven_s\": {total_event:.6},");
+    let _ = writeln!(json, "    \"cycle_accurate_s\": {total_cycle:.6},");
+    let _ = writeln!(json, "    \"speedup\": {speedup:.4},");
+    let _ = writeln!(
+        json,
+        "    \"sims_per_s_event_driven\": {:.4},",
+        sims as f64 / total_event.max(1e-12)
+    );
+    let _ = writeln!(
+        json,
+        "    \"sims_per_s_cycle_accurate\": {:.4}",
+        sims as f64 / total_cycle.max(1e-12)
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"per_policy\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"policy\": \"{}\", \"sims\": {}, \"simulated_cycles\": {}, \
+             \"event_driven_s\": {:.6}, \"cycle_accurate_s\": {:.6}, \"speedup\": {:.4}, \
+             \"cycles_per_s_event_driven\": {:.1}, \"cycles_per_s_cycle_accurate\": {:.1}}}{comma}",
+            r.policy,
+            r.sims,
+            r.cycles,
+            r.event_s,
+            r.cycle_s,
+            r.cycle_s / r.event_s.max(1e-12),
+            r.cycles as f64 / r.event_s.max(1e-12),
+            r.cycles as f64 / r.cycle_s.max(1e-12),
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let path = "BENCH_speed.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("(saved {path})"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

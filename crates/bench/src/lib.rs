@@ -14,7 +14,6 @@ use redcache::{PolicyKind, RunReport, SimConfig, Simulator};
 use redcache_workloads::{GenConfig, Workload};
 use serde::Serialize;
 use std::path::Path;
-use std::sync::Mutex;
 
 /// Default generator configuration for experiments, overridable with the
 /// `REDCACHE_BUDGET` (accesses per thread) and `REDCACHE_SHRINK`
@@ -45,6 +44,15 @@ pub struct RunSpec {
     pub cfg: SimConfig,
 }
 
+/// One simulation result plus the wall-clock seconds it took.
+#[derive(Debug, Clone, Serialize)]
+pub struct TimedRun {
+    /// The simulation's report.
+    pub report: RunReport,
+    /// Wall-clock seconds spent simulating (trace generation excluded).
+    pub wall_s: f64,
+}
+
 /// Executes `specs` in parallel (one OS thread per logical CPU) and
 /// returns the reports in spec order.
 ///
@@ -52,32 +60,51 @@ pub struct RunSpec {
 ///
 /// Panics if any simulation panics (its error is propagated).
 pub fn run_matrix(specs: &[RunSpec], gen: &GenConfig) -> Vec<RunReport> {
+    run_matrix_timed(specs, gen)
+        .into_iter()
+        .map(|t| t.report)
+        .collect()
+}
+
+/// Like [`run_matrix`], additionally recording per-spec wall-clock.
+///
+/// Each worker owns a round-robin shard of disjoint `&mut` result
+/// slots, so the workers need no locks at all; `std::thread::scope`
+/// re-raises any worker panic after joining.
+///
+/// # Panics
+///
+/// Panics if any simulation panics (its error is propagated).
+pub fn run_matrix_timed(specs: &[RunSpec], gen: &GenConfig) -> Vec<TimedRun> {
     let n = specs.len();
-    let results: Vec<Mutex<Option<RunReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n.max(1));
-    crossbeam::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
+    let mut results: Vec<Option<TimedRun>> = (0..n).map(|_| None).collect();
+    let mut shards: Vec<Vec<(usize, &mut Option<TimedRun>)>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    for (i, slot) in results.iter_mut().enumerate() {
+        shards[i % workers].push((i, slot));
+    }
+    std::thread::scope(|s| {
+        for shard in shards {
+            s.spawn(move || {
+                for (i, slot) in shard {
+                    let spec = specs[i];
+                    let traces = spec.workload.generate(gen);
+                    let started = std::time::Instant::now();
+                    let mut report = Simulator::new(spec.cfg).run(traces);
+                    let wall_s = started.elapsed().as_secs_f64();
+                    report.workload = Some(spec.workload.info().label.to_string());
+                    *slot = Some(TimedRun { report, wall_s });
                 }
-                let spec = specs[i];
-                let traces = spec.workload.generate(gen);
-                let mut report = Simulator::new(spec.cfg).run(traces);
-                report.workload = Some(spec.workload.info().label.to_string());
-                *results[i].lock().unwrap() = Some(report);
             });
         }
-    })
-    .expect("simulation worker panicked");
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("missing result"))
+        .map(|r| r.expect("missing result"))
         .collect()
 }
 
@@ -186,7 +213,34 @@ pub fn eval_matrix() -> (Vec<Workload>, Vec<PolicyKind>, Vec<Vec<RunReport>>) {
         workloads.len(),
         policies.len()
     );
-    let reports = run_suite(&workloads, &policies, SimConfig::scaled, &gen);
+    let mut specs = Vec::new();
+    for &w in &workloads {
+        for &p in &policies {
+            specs.push(RunSpec {
+                workload: w,
+                policy: p,
+                cfg: SimConfig::scaled(p),
+            });
+        }
+    }
+    let timed = run_matrix_timed(&specs, &gen);
+    let timings: Vec<(String, String, f64)> = specs
+        .iter()
+        .zip(&timed)
+        .map(|(s, t)| {
+            (
+                s.workload.info().label.to_string(),
+                s.policy.to_string(),
+                t.wall_s,
+            )
+        })
+        .collect();
+    save_json("eval_matrix_timing", &timings);
+    let flat: Vec<RunReport> = timed.into_iter().map(|t| t.report).collect();
+    let reports: Vec<Vec<RunReport>> = flat
+        .chunks(policies.len())
+        .map(|c| c.to_vec())
+        .collect();
     for row in &reports {
         assert_clean(row);
     }

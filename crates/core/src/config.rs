@@ -29,6 +29,18 @@ pub struct SimConfig {
     /// strictly observational but costs a per-command check.
     #[serde(default)]
     pub audit_timing: bool,
+    /// Event-driven time advance: let the main loop jump from the
+    /// current cycle straight to the next cycle at which a core or the
+    /// memory system can act. Exact — every report is bit-identical to
+    /// the cycle-by-cycle walk (see DESIGN.md §3.7) — so it defaults to
+    /// on. The `REDCACHE_NO_SKIP=1` environment variable overrides it
+    /// at run time for A/B checks.
+    #[serde(default = "default_time_skip")]
+    pub time_skip: bool,
+}
+
+fn default_time_skip() -> bool {
+    true
 }
 
 impl SimConfig {
@@ -44,6 +56,7 @@ impl SimConfig {
             check_shadow: true,
             warmup_fraction: 0.3,
             audit_timing: false,
+            time_skip: true,
         }
     }
 
@@ -59,6 +72,7 @@ impl SimConfig {
             check_shadow: true,
             warmup_fraction: 0.3,
             audit_timing: false,
+            time_skip: true,
         }
     }
 

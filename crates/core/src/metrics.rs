@@ -8,7 +8,11 @@ use redcache_types::Cycle;
 use serde::{Deserialize, Serialize};
 
 /// The complete outcome of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field — the equivalence test uses it to
+/// assert that event-driven time advance reproduces the cycle-by-cycle
+/// walk bit for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Architecture simulated.
     pub policy: PolicyKind,

@@ -16,7 +16,6 @@ use redcache_energy::{CpuActivity, EnergyModel};
 use redcache_policies::{build_controller, CompletedReq, DramCacheController, MemorySides};
 use redcache_types::{AccessKind, CoreId, Cycle, LineAddr, MemRequest, ReqId, BLOCK_BYTES};
 use redcache_workloads::ThreadTraces;
-use std::collections::HashMap;
 
 // Re-exported for documentation purposes only.
 #[allow(unused_imports)]
@@ -27,6 +26,72 @@ struct WaiterInfo {
     core: usize,
     load_token: Option<LoadToken>,
     store_version: Option<u64>,
+}
+
+/// Slab of in-flight waiters keyed by slot index. Replaces the previous
+/// `HashMap<u64, WaiterInfo>`: ids are recycled through a free list, so
+/// long runs stop hashing and never grow the table past the peak number
+/// of simultaneous misses.
+#[derive(Debug, Default)]
+struct WaiterSlab {
+    slots: Vec<Option<WaiterInfo>>,
+    free: Vec<usize>,
+}
+
+impl WaiterSlab {
+    /// The id `insert` will hand out next. The simulator passes this to
+    /// the hierarchy *before* knowing whether the access misses; on a
+    /// hit or an MSHR-full retry nothing is inserted and the id is
+    /// simply re-offered next time.
+    fn peek_id(&self) -> u64 {
+        self.free.last().copied().unwrap_or(self.slots.len()) as u64
+    }
+
+    fn insert(&mut self, info: WaiterInfo) -> u64 {
+        match self.free.pop() {
+            Some(i) => {
+                debug_assert!(self.slots[i].is_none());
+                self.slots[i] = Some(info);
+                i as u64
+            }
+            None => {
+                self.slots.push(Some(info));
+                (self.slots.len() - 1) as u64
+            }
+        }
+    }
+
+    fn remove(&mut self, id: u64) -> Option<WaiterInfo> {
+        let info = self.slots.get_mut(id as usize)?.take();
+        if info.is_some() {
+            self.free.push(id as usize);
+        }
+        info
+    }
+}
+
+/// Submits dirty L3 evictions to the controller as writeback requests.
+/// A plain function (not a per-run closure) so the hot completion path
+/// borrows only what it needs.
+fn submit_writebacks(
+    evicted: &[redcache_cache::Evicted],
+    controller: &mut dyn DramCacheController,
+    shadow: &mut ShadowMemory,
+    next_req: &mut u64,
+    mem_writebacks: &mut u64,
+    now: Cycle,
+) {
+    for ev in evicted {
+        debug_assert!(ev.dirty);
+        let id = ReqId(*next_req);
+        *next_req += 1;
+        shadow.on_writeback(ev.line, ev.version);
+        controller.submit(
+            MemRequest::writeback(id, ev.line, CoreId(0), now, ev.version),
+            now,
+        );
+        *mem_writebacks += 1;
+    }
 }
 
 /// The assembled system, ready to execute one workload.
@@ -105,8 +170,7 @@ impl Simulator {
         let mut hierarchy = Hierarchy::new(self.cfg.hierarchy);
         let mut shadow = ShadowMemory::new();
 
-        let mut waiters: HashMap<u64, WaiterInfo> = HashMap::new();
-        let mut next_waiter: u64 = 0;
+        let mut waiters = WaiterSlab::default();
         let mut next_req: u64 = 0;
         let mut next_version: u64 = 1;
         let mut mem_reads: u64 = 0;
@@ -115,24 +179,10 @@ impl Simulator {
         let mut done_buf: Vec<CompletedReq> = Vec::new();
         let mut shadow_violations = 0u64;
 
-        let submit_writebacks = |evicted: &[redcache_cache::Evicted],
-                                 controller: &mut Box<dyn DramCacheController>,
-                                 shadow: &mut ShadowMemory,
-                                 next_req: &mut u64,
-                                 mem_writebacks: &mut u64,
-                                 now: Cycle| {
-            for ev in evicted {
-                debug_assert!(ev.dirty);
-                let id = ReqId(*next_req);
-                *next_req += 1;
-                shadow.on_writeback(ev.line, ev.version);
-                controller.submit(
-                    MemRequest::writeback(id, ev.line, CoreId(0), now, ev.version),
-                    now,
-                );
-                *mem_writebacks += 1;
-            }
-        };
+        // Event-driven advance is exact (DESIGN.md §3.7); the runtime
+        // escape hatch exists for A/B equivalence checks.
+        let skip_enabled =
+            self.cfg.time_skip && std::env::var_os("REDCACHE_NO_SKIP").is_none_or(|v| v != "1");
 
         let mut now: Cycle = 0;
         let mut blocked_idle_streak = 0u32;
@@ -145,6 +195,7 @@ impl Simulator {
             let mut all_finished = true;
             let mut min_wake: Option<Cycle> = None;
             let mut any_blocked = false;
+            let mut any_ready = false;
             for (ci, core) in cores.iter_mut().enumerate() {
                 if finish[ci].is_some() {
                     continue;
@@ -164,6 +215,7 @@ impl Simulator {
                     }
                     Poll::Ready(access) => {
                         all_finished = false;
+                        any_ready = true;
                         committed += 1;
                         let line = access.addr.line(BLOCK_BYTES);
                         let is_store = access.op.is_store();
@@ -173,13 +225,12 @@ impl Simulator {
                         } else {
                             0
                         };
-                        let wid = next_waiter;
-                        next_waiter += 1;
+                        let wid = waiters.peek_id();
                         let out =
                             hierarchy.access(CoreId(ci as u16), line, access.op, version, wid);
                         submit_writebacks(
                             &out.writebacks,
-                            &mut controller,
+                            &mut *controller,
                             &mut shadow,
                             &mut next_req,
                             &mut mem_writebacks,
@@ -206,7 +257,8 @@ impl Simulator {
                                     store_version: None,
                                 }
                             };
-                            waiters.insert(wid, info);
+                            let assigned = waiters.insert(info);
+                            debug_assert_eq!(assigned, wid);
                             if out.mem_read_needed() {
                                 let id = ReqId(next_req);
                                 next_req += 1;
@@ -224,6 +276,9 @@ impl Simulator {
 
             // 2. Memory side.
             controller.tick(now, &mut done_buf);
+            // Completions wake cores whose earlier poll already answered
+            // for this cycle — never skip past their re-poll.
+            let delivered = !done_buf.is_empty();
             for d in done_buf.drain(..) {
                 match d.kind {
                     AccessKind::Read => {
@@ -234,14 +289,14 @@ impl Simulator {
                         let fr = hierarchy.complete_fill(d.line, d.data_version);
                         submit_writebacks(
                             &fr.writebacks,
-                            &mut controller,
+                            &mut *controller,
                             &mut shadow,
                             &mut next_req,
                             &mut mem_writebacks,
                             now,
                         );
                         for wid in fr.waiters {
-                            let Some(info) = waiters.remove(&wid) else {
+                            let Some(info) = waiters.remove(wid) else {
                                 continue;
                             };
                             let wbs = hierarchy.fill_waiter(
@@ -252,7 +307,7 @@ impl Simulator {
                             );
                             submit_writebacks(
                                 &wbs,
-                                &mut controller,
+                                &mut *controller,
                                 &mut shadow,
                                 &mut next_req,
                                 &mut mem_writebacks,
@@ -301,13 +356,36 @@ impl Simulator {
             } else {
                 blocked_idle_streak = 0;
             }
-            // Fast-forward across pure-compute stretches.
+            // Fast-forward across pure-compute stretches (active in both
+            // modes; predates the event-driven advance below and jumps
+            // even past DRAM-refresh edges when memory is fully idle).
             if controller.pending() == 0 && !any_blocked {
                 if let Some(w) = min_wake {
                     if w > now + 1 {
                         now = w;
                         continue;
                     }
+                }
+            }
+            // Event-driven advance: if no core committed this cycle, no
+            // completion was delivered, and neither the cores nor the
+            // memory system can act before `target`, every intermediate
+            // cycle would have been a no-op — jump over it. Exactness
+            // argument in DESIGN.md §3.7.
+            if skip_enabled
+                && !any_ready
+                && !delivered
+                // When a core wakes next cycle anyway the jump target
+                // cannot exceed `now + 1`; skip the horizon computation.
+                && min_wake.is_none_or(|w| w > now + 1)
+            {
+                let target = controller
+                    .next_event(now)
+                    .min(min_wake.unwrap_or(Cycle::MAX));
+                if target != Cycle::MAX && target > now + 1 {
+                    now = target;
+                    assert!(now < self.cfg.max_cycles, "exceeded max_cycles bound");
+                    continue;
                 }
             }
             now += 1;

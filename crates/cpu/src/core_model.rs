@@ -78,6 +78,12 @@ pub struct Core {
     in_flight: VecDeque<InFlight>,
     /// Latest load completion seen (lower-bounds the finish time).
     last_completion: Cycle,
+    /// Latest retirement time among loads already popped from
+    /// `in_flight` by the ROB check. Folding it into every dispatch
+    /// bound keeps `poll` monotone in `now`: the answer no longer
+    /// depends on how often the core was polled before, which is what
+    /// lets the simulator skip polls without changing behaviour.
+    retire_floor: Cycle,
     next_token: u64,
     loads_issued: u64,
     stores_issued: u64,
@@ -104,6 +110,7 @@ impl Core {
             dispatch_ready: 0,
             in_flight: VecDeque::new(),
             last_completion: 0,
+            retire_floor: 0,
             next_token: 0,
             loads_issued: 0,
             stores_issued: 0,
@@ -120,24 +127,24 @@ impl Core {
     }
 
     /// Retires completed loads that have left the ROB window for the
-    /// instruction numbered `upto`, returning the latest completion time
-    /// among them, or `None` if an incomplete load blocks the window.
+    /// instruction numbered `upto`, folding their completion times into
+    /// the persistent `retire_floor`, and returns that floor — or `Err`
+    /// if an incomplete load blocks the window.
     fn rob_constraint(&mut self, upto: u64) -> Result<Cycle, ()> {
         let window_floor = upto.saturating_sub(self.cfg.rob_size as u64);
-        let mut latest = 0;
         while let Some(front) = self.in_flight.front() {
             if front.instr_no >= window_floor {
                 break;
             }
             match front.done_at {
                 Some(t) => {
-                    latest = latest.max(t);
+                    self.retire_floor = self.retire_floor.max(t);
                     self.in_flight.pop_front();
                 }
                 None => return Err(()), // in-order retire blocked
             }
         }
-        Ok(latest)
+        Ok(self.retire_floor)
     }
 
     /// Asks the core what it wants to do at cycle `now`.

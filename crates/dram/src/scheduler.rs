@@ -41,7 +41,7 @@ const SCHED_WINDOW: usize = 32;
 const WRITE_DRAIN_HIGH: usize = 12;
 const WRITE_DRAIN_LOW: usize = 2;
 
-fn rank_refresh_due(rank: &Rank, now: Cycle) -> bool {
+pub(crate) fn rank_refresh_due(rank: &Rank, now: Cycle) -> bool {
     now >= rank.next_refresh && !rank.is_refreshing(now)
 }
 
@@ -356,6 +356,138 @@ pub(crate) fn schedule_slot(
         }
     }
     SlotOutcome::Idle
+}
+
+/// Earliest cycle at which the tFAW window admits a new ACT on `rank`
+/// (0 when fewer than four ACTs remain in the window at `now`) — the
+/// non-mutating twin of [`Rank::faw_allows_act`] for event prediction.
+fn faw_earliest(rank: &Rank, t_faw: Cycle, now: Cycle) -> Cycle {
+    let valid = rank.act_times.iter().filter(|&&x| x + t_faw > now).count();
+    if valid < 4 {
+        0
+    } else {
+        // Valid timestamps form the ascending suffix of `act_times`; the
+        // window clears when the oldest of the last four leaves it.
+        rank.act_times[rank.act_times.len() - 4] + t_faw
+    }
+}
+
+/// A lower bound on the next cycle (>= `now`, unaligned) at which this
+/// channel's scheduler could issue any command, or `Cycle::MAX` when no
+/// event is ever possible from the current state.
+///
+/// Exactness contract: between two processed slots no channel state
+/// mutates (commands and enqueues happen only at processed slots), so
+/// every legality threshold consulted by [`schedule_slot`] is frozen and
+/// a command first becomes legal exactly when its candidate cycle is
+/// reached. Returning a value that is too *early* merely costs an idle
+/// processed slot (observably identical to a skipped one); this function
+/// must never return a value later than the first issuable slot.
+pub(crate) fn channel_next_event(
+    ch: &Channel,
+    t: &TimingParams,
+    refresh_enabled: bool,
+    now: Cycle,
+) -> Cycle {
+    // A pending write-drain hysteresis transition latches at the very
+    // next scheduling pass and can flip the read/write pick priority,
+    // so the horizon must never skip past one: an enqueue could move
+    // `pending_writes` back into the hysteresis band before the next
+    // processed pass, leaving the flag latched differently than a
+    // cycle-by-cycle walk would have left it.
+    let latched = if ch.pending_writes >= WRITE_DRAIN_HIGH {
+        true
+    } else if ch.pending_writes <= WRITE_DRAIN_LOW {
+        false
+    } else {
+        ch.write_drain_mode
+    };
+    if latched != ch.write_drain_mode {
+        return now;
+    }
+    // One pass over the window marking banks whose open row still has a
+    // pending hit queued: the conflict branch below then answers in O(1)
+    // instead of rescanning the window per transaction. A transaction in
+    // the conflict branch has `row != open_row`, so it can never mark
+    // its own bank — the self-exclusion of the naive scan is implicit.
+    let banks_per_rank = ch.banks.first().map_or(0, Vec::len);
+    let mut hit_bits = [0u64; 4];
+    for txn in ch.queue.iter().take(SCHED_WINDOW) {
+        if txn.bursts_left == 0 {
+            continue;
+        }
+        if ch.bank(&txn.loc).open_row == Some(txn.loc.row) {
+            let idx = txn.loc.rank * banks_per_rank + txn.loc.bank;
+            if idx < 256 {
+                hit_bits[idx / 64] |= 1 << (idx % 64);
+            }
+        }
+    }
+    let mut earliest = Cycle::MAX;
+    if refresh_enabled {
+        for (r, rank) in ch.ranks.iter().enumerate() {
+            let c = if rank_refresh_due(rank, now) {
+                // Due but not started: waiting on bank quiescence (write
+                // recovery) or an in-flight transaction, whose own
+                // candidate below covers the latter case.
+                ch.banks[r].iter().map(|b| b.ready_pre).max().unwrap_or(now)
+            } else {
+                rank.next_refresh
+            };
+            earliest = earliest.min(c);
+            if earliest <= now {
+                return now;
+            }
+        }
+    }
+    for txn in ch.queue.iter().take(SCHED_WINDOW) {
+        if txn.bursts_left == 0 {
+            continue;
+        }
+        let bank = ch.bank(&txn.loc);
+        let rank = &ch.ranks[txn.loc.rank];
+        let c = match bank.open_row {
+            Some(row) if row == txn.loc.row => {
+                // Column command: each threshold of `col_cmd_legal`,
+                // inverted into "earliest legal cycle".
+                let mut c = bank.ready_col.max(rank.refreshing_until);
+                if let Some(last) = ch.last_col_cmd {
+                    c = c.max(last + t.t_ccd);
+                }
+                match txn.kind {
+                    TxnKind::Read => c
+                        .max(rank.ready_read)
+                        .max(ch.bus_free_at.saturating_sub(t.t_cas)),
+                    TxnKind::Write => c.max(ch.bus_free_at.saturating_sub(t.t_cwd)),
+                }
+            }
+            None => bank
+                .ready_act
+                .max(rank.ready_act)
+                .max(rank.refreshing_until)
+                .max(faw_earliest(rank, t.t_faw, now)),
+            Some(_) => {
+                // Row conflict: a PRE becomes legal at `ready_pre` unless
+                // another queued row hit still owns the row — that
+                // transaction contributes its own column candidate.
+                let idx = txn.loc.rank * banks_per_rank + txn.loc.bank;
+                let pending_hit = if idx < 256 {
+                    hit_bits[idx / 64] & (1 << (idx % 64)) != 0
+                } else {
+                    ch.row_has_pending_hits(&txn.loc, txn.id)
+                };
+                if pending_hit {
+                    continue;
+                }
+                bank.ready_pre
+            }
+        };
+        earliest = earliest.min(c);
+        if earliest <= now {
+            return now;
+        }
+    }
+    earliest
 }
 
 #[cfg(test)]

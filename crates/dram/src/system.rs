@@ -86,6 +86,18 @@ pub struct DramSystem {
     next_txn: u64,
     pending: usize,
     record_cmds: bool,
+    /// First command-clock slot not yet accounted in `slot_samples`
+    /// (always aligned). Slots the driver never ticks — event-driven
+    /// skips, compute fast-forwards — are back-filled by [`Self::sync_to`]
+    /// so slot accounting is independent of how time is advanced.
+    next_slot: Cycle,
+    /// Memoised per-channel scheduling horizons (raw, unaligned). A
+    /// channel's horizon is a pure function of its device state, which
+    /// only changes on enqueue, issued commands (incl. refresh) and
+    /// write-drain latch flips — each of which clears that channel's
+    /// cell. `None` means dirty; a cached value is honoured only while
+    /// it is still strictly in the future.
+    ch_horizon: Vec<std::cell::Cell<Option<Cycle>>>,
     /// Present only when the runtime timing audit is enabled; boxed so
     /// the audit-off system carries a single pointer of overhead.
     auditor: Option<Box<TimingAuditor>>,
@@ -119,6 +131,10 @@ impl DramSystem {
             next_txn: 0,
             pending: 0,
             record_cmds: false,
+            next_slot: 0,
+            ch_horizon: (0..cfg.topology.channels)
+                .map(|_| std::cell::Cell::new(None))
+                .collect(),
             auditor,
         }
     }
@@ -205,6 +221,7 @@ impl DramSystem {
         });
         self.stats.txns_enqueued += 1;
         self.pending += 1;
+        self.ch_horizon[loc.channel].set(None);
         id
     }
 
@@ -266,6 +283,7 @@ impl DramSystem {
         self.stats.energy.wr_bursts += 1;
         self.stats.bytes_written += self.cfg.topology.bytes_per_burst as u64;
         self.stats.bus_busy_cycles += t.t_bl;
+        self.ch_horizon[loc.channel].set(None);
     }
 
     /// True when the rank serving `addr` is refreshing at `now`
@@ -275,9 +293,73 @@ impl DramSystem {
         self.channels[loc.channel].ranks[loc.rank].is_refreshing(now)
     }
 
+    /// Back-fills slot accounting for command-clock slots in
+    /// `[next_slot, now)` that the driver skipped over without ticking.
+    /// No command can issue in a skipped slot (that is the caller's
+    /// contract, enforced by [`DramSystem::next_event`]), so queue state
+    /// is frozen across the span and one emptiness sample stands for all
+    /// of it. Call before any state change at a later cycle — `tick`
+    /// does so itself; callers that enqueue at a cycle they have not yet
+    /// ticked must call this first with the current cycle.
+    pub fn sync_to(&mut self, now: Cycle) {
+        if now <= self.next_slot {
+            return;
+        }
+        let d = self.cfg.timing.cmd_clock_divisor;
+        let skipped = (now - self.next_slot).div_ceil(d);
+        self.stats.slot_samples += skipped;
+        if self.channels.iter().all(|c| c.queue.is_empty()) {
+            self.stats.empty_slot_samples += skipped;
+        }
+        self.next_slot += skipped * d;
+    }
+
+    /// A lower bound on the next CPU cycle strictly after `now` at which
+    /// this system could issue any DRAM command (aligned to the command
+    /// clock), or `Cycle::MAX` when no queued work or refresh can ever
+    /// make progress. Waking the system earlier than the returned cycle
+    /// is observably a no-op; waking it later would miss a command slot.
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        let d = self.cfg.timing.cmd_clock_divisor;
+        let next_slot_after_now = (now / d + 1) * d;
+        let mut earliest = Cycle::MAX;
+        for (ch, cell) in self.channels.iter().zip(&self.ch_horizon) {
+            // A channel's horizon only moves when its device state
+            // changes (enqueue, issued commands, drain-latch flips);
+            // between those events the memoised value keeps answering,
+            // as long as it is still strictly in the future.
+            let c = match cell.get() {
+                Some(v) if v > now => v,
+                _ => {
+                    let v = crate::scheduler::channel_next_event(
+                        ch,
+                        &self.cfg.timing,
+                        self.cfg.refresh_enabled,
+                        now,
+                    );
+                    cell.set(Some(v));
+                    v
+                }
+            };
+            earliest = earliest.min(c);
+            if earliest <= now {
+                return next_slot_after_now;
+            }
+        }
+        if earliest == Cycle::MAX {
+            Cycle::MAX
+        } else {
+            earliest
+                .checked_next_multiple_of(d)
+                .unwrap_or(Cycle::MAX)
+                .max(next_slot_after_now)
+        }
+    }
+
     /// Advances the system to CPU cycle `now`. Call with monotonically
     /// non-decreasing values; work happens on command-clock edges only.
     pub fn tick(&mut self, now: Cycle) {
+        self.sync_to(now);
         if !now.is_multiple_of(self.cfg.timing.cmd_clock_divisor) {
             return;
         }
@@ -287,9 +369,28 @@ impl DramSystem {
         let mut all_empty = true;
         for ci in 0..self.channels.len() {
             let ch = &mut self.channels[ci];
-            if !ch.queue.is_empty() {
+            if ch.queue.is_empty() {
+                // Only a due refresh could issue on an idle channel; skip
+                // the full scheduling pass otherwise — but still latch
+                // what that pass would have latched: with no queued
+                // writes the drain hysteresis always resolves to off.
+                if ch.write_drain_mode {
+                    ch.write_drain_mode = false;
+                    self.ch_horizon[ci].set(None);
+                }
+                let refresh_due = self.cfg.refresh_enabled
+                    && ch
+                        .ranks
+                        .iter()
+                        .any(|r| crate::scheduler::rank_refresh_due(r, now));
+                if !refresh_due {
+                    continue;
+                }
+            } else {
                 all_empty = false;
             }
+            let drain_before = ch.write_drain_mode;
+            let cmds_mark = self.issued_cmds.len();
             let outcome = schedule_slot(
                 ch,
                 ci,
@@ -324,11 +425,15 @@ impl DramSystem {
                     self.pending -= 1;
                 }
             }
+            if ch.write_drain_mode != drain_before || self.issued_cmds.len() > cmds_mark {
+                self.ch_horizon[ci].set(None);
+            }
         }
         self.stats.slot_samples += 1;
         if all_empty {
             self.stats.empty_slot_samples += 1;
         }
+        self.next_slot = now + self.cfg.timing.cmd_clock_divisor;
         if let Some(a) = self.auditor.as_deref_mut() {
             for cmd in &self.issued_cmds[audit_mark..] {
                 a.observe(cmd);
@@ -343,6 +448,13 @@ impl DramSystem {
     /// Removes and returns all completions accumulated so far.
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Appends all accumulated completions to `out` and clears the
+    /// internal buffer, reusing both allocations across ticks (the
+    /// zero-alloc twin of [`DramSystem::drain_completions`]).
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.completions);
     }
 
     /// Removes and returns the commands issued since the last call

@@ -1,0 +1,219 @@
+//! Property tests for the event-driven DRAM horizon.
+//!
+//! [`DramSystem::next_event`] promises a *safe lower bound*: between a
+//! processed cycle and the horizon it returns, the system can neither
+//! issue a command nor start a refresh, so a driver that jumps straight
+//! to the horizon must observe exactly what a cycle-by-cycle driver
+//! observes — same completions at the same cycles, same statistics
+//! (including the slot accounting that `sync_to` back-fills).
+
+use proptest::prelude::*;
+use redcache_dram::{Completion, DramConfig, DramStats, DramSystem, Topology, TxnKind};
+use redcache_types::{Cycle, PhysAddr};
+
+const INJECT_PERIOD: Cycle = 8;
+
+fn small_config(wideio: bool) -> DramConfig {
+    let mut cfg = if wideio {
+        DramConfig::wideio_scaled(16 << 20)
+    } else {
+        DramConfig::ddr4_scaled(64 << 20)
+    };
+    cfg.refresh_enabled = true;
+    cfg.audit = true;
+    cfg
+}
+
+fn multi_channel_config() -> DramConfig {
+    let mut cfg = small_config(false);
+    cfg.topology = Topology::from_capacity(4, 2, 8, 8192, 64, 64 << 20);
+    cfg
+}
+
+struct RunOutput {
+    completions: Vec<Completion>,
+    stats: DramStats,
+    audit_violations: u64,
+    end: Cycle,
+}
+
+/// Cycle-by-cycle reference: ticks every single cycle.
+fn run_cycle_accurate(cfg: DramConfig, txns: &[(u64, bool, u8)]) -> RunOutput {
+    let capacity = cfg.topology.capacity_bytes();
+    let mut d = DramSystem::new(cfg);
+    let mut now: Cycle = 0;
+    let mut it = txns.iter();
+    let mut next = it.next();
+    while next.is_some() || d.pending() > 0 {
+        if now % INJECT_PERIOD == 0 {
+            if let Some(&(addr, is_write, bursts)) = next {
+                let kind = if is_write {
+                    TxnKind::Write
+                } else {
+                    TxnKind::Read
+                };
+                let b = (bursts % 4) as u32 + 1;
+                d.enqueue(PhysAddr::new(addr % capacity), kind, now, b, now);
+                next = it.next();
+            }
+        }
+        d.tick(now);
+        now += 1;
+        assert!(now < 50_000_000, "scheduler deadlock");
+    }
+    RunOutput {
+        completions: d.drain_completions(),
+        audit_violations: d.audit_stats().map(|a| a.violations).unwrap_or(0),
+        stats: *d.stats(),
+        end: now,
+    }
+}
+
+/// Event-driven driver: after each processed cycle, jumps to the
+/// earlier of the system's horizon and the next injection cycle.
+/// Returns the per-jump horizons too, so properties about them can be
+/// checked by the caller.
+fn run_event_driven(cfg: DramConfig, txns: &[(u64, bool, u8)]) -> (RunOutput, Vec<(Cycle, Cycle)>) {
+    let capacity = cfg.topology.capacity_bytes();
+    let mut d = DramSystem::new(cfg);
+    let mut horizons = Vec::new();
+    let mut now: Cycle = 0;
+    let mut it = txns.iter();
+    let mut next = it.next();
+    let mut end = 0;
+    while next.is_some() || d.pending() > 0 {
+        if now % INJECT_PERIOD == 0 {
+            if let Some(&(addr, is_write, bursts)) = next {
+                let kind = if is_write {
+                    TxnKind::Write
+                } else {
+                    TxnKind::Read
+                };
+                let b = (bursts % 4) as u32 + 1;
+                // The documented contract: catch slot accounting up
+                // *before* the enqueue mutates queue emptiness.
+                d.sync_to(now);
+                d.enqueue(PhysAddr::new(addr % capacity), kind, now, b, now);
+                next = it.next();
+            }
+        }
+        d.tick(now);
+        end = now + 1;
+        let horizon = d.next_event(now);
+        horizons.push((now, horizon));
+        let mut target = horizon;
+        if next.is_some() {
+            let inject = (now / INJECT_PERIOD + 1) * INJECT_PERIOD;
+            target = target.min(inject);
+        }
+        now = if target == Cycle::MAX || target <= now + 1 {
+            now + 1
+        } else {
+            target
+        };
+        assert!(now < 50_000_000, "scheduler deadlock");
+    }
+    (
+        RunOutput {
+            completions: d.drain_completions(),
+            audit_violations: d.audit_stats().map(|a| a.violations).unwrap_or(0),
+            stats: *d.stats(),
+            end,
+        },
+        horizons,
+    )
+}
+
+fn check_equivalence(cfg: DramConfig, txns: &[(u64, bool, u8)]) {
+    let base = run_cycle_accurate(cfg, txns);
+    let (fast, horizons) = run_event_driven(cfg, txns);
+
+    // The horizon is strictly in the future.
+    for &(at, h) in &horizons {
+        assert!(h > at, "next_event({at}) = {h} is not in the future");
+    }
+
+    // Identical completion streams: same transactions, same data-done
+    // cycles, same order. In particular nothing completes earlier than
+    // the cycle-accurate baseline.
+    assert_eq!(
+        fast.completions, base.completions,
+        "completion streams diverged"
+    );
+    // Identical statistics — commands, energy events, slot accounting.
+    assert_eq!(fast.stats, base.stats, "statistics diverged");
+    assert_eq!(base.audit_violations, 0);
+    assert_eq!(fast.audit_violations, 0);
+    // Both drivers process the cycle the last transaction completes
+    // on, so their last processed cycles coincide.
+    assert_eq!(fast.end, base.end, "last processed cycle diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn ddr4_event_driven_walk_is_exact(
+        txns in prop::collection::vec((any::<u64>(), any::<bool>(), any::<u8>()), 1..100)
+    ) {
+        check_equivalence(small_config(false), &txns);
+    }
+
+    #[test]
+    fn wideio_event_driven_walk_is_exact(
+        txns in prop::collection::vec((any::<u64>(), any::<bool>(), any::<u8>()), 1..100)
+    ) {
+        check_equivalence(small_config(true), &txns);
+    }
+
+    #[test]
+    fn hot_row_event_driven_walk_is_exact(
+        rows in prop::collection::vec(0u64..4, 1..150),
+        writes in prop::collection::vec(any::<bool>(), 1..150)
+    ) {
+        let txns: Vec<(u64, bool, u8)> = rows
+            .iter()
+            .zip(writes.iter().cycle())
+            .map(|(&r, &w)| (r * 1024 * 1024, w, 0))
+            .collect();
+        check_equivalence(small_config(false), &txns);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn multi_channel_event_driven_walk_is_exact(
+        txns in prop::collection::vec((any::<u64>(), any::<bool>(), any::<u8>()), 1..100)
+    ) {
+        check_equivalence(multi_channel_config(), &txns);
+    }
+}
+
+/// Long idle stretches: with an empty queue the horizon must land on
+/// refresh edges only, and the slot accounting back-fill must agree
+/// with ticking through the idle span cycle by cycle.
+#[test]
+fn idle_refresh_horizon_is_exact() {
+    let txns: Vec<(u64, bool, u8)> = (0..6).map(|i| (i * 4096, i % 2 == 0, 1)).collect();
+    check_equivalence(small_config(false), &txns);
+
+    // Pure idle from cycle 0: both drivers see only refreshes.
+    let cfg = small_config(false);
+    let mut a = DramSystem::new(cfg);
+    let mut b = DramSystem::new(cfg);
+    for now in 0..200_000 {
+        a.tick(now);
+    }
+    a.sync_to(200_000);
+    let mut now: Cycle = 0;
+    while now < 200_000 {
+        b.tick(now);
+        let h = b.next_event(now);
+        assert!(h > now);
+        now = h.min(200_000).max(now + 1);
+    }
+    b.sync_to(200_000);
+    assert_eq!(a.stats(), b.stats(), "idle refresh statistics diverged");
+}

@@ -24,6 +24,7 @@ pub struct AlloyController {
     stats: ControllerStats,
     block_bytes: usize,
     bursts: u32,
+    compl_buf: Vec<redcache_dram::Completion>,
 }
 
 impl AlloyController {
@@ -43,6 +44,7 @@ impl AlloyController {
             stats: ControllerStats::default(),
             block_bytes: cfg.cache_block_bytes,
             bursts: (cfg.cache_block_bytes / 64) as u32,
+            compl_buf: Vec::new(),
         }
     }
 
@@ -228,6 +230,7 @@ impl AlloyController {
 
 impl DramCacheController for AlloyController {
     fn submit(&mut self, req: MemRequest, now: Cycle) {
+        self.sides.sync_to(now);
         self.stats.submitted += 1;
         let mut done = Vec::new();
         match req.kind {
@@ -241,14 +244,20 @@ impl DramCacheController for AlloyController {
         self.sides.hbm.tick(now);
         self.sides.ddr.tick(now);
         let before = done.len();
-        for c in self.sides.hbm.take_completions() {
+        let mut buf = std::mem::take(&mut self.compl_buf);
+        self.sides.hbm.drain_completions_into(&mut buf);
+        for c in &buf {
             self.engine
                 .on_completion(c.meta, c.done_at, &mut self.sides, done);
         }
-        for c in self.sides.ddr.take_completions() {
+        buf.clear();
+        self.sides.ddr.drain_completions_into(&mut buf);
+        for c in &buf {
             self.engine
                 .on_completion(c.meta, c.done_at, &mut self.sides, done);
         }
+        buf.clear();
+        self.compl_buf = buf;
         let _ = self.engine.take_events();
         for d in &done[before..] {
             self.stats.completed += 1;
@@ -257,6 +266,14 @@ impl DramCacheController for AlloyController {
                 self.stats.read_latency_sum += d.latency();
             }
         }
+    }
+
+    fn next_event(&self, now: Cycle) -> Cycle {
+        self.sides
+            .hbm
+            .sys
+            .next_event(now)
+            .min(self.sides.ddr.sys.next_event(now))
     }
 
     fn pending(&self) -> usize {

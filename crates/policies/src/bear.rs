@@ -53,6 +53,7 @@ pub struct BearController {
     rng_state: u64,
     epochs_bypassing: u64,
     epochs_total: u64,
+    compl_buf: Vec<redcache_dram::Completion>,
 }
 
 impl BearController {
@@ -77,6 +78,7 @@ impl BearController {
             rng_state: 0x2EA7_5EED,
             epochs_bypassing: 0,
             epochs_total: 0,
+            compl_buf: Vec::new(),
         }
     }
 
@@ -305,6 +307,7 @@ impl BearController {
 
 impl DramCacheController for BearController {
     fn submit(&mut self, req: MemRequest, now: Cycle) {
+        self.sides.sync_to(now);
         self.stats.submitted += 1;
         let mut done = Vec::new();
         match req.kind {
@@ -318,14 +321,20 @@ impl DramCacheController for BearController {
         self.sides.hbm.tick(now);
         self.sides.ddr.tick(now);
         let before = done.len();
-        for c in self.sides.hbm.take_completions() {
+        let mut buf = std::mem::take(&mut self.compl_buf);
+        self.sides.hbm.drain_completions_into(&mut buf);
+        for c in &buf {
             self.engine
                 .on_completion(c.meta, c.done_at, &mut self.sides, done);
         }
-        for c in self.sides.ddr.take_completions() {
+        buf.clear();
+        self.sides.ddr.drain_completions_into(&mut buf);
+        for c in &buf {
             self.engine
                 .on_completion(c.meta, c.done_at, &mut self.sides, done);
         }
+        buf.clear();
+        self.compl_buf = buf;
         let _ = self.engine.take_events();
         for d in &done[before..] {
             self.stats.completed += 1;
@@ -334,6 +343,14 @@ impl DramCacheController for BearController {
                 self.stats.read_latency_sum += d.latency();
             }
         }
+    }
+
+    fn next_event(&self, now: Cycle) -> Cycle {
+        self.sides
+            .hbm
+            .sys
+            .next_event(now)
+            .min(self.sides.ddr.sys.next_event(now))
     }
 
     fn pending(&self) -> usize {

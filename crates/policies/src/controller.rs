@@ -200,6 +200,18 @@ pub trait DramCacheController {
     /// finished requests to `done`.
     fn tick(&mut self, now: Cycle, done: &mut Vec<CompletedReq>);
 
+    /// A lower bound on the next cycle strictly after `now` at which this
+    /// controller could do observable work — issue a DRAM command, hand
+    /// out a completion, or run deferred internal work (RCU drains). The
+    /// simulator may fast-forward to `min(next_event, core wake-ups)`
+    /// without ticking the skipped cycles; ticking earlier than the
+    /// returned cycle must be a no-op. The default (`now + 1`) declares
+    /// an event every cycle, which disables skipping and is always
+    /// correct, so custom controllers stay exact without opting in.
+    fn next_event(&self, now: Cycle) -> Cycle {
+        now + 1
+    }
+
     /// Requests accepted but not yet completed.
     fn pending(&self) -> usize;
 
@@ -252,7 +264,6 @@ pub trait DramCacheController {
 pub struct MemorySide {
     /// The cycle-level DRAM model.
     pub sys: DramSystem,
-    completions: Vec<Completion>,
 }
 
 impl MemorySide {
@@ -260,7 +271,6 @@ impl MemorySide {
     pub fn new(cfg: DramConfig) -> Self {
         Self {
             sys: DramSystem::new(cfg),
-            completions: Vec::new(),
         }
     }
 
@@ -276,15 +286,17 @@ impl MemorySide {
         self.sys.enqueue(addr, kind, meta, bursts, now);
     }
 
-    /// Advances the DRAM clock and collects completions.
+    /// Advances the DRAM clock. Completions stay buffered inside the
+    /// system until the controller drains them into its reusable buffer
+    /// with [`MemorySide::drain_completions_into`] — the old
+    /// `take_completions` round trip allocated two fresh `Vec`s per tick.
     pub fn tick(&mut self, now: Cycle) {
         self.sys.tick(now);
-        self.completions.extend(self.sys.drain_completions());
     }
 
-    /// Takes all completions gathered since the last call.
-    pub fn take_completions(&mut self) -> Vec<Completion> {
-        std::mem::take(&mut self.completions)
+    /// Appends all completions gathered since the last drain to `out`.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        self.sys.drain_completions_into(out);
     }
 }
 
@@ -325,6 +337,15 @@ impl MemorySides {
     pub fn ddr_addr(&self, line: LineAddr) -> redcache_types::PhysAddr {
         let cap = self.ddr.sys.config().topology.capacity_bytes();
         redcache_types::PhysAddr::new(line.base(64).raw() % cap)
+    }
+
+    /// Back-fills skipped-slot accounting on both DRAM systems up to
+    /// `now`. Controllers call this at the top of `submit` so that any
+    /// command-clock slots the simulator skipped over are sampled with
+    /// their pre-enqueue queue state before new transactions land.
+    pub fn sync_to(&mut self, now: Cycle) {
+        self.hbm.sys.sync_to(now);
+        self.ddr.sys.sync_to(now);
     }
 
     /// Snapshot of the HBM side's timing audit (when enabled) — the

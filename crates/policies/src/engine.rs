@@ -236,10 +236,14 @@ mod tests {
         while eng.pending() > 0 {
             sides.hbm.tick(now);
             sides.ddr.tick(now);
-            for c in sides.hbm.take_completions() {
+            let mut buf = Vec::new();
+            sides.hbm.drain_completions_into(&mut buf);
+            for c in &buf {
                 eng.on_completion(c.meta, c.done_at, sides, done);
             }
-            for c in sides.ddr.take_completions() {
+            buf.clear();
+            sides.ddr.drain_completions_into(&mut buf);
+            for c in &buf {
                 eng.on_completion(c.meta, c.done_at, sides, done);
             }
             now += 1;

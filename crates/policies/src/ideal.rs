@@ -21,6 +21,7 @@ pub struct IdealController {
     versions: HashMap<u64, u64>,
     hbm_capacity: u64,
     bursts: u32,
+    compl_buf: Vec<redcache_dram::Completion>,
 }
 
 impl IdealController {
@@ -38,6 +39,7 @@ impl IdealController {
             versions: HashMap::new(),
             hbm_capacity: cfg.hbm.topology.capacity_bytes(),
             bursts: (cfg.cache_block_bytes / 64) as u32,
+            compl_buf: Vec::new(),
         }
     }
 
@@ -48,6 +50,7 @@ impl IdealController {
 
 impl DramCacheController for IdealController {
     fn submit(&mut self, req: MemRequest, now: Cycle) {
+        self.sides.sync_to(now);
         self.stats.submitted += 1;
         let addr = self.hbm_addr(req.line);
         let mut done = Vec::new();
@@ -117,10 +120,14 @@ impl DramCacheController for IdealController {
         self.sides.hbm.tick(now);
         self.sides.ddr.tick(now);
         let before = done.len();
-        for c in self.sides.hbm.take_completions() {
+        let mut buf = std::mem::take(&mut self.compl_buf);
+        self.sides.hbm.drain_completions_into(&mut buf);
+        for c in &buf {
             self.engine
                 .on_completion(c.meta, c.done_at, &mut self.sides, done);
         }
+        buf.clear();
+        self.compl_buf = buf;
         let _ = self.engine.take_events();
         for d in &done[before..] {
             self.stats.completed += 1;
@@ -129,6 +136,17 @@ impl DramCacheController for IdealController {
                 self.stats.read_latency_sum += d.latency();
             }
         }
+    }
+
+    fn next_event(&self, now: Cycle) -> Cycle {
+        // Both sides tick every cycle (the DDR side only for refresh
+        // realism), so the controller's horizon is the earlier of the
+        // two systems' command slots.
+        self.sides
+            .hbm
+            .sys
+            .next_event(now)
+            .min(self.sides.ddr.sys.next_event(now))
     }
 
     fn pending(&self) -> usize {

@@ -14,6 +14,7 @@ pub struct NoHbmController {
     sides: MemorySides,
     engine: Engine,
     stats: ControllerStats,
+    compl_buf: Vec<redcache_dram::Completion>,
 }
 
 impl NoHbmController {
@@ -28,12 +29,14 @@ impl NoHbmController {
             sides: MemorySides::new(cfg),
             engine: Engine::new(),
             stats: ControllerStats::default(),
+            compl_buf: Vec::new(),
         }
     }
 }
 
 impl DramCacheController for NoHbmController {
     fn submit(&mut self, req: MemRequest, now: Cycle) {
+        self.sides.sync_to(now);
         self.stats.submitted += 1;
         let addr = self.sides.ddr_addr(req.line);
         let mut done = Vec::new();
@@ -85,10 +88,14 @@ impl DramCacheController for NoHbmController {
     fn tick(&mut self, now: Cycle, done: &mut Vec<CompletedReq>) {
         self.sides.ddr.tick(now);
         let before = done.len();
-        for c in self.sides.ddr.take_completions() {
+        let mut buf = std::mem::take(&mut self.compl_buf);
+        self.sides.ddr.drain_completions_into(&mut buf);
+        for c in &buf {
             self.engine
                 .on_completion(c.meta, c.done_at, &mut self.sides, done);
         }
+        buf.clear();
+        self.compl_buf = buf;
         let _ = self.engine.take_events();
         for d in &done[before..] {
             self.stats.completed += 1;
@@ -97,6 +104,13 @@ impl DramCacheController for NoHbmController {
                 self.stats.read_latency_sum += d.latency();
             }
         }
+    }
+
+    fn next_event(&self, now: Cycle) -> Cycle {
+        // This controller does pure event-driven bookkeeping: completions
+        // appear only on DDR command slots, so the DDR system's horizon
+        // is the controller's. (The HBM side is never ticked here.)
+        self.sides.ddr.sys.next_event(now)
     }
 
     fn pending(&self) -> usize {

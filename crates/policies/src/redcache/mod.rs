@@ -166,6 +166,8 @@ pub struct RedCacheController {
     /// Requests completed synchronously (RCU block-cache hits), handed
     /// out on the next tick.
     sync_done: Vec<CompletedReq>,
+    /// Reusable completion-drain buffer (avoids a per-tick allocation).
+    compl_buf: Vec<redcache_dram::Completion>,
 }
 
 impl RedCacheController {
@@ -196,6 +198,7 @@ impl RedCacheController {
             drain_outstanding: 0,
             rcu_updates_owed: 0,
             sync_done: Vec::new(),
+            compl_buf: Vec::new(),
         }
     }
 
@@ -676,6 +679,7 @@ impl RedCacheController {
 
 impl DramCacheController for RedCacheController {
     fn submit(&mut self, req: MemRequest, now: Cycle) {
+        self.sides.sync_to(now);
         self.stats.submitted += 1;
         let mut done = Vec::new();
         match req.kind {
@@ -698,7 +702,9 @@ impl DramCacheController for RedCacheController {
         self.sides.hbm.tick(now);
         self.sides.ddr.tick(now);
         let before = done.len();
-        for c in self.sides.hbm.take_completions() {
+        let mut buf = std::mem::take(&mut self.compl_buf);
+        self.sides.hbm.drain_completions_into(&mut buf);
+        for c in &buf {
             if c.meta == DRAIN_META {
                 self.drain_outstanding -= 1;
                 continue;
@@ -706,10 +712,14 @@ impl DramCacheController for RedCacheController {
             self.engine
                 .on_completion(c.meta, c.done_at, &mut self.sides, done);
         }
-        for c in self.sides.ddr.take_completions() {
+        buf.clear();
+        self.sides.ddr.drain_completions_into(&mut buf);
+        for c in &buf {
             self.engine
                 .on_completion(c.meta, c.done_at, &mut self.sides, done);
         }
+        buf.clear();
+        self.compl_buf = buf;
         let _ = self.engine.take_events();
         self.drain_rcu(now);
         for d in &done[before..] {
@@ -719,6 +729,35 @@ impl DramCacheController for RedCacheController {
                 self.stats.read_latency_sum += d.latency();
             }
         }
+    }
+
+    fn next_event(&self, now: Cycle) -> Cycle {
+        // Synchronous completions are handed out on the very next tick.
+        if !self.sync_done.is_empty() {
+            return now + 1;
+        }
+        // An RCU drain condition that holds *now* will fire on the next
+        // tick's `drain_rcu` pass; skipping past it would defer the
+        // drain and change the command stream. All three conditions are
+        // frozen while no tick runs (queues, pending-write counts and
+        // parked entries only change at processed ticks), so checking
+        // them once here is exact.
+        if self.red.update_mode == UpdateMode::Rcu && !self.rcu.is_empty() {
+            let hbm = &self.sides.hbm.sys;
+            for ch in 0..hbm.channel_count() {
+                let cluster = hbm.channel_pending_writes(ch) >= 4;
+                let idle = self.rcu.len() >= self.red.rcu_capacity / 2
+                    && hbm.channel_queue_len(ch) == 0;
+                if (cluster || idle) && self.rcu.has_entry_on_channel(ch) {
+                    return now + 1;
+                }
+            }
+        }
+        self.sides
+            .hbm
+            .sys
+            .next_event(now)
+            .min(self.sides.ddr.sys.next_event(now))
     }
 
     fn pending(&self) -> usize {

@@ -160,6 +160,13 @@ impl RcuQueue {
         self.entries.remove(pos)
     }
 
+    /// True when some parked entry targets `channel` (used by the
+    /// event-driven skip logic to decide whether a drain condition on
+    /// that channel could actually fire).
+    pub fn has_entry_on_channel(&self, channel: usize) -> bool {
+        self.entries.iter().any(|e| e.loc.channel == channel)
+    }
+
     /// Block-cache lookup: a parked TAD copy can serve a read.
     pub fn lookup_block(&self, block: u64) -> Option<&RcuEntry> {
         let e = self.entries.iter().find(|e| e.block == block)?;

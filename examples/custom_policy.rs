@@ -100,8 +100,9 @@ impl DramCacheController for CoinFlipController {
     fn tick(&mut self, now: Cycle, done: &mut Vec<CompletedReq>) {
         self.sides.hbm.tick(now);
         self.sides.ddr.tick(now);
-        let mut finished = self.sides.hbm.take_completions();
-        finished.extend(self.sides.ddr.take_completions());
+        let mut finished = Vec::new();
+        self.sides.hbm.drain_completions_into(&mut finished);
+        self.sides.ddr.drain_completions_into(&mut finished);
         for c in finished {
             if c.meta == u64::MAX {
                 continue; // fire-and-forget fill

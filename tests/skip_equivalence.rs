@@ -1,0 +1,95 @@
+//! Golden equivalence test for the event-driven time advance.
+//!
+//! The main loop's skip (DESIGN.md §3.7) claims to be *exact*: jumping
+//! from the current cycle to the next event must leave every observable
+//! quantity — cycle counts, per-level cache statistics, DRAM command
+//! and energy counters, slot accounting, shadow checks — bit-identical
+//! to the cycle-by-cycle walk. This suite pins that claim by running
+//! the full evaluation matrix both ways and comparing whole
+//! [`redcache::RunReport`]s with `==`.
+
+use redcache::{PolicyKind, RedVariant, RunReport, SimConfig, Simulator};
+use redcache_workloads::{GenConfig, Workload};
+
+fn run(kind: PolicyKind, w: Workload, gen: &GenConfig, time_skip: bool) -> RunReport {
+    let mut cfg = SimConfig::quick(kind);
+    cfg.time_skip = time_skip;
+    Simulator::new(cfg).run(w.generate(gen))
+}
+
+fn figure_policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Alloy,
+        PolicyKind::Bear,
+        PolicyKind::Red(RedVariant::Alpha),
+        PolicyKind::Red(RedVariant::Gamma),
+        PolicyKind::Red(RedVariant::Basic),
+        PolicyKind::Red(RedVariant::InSitu),
+        PolicyKind::Red(RedVariant::Full),
+    ]
+}
+
+#[test]
+fn skip_is_exact_across_the_evaluation_matrix() {
+    // 11 workloads × 7 figure architectures, each run twice.
+    let gen = GenConfig::tiny();
+    for w in Workload::ALL {
+        for kind in figure_policies() {
+            let fast = run(kind, w, &gen, true);
+            let slow = run(kind, w, &gen, false);
+            assert_eq!(
+                fast, slow,
+                "{kind} on {w}: event-driven advance diverged from the cycle-accurate walk"
+            );
+        }
+    }
+}
+
+#[test]
+fn skip_is_exact_for_baseline_topologies() {
+    // No-HBM and IDEAL exercise the single-sided and always-hit
+    // controller horizons.
+    let gen = GenConfig::tiny();
+    for kind in [PolicyKind::NoHbm, PolicyKind::Ideal] {
+        for w in [Workload::Is, Workload::Hist, Workload::Ocn] {
+            let fast = run(kind, w, &gen, true);
+            let slow = run(kind, w, &gen, false);
+            assert_eq!(fast, slow, "{kind} on {w}");
+        }
+    }
+}
+
+#[test]
+fn skip_is_exact_with_timing_audit_attached() {
+    // The auditor observes every issued command; identical audit
+    // payloads mean the skipped walk issued the same command stream at
+    // the same cycles.
+    let gen = GenConfig::tiny();
+    for kind in [PolicyKind::Alloy, PolicyKind::Red(RedVariant::Full)] {
+        let w = Workload::Is;
+        let mk = |skip: bool| {
+            let mut cfg = SimConfig::quick(kind);
+            cfg.time_skip = skip;
+            cfg.audit_timing = true;
+            Simulator::new(cfg).run(w.generate(&gen))
+        };
+        let fast = mk(true);
+        let slow = mk(false);
+        assert_eq!(fast, slow, "{kind} with audit");
+        let audit = fast.ddr_audit.as_ref().expect("audit attached");
+        assert!(audit.clean(), "timing violations under skip");
+        assert!(audit.cmds_audited > 0);
+    }
+}
+
+#[test]
+fn no_skip_env_var_disables_skipping() {
+    // The env var is read once per run; we can't mutate the environment
+    // safely in a threaded test harness, so check the config switch the
+    // variable maps onto: time_skip=false is exactly the
+    // REDCACHE_NO_SKIP=1 code path.
+    let gen = GenConfig::tiny();
+    let slow = run(PolicyKind::Alloy, Workload::Lreg, &gen, false);
+    let fast = run(PolicyKind::Alloy, Workload::Lreg, &gen, true);
+    assert_eq!(fast, slow);
+}
