@@ -1,5 +1,10 @@
 //! Criterion micro-benchmark: DRAM command-scheduler throughput under
-//! row-hit streams, random conflicts, and mixed read/write traffic.
+//! row-hit streams, random conflicts, mixed read/write traffic, and
+//! three adversarial queue mixes that stress the indexed kernel's weak
+//! spots — precharge/activate churn (`row_conflict_storm`), the
+//! write-drain hysteresis (`write_drain_saturation`), and a single
+//! bank's pending list while every other bank idles
+//! (`single_bank_hotspot`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use redcache_dram::{DramConfig, DramSystem, TxnKind};
@@ -37,10 +42,37 @@ fn patterns(n: usize) -> Vec<(&'static str, Vec<(u64, bool)>)> {
     let hot_rows: Vec<_> = (0..n as u64)
         .map(|i| ((i % 8) * (1 << 20) + (i / 8) * 64, false))
         .collect();
+    // Ping-pong across four rows that alias into the same banks: every
+    // access conflicts, so the scheduler lives in pass 2 (PRE/ACT prep)
+    // and the open-row hit counters are recomputed constantly.
+    let row_conflict_storm: Vec<_> = (0..n as u64)
+        .map(|i| ((i % 4) * (16 << 20) + (i / 4) * 64, i % 7 == 0))
+        .collect();
+    // Pure store traffic: the pending-write watermark crosses the drain
+    // thresholds over and over, exercising both hysteresis latches and
+    // the write arm of the column-command pass.
+    let write_drain_saturation: Vec<_> = (0..n as u64)
+        .map(|i| {
+            let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (x % (1 << 24), true)
+        })
+        .collect();
+    // Everything lands in one bank: its pending list holds the whole
+    // scheduler window while every other bank stays empty, the worst
+    // case for per-bank bookkeeping overhead.
+    let single_bank_hotspot: Vec<_> = (0..n as u64)
+        .map(|i| {
+            let conflict = if i % 16 == 0 { 16 << 20 } else { 0 };
+            (conflict + (i % 256) * 64, i % 5 == 0)
+        })
+        .collect();
     vec![
         ("sequential", sequential),
         ("random", random),
         ("hot_rows", hot_rows),
+        ("row_conflict_storm", row_conflict_storm),
+        ("write_drain_saturation", write_drain_saturation),
+        ("single_bank_hotspot", single_bank_hotspot),
     ]
 }
 

@@ -1,4 +1,5 @@
-//! Wall-clock speed benchmark for the event-driven time advance.
+//! Wall-clock speed benchmark for the event-driven time advance and the
+//! indexed FR-FCFS scheduler kernel.
 //!
 //! Runs the quick-config evaluation matrix (all 11 workloads under the
 //! 7 figure architectures) twice — once with event-driven time advance
@@ -9,6 +10,16 @@
 //! bit-identical reports, so every benchmark run is also an
 //! equivalence check.
 //!
+//! Each workload's traces are generated **once** and shared (via
+//! [`SharedTraces`]) across every policy, mode, and repeat — generation
+//! time is reported separately and never pollutes the simulation
+//! timings.
+//!
+//! Scheduler-kernel metrics ride along: command-clock slots processed,
+//! and the mean scheduler-window occupancy per slot (both summed over
+//! the HBM and DDR systems), so kernel-level regressions show up next
+//! to the end-to-end numbers.
+//!
 //! Results are written to `BENCH_speed.json` at the repository root.
 //! The JSON is emitted by hand (no serde), keeping this binary
 //! dependency-free beyond the simulator itself.
@@ -17,7 +28,7 @@
 //! the tiny preset's 3 000) for longer, steadier measurements.
 
 use redcache::{PolicyKind, RedVariant, RunReport, SimConfig, Simulator};
-use redcache_workloads::{GenConfig, Workload};
+use redcache_workloads::{GenConfig, SharedTraces, Workload};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -40,21 +51,35 @@ struct PolicyRow {
     /// Simulated cycles summed over the policy's runs (identical in
     /// both modes — asserted).
     cycles: u64,
+    /// Command-clock slots the DRAM schedulers processed (HBM + DDR).
+    slots: u64,
+    /// Scheduler-window occupancy summed over those slots.
+    occupancy_sum: u64,
     event_s: f64,
     cycle_s: f64,
+}
+
+/// Slots processed and window-occupancy sum across both DRAM systems.
+fn kernel_counters(r: &RunReport) -> (u64, u64) {
+    let hbm = r.hbm.as_ref();
+    (
+        r.ddr.slot_samples + hbm.map_or(0, |h| h.slot_samples),
+        r.ddr.window_occupancy_sum + hbm.map_or(0, |h| h.window_occupancy_sum),
+    )
 }
 
 /// Runs one (policy, workload) pair in one mode and returns the report
 /// plus the *minimum* wall-clock over `REPEATS` runs. Min-of-N is the
 /// standard defence against scheduler noise; both modes get the same
-/// treatment, so the ratio is unbiased.
-fn run_timed(kind: PolicyKind, w: Workload, gen: &GenConfig, skip: bool) -> (RunReport, f64) {
+/// treatment, so the ratio is unbiased. The traces are shared — each
+/// repeat costs `threads` atomic increments, not a regeneration.
+fn run_timed(kind: PolicyKind, w: Workload, traces: &SharedTraces, skip: bool) -> (RunReport, f64) {
     const REPEATS: usize = 2;
     let mut best: Option<(RunReport, f64)> = None;
     for _ in 0..REPEATS {
         let mut cfg = SimConfig::quick(kind);
         cfg.time_skip = skip;
-        let traces = w.generate(gen);
+        let traces = traces.clone();
         let started = Instant::now();
         let report = Simulator::new(cfg).run(traces);
         let t = started.elapsed().as_secs_f64();
@@ -79,10 +104,24 @@ fn main() {
         }
     }
     if std::env::var_os("REDCACHE_NO_SKIP").is_some() {
-        eprintln!("warning: REDCACHE_NO_SKIP is set; unset it — bench_speed controls both modes itself");
+        eprintln!(
+            "warning: REDCACHE_NO_SKIP is set; unset it — bench_speed controls both modes itself"
+        );
     }
 
     let workloads = Workload::ALL;
+    let gen_started = Instant::now();
+    let traces: Vec<SharedTraces> = workloads
+        .iter()
+        .map(|w| SharedTraces::from(w.generate(&gen)))
+        .collect();
+    let gen_s = gen_started.elapsed().as_secs_f64();
+    eprintln!(
+        "generated {} workload trace sets once in {gen_s:.3}s (shared across {} policies x 2 modes)",
+        workloads.len(),
+        policies().len()
+    );
+
     let mut rows: Vec<PolicyRow> = Vec::new();
     let mut total_event = 0.0f64;
     let mut total_cycle = 0.0f64;
@@ -91,27 +130,33 @@ fn main() {
             policy: kind.to_string(),
             sims: 0,
             cycles: 0,
+            slots: 0,
+            occupancy_sum: 0,
             event_s: 0.0,
             cycle_s: 0.0,
         };
-        for &w in &workloads {
-            let (fast, t_fast) = run_timed(kind, w, &gen, true);
-            let (slow, t_slow) = run_timed(kind, w, &gen, false);
+        for (&w, tr) in workloads.iter().zip(&traces) {
+            let (fast, t_fast) = run_timed(kind, w, tr, true);
+            let (slow, t_slow) = run_timed(kind, w, tr, false);
             assert_eq!(
                 fast, slow,
                 "{kind} on {w}: event-driven report diverged from cycle-accurate walk"
             );
+            let (slots, occ) = kernel_counters(&fast);
             row.sims += 1;
             row.cycles += fast.cycles;
+            row.slots += slots;
+            row.occupancy_sum += occ;
             row.event_s += t_fast;
             row.cycle_s += t_slow;
         }
         eprintln!(
-            "{:<12} {:>8.3}s event-driven  {:>8.3}s cycle-accurate  ({:.2}x)",
+            "{:<12} {:>8.3}s event-driven  {:>8.3}s cycle-accurate  ({:.2}x)  occ {:.2}",
             row.policy,
             row.event_s,
             row.cycle_s,
             row.cycle_s / row.event_s.max(1e-12),
+            row.occupancy_sum as f64 / row.slots.max(1) as f64,
         );
         total_event += row.event_s;
         total_cycle += row.cycle_s;
@@ -119,6 +164,8 @@ fn main() {
     }
 
     let sims: usize = rows.iter().map(|r| r.sims).sum();
+    let total_slots: u64 = rows.iter().map(|r| r.slots).sum();
+    let total_occ: u64 = rows.iter().map(|r| r.occupancy_sum).sum();
     let speedup = total_cycle / total_event.max(1e-12);
     eprintln!(
         "\ntotal: {sims} sims  {total_event:.3}s event-driven vs {total_cycle:.3}s cycle-accurate  => {speedup:.2}x"
@@ -130,11 +177,18 @@ fn main() {
     let _ = writeln!(json, "  \"budget_per_thread\": {},", gen.budget_per_thread);
     let _ = writeln!(json, "  \"workloads\": {},", workloads.len());
     let _ = writeln!(json, "  \"policies\": {},", rows.len());
+    let _ = writeln!(json, "  \"trace_generation_s\": {gen_s:.6},");
     let _ = writeln!(json, "  \"total\": {{");
     let _ = writeln!(json, "    \"sims\": {sims},");
     let _ = writeln!(json, "    \"event_driven_s\": {total_event:.6},");
     let _ = writeln!(json, "    \"cycle_accurate_s\": {total_cycle:.6},");
     let _ = writeln!(json, "    \"speedup\": {speedup:.4},");
+    let _ = writeln!(json, "    \"scheduler_slots\": {total_slots},");
+    let _ = writeln!(
+        json,
+        "    \"mean_window_occupancy\": {:.4},",
+        total_occ as f64 / total_slots.max(1) as f64
+    );
     let _ = writeln!(
         json,
         "    \"sims_per_s_event_driven\": {:.4},",
@@ -152,11 +206,14 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"policy\": \"{}\", \"sims\": {}, \"simulated_cycles\": {}, \
+             \"scheduler_slots\": {}, \"mean_window_occupancy\": {:.4}, \
              \"event_driven_s\": {:.6}, \"cycle_accurate_s\": {:.6}, \"speedup\": {:.4}, \
              \"cycles_per_s_event_driven\": {:.1}, \"cycles_per_s_cycle_accurate\": {:.1}}}{comma}",
             r.policy,
             r.sims,
             r.cycles,
+            r.slots,
+            r.occupancy_sum as f64 / r.slots.max(1) as f64,
             r.event_s,
             r.cycle_s,
             r.cycle_s / r.event_s.max(1e-12),

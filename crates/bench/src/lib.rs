@@ -11,7 +11,7 @@
 #![warn(missing_docs)]
 
 use redcache::{PolicyKind, RunReport, SimConfig, Simulator};
-use redcache_workloads::{GenConfig, Workload};
+use redcache_workloads::{trace_io, GenConfig, SharedTraces, Workload};
 use serde::Serialize;
 use std::path::Path;
 
@@ -51,6 +51,12 @@ pub struct TimedRun {
     pub report: RunReport,
     /// Wall-clock seconds spent simulating (trace generation excluded).
     pub wall_s: f64,
+    /// Wall-clock seconds spent generating (or loading from the trace
+    /// cache) this spec's workload traces. Traces are produced once per
+    /// workload and shared across its specs, so every spec of the same
+    /// workload reports the same figure — sum over *distinct* workloads
+    /// for the matrix's total generation time.
+    pub gen_s: f64,
 }
 
 /// Executes `specs` in parallel (one OS thread per logical CPU) and
@@ -68,6 +74,12 @@ pub fn run_matrix(specs: &[RunSpec], gen: &GenConfig) -> Vec<RunReport> {
 
 /// Like [`run_matrix`], additionally recording per-spec wall-clock.
 ///
+/// Specs are grouped by workload first: each distinct workload's traces
+/// are generated exactly **once** (in parallel across workloads, through
+/// the optional `REDCACHE_TRACE_CACHE_DIR` disk cache) and handed to the
+/// simulation workers as [`SharedTraces`] — a 7-policy column over one
+/// workload costs one generation, not seven.
+///
 /// Each worker owns a round-robin shard of disjoint `&mut` result
 /// slots, so the workers need no locks at all; `std::thread::scope`
 /// re-raises any worker panic after joining.
@@ -81,23 +93,59 @@ pub fn run_matrix_timed(specs: &[RunSpec], gen: &GenConfig) -> Vec<TimedRun> {
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n.max(1));
+
+    // Distinct workloads in first-appearance order (the matrix is tiny:
+    // a linear scan beats hashing).
+    let mut uniq: Vec<Workload> = Vec::new();
+    for s in specs {
+        if !uniq.contains(&s.workload) {
+            uniq.push(s.workload);
+        }
+    }
+    // One generation per distinct workload, in parallel.
+    let mut generated: Vec<Option<(SharedTraces, f64)>> = (0..uniq.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (w, slot) in uniq.iter().zip(generated.iter_mut()) {
+            s.spawn(move || {
+                let started = std::time::Instant::now();
+                let traces = trace_io::generate_cached(*w, gen);
+                let gen_s = started.elapsed().as_secs_f64();
+                *slot = Some((SharedTraces::from(traces), gen_s));
+            });
+        }
+    });
+    let generated: Vec<(SharedTraces, f64)> = generated
+        .into_iter()
+        .map(|g| g.expect("missing traces"))
+        .collect();
+
     let mut results: Vec<Option<TimedRun>> = (0..n).map(|_| None).collect();
     let mut shards: Vec<Vec<(usize, &mut Option<TimedRun>)>> =
         (0..workers).map(|_| Vec::new()).collect();
     for (i, slot) in results.iter_mut().enumerate() {
         shards[i % workers].push((i, slot));
     }
+    let uniq = &uniq;
+    let generated = &generated;
     std::thread::scope(|s| {
         for shard in shards {
             s.spawn(move || {
                 for (i, slot) in shard {
                     let spec = specs[i];
-                    let traces = spec.workload.generate(gen);
+                    let wi = uniq
+                        .iter()
+                        .position(|w| *w == spec.workload)
+                        .expect("workload was grouped above");
+                    let (traces, gen_s) = &generated[wi];
                     let started = std::time::Instant::now();
-                    let mut report = Simulator::new(spec.cfg).run(traces);
+                    let mut report = Simulator::new(spec.cfg).run(traces.clone());
                     let wall_s = started.elapsed().as_secs_f64();
                     report.workload = Some(spec.workload.info().label.to_string());
-                    *slot = Some(TimedRun { report, wall_s });
+                    *slot = Some(TimedRun {
+                        report,
+                        wall_s,
+                        gen_s: *gen_s,
+                    });
                 }
             });
         }
@@ -237,10 +285,7 @@ pub fn eval_matrix() -> (Vec<Workload>, Vec<PolicyKind>, Vec<Vec<RunReport>>) {
         .collect();
     save_json("eval_matrix_timing", &timings);
     let flat: Vec<RunReport> = timed.into_iter().map(|t| t.report).collect();
-    let reports: Vec<Vec<RunReport>> = flat
-        .chunks(policies.len())
-        .map(|c| c.to_vec())
-        .collect();
+    let reports: Vec<Vec<RunReport>> = flat.chunks(policies.len()).map(|c| c.to_vec()).collect();
     for row in &reports {
         assert_clean(row);
     }

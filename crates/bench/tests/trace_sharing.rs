@@ -1,0 +1,50 @@
+//! Verifies the harness's one-generation-per-workload contract with the
+//! process-wide generation counter.
+//!
+//! Kept as a single `#[test]` in its own integration-test binary: the
+//! counter is process-global, so sibling tests running generators in
+//! parallel would make the delta ambiguous.
+
+use redcache::{PolicyKind, SimConfig};
+use redcache_bench::{run_matrix_timed, RunSpec};
+use redcache_workloads::{generation_count, GenConfig, Workload};
+
+#[test]
+fn matrix_generates_each_workload_exactly_once() {
+    let gen = GenConfig::tiny();
+    let policies = [PolicyKind::NoHbm, PolicyKind::Alloy, PolicyKind::Ideal];
+    let workloads = [Workload::Lreg, Workload::Hist];
+    let mut specs = Vec::new();
+    for &w in &workloads {
+        for &p in &policies {
+            specs.push(RunSpec {
+                workload: w,
+                policy: p,
+                cfg: SimConfig::quick(p),
+            });
+        }
+    }
+
+    let before = generation_count();
+    let timed = run_matrix_timed(&specs, &gen);
+    let after = generation_count();
+
+    // 6 simulations, 2 distinct workloads: exactly 2 generations.
+    assert_eq!(
+        after - before,
+        workloads.len() as u64,
+        "matrix re-generated traces per spec instead of per workload"
+    );
+    assert_eq!(timed.len(), specs.len());
+    // Results stay in spec order, and every spec of a workload reports
+    // that workload's (single) generation time.
+    for (spec, t) in specs.iter().zip(&timed) {
+        assert_eq!(
+            t.report.workload.as_deref(),
+            Some(spec.workload.info().label)
+        );
+        assert!(t.gen_s >= 0.0);
+    }
+    assert_eq!(timed[0].gen_s, timed[1].gen_s);
+    assert_eq!(timed[3].gen_s, timed[5].gen_s);
+}

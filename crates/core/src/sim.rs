@@ -15,7 +15,8 @@ use redcache_cpu::{Core, LoadToken, Poll};
 use redcache_energy::{CpuActivity, EnergyModel};
 use redcache_policies::{build_controller, CompletedReq, DramCacheController, MemorySides};
 use redcache_types::{AccessKind, CoreId, Cycle, LineAddr, MemRequest, ReqId, BLOCK_BYTES};
-use redcache_workloads::ThreadTraces;
+use redcache_workloads::SharedTraces;
+use std::sync::Arc;
 
 // Re-exported for documentation purposes only.
 #[allow(unused_imports)]
@@ -130,13 +131,15 @@ impl Simulator {
     }
 
     /// Executes `traces` (one per thread; at most one per core) to
-    /// completion and returns the run report.
+    /// completion and returns the run report. Accepts owned
+    /// `ThreadTraces` or a [`SharedTraces`] handle — the latter lets
+    /// many concurrent simulations read one generated trace set.
     ///
     /// # Panics
     ///
     /// Panics if more traces than cores are supplied, on deadlock, or
     /// when the `max_cycles` bound is exceeded.
-    pub fn run(self, traces: ThreadTraces) -> RunReport {
+    pub fn run(self, traces: impl Into<SharedTraces>) -> RunReport {
         let controller = build_controller(&self.cfg.policy);
         self.run_with(traces, controller)
     }
@@ -150,20 +153,21 @@ impl Simulator {
     /// Same conditions as [`Simulator::run`].
     pub fn run_with(
         self,
-        traces: ThreadTraces,
+        traces: impl Into<SharedTraces>,
         mut controller: Box<dyn DramCacheController>,
     ) -> RunReport {
+        let traces: SharedTraces = traces.into();
         let ncores = self.cfg.hierarchy.cores;
         assert!(
-            traces.len() <= ncores,
+            traces.threads() <= ncores,
             "{} traces but only {ncores} cores",
-            traces.len()
+            traces.threads()
         );
-        let total_accesses: u64 = traces.iter().map(|t| t.len() as u64).sum();
+        let total_accesses: u64 = traces.total_accesses();
         let warmup_target = (self.cfg.warmup_fraction * total_accesses as f64) as u64;
         let mut cores: Vec<Core> = traces
             .into_iter()
-            .chain(std::iter::repeat_with(Vec::new))
+            .chain(std::iter::repeat_with(|| Arc::from(Vec::new())))
             .take(ncores)
             .map(|t| Core::new(self.cfg.core, t))
             .collect();
@@ -464,7 +468,7 @@ mod tests {
     use super::*;
     use crate::config::SimConfig;
     use redcache_policies::PolicyKind;
-    use redcache_workloads::{synthetic, GenConfig, Workload};
+    use redcache_workloads::{synthetic, GenConfig, ThreadTraces, Workload};
 
     fn tiny_traces() -> ThreadTraces {
         synthetic::generate(&synthetic::SyntheticSpec::mixed(), &GenConfig::tiny())

@@ -17,6 +17,7 @@ use crate::trace::Access;
 use redcache_types::{Cycle, MemOp};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Core parameters (Table I: 4-issue, 256-entry ROB).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,7 +69,9 @@ struct InFlight {
 #[derive(Debug)]
 pub struct Core {
     cfg: CoreConfig,
-    trace: Vec<Access>,
+    /// The reference stream, shared: many simulations of the same
+    /// workload point at one generated trace.
+    trace: Arc<[Access]>,
     idx: usize,
     /// Cumulative instructions dispatched before `trace[idx]`.
     instr_no: u64,
@@ -92,8 +95,10 @@ pub struct Core {
 }
 
 impl Core {
-    /// Creates a core that will execute `trace`.
-    pub fn new(cfg: CoreConfig, trace: Vec<Access>) -> Self {
+    /// Creates a core that will execute `trace` (owned or shared — a
+    /// `Vec<Access>` and an `Arc<[Access]>` both convert).
+    pub fn new(cfg: CoreConfig, trace: impl Into<Arc<[Access]>>) -> Self {
+        let trace = trace.into();
         assert!(
             cfg.issue_width > 0 && cfg.rob_size > 0,
             "degenerate core config"

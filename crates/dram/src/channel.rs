@@ -1,25 +1,11 @@
-//! Per-channel state: transaction queue, bank/rank arrays, data bus.
+//! Per-channel state: indexed transaction queue, bank/rank arrays,
+//! data bus (DESIGN.md §3.8).
 
 use crate::bank::{Bank, Rank};
+use crate::queue::{TxnCold, TxnQueue};
 use crate::system::{TxnId, TxnKind};
 use crate::topology::DramLoc;
 use redcache_types::Cycle;
-
-/// An in-flight transaction within a channel queue.
-#[derive(Debug, Clone)]
-pub(crate) struct Txn {
-    pub id: TxnId,
-    pub kind: TxnKind,
-    pub loc: DramLoc,
-    /// Column bursts still to issue (multi-burst for >64 B blocks).
-    pub bursts_left: u32,
-    /// Caller-supplied tag returned with the completion.
-    pub meta: u64,
-    pub enqueued_at: Cycle,
-    /// Completion time of the last issued burst (valid when
-    /// `bursts_left == 0`).
-    pub data_done_at: Cycle,
-}
 
 /// One DRAM channel: its queue, ranks/banks, and shared data bus.
 #[derive(Debug)]
@@ -27,8 +13,8 @@ pub(crate) struct Channel {
     pub ranks: Vec<Rank>,
     /// `banks[rank][bank]`.
     pub banks: Vec<Vec<Bank>>,
-    /// Pending transactions in arrival order.
-    pub queue: Vec<Txn>,
+    /// Pending transactions, indexed by arrival order and by bank.
+    pub q: TxnQueue,
     /// Cycle at which the data bus becomes free.
     pub bus_free_at: Cycle,
     /// Issue time of the last column command (channel-level tCCD guard).
@@ -39,6 +25,15 @@ pub(crate) struct Channel {
     pub pending_writes: usize,
     /// Currently batching writes (virtual-write-queue hysteresis).
     pub write_drain_mode: bool,
+    /// Per-rank count of partially issued transactions (first burst
+    /// done, more to go) — the refresh quiescence check in O(1). Only
+    /// in-window transactions can issue bursts, and window membership
+    /// is monotone, so this counter is exact for the whole queue.
+    pub rank_inflight: Vec<u32>,
+    /// Slab index of the transaction whose final burst issued this
+    /// slot, if any — consumed by [`Channel::take_completed`]. At most
+    /// one per slot (one column command per slot).
+    pub completed: Option<u32>,
 }
 
 impl Channel {
@@ -52,12 +47,14 @@ impl Channel {
             banks: (0..ranks)
                 .map(|_| (0..banks).map(|_| Bank::new()).collect())
                 .collect(),
-            queue: Vec::new(),
+            q: TxnQueue::new(ranks, banks),
             bus_free_at: 0,
             last_col_cmd: None,
             last_col_kind: None,
             pending_writes: 0,
             write_drain_mode: false,
+            rank_inflight: vec![0; ranks],
+            completed: None,
         }
     }
 
@@ -69,18 +66,38 @@ impl Channel {
         &mut self.banks[loc.rank][loc.bank]
     }
 
-    /// True when another queued transaction (other than `except`) targets
-    /// the same bank row that is currently open — used to avoid closing
-    /// rows that still have row-hit work pending. Scans the same bounded
-    /// window the scheduler sees.
-    pub(crate) fn row_has_pending_hits(&self, loc: &DramLoc, except: TxnId) -> bool {
-        let open = self.bank(loc).open_row;
-        match open {
-            None => false,
-            Some(row) => self.queue.iter().take(32).any(|t| {
-                t.id != except && t.bursts_left > 0 && t.loc.same_bank(loc) && t.loc.row == row
-            }),
+    /// Enqueues a transaction, maintaining the write watermark and the
+    /// target bank's hit counters.
+    pub(crate) fn push(
+        &mut self,
+        id: TxnId,
+        kind: TxnKind,
+        loc: DramLoc,
+        bursts: u32,
+        meta: u64,
+        now: Cycle,
+    ) {
+        if kind == TxnKind::Write {
+            self.pending_writes += 1;
         }
+        let open = self.banks[loc.rank][loc.bank].open_row;
+        self.q.push(id, kind, loc, bursts, meta, now, open);
+    }
+
+    /// Retires the transaction finished by this slot's column command
+    /// (if any) in O(1), promoting the oldest waiting transaction into
+    /// the freed window slot.
+    pub(crate) fn take_completed(&mut self) -> Option<(TxnKind, TxnCold)> {
+        let idx = self.completed.take()?;
+        let banks = &self.banks;
+        let per_rank = banks.first().map_or(1, Vec::len);
+        let (kind, cold) = self
+            .q
+            .retire(idx, |fb| banks[fb / per_rank][fb % per_rank].open_row);
+        if kind == TxnKind::Write {
+            self.pending_writes -= 1;
+        }
+        Some((kind, cold))
     }
 }
 
@@ -89,8 +106,8 @@ mod tests {
     use super::*;
 
     /// A nonzero channel index: a `Channel` never inspects its own index,
-    /// so matching helpers (`same_bank`, `row_has_pending_hits`) must
-    /// work for any attributed channel, not just 0.
+    /// so location helpers must work for any attributed channel, not
+    /// just 0.
     fn loc(rank: usize, bank: usize, row: u64) -> DramLoc {
         DramLoc {
             channel: 3,
@@ -109,21 +126,37 @@ mod tests {
     }
 
     #[test]
-    fn row_hit_detection_scans_queue() {
-        let mut ch = Channel::new(1, 1, 1000);
+    fn push_tracks_write_watermark_and_hit_counters() {
+        let mut ch = Channel::new(1, 2, 1000);
         ch.banks[0][0].open_row = Some(5);
-        ch.queue.push(Txn {
-            id: TxnId(1),
-            kind: TxnKind::Read,
-            loc: loc(0, 0, 5),
-            bursts_left: 1,
-            meta: 0,
-            enqueued_at: 0,
-            data_done_at: 0,
-        });
-        assert!(ch.row_has_pending_hits(&loc(0, 0, 5), TxnId(9)));
-        assert!(!ch.row_has_pending_hits(&loc(0, 0, 5), TxnId(1)));
-        ch.banks[0][0].open_row = Some(7);
-        assert!(!ch.row_has_pending_hits(&loc(0, 0, 7), TxnId(9)));
+        ch.push(TxnId(1), TxnKind::Read, loc(0, 0, 5), 1, 0, 0);
+        ch.push(TxnId(2), TxnKind::Write, loc(0, 0, 5), 1, 0, 0);
+        ch.push(TxnId(3), TxnKind::Read, loc(0, 0, 9), 1, 0, 0); // conflict
+        ch.push(TxnId(4), TxnKind::Read, loc(0, 1, 5), 1, 0, 0); // closed bank
+        assert_eq!(ch.pending_writes, 1);
+        let b0 = ch.q.flat(&loc(0, 0, 0));
+        assert_eq!(ch.q.bank(b0).hit_reads, 1);
+        assert_eq!(ch.q.bank(b0).hit_writes, 1);
+        let b1 = ch.q.flat(&loc(0, 1, 0));
+        assert_eq!(ch.q.bank(b1).hit_reads, 0);
+        assert_eq!(ch.q.bank(b1).window_len, 1);
+    }
+
+    #[test]
+    fn take_completed_retires_and_updates_watermark() {
+        let mut ch = Channel::new(1, 1, 1000);
+        ch.push(TxnId(7), TxnKind::Write, loc(0, 0, 1), 1, 42, 5);
+        let idx = ch.q.iter_window().next().unwrap();
+        let (left, _) = ch.q.record_burst(idx, 90);
+        assert_eq!(left, 0);
+        ch.completed = Some(idx);
+        let (kind, cold) = ch.take_completed().unwrap();
+        assert_eq!(kind, TxnKind::Write);
+        assert_eq!(cold.id, TxnId(7));
+        assert_eq!(cold.meta, 42);
+        assert_eq!(cold.data_done_at, 90);
+        assert_eq!(ch.pending_writes, 0);
+        assert!(ch.q.is_empty());
+        assert!(ch.take_completed().is_none());
     }
 }

@@ -52,6 +52,8 @@ mod audit;
 mod bank;
 mod channel;
 mod config;
+mod queue;
+pub mod reference;
 mod scheduler;
 mod stats;
 mod system;

@@ -1,0 +1,570 @@
+//! Indexed per-channel transaction queue (DESIGN.md §3.8).
+//!
+//! A slab of transactions threaded by two intrusive lists:
+//!
+//! * the **arrival list** (`prev`/`next`) — every queued transaction in
+//!   FCFS order; its first [`SCHED_WINDOW`] nodes are the scheduler
+//!   window (`in_window`, delimited by `window_tail`);
+//! * a **per-bank list** (`bank_prev`/`bank_next`) — only the in-window
+//!   transactions of one bank, also in arrival order (entrants join in
+//!   arrival order, so the list stays sorted without searching).
+//!
+//! Each bank additionally carries incremental row-hit counters
+//! (`hit_reads`/`hit_writes`): the number of its in-window,
+//! unfinished transactions targeting the currently open row. Banks with
+//! in-window work are tracked in a dense `active` vector so a
+//! scheduling pass visits O(banks-with-work), not O(ranks × banks).
+//!
+//! Invariants (checked by `debug_assert` and the differential suite):
+//!
+//! 1. window membership is monotone — a transaction enters the window
+//!    (at push while the window has room, or by promotion when an older
+//!    one retires) and stays until retired;
+//! 2. the per-bank lists partition the window: every in-window
+//!    transaction is on exactly its bank's list, no out-of-window one is;
+//! 3. `hit_reads`/`hit_writes` equal the count of in-window
+//!    transactions with `bursts_left > 0` whose row matches the bank's
+//!    open row (zero while the bank is closed). They are adjusted at
+//!    push/promotion, on the final burst of a column command, and
+//!    recounted/zeroed when ACT/PRE/refresh change the open row;
+//! 4. `active` holds exactly the flat bank ids with `window_len > 0`.
+//!
+//! Hot fields (location, kind, bursts, links) and cold fields (id,
+//! meta, timestamps) live in separate slabs so the window walks touch
+//! only the hot array.
+
+use crate::system::{TxnId, TxnKind};
+use crate::topology::DramLoc;
+use redcache_types::Cycle;
+
+/// Transactions visible to the scheduler per slot. Real controllers
+/// schedule over a bounded associative queue (Table I-era parts use
+/// 32-entry transaction queues); bounding the window also bounds every
+/// per-slot walk.
+pub(crate) const SCHED_WINDOW: usize = 32;
+
+/// Null link.
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// Scheduler-hot fields of a queued transaction.
+#[derive(Debug, Clone)]
+pub(crate) struct TxnHot {
+    pub kind: TxnKind,
+    pub loc: DramLoc,
+    /// Column bursts still to issue (multi-burst for >64 B blocks).
+    pub bursts_left: u32,
+    /// Arrival sequence number — the FCFS age tiebreak. Strictly
+    /// increasing per channel, never reused.
+    pub seq: u64,
+    /// Inside the scheduler window (invariant 1: monotone until retire).
+    pub in_window: bool,
+    prev: u32,
+    next: u32,
+    bank_prev: u32,
+    bank_next: u32,
+}
+
+/// Cold fields, touched only at enqueue, burst completion and retire.
+#[derive(Debug, Clone)]
+pub(crate) struct TxnCold {
+    pub id: TxnId,
+    /// Caller-supplied tag returned with the completion.
+    pub meta: u64,
+    pub enqueued_at: Cycle,
+    /// Completion time of the last issued burst (valid when
+    /// `bursts_left == 0`; nonzero once any burst issued).
+    pub data_done_at: Cycle,
+}
+
+/// Per-bank index: the in-window list and its row-hit counters.
+#[derive(Debug, Clone)]
+pub(crate) struct BankQ {
+    head: u32,
+    tail: u32,
+    /// In-window transactions of this bank (= the list length).
+    pub window_len: u32,
+    /// In-window unfinished reads targeting the open row.
+    pub hit_reads: u32,
+    /// In-window unfinished writes targeting the open row.
+    pub hit_writes: u32,
+    /// Back-pointer into `TxnQueue::active` while `window_len > 0`.
+    active_pos: u32,
+}
+
+impl BankQ {
+    fn new() -> Self {
+        Self {
+            head: NIL,
+            tail: NIL,
+            window_len: 0,
+            hit_reads: 0,
+            hit_writes: 0,
+            active_pos: NIL,
+        }
+    }
+}
+
+/// The indexed transaction queue of one channel.
+#[derive(Debug)]
+pub(crate) struct TxnQueue {
+    hot: Vec<TxnHot>,
+    cold: Vec<TxnCold>,
+    free: Vec<u32>,
+    /// Arrival list.
+    head: u32,
+    tail: u32,
+    /// Last in-window node (NIL when the window is empty).
+    window_tail: u32,
+    len: usize,
+    window_len: usize,
+    banks: Vec<BankQ>,
+    /// Flat ids of banks with `window_len > 0` (invariant 4).
+    active: Vec<u32>,
+    next_seq: u64,
+    banks_per_rank: usize,
+}
+
+impl TxnQueue {
+    pub(crate) fn new(ranks: usize, banks_per_rank: usize) -> Self {
+        Self {
+            hot: Vec::new(),
+            cold: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            window_tail: NIL,
+            len: 0,
+            window_len: 0,
+            banks: (0..ranks * banks_per_rank).map(|_| BankQ::new()).collect(),
+            active: Vec::new(),
+            next_seq: 0,
+            banks_per_rank,
+        }
+    }
+
+    /// Flat bank id of a location.
+    pub(crate) fn flat(&self, loc: &DramLoc) -> usize {
+        loc.rank * self.banks_per_rank + loc.bank
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of in-window transactions, `min(len, SCHED_WINDOW)`.
+    pub(crate) fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    pub(crate) fn hot(&self, idx: u32) -> &TxnHot {
+        &self.hot[idx as usize]
+    }
+
+    #[cfg(test)]
+    pub(crate) fn cold(&self, idx: u32) -> &TxnCold {
+        &self.cold[idx as usize]
+    }
+
+    /// Banks with in-window work, in no particular order (membership is
+    /// maintained by swap-remove; schedulers must order by `seq`, never
+    /// by position in this slice).
+    pub(crate) fn active_banks(&self) -> &[u32] {
+        &self.active
+    }
+
+    pub(crate) fn bank(&self, flat: usize) -> &BankQ {
+        &self.banks[flat]
+    }
+
+    /// Oldest in-window transaction of a bank (NIL when none).
+    pub(crate) fn bank_head(&self, flat: usize) -> u32 {
+        self.banks[flat].head
+    }
+
+    /// Next-younger in-window transaction on the same bank's list.
+    pub(crate) fn bank_next(&self, idx: u32) -> u32 {
+        self.hot[idx as usize].bank_next
+    }
+
+    /// In-window slab indices in arrival order (oldest first).
+    #[cfg(test)]
+    pub(crate) fn iter_window(&self) -> impl Iterator<Item = u32> + '_ {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL || !self.hot[cur as usize].in_window {
+                return None;
+            }
+            let out = cur;
+            cur = self.hot[cur as usize].next;
+            Some(out)
+        })
+    }
+
+    /// Enqueues a transaction at the arrival tail. `open_row` is the
+    /// target bank's currently open row, consulted for the hit counters
+    /// when the transaction lands inside the window.
+    pub(crate) fn push(
+        &mut self,
+        id: TxnId,
+        kind: TxnKind,
+        loc: DramLoc,
+        bursts: u32,
+        meta: u64,
+        now: Cycle,
+        open_row: Option<u64>,
+    ) -> u32 {
+        debug_assert!(bursts > 0);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let hot = TxnHot {
+            kind,
+            loc,
+            bursts_left: bursts,
+            seq,
+            in_window: false,
+            prev: self.tail,
+            next: NIL,
+            bank_prev: NIL,
+            bank_next: NIL,
+        };
+        let cold = TxnCold {
+            id,
+            meta,
+            enqueued_at: now,
+            data_done_at: 0,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.hot[i as usize] = hot;
+                self.cold[i as usize] = cold;
+                i
+            }
+            None => {
+                let i = self.hot.len() as u32;
+                assert!(i < NIL, "transaction slab overflow");
+                self.hot.push(hot);
+                self.cold.push(cold);
+                i
+            }
+        };
+        if self.tail != NIL {
+            self.hot[self.tail as usize].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+        self.len += 1;
+        if self.window_len < SCHED_WINDOW {
+            self.enter_window(idx, open_row);
+        }
+        idx
+    }
+
+    /// Marks `idx` in-window, appends it to its bank's list, and updates
+    /// the hit counters against `open_row`. Callers guarantee `idx` is
+    /// the oldest out-of-window node (arrival order is preserved).
+    fn enter_window(&mut self, idx: u32, open_row: Option<u64>) {
+        let i = idx as usize;
+        debug_assert!(!self.hot[i].in_window);
+        debug_assert!(self.hot[i].bursts_left > 0, "entrants have not issued");
+        self.hot[i].in_window = true;
+        self.window_tail = idx;
+        self.window_len += 1;
+        let fb = self.flat(&self.hot[i].loc);
+        let bq = &mut self.banks[fb];
+        self.hot[i].bank_prev = bq.tail;
+        self.hot[i].bank_next = NIL;
+        if bq.tail != NIL {
+            let t = bq.tail as usize;
+            bq.window_len += 1;
+            let row_hit = open_row == Some(self.hot[i].loc.row);
+            let kind = self.hot[i].kind;
+            self.hot[t].bank_next = idx;
+            self.banks[fb].tail = idx;
+            if row_hit {
+                self.bump_hit(fb, kind, 1);
+            }
+        } else {
+            bq.head = idx;
+            bq.tail = idx;
+            bq.window_len = 1;
+            bq.active_pos = self.active.len() as u32;
+            if open_row == Some(self.hot[i].loc.row) {
+                match self.hot[i].kind {
+                    TxnKind::Read => self.banks[fb].hit_reads = 1,
+                    TxnKind::Write => self.banks[fb].hit_writes = 1,
+                }
+            }
+            self.active.push(fb as u32);
+        }
+    }
+
+    fn bump_hit(&mut self, flat: usize, kind: TxnKind, delta: i32) {
+        let c = match kind {
+            TxnKind::Read => &mut self.banks[flat].hit_reads,
+            TxnKind::Write => &mut self.banks[flat].hit_writes,
+        };
+        *c = c.checked_add_signed(delta).expect("hit counter underflow");
+    }
+
+    /// Decrements a bank's hit counter — the transaction of `kind` just
+    /// issued its final burst (it stops counting as pending work even
+    /// though it stays linked until [`Self::retire`] this same slot).
+    pub(crate) fn dec_hit(&mut self, flat: usize, kind: TxnKind) {
+        self.bump_hit(flat, kind, -1);
+    }
+
+    /// Rebuilds a bank's hit counters after its open row changed to
+    /// `row` (ACT). O(bank window length), only on row transitions.
+    pub(crate) fn recount_hits(&mut self, flat: usize, row: u64) {
+        let (mut r, mut w) = (0u32, 0u32);
+        let mut i = self.banks[flat].head;
+        while i != NIL {
+            let h = &self.hot[i as usize];
+            if h.bursts_left > 0 && h.loc.row == row {
+                match h.kind {
+                    TxnKind::Read => r += 1,
+                    TxnKind::Write => w += 1,
+                }
+            }
+            i = h.bank_next;
+        }
+        self.banks[flat].hit_reads = r;
+        self.banks[flat].hit_writes = w;
+    }
+
+    /// Zeroes a bank's hit counters — its row was closed (PRE or a
+    /// refresh-forced close).
+    pub(crate) fn zero_hits(&mut self, flat: usize) {
+        self.banks[flat].hit_reads = 0;
+        self.banks[flat].hit_writes = 0;
+    }
+
+    /// Records one issued burst on `idx`: decrements `bursts_left`,
+    /// stamps `data_done_at`. Returns `(bursts_remaining,
+    /// had_issued_before)` so the caller can maintain in-flight and hit
+    /// counters.
+    pub(crate) fn record_burst(&mut self, idx: u32, data_end: Cycle) -> (u32, bool) {
+        let was_started = self.cold[idx as usize].data_done_at > 0;
+        let h = &mut self.hot[idx as usize];
+        debug_assert!(h.bursts_left > 0);
+        h.bursts_left -= 1;
+        let left = h.bursts_left;
+        self.cold[idx as usize].data_done_at = data_end;
+        (left, was_started)
+    }
+
+    /// Unlinks a finished transaction in O(1) and promotes the oldest
+    /// out-of-window transaction (if any) into the freed window slot.
+    /// `open_row_of` reports the open row of a flat bank id, needed to
+    /// seed the promoted entrant's hit-counter contribution.
+    ///
+    /// Returns the retired transaction's kind and cold fields.
+    pub(crate) fn retire(
+        &mut self,
+        idx: u32,
+        open_row_of: impl Fn(usize) -> Option<u64>,
+    ) -> (TxnKind, TxnCold) {
+        let i = idx as usize;
+        debug_assert!(self.hot[i].in_window, "only window txns can finish");
+        debug_assert_eq!(self.hot[i].bursts_left, 0, "retire only finished txns");
+        // The entrant is the first node past the window boundary:
+        // exactly the node that becomes the window's 32nd once `idx`
+        // leaves (computed before any unlinking).
+        let entrant = self.hot[self.window_tail as usize].next;
+
+        // Arrival-list unlink.
+        let (p, n) = (self.hot[i].prev, self.hot[i].next);
+        if p != NIL {
+            self.hot[p as usize].next = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.hot[n as usize].prev = p;
+        } else {
+            self.tail = p;
+        }
+        if self.window_tail == idx {
+            self.window_tail = p;
+        }
+        self.len -= 1;
+        self.window_len -= 1;
+
+        // Bank-list unlink (hit counters need no adjustment: a finished
+        // transaction stopped counting when its last burst issued).
+        let fb = self.flat(&self.hot[i].loc);
+        let (bp, bn) = (self.hot[i].bank_prev, self.hot[i].bank_next);
+        if bp != NIL {
+            self.hot[bp as usize].bank_next = bn;
+        } else {
+            self.banks[fb].head = bn;
+        }
+        if bn != NIL {
+            self.hot[bn as usize].bank_prev = bp;
+        } else {
+            self.banks[fb].tail = bp;
+        }
+        self.banks[fb].window_len -= 1;
+        if self.banks[fb].window_len == 0 {
+            let pos = self.banks[fb].active_pos as usize;
+            self.banks[fb].active_pos = NIL;
+            self.active.swap_remove(pos);
+            if pos < self.active.len() {
+                let moved = self.active[pos] as usize;
+                self.banks[moved].active_pos = pos as u32;
+            }
+        }
+
+        let kind = self.hot[i].kind;
+        let cold = self.cold[i].clone();
+        self.hot[i].in_window = false;
+        self.free.push(idx);
+
+        if entrant != NIL {
+            let efb = self.flat(&self.hot[entrant as usize].loc);
+            self.enter_window(entrant, open_row_of(efb));
+        }
+        (kind, cold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(rank: usize, bank: usize, row: u64) -> DramLoc {
+        DramLoc {
+            channel: 0,
+            rank,
+            bank,
+            row,
+            col: 0,
+        }
+    }
+
+    fn push(q: &mut TxnQueue, id: u64, kind: TxnKind, l: DramLoc, open: Option<u64>) -> u32 {
+        q.push(TxnId(id), kind, l, 1, id, 0, open)
+    }
+
+    #[test]
+    fn window_fills_then_overflows_to_arrival_list() {
+        let mut q = TxnQueue::new(1, 2);
+        for i in 0..40 {
+            push(&mut q, i, TxnKind::Read, loc(0, (i % 2) as usize, i), None);
+        }
+        assert_eq!(q.len(), 40);
+        assert_eq!(q.window_len(), SCHED_WINDOW);
+        assert_eq!(q.bank(0).window_len + q.bank(1).window_len, 32);
+        let seqs: Vec<u64> = q.iter_window().map(|i| q.hot(i).seq).collect();
+        assert_eq!(seqs, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn retire_promotes_oldest_waiting_txn() {
+        let mut q = TxnQueue::new(1, 1);
+        let idxs: Vec<u32> = (0..34)
+            .map(|i| push(&mut q, i, TxnKind::Read, loc(0, 0, i), None))
+            .collect();
+        // Finish txn 5 (mid-window) and retire it.
+        q.record_burst(idxs[5], 100);
+        let (_, cold) = q.retire(idxs[5], |_| None);
+        assert_eq!(cold.id, TxnId(5));
+        assert_eq!(q.len(), 33);
+        assert_eq!(q.window_len(), SCHED_WINDOW);
+        // The window is now txns 0..=4, 6..=32: txn 32 was promoted.
+        let seqs: Vec<u64> = q.iter_window().map(|i| q.hot(i).seq).collect();
+        let expected: Vec<u64> = (0..33).filter(|&s| s != 5).collect();
+        assert_eq!(seqs, expected);
+        // Bank list mirrors the window in order.
+        let mut bank_seqs = Vec::new();
+        let mut i = q.bank_head(0);
+        while i != NIL {
+            bank_seqs.push(q.hot(i).seq);
+            i = q.bank_next(i);
+        }
+        assert_eq!(bank_seqs, expected);
+    }
+
+    #[test]
+    fn retiring_window_tail_moves_boundary_back() {
+        let mut q = TxnQueue::new(1, 1);
+        let idxs: Vec<u32> = (0..3)
+            .map(|i| push(&mut q, i, TxnKind::Read, loc(0, 0, i), None))
+            .collect();
+        q.record_burst(idxs[2], 10);
+        q.retire(idxs[2], |_| None);
+        assert_eq!(q.window_len(), 2);
+        // A new push still lands in the window, after the old tail.
+        push(&mut q, 9, TxnKind::Read, loc(0, 0, 9), None);
+        let seqs: Vec<u64> = q.iter_window().map(|i| q.hot(i).seq).collect();
+        assert_eq!(seqs, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn active_banks_track_window_membership() {
+        let mut q = TxnQueue::new(2, 2);
+        let a = push(&mut q, 0, TxnKind::Read, loc(0, 1, 5), None);
+        push(&mut q, 1, TxnKind::Write, loc(1, 0, 7), None);
+        let mut act: Vec<u32> = q.active_banks().to_vec();
+        act.sort_unstable();
+        assert_eq!(act, vec![1, 2]); // flat ids: rank*2 + bank
+        q.record_burst(a, 10);
+        q.retire(a, |_| None);
+        assert_eq!(q.active_banks(), &[2]);
+        assert_eq!(q.bank(1).window_len, 0);
+    }
+
+    #[test]
+    fn hit_counters_follow_pushes_and_row_changes() {
+        let mut q = TxnQueue::new(1, 1);
+        // Bank open on row 4: a read hit, a write hit, a conflict.
+        let r = push(&mut q, 0, TxnKind::Read, loc(0, 0, 4), Some(4));
+        push(&mut q, 1, TxnKind::Write, loc(0, 0, 4), Some(4));
+        push(&mut q, 2, TxnKind::Read, loc(0, 0, 9), Some(4));
+        assert_eq!((q.bank(0).hit_reads, q.bank(0).hit_writes), (1, 1));
+        // The read issues its only burst: it stops counting.
+        q.record_burst(r, 50);
+        q.dec_hit(0, TxnKind::Read);
+        assert_eq!((q.bank(0).hit_reads, q.bank(0).hit_writes), (0, 1));
+        q.retire(r, |_| Some(4));
+        // PRE closes the row, ACT opens row 9: only the conflict-turned-
+        // hit transaction counts now.
+        q.zero_hits(0);
+        assert_eq!((q.bank(0).hit_reads, q.bank(0).hit_writes), (0, 0));
+        q.recount_hits(0, 9);
+        assert_eq!((q.bank(0).hit_reads, q.bank(0).hit_writes), (1, 0));
+    }
+
+    #[test]
+    fn promoted_entrant_contributes_hit_count() {
+        let mut q = TxnQueue::new(1, 1);
+        let idxs: Vec<u32> = (0..33)
+            .map(|i| push(&mut q, i, TxnKind::Read, loc(0, 0, i), Some(32)))
+            .collect();
+        // Txn 32 (row 32) waits outside the window; the bank's open row
+        // is 32, so no in-window txn hits it yet.
+        assert_eq!(q.bank(0).hit_reads, 0);
+        q.record_burst(idxs[0], 10);
+        q.retire(idxs[0], |_| Some(32));
+        // Promotion pulled txn 32 in: it hits the open row.
+        assert_eq!(q.bank(0).hit_reads, 1);
+        assert_eq!(q.window_len(), SCHED_WINDOW);
+    }
+
+    #[test]
+    fn slab_slots_are_reused() {
+        let mut q = TxnQueue::new(1, 1);
+        let a = push(&mut q, 0, TxnKind::Read, loc(0, 0, 1), None);
+        q.record_burst(a, 5);
+        q.retire(a, |_| None);
+        let b = push(&mut q, 1, TxnKind::Read, loc(0, 0, 2), None);
+        assert_eq!(a, b, "freed slot should be reused");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.cold(b).id, TxnId(1));
+    }
+}

@@ -1,0 +1,663 @@
+//! Reference linear-scan scheduler kernel.
+//!
+//! This module preserves the original brute-force FR-FCFS kernel — a
+//! flat `Vec` transaction queue rescanned in full every slot, O(n)
+//! `Vec::remove` retirement, and a per-candidate `row_has_pending_hits`
+//! rescan — exactly as it behaved before the indexed kernel (DESIGN.md
+//! §3.8) replaced it. It exists for one purpose: **differential
+//! testing**. The property suite in `tests/indexed_vs_reference.rs`
+//! drives random enqueue/issue/retire sequences through both kernels
+//! and asserts identical command picks, issue cycles, horizons and
+//! statistics at every slot.
+//!
+//! The implementation is deliberately simple rather than fast; do not
+//! use it for experiments. It is `#[doc(hidden)]` because it is a test
+//! oracle, not part of the supported API surface.
+
+#![doc(hidden)]
+
+use crate::bank::{Bank, Rank};
+use crate::config::DramConfig;
+use crate::stats::DramStats;
+use crate::system::{Completion, IssuedCmd, IssuedKind, TxnId, TxnKind};
+use crate::timing::TimingParams;
+use crate::topology::{decode, DramLoc};
+use redcache_types::{Cycle, PhysAddr};
+
+/// Transactions visible to the scheduler per slot (see
+/// `scheduler::SCHED_WINDOW`; the constant is duplicated here so the
+/// oracle stays frozen even if the indexed kernel's window changes —
+/// the differential suite would then fail loudly instead of silently
+/// comparing different machines).
+const SCHED_WINDOW: usize = 32;
+const WRITE_DRAIN_HIGH: usize = 12;
+const WRITE_DRAIN_LOW: usize = 2;
+
+/// An in-flight transaction within a reference channel queue (the
+/// original array-of-structs layout).
+#[derive(Debug, Clone)]
+struct Txn {
+    id: TxnId,
+    kind: TxnKind,
+    loc: DramLoc,
+    bursts_left: u32,
+    meta: u64,
+    enqueued_at: Cycle,
+    data_done_at: Cycle,
+}
+
+/// One DRAM channel of the reference model.
+#[derive(Debug)]
+struct Channel {
+    ranks: Vec<Rank>,
+    banks: Vec<Vec<Bank>>,
+    queue: Vec<Txn>,
+    bus_free_at: Cycle,
+    last_col_cmd: Option<Cycle>,
+    pending_writes: usize,
+    write_drain_mode: bool,
+}
+
+impl Channel {
+    fn new(ranks: usize, banks: usize, first_refresh_stagger: Cycle) -> Self {
+        Self {
+            ranks: (0..ranks)
+                .map(|r| Rank::new(first_refresh_stagger * (r as Cycle + 1)))
+                .collect(),
+            banks: (0..ranks)
+                .map(|_| (0..banks).map(|_| Bank::new()).collect())
+                .collect(),
+            queue: Vec::new(),
+            bus_free_at: 0,
+            last_col_cmd: None,
+            pending_writes: 0,
+            write_drain_mode: false,
+        }
+    }
+
+    fn bank(&self, loc: &DramLoc) -> &Bank {
+        &self.banks[loc.rank][loc.bank]
+    }
+
+    fn bank_mut(&mut self, loc: &DramLoc) -> &mut Bank {
+        &mut self.banks[loc.rank][loc.bank]
+    }
+
+    fn row_has_pending_hits(&self, loc: &DramLoc, except: TxnId) -> bool {
+        let open = self.bank(loc).open_row;
+        match open {
+            None => false,
+            Some(row) => self.queue.iter().take(SCHED_WINDOW).any(|t| {
+                t.id != except && t.bursts_left > 0 && t.loc.same_bank(loc) && t.loc.row == row
+            }),
+        }
+    }
+}
+
+fn rank_refresh_due(rank: &Rank, now: Cycle) -> bool {
+    now >= rank.next_refresh && !rank.is_refreshing(now)
+}
+
+fn burst_total_hint(txn: &Txn) -> u32 {
+    if txn.data_done_at > 0 && txn.bursts_left > 0 {
+        txn.bursts_left + 1
+    } else {
+        txn.bursts_left
+    }
+}
+
+fn service_refresh(
+    ch: &mut Channel,
+    chan_idx: usize,
+    t: &TimingParams,
+    now: Cycle,
+    stats: &mut DramStats,
+    issued: &mut Vec<IssuedCmd>,
+) {
+    for r in 0..ch.ranks.len() {
+        if !rank_refresh_due(&ch.ranks[r], now) {
+            continue;
+        }
+        let quiescent = ch.banks[r].iter().all(|b| b.ready_pre <= now)
+            && !ch
+                .queue
+                .iter()
+                .any(|txn| txn.loc.rank == r && txn.bursts_left < burst_total_hint(txn));
+        if !quiescent {
+            continue;
+        }
+        let mut closed = 0;
+        for (bi, b) in ch.banks[r].iter_mut().enumerate() {
+            if let Some(row) = b.open_row.take() {
+                closed += 1;
+                issued.push(IssuedCmd {
+                    kind: IssuedKind::Precharge,
+                    loc: DramLoc {
+                        channel: chan_idx,
+                        rank: r,
+                        bank: bi,
+                        row,
+                        col: 0,
+                    },
+                    cycle: now,
+                });
+            }
+        }
+        issued.push(IssuedCmd {
+            kind: IssuedKind::Refresh,
+            loc: DramLoc {
+                channel: chan_idx,
+                rank: r,
+                bank: 0,
+                row: 0,
+                col: 0,
+            },
+            cycle: now,
+        });
+        let until = now + t.t_rfc;
+        for b in ch.banks[r].iter_mut() {
+            b.ready_act = b.ready_act.max(until);
+            b.ready_col = b.ready_col.max(until);
+            b.ready_pre = b.ready_pre.max(until);
+        }
+        let rank = &mut ch.ranks[r];
+        rank.refreshing_until = until;
+        rank.next_refresh += t.t_refi;
+        stats.energy.refreshes += 1;
+        stats.energy.pres += closed;
+    }
+}
+
+fn col_cmd_legal(ch: &Channel, t: &TimingParams, txn: &Txn, now: Cycle) -> bool {
+    let bank = ch.bank(&txn.loc);
+    if bank.open_row != Some(txn.loc.row) || now < bank.ready_col {
+        return false;
+    }
+    if let Some(last) = ch.last_col_cmd {
+        if now < last + t.t_ccd {
+            return false;
+        }
+    }
+    let rank = &ch.ranks[txn.loc.rank];
+    if rank.is_refreshing(now) {
+        return false;
+    }
+    match txn.kind {
+        TxnKind::Read => {
+            if now < rank.ready_read {
+                return false;
+            }
+            now + t.t_cas >= ch.bus_free_at
+        }
+        TxnKind::Write => now + t.t_cwd >= ch.bus_free_at,
+    }
+}
+
+fn issue_col_cmd(
+    ch: &mut Channel,
+    t: &TimingParams,
+    idx: usize,
+    now: Cycle,
+    bytes_per_burst: usize,
+    stats: &mut DramStats,
+) -> IssuedCmd {
+    let (kind, loc) = {
+        let txn = &ch.queue[idx];
+        (txn.kind, txn.loc)
+    };
+    let (data_start, issued_kind) = match kind {
+        TxnKind::Read => (now + t.t_cas, IssuedKind::Read),
+        TxnKind::Write => (now + t.t_cwd, IssuedKind::Write),
+    };
+    let data_end = data_start + t.t_bl;
+    ch.bus_free_at = data_end;
+    ch.last_col_cmd = Some(now);
+    {
+        let bank = ch.bank_mut(&loc);
+        match kind {
+            TxnKind::Read => bank.ready_pre = bank.ready_pre.max(now + t.t_rtp),
+            TxnKind::Write => bank.ready_pre = bank.ready_pre.max(data_end + t.t_wr),
+        }
+    }
+    if kind == TxnKind::Write {
+        let rank = &mut ch.ranks[loc.rank];
+        rank.ready_read = rank.ready_read.max(data_end + t.t_wtr);
+    }
+    match kind {
+        TxnKind::Read => {
+            stats.energy.rd_bursts += 1;
+            stats.bytes_read += bytes_per_burst as u64;
+        }
+        TxnKind::Write => {
+            stats.energy.wr_bursts += 1;
+            stats.bytes_written += bytes_per_burst as u64;
+        }
+    }
+    stats.col_cmds += 1;
+    stats.bus_busy_cycles += t.t_bl;
+    let txn = &mut ch.queue[idx];
+    txn.bursts_left -= 1;
+    txn.data_done_at = data_end;
+    IssuedCmd {
+        kind: issued_kind,
+        loc,
+        cycle: now,
+    }
+}
+
+fn act_legal(ch: &mut Channel, t: &TimingParams, txn_loc: &DramLoc, now: Cycle) -> bool {
+    let rank_idx = txn_loc.rank;
+    if ch.ranks[rank_idx].is_refreshing(now) || now < ch.ranks[rank_idx].ready_act {
+        return false;
+    }
+    if !ch.ranks[rank_idx].faw_allows_act(now, t.t_faw) {
+        return false;
+    }
+    let bank = ch.bank(txn_loc);
+    bank.open_row.is_none() && now >= bank.ready_act
+}
+
+fn issue_act(
+    ch: &mut Channel,
+    t: &TimingParams,
+    loc: &DramLoc,
+    now: Cycle,
+    stats: &mut DramStats,
+) -> IssuedCmd {
+    {
+        let bank = ch.bank_mut(loc);
+        bank.open_row = Some(loc.row);
+        bank.ready_col = now + t.t_rcd;
+        bank.ready_pre = now + t.t_ras;
+        bank.ready_act = now + t.t_rc;
+    }
+    let rank = &mut ch.ranks[loc.rank];
+    rank.ready_act = rank.ready_act.max(now + t.t_rrd);
+    rank.act_times.push_back(now);
+    stats.energy.acts += 1;
+    stats.demand_acts += 1;
+    IssuedCmd {
+        kind: IssuedKind::Activate,
+        loc: *loc,
+        cycle: now,
+    }
+}
+
+fn issue_pre(
+    ch: &mut Channel,
+    t: &TimingParams,
+    loc: &DramLoc,
+    now: Cycle,
+    stats: &mut DramStats,
+) -> IssuedCmd {
+    {
+        let bank = ch.bank_mut(loc);
+        bank.open_row = None;
+        bank.ready_act = bank.ready_act.max(now + t.t_rp);
+    }
+    stats.energy.pres += 1;
+    IssuedCmd {
+        kind: IssuedKind::Precharge,
+        loc: *loc,
+        cycle: now,
+    }
+}
+
+fn schedule_slot(
+    ch: &mut Channel,
+    chan_idx: usize,
+    t: &TimingParams,
+    now: Cycle,
+    bytes_per_burst: usize,
+    stats: &mut DramStats,
+    issued: &mut Vec<IssuedCmd>,
+) -> Option<IssuedKind> {
+    service_refresh(ch, chan_idx, t, now, stats, issued);
+
+    if ch.pending_writes >= WRITE_DRAIN_HIGH {
+        ch.write_drain_mode = true;
+    } else if ch.pending_writes <= WRITE_DRAIN_LOW {
+        ch.write_drain_mode = false;
+    }
+    let window = ch.queue.len().min(SCHED_WINDOW);
+
+    let mut read_idx = None;
+    let mut write_idx = None;
+    for (i, txn) in ch.queue.iter().take(SCHED_WINDOW).enumerate() {
+        if txn.bursts_left == 0 {
+            continue;
+        }
+        let slot = match txn.kind {
+            TxnKind::Read => &mut read_idx,
+            TxnKind::Write => &mut write_idx,
+        };
+        if slot.is_none() && col_cmd_legal(ch, t, txn, now) {
+            *slot = Some(i);
+        }
+        if read_idx.is_some() && write_idx.is_some() {
+            break;
+        }
+    }
+    let pick = if ch.write_drain_mode {
+        write_idx.or(read_idx)
+    } else {
+        read_idx.or(write_idx)
+    };
+    if let Some(i) = pick {
+        let cmd = issue_col_cmd(ch, t, i, now, bytes_per_burst, stats);
+        issued.push(cmd);
+        return Some(cmd.kind);
+    }
+
+    for i in 0..window {
+        let (loc, id, bursts_left) = {
+            let txn = &ch.queue[i];
+            (txn.loc, txn.id, txn.bursts_left)
+        };
+        if bursts_left == 0 {
+            continue;
+        }
+        let open = ch.bank(&loc).open_row;
+        match open {
+            None => {
+                if act_legal(ch, t, &loc, now) {
+                    let cmd = issue_act(ch, t, &loc, now, stats);
+                    issued.push(cmd);
+                    return Some(cmd.kind);
+                }
+            }
+            Some(row) if row != loc.row => {
+                let has_hits = ch.row_has_pending_hits(&loc, id);
+                let bank = ch.bank(&loc);
+                if !has_hits && now >= bank.ready_pre {
+                    let cmd = issue_pre(ch, t, &loc, now, stats);
+                    issued.push(cmd);
+                    return Some(cmd.kind);
+                }
+            }
+            Some(_) => {}
+        }
+    }
+    None
+}
+
+fn faw_earliest(rank: &Rank, t_faw: Cycle, now: Cycle) -> Cycle {
+    let valid = rank.act_times.iter().filter(|&&x| x + t_faw > now).count();
+    if valid < 4 {
+        0
+    } else {
+        rank.act_times[rank.act_times.len() - 4] + t_faw
+    }
+}
+
+fn channel_next_event(ch: &Channel, t: &TimingParams, refresh_enabled: bool, now: Cycle) -> Cycle {
+    let latched = if ch.pending_writes >= WRITE_DRAIN_HIGH {
+        true
+    } else if ch.pending_writes <= WRITE_DRAIN_LOW {
+        false
+    } else {
+        ch.write_drain_mode
+    };
+    if latched != ch.write_drain_mode {
+        return now;
+    }
+    let banks_per_rank = ch.banks.first().map_or(0, Vec::len);
+    let mut hit_bits = [0u64; 4];
+    for txn in ch.queue.iter().take(SCHED_WINDOW) {
+        if txn.bursts_left == 0 {
+            continue;
+        }
+        if ch.bank(&txn.loc).open_row == Some(txn.loc.row) {
+            let idx = txn.loc.rank * banks_per_rank + txn.loc.bank;
+            if idx < 256 {
+                hit_bits[idx / 64] |= 1 << (idx % 64);
+            }
+        }
+    }
+    let mut earliest = Cycle::MAX;
+    if refresh_enabled {
+        for (r, rank) in ch.ranks.iter().enumerate() {
+            let c = if rank_refresh_due(rank, now) {
+                ch.banks[r].iter().map(|b| b.ready_pre).max().unwrap_or(now)
+            } else {
+                rank.next_refresh
+            };
+            earliest = earliest.min(c);
+            if earliest <= now {
+                return now;
+            }
+        }
+    }
+    for txn in ch.queue.iter().take(SCHED_WINDOW) {
+        if txn.bursts_left == 0 {
+            continue;
+        }
+        let bank = ch.bank(&txn.loc);
+        let rank = &ch.ranks[txn.loc.rank];
+        let c = match bank.open_row {
+            Some(row) if row == txn.loc.row => {
+                let mut c = bank.ready_col.max(rank.refreshing_until);
+                if let Some(last) = ch.last_col_cmd {
+                    c = c.max(last + t.t_ccd);
+                }
+                match txn.kind {
+                    TxnKind::Read => c
+                        .max(rank.ready_read)
+                        .max(ch.bus_free_at.saturating_sub(t.t_cas)),
+                    TxnKind::Write => c.max(ch.bus_free_at.saturating_sub(t.t_cwd)),
+                }
+            }
+            None => bank
+                .ready_act
+                .max(rank.ready_act)
+                .max(rank.refreshing_until)
+                .max(faw_earliest(rank, t.t_faw, now)),
+            Some(_) => {
+                let idx = txn.loc.rank * banks_per_rank + txn.loc.bank;
+                let pending_hit = if idx < 256 {
+                    hit_bits[idx / 64] & (1 << (idx % 64)) != 0
+                } else {
+                    ch.row_has_pending_hits(&txn.loc, txn.id)
+                };
+                if pending_hit {
+                    continue;
+                }
+                bank.ready_pre
+            }
+        };
+        earliest = earliest.min(c);
+        if earliest <= now {
+            return now;
+        }
+    }
+    earliest
+}
+
+/// A complete DRAM system driven by the reference kernel. Mirrors the
+/// observable surface of [`crate::DramSystem`] that the differential
+/// suite needs: enqueue, tick, slot accounting back-fill, horizon
+/// queries, completions, issued commands, statistics.
+#[derive(Debug)]
+pub struct ReferenceSystem {
+    cfg: DramConfig,
+    channels: Vec<Channel>,
+    completions: Vec<Completion>,
+    issued_cmds: Vec<IssuedCmd>,
+    stats: DramStats,
+    next_txn: u64,
+    pending: usize,
+    next_slot: Cycle,
+}
+
+impl ReferenceSystem {
+    /// Builds a reference system from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`DramConfig::validate`].
+    pub fn new(cfg: DramConfig) -> Self {
+        cfg.validate().expect("invalid DRAM configuration");
+        let stagger = if cfg.refresh_enabled {
+            cfg.timing.t_refi / (cfg.topology.ranks as Cycle + 1)
+        } else {
+            Cycle::MAX / 4
+        };
+        let channels = (0..cfg.topology.channels)
+            .map(|_| Channel::new(cfg.topology.ranks, cfg.topology.banks, stagger))
+            .collect();
+        Self {
+            cfg,
+            channels,
+            completions: Vec::new(),
+            issued_cmds: Vec::new(),
+            stats: DramStats::default(),
+            next_txn: 0,
+            pending: 0,
+            next_slot: 0,
+        }
+    }
+
+    /// Enqueues a transaction (same contract as
+    /// [`crate::DramSystem::enqueue`]).
+    pub fn enqueue(
+        &mut self,
+        addr: PhysAddr,
+        kind: TxnKind,
+        meta: u64,
+        bursts: u32,
+        now: Cycle,
+    ) -> TxnId {
+        assert!(bursts > 0, "a transaction needs at least one burst");
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let loc = decode(&self.cfg.topology, self.cfg.mapping, addr);
+        if kind == TxnKind::Write {
+            self.channels[loc.channel].pending_writes += 1;
+        }
+        self.channels[loc.channel].queue.push(Txn {
+            id,
+            kind,
+            loc,
+            bursts_left: bursts,
+            meta,
+            enqueued_at: now,
+            data_done_at: 0,
+        });
+        self.stats.txns_enqueued += 1;
+        self.pending += 1;
+        id
+    }
+
+    /// Transactions not yet completed.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Back-fills slot accounting exactly like
+    /// [`crate::DramSystem::sync_to`].
+    pub fn sync_to(&mut self, now: Cycle) {
+        if now <= self.next_slot {
+            return;
+        }
+        let d = self.cfg.timing.cmd_clock_divisor;
+        let skipped = (now - self.next_slot).div_ceil(d);
+        self.stats.slot_samples += skipped;
+        if self.channels.iter().all(|c| c.queue.is_empty()) {
+            self.stats.empty_slot_samples += skipped;
+        }
+        let occ: u64 = self
+            .channels
+            .iter()
+            .map(|c| c.queue.len().min(SCHED_WINDOW) as u64)
+            .sum();
+        self.stats.window_occupancy_sum += skipped * occ;
+        self.next_slot += skipped * d;
+    }
+
+    /// The scheduling horizon (same contract as
+    /// [`crate::DramSystem::next_event`]).
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        let d = self.cfg.timing.cmd_clock_divisor;
+        let next_slot_after_now = (now / d + 1) * d;
+        let mut earliest = Cycle::MAX;
+        for ch in &self.channels {
+            let c = channel_next_event(ch, &self.cfg.timing, self.cfg.refresh_enabled, now);
+            earliest = earliest.min(c);
+            if earliest <= now {
+                return next_slot_after_now;
+            }
+        }
+        if earliest == Cycle::MAX {
+            Cycle::MAX
+        } else {
+            earliest
+                .checked_next_multiple_of(d)
+                .unwrap_or(Cycle::MAX)
+                .max(next_slot_after_now)
+        }
+    }
+
+    /// Advances to CPU cycle `now` (work on command-clock edges only).
+    pub fn tick(&mut self, now: Cycle) {
+        self.sync_to(now);
+        if !now.is_multiple_of(self.cfg.timing.cmd_clock_divisor) {
+            return;
+        }
+        let mut all_empty = true;
+        let mut occ: u64 = 0;
+        for ci in 0..self.channels.len() {
+            let ch = &mut self.channels[ci];
+            occ += ch.queue.len().min(SCHED_WINDOW) as u64;
+            if !ch.queue.is_empty() {
+                all_empty = false;
+            }
+            let outcome = schedule_slot(
+                ch,
+                ci,
+                &self.cfg.timing,
+                now,
+                self.cfg.topology.bytes_per_burst,
+                &mut self.stats,
+                &mut self.issued_cmds,
+            );
+            if matches!(outcome, Some(IssuedKind::Read) | Some(IssuedKind::Write)) {
+                if let Some(i) = ch.queue.iter().position(|t| t.bursts_left == 0) {
+                    let t = ch.queue.remove(i);
+                    if t.kind == TxnKind::Write {
+                        ch.pending_writes -= 1;
+                    }
+                    self.completions.push(Completion {
+                        txn: t.id,
+                        meta: t.meta,
+                        done_at: t.data_done_at,
+                        kind: t.kind,
+                    });
+                    self.stats.txns_completed += 1;
+                    self.stats.latency_sum += t.data_done_at.saturating_sub(t.enqueued_at);
+                    self.pending -= 1;
+                }
+            }
+        }
+        self.stats.slot_samples += 1;
+        self.stats.window_occupancy_sum += occ;
+        if all_empty {
+            self.stats.empty_slot_samples += 1;
+        }
+        self.next_slot = now + self.cfg.timing.cmd_clock_divisor;
+    }
+
+    /// Removes and returns all completions accumulated so far.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Removes and returns the commands issued since the last call.
+    pub fn take_issued_cmds(&mut self) -> Vec<IssuedCmd> {
+        std::mem::take(&mut self.issued_cmds)
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+}

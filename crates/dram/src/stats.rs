@@ -60,6 +60,15 @@ pub struct DramStats {
     /// [`crate::AuditStats`] for the full per-rule breakdown.
     #[serde(default)]
     pub audit_violations: u64,
+    /// Sum over command slots of the scheduler-window occupancy
+    /// (`min(queue length, window)`, summed over channels). Together
+    /// with `slot_samples` this gives the mean number of transactions
+    /// the scheduler kernel had to consider per slot. Skipped slots are
+    /// back-filled by [`crate::DramSystem::sync_to`] with the frozen
+    /// queue state, so the value is identical in event-driven and
+    /// cycle-accurate walks.
+    #[serde(default)]
+    pub window_occupancy_sum: u64,
 }
 
 impl DramStats {
@@ -74,6 +83,16 @@ impl DramStats {
             0.0
         } else {
             self.latency_sum as f64 / self.txns_completed as f64
+        }
+    }
+
+    /// Mean scheduler-window occupancy per command slot (transactions
+    /// the kernel had to consider, summed over channels).
+    pub fn mean_window_occupancy(&self) -> f64 {
+        if self.slot_samples == 0 {
+            0.0
+        } else {
+            self.window_occupancy_sum as f64 / self.slot_samples as f64
         }
     }
 

@@ -2,7 +2,7 @@
 //! completions.
 
 use crate::audit::{AuditStats, TimingAuditor};
-use crate::channel::{Channel, Txn};
+use crate::channel::Channel;
 use crate::config::DramConfig;
 use crate::scheduler::schedule_slot;
 use crate::stats::DramStats;
@@ -207,18 +207,7 @@ impl DramSystem {
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
         let loc = self.decode_addr(addr);
-        if kind == TxnKind::Write {
-            self.channels[loc.channel].pending_writes += 1;
-        }
-        self.channels[loc.channel].queue.push(Txn {
-            id,
-            kind,
-            loc,
-            bursts_left: bursts,
-            meta,
-            enqueued_at: now,
-            data_done_at: 0,
-        });
+        self.channels[loc.channel].push(id, kind, loc, bursts, meta, now);
         self.stats.txns_enqueued += 1;
         self.pending += 1;
         self.ch_horizon[loc.channel].set(None);
@@ -233,13 +222,13 @@ impl DramSystem {
     /// Number of transactions queued on the channel serving `addr`.
     pub fn queue_len(&self, addr: PhysAddr) -> usize {
         let loc = self.decode_addr(addr);
-        self.channels[loc.channel].queue.len()
+        self.channels[loc.channel].q.len()
     }
 
     /// True when every channel queue is empty (the RCU drain condition 2
     /// of §III.C).
     pub fn all_queues_empty(&self) -> bool {
-        self.channels.iter().all(|c| c.queue.is_empty())
+        self.channels.iter().all(|c| c.q.is_empty())
     }
 
     /// Number of channels.
@@ -249,7 +238,7 @@ impl DramSystem {
 
     /// Queue length of one channel (per-channel RCU idle condition).
     pub fn channel_queue_len(&self, channel: usize) -> usize {
-        self.channels[channel].queue.len()
+        self.channels[channel].q.len()
     }
 
     /// Write transactions queued on one channel (a write batch is
@@ -308,9 +297,15 @@ impl DramSystem {
         let d = self.cfg.timing.cmd_clock_divisor;
         let skipped = (now - self.next_slot).div_ceil(d);
         self.stats.slot_samples += skipped;
-        if self.channels.iter().all(|c| c.queue.is_empty()) {
+        if self.channels.iter().all(|c| c.q.is_empty()) {
             self.stats.empty_slot_samples += skipped;
         }
+        // Queue state is frozen across the skipped span, so one
+        // occupancy sample stands for every skipped slot — keeping
+        // `window_occupancy_sum` identical between event-driven and
+        // cycle-accurate walks.
+        let occ: u64 = self.channels.iter().map(|c| c.q.window_len() as u64).sum();
+        self.stats.window_occupancy_sum += skipped * occ;
         self.next_slot += skipped * d;
     }
 
@@ -367,9 +362,11 @@ impl DramSystem {
         // emitted (or injected); only this slot's additions are new.
         let audit_mark = self.issued_cmds.len();
         let mut all_empty = true;
+        let mut occupancy: u64 = 0;
         for ci in 0..self.channels.len() {
             let ch = &mut self.channels[ci];
-            if ch.queue.is_empty() {
+            occupancy += ch.q.window_len() as u64;
+            if ch.q.is_empty() {
                 // Only a due refresh could issue on an idle channel; skip
                 // the full scheduling pass otherwise — but still latch
                 // what that pass would have latched: with no queued
@@ -400,28 +397,25 @@ impl DramSystem {
                 &mut self.stats,
                 &mut self.issued_cmds,
             );
-            // Harvest finished transactions. At most one transaction can
-            // complete per slot (one column command), and only when a
-            // column command was issued — keep the removal order-
-            // preserving so FR-FCFS age priority stays intact.
+            // Harvest the finished transaction, if any. At most one can
+            // complete per slot (one column command), and the scheduler
+            // recorded its slab index — retirement is an O(1) unlink
+            // that promotes the oldest waiting transaction into the
+            // freed window slot, preserving FR-FCFS age priority.
             if matches!(
                 outcome,
                 crate::scheduler::SlotOutcome::Issued(IssuedKind::Read)
                     | crate::scheduler::SlotOutcome::Issued(IssuedKind::Write)
             ) {
-                if let Some(i) = ch.queue.iter().position(|t| t.bursts_left == 0) {
-                    let t = ch.queue.remove(i);
-                    if t.kind == TxnKind::Write {
-                        ch.pending_writes -= 1;
-                    }
+                if let Some((kind, cold)) = ch.take_completed() {
                     self.completions.push(Completion {
-                        txn: t.id,
-                        meta: t.meta,
-                        done_at: t.data_done_at,
-                        kind: t.kind,
+                        txn: cold.id,
+                        meta: cold.meta,
+                        done_at: cold.data_done_at,
+                        kind,
                     });
                     self.stats.txns_completed += 1;
-                    self.stats.latency_sum += t.data_done_at.saturating_sub(t.enqueued_at);
+                    self.stats.latency_sum += cold.data_done_at.saturating_sub(cold.enqueued_at);
                     self.pending -= 1;
                 }
             }
@@ -430,6 +424,7 @@ impl DramSystem {
             }
         }
         self.stats.slot_samples += 1;
+        self.stats.window_occupancy_sum += occupancy;
         if all_empty {
             self.stats.empty_slot_samples += 1;
         }

@@ -1,0 +1,153 @@
+//! Differential property tests: indexed FR-FCFS kernel vs the retained
+//! linear-scan reference.
+//!
+//! [`redcache_dram::reference::ReferenceSystem`] is a frozen copy of the
+//! pre-rewrite scan-based scheduler. The indexed kernel
+//! ([`DramSystem`]) claims *bit-exact* equivalence, so both systems are
+//! driven in lockstep through random enqueue/issue/retire sequences and
+//! compared **every slot**: same command picks at the same issue cycles,
+//! same completion stream, same statistics, and the same event-driven
+//! horizon from [`DramSystem::next_event`].
+
+use proptest::prelude::*;
+use redcache_dram::reference::ReferenceSystem;
+use redcache_dram::{DramConfig, DramSystem, Topology, TxnKind};
+use redcache_types::{Cycle, PhysAddr};
+
+const INJECT_PERIOD: Cycle = 4;
+
+fn small_config(wideio: bool) -> DramConfig {
+    let mut cfg = if wideio {
+        DramConfig::wideio_scaled(16 << 20)
+    } else {
+        DramConfig::ddr4_scaled(64 << 20)
+    };
+    cfg.refresh_enabled = true;
+    cfg
+}
+
+fn multi_channel_config() -> DramConfig {
+    let mut cfg = small_config(false);
+    cfg.topology = Topology::from_capacity(4, 2, 8, 8192, 64, 64 << 20);
+    cfg
+}
+
+/// Drives the indexed system and the reference cycle by cycle with the
+/// same injected traffic, asserting observable equality at every tick.
+fn check_lockstep(cfg: DramConfig, txns: &[(u64, bool, u8)]) {
+    let capacity = cfg.topology.capacity_bytes();
+    let mut indexed = DramSystem::new(cfg);
+    indexed.set_cmd_recording(true);
+    let mut reference = ReferenceSystem::new(cfg);
+
+    let mut now: Cycle = 0;
+    let mut it = txns.iter();
+    let mut next = it.next();
+    while next.is_some() || indexed.pending() > 0 {
+        if now % INJECT_PERIOD == 0 {
+            if let Some(&(addr, is_write, bursts)) = next {
+                let kind = if is_write {
+                    TxnKind::Write
+                } else {
+                    TxnKind::Read
+                };
+                let b = (bursts % 4) as u32 + 1;
+                let addr = PhysAddr::new(addr % capacity);
+                let ia = indexed.enqueue(addr, kind, now, b, now);
+                let ib = reference.enqueue(addr, kind, now, b, now);
+                assert_eq!(ia, ib, "transaction ids diverged at cycle {now}");
+                next = it.next();
+            }
+        }
+        indexed.tick(now);
+        reference.tick(now);
+
+        // Same command picks at the same issue cycles, every slot.
+        assert_eq!(
+            indexed.take_issued_cmds(),
+            reference.take_issued_cmds(),
+            "command picks diverged at cycle {now}"
+        );
+        // Same retirements, in the same order.
+        assert_eq!(
+            indexed.drain_completions(),
+            reference.drain_completions(),
+            "completions diverged at cycle {now}"
+        );
+        // Whole-statistics equality every slot (commands, energy
+        // events, latency, slot and occupancy accounting).
+        assert_eq!(
+            indexed.stats(),
+            reference.stats(),
+            "statistics diverged at cycle {now}"
+        );
+        // The event-driven horizon must be the same function of state.
+        assert_eq!(
+            indexed.next_event(now),
+            reference.next_event(now),
+            "next_event horizons diverged at cycle {now}"
+        );
+
+        now += 1;
+        assert!(now < 50_000_000, "scheduler deadlock");
+    }
+    assert_eq!(reference.pending(), 0, "reference retained pending work");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ddr4_indexed_kernel_matches_reference(
+        txns in prop::collection::vec((any::<u64>(), any::<bool>(), any::<u8>()), 1..80)
+    ) {
+        check_lockstep(small_config(false), &txns);
+    }
+
+    #[test]
+    fn wideio_indexed_kernel_matches_reference(
+        txns in prop::collection::vec((any::<u64>(), any::<bool>(), any::<u8>()), 1..80)
+    ) {
+        check_lockstep(small_config(true), &txns);
+    }
+
+    /// Hot-row traffic keeps banks open and the hit counters busy —
+    /// the adversarial case for the incremental bookkeeping.
+    #[test]
+    fn hot_row_indexed_kernel_matches_reference(
+        rows in prop::collection::vec(0u64..4, 1..120),
+        writes in prop::collection::vec(any::<bool>(), 1..120)
+    ) {
+        let txns: Vec<(u64, bool, u8)> = rows
+            .iter()
+            .zip(writes.iter().cycle())
+            .map(|(&r, &w)| (r * 1024 * 1024, w, 0))
+            .collect();
+        check_lockstep(small_config(false), &txns);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn multi_channel_indexed_kernel_matches_reference(
+        txns in prop::collection::vec((any::<u64>(), any::<bool>(), any::<u8>()), 1..80)
+    ) {
+        check_lockstep(multi_channel_config(), &txns);
+    }
+}
+
+/// Deep queues: more transactions than `SCHED_WINDOW` per channel, so
+/// window promotion on retirement is exercised continuously.
+#[test]
+fn overflowing_window_matches_reference() {
+    // 96 single-bank-group transactions against one DDR4 channel
+    // topology — queue depth far exceeds the 32-entry window.
+    let mut cfg = small_config(false);
+    cfg.topology = Topology::from_capacity(1, 1, 4, 4096, 64, 16 << 20);
+    let txns: Vec<(u64, bool, u8)> = (0..96u64)
+        .map(|i| (i * 7919 * 64, i % 3 == 0, (i % 5) as u8))
+        .collect();
+    check_lockstep(cfg, &txns);
+}

@@ -6,9 +6,60 @@ use rand::SeedableRng;
 use redcache_cpu::Access;
 use redcache_types::{MemOp, PhysAddr, PAGE_BYTES};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Per-thread traces: `traces[t]` is thread `t`'s reference stream.
 pub type ThreadTraces = Vec<Vec<Access>>;
+
+/// Per-thread traces behind reference counting: one generated trace set
+/// can feed any number of concurrent simulations without cloning a
+/// single access record. Cloning a `SharedTraces` is `threads` atomic
+/// increments.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SharedTraces(Vec<Arc<[Access]>>);
+
+impl SharedTraces {
+    /// Number of per-thread streams.
+    pub fn threads(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no thread has a stream.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Total accesses across all threads.
+    pub fn total_accesses(&self) -> u64 {
+        self.0.iter().map(|t| t.len() as u64).sum()
+    }
+
+    /// The per-thread streams.
+    pub fn streams(&self) -> &[Arc<[Access]>] {
+        &self.0
+    }
+}
+
+impl From<ThreadTraces> for SharedTraces {
+    fn from(traces: ThreadTraces) -> Self {
+        Self(traces.into_iter().map(Arc::from).collect())
+    }
+}
+
+impl From<Vec<Arc<[Access]>>> for SharedTraces {
+    fn from(streams: Vec<Arc<[Access]>>) -> Self {
+        Self(streams)
+    }
+}
+
+impl IntoIterator for SharedTraces {
+    type Item = Arc<[Access]>;
+    type IntoIter = std::vec::IntoIter<Arc<[Access]>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
 
 /// Generator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

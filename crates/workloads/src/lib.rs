@@ -41,5 +41,5 @@ pub mod suite;
 pub mod synthetic;
 pub mod trace_io;
 
-pub use common::{GenConfig, Layout, ThreadTraces};
-pub use suite::{Workload, WorkloadInfo};
+pub use common::{GenConfig, Layout, SharedTraces, ThreadTraces};
+pub use suite::{generation_count, Workload, WorkloadInfo};

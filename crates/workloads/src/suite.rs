@@ -2,6 +2,17 @@
 
 use crate::common::{GenConfig, ThreadTraces};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of trace generations (every [`Workload::generate`]
+/// call). Harnesses that claim to share traces across runs assert on
+/// this: a matrix over W workloads must add exactly W, not one per cell.
+static GENERATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Trace generations performed by this process so far.
+pub fn generation_count() -> u64 {
+    GENERATIONS.load(Ordering::Relaxed)
+}
 
 /// The eleven evaluated applications (Table II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -133,6 +144,7 @@ impl Workload {
 
     /// Generates the per-thread traces for this workload.
     pub fn generate(self, cfg: &GenConfig) -> ThreadTraces {
+        GENERATIONS.fetch_add(1, Ordering::Relaxed);
         match self {
             Workload::Ft => crate::ft::generate(cfg),
             Workload::Is => crate::is::generate(cfg),

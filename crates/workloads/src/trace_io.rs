@@ -115,6 +115,63 @@ pub fn load(path: &std::path::Path) -> io::Result<ThreadTraces> {
     read_traces(io::BufReader::new(std::fs::File::open(path)?))
 }
 
+/// Stable 64-bit key for a generator configuration (FNV-1a over its
+/// fields), used to name on-disk cache entries. Deliberately not
+/// `std::hash::Hash`: file names must survive compiler and std
+/// upgrades.
+fn gen_key(cfg: &crate::GenConfig) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    mix(cfg.threads as u64);
+    mix(cfg.shrink as u64);
+    mix(cfg.budget_per_thread as u64);
+    mix(cfg.seed);
+    h
+}
+
+/// Generates `workload`'s traces through an optional on-disk cache
+/// rooted at `dir`, keyed by `(workload, GenConfig)`. A valid cached
+/// file is loaded instead of regenerating; a miss (or any unreadable /
+/// stale entry) regenerates and then best-effort persists the result,
+/// so a broken cache directory never fails a run.
+pub fn generate_cached_in(
+    workload: crate::Workload,
+    cfg: &crate::GenConfig,
+    dir: Option<&std::path::Path>,
+) -> ThreadTraces {
+    let Some(dir) = dir else {
+        return workload.generate(cfg);
+    };
+    let path = dir.join(format!(
+        "{}-{:016x}.rctr",
+        workload.info().label.to_lowercase(),
+        gen_key(cfg)
+    ));
+    if let Ok(traces) = load(&path) {
+        if traces.len() == cfg.threads {
+            return traces;
+        }
+    }
+    let traces = workload.generate(cfg);
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = save(&path, &traces);
+    }
+    traces
+}
+
+/// Like [`generate_cached_in`], rooting the cache at the
+/// `REDCACHE_TRACE_CACHE_DIR` environment variable when set (no caching
+/// otherwise).
+pub fn generate_cached(workload: crate::Workload, cfg: &crate::GenConfig) -> ThreadTraces {
+    let dir = std::env::var_os("REDCACHE_TRACE_CACHE_DIR").map(std::path::PathBuf::from);
+    generate_cached_in(workload, cfg, dir.as_deref())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +202,39 @@ mod tests {
         write_traces(&mut buf, &traces).unwrap();
         buf.truncate(buf.len() - 5);
         assert!(read_traces(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn disk_cache_hits_skip_generation() {
+        let cfg = GenConfig::tiny();
+        let dir =
+            std::env::temp_dir().join(format!("redcache_trace_cache_{:x}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let first = generate_cached_in(Workload::Hist, &cfg, Some(&dir));
+        let generated = crate::suite::generation_count();
+        let second = generate_cached_in(Workload::Hist, &cfg, Some(&dir));
+        assert_eq!(
+            crate::suite::generation_count(),
+            generated,
+            "cache hit regenerated"
+        );
+        assert_eq!(first, second);
+        // A different config keys a different entry.
+        let mut other = cfg;
+        other.seed ^= 1;
+        let third = generate_cached_in(Workload::Hist, &other, Some(&dir));
+        assert!(crate::suite::generation_count() > generated);
+        assert_ne!(first, third);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cacheless_generation_still_works() {
+        let cfg = GenConfig::tiny();
+        assert_eq!(
+            generate_cached_in(Workload::Is, &cfg, None),
+            Workload::Is.generate(&cfg)
+        );
     }
 
     #[test]
