@@ -20,16 +20,16 @@
 //! the HBM and DDR systems), so kernel-level regressions show up next
 //! to the end-to-end numbers.
 //!
-//! Results are written to `BENCH_speed.json` at the repository root.
-//! The JSON is emitted by hand (no serde), keeping this binary
-//! dependency-free beyond the simulator itself.
+//! Results are written to `BENCH_speed.json` at the repository root
+//! through the harness's versioned `report_io` envelope.
 //!
 //! `REDCACHE_BUDGET` overrides the per-thread access budget (default:
 //! the tiny preset's 3 000) for longer, steadier measurements.
 
 use redcache::{PolicyKind, RedVariant, RunReport, SimConfig, Simulator};
+use redcache_bench::report_io;
 use redcache_workloads::{GenConfig, SharedTraces, Workload};
-use std::fmt::Write as _;
+use serde::Serialize;
 use std::time::Instant;
 
 /// The seven figure architectures, in the paper's legend order.
@@ -45,6 +45,7 @@ fn policies() -> Vec<PolicyKind> {
     ]
 }
 
+#[derive(Serialize)]
 struct PolicyRow {
     policy: String,
     sims: usize,
@@ -77,8 +78,11 @@ fn run_timed(kind: PolicyKind, w: Workload, traces: &SharedTraces, skip: bool) -
     const REPEATS: usize = 2;
     let mut best: Option<(RunReport, f64)> = None;
     for _ in 0..REPEATS {
-        let mut cfg = SimConfig::quick(kind);
-        cfg.time_skip = skip;
+        let cfg = SimConfig::quick(kind)
+            .to_builder()
+            .time_skip(skip)
+            .build()
+            .expect("preset-derived config validates");
         let traces = traces.clone();
         let started = Instant::now();
         let report = Simulator::new(cfg).run(traces);
@@ -171,62 +175,57 @@ fn main() {
         "\ntotal: {sims} sims  {total_event:.3}s event-driven vs {total_cycle:.3}s cycle-accurate  => {speedup:.2}x"
     );
 
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"config\": \"quick\",");
-    let _ = writeln!(json, "  \"budget_per_thread\": {},", gen.budget_per_thread);
-    let _ = writeln!(json, "  \"workloads\": {},", workloads.len());
-    let _ = writeln!(json, "  \"policies\": {},", rows.len());
-    let _ = writeln!(json, "  \"trace_generation_s\": {gen_s:.6},");
-    let _ = writeln!(json, "  \"total\": {{");
-    let _ = writeln!(json, "    \"sims\": {sims},");
-    let _ = writeln!(json, "    \"event_driven_s\": {total_event:.6},");
-    let _ = writeln!(json, "    \"cycle_accurate_s\": {total_cycle:.6},");
-    let _ = writeln!(json, "    \"speedup\": {speedup:.4},");
-    let _ = writeln!(json, "    \"scheduler_slots\": {total_slots},");
-    let _ = writeln!(
-        json,
-        "    \"mean_window_occupancy\": {:.4},",
-        total_occ as f64 / total_slots.max(1) as f64
+    let summary = Summary {
+        schema: "bench_speed",
+        schema_version: report_io::SCHEMA_VERSION,
+        config: "quick",
+        budget_per_thread: gen.budget_per_thread,
+        workloads: workloads.len(),
+        policies: rows.len(),
+        trace_generation_s: gen_s,
+        total: Totals {
+            sims,
+            event_driven_s: total_event,
+            cycle_accurate_s: total_cycle,
+            speedup,
+            scheduler_slots: total_slots,
+            mean_window_occupancy: total_occ as f64 / total_slots.max(1) as f64,
+            sims_per_s_event_driven: sims as f64 / total_event.max(1e-12),
+            sims_per_s_cycle_accurate: sims as f64 / total_cycle.max(1e-12),
+        },
+        per_policy: rows,
+    };
+    // Raw write: downstream tooling addresses this file's top-level
+    // layout directly, so the schema fields live inline instead of in
+    // the envelope.
+    report_io::write_json_raw(
+        std::path::Path::new("BENCH_speed.json"),
+        "bench_speed",
+        &summary,
     );
-    let _ = writeln!(
-        json,
-        "    \"sims_per_s_event_driven\": {:.4},",
-        sims as f64 / total_event.max(1e-12)
-    );
-    let _ = writeln!(
-        json,
-        "    \"sims_per_s_cycle_accurate\": {:.4}",
-        sims as f64 / total_cycle.max(1e-12)
-    );
-    let _ = writeln!(json, "  }},");
-    let _ = writeln!(json, "  \"per_policy\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 == rows.len() { "" } else { "," };
-        let _ = writeln!(
-            json,
-            "    {{\"policy\": \"{}\", \"sims\": {}, \"simulated_cycles\": {}, \
-             \"scheduler_slots\": {}, \"mean_window_occupancy\": {:.4}, \
-             \"event_driven_s\": {:.6}, \"cycle_accurate_s\": {:.6}, \"speedup\": {:.4}, \
-             \"cycles_per_s_event_driven\": {:.1}, \"cycles_per_s_cycle_accurate\": {:.1}}}{comma}",
-            r.policy,
-            r.sims,
-            r.cycles,
-            r.slots,
-            r.occupancy_sum as f64 / r.slots.max(1) as f64,
-            r.event_s,
-            r.cycle_s,
-            r.cycle_s / r.event_s.max(1e-12),
-            r.cycles as f64 / r.event_s.max(1e-12),
-            r.cycles as f64 / r.cycle_s.max(1e-12),
-        );
-    }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
+}
 
-    let path = "BENCH_speed.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => eprintln!("(saved {path})"),
-        Err(e) => eprintln!("warning: could not write {path}: {e}"),
-    }
+#[derive(Serialize)]
+struct Totals {
+    sims: usize,
+    event_driven_s: f64,
+    cycle_accurate_s: f64,
+    speedup: f64,
+    scheduler_slots: u64,
+    mean_window_occupancy: f64,
+    sims_per_s_event_driven: f64,
+    sims_per_s_cycle_accurate: f64,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    schema: &'static str,
+    schema_version: u32,
+    config: &'static str,
+    budget_per_thread: usize,
+    workloads: usize,
+    policies: usize,
+    trace_generation_s: f64,
+    total: Totals,
+    per_policy: Vec<PolicyRow>,
 }

@@ -1,0 +1,181 @@
+//! Per-epoch timeline for one (workload, policy) pair.
+//!
+//! Runs a single simulation with the epoch recorder enabled and writes
+//! the resulting time series as JSON Lines — one flat object per epoch
+//! with HBM/DDR bandwidth, cache hit rate, the live RedCache α/γ
+//! thresholds, RCU queue depth, scheduler-window occupancy and
+//! write-drain state — ready for plotting the within-run dynamics the
+//! end-of-run aggregates hide.
+//!
+//! ```text
+//! timeline [--workload ft] [--policy redcache] [--epoch 100000]
+//!          [--out results/timeline_FT_RedCache.jsonl] [--csv path.csv]
+//! ```
+//!
+//! `REDCACHE_BUDGET` / `REDCACHE_SHRINK` shrink the workload as for the
+//! other experiment binaries.
+
+use redcache::prelude::*;
+use redcache_bench::experiment_gen_config;
+use std::io::Write as _;
+
+fn parse_workload(s: &str) -> Option<Workload> {
+    Workload::ALL
+        .into_iter()
+        .find(|w| w.info().label.eq_ignore_ascii_case(s))
+}
+
+fn parse_policy(s: &str) -> Option<PolicyKind> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "nohbm" | "no-hbm" => PolicyKind::NoHbm,
+        "ideal" => PolicyKind::Ideal,
+        "alloy" => PolicyKind::Alloy,
+        "bear" => PolicyKind::Bear,
+        "red" | "redcache" | "red-full" => PolicyKind::Red(RedVariant::Full),
+        "red-alpha" => PolicyKind::Red(RedVariant::Alpha),
+        "red-gamma" => PolicyKind::Red(RedVariant::Gamma),
+        "red-basic" => PolicyKind::Red(RedVariant::Basic),
+        "red-insitu" => PolicyKind::Red(RedVariant::InSitu),
+        _ => return None,
+    })
+}
+
+struct Args {
+    workload: Workload,
+    policy: PolicyKind,
+    epoch: Cycle,
+    out: Option<String>,
+    csv: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: timeline [--workload <label>] [--policy <name>] [--epoch <cycles>] \
+         [--out <path.jsonl>] [--csv <path.csv>]\n\
+         workloads: {}\n\
+         policies: nohbm ideal alloy bear redcache red-alpha red-gamma red-basic red-insitu",
+        Workload::ALL
+            .map(|w| w.info().label.to_ascii_lowercase())
+            .join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: Workload::Ft,
+        policy: PolicyKind::Red(RedVariant::Full),
+        epoch: 100_000,
+        out: None,
+        csv: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--workload" | "-w" => {
+                let v = value();
+                args.workload = parse_workload(&v).unwrap_or_else(|| {
+                    eprintln!("unknown workload {v:?}");
+                    usage()
+                });
+            }
+            "--policy" | "-p" => {
+                let v = value();
+                args.policy = parse_policy(&v).unwrap_or_else(|| {
+                    eprintln!("unknown policy {v:?}");
+                    usage()
+                });
+            }
+            "--epoch" | "-e" => {
+                let v = value();
+                args.epoch = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --epoch value {v:?}");
+                    usage()
+                });
+            }
+            "--out" | "-o" => args.out = Some(value()),
+            "--csv" => args.csv = Some(value()),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = SimConfig::builder(args.policy)
+        .epoch_cycles(Some(args.epoch))
+        .build()
+        .expect("preset-derived config validates");
+    let gen = experiment_gen_config();
+    eprintln!(
+        "simulating {} under {} (epoch stride {} cycles)…",
+        args.workload.info().label,
+        args.policy,
+        args.epoch
+    );
+    let report = run_workload(cfg, args.workload, &gen);
+    assert_eq!(report.shadow_violations, 0, "run served stale data");
+    let ts = report
+        .timeseries
+        .as_ref()
+        .expect("epoch_cycles was set, so the report carries a series");
+
+    let out = args.out.unwrap_or_else(|| {
+        let _ = std::fs::create_dir_all("results");
+        format!(
+            "results/timeline_{}_{}.jsonl",
+            report.workload.as_deref().unwrap_or("run"),
+            args.policy
+        )
+    });
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&out).expect("create output file"));
+    ts.write_jsonl(&mut f).expect("write JSONL");
+    f.flush().expect("flush output file");
+    eprintln!("(saved {out})");
+    if let Some(csv) = &args.csv {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(csv).expect("create CSV file"));
+        ts.write_csv(&mut f).expect("write CSV");
+        f.flush().expect("flush CSV file");
+        eprintln!("(saved {csv})");
+    }
+
+    // Compact summary: the run's trajectory at a glance.
+    let post: Vec<&EpochSample> = ts
+        .epochs
+        .iter()
+        .skip(ts.warmup_epoch.unwrap_or(0) as usize)
+        .collect();
+    println!(
+        "{} epochs ({} post-warmup) of {} cycles each; run ended at cycle {}",
+        ts.epochs.len(),
+        post.len(),
+        ts.epoch_cycles,
+        ts.epochs.last().map(|e| e.end).unwrap_or(0)
+    );
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>9} {:>7} {:>7} {:>9}",
+        "epoch", "cycles", "hbm GB/s", "ddr GB/s", "hit rate", "alpha", "gamma", "rcu depth"
+    );
+    let stride = (post.len() / 10).max(1);
+    for e in post.iter().step_by(stride) {
+        println!(
+            "{:>8} {:>12} {:>10.3} {:>10.3} {:>9.3} {:>7.3} {:>7.3} {:>9}",
+            e.index,
+            e.cycles(),
+            e.hbm_gbps(),
+            e.ddr_gbps(),
+            e.hit_rate(),
+            e.gauges.alpha,
+            e.gauges.gamma,
+            e.gauges.rcu_depth
+        );
+    }
+    println!(
+        "aggregate: hit rate {:.3}, mean read latency {:.1} cycles, IPC {:.3}",
+        report.hbm_hit_rate(),
+        report.ctl.mean_read_latency(),
+        report.ipc()
+    );
+}

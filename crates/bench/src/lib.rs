@@ -10,6 +10,8 @@
 
 #![warn(missing_docs)]
 
+pub mod report_io;
+
 use redcache::{PolicyKind, RunReport, SimConfig, Simulator};
 use redcache_workloads::{trace_io, GenConfig, SharedTraces, Workload};
 use serde::Serialize;
@@ -215,23 +217,10 @@ pub fn print_table(title: &str, row_label: &str, cols: &[String], rows: &[(Strin
     }
 }
 
-/// Persists any serializable result as pretty JSON under `results/`.
+/// Persists any serializable result as pretty JSON under `results/`,
+/// wrapped in the versioned [`report_io::Saved`] envelope.
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
-    let dir = Path::new("results");
-    if std::fs::create_dir_all(dir).is_err() {
-        return; // best-effort: experiments still print to stdout
-    }
-    let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(&path, s) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            } else {
-                eprintln!("(saved {})", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
-    }
+    report_io::write_json(name, value);
 }
 
 /// The cached Fig. 9/10/11 evaluation matrix: all 11 workloads under
@@ -245,12 +234,10 @@ pub fn eval_matrix() -> (Vec<Workload>, Vec<PolicyKind>, Vec<Vec<RunReport>>) {
     let policies = figure_policies();
     let cache = Path::new("results/eval_matrix.json");
     if std::env::var("REDCACHE_RERUN").is_err() {
-        if let Ok(s) = std::fs::read_to_string(cache) {
-            if let Ok(m) = serde_json::from_str::<Vec<Vec<RunReport>>>(&s) {
-                if m.len() == workloads.len() && m.iter().all(|row| row.len() == policies.len()) {
-                    eprintln!("(using cached {})", cache.display());
-                    return (workloads, policies, m);
-                }
+        if let Some(m) = report_io::read_json::<Vec<Vec<RunReport>>>(cache) {
+            if m.len() == workloads.len() && m.iter().all(|row| row.len() == policies.len()) {
+                eprintln!("(using cached {})", cache.display());
+                return (workloads, policies, m);
             }
         }
     }

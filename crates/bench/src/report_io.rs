@@ -1,0 +1,159 @@
+//! Unified results export: every artifact the experiment binaries
+//! persist goes through this module, wrapped in a versioned envelope.
+//!
+//! The envelope names the payload (`schema`) and stamps it with
+//! [`SCHEMA_VERSION`], so downstream tooling can reject files written
+//! by an incompatible harness instead of mis-parsing them. Writers are
+//! best-effort: experiments always print their tables to stdout, and a
+//! failed write is a warning, never a crash.
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Version stamped into every saved artifact. Bump on any breaking
+/// change to a payload layout.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The envelope wrapped around every saved payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Saved<T> {
+    /// Payload name, e.g. `"eval_matrix"`.
+    pub schema: String,
+    /// Harness schema version at write time.
+    pub schema_version: u32,
+    /// The payload itself.
+    pub data: T,
+}
+
+#[derive(Serialize)]
+struct SavedRef<'a, T> {
+    schema: &'a str,
+    schema_version: u32,
+    data: &'a T,
+}
+
+/// Writes `value` as pretty JSON to `path`, wrapped in the
+/// [`Saved`] envelope under the given `schema` name. Best-effort.
+pub fn write_json_at<T: Serialize>(path: &Path, schema: &str, value: &T) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() && std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+    }
+    let envelope = SavedRef {
+        schema,
+        schema_version: SCHEMA_VERSION,
+        data: value,
+    };
+    match serde_json::to_string_pretty(&envelope) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("(saved {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {schema}: {e}"),
+    }
+}
+
+/// Writes `value` to `results/{name}.json` under schema name `name`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    write_json_at(
+        &Path::new("results").join(format!("{name}.json")),
+        name,
+        value,
+    );
+}
+
+/// Writes `value` as pretty JSON to `path` *without* the envelope —
+/// for artifacts whose payload already carries `schema` /
+/// `schema_version` fields at its top level because downstream tooling
+/// addresses that layout directly (e.g. `BENCH_speed.json`).
+pub fn write_json_raw<T: Serialize>(path: &Path, name: &str, value: &T) {
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("(saved {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Writes `items` as JSON Lines (one compact object per line) to
+/// `path`. Best-effort, like the JSON writers.
+pub fn write_jsonl<T: Serialize>(path: &Path, items: &[T]) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() && std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+    }
+    let write_all = || -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for item in items {
+            let line = serde_json::to_string(item)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            writeln!(f, "{line}")?;
+        }
+        f.flush()
+    };
+    match write_all() {
+        Ok(()) => eprintln!("(saved {})", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Reads a payload saved by [`write_json`]/[`write_json_at`],
+/// unwrapping the envelope and checking the version. Files written by
+/// pre-envelope harnesses (a bare payload) still load, so existing
+/// caches survive the format change.
+pub fn read_json<T: DeserializeOwned>(path: &Path) -> Option<T> {
+    let s = std::fs::read_to_string(path).ok()?;
+    if let Ok(saved) = serde_json::from_str::<Saved<T>>(&s) {
+        if saved.schema_version == SCHEMA_VERSION {
+            return Some(saved.data);
+        }
+        eprintln!(
+            "warning: {} has schema_version {} (want {SCHEMA_VERSION}); ignoring it",
+            path.display(),
+            saved.schema_version
+        );
+        return None;
+    }
+    serde_json::from_str::<T>(&s).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_envelope() {
+        let dir = std::env::temp_dir().join("redcache_report_io_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("probe.json");
+        write_json_at(&path, "probe", &vec![1u64, 2, 3]);
+        let back: Vec<u64> = read_json(&path).expect("saved payload loads");
+        assert_eq!(back, [1, 2, 3]);
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.contains("\"schema\": \"probe\""));
+        assert!(s.contains("\"schema_version\": 1"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reads_legacy_bare_payloads() {
+        let dir = std::env::temp_dir().join("redcache_report_io_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("legacy.json");
+        std::fs::write(&path, "[4, 5]").unwrap();
+        let back: Vec<u64> = read_json(&path).expect("bare payload loads");
+        assert_eq!(back, [4, 5]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -14,7 +14,7 @@
 use crate::geometry::CacheGeometry;
 use crate::mshr::{Mshr, MshrOutcome};
 use crate::set_assoc::{CacheStats, Evicted, SetAssocCache};
-use redcache_types::{CoreId, Cycle, LineAddr, MemOp};
+use redcache_types::{ConfigError, CoreId, Cycle, LineAddr, MemOp};
 use serde::{Deserialize, Serialize};
 
 /// The cache level that served an access.
@@ -73,6 +73,103 @@ impl HierarchyConfig {
         c.l2 = CacheGeometry::new(64 << 10, 8, 64);
         c.l3 = CacheGeometry::new(512 << 10, 8, 64);
         c
+    }
+
+    /// Starts a validated builder seeded from the Table I hierarchy for
+    /// `cores` cores. Use [`HierarchyConfig::to_builder`] to start from
+    /// another preset.
+    pub fn builder(cores: usize) -> HierarchyConfigBuilder {
+        Self::table1(cores).to_builder()
+    }
+
+    /// Turns this configuration into a builder for deriving a variant
+    /// with validation re-run on `build`.
+    pub fn to_builder(self) -> HierarchyConfigBuilder {
+        HierarchyConfigBuilder { cfg: self }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found (zero cores/MSHRs, mixed
+    /// line sizes across levels, or a level smaller than the one above).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 {
+            return Err(ConfigError::new("need at least one core"));
+        }
+        if self.mshr_entries == 0 {
+            return Err(ConfigError::new("mshr_entries must be nonzero"));
+        }
+        if self.l1.block_bytes != self.l2.block_bytes || self.l2.block_bytes != self.l3.block_bytes
+        {
+            return Err(ConfigError::new(format!(
+                "line size must match across levels ({}/{}/{})",
+                self.l1.block_bytes, self.l2.block_bytes, self.l3.block_bytes
+            )));
+        }
+        if self.l2.size_bytes < self.l1.size_bytes {
+            return Err(ConfigError::new("L2 must be at least as large as L1"));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`HierarchyConfig`]: the validated construction path for
+/// tests and binaries that tweak individual fields of a preset.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyConfigBuilder {
+    cfg: HierarchyConfig,
+}
+
+impl HierarchyConfigBuilder {
+    /// Sets the core count (private L1/L2 instances).
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cfg.cores = cores;
+        self
+    }
+
+    /// Replaces the L1 geometry.
+    pub fn l1(mut self, g: CacheGeometry) -> Self {
+        self.cfg.l1 = g;
+        self
+    }
+
+    /// Replaces the L2 geometry.
+    pub fn l2(mut self, g: CacheGeometry) -> Self {
+        self.cfg.l2 = g;
+        self
+    }
+
+    /// Replaces the shared-L3 geometry.
+    pub fn l3(mut self, g: CacheGeometry) -> Self {
+        self.cfg.l3 = g;
+        self
+    }
+
+    /// Sets the per-level hit latencies (L1, additional L2, additional
+    /// L3) in one call — the three always travel together.
+    pub fn latencies(mut self, l1: Cycle, l2: Cycle, l3: Cycle) -> Self {
+        self.cfg.l1_latency = l1;
+        self.cfg.l2_latency = l2;
+        self.cfg.l3_latency = l3;
+        self
+    }
+
+    /// Sets the L3↔memory MSHR entry count.
+    pub fn mshr_entries(mut self, n: usize) -> Self {
+        self.cfg.mshr_entries = n;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`HierarchyConfig::validate`].
+    pub fn build(self) -> Result<HierarchyConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 

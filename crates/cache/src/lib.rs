@@ -30,6 +30,8 @@ mod mshr;
 mod set_assoc;
 
 pub use geometry::CacheGeometry;
-pub use hierarchy::{AccessOutcome, CacheLevel, FillResult, Hierarchy, HierarchyConfig};
+pub use hierarchy::{
+    AccessOutcome, CacheLevel, FillResult, Hierarchy, HierarchyConfig, HierarchyConfigBuilder,
+};
 pub use mshr::{Mshr, MshrOutcome};
 pub use set_assoc::{AccessResult, CacheStats, Evicted, SetAssocCache};

@@ -48,6 +48,29 @@ impl CacheStats {
             self.hits as f64 / self.accesses as f64
         }
     }
+
+    /// Element-wise accumulation, the inverse of [`CacheStats::delta`].
+    pub fn add(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.fills += other.fills;
+        self.evictions += other.evictions;
+        self.dirty_evictions += other.dirty_evictions;
+    }
+
+    /// Field-wise difference `self - prev`: the activity between two
+    /// snapshots of one cache's monotonically growing counters, itself
+    /// a valid `CacheStats` for the interval (the epoch recorder's
+    /// per-epoch series come from exactly this).
+    pub fn delta(&self, prev: &CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses.saturating_sub(prev.accesses),
+            hits: self.hits.saturating_sub(prev.hits),
+            fills: self.fills.saturating_sub(prev.fills),
+            evictions: self.evictions.saturating_sub(prev.evictions),
+            dirty_evictions: self.dirty_evictions.saturating_sub(prev.dirty_evictions),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]

@@ -148,14 +148,16 @@ proptest! {
     fn hierarchy_never_loses_dirty_data(
         accesses in prop::collection::vec((0u64..96, any::<bool>()), 1..400)
     ) {
-        let mut h = Hierarchy::new(HierarchyConfig {
-            cores: 2,
-            l1: CacheGeometry::new(256, 2, 64),
-            l2: CacheGeometry::new(512, 2, 64),
-            l3: CacheGeometry::new(1024, 2, 64),
-            l1_latency: 4, l2_latency: 12, l3_latency: 38,
-            mshr_entries: 8,
-        });
+        let mut h = Hierarchy::new(
+            HierarchyConfig::builder(2)
+                .l1(CacheGeometry::new(256, 2, 64))
+                .l2(CacheGeometry::new(512, 2, 64))
+                .l3(CacheGeometry::new(1024, 2, 64))
+                .latencies(4, 12, 38)
+                .mshr_entries(8)
+                .build()
+                .expect("tiny hierarchy validates"),
+        );
         // memory[line] = version last written back.
         let mut memory: HashMap<u64, u64> = HashMap::new();
         // expected[line] = newest version stored by the CPU side.

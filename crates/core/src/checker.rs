@@ -57,11 +57,13 @@ impl ShadowMemory {
     }
 
     /// Number of failed checks.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn violations(&self) -> u64 {
         self.violations
     }
 
     /// Number of reads checked.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn checks(&self) -> u64 {
         self.checks
     }

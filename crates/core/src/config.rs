@@ -3,7 +3,7 @@
 use redcache_cache::HierarchyConfig;
 use redcache_cpu::CoreConfig;
 use redcache_policies::{PolicyConfig, PolicyKind};
-use redcache_types::Cycle;
+use redcache_types::{ConfigError, Cycle};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one full-system simulation.
@@ -37,6 +37,14 @@ pub struct SimConfig {
     /// at run time for A/B checks.
     #[serde(default = "default_time_skip")]
     pub time_skip: bool,
+    /// Epoch stride for the time-resolved recorder: `Some(n)` closes an
+    /// epoch every `n` CPU cycles and attaches a
+    /// [`crate::epoch::TimeSeries`] to the report. `None` (the default
+    /// in every preset) records nothing and adds a single untaken
+    /// branch per simulated cycle. Recording is exact: it never
+    /// perturbs the simulation itself (DESIGN.md §3.9).
+    #[serde(default)]
+    pub epoch_cycles: Option<Cycle>,
 }
 
 fn default_time_skip() -> bool {
@@ -57,6 +65,7 @@ impl SimConfig {
             warmup_fraction: 0.3,
             audit_timing: false,
             time_skip: true,
+            epoch_cycles: None,
         }
     }
 
@@ -73,6 +82,7 @@ impl SimConfig {
             warmup_fraction: 0.3,
             audit_timing: false,
             time_skip: true,
+            epoch_cycles: None,
         }
     }
 
@@ -102,7 +112,112 @@ impl SimConfig {
         if !(0.0..0.95).contains(&self.warmup_fraction) {
             return Err("warmup_fraction must be in [0, 0.95)".into());
         }
+        if self.epoch_cycles == Some(0) {
+            return Err("epoch_cycles must be nonzero when set".into());
+        }
         Ok(())
+    }
+
+    /// Starts a validated builder seeded from the scaled preset for
+    /// `kind` — the idiomatic way to assemble a non-preset
+    /// configuration (see [`SimConfigBuilder`]).
+    pub fn builder(kind: PolicyKind) -> SimConfigBuilder {
+        Self::scaled(kind).to_builder()
+    }
+
+    /// Re-opens this configuration as a builder, e.g. to derive a
+    /// variant from a preset.
+    pub fn to_builder(self) -> SimConfigBuilder {
+        SimConfigBuilder { cfg: self }
+    }
+}
+
+/// Builder for [`SimConfig`] whose [`SimConfigBuilder::build`] runs the
+/// full cross-field validation, so an inconsistent configuration is a
+/// `Result::Err` at construction instead of a panic inside
+/// [`crate::Simulator::new`].
+///
+/// ```
+/// use redcache::{PolicyKind, SimConfig};
+///
+/// let cfg = SimConfig::builder(PolicyKind::Alloy)
+///     .epoch_cycles(Some(100_000))
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.epoch_cycles, Some(100_000));
+/// assert!(SimConfig::builder(PolicyKind::Alloy)
+///     .epoch_cycles(Some(0))
+///     .build()
+///     .is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Replaces the controller policy + DRAM organisation.
+    pub fn policy(mut self, policy: PolicyConfig) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Replaces the SRAM hierarchy geometry.
+    pub fn hierarchy(mut self, hierarchy: HierarchyConfig) -> Self {
+        self.cfg.hierarchy = hierarchy;
+        self
+    }
+
+    /// Replaces the core model parameters.
+    pub fn core(mut self, core: CoreConfig) -> Self {
+        self.cfg.core = core;
+        self
+    }
+
+    /// Sets the hard cycle bound.
+    pub fn max_cycles(mut self, max_cycles: Cycle) -> Self {
+        self.cfg.max_cycles = max_cycles;
+        self
+    }
+
+    /// Toggles the shadow-memory read check.
+    pub fn check_shadow(mut self, on: bool) -> Self {
+        self.cfg.check_shadow = on;
+        self
+    }
+
+    /// Sets the warmup fraction (must stay in `[0, 0.95)`).
+    pub fn warmup_fraction(mut self, fraction: f64) -> Self {
+        self.cfg.warmup_fraction = fraction;
+        self
+    }
+
+    /// Toggles the runtime DRAM timing audit.
+    pub fn audit_timing(mut self, on: bool) -> Self {
+        self.cfg.audit_timing = on;
+        self
+    }
+
+    /// Toggles event-driven time advance.
+    pub fn time_skip(mut self, on: bool) -> Self {
+        self.cfg.time_skip = on;
+        self
+    }
+
+    /// Sets the epoch-recorder stride (`None` disables recording).
+    pub fn epoch_cycles(mut self, stride: Option<Cycle>) -> Self {
+        self.cfg.epoch_cycles = stride;
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency [`SimConfig::validate`] finds.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        self.cfg.validate().map_err(ConfigError::from)?;
+        Ok(self.cfg)
     }
 }
 
@@ -122,6 +237,37 @@ mod tests {
             SimConfig::scaled(kind).validate().unwrap();
             SimConfig::quick(kind).validate().unwrap();
         }
+    }
+
+    #[test]
+    fn builder_round_trips_and_validates() {
+        let base = SimConfig::quick(PolicyKind::Bear);
+        assert_eq!(base.to_builder().build().unwrap(), base);
+
+        let cfg = SimConfig::builder(PolicyKind::Alloy)
+            .max_cycles(123)
+            .warmup_fraction(0.0)
+            .time_skip(false)
+            .epoch_cycles(Some(50_000))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.max_cycles, 123);
+        assert!(!cfg.time_skip);
+        assert_eq!(cfg.epoch_cycles, Some(50_000));
+
+        let err = SimConfig::builder(PolicyKind::Alloy)
+            .epoch_cycles(Some(0))
+            .build()
+            .unwrap_err();
+        assert!(err.message().contains("epoch_cycles"), "{err}");
+        assert!(SimConfig::builder(PolicyKind::Alloy)
+            .warmup_fraction(0.99)
+            .build()
+            .is_err());
+        assert!(SimConfig::builder(PolicyKind::Alloy)
+            .max_cycles(0)
+            .build()
+            .is_err());
     }
 
     #[test]

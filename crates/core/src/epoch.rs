@@ -1,0 +1,413 @@
+//! Epoch-resolved observability: per-interval statistics derived from
+//! the counters the simulator already maintains.
+//!
+//! The [`EpochRecorder`] closes an *epoch* every `epoch_cycles` CPU
+//! cycles. Each close snapshots every cumulative counter block
+//! (controller, both DRAM systems, all three cache levels), subtracts
+//! the previous snapshot via the `delta` methods, and captures the
+//! controller's live gauges (RedCache α/γ, RCU queue depth, scheduler
+//! window occupancy, per-channel write-drain mode). The result is a
+//! [`TimeSeries`] on the [`crate::RunReport`]: the within-run dynamics
+//! of every quantity the end-of-run aggregates summarise.
+//!
+//! Recording is *observational by construction* — it reads counters
+//! that exist anyway and never feeds anything back into the simulated
+//! machine — and it is exact under event-driven time advance: the main
+//! loop adds epoch boundaries to the skip horizon, and landing on a
+//! boundary early is a no-op tick by the `next_event` lower-bound
+//! contract. DESIGN.md §3.9 gives the full argument.
+
+use redcache_cache::CacheStats;
+use redcache_dram::DramStats;
+use redcache_energy::CPU_HZ;
+use redcache_policies::{ControllerGauges, ControllerStats, DramCacheController};
+use redcache_types::Cycle;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// One closed epoch: interval deltas of every counter block plus the
+/// live gauges sampled at the closing boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochSample {
+    /// Zero-based epoch index.
+    pub index: u64,
+    /// First cycle covered (exclusive bound of the previous epoch).
+    pub start: Cycle,
+    /// Closing boundary cycle (inclusive).
+    pub end: Cycle,
+    /// Controller event counters accumulated in this epoch.
+    pub ctl: ControllerStats,
+    /// WideIO DRAM activity in this epoch (absent for No-HBM).
+    pub hbm: Option<DramStats>,
+    /// DDR4 DRAM activity in this epoch.
+    pub ddr: DramStats,
+    /// L1 aggregate activity in this epoch.
+    pub l1: CacheStats,
+    /// L2 aggregate activity in this epoch.
+    pub l2: CacheStats,
+    /// Shared-L3 activity in this epoch.
+    pub l3: CacheStats,
+    /// Live gauges at the closing boundary (not deltas).
+    pub gauges: ControllerGauges,
+}
+
+impl EpochSample {
+    /// Cycles covered by this epoch (≥ 1 for all but degenerate tails).
+    pub fn cycles(&self) -> Cycle {
+        self.end.saturating_sub(self.start) + 1
+    }
+
+    /// HBM-cache hit rate over this epoch's probes (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.ctl.hbm_hits + self.ctl.hbm_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.ctl.hbm_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean read latency over this epoch's completed reads (cycles).
+    pub fn mean_read_latency(&self) -> f64 {
+        if self.ctl.reads_completed == 0 {
+            0.0
+        } else {
+            self.ctl.read_latency_sum as f64 / self.ctl.reads_completed as f64
+        }
+    }
+
+    fn gbps(&self, bytes: u64) -> f64 {
+        let seconds = self.cycles() as f64 / CPU_HZ;
+        bytes as f64 / seconds / 1e9
+    }
+
+    /// Consumed WideIO bandwidth over this epoch in GB/s.
+    pub fn hbm_gbps(&self) -> f64 {
+        self.gbps(self.hbm.map(|s| s.bytes_total()).unwrap_or(0))
+    }
+
+    /// Consumed DDR4 bandwidth over this epoch in GB/s.
+    pub fn ddr_gbps(&self) -> f64 {
+        self.gbps(self.ddr.bytes_total())
+    }
+}
+
+/// The per-epoch series of one run, attached to
+/// [`crate::RunReport::timeseries`] when
+/// [`crate::SimConfig::epoch_cycles`] is set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Epoch stride in CPU cycles.
+    pub epoch_cycles: Cycle,
+    /// Index of the first epoch closed *after* the warmup statistics
+    /// reset — the first whose deltas count toward the end-of-run
+    /// aggregates. `None` when the run had no warmup reset.
+    pub warmup_epoch: Option<u64>,
+    /// All closed epochs, in time order. The last one is the partial
+    /// tail epoch ending at the run's final cycle.
+    pub epochs: Vec<EpochSample>,
+}
+
+/// The export row shared by the JSONL and CSV writers: (column name,
+/// preformatted value). Numbers are emitted as plain JSON-compatible
+/// literals so both formats stay hand-rolled (no serde_json needed on
+/// this path — the `timeline` binary works even where serde_json is
+/// unavailable).
+fn row(e: &EpochSample) -> Vec<(&'static str, String)> {
+    let hbm = e.hbm.unwrap_or_default();
+    vec![
+        ("epoch", e.index.to_string()),
+        ("start", e.start.to_string()),
+        ("end", e.end.to_string()),
+        ("cycles", e.cycles().to_string()),
+        ("hbm_read_bytes", hbm.bytes_read.to_string()),
+        ("hbm_write_bytes", hbm.bytes_written.to_string()),
+        ("hbm_gbps", format!("{:.6}", e.hbm_gbps())),
+        ("ddr_read_bytes", e.ddr.bytes_read.to_string()),
+        ("ddr_write_bytes", e.ddr.bytes_written.to_string()),
+        ("ddr_gbps", format!("{:.6}", e.ddr_gbps())),
+        ("hbm_hits", e.ctl.hbm_hits.to_string()),
+        ("hbm_misses", e.ctl.hbm_misses.to_string()),
+        ("hit_rate", format!("{:.6}", e.hit_rate())),
+        ("fills", e.ctl.fills.to_string()),
+        ("fill_bypasses", e.ctl.fill_bypasses.to_string()),
+        ("hbm_bypasses", e.ctl.hbm_bypasses.to_string()),
+        ("refresh_bypasses", e.ctl.refresh_bypasses.to_string()),
+        ("mean_read_latency", format!("{:.6}", e.mean_read_latency())),
+        ("alpha", format!("{:.6}", e.gauges.alpha)),
+        ("gamma", format!("{:.6}", e.gauges.gamma)),
+        ("rcu_depth", e.gauges.rcu_depth.to_string()),
+        (
+            "hbm_window_occupancy",
+            e.gauges.hbm_window_occupancy.to_string(),
+        ),
+        (
+            "ddr_window_occupancy",
+            e.gauges.ddr_window_occupancy.to_string(),
+        ),
+        (
+            "hbm_write_drain_mask",
+            e.gauges.hbm_write_drain_mask.to_string(),
+        ),
+        (
+            "ddr_write_drain_mask",
+            e.gauges.ddr_write_drain_mask.to_string(),
+        ),
+    ]
+}
+
+impl TimeSeries {
+    /// Writes the series as JSON Lines: one flat object per epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's I/O errors.
+    pub fn write_jsonl(&self, w: &mut impl Write) -> io::Result<()> {
+        for e in &self.epochs {
+            let mut line = String::with_capacity(512);
+            line.push('{');
+            for (i, (k, v)) in row(e).iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                let _ = write!(line, "\"{k}\":{v}");
+            }
+            let post_warmup = self.warmup_epoch.is_some_and(|we| e.index >= we);
+            let _ = write!(line, ",\"post_warmup\":{post_warmup}");
+            line.push('}');
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Writes the series as CSV with a header row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's I/O errors.
+    pub fn write_csv(&self, w: &mut impl Write) -> io::Result<()> {
+        for (i, e) in self.epochs.iter().enumerate() {
+            let cols = row(e);
+            if i == 0 {
+                let names: Vec<&str> = cols.iter().map(|(k, _)| *k).collect();
+                writeln!(w, "{},post_warmup", names.join(","))?;
+            }
+            let vals: Vec<String> = cols.into_iter().map(|(_, v)| v).collect();
+            let post_warmup = self.warmup_epoch.is_some_and(|we| e.index >= we);
+            writeln!(w, "{},{post_warmup}", vals.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Baseline snapshots for delta computation: the cumulative counters as
+/// of the previous epoch close (or the last warmup reset).
+#[derive(Debug, Clone, Default)]
+struct Baseline {
+    ctl: ControllerStats,
+    hbm: Option<DramStats>,
+    ddr: DramStats,
+    l1: CacheStats,
+    l2: CacheStats,
+    l3: CacheStats,
+}
+
+/// Closes epochs on a fixed cycle stride, turning the simulator's
+/// cumulative counters into interval deltas.
+///
+/// The simulator calls [`EpochRecorder::sample`] once per main-loop
+/// iteration (guarded by [`EpochRecorder::next_boundary`], so the
+/// recording-off cost is one untaken branch), tells the recorder about
+/// the warmup statistics reset via
+/// [`EpochRecorder::note_warmup_reset`], and finalises the series with
+/// [`EpochRecorder::finish`].
+#[derive(Debug)]
+pub struct EpochRecorder {
+    stride: Cycle,
+    next_boundary: Cycle,
+    epoch_start: Cycle,
+    warmup_epoch: Option<u64>,
+    prev: Baseline,
+    epochs: Vec<EpochSample>,
+}
+
+impl EpochRecorder {
+    /// A recorder closing an epoch every `stride` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero stride ([`crate::SimConfig::validate`] rejects
+    /// it earlier).
+    pub fn new(stride: Cycle) -> Self {
+        assert!(stride > 0, "epoch stride must be nonzero");
+        Self {
+            stride,
+            next_boundary: stride - 1,
+            epoch_start: 0,
+            warmup_epoch: None,
+            prev: Baseline::default(),
+            epochs: Vec::new(),
+        }
+    }
+
+    /// The next cycle at which an epoch closes. The event-driven main
+    /// loop adds this to its skip horizon so no boundary is jumped by
+    /// an event skip (compute fast-forward may still jump several —
+    /// those close late as zero-delta epochs, identically in both
+    /// advance modes; DESIGN.md §3.9).
+    pub fn next_boundary(&self) -> Cycle {
+        self.next_boundary
+    }
+
+    /// Records that the warmup statistics reset just happened: all
+    /// cumulative counters are zero again, so every baseline snapshot
+    /// must drop to zero with them, and the epoch currently in progress
+    /// only sees post-reset activity.
+    pub fn note_warmup_reset(&mut self) {
+        self.prev = Baseline::default();
+        self.warmup_epoch = Some(self.epochs.len() as u64);
+    }
+
+    fn close(
+        &mut self,
+        end: Cycle,
+        controller: &dyn DramCacheController,
+        (l1, l2, l3): (CacheStats, CacheStats, CacheStats),
+    ) {
+        let ctl = controller.stats();
+        let hbm = controller.hbm_stats();
+        let ddr = controller.ddr_stats();
+        self.epochs.push(EpochSample {
+            index: self.epochs.len() as u64,
+            start: self.epoch_start,
+            end,
+            ctl: ctl.delta(&self.prev.ctl),
+            hbm: hbm.map(|h| h.delta(&self.prev.hbm.unwrap_or_default())),
+            ddr: ddr.delta(&self.prev.ddr),
+            l1: l1.delta(&self.prev.l1),
+            l2: l2.delta(&self.prev.l2),
+            l3: l3.delta(&self.prev.l3),
+            gauges: controller.gauges(),
+        });
+        self.prev = Baseline {
+            ctl,
+            hbm,
+            ddr,
+            l1,
+            l2,
+            l3,
+        };
+        self.epoch_start = end + 1;
+    }
+
+    /// Closes every boundary at or before `now`. Called after the
+    /// controller has ticked cycle `now`; when a compute fast-forward
+    /// jumped several boundaries at once, the first close carries the
+    /// full interval delta and the rest close as zero-delta epochs.
+    pub fn sample(
+        &mut self,
+        now: Cycle,
+        controller: &dyn DramCacheController,
+        caches: (CacheStats, CacheStats, CacheStats),
+    ) {
+        while self.next_boundary <= now {
+            let end = self.next_boundary;
+            self.close(end, controller, caches);
+            self.next_boundary += self.stride;
+        }
+    }
+
+    /// Closes the partial tail epoch at the run's final cycle `end` and
+    /// returns the finished series.
+    pub fn finish(
+        mut self,
+        end: Cycle,
+        controller: &dyn DramCacheController,
+        caches: (CacheStats, CacheStats, CacheStats),
+    ) -> TimeSeries {
+        if end >= self.epoch_start || self.epochs.is_empty() {
+            self.close(end.max(self.epoch_start), controller, caches);
+        }
+        TimeSeries {
+            epoch_cycles: self.stride,
+            warmup_epoch: self.warmup_epoch,
+            epochs: self.epochs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(index: u64, start: Cycle, end: Cycle) -> EpochSample {
+        EpochSample {
+            index,
+            start,
+            end,
+            ctl: ControllerStats {
+                hbm_hits: 3,
+                hbm_misses: 1,
+                reads_completed: 4,
+                read_latency_sum: 200,
+                ..Default::default()
+            },
+            hbm: Some(DramStats {
+                bytes_read: 1024,
+                bytes_written: 512,
+                ..Default::default()
+            }),
+            ddr: DramStats {
+                bytes_read: 256,
+                ..Default::default()
+            },
+            l1: CacheStats::default(),
+            l2: CacheStats::default(),
+            l3: CacheStats::default(),
+            gauges: ControllerGauges {
+                alpha: 0.5,
+                gamma: 0.25,
+                rcu_depth: 7,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let e = sample(0, 0, 99);
+        assert_eq!(e.cycles(), 100);
+        assert!((e.hit_rate() - 0.75).abs() < 1e-12);
+        assert!((e.mean_read_latency() - 50.0).abs() < 1e-12);
+        assert!(e.hbm_gbps() > 0.0);
+        assert!(e.ddr_gbps() > 0.0);
+    }
+
+    #[test]
+    fn jsonl_and_csv_shapes() {
+        let ts = TimeSeries {
+            epoch_cycles: 100,
+            warmup_epoch: Some(1),
+            epochs: vec![sample(0, 0, 99), sample(1, 100, 199)],
+        };
+        let mut jsonl = Vec::new();
+        ts.write_jsonl(&mut jsonl).unwrap();
+        let jsonl = String::from_utf8(jsonl).unwrap();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"epoch\":0,"));
+        assert!(lines[0].contains("\"alpha\":0.500000"));
+        assert!(lines[0].ends_with("\"post_warmup\":false}"));
+        assert!(lines[1].ends_with("\"post_warmup\":true}"));
+
+        let mut csv = Vec::new();
+        ts.write_csv(&mut csv).unwrap();
+        let csv = String::from_utf8(csv).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 epochs
+        let header_cols = lines[0].split(',').count();
+        assert!(lines[0].starts_with("epoch,start,end,cycles,"));
+        assert_eq!(lines[1].split(',').count(), header_cols);
+    }
+}

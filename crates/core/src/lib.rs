@@ -31,18 +31,39 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod epoch;
 pub mod metrics;
 pub mod profile;
 pub mod sim;
 
 mod checker;
 
-pub use checker::ShadowMemory;
-pub use config::SimConfig;
+pub use config::{SimConfig, SimConfigBuilder};
+pub use epoch::{EpochRecorder, EpochSample, TimeSeries};
 pub use metrics::RunReport;
 pub use profile::{last_access_writeback_fraction, MemLevelStream, ReuseProfile};
-pub use sim::Simulator;
+pub use sim::{run_workload, Simulator};
 
 // The vocabulary types users need, re-exported at the root.
 pub use redcache_policies::{PolicyConfig, PolicyKind, RedConfig, RedVariant};
-pub use redcache_types::Cycle;
+pub use redcache_types::{ConfigError, Cycle};
+
+/// One-stop imports for driving simulations: configuration, execution
+/// and reporting types, plus the workload vocabulary.
+///
+/// ```
+/// use redcache::prelude::*;
+///
+/// let cfg = SimConfig::quick(PolicyKind::NoHbm);
+/// let report = run_workload(cfg, Workload::Hist, &GenConfig::tiny());
+/// assert!(report.cycles > 0);
+/// ```
+pub mod prelude {
+    pub use crate::config::{SimConfig, SimConfigBuilder};
+    pub use crate::epoch::{EpochSample, TimeSeries};
+    pub use crate::metrics::RunReport;
+    pub use crate::sim::{run_workload, Simulator};
+    pub use redcache_policies::{PolicyConfig, PolicyKind, RedConfig, RedVariant};
+    pub use redcache_types::{ConfigError, Cycle};
+    pub use redcache_workloads::{GenConfig, Workload};
+}

@@ -1,5 +1,6 @@
 //! Run reports: everything a figure needs from one simulation.
 
+use crate::epoch::TimeSeries;
 use redcache_cache::CacheStats;
 use redcache_dram::{AuditStats, DramStats};
 use redcache_energy::SystemEnergy;
@@ -53,6 +54,10 @@ pub struct RunReport {
     /// [`crate::SimConfig::audit_timing`] was on.
     #[serde(default)]
     pub ddr_audit: Option<AuditStats>,
+    /// Per-epoch series: present when
+    /// [`crate::SimConfig::epoch_cycles`] was set.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub timeseries: Option<TimeSeries>,
 }
 
 impl RunReport {
@@ -166,6 +171,7 @@ mod tests {
             shadow_violations: 0,
             hbm_audit: None,
             ddr_audit: None,
+            timeseries: None,
         }
     }
 

@@ -9,6 +9,7 @@
 
 use crate::checker::ShadowMemory;
 use crate::config::SimConfig;
+use crate::epoch::EpochRecorder;
 use crate::metrics::RunReport;
 use redcache_cache::Hierarchy;
 use redcache_cpu::{Core, LoadToken, Poll};
@@ -187,6 +188,10 @@ impl Simulator {
         // escape hatch exists for A/B equivalence checks.
         let skip_enabled =
             self.cfg.time_skip && std::env::var_os("REDCACHE_NO_SKIP").is_none_or(|v| v != "1");
+        // Epoch recorder: purely observational, exact in both advance
+        // modes (DESIGN.md §3.9). `None` costs one untaken branch per
+        // loop iteration.
+        let mut recorder = self.cfg.epoch_cycles.map(EpochRecorder::new);
 
         let mut now: Cycle = 0;
         let mut blocked_idle_streak = 0u32;
@@ -335,6 +340,17 @@ impl Simulator {
                 warmup_instructions = cores.iter().map(|c| c.instructions_dispatched()).sum();
                 controller.reset_stats();
                 hierarchy.reset_stats();
+                if let Some(rec) = recorder.as_mut() {
+                    rec.note_warmup_reset();
+                }
+            }
+
+            // 3b. Epoch close: after the memory side has ticked cycle
+            // `now`, so the epoch ending here has seen all of it.
+            if let Some(rec) = recorder.as_mut() {
+                if now >= rec.next_boundary() {
+                    rec.sample(now, &*controller, hierarchy.stats());
+                }
             }
 
             // 4. Termination and time advance.
@@ -383,9 +399,21 @@ impl Simulator {
                 // cannot exceed `now + 1`; skip the horizon computation.
                 && min_wake.is_none_or(|w| w > now + 1)
             {
+                // An epoch boundary is an event horizon too: the skip
+                // lands on it exactly, where ticking "early" is a no-op
+                // by the `next_event` contract — so recording changes
+                // nothing downstream. The compute fast-forward above is
+                // deliberately NOT clamped: it is shared by both advance
+                // modes, and boundaries it jumps close late as
+                // zero-delta epochs, identically in both (§3.9).
+                let horizon = match recorder.as_ref() {
+                    Some(rec) => rec.next_boundary(),
+                    None => Cycle::MAX,
+                };
                 let target = controller
                     .next_event(now)
-                    .min(min_wake.unwrap_or(Cycle::MAX));
+                    .min(min_wake.unwrap_or(Cycle::MAX))
+                    .min(horizon);
                 if target != Cycle::MAX && target > now + 1 {
                     now = target;
                     assert!(now < self.cfg.max_cycles, "exceeded max_cycles bound");
@@ -404,6 +432,9 @@ impl Simulator {
             .sum::<u64>()
             - warmup_instructions;
         let (l1, l2, l3) = hierarchy.stats();
+        // Close the partial tail epoch at the loop-exit cycle (itself
+        // identical in both advance modes).
+        let timeseries = recorder.map(|rec| rec.finish(now, &*controller, (l1, l2, l3)));
         let ctl = controller.stats();
         let hbm = controller.hbm_stats();
         let ddr = controller.ddr_stats();
@@ -442,6 +473,7 @@ impl Simulator {
             shadow_violations,
             hbm_audit: controller.hbm_audit(),
             ddr_audit: controller.ddr_audit(),
+            timeseries,
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::timing::TimingParams;
 use crate::topology::{AddressMapping, Topology};
+use redcache_types::ConfigError;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one DRAM system (one memory interface).
@@ -85,6 +86,86 @@ impl DramConfig {
         }
         Ok(())
     }
+
+    /// Starts a validated builder seeded from the DDR4 Table I preset.
+    /// Use [`DramConfig::to_builder`] to start from any other preset.
+    pub fn builder() -> DramConfigBuilder {
+        Self::ddr4_table1().to_builder()
+    }
+
+    /// Turns this configuration into a builder, for deriving a variant
+    /// with a few fields changed and validation re-run on `build`.
+    pub fn to_builder(self) -> DramConfigBuilder {
+        DramConfigBuilder { cfg: self }
+    }
+}
+
+/// Builder for [`DramConfig`]: replaces ad-hoc struct-literal /
+/// field-poking construction with a validated path. `build` re-runs
+/// [`DramConfig::validate`] plus cross-parameter coherence checks that
+/// plain field assignment silently skipped.
+#[derive(Debug, Clone, Copy)]
+pub struct DramConfigBuilder {
+    cfg: DramConfig,
+}
+
+impl DramConfigBuilder {
+    /// Replaces the physical organisation.
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.cfg.topology = t;
+        self
+    }
+
+    /// Replaces the timing constraint set.
+    pub fn timing(mut self, t: TimingParams) -> Self {
+        self.cfg.timing = t;
+        self
+    }
+
+    /// Replaces the address mapping.
+    pub fn mapping(mut self, m: AddressMapping) -> Self {
+        self.cfg.mapping = m;
+        self
+    }
+
+    /// Enables or disables periodic refresh.
+    pub fn refresh_enabled(mut self, on: bool) -> Self {
+        self.cfg.refresh_enabled = on;
+        self
+    }
+
+    /// Sets the per-channel transaction-queue depth.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.cfg.queue_depth = depth;
+        self
+    }
+
+    /// Attaches the runtime timing audit.
+    pub fn audit(mut self, on: bool) -> Self {
+        self.cfg.audit = on;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] on the first inconsistency:
+    /// everything [`DramConfig::validate`] checks, plus
+    /// `tRAS ≥ tRCD + tRTP` (a row must stay open long enough to both
+    /// deliver data and precharge cleanly after the last read).
+    pub fn build(self) -> Result<DramConfig, ConfigError> {
+        self.cfg.validate()?;
+        let t = &self.cfg.timing;
+        if t.t_ras < t.t_rcd + t.t_rtp {
+            return Err(ConfigError::new(format!(
+                "t_ras ({}) must cover t_rcd + t_rtp ({})",
+                t.t_ras,
+                t.t_rcd + t.t_rtp
+            )));
+        }
+        Ok(self.cfg)
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +190,34 @@ mod tests {
             DramConfig::ddr4_table1().topology.capacity_bytes(),
             32u64 << 30
         );
+    }
+
+    #[test]
+    fn builder_round_trips_and_validates() {
+        // A builder pass over a preset without changes is the identity.
+        let base = DramConfig::wideio_scaled(16 << 20);
+        assert_eq!(base.to_builder().build().unwrap(), base);
+        // Setters land in the built configuration.
+        let c = DramConfig::builder()
+            .topology(Topology::from_capacity(4, 2, 8, 8192, 64, 64 << 20))
+            .refresh_enabled(false)
+            .queue_depth(16)
+            .audit(true)
+            .build()
+            .unwrap();
+        assert_eq!(c.topology.channels, 4);
+        assert!(!c.refresh_enabled);
+        assert_eq!(c.queue_depth, 16);
+        assert!(c.audit);
+        // Invalid settings are rejected with a ConfigError.
+        assert!(DramConfig::builder().queue_depth(0).build().is_err());
+        let mut bad_timing = TimingParams::ddr4_table1();
+        bad_timing.t_ras = bad_timing.t_rcd + bad_timing.t_rtp - 1;
+        let err = DramConfig::builder()
+            .timing(bad_timing)
+            .build()
+            .unwrap_err();
+        assert!(err.message().contains("t_ras"), "{err}");
     }
 
     #[test]

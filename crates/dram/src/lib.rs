@@ -61,7 +61,7 @@ mod timing;
 mod topology;
 
 pub use audit::{AuditStats, CmdHistogram, TimingAuditor, TimingRule, ViolationRecord, ALL_RULES};
-pub use config::DramConfig;
+pub use config::{DramConfig, DramConfigBuilder};
 pub use stats::{DramEnergyEvents, DramStats};
 pub use system::{Completion, DramSystem, IssuedCmd, IssuedKind, TxnId, TxnKind};
 pub use timing::TimingParams;

@@ -207,6 +207,7 @@ impl TxnQueue {
     /// Enqueues a transaction at the arrival tail. `open_row` is the
     /// target bank's currently open row, consulted for the hit counters
     /// when the transaction lands inside the window.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn push(
         &mut self,
         id: TxnId,

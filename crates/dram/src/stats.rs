@@ -27,6 +27,20 @@ impl DramEnergyEvents {
         self.wr_bursts += other.wr_bursts;
         self.refreshes += other.refreshes;
     }
+
+    /// Element-wise difference `self - prev`, for deriving per-epoch
+    /// event counts from two snapshots of one monotonically growing
+    /// counter set. Saturating, so a snapshot pair straddling a stats
+    /// reset degrades to the post-reset value instead of wrapping.
+    pub fn delta(&self, prev: &DramEnergyEvents) -> DramEnergyEvents {
+        DramEnergyEvents {
+            acts: self.acts.saturating_sub(prev.acts),
+            pres: self.pres.saturating_sub(prev.pres),
+            rd_bursts: self.rd_bursts.saturating_sub(prev.rd_bursts),
+            wr_bursts: self.wr_bursts.saturating_sub(prev.wr_bursts),
+            refreshes: self.refreshes.saturating_sub(prev.refreshes),
+        }
+    }
 }
 
 /// Aggregate statistics for one DRAM system over a run.
@@ -72,6 +86,54 @@ pub struct DramStats {
 }
 
 impl DramStats {
+    /// Field-wise difference `self - prev`: what happened between two
+    /// snapshots of one system's counters. Every field of [`DramStats`]
+    /// is a monotonically growing sum, so the difference of two
+    /// snapshots is itself a valid `DramStats` covering the interval —
+    /// this is what makes per-epoch series free: the epoch recorder
+    /// snapshots the counters that already exist instead of adding any
+    /// hot-path instrumentation.
+    pub fn delta(&self, prev: &DramStats) -> DramStats {
+        DramStats {
+            energy: self.energy.delta(&prev.energy),
+            bytes_read: self.bytes_read.saturating_sub(prev.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(prev.bytes_written),
+            bus_busy_cycles: self.bus_busy_cycles.saturating_sub(prev.bus_busy_cycles),
+            txns_completed: self.txns_completed.saturating_sub(prev.txns_completed),
+            latency_sum: self.latency_sum.saturating_sub(prev.latency_sum),
+            txns_enqueued: self.txns_enqueued.saturating_sub(prev.txns_enqueued),
+            empty_slot_samples: self
+                .empty_slot_samples
+                .saturating_sub(prev.empty_slot_samples),
+            slot_samples: self.slot_samples.saturating_sub(prev.slot_samples),
+            col_cmds: self.col_cmds.saturating_sub(prev.col_cmds),
+            demand_acts: self.demand_acts.saturating_sub(prev.demand_acts),
+            audit_violations: self.audit_violations.saturating_sub(prev.audit_violations),
+            window_occupancy_sum: self
+                .window_occupancy_sum
+                .saturating_sub(prev.window_occupancy_sum),
+        }
+    }
+
+    /// Element-wise accumulation, the inverse of [`DramStats::delta`]:
+    /// summing an epoch series re-forms the aggregate it was sliced
+    /// from (the epoch-invariant test pins this identity).
+    pub fn add(&mut self, other: &DramStats) {
+        self.energy.add(&other.energy);
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.bus_busy_cycles += other.bus_busy_cycles;
+        self.txns_completed += other.txns_completed;
+        self.latency_sum += other.latency_sum;
+        self.txns_enqueued += other.txns_enqueued;
+        self.empty_slot_samples += other.empty_slot_samples;
+        self.slot_samples += other.slot_samples;
+        self.col_cmds += other.col_cmds;
+        self.demand_acts += other.demand_acts;
+        self.audit_violations += other.audit_violations;
+        self.window_occupancy_sum += other.window_occupancy_sum;
+    }
+
     /// Total bytes moved in either direction.
     pub fn bytes_total(&self) -> u64 {
         self.bytes_read + self.bytes_written
@@ -151,6 +213,45 @@ mod tests {
         s.txns_completed = 2;
         s.latency_sum = 100;
         assert_eq!(s.mean_latency(), 50.0);
+    }
+
+    #[test]
+    fn delta_subtracts_every_field_and_recomposes() {
+        let prev = DramStats {
+            energy: DramEnergyEvents {
+                acts: 3,
+                ..Default::default()
+            },
+            bytes_read: 100,
+            txns_completed: 4,
+            slot_samples: 50,
+            window_occupancy_sum: 25,
+            ..Default::default()
+        };
+        let cur = DramStats {
+            energy: DramEnergyEvents {
+                acts: 10,
+                ..Default::default()
+            },
+            bytes_read: 164,
+            txns_completed: 9,
+            slot_samples: 80,
+            window_occupancy_sum: 40,
+            ..Default::default()
+        };
+        let d = cur.delta(&prev);
+        assert_eq!(d.energy.acts, 7);
+        assert_eq!(d.bytes_read, 64);
+        assert_eq!(d.txns_completed, 5);
+        assert_eq!(d.slot_samples, 30);
+        assert_eq!(d.window_occupancy_sum, 15);
+        // delta(x, x) is zero, and prev + delta = cur on every field.
+        assert_eq!(cur.delta(&cur), DramStats::default());
+        let mut recomposed = prev;
+        recomposed.energy.add(&d.energy);
+        recomposed.bytes_read += d.bytes_read;
+        assert_eq!(recomposed.bytes_read, cur.bytes_read);
+        assert_eq!(recomposed.energy.acts, cur.energy.acts);
     }
 
     #[test]

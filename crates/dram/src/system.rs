@@ -282,6 +282,24 @@ impl DramSystem {
         self.channels[loc.channel].ranks[loc.rank].is_refreshing(now)
     }
 
+    /// Transactions currently inside the scheduler windows, summed over
+    /// channels — a live gauge of scheduler pressure, sampled by the
+    /// epoch recorder (the per-slot time integral of the same quantity
+    /// is [`DramStats::window_occupancy_sum`]).
+    pub fn window_occupancy(&self) -> usize {
+        self.channels.iter().map(|c| c.q.window_len()).sum()
+    }
+
+    /// Bitmask of channels currently latched in write-drain mode
+    /// (bit *i* set ⇔ channel *i* is draining writes). At most 64
+    /// channels are representable, far beyond any Table I topology.
+    pub fn write_drain_mask(&self) -> u64 {
+        self.channels
+            .iter()
+            .enumerate()
+            .fold(0u64, |m, (i, c)| m | ((c.write_drain_mode as u64) << i))
+    }
+
     /// Back-fills slot accounting for command-clock slots in
     /// `[next_slot, now)` that the driver skipped over without ticking.
     /// No command can issue in a skipped slot (that is the caller's

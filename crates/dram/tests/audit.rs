@@ -7,10 +7,12 @@ use redcache_dram::{DramConfig, DramLoc, DramSystem, IssuedCmd, IssuedKind, Timi
 use redcache_types::PhysAddr;
 
 fn audited_config() -> DramConfig {
-    let mut cfg = DramConfig::ddr4_scaled(64 << 20);
-    cfg.refresh_enabled = true;
-    cfg.audit = true;
-    cfg
+    DramConfig::ddr4_scaled(64 << 20)
+        .to_builder()
+        .refresh_enabled(true)
+        .audit(true)
+        .build()
+        .expect("preset-derived config validates")
 }
 
 /// Drives `n` mixed transactions to completion and returns the system

@@ -14,20 +14,24 @@ use redcache_types::{Cycle, PhysAddr};
 const INJECT_PERIOD: Cycle = 8;
 
 fn small_config(wideio: bool) -> DramConfig {
-    let mut cfg = if wideio {
+    let base = if wideio {
         DramConfig::wideio_scaled(16 << 20)
     } else {
         DramConfig::ddr4_scaled(64 << 20)
     };
-    cfg.refresh_enabled = true;
-    cfg.audit = true;
-    cfg
+    base.to_builder()
+        .refresh_enabled(true)
+        .audit(true)
+        .build()
+        .expect("preset-derived config validates")
 }
 
 fn multi_channel_config() -> DramConfig {
-    let mut cfg = small_config(false);
-    cfg.topology = Topology::from_capacity(4, 2, 8, 8192, 64, 64 << 20);
-    cfg
+    small_config(false)
+        .to_builder()
+        .topology(Topology::from_capacity(4, 2, 8, 8192, 64, 64 << 20))
+        .build()
+        .expect("multi-channel topology validates")
 }
 
 struct RunOutput {

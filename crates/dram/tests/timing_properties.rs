@@ -128,27 +128,31 @@ fn check_stream(cmds: &[IssuedCmd], t: &TimingParams) {
 }
 
 fn small_config(wideio: bool) -> DramConfig {
-    let mut cfg = if wideio {
+    let base = if wideio {
         DramConfig::wideio_scaled(16 << 20)
     } else {
         DramConfig::ddr4_scaled(64 << 20)
     };
     // Refresh left on: the checker must hold across refresh boundaries
     // too (refresh closes rows; subsequent ACTs re-open them).
-    cfg.refresh_enabled = true;
     // Runtime audit on: every property doubles as a cross-validation of
     // the TimingAuditor against this file's independent replay checker.
-    cfg.audit = true;
-    cfg
+    base.to_builder()
+        .refresh_enabled(true)
+        .audit(true)
+        .build()
+        .expect("preset-derived config validates")
 }
 
 /// A DDR4-timing configuration with four channels, so channel
 /// attribution bugs (commands tagged with the wrong channel) corrupt
 /// the per-channel tCCD/bus checks and fail loudly.
 fn multi_channel_config() -> DramConfig {
-    let mut cfg = small_config(false);
-    cfg.topology = Topology::from_capacity(4, 2, 8, 8192, 64, 64 << 20);
-    cfg
+    small_config(false)
+        .to_builder()
+        .topology(Topology::from_capacity(4, 2, 8, 8192, 64, 64 << 20))
+        .build()
+        .expect("multi-channel topology validates")
 }
 
 fn run_mix(cfg: DramConfig, txns: &[(u64, bool, u8)]) -> (Vec<IssuedCmd>, TimingParams) {

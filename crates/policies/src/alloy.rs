@@ -6,7 +6,8 @@
 //! parallel with it.
 
 use crate::controller::{
-    CompletedReq, ControllerStats, DramCacheController, MemorySides, PolicyConfig, PolicyKind,
+    CompletedReq, ControllerGauges, ControllerStats, DramCacheController, MemorySides,
+    PolicyConfig, PolicyKind,
 };
 use crate::engine::{legs, Engine, LegSpec};
 use crate::predictor::RegionPredictor;
@@ -306,6 +307,10 @@ impl DramCacheController for AlloyController {
 
     fn preload(&mut self, line: LineAddr, version: u64) {
         self.sides.ddr_store(line, version);
+    }
+
+    fn gauges(&self) -> ControllerGauges {
+        self.sides.dram_gauges()
     }
 
     fn reset_stats(&mut self) {

@@ -12,7 +12,8 @@
 //!   writeback-allocate bloat.
 
 use crate::controller::{
-    CompletedReq, ControllerStats, DramCacheController, MemorySides, PolicyConfig, PolicyKind,
+    CompletedReq, ControllerGauges, ControllerStats, DramCacheController, MemorySides,
+    PolicyConfig, PolicyKind,
 };
 use crate::engine::{legs, Engine, LegSpec};
 use crate::tagstore::TagStore;
@@ -383,6 +384,10 @@ impl DramCacheController for BearController {
 
     fn preload(&mut self, line: LineAddr, version: u64) {
         self.sides.ddr_store(line, version);
+    }
+
+    fn gauges(&self) -> ControllerGauges {
+        self.sides.dram_gauges()
     }
 
     fn reset_stats(&mut self) {

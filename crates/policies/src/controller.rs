@@ -169,6 +169,64 @@ pub struct ControllerStats {
 }
 
 impl ControllerStats {
+    /// Element-wise accumulation, the inverse of
+    /// [`ControllerStats::delta`]: summing an epoch series re-forms the
+    /// aggregate it was sliced from.
+    pub fn add(&mut self, other: &ControllerStats) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.reads_completed += other.reads_completed;
+        self.read_latency_sum += other.read_latency_sum;
+        self.hbm_probes += other.hbm_probes;
+        self.hbm_hits += other.hbm_hits;
+        self.hbm_misses += other.hbm_misses;
+        self.hbm_writes += other.hbm_writes;
+        self.fills += other.fills;
+        self.fill_bypasses += other.fill_bypasses;
+        self.hbm_bypasses += other.hbm_bypasses;
+        self.ddr_reads += other.ddr_reads;
+        self.ddr_writes += other.ddr_writes;
+        self.victim_writebacks += other.victim_writebacks;
+        self.gamma_invalidations += other.gamma_invalidations;
+        self.last_writes_routed += other.last_writes_routed;
+        self.refresh_bypasses += other.refresh_bypasses;
+        self.table_lookups += other.table_lookups;
+    }
+
+    /// Field-wise difference `self - prev`: the controller activity
+    /// between two snapshots. Every field is a monotonically growing
+    /// counter, so the difference is itself a valid `ControllerStats`
+    /// covering the interval — per-epoch series are derived from the
+    /// counters that already exist, with zero extra hot-path work.
+    pub fn delta(&self, prev: &ControllerStats) -> ControllerStats {
+        ControllerStats {
+            submitted: self.submitted.saturating_sub(prev.submitted),
+            completed: self.completed.saturating_sub(prev.completed),
+            reads_completed: self.reads_completed.saturating_sub(prev.reads_completed),
+            read_latency_sum: self.read_latency_sum.saturating_sub(prev.read_latency_sum),
+            hbm_probes: self.hbm_probes.saturating_sub(prev.hbm_probes),
+            hbm_hits: self.hbm_hits.saturating_sub(prev.hbm_hits),
+            hbm_misses: self.hbm_misses.saturating_sub(prev.hbm_misses),
+            hbm_writes: self.hbm_writes.saturating_sub(prev.hbm_writes),
+            fills: self.fills.saturating_sub(prev.fills),
+            fill_bypasses: self.fill_bypasses.saturating_sub(prev.fill_bypasses),
+            hbm_bypasses: self.hbm_bypasses.saturating_sub(prev.hbm_bypasses),
+            ddr_reads: self.ddr_reads.saturating_sub(prev.ddr_reads),
+            ddr_writes: self.ddr_writes.saturating_sub(prev.ddr_writes),
+            victim_writebacks: self
+                .victim_writebacks
+                .saturating_sub(prev.victim_writebacks),
+            gamma_invalidations: self
+                .gamma_invalidations
+                .saturating_sub(prev.gamma_invalidations),
+            last_writes_routed: self
+                .last_writes_routed
+                .saturating_sub(prev.last_writes_routed),
+            refresh_bypasses: self.refresh_bypasses.saturating_sub(prev.refresh_bypasses),
+            table_lookups: self.table_lookups.saturating_sub(prev.table_lookups),
+        }
+    }
+
     /// Mean read latency in cycles.
     pub fn mean_read_latency(&self) -> f64 {
         if self.reads_completed == 0 {
@@ -188,6 +246,31 @@ impl ControllerStats {
             self.hbm_hits as f64 / lookups as f64
         }
     }
+}
+
+/// Live, point-in-time controller state — quantities that cannot be
+/// reconstructed from counter deltas because they are levels, not sums.
+/// Sampled at epoch boundaries by the epoch recorder; all fields
+/// default to zero so architectures without a given mechanism (no α, no
+/// RCU queue, no HBM side) report a flat zero trace for it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ControllerGauges {
+    /// Current α threshold (RedCache admission gate), 0 when absent.
+    pub alpha: f64,
+    /// Current γ lifetime (RedCache last-write horizon), 0 when absent.
+    pub gamma: f64,
+    /// Entries parked in the RCU queue right now.
+    pub rcu_depth: u64,
+    /// Transactions inside the HBM schedulers' windows right now,
+    /// summed over channels.
+    pub hbm_window_occupancy: u64,
+    /// Transactions inside the DDR schedulers' windows right now.
+    pub ddr_window_occupancy: u64,
+    /// Bitmask of HBM channels latched in write-drain mode (bit *i* ⇔
+    /// channel *i*).
+    pub hbm_write_drain_mask: u64,
+    /// Bitmask of DDR channels latched in write-drain mode.
+    pub ddr_write_drain_mask: u64,
 }
 
 /// The DRAM-cache controller interface driven by the simulator.
@@ -250,6 +333,17 @@ pub trait DramCacheController {
     /// as key/value pairs for reports. Empty by default.
     fn extras(&self) -> Vec<(&'static str, f64)> {
         Vec::new()
+    }
+
+    /// Live gauges for epoch-resolved traces: adaptive thresholds,
+    /// queue depths and per-channel scheduler state *right now*, as
+    /// opposed to the cumulative counters in [`ControllerStats`].
+    /// Purely observational — implementations must not mutate state —
+    /// and only called at epoch boundaries, so it may walk per-channel
+    /// structures. Defaults to all-zero so custom controllers keep
+    /// compiling.
+    fn gauges(&self) -> ControllerGauges {
+        ControllerGauges::default()
     }
 
     /// Zeroes all statistics at the warmup boundary (§IV.A). Functional
@@ -346,6 +440,20 @@ impl MemorySides {
     pub fn sync_to(&mut self, now: Cycle) {
         self.hbm.sys.sync_to(now);
         self.ddr.sys.sync_to(now);
+    }
+
+    /// The DRAM-side gauge fields (window occupancy and write-drain
+    /// masks for both systems) — the shared base every controller's
+    /// [`DramCacheController::gauges`] builds on before adding its
+    /// policy-specific levels (α, γ, RCU depth).
+    pub fn dram_gauges(&self) -> ControllerGauges {
+        ControllerGauges {
+            hbm_window_occupancy: self.hbm.sys.window_occupancy() as u64,
+            ddr_window_occupancy: self.ddr.sys.window_occupancy() as u64,
+            hbm_write_drain_mask: self.hbm.sys.write_drain_mask(),
+            ddr_write_drain_mask: self.ddr.sys.write_drain_mask(),
+            ..ControllerGauges::default()
+        }
     }
 
     /// Snapshot of the HBM side's timing audit (when enabled) — the

@@ -4,7 +4,8 @@
 //! bound rather than free.
 
 use crate::controller::{
-    CompletedReq, ControllerStats, DramCacheController, MemorySides, PolicyConfig, PolicyKind,
+    CompletedReq, ControllerGauges, ControllerStats, DramCacheController, MemorySides,
+    PolicyConfig, PolicyKind,
 };
 use crate::engine::{legs, Engine, LegSpec};
 use redcache_dram::{AuditStats, DramStats, TxnKind};
@@ -179,6 +180,10 @@ impl DramCacheController for IdealController {
 
     fn preload(&mut self, line: LineAddr, version: u64) {
         self.versions.insert(line.raw(), version);
+    }
+
+    fn gauges(&self) -> ControllerGauges {
+        self.sides.dram_gauges()
     }
 
     fn reset_stats(&mut self) {

@@ -37,13 +37,13 @@ mod tagstore;
 pub use alloy::AlloyController;
 pub use bear::BearController;
 pub use controller::{
-    CompletedReq, ControllerStats, DramCacheController, MemorySides, PolicyConfig, PolicyKind,
+    CompletedReq, ControllerGauges, ControllerStats, DramCacheController, MemorySides,
+    PolicyConfig, PolicyKind,
 };
 pub use ideal::IdealController;
 pub use nohbm::NoHbmController;
-pub use predictor::RegionPredictor;
 pub use redcache::{RedCacheController, RedConfig, RedVariant};
-pub use tagstore::{classify, BlockClass, TagStore};
+pub use tagstore::{classify, BlockClass};
 
 /// Builds the controller selected by `cfg.kind`.
 pub fn build_controller(cfg: &PolicyConfig) -> Box<dyn DramCacheController> {

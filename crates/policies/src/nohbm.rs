@@ -2,7 +2,8 @@
 //! off-chip DDR4, with no in-package cache at all.
 
 use crate::controller::{
-    CompletedReq, ControllerStats, DramCacheController, MemorySides, PolicyConfig, PolicyKind,
+    CompletedReq, ControllerGauges, ControllerStats, DramCacheController, MemorySides,
+    PolicyConfig, PolicyKind,
 };
 use crate::engine::{legs, Engine, LegSpec};
 use redcache_dram::{AuditStats, DramStats, TxnKind};
@@ -139,6 +140,10 @@ impl DramCacheController for NoHbmController {
 
     fn preload(&mut self, line: LineAddr, version: u64) {
         self.sides.ddr_store(line, version);
+    }
+
+    fn gauges(&self) -> ControllerGauges {
+        self.sides.dram_gauges()
     }
 
     fn reset_stats(&mut self) {

@@ -57,6 +57,7 @@ impl RegionPredictor {
     }
 
     /// Prediction accuracy so far (1.0 when untrained).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn accuracy(&self) -> f64 {
         let total = self.correct + self.wrong;
         if total == 0 {

@@ -26,7 +26,8 @@ pub use gamma::{GammaConfig, GammaManager};
 pub use rcu::{RcuEntry, RcuQueue, RcuStats};
 
 use crate::controller::{
-    CompletedReq, ControllerStats, DramCacheController, MemorySides, PolicyConfig, PolicyKind,
+    CompletedReq, ControllerGauges, ControllerStats, DramCacheController, MemorySides,
+    PolicyConfig, PolicyKind,
 };
 use crate::engine::{legs, Engine, LegSpec};
 use crate::predictor::RegionPredictor;
@@ -664,13 +665,16 @@ impl RedCacheController {
             }
         }
         // Condition 2: a channel's transaction queue is empty — its
-        // parked updates drain without delaying any cache request.
-        if self.rcu.len() >= self.red.rcu_capacity / 2 {
-            for ch in 0..self.sides.hbm.sys.channel_count() {
-                if self.sides.hbm.sys.channel_queue_len(ch) == 0 {
-                    if let Some(e) = self.rcu.pop_idle_on_channel(ch) {
-                        self.issue_drain(e, now);
-                    }
+        // parked updates drain without delaying any cache request. The
+        // paper states this condition unconditionally ("the queue is
+        // empty, so the update is free"); an earlier occupancy gate
+        // (only drain once half-full) deferred updates for no benefit
+        // and left short runs with parked entries never draining at all
+        // (DESIGN.md §3.4).
+        for ch in 0..self.sides.hbm.sys.channel_count() {
+            if self.sides.hbm.sys.channel_queue_len(ch) == 0 {
+                if let Some(e) = self.rcu.pop_idle_on_channel(ch) {
+                    self.issue_drain(e, now);
                 }
             }
         }
@@ -746,8 +750,7 @@ impl DramCacheController for RedCacheController {
             let hbm = &self.sides.hbm.sys;
             for ch in 0..hbm.channel_count() {
                 let cluster = hbm.channel_pending_writes(ch) >= 4;
-                let idle = self.rcu.len() >= self.red.rcu_capacity / 2
-                    && hbm.channel_queue_len(ch) == 0;
+                let idle = hbm.channel_queue_len(ch) == 0;
                 if (cluster || idle) && self.rcu.has_entry_on_channel(ch) {
                     return now + 1;
                 }
@@ -798,6 +801,15 @@ impl DramCacheController for RedCacheController {
         self.sides.ddr.sys.reset_stats();
         self.rcu.reset_stats();
         self.alpha.reset_stats();
+    }
+
+    fn gauges(&self) -> ControllerGauges {
+        ControllerGauges {
+            alpha: self.alpha.alpha() as f64,
+            gamma: self.gamma.gamma() as f64,
+            rcu_depth: self.rcu.len() as u64,
+            ..self.sides.dram_gauges()
+        }
     }
 
     fn extras(&self) -> Vec<(&'static str, f64)> {

@@ -77,6 +77,7 @@ impl TagStore {
     }
 
     /// Number of sets.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn sets(&self) -> usize {
         self.sets.len()
     }
@@ -148,6 +149,7 @@ impl TagStore {
     }
 
     /// Resident block count.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn occupancy(&self) -> usize {
         self.occupancy
     }

@@ -1,0 +1,57 @@
+//! Shared configuration-validation error type.
+//!
+//! Every configuration builder in the workspace (`SimConfig::builder`,
+//! `DramConfig::builder`, `HierarchyConfig::builder`) funnels its
+//! validation failures into [`ConfigError`], so callers handle one error
+//! type regardless of which layer rejected the configuration.
+
+/// A rejected configuration: carries a human-readable description of
+/// the first inconsistency found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl ConfigError {
+    /// Wraps a validation message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+
+    /// The validation message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<String> for ConfigError {
+    fn from(msg: String) -> Self {
+        Self(msg)
+    }
+}
+
+impl From<&str> for ConfigError {
+    fn from(msg: &str) -> Self {
+        Self(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carries_and_displays_message() {
+        let e = ConfigError::new("queue_depth must be nonzero");
+        assert_eq!(e.message(), "queue_depth must be nonzero");
+        assert!(e.to_string().contains("queue_depth"));
+        let from_string: ConfigError = String::from("x").into();
+        assert_eq!(from_string, ConfigError::new("x"));
+    }
+}

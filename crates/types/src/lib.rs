@@ -21,10 +21,12 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod config;
 pub mod req;
 pub mod stats;
 
 pub use addr::{LineAddr, PageId, PhysAddr, BLOCK_BYTES, PAGE_BYTES};
+pub use config::ConfigError;
 pub use req::{AccessKind, CoreId, MemOp, MemRequest, ReqId};
 pub use stats::{Counter, EwmAverage, Histogram, SatCounter};
 

@@ -49,8 +49,11 @@ fn request_conservation_holds() {
     // boundary.)
     let traces = Workload::Is.generate(&tiny());
     for kind in all_policies() {
-        let mut cfg = SimConfig::quick(kind);
-        cfg.warmup_fraction = 0.0;
+        let cfg = SimConfig::quick(kind)
+            .to_builder()
+            .warmup_fraction(0.0)
+            .build()
+            .expect("preset-derived config validates");
         let r = Simulator::new(cfg).run(traces.clone());
         assert_eq!(
             r.ctl.submitted, r.ctl.completed,
@@ -164,12 +167,11 @@ fn granularity_sweep_runs_clean() {
 #[test]
 fn warmup_fraction_changes_measured_window_only() {
     let traces = Workload::Ocn.generate(&tiny());
-    let mut cfg = SimConfig::quick(PolicyKind::Alloy);
-    cfg.warmup_fraction = 0.0;
-    let cold = Simulator::new(cfg).run(traces.clone());
-    let mut cfg = SimConfig::quick(PolicyKind::Alloy);
-    cfg.warmup_fraction = 0.5;
-    let warm = Simulator::new(cfg).run(traces);
+    let builder = || SimConfig::quick(PolicyKind::Alloy).to_builder();
+    let cold_cfg = builder().warmup_fraction(0.0).build().unwrap();
+    let cold = Simulator::new(cold_cfg).run(traces.clone());
+    let warm_cfg = builder().warmup_fraction(0.5).build().unwrap();
+    let warm = Simulator::new(warm_cfg).run(traces);
     assert!(
         warm.cycles < cold.cycles,
         "measured window must shrink with warmup"

@@ -1,0 +1,114 @@
+//! Invariants of the epoch recorder (DESIGN.md §3.9).
+//!
+//! 1. *Conservation*: the post-warmup epoch deltas sum **exactly** to
+//!    the end-of-run aggregates — the series is a lossless slicing of
+//!    the counters the report already carries, across all 11 workloads
+//!    under a baseline and a RedCache architecture.
+//! 2. *Non-perturbation*: a run with recording enabled produces the
+//!    same `RunReport` (timeseries aside) as a run without it.
+
+use redcache::prelude::*;
+use redcache_cache::CacheStats;
+use redcache_dram::DramStats;
+use redcache_policies::ControllerStats;
+
+const EPOCH: Cycle = 20_000;
+
+fn run(kind: PolicyKind, w: Workload, gen: &GenConfig, epoch: Option<Cycle>) -> RunReport {
+    let cfg = SimConfig::quick(kind)
+        .to_builder()
+        .epoch_cycles(epoch)
+        .build()
+        .expect("preset-derived config validates");
+    run_workload(cfg, w, gen)
+}
+
+fn policies() -> [PolicyKind; 2] {
+    [PolicyKind::Alloy, PolicyKind::Red(RedVariant::Full)]
+}
+
+#[test]
+fn epoch_deltas_sum_to_aggregates_across_the_suite() {
+    let gen = GenConfig::tiny();
+    for w in Workload::ALL {
+        for kind in policies() {
+            let r = run(kind, w, &gen, Some(EPOCH));
+            let ts = r.timeseries.as_ref().expect("recording was on");
+            assert_eq!(ts.epoch_cycles, EPOCH);
+            assert!(!ts.epochs.is_empty(), "{kind} on {w}: no epochs closed");
+            // Epochs tile the timeline with no gaps or overlaps.
+            for pair in ts.epochs.windows(2) {
+                assert_eq!(
+                    pair[1].start,
+                    pair[0].end + 1,
+                    "{kind} on {w}: epochs must tile the timeline"
+                );
+            }
+            // Only the post-warmup epochs count toward the aggregates:
+            // the warmup reset zeroes both the counters and the
+            // recorder's baselines.
+            let start = ts.warmup_epoch.expect("quick preset has a warmup phase") as usize;
+            let mut ctl = ControllerStats::default();
+            let mut hbm = DramStats::default();
+            let mut ddr = DramStats::default();
+            let mut l1 = CacheStats::default();
+            let mut l2 = CacheStats::default();
+            let mut l3 = CacheStats::default();
+            for e in &ts.epochs[start..] {
+                ctl.add(&e.ctl);
+                if let Some(h) = &e.hbm {
+                    hbm.add(h);
+                }
+                ddr.add(&e.ddr);
+                l1.add(&e.l1);
+                l2.add(&e.l2);
+                l3.add(&e.l3);
+            }
+            let ctx = format!("{kind} on {w}");
+            assert_eq!(ctl, r.ctl, "{ctx}: controller deltas must sum exactly");
+            assert_eq!(Some(hbm), r.hbm, "{ctx}: HBM deltas must sum exactly");
+            assert_eq!(ddr, r.ddr, "{ctx}: DDR deltas must sum exactly");
+            assert_eq!(l1, r.l1, "{ctx}: L1 deltas must sum exactly");
+            assert_eq!(l2, r.l2, "{ctx}: L2 deltas must sum exactly");
+            assert_eq!(l3, r.l3, "{ctx}: L3 deltas must sum exactly");
+        }
+    }
+}
+
+#[test]
+fn recording_never_perturbs_the_run() {
+    let gen = GenConfig::tiny();
+    for w in [Workload::Ft, Workload::Is, Workload::Hist] {
+        for kind in policies() {
+            let mut on = run(kind, w, &gen, Some(EPOCH));
+            let off = run(kind, w, &gen, None);
+            assert!(on.timeseries.is_some() && off.timeseries.is_none());
+            on.timeseries = None;
+            assert_eq!(on, off, "{kind} on {w}: recording must be observational");
+        }
+    }
+}
+
+#[test]
+fn epochs_are_stride_sized_and_cover_from_cycle_zero() {
+    let gen = GenConfig::tiny();
+    let r = run(
+        PolicyKind::Red(RedVariant::Full),
+        Workload::Ft,
+        &gen,
+        Some(EPOCH),
+    );
+    let ts = r.timeseries.expect("recording was on");
+    assert_eq!(ts.epochs[0].start, 0, "series must start at cycle 0");
+    for (i, e) in ts.epochs.iter().enumerate() {
+        assert_eq!(e.index, i as u64, "indices must be sequential");
+        if i + 1 < ts.epochs.len() {
+            assert_eq!(e.cycles(), EPOCH, "interior epochs are one full stride");
+        } else {
+            // The partial tail closes at the loop-exit cycle; the skip
+            // clamp guarantees no boundary is ever jumped, so the tail
+            // can never exceed a stride.
+            assert!(e.cycles() <= EPOCH, "tail epoch longer than a stride");
+        }
+    }
+}

@@ -12,8 +12,11 @@ use redcache::{PolicyKind, RedVariant, RunReport, SimConfig, Simulator};
 use redcache_workloads::{GenConfig, Workload};
 
 fn run(kind: PolicyKind, w: Workload, gen: &GenConfig, time_skip: bool) -> RunReport {
-    let mut cfg = SimConfig::quick(kind);
-    cfg.time_skip = time_skip;
+    let cfg = SimConfig::quick(kind)
+        .to_builder()
+        .time_skip(time_skip)
+        .build()
+        .expect("preset-derived config validates");
     Simulator::new(cfg).run(w.generate(gen))
 }
 
@@ -68,9 +71,12 @@ fn skip_is_exact_with_timing_audit_attached() {
     for kind in [PolicyKind::Alloy, PolicyKind::Red(RedVariant::Full)] {
         let w = Workload::Is;
         let mk = |skip: bool| {
-            let mut cfg = SimConfig::quick(kind);
-            cfg.time_skip = skip;
-            cfg.audit_timing = true;
+            let cfg = SimConfig::quick(kind)
+                .to_builder()
+                .time_skip(skip)
+                .audit_timing(true)
+                .build()
+                .expect("preset-derived config validates");
             Simulator::new(cfg).run(w.generate(&gen))
         };
         let fast = mk(true);
@@ -79,6 +85,42 @@ fn skip_is_exact_with_timing_audit_attached() {
         let audit = fast.ddr_audit.as_ref().expect("audit attached");
         assert!(audit.clean(), "timing violations under skip");
         assert!(audit.cmds_audited > 0);
+    }
+}
+
+#[test]
+fn skip_is_exact_with_epoch_recording_enabled() {
+    // Epoch recording must not perturb the advance in either mode: the
+    // skip is clamped to the next epoch boundary (a no-op by the
+    // `next_event` lower-bound contract), and boundaries jumped by the
+    // shared compute fast-forward close late as zero-delta epochs in
+    // both walks. Whole reports — *including* the timeseries — must be
+    // bit-identical.
+    let gen = GenConfig::tiny();
+    for kind in [
+        PolicyKind::Alloy,
+        PolicyKind::Red(RedVariant::Full),
+        PolicyKind::NoHbm,
+    ] {
+        for w in [Workload::Ft, Workload::Is, Workload::Hist] {
+            let mk = |skip: bool| {
+                let cfg = SimConfig::quick(kind)
+                    .to_builder()
+                    .time_skip(skip)
+                    .epoch_cycles(Some(25_000))
+                    .build()
+                    .expect("preset-derived config validates");
+                Simulator::new(cfg).run(w.generate(&gen))
+            };
+            let fast = mk(true);
+            let slow = mk(false);
+            assert_eq!(
+                fast, slow,
+                "{kind} on {w}: recording-enabled runs diverged between modes"
+            );
+            let ts = fast.timeseries.as_ref().expect("recording was on");
+            assert!(!ts.epochs.is_empty());
+        }
     }
 }
 
