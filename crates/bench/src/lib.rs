@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod pool;
 pub mod report_io;
 
 use redcache::{PolicyKind, RunReport, SimConfig, Simulator};
@@ -61,7 +62,28 @@ pub struct TimedRun {
     pub gen_s: f64,
 }
 
-/// Executes `specs` in parallel (one OS thread per logical CPU) and
+/// Runs one simulation under `cfg` against already-generated traces,
+/// labelling the report with `label`. Returns the report and the
+/// simulation wall-clock seconds (trace generation excluded).
+///
+/// This is the single execution path shared by the run-matrix harness
+/// and the `redcache-serve` daemon workers — anything that turns a
+/// `(config, traces)` pair into a [`RunReport`] goes through here.
+pub fn run_labelled(cfg: SimConfig, label: &str, traces: SharedTraces) -> (RunReport, f64) {
+    let started = std::time::Instant::now();
+    let mut report = Simulator::new(cfg).run(traces);
+    let wall_s = started.elapsed().as_secs_f64();
+    report.workload = Some(label.to_string());
+    (report, wall_s)
+}
+
+/// Runs one [`RunSpec`] against already-generated traces; see
+/// [`run_labelled`].
+pub fn run_one(spec: &RunSpec, traces: SharedTraces) -> (RunReport, f64) {
+    run_labelled(spec.cfg, spec.workload.info().label, traces)
+}
+
+/// Executes `specs` in parallel (bounded by [`pool::max_workers`]) and
 /// returns the reports in spec order.
 ///
 /// # Panics
@@ -82,19 +104,17 @@ pub fn run_matrix(specs: &[RunSpec], gen: &GenConfig) -> Vec<RunReport> {
 /// simulation workers as [`SharedTraces`] — a 7-policy column over one
 /// workload costs one generation, not seven.
 ///
-/// Each worker owns a round-robin shard of disjoint `&mut` result
-/// slots, so the workers need no locks at all; `std::thread::scope`
-/// re-raises any worker panic after joining.
+/// Both the generation and the simulation phase run on
+/// [`pool::par_map_indexed`], capped at [`pool::max_workers`] threads
+/// (logical CPUs, or the `REDCACHE_JOBS` override) — an arbitrarily
+/// large matrix never oversubscribes the machine.
 ///
 /// # Panics
 ///
 /// Panics if any simulation panics (its error is propagated).
 pub fn run_matrix_timed(specs: &[RunSpec], gen: &GenConfig) -> Vec<TimedRun> {
     let n = specs.len();
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
+    let workers = pool::max_workers();
 
     // Distinct workloads in first-appearance order (the matrix is tiny:
     // a linear scan beats hashing).
@@ -104,58 +124,28 @@ pub fn run_matrix_timed(specs: &[RunSpec], gen: &GenConfig) -> Vec<TimedRun> {
             uniq.push(s.workload);
         }
     }
-    // One generation per distinct workload, in parallel.
-    let mut generated: Vec<Option<(SharedTraces, f64)>> = (0..uniq.len()).map(|_| None).collect();
-    std::thread::scope(|s| {
-        for (w, slot) in uniq.iter().zip(generated.iter_mut()) {
-            s.spawn(move || {
-                let started = std::time::Instant::now();
-                let traces = trace_io::generate_cached(*w, gen);
-                let gen_s = started.elapsed().as_secs_f64();
-                *slot = Some((SharedTraces::from(traces), gen_s));
-            });
-        }
+    // One generation per distinct workload, in parallel but bounded.
+    let generated: Vec<(SharedTraces, f64)> = pool::par_map_indexed(uniq.len(), workers, |i| {
+        let started = std::time::Instant::now();
+        let traces = trace_io::generate_cached(uniq[i], gen);
+        let gen_s = started.elapsed().as_secs_f64();
+        (SharedTraces::from(traces), gen_s)
     });
-    let generated: Vec<(SharedTraces, f64)> = generated
-        .into_iter()
-        .map(|g| g.expect("missing traces"))
-        .collect();
 
-    let mut results: Vec<Option<TimedRun>> = (0..n).map(|_| None).collect();
-    let mut shards: Vec<Vec<(usize, &mut Option<TimedRun>)>> =
-        (0..workers).map(|_| Vec::new()).collect();
-    for (i, slot) in results.iter_mut().enumerate() {
-        shards[i % workers].push((i, slot));
-    }
-    let uniq = &uniq;
-    let generated = &generated;
-    std::thread::scope(|s| {
-        for shard in shards {
-            s.spawn(move || {
-                for (i, slot) in shard {
-                    let spec = specs[i];
-                    let wi = uniq
-                        .iter()
-                        .position(|w| *w == spec.workload)
-                        .expect("workload was grouped above");
-                    let (traces, gen_s) = &generated[wi];
-                    let started = std::time::Instant::now();
-                    let mut report = Simulator::new(spec.cfg).run(traces.clone());
-                    let wall_s = started.elapsed().as_secs_f64();
-                    report.workload = Some(spec.workload.info().label.to_string());
-                    *slot = Some(TimedRun {
-                        report,
-                        wall_s,
-                        gen_s: *gen_s,
-                    });
-                }
-            });
+    pool::par_map_indexed(n, workers, |i| {
+        let spec = specs[i];
+        let wi = uniq
+            .iter()
+            .position(|w| *w == spec.workload)
+            .expect("workload was grouped above");
+        let (traces, gen_s) = &generated[wi];
+        let (report, wall_s) = run_one(&spec, traces.clone());
+        TimedRun {
+            report,
+            wall_s,
+            gen_s: *gen_s,
         }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("missing result"))
-        .collect()
+    })
 }
 
 /// Runs every workload under every policy; returns

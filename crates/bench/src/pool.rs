@@ -1,0 +1,104 @@
+//! Bounded worker-pool helpers shared by the run-matrix harness and
+//! the serving daemon (`redcache-serve`).
+//!
+//! Every parallel section in the workspace sizes itself through
+//! [`max_workers`]: the machine's logical CPU count, overridable with
+//! the `REDCACHE_JOBS` environment variable (useful both to throttle a
+//! shared box and to force single-threaded execution when bisecting).
+//! [`par_map_indexed`] is the bounded fork-join primitive built on it —
+//! a fixed shard-per-worker scatter over `std::thread::scope`, so large
+//! run matrices never spawn more OS threads than the cap no matter how
+//! many cells they have.
+
+/// Maximum worker threads for a parallel section: the `REDCACHE_JOBS`
+/// environment variable when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (falling back to 4 if the
+/// platform cannot report it).
+pub fn max_workers() -> usize {
+    if let Ok(v) = std::env::var("REDCACHE_JOBS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+/// Applies `f` to every index in `0..n` across at most `workers` OS
+/// threads and returns the results in index order.
+///
+/// Indices are dealt round-robin into one shard per worker, each worker
+/// owning disjoint `&mut` result slots — no locks, no channels. The
+/// call blocks until every index is done; a panicking `f` is re-raised
+/// after the scope joins.
+///
+/// # Panics
+///
+/// Propagates any panic from `f`.
+pub fn par_map_indexed<R, F>(n: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.clamp(1, n.max(1));
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut shards: Vec<Vec<(usize, &mut Option<R>)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, slot) in results.iter_mut().enumerate() {
+        shards[i % workers].push((i, slot));
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        for shard in shards {
+            s.spawn(move || {
+                for (i, slot) in shard {
+                    *slot = Some(f(i));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order_with_any_worker_count() {
+        for workers in [1, 2, 3, 16] {
+            let out = par_map_indexed(10, workers, |i| i * i);
+            assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert_eq!(par_map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, 4, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn worker_cap_is_positive() {
+        assert!(max_workers() >= 1);
+    }
+
+    #[test]
+    fn actually_runs_concurrently_but_bounded() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        par_map_indexed(8, 2, |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "pool oversubscribed");
+    }
+}

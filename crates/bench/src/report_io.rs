@@ -108,24 +108,122 @@ pub fn write_jsonl<T: Serialize>(path: &Path, items: &[T]) {
     }
 }
 
+/// Why a saved artifact failed to load — the information
+/// [`read_json`]'s `Option` erases. The `redcache-serve` result cache
+/// needs the distinction: a [`ReadError::Missing`] entry is simply not
+/// cached yet, while a [`ReadError::Corrupt`] one must be evicted from
+/// disk before it shadows a good result forever.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The file does not exist.
+    Missing,
+    /// The file exists but could not be read.
+    Io(std::io::Error),
+    /// The file was read but parses neither as a [`Saved`] envelope nor
+    /// as a bare legacy payload.
+    Corrupt(serde_json::Error),
+    /// A well-formed envelope written by an incompatible harness.
+    Version {
+        /// The `schema_version` found in the file.
+        found: u32,
+    },
+}
+
+impl ReadError {
+    /// True for on-disk damage worth evicting (as opposed to a merely
+    /// absent or version-skewed entry).
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, ReadError::Corrupt(_))
+    }
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Missing => write!(f, "file not found"),
+            ReadError::Io(e) => write!(f, "read failed: {e}"),
+            ReadError::Corrupt(e) => write!(f, "unparseable payload: {e}"),
+            ReadError::Version { found } => {
+                write!(f, "schema_version {found} (want {SCHEMA_VERSION})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
 /// Reads a payload saved by [`write_json`]/[`write_json_at`],
 /// unwrapping the envelope and checking the version. Files written by
 /// pre-envelope harnesses (a bare payload) still load, so existing
 /// caches survive the format change.
-pub fn read_json<T: DeserializeOwned>(path: &Path) -> Option<T> {
-    let s = std::fs::read_to_string(path).ok()?;
-    if let Ok(saved) = serde_json::from_str::<Saved<T>>(&s) {
-        if saved.schema_version == SCHEMA_VERSION {
-            return Some(saved.data);
-        }
-        eprintln!(
-            "warning: {} has schema_version {} (want {SCHEMA_VERSION}); ignoring it",
-            path.display(),
-            saved.schema_version
-        );
-        return None;
+///
+/// # Errors
+///
+/// Returns [`ReadError::Missing`] for an absent file, [`ReadError::Io`]
+/// for any other filesystem failure, [`ReadError::Version`] for an
+/// envelope from an incompatible harness, and [`ReadError::Corrupt`]
+/// when the contents parse as neither an envelope nor a legacy bare
+/// payload.
+pub fn try_read_json<T: DeserializeOwned>(path: &Path) -> Result<T, ReadError> {
+    let s = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(ReadError::Missing),
+        Err(e) => return Err(ReadError::Io(e)),
+    };
+    match serde_json::from_str::<Saved<T>>(&s) {
+        Ok(saved) if saved.schema_version == SCHEMA_VERSION => Ok(saved.data),
+        Ok(saved) => Err(ReadError::Version {
+            found: saved.schema_version,
+        }),
+        // Not an envelope: try the pre-envelope bare layout before
+        // declaring the file corrupt.
+        Err(_) => serde_json::from_str::<T>(&s).map_err(ReadError::Corrupt),
     }
-    serde_json::from_str::<T>(&s).ok()
+}
+
+/// [`try_read_json`] with the error collapsed to `None` (legacy
+/// convenience wrapper — the figure binaries treat every miss the
+/// same). A version mismatch still warns on stderr.
+pub fn read_json<T: DeserializeOwned>(path: &Path) -> Option<T> {
+    match try_read_json(path) {
+        Ok(v) => Some(v),
+        Err(ReadError::Version { found }) => {
+            eprintln!(
+                "warning: {} has schema_version {found} (want {SCHEMA_VERSION}); ignoring it",
+                path.display(),
+            );
+            None
+        }
+        Err(_) => None,
+    }
+}
+
+/// FNV-1a over a byte slice — the workspace's stable content hash
+/// (deliberately not `std::hash::Hash`: keys must survive compiler and
+/// std upgrades, they name files on disk and cache entries across
+/// daemon restarts).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Stable 64-bit content key for any serializable value: FNV-1a over
+/// its compact JSON encoding. Field order is the struct's definition
+/// order, so the key is deterministic for a given schema — bump
+/// [`SCHEMA_VERSION`] when a keyed layout changes. This is how the
+/// `redcache-serve` daemon addresses its single-flight result cache:
+/// `json_key(&(workload, gen_config, sim_config))`.
+///
+/// # Panics
+///
+/// Panics if `value` fails to serialize (keyed configs are plain data
+/// and always serialize).
+pub fn json_key<T: Serialize>(value: &T) -> u64 {
+    fnv1a(&serde_json::to_vec(value).expect("keyed value serializes"))
 }
 
 #[cfg(test)]
@@ -144,6 +242,54 @@ mod tests {
         assert!(s.contains("\"schema\": \"probe\""));
         assert!(s.contains("\"schema_version\": 1"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn try_read_distinguishes_missing_corrupt_and_version_skew() {
+        let dir = std::env::temp_dir().join("redcache_report_io_test_err");
+        let _ = std::fs::create_dir_all(&dir);
+
+        let missing = dir.join("nope.json");
+        let _ = std::fs::remove_file(&missing);
+        assert!(matches!(
+            try_read_json::<Vec<u64>>(&missing),
+            Err(ReadError::Missing)
+        ));
+
+        let corrupt = dir.join("corrupt.json");
+        std::fs::write(&corrupt, "{not json at all").unwrap();
+        let err = try_read_json::<Vec<u64>>(&corrupt).unwrap_err();
+        assert!(err.is_corrupt(), "got {err}");
+        assert!(read_json::<Vec<u64>>(&corrupt).is_none());
+
+        // Parseable JSON of the wrong shape is corrupt too.
+        std::fs::write(&corrupt, "{\"some\": \"object\"}").unwrap();
+        assert!(try_read_json::<Vec<u64>>(&corrupt)
+            .unwrap_err()
+            .is_corrupt());
+
+        let skewed = dir.join("skewed.json");
+        std::fs::write(
+            &skewed,
+            "{\"schema\": \"x\", \"schema_version\": 999, \"data\": [1]}",
+        )
+        .unwrap();
+        assert!(matches!(
+            try_read_json::<Vec<u64>>(&skewed),
+            Err(ReadError::Version { found: 999 })
+        ));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_are_stable_and_content_addressed() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        let a = json_key(&("HIST", 1u64, 2u64));
+        let b = json_key(&("HIST", 1u64, 2u64));
+        let c = json_key(&("HIST", 1u64, 3u64));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
     }
 
     #[test]

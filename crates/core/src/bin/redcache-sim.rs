@@ -23,28 +23,6 @@ struct Args {
     json: bool,
 }
 
-fn parse_policy(s: &str) -> Option<PolicyKind> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "nohbm" | "no-hbm" => PolicyKind::NoHbm,
-        "ideal" => PolicyKind::Ideal,
-        "alloy" => PolicyKind::Alloy,
-        "bear" => PolicyKind::Bear,
-        "red-alpha" => PolicyKind::Red(RedVariant::Alpha),
-        "red-gamma" => PolicyKind::Red(RedVariant::Gamma),
-        "red-basic" => PolicyKind::Red(RedVariant::Basic),
-        "red-insitu" => PolicyKind::Red(RedVariant::InSitu),
-        "redcache" | "red-full" | "red" => PolicyKind::Red(RedVariant::Full),
-        _ => return None,
-    })
-}
-
-fn parse_workload(s: &str) -> Option<Workload> {
-    Workload::ALL
-        .iter()
-        .copied()
-        .find(|w| w.info().label.eq_ignore_ascii_case(s))
-}
-
 fn usage() -> ! {
     eprintln!(
         "usage: redcache-sim [--workload LABEL] [--policy NAME] [--budget N]\n\
@@ -73,9 +51,9 @@ fn parse_args() -> Args {
         let mut val = || it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--workload" | "-w" => {
-                args.workload = parse_workload(&val()).unwrap_or_else(|| usage())
+                args.workload = val().parse().unwrap_or_else(|_| usage());
             }
-            "--policy" | "-p" => args.policy = parse_policy(&val()).unwrap_or_else(|| usage()),
+            "--policy" | "-p" => args.policy = val().parse().unwrap_or_else(|_| usage()),
             "--budget" | "-b" => args.budget = val().parse().unwrap_or_else(|_| usage()),
             "--shrink" | "-s" => args.shrink = val().parse().unwrap_or_else(|_| usage()),
             "--block" => args.block = val().parse().unwrap_or_else(|_| usage()),
@@ -132,11 +110,7 @@ fn main() {
     let mut gen = GenConfig::scaled();
     gen.budget_per_thread = a.budget;
     gen.shrink = a.shrink;
-    let mut cfg = match a.preset.as_str() {
-        "quick" => SimConfig::quick(a.policy),
-        "scaled" => SimConfig::scaled(a.policy),
-        _ => usage(),
-    };
+    let mut cfg = SimConfig::preset(&a.preset, a.policy).unwrap_or_else(|| usage());
     cfg.policy.cache_block_bytes = a.block;
     cfg.warmup_fraction = a.warmup;
     if cfg.hierarchy.cores < gen.threads {

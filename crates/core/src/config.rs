@@ -118,6 +118,18 @@ impl SimConfig {
         Ok(())
     }
 
+    /// Looks up a preset by its CLI/API name: `"table1"`, `"scaled"`,
+    /// or `"quick"` (case-insensitive). The spelling shared by
+    /// `redcache-sim` and the `redcache-serve` job API.
+    pub fn preset(name: &str, kind: PolicyKind) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "table1" => Some(Self::table1(kind)),
+            "scaled" => Some(Self::scaled(kind)),
+            "quick" => Some(Self::quick(kind)),
+            _ => None,
+        }
+    }
+
     /// Starts a validated builder seeded from the scaled preset for
     /// `kind` — the idiomatic way to assemble a non-preset
     /// configuration (see [`SimConfigBuilder`]).
@@ -237,6 +249,15 @@ mod tests {
             SimConfig::scaled(kind).validate().unwrap();
             SimConfig::quick(kind).validate().unwrap();
         }
+    }
+
+    #[test]
+    fn preset_lookup_matches_constructors() {
+        let k = PolicyKind::Alloy;
+        assert_eq!(SimConfig::preset("quick", k), Some(SimConfig::quick(k)));
+        assert_eq!(SimConfig::preset("Scaled", k), Some(SimConfig::scaled(k)));
+        assert_eq!(SimConfig::preset("TABLE1", k), Some(SimConfig::table1(k)));
+        assert_eq!(SimConfig::preset("nope", k), None);
     }
 
     #[test]

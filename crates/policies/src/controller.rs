@@ -33,6 +33,30 @@ impl std::fmt::Display for PolicyKind {
     }
 }
 
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    /// Parses the CLI/API spellings shared by `redcache-sim` and the
+    /// `redcache-serve` daemon (case-insensitive): `nohbm`/`no-hbm`,
+    /// `ideal`, `alloy`, `bear`, `red-alpha`, `red-gamma`, `red-basic`,
+    /// `red-insitu`, and `redcache`/`red-full`/`red`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        use crate::redcache::RedVariant;
+        Ok(match s.to_ascii_lowercase().as_str() {
+            "nohbm" | "no-hbm" => PolicyKind::NoHbm,
+            "ideal" => PolicyKind::Ideal,
+            "alloy" => PolicyKind::Alloy,
+            "bear" => PolicyKind::Bear,
+            "red-alpha" => PolicyKind::Red(RedVariant::Alpha),
+            "red-gamma" => PolicyKind::Red(RedVariant::Gamma),
+            "red-basic" => PolicyKind::Red(RedVariant::Basic),
+            "red-insitu" => PolicyKind::Red(RedVariant::InSitu),
+            "redcache" | "red-full" | "red" => PolicyKind::Red(RedVariant::Full),
+            other => return Err(format!("unknown policy {other:?}")),
+        })
+    }
+}
+
 /// Configuration shared by all controllers.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PolicyConfig {
@@ -533,5 +557,26 @@ mod tests {
     fn kind_display() {
         assert_eq!(PolicyKind::NoHbm.to_string(), "No-HBM");
         assert_eq!(PolicyKind::Alloy.to_string(), "Alloy");
+    }
+
+    #[test]
+    fn kind_parses_cli_spellings() {
+        use crate::redcache::RedVariant;
+        for (s, k) in [
+            ("nohbm", PolicyKind::NoHbm),
+            ("No-HBM", PolicyKind::NoHbm),
+            ("IDEAL", PolicyKind::Ideal),
+            ("alloy", PolicyKind::Alloy),
+            ("bear", PolicyKind::Bear),
+            ("red-alpha", PolicyKind::Red(RedVariant::Alpha)),
+            ("red-gamma", PolicyKind::Red(RedVariant::Gamma)),
+            ("red-basic", PolicyKind::Red(RedVariant::Basic)),
+            ("red-insitu", PolicyKind::Red(RedVariant::InSitu)),
+            ("redcache", PolicyKind::Red(RedVariant::Full)),
+            ("red", PolicyKind::Red(RedVariant::Full)),
+        ] {
+            assert_eq!(s.parse::<PolicyKind>().unwrap(), k, "{s}");
+        }
+        assert!("alchemy".parse::<PolicyKind>().is_err());
     }
 }

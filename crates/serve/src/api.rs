@@ -1,0 +1,334 @@
+//! The job-facing API types: what a client submits, how the daemon
+//! resolves it into runnable configuration, and what status it reports
+//! back.
+
+use redcache::{PolicyKind, SimConfig};
+use redcache_bench::report_io;
+use redcache_workloads::{synthetic::SyntheticSpec, trace_io, GenConfig, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Hard cap on the [`JobRequest::hold_ms`] debug delay.
+pub const MAX_HOLD_MS: u64 = 10_000;
+
+/// A job submission. Everything except `workload` is optional: the
+/// defaults are the scaled evaluation preset under the full RedCache
+/// architecture, exactly what the figure binaries run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct JobRequest {
+    /// Workload label (`"HIST"`, `"rdx"`, …, case-insensitive) or
+    /// `"synthetic"` for the parametric three-class stream.
+    pub workload: String,
+    /// Architecture spelling (`"redcache"`, `"alloy"`, `"red-gamma"`,
+    /// …); defaults to `"redcache"`.
+    #[serde(default)]
+    pub policy: Option<String>,
+    /// [`SimConfig`] preset name (`"quick"`, `"scaled"`, `"table1"`);
+    /// defaults to `"scaled"`.
+    #[serde(default)]
+    pub preset: Option<String>,
+    /// Override [`GenConfig::threads`] (clamped to the preset's cores).
+    #[serde(default)]
+    pub threads: Option<usize>,
+    /// Override [`GenConfig::shrink`].
+    #[serde(default)]
+    pub shrink: Option<usize>,
+    /// Override [`GenConfig::budget_per_thread`].
+    #[serde(default)]
+    pub budget: Option<usize>,
+    /// Override [`GenConfig::seed`].
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Override [`SimConfig::warmup_fraction`].
+    #[serde(default)]
+    pub warmup: Option<f64>,
+    /// Override [`SimConfig::max_cycles`].
+    #[serde(default)]
+    pub max_cycles: Option<u64>,
+    /// Set [`SimConfig::epoch_cycles`] — enables the per-epoch
+    /// [`redcache::TimeSeries`] and the `/jobs/{id}/timeseries` stream.
+    #[serde(default)]
+    pub epoch_cycles: Option<u64>,
+    /// Override [`SimConfig::time_skip`].
+    #[serde(default)]
+    pub time_skip: Option<bool>,
+    /// Override [`SimConfig::audit_timing`].
+    #[serde(default)]
+    pub audit_timing: Option<bool>,
+    /// Parameters for `workload = "synthetic"` (defaults to
+    /// [`SyntheticSpec::mixed`]). Rejected for suite workloads.
+    #[serde(default)]
+    pub synthetic: Option<SyntheticSpec>,
+    /// Debug/test aid: hold the worker this many milliseconds (capped
+    /// at [`MAX_HOLD_MS`]) before simulating, to exercise queueing and
+    /// drain behaviour deterministically. Part of the cache key, so
+    /// held jobs never shadow real results.
+    #[serde(default)]
+    pub hold_ms: Option<u64>,
+}
+
+/// Where a job's traces come from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceSource {
+    /// A Table II workload, generated through the shared
+    /// `trace_io::generate_cached` disk cache.
+    Suite(Workload),
+    /// The parametric synthetic stream.
+    Synthetic(SyntheticSpec),
+}
+
+/// A fully validated, runnable job: the output of [`resolve`].
+#[derive(Debug, Clone)]
+pub struct ResolvedJob {
+    /// Figure-style label (`"HIST"`, `"SYN"`, …).
+    pub label: String,
+    /// Trace provenance.
+    pub source: TraceSource,
+    /// Validated generator configuration.
+    pub gen: GenConfig,
+    /// Validated simulator configuration (carries the policy).
+    pub cfg: SimConfig,
+    /// Debug pre-run delay in milliseconds (already capped).
+    pub hold_ms: u64,
+    /// Content-addressed result-cache key: FNV-1a over the canonical
+    /// JSON of `(label, synthetic, gen, cfg, hold_ms)`.
+    pub key: u64,
+    /// In-memory trace-store key; suite workloads reuse the
+    /// `trace_io` disk-cache identity so both caches agree on "same
+    /// trace".
+    pub trace_key: u64,
+}
+
+/// Turns a wire-level [`JobRequest`] into a runnable [`ResolvedJob`],
+/// funnelling every override through the validated `SimConfig`
+/// builder.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown workloads/policies/
+/// presets and for any configuration the builders reject.
+pub fn resolve(req: &JobRequest) -> Result<ResolvedJob, String> {
+    let policy: PolicyKind = req.policy.as_deref().unwrap_or("redcache").parse()?;
+    let preset = req.preset.as_deref().unwrap_or("scaled");
+    let base =
+        SimConfig::preset(preset, policy).ok_or_else(|| format!("unknown preset {preset:?}"))?;
+
+    let mut b = base.to_builder();
+    if let Some(w) = req.warmup {
+        b = b.warmup_fraction(w);
+    }
+    if let Some(m) = req.max_cycles {
+        b = b.max_cycles(m);
+    }
+    if let Some(e) = req.epoch_cycles {
+        b = b.epoch_cycles(Some(e));
+    }
+    if let Some(t) = req.time_skip {
+        b = b.time_skip(t);
+    }
+    if let Some(a) = req.audit_timing {
+        b = b.audit_timing(a);
+    }
+    let cfg = b.build().map_err(|e| e.to_string())?;
+
+    let mut gen = GenConfig::scaled();
+    if let Some(t) = req.threads {
+        gen.threads = t;
+    }
+    if let Some(s) = req.shrink {
+        gen.shrink = s;
+    }
+    if let Some(bu) = req.budget {
+        gen.budget_per_thread = bu;
+    }
+    if let Some(sd) = req.seed {
+        gen.seed = sd;
+    }
+    if gen.threads == 0 || gen.shrink == 0 || gen.budget_per_thread == 0 {
+        return Err("threads, shrink and budget must be positive".into());
+    }
+    if gen.threads > cfg.hierarchy.cores {
+        gen.threads = cfg.hierarchy.cores;
+    }
+
+    let (label, source, synthetic) = if req.workload.eq_ignore_ascii_case("synthetic")
+        || req.workload.eq_ignore_ascii_case("syn")
+    {
+        let spec = req.synthetic.unwrap_or_else(SyntheticSpec::mixed);
+        ("SYN".to_string(), TraceSource::Synthetic(spec), Some(spec))
+    } else {
+        if req.synthetic.is_some() {
+            return Err("a synthetic spec only applies to workload \"synthetic\"".into());
+        }
+        let w: Workload = req.workload.parse()?;
+        (w.info().label.to_string(), TraceSource::Suite(w), None)
+    };
+
+    let hold_ms = req.hold_ms.unwrap_or(0).min(MAX_HOLD_MS);
+    let key = report_io::json_key(&(&label, &synthetic, &gen, &cfg, hold_ms));
+    let trace_key = match source {
+        TraceSource::Suite(w) => report_io::fnv1a(trace_io::cache_file_name(w, &gen).as_bytes()),
+        TraceSource::Synthetic(spec) => report_io::json_key(&("SYN", &spec, &gen)),
+    };
+
+    Ok(ResolvedJob {
+        label,
+        source,
+        gen,
+        cfg,
+        hold_ms,
+        key,
+        trace_key,
+    })
+}
+
+/// A job's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum JobStatus {
+    /// Accepted and waiting for a worker (or for an identical
+    /// in-flight run it coalesced onto).
+    Queued,
+    /// A worker is simulating it.
+    Running,
+    /// Finished; the report is available.
+    Completed,
+    /// The simulation panicked or was otherwise lost.
+    Failed,
+    /// Cancelled while still queued.
+    Canceled,
+}
+
+impl JobStatus {
+    /// True once the job can no longer change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Completed | JobStatus::Failed | JobStatus::Canceled
+        )
+    }
+}
+
+/// The status body returned for every job endpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobView {
+    /// Daemon-local job id (monotonic).
+    pub id: u64,
+    /// Result-cache key as 16 hex digits.
+    pub key: String,
+    /// Lifecycle state.
+    pub status: JobStatus,
+    /// Workload label.
+    pub workload: String,
+    /// Architecture name.
+    pub policy: String,
+    /// True when the result came straight from the completed-result
+    /// cache (no queueing at all).
+    pub cached: bool,
+    /// True when the submission attached to an identical job already
+    /// in flight instead of enqueuing its own run.
+    pub coalesced: bool,
+    /// Whether the completed report carries an epoch time series.
+    pub has_timeseries: bool,
+    /// Simulation wall-clock seconds (completed jobs; 0 for cache hits).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub wall_s: Option<f64>,
+    /// Trace generation/loading seconds attributed to this job.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub gen_s: Option<f64>,
+    /// Failure message, for [`JobStatus::Failed`].
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(workload: &str) -> JobRequest {
+        JobRequest {
+            workload: workload.into(),
+            ..JobRequest::default()
+        }
+    }
+
+    #[test]
+    fn defaults_resolve_to_scaled_redcache() {
+        let r = resolve(&req("hist")).unwrap();
+        assert_eq!(r.label, "HIST");
+        assert_eq!(
+            r.cfg,
+            SimConfig::scaled(PolicyKind::Red(redcache::RedVariant::Full))
+        );
+        assert_eq!(r.gen, GenConfig::scaled());
+        assert_eq!(r.hold_ms, 0);
+    }
+
+    #[test]
+    fn identical_requests_key_identically_and_overrides_rekey() {
+        let a = resolve(&req("rdx")).unwrap();
+        let b = resolve(&req("RDX")).unwrap();
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.trace_key, b.trace_key);
+
+        let mut other = req("rdx");
+        other.budget = Some(123);
+        let c = resolve(&other).unwrap();
+        assert_ne!(a.key, c.key);
+        assert_ne!(a.trace_key, c.trace_key);
+
+        // Same traces, different architecture: trace key shared,
+        // result key distinct.
+        let mut alloy = req("rdx");
+        alloy.policy = Some("alloy".into());
+        let d = resolve(&alloy).unwrap();
+        assert_ne!(a.key, d.key);
+        assert_eq!(a.trace_key, d.trace_key);
+    }
+
+    #[test]
+    fn synthetic_resolves_with_default_spec() {
+        let r = resolve(&req("synthetic")).unwrap();
+        assert_eq!(r.label, "SYN");
+        assert!(matches!(r.source, TraceSource::Synthetic(_)));
+
+        let mut bad = req("hist");
+        bad.synthetic = Some(SyntheticSpec::mixed());
+        assert!(resolve(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_nonsense_and_invalid_configs() {
+        assert!(resolve(&req("quicksort")).is_err());
+        let mut bad_policy = req("hist");
+        bad_policy.policy = Some("alchemy".into());
+        assert!(resolve(&bad_policy).is_err());
+        let mut bad_preset = req("hist");
+        bad_preset.preset = Some("huge".into());
+        assert!(resolve(&bad_preset).is_err());
+        let mut bad_warmup = req("hist");
+        bad_warmup.warmup = Some(0.99);
+        assert!(resolve(&bad_warmup).is_err());
+        let mut bad_gen = req("hist");
+        bad_gen.shrink = Some(0);
+        assert!(resolve(&bad_gen).is_err());
+    }
+
+    #[test]
+    fn threads_clamp_to_preset_cores() {
+        let mut r = req("hist");
+        r.preset = Some("quick".into());
+        r.threads = Some(64);
+        let resolved = resolve(&r).unwrap();
+        assert_eq!(resolved.gen.threads, resolved.cfg.hierarchy.cores);
+    }
+
+    #[test]
+    fn hold_is_capped_and_keyed() {
+        let mut held = req("hist");
+        held.hold_ms = Some(999_999);
+        let h = resolve(&held).unwrap();
+        assert_eq!(h.hold_ms, MAX_HOLD_MS);
+        assert_ne!(h.key, resolve(&req("hist")).unwrap().key);
+    }
+}

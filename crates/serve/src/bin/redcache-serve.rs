@@ -1,0 +1,126 @@
+//! `redcache-serve` — thin CLI client for `redcache-served`.
+//!
+//! ```text
+//! redcache-serve [--addr HOST:PORT] submit [--workload W] [--policy P]
+//!                [--preset NAME] [--seed N] [--budget N] [--shrink N]
+//!                [--threads N] [--epoch-cycles N] [--hold-ms N] [--wait]
+//! redcache-serve [--addr HOST:PORT] status <id> | report <id>
+//!                | timeseries <id> | cancel <id> | wait <id>
+//!                | list | metrics | health | shutdown
+//! ```
+
+use redcache_serve::client::HttpResult;
+use redcache_serve::{Client, JobRequest, JobView};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: redcache-serve [--addr HOST:PORT] COMMAND\n\
+         commands:\n\
+         \x20 submit [--workload W] [--policy P] [--preset NAME] [--seed N]\n\
+         \x20        [--budget N] [--shrink N] [--threads N] [--epoch-cycles N]\n\
+         \x20        [--hold-ms N] [--wait]     submit a job (prints its JobView)\n\
+         \x20 status <id>                       one job's status\n\
+         \x20 report <id>                       the versioned result envelope\n\
+         \x20 timeseries <id>                   epoch series as JSON Lines\n\
+         \x20 wait <id>                         block until the job is terminal\n\
+         \x20 cancel <id>                       cancel a queued job\n\
+         \x20 list                              all jobs\n\
+         \x20 metrics                           Prometheus text\n\
+         \x20 health                            liveness + drain state\n\
+         \x20 shutdown                          begin graceful drain"
+    );
+    std::process::exit(2)
+}
+
+/// Prints the response body and exits non-zero on HTTP errors.
+fn finish(res: HttpResult) -> ! {
+    println!("{}", res.text().trim_end());
+    std::process::exit(if res.status < 400 { 0 } else { 1 })
+}
+
+fn id_arg(it: &mut impl Iterator<Item = String>) -> u64 {
+    it.next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage())
+}
+
+fn submit(client: &Client, mut it: impl Iterator<Item = String>) -> ! {
+    let mut job = JobRequest {
+        workload: "hist".into(),
+        ..JobRequest::default()
+    };
+    let mut wait = false;
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--workload" | "-w" => job.workload = val(),
+            "--policy" | "-p" => job.policy = Some(val()),
+            "--preset" => job.preset = Some(val()),
+            "--seed" => job.seed = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--budget" | "-b" => job.budget = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--shrink" | "-s" => job.shrink = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--threads" => job.threads = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--epoch-cycles" => {
+                job.epoch_cycles = Some(val().parse().unwrap_or_else(|_| usage()));
+            }
+            "--hold-ms" => job.hold_ms = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--wait" => wait = true,
+            _ => usage(),
+        }
+    }
+    let res = client.submit(&job).unwrap_or_else(die);
+    if res.status != 202 || !wait {
+        finish(res);
+    }
+    let view: JobView = res.json().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1)
+    });
+    let done = client
+        .wait(view.id, Duration::from_secs(600))
+        .unwrap_or_else(die);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&done).expect("view serializes")
+    );
+    std::process::exit(0)
+}
+
+fn die<T>(e: std::io::Error) -> T {
+    eprintln!("error: {e}");
+    std::process::exit(1)
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("--addr") {
+        it.next();
+        addr = it.next().unwrap_or_else(|| usage());
+    }
+    let client = Client::new(addr);
+    let Some(cmd) = it.next() else { usage() };
+    match cmd.as_str() {
+        "submit" => submit(&client, it),
+        "status" => finish(client.job(id_arg(&mut it)).unwrap_or_else(die)),
+        "report" => finish(client.report(id_arg(&mut it)).unwrap_or_else(die)),
+        "timeseries" => finish(client.timeseries(id_arg(&mut it)).unwrap_or_else(die)),
+        "cancel" => finish(client.cancel(id_arg(&mut it)).unwrap_or_else(die)),
+        "wait" => {
+            let view = client
+                .wait(id_arg(&mut it), Duration::from_secs(600))
+                .unwrap_or_else(die);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&view).expect("view serializes")
+            );
+        }
+        "list" => finish(client.jobs().unwrap_or_else(die)),
+        "metrics" => finish(client.metrics().unwrap_or_else(die)),
+        "health" => finish(client.healthz().unwrap_or_else(die)),
+        "shutdown" => finish(client.shutdown().unwrap_or_else(die)),
+        "--help" | "-h" => usage(),
+        _ => usage(),
+    }
+}

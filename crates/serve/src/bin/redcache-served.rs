@@ -1,0 +1,69 @@
+//! `redcache-served` — the long-running simulation daemon.
+//!
+//! ```text
+//! redcache-served [--addr 127.0.0.1:7878] [--workers N] [--queue N]
+//!                 [--spool DIR]
+//! ```
+//!
+//! `--workers` defaults to the shared bench pool bound
+//! (`REDCACHE_JOBS` / `available_parallelism`). Shut down with
+//! SIGTERM, ctrl-c, or `POST /shutdown`: the daemon drains queued and
+//! running jobs — persisting each result to the spool when one is
+//! configured — before exiting.
+
+use redcache_serve::{signals, ServeOptions, Server};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: redcache-served [--addr HOST:PORT] [--workers N] [--queue N] [--spool DIR]");
+    std::process::exit(2)
+}
+
+fn parse_args() -> ServeOptions {
+    let mut opts = ServeOptions::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" | "-a" => opts.addr = val(),
+            "--workers" | "-w" => opts.workers = val().parse().unwrap_or_else(|_| usage()),
+            "--queue" | "-q" => opts.queue_capacity = val().parse().unwrap_or_else(|_| usage()),
+            "--spool" => opts.spool = Some(PathBuf::from(val())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if opts.workers == 0 || opts.queue_capacity == 0 {
+        usage();
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    signals::install();
+    let server = match Server::bind(&opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "redcache-served listening on http://{} ({} workers, queue {}{})",
+        server.local_addr(),
+        opts.workers,
+        opts.queue_capacity,
+        match &opts.spool {
+            Some(dir) => format!(", spool {}", dir.display()),
+            None => String::new(),
+        }
+    );
+    match server.run() {
+        Ok(()) => println!("redcache-served drained and stopped"),
+        Err(e) => {
+            eprintln!("error: accept loop failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

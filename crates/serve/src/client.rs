@@ -1,0 +1,248 @@
+//! A blocking HTTP client for the daemon — used by the `redcache-serve`
+//! CLI and the end-to-end tests. One `TcpStream` per request,
+//! mirroring the server's `Connection: close` discipline.
+
+use crate::api::{JobRequest, JobView};
+use serde::de::DeserializeOwned;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One parsed HTTP response.
+#[derive(Debug)]
+pub struct HttpResult {
+    /// Status code.
+    pub status: u16,
+    /// `(name, value)` headers in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResult {
+    /// First header with the given case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as lossy UTF-8.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Body parsed as JSON.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the body is not valid `T`.
+    pub fn json<T: DeserializeOwned>(&self) -> Result<T, String> {
+        serde_json::from_slice(&self.body).map_err(|e| format!("bad response body: {e}"))
+    }
+}
+
+/// Client for one daemon address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for `addr` (e.g. `"127.0.0.1:7878"`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into() }
+    }
+
+    /// Issues one request.
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol-level I/O failures. HTTP error statuses
+    /// are returned in the [`HttpResult`], not as `Err`.
+    pub fn request(&self, method: &str, path: &str, body: Option<&[u8]>) -> io::Result<HttpResult> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let body = body.unwrap_or(&[]);
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.addr,
+            body.len()
+        )?;
+        if !body.is_empty() {
+            stream.write_all(b"content-type: application/json\r\n")?;
+        }
+        stream.write_all(b"\r\n")?;
+        stream.write_all(body)?;
+        stream.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let status = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line {line:?}"),
+                )
+            })?;
+
+        let mut headers = Vec::new();
+        loop {
+            let mut h = String::new();
+            if reader.read_line(&mut h)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "eof inside response headers",
+                ));
+            }
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = h.split_once(':') {
+                headers.push((k.trim().to_string(), v.trim().to_string()));
+            }
+        }
+
+        let len = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.parse::<usize>().ok());
+        let mut body = Vec::new();
+        match len {
+            Some(n) => {
+                body.resize(n, 0);
+                reader.read_exact(&mut body)?;
+            }
+            None => {
+                reader.read_to_end(&mut body)?;
+            }
+        }
+        Ok(HttpResult {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// `POST /jobs`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures only; inspect `status` for 4xx/5xx.
+    pub fn submit(&self, job: &JobRequest) -> io::Result<HttpResult> {
+        let body = serde_json::to_vec(job).expect("job request serializes");
+        self.request("POST", "/jobs", Some(&body))
+    }
+
+    /// `GET /jobs/{id}`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures only.
+    pub fn job(&self, id: u64) -> io::Result<HttpResult> {
+        self.request("GET", &format!("/jobs/{id}"), None)
+    }
+
+    /// `GET /jobs`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures only.
+    pub fn jobs(&self) -> io::Result<HttpResult> {
+        self.request("GET", "/jobs", None)
+    }
+
+    /// `GET /jobs/{id}/report`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures only.
+    pub fn report(&self, id: u64) -> io::Result<HttpResult> {
+        self.request("GET", &format!("/jobs/{id}/report"), None)
+    }
+
+    /// `GET /jobs/{id}/timeseries`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures only.
+    pub fn timeseries(&self, id: u64) -> io::Result<HttpResult> {
+        self.request("GET", &format!("/jobs/{id}/timeseries"), None)
+    }
+
+    /// `DELETE /jobs/{id}`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures only.
+    pub fn cancel(&self, id: u64) -> io::Result<HttpResult> {
+        self.request("DELETE", &format!("/jobs/{id}"), None)
+    }
+
+    /// `GET /metrics`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures only.
+    pub fn metrics(&self) -> io::Result<HttpResult> {
+        self.request("GET", "/metrics", None)
+    }
+
+    /// `GET /healthz`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures only.
+    pub fn healthz(&self) -> io::Result<HttpResult> {
+        self.request("GET", "/healthz", None)
+    }
+
+    /// `POST /shutdown`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures only.
+    pub fn shutdown(&self) -> io::Result<HttpResult> {
+        self.request("POST", "/shutdown", None)
+    }
+
+    /// Polls `GET /jobs/{id}` until the job reaches a terminal state
+    /// or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a non-200 status, or `TimedOut` if the job stays
+    /// live past the deadline.
+    pub fn wait(&self, id: u64, timeout: Duration) -> io::Result<JobView> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let res = self.job(id)?;
+            if res.status != 200 {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("status {} for job {id}: {}", res.status, res.text()),
+                ));
+            }
+            let view: JobView = res
+                .json()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            if view.status.is_terminal() {
+                return Ok(view);
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("job {id} still {:?} after {timeout:?}", view.status),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(15));
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Minimal hand-rolled HTTP/1.1 — just enough for the daemon's API.
+//!
+//! One request per connection (`Connection: close`), bodies sized by
+//! `Content-Length` only, and hard caps on header and body size so a
+//! misbehaving client cannot balloon the daemon. No TLS, no chunked
+//! encoding, no keep-alive: the API is line-of-sight
+//! (localhost/cluster) tooling, not an internet-facing edge.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on an accepted request body (a job submission is a few
+/// hundred bytes; 1 MiB leaves room for generous synthetic specs).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Upper bound on the request line + headers combined.
+const MAX_HEADER_BYTES: usize = 64 << 10;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Path component of the target, query string stripped.
+    pub path: String,
+    /// Raw `(name, value)` header pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Reads one request from `r`. Returns `Ok(None)` on a clean EOF
+/// before any bytes (client connected and went away).
+///
+/// # Errors
+///
+/// Propagates I/O errors and returns `InvalidData` for malformed or
+/// oversized requests.
+pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1") {
+        return Err(bad("malformed request line"));
+    }
+
+    let mut headers = Vec::new();
+    let mut total = line.len();
+    loop {
+        let mut h = String::new();
+        let n = r.read_line(&mut h)?;
+        if n == 0 {
+            return Err(bad("connection closed inside headers"));
+        }
+        total += n;
+        if total > MAX_HEADER_BYTES {
+            return Err(bad("headers too large"));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            headers.push((k.trim().to_string(), v.trim().to_string()));
+        }
+    }
+
+    let len = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    if len > MAX_BODY_BYTES {
+        return Err(bad("body too large"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+
+    let path = target.split('?').next().unwrap_or("").to_string();
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// One response, written with `Content-Length` and `Connection: close`.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Additional headers (e.g. `Retry-After`).
+    pub extra_headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A JSON response serializing `value`.
+    pub fn json<T: serde::Serialize>(status: u16, value: &T) -> Self {
+        let body = serde_json::to_vec_pretty(value)
+            .unwrap_or_else(|e| format!("{{\"error\": \"serialize failed: {e}\"}}").into_bytes());
+        Self {
+            status,
+            content_type: "application/json",
+            body,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A `{"error": message}` JSON response.
+    pub fn error(status: u16, message: &str) -> Self {
+        Self::json(status, &serde_json::json!({ "error": message }))
+    }
+
+    /// A raw-body response with an explicit content type.
+    pub fn raw(status: u16, content_type: &'static str, body: Vec<u8>) -> Self {
+        Self {
+            status,
+            content_type,
+            body,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// Appends an extra header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.extra_headers
+            .push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Writes the response to `w` and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's I/O errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        for (k, v) in &self.extra_headers {
+            write!(w, "{k}: {v}\r\n")?;
+        }
+        w.write_all(b"connection: close\r\n\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /jobs?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, b"body");
+        assert_eq!(req.header("host"), Some("h"));
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_garbage_is_an_error() {
+        assert!(read_request(&mut BufReader::new(&b""[..]))
+            .unwrap()
+            .is_none());
+        assert!(read_request(&mut BufReader::new(&b"nonsense\r\n\r\n"[..])).is_err());
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        let raw = b"POST /jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(read_request(&mut BufReader::new(&raw[..])).is_err());
+    }
+
+    #[test]
+    fn responses_carry_status_line_and_length() {
+        let mut out = Vec::new();
+        Response::json(202, &serde_json::json!({"ok": true}))
+            .with_header("retry-after", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 202 Accepted\r\n"), "{s}");
+        assert!(s.contains("retry-after: 1\r\n"));
+        assert!(s.contains("connection: close"));
+        assert!(s.ends_with("}"));
+    }
+}

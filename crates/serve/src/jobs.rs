@@ -1,0 +1,699 @@
+//! The daemon's job machinery: bounded queue with admission control, a
+//! fixed worker pool, the single-flight content-addressed result
+//! cache, and the in-memory trace store.
+//!
+//! # Lock order
+//!
+//! `cache` before `jobs`, always; the queue sender mutex is only taken
+//! from the submission path (while holding `cache`) and from
+//! `begin_drain`. Workers never touch the sender, so the order is
+//! acyclic.
+//!
+//! # Single-flight protocol
+//!
+//! Every submission resolves to a content key (see
+//! [`crate::api::ResolvedJob::key`]). The cache maps keys to either a
+//! finished report (`Done`) or the id of the job currently computing it
+//! (`InFlight` + followers). A `Done` hit completes the new job
+//! immediately; an `InFlight` hit *attaches* the new job as a follower
+//! — when the leader finishes, every follower completes with the same
+//! `Arc`'d report, so duplicate and concurrent-identical submissions
+//! cost exactly one simulation and return bit-identical envelopes.
+
+use crate::api::{JobStatus, JobView, ResolvedJob, TraceSource};
+use crate::metrics::Metrics;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use redcache::RunReport;
+use redcache_bench::{report_io, run_labelled};
+use redcache_workloads::{synthetic, trace_io, SharedTraces};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// One queued unit of work: a job id to look up and run.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkItem {
+    /// Id of the leader job to execute.
+    pub job_id: u64,
+}
+
+/// One tracked job.
+#[derive(Debug)]
+struct Job {
+    id: u64,
+    key: u64,
+    label: String,
+    policy: String,
+    status: JobStatus,
+    cached: bool,
+    coalesced: bool,
+    canceled: bool,
+    resolved: ResolvedJob,
+    report: Option<Arc<RunReport>>,
+    wall_s: Option<f64>,
+    gen_s: Option<f64>,
+    error: Option<String>,
+}
+
+impl Job {
+    fn view(&self) -> JobView {
+        JobView {
+            id: self.id,
+            key: format!("{:016x}", self.key),
+            status: self.status,
+            workload: self.label.clone(),
+            policy: self.policy.clone(),
+            cached: self.cached,
+            coalesced: self.coalesced,
+            has_timeseries: self
+                .report
+                .as_ref()
+                .map(|r| r.timeseries.is_some())
+                .unwrap_or(false),
+            wall_s: self.wall_s,
+            gen_s: self.gen_s,
+            error: self.error.clone(),
+        }
+    }
+}
+
+/// The result cache: one entry per content key.
+enum CacheEntry {
+    /// A leader job is computing this key; followers complete with it.
+    InFlight { followers: Vec<u64> },
+    /// The finished report.
+    Done(Arc<RunReport>),
+}
+
+/// Outcome of a submission.
+#[derive(Debug)]
+pub enum Submitted {
+    /// The job was accepted (possibly already completed, for cache
+    /// hits).
+    Accepted(JobView),
+    /// Backpressure: the queue is full or the daemon is draining.
+    /// Respond `503` with `Retry-After`.
+    Busy {
+        /// Suggested client back-off in seconds.
+        retry_after_s: u32,
+    },
+}
+
+type TraceCell = Arc<OnceLock<(SharedTraces, f64)>>;
+
+/// Shared daemon state: everything the HTTP handlers and the workers
+/// touch.
+pub struct Daemon {
+    /// All counters exported at `/metrics`.
+    pub metrics: Metrics,
+    jobs: Mutex<HashMap<u64, Job>>,
+    cache: Mutex<HashMap<u64, CacheEntry>>,
+    traces: Mutex<HashMap<u64, TraceCell>>,
+    tx: Mutex<Option<Sender<WorkItem>>>,
+    next_id: AtomicU64,
+    queue_capacity: usize,
+    spool: Option<PathBuf>,
+    draining: AtomicBool,
+}
+
+impl Daemon {
+    /// Builds the daemon state plus the receiving end of its bounded
+    /// queue (one receiver, cloned per worker).
+    pub fn new(
+        workers: usize,
+        queue_capacity: usize,
+        spool: Option<PathBuf>,
+    ) -> (Arc<Self>, Receiver<WorkItem>) {
+        let (tx, rx) = bounded(queue_capacity.max(1));
+        let d = Arc::new(Self {
+            metrics: Metrics::new(workers.max(1)),
+            jobs: Mutex::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
+            traces: Mutex::new(HashMap::new()),
+            tx: Mutex::new(Some(tx)),
+            next_id: AtomicU64::new(1),
+            queue_capacity: queue_capacity.max(1),
+            spool,
+            draining: AtomicBool::new(false),
+        });
+        d.warm_from_spool();
+        (d, rx)
+    }
+
+    /// The admission-control bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// True once a graceful shutdown has begun.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Pre-populates the result cache from the spool directory.
+    /// Entries that fail to parse are *evicted* from disk — a corrupt
+    /// file must not shadow the key forever — while version-skewed or
+    /// unreadable ones are merely skipped.
+    fn warm_from_spool(&self) {
+        let Some(dir) = &self.spool else { return };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut cache = self.cache.lock();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(hex) = name
+                .strip_prefix("report-")
+                .and_then(|r| r.strip_suffix(".json"))
+            else {
+                continue;
+            };
+            let Ok(key) = u64::from_str_radix(hex, 16) else {
+                continue;
+            };
+            match report_io::try_read_json::<RunReport>(&path) {
+                Ok(report) => {
+                    cache.insert(key, CacheEntry::Done(Arc::new(report)));
+                }
+                Err(e) if e.is_corrupt() => {
+                    eprintln!(
+                        "warning: evicting corrupt cached result {}: {e}",
+                        path.display()
+                    );
+                    let _ = std::fs::remove_file(&path);
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    /// Completed results resident in the cache.
+    pub fn cache_entries(&self) -> usize {
+        self.cache
+            .lock()
+            .values()
+            .filter(|e| matches!(e, CacheEntry::Done(_)))
+            .count()
+    }
+
+    /// Submits a resolved job: cache hit, coalesce, or enqueue — with
+    /// `Busy` backpressure when the bounded queue is full or the
+    /// daemon is draining.
+    pub fn submit(&self, resolved: ResolvedJob) -> Submitted {
+        if self.is_draining() {
+            self.metrics.rejected.fetch_add(1, Ordering::SeqCst);
+            return Submitted::Busy { retry_after_s: 5 };
+        }
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let key = resolved.key;
+        let mut job = Job {
+            id,
+            key,
+            label: resolved.label.clone(),
+            policy: resolved.cfg.policy.kind.to_string(),
+            status: JobStatus::Queued,
+            cached: false,
+            coalesced: false,
+            canceled: false,
+            resolved,
+            report: None,
+            wall_s: None,
+            gen_s: None,
+            error: None,
+        };
+
+        let mut cache = self.cache.lock();
+        match cache.get_mut(&key) {
+            Some(CacheEntry::Done(report)) => {
+                job.status = JobStatus::Completed;
+                job.cached = true;
+                job.report = Some(report.clone());
+                job.wall_s = Some(0.0);
+                job.gen_s = Some(0.0);
+                self.metrics.cache_hits.fetch_add(1, Ordering::SeqCst);
+                self.metrics.submitted.fetch_add(1, Ordering::SeqCst);
+                self.metrics.completed.fetch_add(1, Ordering::SeqCst);
+            }
+            Some(CacheEntry::InFlight { followers }) => {
+                followers.push(id);
+                job.coalesced = true;
+                self.metrics.coalesced.fetch_add(1, Ordering::SeqCst);
+                self.metrics.submitted.fetch_add(1, Ordering::SeqCst);
+            }
+            None => {
+                // Admission control: the job table gains the entry
+                // first so a worker dequeuing immediately finds it;
+                // the cache lock held across try_send keeps completion
+                // (which needs `cache`) ordered after the insert.
+                let view = {
+                    let mut jobs = self.jobs.lock();
+                    jobs.insert(id, job);
+                    jobs[&id].view()
+                };
+                // Bump the gauge before try_send: a worker can dequeue
+                // (and decrement) the instant the item lands.
+                self.metrics.queue_depth.fetch_add(1, Ordering::SeqCst);
+                let sent = {
+                    let tx = self.tx.lock();
+                    match tx.as_ref() {
+                        None => Err(()),
+                        Some(tx) => match tx.try_send(WorkItem { job_id: id }) {
+                            Ok(()) => Ok(()),
+                            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                                Err(())
+                            }
+                        },
+                    }
+                };
+                return match sent {
+                    Ok(()) => {
+                        cache.insert(key, CacheEntry::InFlight { followers: vec![] });
+                        self.metrics.submitted.fetch_add(1, Ordering::SeqCst);
+                        Submitted::Accepted(view)
+                    }
+                    Err(()) => {
+                        self.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                        self.jobs.lock().remove(&id);
+                        self.metrics.rejected.fetch_add(1, Ordering::SeqCst);
+                        Submitted::Busy { retry_after_s: 1 }
+                    }
+                };
+            }
+        }
+        drop(cache);
+        let view = job.view();
+        self.jobs.lock().insert(id, job);
+        Submitted::Accepted(view)
+    }
+
+    /// One job's status.
+    pub fn job_view(&self, id: u64) -> Option<JobView> {
+        self.jobs.lock().get(&id).map(Job::view)
+    }
+
+    /// All jobs in submission order.
+    pub fn job_views(&self) -> Vec<JobView> {
+        let jobs = self.jobs.lock();
+        let mut views: Vec<JobView> = jobs.values().map(Job::view).collect();
+        views.sort_by_key(|v| v.id);
+        views
+    }
+
+    /// A completed job's report.
+    pub fn job_report(&self, id: u64) -> Option<Arc<RunReport>> {
+        self.jobs.lock().get(&id).and_then(|j| j.report.clone())
+    }
+
+    /// Cancels a job. Only queued jobs can be cancelled: `Ok` carries
+    /// the updated view, `Err` the reason it could not be cancelled
+    /// (`None` = no such job).
+    pub fn cancel(&self, id: u64) -> Result<JobView, Option<String>> {
+        let mut jobs = self.jobs.lock();
+        let Some(job) = jobs.get_mut(&id) else {
+            return Err(None);
+        };
+        match job.status {
+            JobStatus::Queued => {
+                job.canceled = true;
+                job.status = JobStatus::Canceled;
+                self.metrics.canceled.fetch_add(1, Ordering::SeqCst);
+                Ok(job.view())
+            }
+            other => Err(Some(format!("job is {other:?}, not queued"))),
+        }
+    }
+
+    /// Begins a graceful drain: refuse new submissions and close the
+    /// queue so workers exit once it is empty. Idempotent.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.tx.lock().take();
+    }
+
+    /// Renders the `/metrics` exposition.
+    pub fn render_metrics(&self) -> String {
+        self.metrics.render(
+            self.queue_capacity,
+            self.cache_entries(),
+            self.is_draining(),
+        )
+    }
+
+    /// Fetches (or single-flight-generates) the traces for a job.
+    /// Returns the shared traces, the generation seconds stored with
+    /// them, and whether this call performed the generation.
+    fn traces_for(&self, r: &ResolvedJob) -> (SharedTraces, f64, bool) {
+        let cell: TraceCell = {
+            let mut map = self.traces.lock();
+            map.entry(r.trace_key).or_default().clone()
+        };
+        let mut generated_now = false;
+        let (traces, gen_s) = cell.get_or_init(|| {
+            generated_now = true;
+            let started = Instant::now();
+            let traces = match &r.source {
+                TraceSource::Suite(w) => trace_io::generate_cached(*w, &r.gen),
+                TraceSource::Synthetic(spec) => synthetic::generate(spec, &r.gen),
+            };
+            (SharedTraces::from(traces), started.elapsed().as_secs_f64())
+        });
+        (traces.clone(), *gen_s, generated_now)
+    }
+
+    fn persist(&self, key: u64, report: &RunReport) {
+        if let Some(dir) = &self.spool {
+            report_io::write_json_at(
+                &dir.join(format!("report-{key:016x}.json")),
+                "run_report",
+                report,
+            );
+        }
+    }
+
+    /// Executes one dequeued work item on worker `widx`.
+    fn run_job(&self, id: u64, widx: usize) {
+        self.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+
+        // Decide: run, or retire a cancelled leader nobody follows.
+        let resolved = {
+            let mut cache = self.cache.lock();
+            let mut jobs = self.jobs.lock();
+            let Some(job) = jobs.get_mut(&id) else { return };
+            let key = job.key;
+            if job.canceled {
+                let has_followers = matches!(
+                    cache.get(&key),
+                    Some(CacheEntry::InFlight { followers }) if !followers.is_empty()
+                );
+                if !has_followers {
+                    cache.remove(&key);
+                    return;
+                }
+                // Cancelled leader with followers: run anyway so the
+                // followers get their result; the leader stays
+                // cancelled.
+            } else {
+                job.status = JobStatus::Running;
+            }
+            job.resolved.clone()
+        };
+
+        self.metrics.running.fetch_add(1, Ordering::SeqCst);
+        let busy_started = Instant::now();
+        if resolved.hold_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(resolved.hold_ms));
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let (traces, gen_s, generated_now) = self.traces_for(&resolved);
+            if generated_now {
+                self.metrics
+                    .gen_micros
+                    .fetch_add((gen_s * 1e6) as u64, Ordering::SeqCst);
+            }
+            let (report, wall_s) = run_labelled(resolved.cfg, &resolved.label, traces);
+            (report, wall_s, gen_s)
+        }));
+        self.metrics.running.fetch_sub(1, Ordering::SeqCst);
+        self.metrics.worker_busy_micros[widx]
+            .fetch_add(busy_started.elapsed().as_micros() as u64, Ordering::SeqCst);
+
+        match outcome {
+            Ok((report, wall_s, gen_s)) => {
+                self.metrics.sims.fetch_add(1, Ordering::SeqCst);
+                self.metrics
+                    .sim_micros
+                    .fetch_add((wall_s * 1e6) as u64, Ordering::SeqCst);
+                let report = Arc::new(report);
+                self.persist(resolved.key, &report);
+                let mut cache = self.cache.lock();
+                let followers = match cache.insert(resolved.key, CacheEntry::Done(report.clone())) {
+                    Some(CacheEntry::InFlight { followers }) => followers,
+                    _ => Vec::new(),
+                };
+                let mut jobs = self.jobs.lock();
+                for jid in std::iter::once(id).chain(followers) {
+                    if let Some(job) = jobs.get_mut(&jid) {
+                        if job.canceled {
+                            continue;
+                        }
+                        job.status = JobStatus::Completed;
+                        job.report = Some(report.clone());
+                        job.wall_s = Some(if jid == id { wall_s } else { 0.0 });
+                        job.gen_s = Some(if jid == id { gen_s } else { 0.0 });
+                        self.metrics.completed.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Err(panic) => {
+                let msg = panic_message(&panic);
+                let mut cache = self.cache.lock();
+                // Drop the in-flight entry entirely: a retry should
+                // get a fresh run, not a poisoned cache slot.
+                let followers = match cache.remove(&resolved.key) {
+                    Some(CacheEntry::InFlight { followers }) => followers,
+                    _ => Vec::new(),
+                };
+                let mut jobs = self.jobs.lock();
+                for jid in std::iter::once(id).chain(followers) {
+                    if let Some(job) = jobs.get_mut(&jid) {
+                        if job.canceled {
+                            continue;
+                        }
+                        job.status = JobStatus::Failed;
+                        job.error = Some(msg.clone());
+                        self.metrics.failed.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("simulation panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("simulation panicked: {s}")
+    } else {
+        "simulation panicked".to_string()
+    }
+}
+
+/// Worker thread body: pull work until the queue closes (drain).
+pub fn worker_loop(daemon: &Arc<Daemon>, rx: &Receiver<WorkItem>, widx: usize) {
+    while let Ok(item) = rx.recv() {
+        daemon.run_job(item.job_id, widx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{resolve, JobRequest};
+
+    /// Serializes the module's tests: `generation_count()` is
+    /// process-wide, so concurrent sibling tests would perturb the
+    /// exactly-one-generation assertions.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn tiny_request(workload: &str) -> JobRequest {
+        JobRequest {
+            workload: workload.into(),
+            preset: Some("quick".into()),
+            threads: Some(2),
+            shrink: Some(8),
+            budget: Some(500),
+            ..JobRequest::default()
+        }
+    }
+
+    fn accepted(s: Submitted) -> JobView {
+        match s {
+            Submitted::Accepted(v) => v,
+            Submitted::Busy { .. } => panic!("unexpected backpressure"),
+        }
+    }
+
+    /// Drives a daemon synchronously: one in-test worker drains the
+    /// queue after submissions.
+    fn drain_queue(d: &Arc<Daemon>, rx: &Receiver<WorkItem>) {
+        while let Ok(item) = rx.try_recv() {
+            d.run_job(item.job_id, 0);
+        }
+    }
+
+    #[test]
+    fn cache_hit_completes_without_second_sim() {
+        let _serial = SERIAL.lock();
+        let (d, rx) = Daemon::new(1, 8, None);
+        let r = resolve(&tiny_request("hist")).unwrap();
+        let v1 = accepted(d.submit(r.clone()));
+        assert_eq!(v1.status, JobStatus::Queued);
+        drain_queue(&d, &rx);
+        assert_eq!(d.job_view(v1.id).unwrap().status, JobStatus::Completed);
+
+        let v2 = accepted(d.submit(r));
+        assert_eq!(v2.status, JobStatus::Completed);
+        assert!(v2.cached);
+        assert_eq!(d.metrics.sims.load(Ordering::SeqCst), 1);
+        let rep1 = d.job_report(v1.id).unwrap();
+        let rep2 = d.job_report(v2.id).unwrap();
+        assert!(Arc::ptr_eq(&rep1, &rep2), "cache hit must share the Arc");
+    }
+
+    #[test]
+    fn concurrent_identicals_coalesce_onto_one_run() {
+        let _serial = SERIAL.lock();
+        let (d, rx) = Daemon::new(1, 8, None);
+        let r = resolve(&tiny_request("lreg")).unwrap();
+        let v1 = accepted(d.submit(r.clone()));
+        let v2 = accepted(d.submit(r.clone()));
+        let v3 = accepted(d.submit(r));
+        assert!(!v1.coalesced);
+        assert!(v2.coalesced && v3.coalesced);
+        drain_queue(&d, &rx);
+        for id in [v1.id, v2.id, v3.id] {
+            assert_eq!(d.job_view(id).unwrap().status, JobStatus::Completed);
+        }
+        assert_eq!(d.metrics.sims.load(Ordering::SeqCst), 1);
+        assert_eq!(d.metrics.coalesced.load(Ordering::SeqCst), 2);
+        let r1 = d.job_report(v1.id).unwrap();
+        assert!(Arc::ptr_eq(&r1, &d.job_report(v2.id).unwrap()));
+        assert!(Arc::ptr_eq(&r1, &d.job_report(v3.id).unwrap()));
+    }
+
+    #[test]
+    fn queue_overflow_is_rejected_not_fatal() {
+        let _serial = SERIAL.lock();
+        let (d, rx) = Daemon::new(1, 2, None);
+        let mut views = Vec::new();
+        let mut rejected = 0;
+        for seed in 0..6u64 {
+            let mut req = tiny_request("is");
+            req.seed = Some(seed); // distinct keys: no coalescing
+            match d.submit(resolve(&req).unwrap()) {
+                Submitted::Accepted(v) => views.push(v),
+                Submitted::Busy { retry_after_s } => {
+                    assert!(retry_after_s >= 1);
+                    rejected += 1;
+                }
+            }
+        }
+        assert_eq!(views.len(), 2, "bounded queue admitted too much");
+        assert_eq!(rejected, 4);
+        assert_eq!(d.metrics.rejected.load(Ordering::SeqCst), 4);
+        drain_queue(&d, &rx);
+        for v in &views {
+            assert_eq!(d.job_view(v.id).unwrap().status, JobStatus::Completed);
+        }
+    }
+
+    #[test]
+    fn canceled_queued_job_never_runs() {
+        let _serial = SERIAL.lock();
+        let (d, rx) = Daemon::new(1, 8, None);
+        let v = accepted(d.submit(resolve(&tiny_request("mg")).unwrap()));
+        let canceled = d.cancel(v.id).unwrap();
+        assert_eq!(canceled.status, JobStatus::Canceled);
+        assert!(d.cancel(v.id).is_err(), "double cancel must fail");
+        drain_queue(&d, &rx);
+        assert_eq!(d.job_view(v.id).unwrap().status, JobStatus::Canceled);
+        assert_eq!(d.metrics.sims.load(Ordering::SeqCst), 0);
+        // The key is free again: a resubmission runs fresh.
+        let v2 = accepted(d.submit(resolve(&tiny_request("mg")).unwrap()));
+        drain_queue(&d, &rx);
+        assert_eq!(d.job_view(v2.id).unwrap().status, JobStatus::Completed);
+        assert_eq!(d.metrics.sims.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn canceled_leader_with_followers_still_serves_them() {
+        let _serial = SERIAL.lock();
+        let (d, rx) = Daemon::new(1, 8, None);
+        let r = resolve(&tiny_request("ft")).unwrap();
+        let leader = accepted(d.submit(r.clone()));
+        let follower = accepted(d.submit(r));
+        d.cancel(leader.id).unwrap();
+        drain_queue(&d, &rx);
+        assert_eq!(d.job_view(leader.id).unwrap().status, JobStatus::Canceled);
+        assert_eq!(
+            d.job_view(follower.id).unwrap().status,
+            JobStatus::Completed
+        );
+        assert_eq!(d.metrics.sims.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn drain_refuses_new_work() {
+        let _serial = SERIAL.lock();
+        let (d, _rx) = Daemon::new(1, 8, None);
+        d.begin_drain();
+        assert!(matches!(
+            d.submit(resolve(&tiny_request("hist")).unwrap()),
+            Submitted::Busy { .. }
+        ));
+        assert!(d.is_draining());
+    }
+
+    #[test]
+    fn traces_are_generated_once_per_key() {
+        let _serial = SERIAL.lock();
+        let (d, rx) = Daemon::new(1, 8, None);
+        let before = redcache_workloads::generation_count();
+        // Same workload+gen under two policies: one generation.
+        let mut a = tiny_request("ocn");
+        a.policy = Some("alloy".into());
+        let mut b = tiny_request("ocn");
+        b.policy = Some("bear".into());
+        d.submit(resolve(&a).unwrap());
+        d.submit(resolve(&b).unwrap());
+        drain_queue(&d, &rx);
+        assert_eq!(
+            redcache_workloads::generation_count(),
+            before + 1,
+            "trace store failed to share generations"
+        );
+        assert_eq!(d.metrics.sims.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn spool_persists_and_warms_with_corrupt_eviction() {
+        let _serial = SERIAL.lock();
+        let dir =
+            std::env::temp_dir().join(format!("redcache_serve_spool_{:x}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let r = resolve(&tiny_request("rdx")).unwrap();
+        let key = r.key;
+        {
+            let (d, rx) = Daemon::new(1, 8, Some(dir.clone()));
+            let v = accepted(d.submit(r.clone()));
+            drain_queue(&d, &rx);
+            assert_eq!(d.job_view(v.id).unwrap().status, JobStatus::Completed);
+        }
+        let spool_file = dir.join(format!("report-{key:016x}.json"));
+        assert!(spool_file.is_file(), "result was not persisted");
+
+        // Plant a corrupt sibling: warming must evict it but keep the
+        // good entry.
+        let corrupt = dir.join(format!("report-{:016x}.json", key ^ 1));
+        std::fs::write(&corrupt, "{definitely not json").unwrap();
+
+        let (d2, _rx2) = Daemon::new(1, 8, Some(dir.clone()));
+        assert_eq!(d2.cache_entries(), 1);
+        assert!(!corrupt.exists(), "corrupt spool entry survived warming");
+        let v = accepted(d2.submit(r));
+        assert_eq!(v.status, JobStatus::Completed);
+        assert!(v.cached, "warmed cache missed");
+        assert_eq!(d2.metrics.sims.load(Ordering::SeqCst), 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

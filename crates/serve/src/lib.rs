@@ -1,0 +1,47 @@
+//! **redcache-serve** — the simulation-as-a-service layer of the
+//! RedCache reproduction.
+//!
+//! Every experiment binary in `redcache-bench` is a one-shot process:
+//! it regenerates traces, simulates, prints, exits. This crate keeps
+//! the machinery *resident*: `redcache-served` is a long-running HTTP
+//! daemon with a bounded job queue, a fixed worker pool, an in-memory
+//! single-flight trace store, and a content-addressed result cache —
+//! so a repeated figure sweep or ablation costs one simulation per
+//! distinct `(workload, GenConfig, SimConfig)` triple, ever. The same
+//! admission discipline RedCache applies to scarce DRAM bandwidth
+//! (only spend it where it pays) applies here to compute: duplicate
+//! work is coalesced, overload is refused early with `503`, and
+//! everything is observable through Prometheus `/metrics`.
+//!
+//! # API surface (HTTP/1.1, JSON)
+//!
+//! | Method & path             | Meaning                                             |
+//! |---------------------------|-----------------------------------------------------|
+//! | `POST /jobs`              | Submit a [`api::JobRequest`]; `202` + [`api::JobView`], or `503` + `Retry-After` when the queue is full |
+//! | `GET /jobs`               | All jobs, in submission order                       |
+//! | `GET /jobs/{id}`          | One job's status                                    |
+//! | `GET /jobs/{id}/report`   | The versioned `report_io` envelope of a completed job |
+//! | `GET /jobs/{id}/timeseries` | The job's epoch series as JSON Lines              |
+//! | `DELETE /jobs/{id}`       | Cancel a still-queued job                           |
+//! | `GET /metrics`            | Prometheus text format                              |
+//! | `GET /healthz`            | Liveness + drain state                              |
+//! | `POST /shutdown`          | Begin graceful drain (what SIGTERM does)            |
+//!
+//! The server is hand-rolled on `std::net::TcpListener` — no async
+//! runtime. See `DESIGN.md` §3.10 for the full protocol (queue and
+//! backpressure semantics, cache-key definition, shutdown sequence).
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod metrics;
+pub mod server;
+pub mod signals;
+
+pub use api::{JobRequest, JobStatus, JobView};
+pub use client::Client;
+pub use jobs::{Daemon, Submitted};
+pub use server::{ServeOptions, Server};

@@ -1,0 +1,290 @@
+//! Daemon counters and their Prometheus text-format rendering.
+//!
+//! Everything is a plain atomic bumped on the hot path; `/metrics`
+//! renders a snapshot. Counter semantics follow Prometheus: the
+//! `*_total` counters are monotonic, gauges (`queue_depth`, `running`,
+//! ratios) move both ways. The reconciliation invariant — pinned by the
+//! end-to-end test — is that at quiescence
+//! `submitted = completed + failed + canceled` and
+//! `sims ≤ completed` (cache hits and coalesced followers complete
+//! without their own simulation).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// All daemon counters. Fields are public atomics so the job machinery
+/// bumps them directly.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Daemon start time (for uptime and sims/s).
+    pub started: Instant,
+    /// Accepted submissions (202s). Rejected ones are not jobs.
+    pub submitted: AtomicU64,
+    /// Jobs that reached `completed`.
+    pub completed: AtomicU64,
+    /// Jobs that reached `failed`.
+    pub failed: AtomicU64,
+    /// Jobs cancelled while queued.
+    pub canceled: AtomicU64,
+    /// Submissions refused with 503 (queue full or draining).
+    pub rejected: AtomicU64,
+    /// Submissions answered straight from the completed-result cache.
+    pub cache_hits: AtomicU64,
+    /// Submissions coalesced onto an identical in-flight run.
+    pub coalesced: AtomicU64,
+    /// Simulations actually executed (single-flight leaders).
+    pub sims: AtomicU64,
+    /// Microseconds spent simulating, summed over workers.
+    pub sim_micros: AtomicU64,
+    /// Microseconds spent generating traces (first touch per trace key).
+    pub gen_micros: AtomicU64,
+    /// Jobs sitting in the bounded queue right now.
+    pub queue_depth: AtomicU64,
+    /// Jobs being simulated right now.
+    pub running: AtomicU64,
+    /// Per-worker busy microseconds (index = worker id).
+    pub worker_busy_micros: Vec<AtomicU64>,
+}
+
+impl Metrics {
+    /// Fresh counters for a pool of `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            canceled: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            sims: AtomicU64::new(0),
+            sim_micros: AtomicU64::new(0),
+            gen_micros: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+            worker_busy_micros: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Renders the Prometheus text exposition. `queue_capacity`,
+    /// `cache_entries` and `draining` are point-in-time facts owned by
+    /// the daemon rather than the counters.
+    pub fn render(&self, queue_capacity: usize, cache_entries: usize, draining: bool) -> String {
+        let get = |a: &AtomicU64| a.load(Ordering::SeqCst);
+        let uptime = self.started.elapsed().as_secs_f64();
+        let sims = get(&self.sims);
+        let submitted = get(&self.submitted);
+        let hits = get(&self.cache_hits);
+
+        let mut out = String::with_capacity(4096);
+        let mut metric = |name: &str, kind: &str, help: &str, value: String| {
+            out.push_str("# HELP redcache_serve_");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(help);
+            out.push_str("\n# TYPE redcache_serve_");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(kind);
+            out.push('\n');
+            out.push_str("redcache_serve_");
+            out.push_str(&value);
+            out.push('\n');
+        };
+
+        metric(
+            "jobs_submitted_total",
+            "counter",
+            "Accepted job submissions.",
+            format!("jobs_submitted_total {submitted}"),
+        );
+        metric(
+            "jobs_completed_total",
+            "counter",
+            "Jobs completed successfully.",
+            format!("jobs_completed_total {}", get(&self.completed)),
+        );
+        metric(
+            "jobs_failed_total",
+            "counter",
+            "Jobs whose simulation failed.",
+            format!("jobs_failed_total {}", get(&self.failed)),
+        );
+        metric(
+            "jobs_canceled_total",
+            "counter",
+            "Jobs cancelled while queued.",
+            format!("jobs_canceled_total {}", get(&self.canceled)),
+        );
+        metric(
+            "jobs_rejected_total",
+            "counter",
+            "Submissions refused with 503 (backpressure).",
+            format!("jobs_rejected_total {}", get(&self.rejected)),
+        );
+        metric(
+            "cache_hits_total",
+            "counter",
+            "Submissions served from the completed-result cache.",
+            format!("cache_hits_total {hits}"),
+        );
+        metric(
+            "coalesced_total",
+            "counter",
+            "Submissions coalesced onto an identical in-flight run.",
+            format!("coalesced_total {}", get(&self.coalesced)),
+        );
+        metric(
+            "sims_total",
+            "counter",
+            "Simulations actually executed.",
+            format!("sims_total {sims}"),
+        );
+        metric(
+            "sim_seconds_total",
+            "counter",
+            "Wall-clock seconds spent simulating.",
+            format!(
+                "sim_seconds_total {:.6}",
+                get(&self.sim_micros) as f64 / 1e6
+            ),
+        );
+        metric(
+            "gen_seconds_total",
+            "counter",
+            "Wall-clock seconds spent generating traces.",
+            format!(
+                "gen_seconds_total {:.6}",
+                get(&self.gen_micros) as f64 / 1e6
+            ),
+        );
+        metric(
+            "queue_depth",
+            "gauge",
+            "Jobs waiting in the bounded queue.",
+            format!("queue_depth {}", get(&self.queue_depth)),
+        );
+        metric(
+            "queue_capacity",
+            "gauge",
+            "Admission-control bound on the queue.",
+            format!("queue_capacity {queue_capacity}"),
+        );
+        metric(
+            "running",
+            "gauge",
+            "Jobs being simulated right now.",
+            format!("running {}", get(&self.running)),
+        );
+        metric(
+            "workers",
+            "gauge",
+            "Size of the worker pool.",
+            format!("workers {}", self.worker_busy_micros.len()),
+        );
+        metric(
+            "cache_entries",
+            "gauge",
+            "Completed results resident in the cache.",
+            format!("cache_entries {cache_entries}"),
+        );
+        metric(
+            "draining",
+            "gauge",
+            "1 while a graceful shutdown is draining the queue.",
+            format!("draining {}", draining as u8),
+        );
+        metric(
+            "uptime_seconds",
+            "gauge",
+            "Seconds since daemon start.",
+            format!("uptime_seconds {uptime:.3}"),
+        );
+        metric(
+            "cache_hit_ratio",
+            "gauge",
+            "cache_hits_total / jobs_submitted_total.",
+            format!(
+                "cache_hit_ratio {:.6}",
+                if submitted == 0 {
+                    0.0
+                } else {
+                    hits as f64 / submitted as f64
+                }
+            ),
+        );
+        metric(
+            "sims_per_second",
+            "gauge",
+            "sims_total / uptime_seconds.",
+            format!(
+                "sims_per_second {:.6}",
+                if uptime > 0.0 {
+                    sims as f64 / uptime
+                } else {
+                    0.0
+                }
+            ),
+        );
+
+        // Per-worker utilization: busy seconds as a labelled counter
+        // (utilization = rate(busy_seconds) in the scraper).
+        out.push_str(
+            "# HELP redcache_serve_worker_busy_seconds_total Seconds each worker spent on jobs.\n",
+        );
+        out.push_str("# TYPE redcache_serve_worker_busy_seconds_total counter\n");
+        for (i, w) in self.worker_busy_micros.iter().enumerate() {
+            out.push_str(&format!(
+                "redcache_serve_worker_busy_seconds_total{{worker=\"{i}\"}} {:.6}\n",
+                w.load(Ordering::SeqCst) as f64 / 1e6
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_series_with_help_and_type() {
+        let m = Metrics::new(2);
+        m.submitted.store(4, Ordering::SeqCst);
+        m.cache_hits.store(1, Ordering::SeqCst);
+        let text = m.render(8, 3, false);
+        for name in [
+            "jobs_submitted_total",
+            "jobs_completed_total",
+            "jobs_failed_total",
+            "jobs_canceled_total",
+            "jobs_rejected_total",
+            "cache_hits_total",
+            "coalesced_total",
+            "sims_total",
+            "sim_seconds_total",
+            "gen_seconds_total",
+            "queue_depth",
+            "queue_capacity",
+            "running",
+            "workers",
+            "cache_entries",
+            "draining",
+            "uptime_seconds",
+            "cache_hit_ratio",
+            "sims_per_second",
+            "worker_busy_seconds_total",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE redcache_serve_{name}")),
+                "missing {name} in:\n{text}"
+            );
+        }
+        assert!(text.contains("redcache_serve_jobs_submitted_total 4\n"));
+        assert!(text.contains("redcache_serve_cache_hit_ratio 0.250000\n"));
+        assert!(text.contains("redcache_serve_worker_busy_seconds_total{worker=\"1\"}"));
+        assert!(text.contains("redcache_serve_queue_capacity 8\n"));
+        assert!(text.contains("redcache_serve_cache_entries 3\n"));
+    }
+}

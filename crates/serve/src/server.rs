@@ -1,0 +1,256 @@
+//! The daemon itself: a `TcpListener` accept loop, thread-per-request
+//! handlers, the fixed worker pool, and the graceful-shutdown
+//! sequence.
+//!
+//! # Shutdown protocol
+//!
+//! 1. A `SIGTERM`/`SIGINT` (or `POST /shutdown`) flips the drain state.
+//! 2. The accept loop notices within one poll interval, stops
+//!    accepting, and calls [`jobs::Daemon::begin_drain`]: new
+//!    submissions get `503`, and the queue's sender is dropped.
+//! 3. Workers finish the jobs already queued or running — persisting
+//!    each result to the spool — then exit when `recv` fails on the
+//!    closed, empty channel.
+//! 4. [`Server::run`] joins every worker and returns.
+
+use crate::api::{resolve, JobRequest};
+use crate::http::{read_request, Request, Response};
+use crate::jobs::{self, Daemon, Submitted};
+use crate::signals;
+use redcache_bench::report_io::{Saved, SCHEMA_VERSION};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often the accept loop checks the shutdown/drain flags.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; use port `0` for an ephemeral port.
+    pub addr: String,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Bounded queue capacity (admission-control limit).
+    pub queue_capacity: usize,
+    /// Directory results are persisted to (and warmed from), if any.
+    pub spool: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: redcache_bench::pool::max_workers(),
+            queue_capacity: 32,
+            spool: None,
+        }
+    }
+}
+
+/// A bound-but-not-yet-running daemon.
+pub struct Server {
+    daemon: Arc<Daemon>,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and starts the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound or put into non-blocking
+    /// mode.
+    pub fn bind(opts: &ServeOptions) -> io::Result<Self> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let workers_n = opts.workers.max(1);
+        let (daemon, rx) = Daemon::new(workers_n, opts.queue_capacity, opts.spool.clone());
+        let workers = (0..workers_n)
+            .map(|widx| {
+                let d = daemon.clone();
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{widx}"))
+                    .spawn(move || jobs::worker_loop(&d, &rx, widx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Self {
+            daemon,
+            listener,
+            local_addr,
+            workers,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle to the shared daemon state (tests and embedders).
+    pub fn daemon(&self) -> Arc<Daemon> {
+        self.daemon.clone()
+    }
+
+    /// Serves until a shutdown is requested, then drains and joins the
+    /// workers. Returns once every accepted job has finished.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal accept-loop I/O errors (per-connection errors
+    /// are logged and survived).
+    pub fn run(self) -> io::Result<()> {
+        loop {
+            if signals::requested() || self.daemon.is_draining() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let d = self.daemon.clone();
+                    std::thread::Builder::new()
+                        .name("serve-conn".to_string())
+                        .spawn(move || handle_connection(&d, stream))
+                        .expect("spawn connection handler");
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.daemon.begin_drain();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(daemon: &Arc<Daemon>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let response = match read_request(&mut reader) {
+        Ok(Some(req)) => route(daemon, &req),
+        Ok(None) => return,
+        Err(e) => Response::error(400, &format!("bad request: {e}")),
+    };
+    let mut stream = stream;
+    let _ = response.write_to(&mut stream);
+}
+
+/// Dispatches one request to its handler.
+fn route(daemon: &Arc<Daemon>, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => submit(daemon, &req.body),
+        ("GET", ["jobs"]) => Response::json(200, &daemon.job_views()),
+        ("GET", ["jobs", id]) => with_id(id, |id| job_status(daemon, id)),
+        ("GET", ["jobs", id, "report"]) => with_id(id, |id| job_report(daemon, id)),
+        ("GET", ["jobs", id, "timeseries"]) => with_id(id, |id| job_timeseries(daemon, id)),
+        ("DELETE", ["jobs", id]) => with_id(id, |id| cancel(daemon, id)),
+        ("GET", ["metrics"]) => Response::raw(
+            200,
+            "text/plain; version=0.0.4",
+            daemon.render_metrics().into_bytes(),
+        ),
+        ("GET", ["healthz"]) => Response::json(
+            200,
+            &serde_json::json!({ "ok": true, "draining": daemon.is_draining() }),
+        ),
+        ("POST", ["shutdown"]) => {
+            // The accept loop polls the signal flag; setting it (not
+            // just the daemon drain state) also stops `run`.
+            signals::request();
+            daemon.begin_drain();
+            Response::json(202, &serde_json::json!({ "draining": true }))
+        }
+        ("GET" | "POST" | "DELETE", _) => Response::error(404, "no such endpoint"),
+        _ => Response::error(405, "method not allowed"),
+    }
+}
+
+fn with_id(raw: &str, f: impl FnOnce(u64) -> Response) -> Response {
+    match raw.parse::<u64>() {
+        Ok(id) => f(id),
+        Err(_) => Response::error(400, "job id must be an integer"),
+    }
+}
+
+fn submit(daemon: &Arc<Daemon>, body: &[u8]) -> Response {
+    let req: JobRequest = match serde_json::from_slice(body) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, &format!("invalid job request: {e}")),
+    };
+    let resolved = match resolve(&req) {
+        Ok(r) => r,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    match daemon.submit(resolved) {
+        Submitted::Accepted(view) => Response::json(202, &view),
+        Submitted::Busy { retry_after_s } => {
+            Response::error(503, "queue full or draining; retry later")
+                .with_header("retry-after", &retry_after_s.to_string())
+        }
+    }
+}
+
+fn job_status(daemon: &Arc<Daemon>, id: u64) -> Response {
+    match daemon.job_view(id) {
+        Some(view) => Response::json(200, &view),
+        None => Response::error(404, "no such job"),
+    }
+}
+
+fn job_report(daemon: &Arc<Daemon>, id: u64) -> Response {
+    let Some(view) = daemon.job_view(id) else {
+        return Response::error(404, "no such job");
+    };
+    match daemon.job_report(id) {
+        Some(report) => Response::json(
+            200,
+            &Saved {
+                schema: "run_report".to_string(),
+                schema_version: SCHEMA_VERSION,
+                data: &*report,
+            },
+        ),
+        None => Response::error(409, &format!("job is {:?}, no report yet", view.status)),
+    }
+}
+
+fn job_timeseries(daemon: &Arc<Daemon>, id: u64) -> Response {
+    let Some(report) = daemon.job_report(id) else {
+        return Response::error(404, "no completed report for this job");
+    };
+    let Some(series) = &report.timeseries else {
+        return Response::error(
+            409,
+            "job ran without epoch_cycles; no time series was recorded",
+        );
+    };
+    let mut body = Vec::new();
+    if let Err(e) = series.write_jsonl(&mut body) {
+        return Response::error(500, &format!("serializing time series failed: {e}"));
+    }
+    Response::raw(200, "application/jsonl", body)
+}
+
+fn cancel(daemon: &Arc<Daemon>, id: u64) -> Response {
+    match daemon.cancel(id) {
+        Ok(view) => Response::json(200, &view),
+        Err(None) => Response::error(404, "no such job"),
+        Err(Some(reason)) => Response::error(409, &reason),
+    }
+}

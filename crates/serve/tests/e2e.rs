@@ -1,0 +1,289 @@
+//! End-to-end tests for the serving daemon, over real sockets.
+//!
+//! These pin the PR's acceptance criteria:
+//! (a) two concurrent identical submissions → one underlying
+//!     simulation and bit-identical report envelopes,
+//! (b) submissions beyond queue capacity → `503` without crashing,
+//! (c) `SIGTERM` drains running jobs and persists results to the spool
+//!     before exit,
+//! (d) `/metrics` counters reconcile with the jobs actually run.
+//!
+//! The shutdown flag is process-global, so every test serializes on
+//! one mutex and resets the flag around itself.
+
+use redcache_serve::api::JobStatus;
+use redcache_serve::{signals, Client, JobRequest, JobView, ServeOptions, Server, Submitted};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    let g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    signals::reset();
+    g
+}
+
+/// A tiny, fast job; `seed` varies the cache key.
+fn tiny_job(seed: u64, hold_ms: u64) -> JobRequest {
+    JobRequest {
+        workload: "is".into(),
+        preset: Some("quick".into()),
+        threads: Some(2),
+        shrink: Some(8),
+        budget: Some(500),
+        seed: Some(seed),
+        hold_ms: Some(hold_ms),
+        ..JobRequest::default()
+    }
+}
+
+struct Harness {
+    client: Client,
+    daemon: std::sync::Arc<redcache_serve::Daemon>,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start(workers: usize, queue_capacity: usize, spool: Option<std::path::PathBuf>) -> Harness {
+    signals::install();
+    let server = Server::bind(&ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity,
+        spool,
+    })
+    .expect("bind ephemeral port");
+    let client = Client::new(server.local_addr().to_string());
+    let daemon = server.daemon();
+    let thread = std::thread::spawn(move || server.run());
+    Harness {
+        client,
+        daemon,
+        thread,
+    }
+}
+
+fn submit_ok(client: &Client, job: &JobRequest) -> JobView {
+    let res = client.submit(job).expect("submit I/O");
+    assert_eq!(res.status, 202, "unexpected response: {}", res.text());
+    res.json().expect("job view")
+}
+
+fn wait_for_running(client: &Client, id: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let view: JobView = client.job(id).unwrap().json().expect("job view");
+        if view.status == JobStatus::Running {
+            return;
+        }
+        assert!(
+            !view.status.is_terminal(),
+            "job {id} finished before it was observed running"
+        );
+        assert!(Instant::now() < deadline, "job {id} never started running");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Extracts one un-labelled series value from Prometheus text.
+fn metric(text: &str, name: &str) -> f64 {
+    let prefix = format!("redcache_serve_{name} ");
+    text.lines()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .unwrap_or_else(|| panic!("metric {name} missing in:\n{text}"))
+        .trim()
+        .parse()
+        .expect("metric value parses")
+}
+
+fn assert_metrics_reconcile(text: &str) {
+    let submitted = metric(text, "jobs_submitted_total");
+    let completed = metric(text, "jobs_completed_total");
+    let failed = metric(text, "jobs_failed_total");
+    let canceled = metric(text, "jobs_canceled_total");
+    let sims = metric(text, "sims_total");
+    assert_eq!(
+        submitted,
+        completed + failed + canceled,
+        "job accounting does not reconcile:\n{text}"
+    );
+    assert!(
+        sims <= completed,
+        "more simulations than completions:\n{text}"
+    );
+    assert_eq!(metric(text, "queue_depth"), 0.0);
+    assert_eq!(metric(text, "running"), 0.0);
+}
+
+#[test]
+fn concurrent_identical_submissions_share_one_simulation() {
+    let _g = serial();
+    let h = start(1, 8, None);
+
+    // The hold keeps the leader in flight while the duplicate arrives.
+    let job = tiny_job(1, 300);
+    let a = submit_ok(&h.client, &job);
+    let b = submit_ok(&h.client, &job);
+    assert!(!a.coalesced);
+    assert!(b.coalesced, "identical in-flight submission must coalesce");
+    assert_eq!(a.key, b.key);
+
+    let done_a = h.client.wait(a.id, Duration::from_secs(30)).unwrap();
+    let done_b = h.client.wait(b.id, Duration::from_secs(30)).unwrap();
+    assert_eq!(done_a.status, JobStatus::Completed);
+    assert_eq!(done_b.status, JobStatus::Completed);
+
+    // (a) bit-identical envelopes from one underlying run.
+    let rep_a = h.client.report(a.id).unwrap();
+    let rep_b = h.client.report(b.id).unwrap();
+    assert_eq!(rep_a.status, 200);
+    assert_eq!(
+        rep_a.body, rep_b.body,
+        "coalesced jobs must serve bit-identical report envelopes"
+    );
+
+    // A later duplicate is a pure cache hit: completed at submission.
+    let c = submit_ok(&h.client, &job);
+    assert!(c.cached);
+    assert_eq!(c.status, JobStatus::Completed);
+    assert_eq!(h.client.report(c.id).unwrap().body, rep_a.body);
+
+    // (d) the counters agree with what actually happened.
+    let text = h.client.metrics().unwrap().text();
+    assert_eq!(metric(&text, "sims_total"), 1.0);
+    assert_eq!(metric(&text, "jobs_submitted_total"), 3.0);
+    assert_eq!(metric(&text, "coalesced_total"), 1.0);
+    assert_eq!(metric(&text, "cache_hits_total"), 1.0);
+    assert_metrics_reconcile(&text);
+
+    let res = h.client.shutdown().unwrap();
+    assert_eq!(res.status, 202);
+    h.thread.join().unwrap().unwrap();
+    signals::reset();
+}
+
+#[test]
+fn overload_gets_503_with_retry_after_and_no_crash() {
+    let _g = serial();
+    let h = start(1, 1, None);
+
+    // Occupy the single worker...
+    let blocker = submit_ok(&h.client, &tiny_job(100, 2_000));
+    wait_for_running(&h.client, blocker.id);
+    // ...and the single queue slot.
+    let queued = submit_ok(&h.client, &tiny_job(101, 0));
+
+    // (b) everything further is refused politely.
+    for seed in 102..105 {
+        let res = h.client.submit(&tiny_job(seed, 0)).unwrap();
+        assert_eq!(res.status, 503, "expected backpressure: {}", res.text());
+        let retry: u32 = res
+            .header("retry-after")
+            .expect("503 must carry retry-after")
+            .parse()
+            .expect("retry-after is seconds");
+        assert!(retry >= 1);
+    }
+
+    // The daemon keeps serving: status, health, metrics all live.
+    assert_eq!(h.client.healthz().unwrap().status, 200);
+    assert_eq!(h.client.job(blocker.id).unwrap().status, 200);
+    assert_eq!(h.client.job(9999).unwrap().status, 404);
+
+    // Accepted work still completes after the burst.
+    assert_eq!(
+        h.client
+            .wait(blocker.id, Duration::from_secs(30))
+            .unwrap()
+            .status,
+        JobStatus::Completed
+    );
+    assert_eq!(
+        h.client
+            .wait(queued.id, Duration::from_secs(30))
+            .unwrap()
+            .status,
+        JobStatus::Completed
+    );
+
+    let text = h.client.metrics().unwrap().text();
+    assert_eq!(metric(&text, "jobs_rejected_total"), 3.0);
+    assert_eq!(metric(&text, "jobs_submitted_total"), 2.0);
+    assert_eq!(metric(&text, "sims_total"), 2.0);
+    assert_metrics_reconcile(&text);
+
+    h.client.shutdown().unwrap();
+    h.thread.join().unwrap().unwrap();
+    signals::reset();
+}
+
+#[test]
+fn sigterm_drains_running_work_and_persists_results() {
+    let _g = serial();
+    let spool = std::env::temp_dir().join(format!("redcache_serve_e2e_{:x}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    std::fs::create_dir_all(&spool).unwrap();
+
+    let h = start(1, 8, Some(spool.clone()));
+    let view = submit_ok(&h.client, &tiny_job(200, 500));
+    wait_for_running(&h.client, view.id);
+
+    // (c) a real SIGTERM through the installed handler.
+    signals::raise_sigterm();
+    h.thread.join().unwrap().unwrap();
+    signals::reset();
+
+    // The in-flight job was drained to completion, not dropped...
+    let final_view = h.daemon.job_view(view.id).expect("job survived drain");
+    assert_eq!(final_view.status, JobStatus::Completed);
+    assert!(h.daemon.job_report(view.id).is_some());
+
+    // ...its result was spooled before exit...
+    let spooled = spool.join(format!("report-{}.json", view.key));
+    assert!(
+        spooled.is_file(),
+        "drained result was not persisted to {}",
+        spooled.display()
+    );
+    let persisted: redcache::RunReport =
+        redcache_bench::report_io::try_read_json(&spooled).expect("spooled report parses");
+    assert_eq!(persisted, *h.daemon.job_report(view.id).unwrap());
+
+    // ...and the drained daemon refuses new work.
+    assert!(h.daemon.is_draining());
+    let resolved = redcache_serve::api::resolve(&tiny_job(201, 0)).unwrap();
+    assert!(matches!(h.daemon.submit(resolved), Submitted::Busy { .. }));
+
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn bad_requests_are_rejected_cleanly() {
+    let _g = serial();
+    let h = start(1, 4, None);
+
+    let garbage = h
+        .client
+        .request("POST", "/jobs", Some(b"{not json"))
+        .unwrap();
+    assert_eq!(garbage.status, 400);
+    let unknown = h
+        .client
+        .submit(&JobRequest {
+            workload: "quicksort".into(),
+            ..JobRequest::default()
+        })
+        .unwrap();
+    assert_eq!(unknown.status, 400);
+    assert_eq!(h.client.request("GET", "/nope", None).unwrap().status, 404);
+    assert_eq!(h.client.request("PUT", "/jobs", None).unwrap().status, 405);
+    assert_eq!(h.client.report(12345).unwrap().status, 404);
+
+    // Nothing above became a job.
+    let text = h.client.metrics().unwrap().text();
+    assert_eq!(metric(&text, "jobs_submitted_total"), 0.0);
+
+    h.client.shutdown().unwrap();
+    h.thread.join().unwrap().unwrap();
+    signals::reset();
+}

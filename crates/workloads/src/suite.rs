@@ -167,6 +167,21 @@ impl std::fmt::Display for Workload {
     }
 }
 
+impl std::str::FromStr for Workload {
+    type Err = String;
+
+    /// Parses a figure label (`"RDX"`, `"hist"`, …), case-insensitive —
+    /// the spelling shared by `redcache-sim` and the `redcache-serve`
+    /// job API.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Workload::ALL
+            .iter()
+            .copied()
+            .find(|w| w.info().label.eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown workload {s:?}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +215,18 @@ mod tests {
             labels,
             ["FT", "IS", "MG", "CH", "RDX", "OCN", "FFT", "LU", "BRN", "HIST", "LREG"]
         );
+    }
+
+    #[test]
+    fn labels_parse_back_case_insensitively() {
+        for w in Workload::ALL {
+            assert_eq!(w.info().label.parse::<Workload>().unwrap(), w);
+            assert_eq!(
+                w.info().label.to_lowercase().parse::<Workload>().unwrap(),
+                w
+            );
+        }
+        assert!("quicksort".parse::<Workload>().is_err());
     }
 
     #[test]

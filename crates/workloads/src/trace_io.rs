@@ -118,8 +118,10 @@ pub fn load(path: &std::path::Path) -> io::Result<ThreadTraces> {
 /// Stable 64-bit key for a generator configuration (FNV-1a over its
 /// fields), used to name on-disk cache entries. Deliberately not
 /// `std::hash::Hash`: file names must survive compiler and std
-/// upgrades.
-fn gen_key(cfg: &crate::GenConfig) -> u64 {
+/// upgrades. Public so other caches keyed on "what trace would this
+/// config produce" (the `redcache-serve` in-memory trace store) share
+/// the exact key the disk cache uses.
+pub fn cache_key(cfg: &crate::GenConfig) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut mix = |v: u64| {
         for b in v.to_le_bytes() {
@@ -132,6 +134,16 @@ fn gen_key(cfg: &crate::GenConfig) -> u64 {
     mix(cfg.budget_per_thread as u64);
     mix(cfg.seed);
     h
+}
+
+/// The file name a `(workload, GenConfig)` pair caches under —
+/// `{label}-{cache_key:016x}.rctr`.
+pub fn cache_file_name(workload: crate::Workload, cfg: &crate::GenConfig) -> String {
+    format!(
+        "{}-{:016x}.rctr",
+        workload.info().label.to_lowercase(),
+        cache_key(cfg)
+    )
 }
 
 /// Generates `workload`'s traces through an optional on-disk cache
@@ -147,11 +159,7 @@ pub fn generate_cached_in(
     let Some(dir) = dir else {
         return workload.generate(cfg);
     };
-    let path = dir.join(format!(
-        "{}-{:016x}.rctr",
-        workload.info().label.to_lowercase(),
-        gen_key(cfg)
-    ));
+    let path = dir.join(cache_file_name(workload, cfg));
     if let Ok(traces) = load(&path) {
         if traces.len() == cfg.threads {
             return traces;
@@ -225,6 +233,53 @@ mod tests {
         let third = generate_cached_in(Workload::Hist, &other, Some(&dir));
         assert!(crate::suite::generation_count() > generated);
         assert_ne!(first, third);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_entries_regenerate_and_heal() {
+        let cfg = GenConfig::tiny();
+        let dir = std::env::temp_dir().join(format!(
+            "redcache_trace_cache_corrupt_{:x}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let first = generate_cached_in(Workload::Is, &cfg, Some(&dir));
+        let path = dir.join(cache_file_name(Workload::Is, &cfg));
+        assert!(path.is_file(), "cache entry was not written");
+
+        // Truncate the entry mid-record: loading must fail cleanly and
+        // the generator must fall back to regeneration.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let before = crate::suite::generation_count();
+        let second = generate_cached_in(Workload::Is, &cfg, Some(&dir));
+        assert!(
+            crate::suite::generation_count() > before,
+            "truncated entry was served instead of regenerated"
+        );
+        assert_eq!(first, second, "regeneration diverged from the original");
+
+        // The fallback must also have rewritten a valid entry: the next
+        // call is a clean hit again.
+        let healed = crate::suite::generation_count();
+        let third = generate_cached_in(Workload::Is, &cfg, Some(&dir));
+        assert_eq!(
+            crate::suite::generation_count(),
+            healed,
+            "healed entry missed the cache"
+        );
+        assert_eq!(first, third);
+
+        // Same story for outright garbage (bad magic).
+        std::fs::write(&path, b"this is not a trace file").unwrap();
+        let before = crate::suite::generation_count();
+        let fourth = generate_cached_in(Workload::Is, &cfg, Some(&dir));
+        assert!(crate::suite::generation_count() > before);
+        assert_eq!(first, fourth);
+        assert_eq!(std::fs::read(&path).unwrap(), bytes, "entry not healed");
+
         let _ = std::fs::remove_dir_all(&dir);
     }
 
