@@ -83,11 +83,17 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
         }
     }
 
-    let len = headers
+    // Absent Content-Length means no body; a present-but-unparseable
+    // one is a malformed request, not a body-less one.
+    let len = match headers
         .iter()
         .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, v)| v.parse::<usize>().ok())
-        .unwrap_or(0);
+    {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| bad("invalid Content-Length header"))?,
+    };
     if len > MAX_BODY_BYTES {
         return Err(bad("body too large"));
     }
@@ -211,6 +217,18 @@ mod tests {
             .unwrap()
             .is_none());
         assert!(read_request(&mut BufReader::new(&b"nonsense\r\n\r\n"[..])).is_err());
+    }
+
+    #[test]
+    fn invalid_content_length_is_an_error_not_an_empty_body() {
+        for raw in [
+            &b"POST /jobs HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+            &b"POST /jobs HTTP/1.1\r\nContent-Length: 99999999999999999999999\r\n\r\n"[..],
+            &b"POST /jobs HTTP/1.1\r\nContent-Length: -1\r\n\r\n"[..],
+        ] {
+            let err = read_request(&mut BufReader::new(raw)).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{raw:?}");
+        }
     }
 
     #[test]

@@ -51,6 +51,10 @@ struct Job {
     cached: bool,
     coalesced: bool,
     canceled: bool,
+    /// A cancelled job is only prunable once a worker has retired it
+    /// (dequeued it, or completed the run it was attached to) —
+    /// pruning it earlier would strand its queue item or followers.
+    retired: bool,
     resolved: ResolvedJob,
     report: Option<Arc<RunReport>>,
     wall_s: Option<f64>,
@@ -84,8 +88,39 @@ impl Job {
 enum CacheEntry {
     /// A leader job is computing this key; followers complete with it.
     InFlight { followers: Vec<u64> },
-    /// The finished report.
-    Done(Arc<RunReport>),
+    /// The finished report, stamped for LRU eviction.
+    Done {
+        report: Arc<RunReport>,
+        last_used: u64,
+    },
+}
+
+/// Retention caps bounding resident memory in a long-running daemon.
+/// Cache and trace keys are client-controlled (e.g. arbitrary seeds),
+/// so without these every distinct submission would grow the result
+/// cache, the trace store, and the jobs table forever.
+#[derive(Debug, Clone, Copy)]
+pub struct Retention {
+    /// Completed results kept resident; least-recently-used `Done`
+    /// entries beyond this are evicted (in-flight entries never are).
+    /// Spooled copies stay on disk regardless.
+    pub max_cached_results: usize,
+    /// Trace sets kept resident; least-recently-used beyond this are
+    /// dropped (running jobs keep their `Arc` until they finish).
+    pub max_trace_sets: usize,
+    /// Terminal jobs kept for status queries; the oldest beyond this
+    /// are pruned (their ids then answer `404`).
+    pub max_terminal_jobs: usize,
+}
+
+impl Default for Retention {
+    fn default() -> Self {
+        Self {
+            max_cached_results: 512,
+            max_trace_sets: 32,
+            max_terminal_jobs: 4096,
+        }
+    }
 }
 
 /// Outcome of a submission.
@@ -111,10 +146,14 @@ pub struct Daemon {
     pub metrics: Metrics,
     jobs: Mutex<HashMap<u64, Job>>,
     cache: Mutex<HashMap<u64, CacheEntry>>,
-    traces: Mutex<HashMap<u64, TraceCell>>,
+    /// Trace sets stamped for LRU eviction (stamp, cell).
+    traces: Mutex<HashMap<u64, (u64, TraceCell)>>,
     tx: Mutex<Option<Sender<WorkItem>>>,
     next_id: AtomicU64,
+    /// Monotonic stamp source for the LRU eviction orders.
+    lru_clock: AtomicU64,
     queue_capacity: usize,
+    retention: Retention,
     spool: Option<PathBuf>,
     draining: AtomicBool,
 }
@@ -127,6 +166,16 @@ impl Daemon {
         queue_capacity: usize,
         spool: Option<PathBuf>,
     ) -> (Arc<Self>, Receiver<WorkItem>) {
+        Self::with_retention(workers, queue_capacity, spool, Retention::default())
+    }
+
+    /// [`Daemon::new`] with explicit retention caps.
+    pub fn with_retention(
+        workers: usize,
+        queue_capacity: usize,
+        spool: Option<PathBuf>,
+        retention: Retention,
+    ) -> (Arc<Self>, Receiver<WorkItem>) {
         let (tx, rx) = bounded(queue_capacity.max(1));
         let d = Arc::new(Self {
             metrics: Metrics::new(workers.max(1)),
@@ -135,12 +184,81 @@ impl Daemon {
             traces: Mutex::new(HashMap::new()),
             tx: Mutex::new(Some(tx)),
             next_id: AtomicU64::new(1),
+            lru_clock: AtomicU64::new(0),
             queue_capacity: queue_capacity.max(1),
+            retention,
             spool,
             draining: AtomicBool::new(false),
         });
         d.warm_from_spool();
         (d, rx)
+    }
+
+    /// Next LRU stamp.
+    fn touch(&self) -> u64 {
+        self.lru_clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Evicts least-recently-used `Done` entries beyond the retention
+    /// cap. In-flight entries are never evicted. Caller holds `cache`.
+    fn evict_cached_results(&self, cache: &mut HashMap<u64, CacheEntry>) {
+        let cap = self.retention.max_cached_results.max(1);
+        let mut done: Vec<(u64, u64)> = cache
+            .iter()
+            .filter_map(|(k, e)| match e {
+                CacheEntry::Done { last_used, .. } => Some((*last_used, *k)),
+                CacheEntry::InFlight { .. } => None,
+            })
+            .collect();
+        if done.len() <= cap {
+            return;
+        }
+        done.sort_unstable();
+        for (_, key) in &done[..done.len() - cap] {
+            cache.remove(key);
+            self.metrics.cache_evictions.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Drops least-recently-used trace sets beyond the retention cap.
+    /// Safe against running jobs: they hold their own `Arc` to the
+    /// traces. Caller holds `traces`.
+    fn evict_trace_sets(&self, traces: &mut HashMap<u64, (u64, TraceCell)>) {
+        let cap = self.retention.max_trace_sets.max(1);
+        if traces.len() <= cap {
+            return;
+        }
+        let mut stamps: Vec<(u64, u64)> = traces.iter().map(|(k, (s, _))| (*s, *k)).collect();
+        stamps.sort_unstable();
+        for (_, key) in &stamps[..stamps.len() - cap] {
+            traces.remove(key);
+        }
+    }
+
+    /// Prunes the oldest terminal jobs beyond the retention cap.
+    /// Cancelled jobs count only once retired (see [`Job::retired`]):
+    /// a cancelled leader still in the queue must stay visible so the
+    /// worker that dequeues it can find its key and followers. Caller
+    /// holds `jobs`.
+    fn prune_terminal_jobs(&self, jobs: &mut HashMap<u64, Job>) {
+        let cap = self.retention.max_terminal_jobs.max(1);
+        let mut terminal: Vec<u64> = jobs
+            .values()
+            .filter(|j| match j.status {
+                JobStatus::Completed | JobStatus::Failed => true,
+                JobStatus::Canceled => j.retired,
+                JobStatus::Queued | JobStatus::Running => false,
+            })
+            .map(|j| j.id)
+            .collect();
+        if terminal.len() <= cap {
+            return;
+        }
+        terminal.sort_unstable();
+        for id in &terminal[..terminal.len() - cap] {
+            jobs.remove(id);
+            self.metrics.jobs_pruned.fetch_add(1, Ordering::SeqCst);
+        }
     }
 
     /// The admission-control bound.
@@ -179,7 +297,13 @@ impl Daemon {
             };
             match report_io::try_read_json::<RunReport>(&path) {
                 Ok(report) => {
-                    cache.insert(key, CacheEntry::Done(Arc::new(report)));
+                    cache.insert(
+                        key,
+                        CacheEntry::Done {
+                            report: Arc::new(report),
+                            last_used: self.touch(),
+                        },
+                    );
                 }
                 Err(e) if e.is_corrupt() => {
                     eprintln!(
@@ -191,6 +315,7 @@ impl Daemon {
                 Err(_) => {}
             }
         }
+        self.evict_cached_results(&mut cache);
     }
 
     /// Completed results resident in the cache.
@@ -198,8 +323,13 @@ impl Daemon {
         self.cache
             .lock()
             .values()
-            .filter(|e| matches!(e, CacheEntry::Done(_)))
+            .filter(|e| matches!(e, CacheEntry::Done { .. }))
             .count()
+    }
+
+    /// Trace sets resident in the store.
+    pub fn trace_sets(&self) -> usize {
+        self.traces.lock().len()
     }
 
     /// Submits a resolved job: cache hit, coalesce, or enqueue — with
@@ -221,6 +351,7 @@ impl Daemon {
             cached: false,
             coalesced: false,
             canceled: false,
+            retired: false,
             resolved,
             report: None,
             wall_s: None,
@@ -230,7 +361,8 @@ impl Daemon {
 
         let mut cache = self.cache.lock();
         match cache.get_mut(&key) {
-            Some(CacheEntry::Done(report)) => {
+            Some(CacheEntry::Done { report, last_used }) => {
+                *last_used = self.touch();
                 job.status = JobStatus::Completed;
                 job.cached = true;
                 job.report = Some(report.clone());
@@ -286,9 +418,24 @@ impl Daemon {
                 };
             }
         }
+        // Cache-hit and coalesced jobs enter the jobs map while the
+        // cache lock is still held: run_job's completion path takes
+        // `cache` before `jobs`, so a follower registered above is
+        // guaranteed to be in the map before its leader can finish.
+        // (Inserting after dropping `cache` opens a window where the
+        // leader completes, finds no such follower, and the follower
+        // is stranded as Queued forever.)
+        let view = {
+            let mut jobs = self.jobs.lock();
+            let prune = matches!(job.status, JobStatus::Completed);
+            let view = job.view();
+            jobs.insert(id, job);
+            if prune {
+                self.prune_terminal_jobs(&mut jobs);
+            }
+            view
+        };
         drop(cache);
-        let view = job.view();
-        self.jobs.lock().insert(id, job);
         Submitted::Accepted(view)
     }
 
@@ -351,7 +498,14 @@ impl Daemon {
     fn traces_for(&self, r: &ResolvedJob) -> (SharedTraces, f64, bool) {
         let cell: TraceCell = {
             let mut map = self.traces.lock();
-            map.entry(r.trace_key).or_default().clone()
+            let stamp = self.touch();
+            let entry = map.entry(r.trace_key).or_default();
+            entry.0 = stamp;
+            let cell = entry.1.clone();
+            // The just-touched key carries the newest stamp, so it
+            // always survives the eviction below.
+            self.evict_trace_sets(&mut map);
+            cell
         };
         let mut generated_now = false;
         let (traces, gen_s) = cell.get_or_init(|| {
@@ -393,6 +547,8 @@ impl Daemon {
                 );
                 if !has_followers {
                     cache.remove(&key);
+                    job.retired = true;
+                    self.prune_terminal_jobs(&mut jobs);
                     return;
                 }
                 // Cancelled leader with followers: run anyway so the
@@ -432,14 +588,22 @@ impl Daemon {
                 let report = Arc::new(report);
                 self.persist(resolved.key, &report);
                 let mut cache = self.cache.lock();
-                let followers = match cache.insert(resolved.key, CacheEntry::Done(report.clone())) {
+                let followers = match cache.insert(
+                    resolved.key,
+                    CacheEntry::Done {
+                        report: report.clone(),
+                        last_used: self.touch(),
+                    },
+                ) {
                     Some(CacheEntry::InFlight { followers }) => followers,
                     _ => Vec::new(),
                 };
+                self.evict_cached_results(&mut cache);
                 let mut jobs = self.jobs.lock();
                 for jid in std::iter::once(id).chain(followers) {
                     if let Some(job) = jobs.get_mut(&jid) {
                         if job.canceled {
+                            job.retired = true;
                             continue;
                         }
                         job.status = JobStatus::Completed;
@@ -449,6 +613,7 @@ impl Daemon {
                         self.metrics.completed.fetch_add(1, Ordering::SeqCst);
                     }
                 }
+                self.prune_terminal_jobs(&mut jobs);
             }
             Err(panic) => {
                 let msg = panic_message(&panic);
@@ -463,6 +628,7 @@ impl Daemon {
                 for jid in std::iter::once(id).chain(followers) {
                     if let Some(job) = jobs.get_mut(&jid) {
                         if job.canceled {
+                            job.retired = true;
                             continue;
                         }
                         job.status = JobStatus::Failed;
@@ -470,6 +636,7 @@ impl Daemon {
                         self.metrics.failed.fetch_add(1, Ordering::SeqCst);
                     }
                 }
+                self.prune_terminal_jobs(&mut jobs);
             }
         }
     }
@@ -660,6 +827,49 @@ mod tests {
             "trace store failed to share generations"
         );
         assert_eq!(d.metrics.sims.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn retention_caps_cache_traces_and_terminal_jobs() {
+        let _serial = SERIAL.lock();
+        let (d, rx) = Daemon::with_retention(
+            1,
+            16,
+            None,
+            Retention {
+                max_cached_results: 2,
+                max_trace_sets: 2,
+                max_terminal_jobs: 3,
+            },
+        );
+        let mut ids = Vec::new();
+        for seed in 0..5u64 {
+            let mut req = tiny_request("hist");
+            req.seed = Some(seed); // distinct content and trace keys
+            ids.push(accepted(d.submit(resolve(&req).unwrap())).id);
+            drain_queue(&d, &rx);
+        }
+        assert_eq!(d.cache_entries(), 2, "result cache exceeded its cap");
+        assert_eq!(d.metrics.cache_evictions.load(Ordering::SeqCst), 3);
+        assert_eq!(d.trace_sets(), 2, "trace store exceeded its cap");
+        let views = d.job_views();
+        assert_eq!(views.len(), 3, "terminal jobs exceeded retention");
+        assert_eq!(d.metrics.jobs_pruned.load(Ordering::SeqCst), 2);
+        // The newest jobs survive; the pruned oldest now answer 404.
+        assert!(d.job_view(ids[0]).is_none());
+        assert!(d.job_view(ids[1]).is_none());
+        assert!(d.job_view(ids[4]).is_some());
+        // An evicted key misses the cache and re-runs.
+        let mut req = tiny_request("hist");
+        req.seed = Some(0);
+        let v = accepted(d.submit(resolve(&req).unwrap()));
+        assert_eq!(v.status, JobStatus::Queued, "evicted entry must not hit");
+        drain_queue(&d, &rx);
+        assert_eq!(d.metrics.sims.load(Ordering::SeqCst), 6);
+        // A key still resident does hit.
+        let mut req = tiny_request("hist");
+        req.seed = Some(4);
+        assert!(accepted(d.submit(resolve(&req).unwrap())).cached);
     }
 
     #[test]

@@ -43,5 +43,5 @@ pub mod signals;
 
 pub use api::{JobRequest, JobStatus, JobView};
 pub use client::Client;
-pub use jobs::{Daemon, Submitted};
+pub use jobs::{Daemon, Retention, Submitted};
 pub use server::{ServeOptions, Server};

@@ -32,6 +32,10 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Submissions coalesced onto an identical in-flight run.
     pub coalesced: AtomicU64,
+    /// Completed results evicted from the cache (LRU retention cap).
+    pub cache_evictions: AtomicU64,
+    /// Terminal jobs pruned from the jobs table (retention cap).
+    pub jobs_pruned: AtomicU64,
     /// Simulations actually executed (single-flight leaders).
     pub sims: AtomicU64,
     /// Microseconds spent simulating, summed over workers.
@@ -58,6 +62,8 @@ impl Metrics {
             rejected: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            jobs_pruned: AtomicU64::new(0),
             sims: AtomicU64::new(0),
             sim_micros: AtomicU64::new(0),
             gen_micros: AtomicU64::new(0),
@@ -134,6 +140,18 @@ impl Metrics {
             "counter",
             "Submissions coalesced onto an identical in-flight run.",
             format!("coalesced_total {}", get(&self.coalesced)),
+        );
+        metric(
+            "cache_evictions_total",
+            "counter",
+            "Completed results evicted by the LRU retention cap.",
+            format!("cache_evictions_total {}", get(&self.cache_evictions)),
+        );
+        metric(
+            "jobs_pruned_total",
+            "counter",
+            "Terminal jobs pruned by the retention cap.",
+            format!("jobs_pruned_total {}", get(&self.jobs_pruned)),
         );
         metric(
             "sims_total",
@@ -262,6 +280,8 @@ mod tests {
             "jobs_rejected_total",
             "cache_hits_total",
             "coalesced_total",
+            "cache_evictions_total",
+            "jobs_pruned_total",
             "sims_total",
             "sim_seconds_total",
             "gen_seconds_total",

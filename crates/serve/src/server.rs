@@ -11,7 +11,9 @@
 //! 3. Workers finish the jobs already queued or running — persisting
 //!    each result to the spool — then exit when `recv` fails on the
 //!    closed, empty channel.
-//! 4. [`Server::run`] joins every worker and returns.
+//! 4. [`Server::run`] joins the in-flight connection handlers (so the
+//!    `/shutdown` caller always receives its `202`) and every worker,
+//!    then returns.
 
 use crate::api::{resolve, JobRequest};
 use crate::http::{read_request, Request, Response};
@@ -108,17 +110,21 @@ impl Server {
     /// Propagates fatal accept-loop I/O errors (per-connection errors
     /// are logged and survived).
     pub fn run(self) -> io::Result<()> {
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
         loop {
             if signals::requested() || self.daemon.is_draining() {
                 break;
             }
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    conns.retain(|h| !h.is_finished());
                     let d = self.daemon.clone();
-                    std::thread::Builder::new()
-                        .name("serve-conn".to_string())
-                        .spawn(move || handle_connection(&d, stream))
-                        .expect("spawn connection handler");
+                    conns.push(
+                        std::thread::Builder::new()
+                            .name("serve-conn".to_string())
+                            .spawn(move || handle_connection(&d, stream))
+                            .expect("spawn connection handler"),
+                    );
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(POLL_INTERVAL);
@@ -128,6 +134,13 @@ impl Server {
             }
         }
         self.daemon.begin_drain();
+        // Join in-flight connection handlers too (they are bounded by
+        // the per-connection read timeout): otherwise the process can
+        // exit while the `/shutdown` handler is still writing its 202
+        // and the client sees a reset connection.
+        for c in conns {
+            let _ = c.join();
+        }
         for w in self.workers {
             let _ = w.join();
         }
