@@ -20,6 +20,12 @@
 //! the HBM and DDR systems), so kernel-level regressions show up next
 //! to the end-to-end numbers.
 //!
+//! A second section measures **per-channel parallel stepping** inside a
+//! single simulation (DESIGN.md §3.11): the same quick-config runs with
+//! `channel_par` off vs on (the switch `REDCACHE_CHANNEL_PAR=1` maps
+//! onto), again asserting bit-identical reports, and records the
+//! single-simulation speedup and the lane count it was measured under.
+//!
 //! Results are written to `BENCH_speed.json` at the repository root
 //! through the harness's versioned `report_io` envelope.
 //!
@@ -75,14 +81,28 @@ fn kernel_counters(r: &RunReport) -> (u64, u64) {
 /// treatment, so the ratio is unbiased. The traces are shared — each
 /// repeat costs `threads` atomic increments, not a regeneration.
 fn run_timed(kind: PolicyKind, w: Workload, traces: &SharedTraces, skip: bool) -> (RunReport, f64) {
-    const REPEATS: usize = 2;
-    let mut best: Option<(RunReport, f64)> = None;
-    for _ in 0..REPEATS {
-        let cfg = SimConfig::quick(kind)
+    run_timed_cfg(
+        kind,
+        w,
+        traces,
+        SimConfig::quick(kind)
             .to_builder()
             .time_skip(skip)
             .build()
-            .expect("preset-derived config validates");
+            .expect("preset-derived config validates"),
+    )
+}
+
+fn run_timed_cfg(
+    kind: PolicyKind,
+    w: Workload,
+    traces: &SharedTraces,
+    cfg: SimConfig,
+) -> (RunReport, f64) {
+    const REPEATS: usize = 2;
+    let mut best: Option<(RunReport, f64)> = None;
+    for _ in 0..REPEATS {
+        // `SimConfig` is `Copy`; every repeat builds a fresh simulator.
         let traces = traces.clone();
         let started = Instant::now();
         let report = Simulator::new(cfg).run(traces);
@@ -175,6 +195,49 @@ fn main() {
         "\ntotal: {sims} sims  {total_event:.3}s event-driven vs {total_cycle:.3}s cycle-accurate  => {speedup:.2}x"
     );
 
+    // Single-simulation channel parallelism (DESIGN.md §3.11): the full
+    // RedCache architecture across every workload, stepped serially vs
+    // on the per-channel pool. Equality is asserted per pair, so this
+    // section doubles as the bench-side equivalence check.
+    let cp_kind = PolicyKind::Red(RedVariant::Full);
+    let cp_cfg = |par: bool| {
+        SimConfig::quick(cp_kind)
+            .to_builder()
+            .channel_par(par)
+            .build()
+            .expect("preset-derived config validates")
+    };
+    let probe = cp_cfg(true);
+    let lanes_hbm = redcache_dram::planned_lanes(true, probe.policy.hbm.topology.channels);
+    let lanes_ddr = redcache_dram::planned_lanes(true, probe.policy.ddr.topology.channels);
+    let mut cp = ChannelParBench {
+        policy: cp_kind.to_string(),
+        sims: 0,
+        hbm_channels: probe.policy.hbm.topology.channels,
+        ddr_channels: probe.policy.ddr.topology.channels,
+        lanes_hbm,
+        lanes_ddr,
+        serial_s: 0.0,
+        parallel_s: 0.0,
+        speedup: 0.0,
+    };
+    for (&w, tr) in workloads.iter().zip(&traces) {
+        let (ser, t_ser) = run_timed_cfg(cp_kind, w, tr, cp_cfg(false));
+        let (par, t_par) = run_timed_cfg(cp_kind, w, tr, cp_cfg(true));
+        assert_eq!(
+            ser, par,
+            "{cp_kind} on {w}: parallel channel stepping diverged from the serial walk"
+        );
+        cp.sims += 1;
+        cp.serial_s += t_ser;
+        cp.parallel_s += t_par;
+    }
+    cp.speedup = cp.serial_s / cp.parallel_s.max(1e-12);
+    eprintln!(
+        "channel-par ({}, {} lanes on {}ch HBM): {:.3}s serial vs {:.3}s parallel => {:.2}x",
+        cp.policy, cp.lanes_hbm, cp.hbm_channels, cp.serial_s, cp.parallel_s, cp.speedup
+    );
+
     let summary = Summary {
         schema: "bench_speed",
         schema_version: report_io::SCHEMA_VERSION,
@@ -193,6 +256,7 @@ fn main() {
             sims_per_s_event_driven: sims as f64 / total_event.max(1e-12),
             sims_per_s_cycle_accurate: sims as f64 / total_cycle.max(1e-12),
         },
+        channel_par: cp,
         per_policy: rows,
     };
     // Raw write: downstream tooling addresses this file's top-level
@@ -217,6 +281,26 @@ struct Totals {
     sims_per_s_cycle_accurate: f64,
 }
 
+/// Single-simulation channel-parallel measurement (DESIGN.md §3.11):
+/// one policy across the workload set, stepped serially vs on the
+/// per-channel pool. Honest numbers: on a one-core host the pool adds
+/// coordination cost it cannot buy back, and `speedup` comes out below
+/// 1 — the field records whatever the machine actually measured.
+#[derive(Serialize)]
+struct ChannelParBench {
+    policy: String,
+    sims: usize,
+    hbm_channels: usize,
+    ddr_channels: usize,
+    /// Lanes `DramSystem::tick` fans the HBM/DDR channels across under
+    /// `channel_par` on this host ([`redcache_dram::planned_lanes`]).
+    lanes_hbm: usize,
+    lanes_ddr: usize,
+    serial_s: f64,
+    parallel_s: f64,
+    speedup: f64,
+}
+
 #[derive(Serialize)]
 struct Summary {
     schema: &'static str,
@@ -227,5 +311,6 @@ struct Summary {
     policies: usize,
     trace_generation_s: f64,
     total: Totals,
+    channel_par: ChannelParBench,
     per_policy: Vec<PolicyRow>,
 }

@@ -14,17 +14,12 @@
 /// environment variable when set to a positive integer, otherwise
 /// [`std::thread::available_parallelism`] (falling back to 4 if the
 /// platform cannot report it).
+///
+/// The policy itself lives in [`redcache_types::jobs`] so the DRAM
+/// model's per-channel stepping pool can share it; this re-export keeps
+/// the historical `bench::pool::max_workers` call sites working.
 pub fn max_workers() -> usize {
-    if let Ok(v) = std::env::var("REDCACHE_JOBS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
+    redcache_types::jobs::max_workers()
 }
 
 /// Applies `f` to every index in `0..n` across at most `workers` OS

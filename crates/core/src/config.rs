@@ -45,6 +45,15 @@ pub struct SimConfig {
     /// perturbs the simulation itself (DESIGN.md §3.9).
     #[serde(default)]
     pub epoch_cycles: Option<Cycle>,
+    /// Step each DRAM system's channels on a worker pool inside `tick`
+    /// (DESIGN.md §3.11). Bit-exact with the serial walk, so it changes
+    /// throughput only. Off in every preset: a simulation *matrix*
+    /// already fans out one simulation per worker, and nesting pools
+    /// oversubscribes the machine. The `REDCACHE_CHANNEL_PAR`
+    /// environment variable overrides it at run time (`1` forces on,
+    /// `0` forces off) for single-simulation speed runs and A/B checks.
+    #[serde(default)]
+    pub channel_par: bool,
 }
 
 fn default_time_skip() -> bool {
@@ -66,6 +75,7 @@ impl SimConfig {
             audit_timing: false,
             time_skip: true,
             epoch_cycles: None,
+            channel_par: false,
         }
     }
 
@@ -83,6 +93,7 @@ impl SimConfig {
             audit_timing: false,
             time_skip: true,
             epoch_cycles: None,
+            channel_par: false,
         }
     }
 
@@ -219,6 +230,13 @@ impl SimConfigBuilder {
     /// Sets the epoch-recorder stride (`None` disables recording).
     pub fn epoch_cycles(mut self, stride: Option<Cycle>) -> Self {
         self.cfg.epoch_cycles = stride;
+        self
+    }
+
+    /// Toggles per-channel parallel stepping inside each DRAM system
+    /// (DESIGN.md §3.11; bit-exact either way).
+    pub fn channel_par(mut self, on: bool) -> Self {
+        self.cfg.channel_par = on;
         self
     }
 

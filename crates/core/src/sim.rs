@@ -119,6 +119,18 @@ impl Simulator {
             cfg.policy.hbm.audit = true;
             cfg.policy.ddr.audit = true;
         }
+        // Per-channel parallel stepping: the environment variable wins
+        // over the config in either direction (`1` on, `0` off), read
+        // once per simulator like REDCACHE_NO_SKIP. Propagated the same
+        // way as the audit switch above.
+        let channel_par = match std::env::var("REDCACHE_CHANNEL_PAR") {
+            Ok(v) if v == "1" => true,
+            Ok(v) if v == "0" => false,
+            _ => cfg.channel_par,
+        };
+        cfg.channel_par = channel_par;
+        cfg.policy.hbm.channel_par = channel_par;
+        cfg.policy.ddr.channel_par = channel_par;
         Self {
             cfg,
             energy_model: EnergyModel::default(),

@@ -34,6 +34,14 @@ pub(crate) struct Channel {
     /// slot, if any — consumed by [`Channel::take_completed`]. At most
     /// one per slot (one column command per slot).
     pub completed: Option<u32>,
+    /// Memoised scheduling horizon (raw, unaligned). The horizon is a
+    /// pure function of this channel's device state, which only changes
+    /// on enqueue, issued commands (incl. refresh) and write-drain
+    /// latch flips — each of which clears the cell. `None` means dirty;
+    /// a cached value is honoured only while strictly in the future.
+    /// Living here (not in a `DramSystem` side table) keeps everything
+    /// a parallel stepping lane touches inside its own `Channel`.
+    pub horizon: std::cell::Cell<Option<Cycle>>,
 }
 
 impl Channel {
@@ -55,6 +63,7 @@ impl Channel {
             write_drain_mode: false,
             rank_inflight: vec![0; ranks],
             completed: None,
+            horizon: std::cell::Cell::new(None),
         }
     }
 

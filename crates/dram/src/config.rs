@@ -25,6 +25,13 @@ pub struct DramConfig {
     /// state is allocated and the per-command cost is one branch.
     #[serde(default)]
     pub audit: bool,
+    /// Step channels on a worker pool inside [`crate::DramSystem::tick`]
+    /// (DESIGN.md §3.11). Bit-exact with the serial walk; off by default
+    /// because a simulation matrix already saturates the machine with
+    /// one-simulation-per-worker fan-out. Sized by `REDCACHE_JOBS` /
+    /// available parallelism, capped at the channel count.
+    #[serde(default)]
+    pub channel_par: bool,
 }
 
 impl DramConfig {
@@ -38,6 +45,7 @@ impl DramConfig {
             refresh_enabled: true,
             queue_depth: 32,
             audit: false,
+            channel_par: false,
         }
     }
 
@@ -51,6 +59,7 @@ impl DramConfig {
             refresh_enabled: true,
             queue_depth: 32,
             audit: false,
+            channel_par: false,
         }
     }
 
@@ -143,6 +152,12 @@ impl DramConfigBuilder {
     /// Attaches the runtime timing audit.
     pub fn audit(mut self, on: bool) -> Self {
         self.cfg.audit = on;
+        self
+    }
+
+    /// Enables the per-channel stepping pool (DESIGN.md §3.11).
+    pub fn channel_par(mut self, on: bool) -> Self {
+        self.cfg.channel_par = on;
         self
     }
 

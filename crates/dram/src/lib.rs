@@ -52,6 +52,7 @@ mod audit;
 mod bank;
 mod channel;
 mod config;
+mod par;
 mod queue;
 pub mod reference;
 mod scheduler;
@@ -63,6 +64,6 @@ mod topology;
 pub use audit::{AuditStats, CmdHistogram, TimingAuditor, TimingRule, ViolationRecord, ALL_RULES};
 pub use config::{DramConfig, DramConfigBuilder};
 pub use stats::{DramEnergyEvents, DramStats};
-pub use system::{Completion, DramSystem, IssuedCmd, IssuedKind, TxnId, TxnKind};
+pub use system::{planned_lanes, Completion, DramSystem, IssuedCmd, IssuedKind, TxnId, TxnKind};
 pub use timing::TimingParams;
 pub use topology::{AddressMapping, DramLoc, Topology};

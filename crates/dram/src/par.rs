@@ -1,0 +1,320 @@
+//! A persistent fan-out/join pool for per-channel slot stepping
+//! (DESIGN.md §3.11).
+//!
+//! [`DramSystem::tick`](crate::DramSystem::tick) runs one *round* per
+//! command slot when channel parallelism is enabled: every channel's
+//! scheduler advance is an independent item, claimed off a shared
+//! work-stealing counter by the pool's workers *and* the calling
+//! thread. Rounds are far too frequent for `std::thread::scope` (a
+//! spawn/join per slot costs microseconds; a slot costs tens of
+//! nanoseconds), so the workers are long-lived: they spin briefly
+//! watching a round counter, then park with a timeout.
+//!
+//! # Round protocol
+//!
+//! Each round is a freshly allocated [`Round`] published under a mutex
+//! and announced by bumping an epoch counter. A worker that wakes up
+//! clones the `Arc<Round>` it finds published and pulls items until the
+//! round's claim counter is exhausted. [`ChannelPool::run`] returns only
+//! once `done == n`, i.e. after the last item's closure has finished —
+//! so the closure reference smuggled into the round (its lifetime
+//! erased) is dereferenced strictly while the real closure is alive. A
+//! straggler that wakes long after its round ended still holds a
+//! consistent (if stale) `Round` whose claim counter is exhausted, so it
+//! can never touch the dangling pointer, and it can never claim items
+//! from a newer round because every round gets fresh counters.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Busy-wait iterations a worker spends watching for a new round before
+/// parking. Slots are dense while DRAM traffic is flowing (one round
+/// every few nanoseconds of host time), so a short spin catches the
+/// next round without a syscall; the park timeout below bounds the cost
+/// of a compute fast-forward during which no rounds arrive.
+const SPIN_BUDGET: u32 = 4096;
+
+/// How long a parked worker sleeps before re-checking the epoch on its
+/// own. Unparks from [`ChannelPool::run`] cut this short; the timeout
+/// only covers a lost wakeup race.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// One fan-out round: the type-erased item closure plus this round's
+/// claim/completion counters.
+struct Round {
+    /// `&(dyn Fn(usize) + Sync)` with its lifetime erased. Dereferenced
+    /// only by threads that claim an item, which the counter protocol
+    /// restricts to the span of [`ChannelPool::run`]'s borrow.
+    f: *const (dyn Fn(usize) + Sync),
+    /// Number of items in the round.
+    n: usize,
+    /// Next unclaimed item index; claims past `n` mean "round over".
+    next: AtomicUsize,
+    /// Items whose closure call has returned.
+    done: AtomicUsize,
+}
+
+// SAFETY: the raw closure pointer is only dereferenced under the round
+// protocol described in the module docs; everything else is atomics.
+unsafe impl Send for Round {}
+unsafe impl Sync for Round {}
+
+impl Round {
+    /// Pulls items until the claim counter runs out. Called by workers
+    /// and by the round's publisher alike.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return;
+            }
+            // SAFETY: a claimed index proves the round is still live
+            // (see module docs), so the erased closure is valid.
+            unsafe { (*self.f)(i) };
+            self.done.fetch_add(1, Ordering::Release);
+        }
+    }
+}
+
+struct Shared {
+    /// Round announcement counter; a worker re-reads `current` whenever
+    /// this moves.
+    epoch: AtomicUsize,
+    /// The currently (or most recently) published round.
+    current: Mutex<Option<Arc<Round>>>,
+    /// Cleared by `Drop` to shut the workers down.
+    live: AtomicBool,
+}
+
+/// The persistent per-channel stepping pool: `workers` parked OS
+/// threads plus the calling thread, joined by [`ChannelPool::for_each_pair`].
+pub(crate) struct ChannelPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ChannelPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+/// A raw pointer that may cross the closure's `Sync` boundary: each
+/// round item dereferences a disjoint element, so no two threads alias.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The `i`-th element's pointer. Going through `&self` (instead of
+    /// the raw field) makes edition-2021 closures capture the whole
+    /// wrapper, keeping its `Sync` impl in force.
+    fn at(&self, i: usize) -> *mut T {
+        unsafe { self.0.add(i) }
+    }
+}
+
+impl ChannelPool {
+    /// Spawns `workers` extra threads (the caller is always lane 0, so
+    /// `workers == lanes - 1`).
+    pub(crate) fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            epoch: AtomicUsize::new(0),
+            current: Mutex::new(None),
+            live: AtomicBool::new(true),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let sh = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("dram-ch-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .expect("spawn channel worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Number of extra worker threads (lanes minus the caller).
+    pub(crate) fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `f(i, &mut a[i], &mut b[i])` for every index, fanned out
+    /// over the pool, and returns when all items are done. `f` must be
+    /// safe to call concurrently for distinct indices.
+    pub(crate) fn for_each_pair<A: Send, B: Send>(
+        &self,
+        a: &mut [A],
+        b: &mut [B],
+        f: impl Fn(usize, &mut A, &mut B) + Sync,
+    ) {
+        assert_eq!(a.len(), b.len(), "paired slices must match");
+        let pa = SendPtr(a.as_mut_ptr());
+        let pb = SendPtr(b.as_mut_ptr());
+        let g = move |i: usize| {
+            // SAFETY: the round protocol hands each index to exactly one
+            // thread, so these two &muts never alias, and both slices
+            // outlive `run` (they are borrowed across the call).
+            unsafe { f(i, &mut *pa.at(i), &mut *pb.at(i)) }
+        };
+        self.run(a.len(), &g);
+    }
+
+    /// Publishes one round and participates until it completes.
+    fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        // SAFETY: erasing the closure's lifetime is sound because this
+        // function does not return until `done == n` (so the pointer is
+        // only dereferenced while `f` is borrowed) and stale rounds can
+        // never claim an item (module docs).
+        let f = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        } as *const (dyn Fn(usize) + Sync);
+        let round = Arc::new(Round {
+            f,
+            n,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+        });
+        *self.shared.current.lock().expect("pool mutex poisoned") = Some(round.clone());
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        for h in &self.handles {
+            h.thread().unpark();
+        }
+        round.work();
+        // Acquire pairs with each item's Release increment: once every
+        // item is done, all writes made by the closures are visible.
+        // Spin briefly, then yield: on an oversubscribed (or one-core)
+        // host the worker holding the last item needs the CPU more than
+        // this wait loop does.
+        let mut spins = 0u32;
+        while round.done.load(Ordering::Acquire) < n {
+            spins += 1;
+            if spins < SPIN_BUDGET {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+impl Drop for ChannelPool {
+    fn drop(&mut self) {
+        self.shared.live.store(false, Ordering::Release);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        for h in &self.handles {
+            h.thread().unpark();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen = 0usize;
+    loop {
+        let e = shared.epoch.load(Ordering::Acquire);
+        if !shared.live.load(Ordering::Acquire) {
+            return;
+        }
+        if e == seen {
+            let mut spins = 0u32;
+            while shared.epoch.load(Ordering::Acquire) == seen
+                && shared.live.load(Ordering::Acquire)
+            {
+                spins += 1;
+                if spins < SPIN_BUDGET {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::park_timeout(PARK_TIMEOUT);
+                }
+            }
+            continue;
+        }
+        seen = e;
+        let round = shared
+            .current
+            .lock()
+            .expect("pool mutex poisoned")
+            .clone();
+        if let Some(r) = round {
+            r.work();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn fans_out_disjoint_mutation() {
+        let pool = ChannelPool::new(3);
+        let mut a: Vec<u64> = (0..64).collect();
+        let mut b: Vec<u64> = vec![0; 64];
+        for round in 0..100u64 {
+            pool.for_each_pair(&mut a, &mut b, |i, x, y| {
+                *x += 1;
+                *y = *x * 2 + i as u64 + round;
+            });
+        }
+        for (i, (&x, &y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x, i as u64 + 100);
+            assert_eq!(y, x * 2 + i as u64 + 99);
+        }
+    }
+
+    #[test]
+    fn zero_and_single_item_rounds() {
+        let pool = ChannelPool::new(1);
+        let mut a: [u8; 0] = [];
+        let mut b: [u8; 0] = [];
+        pool.for_each_pair(&mut a, &mut b, |_, _, _| unreachable!());
+        let mut a = [1u8];
+        let mut b = [0u8];
+        pool.for_each_pair(&mut a, &mut b, |_, x, y| *y = *x + 1);
+        assert_eq!(b[0], 2);
+    }
+
+    #[test]
+    fn closures_actually_run_on_multiple_threads_eventually() {
+        // Not guaranteed per-round (the caller may win every claim),
+        // but across many rounds with a sleeping item the workers
+        // must participate.
+        let pool = ChannelPool::new(2);
+        let ids = Mutex::new(std::collections::HashSet::new());
+        let mut a = [0u8; 8];
+        let mut b = [0u8; 8];
+        for _ in 0..50 {
+            pool.for_each_pair(&mut a, &mut b, |_, _, _| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(Duration::from_micros(50));
+            });
+        }
+        assert!(ids.lock().unwrap().len() >= 2, "pool never participated");
+    }
+
+    #[test]
+    fn drop_joins_cleanly_even_right_after_a_round() {
+        let counter = AtomicU64::new(0);
+        {
+            let pool = ChannelPool::new(2);
+            let mut a = [0u8; 4];
+            let mut b = [0u8; 4];
+            pool.for_each_pair(&mut a, &mut b, |_, _, _| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

@@ -4,8 +4,11 @@
 use crate::audit::{AuditStats, TimingAuditor};
 use crate::channel::Channel;
 use crate::config::DramConfig;
+use crate::par::ChannelPool;
+use crate::queue::TxnCold;
 use crate::scheduler::schedule_slot;
 use crate::stats::DramStats;
+use crate::timing::TimingParams;
 use crate::topology::{decode, DramLoc};
 use redcache_types::{Cycle, PhysAddr};
 use serde::{Deserialize, Serialize};
@@ -91,16 +94,107 @@ pub struct DramSystem {
     /// skips, compute fast-forwards — are back-filled by [`Self::sync_to`]
     /// so slot accounting is independent of how time is advanced.
     next_slot: Cycle,
-    /// Memoised per-channel scheduling horizons (raw, unaligned). A
-    /// channel's horizon is a pure function of its device state, which
-    /// only changes on enqueue, issued commands (incl. refresh) and
-    /// write-drain latch flips — each of which clears that channel's
-    /// cell. `None` means dirty; a cached value is honoured only while
-    /// it is still strictly in the future.
-    ch_horizon: Vec<std::cell::Cell<Option<Cycle>>>,
     /// Present only when the runtime timing audit is enabled; boxed so
     /// the audit-off system carries a single pointer of overhead.
     auditor: Option<Box<TimingAuditor>>,
+    /// The per-channel stepping pool, present when
+    /// [`DramConfig::channel_par`] asked for one and the topology has
+    /// more than one channel (DESIGN.md §3.11). `None` means the serial
+    /// walk.
+    par: Option<ChannelPool>,
+    /// One scratch sink per channel for the parallel walk; merged into
+    /// the global buffers in channel order after each fan-out so the
+    /// observable streams match the serial walk byte for byte.
+    par_scratch: Vec<ChannelScratch>,
+}
+
+/// Private per-lane sink for one channel's slot advance: everything
+/// `channel_slot` would have written into the system-wide buffers,
+/// deferred so lanes never contend and the merge order is deterministic.
+#[derive(Debug, Default)]
+struct ChannelScratch {
+    stats: DramStats,
+    issued: Vec<IssuedCmd>,
+    completed: Option<(TxnKind, TxnCold)>,
+    window_len: u64,
+    was_empty: bool,
+}
+
+/// Lane policy for per-channel parallel stepping (DESIGN.md §3.11):
+/// how many lanes [`DramSystem::tick`] fans channels across, given the
+/// `channel_par` knob and the channel count. An explicit
+/// `REDCACHE_JOBS` pin is honoured verbatim (so `REDCACHE_JOBS=1`
+/// forces the serial walk for bisection); otherwise an enabled knob
+/// guarantees at least two lanes even on a single-CPU host, keeping
+/// the parallel code path exercised wherever the equivalence suites
+/// run. Public so benches report the lane count they measured under
+/// without re-deriving the policy.
+pub fn planned_lanes(channel_par: bool, channels: usize) -> usize {
+    if channel_par && channels > 1 {
+        match redcache_types::jobs::explicit_jobs() {
+            Some(j) => j.min(channels),
+            None => redcache_types::jobs::max_workers().clamp(2, channels),
+        }
+    } else {
+        1
+    }
+}
+
+/// One channel's advance for one command slot — the exact per-channel
+/// body of the serial walk, shared verbatim by the parallel lanes
+/// (DESIGN.md §3.11). It touches only `ch` plus the caller-supplied
+/// stat/command sinks, which is what makes disjoint channels safe to
+/// run concurrently. Returns the transaction retired by this slot's
+/// column command, if any (at most one per slot).
+fn channel_slot(
+    ch: &mut Channel,
+    ci: usize,
+    timing: &TimingParams,
+    refresh_enabled: bool,
+    bytes_per_burst: usize,
+    now: Cycle,
+    stats: &mut DramStats,
+    issued_cmds: &mut Vec<IssuedCmd>,
+) -> Option<(TxnKind, TxnCold)> {
+    if ch.q.is_empty() {
+        // Only a due refresh could issue on an idle channel; skip the
+        // full scheduling pass otherwise — but still latch what that
+        // pass would have latched: with no queued writes the drain
+        // hysteresis always resolves to off.
+        if ch.write_drain_mode {
+            ch.write_drain_mode = false;
+            ch.horizon.set(None);
+        }
+        let refresh_due = refresh_enabled
+            && ch
+                .ranks
+                .iter()
+                .any(|r| crate::scheduler::rank_refresh_due(r, now));
+        if !refresh_due {
+            return None;
+        }
+    }
+    let drain_before = ch.write_drain_mode;
+    let cmds_mark = issued_cmds.len();
+    let outcome = schedule_slot(ch, ci, timing, now, bytes_per_burst, stats, issued_cmds);
+    // Harvest the finished transaction, if any. At most one can
+    // complete per slot (one column command), and the scheduler
+    // recorded its slab index — retirement is an O(1) unlink that
+    // promotes the oldest waiting transaction into the freed window
+    // slot, preserving FR-FCFS age priority.
+    let completed = if matches!(
+        outcome,
+        crate::scheduler::SlotOutcome::Issued(IssuedKind::Read)
+            | crate::scheduler::SlotOutcome::Issued(IssuedKind::Write)
+    ) {
+        ch.take_completed()
+    } else {
+        None
+    };
+    if ch.write_drain_mode != drain_before || issued_cmds.len() > cmds_mark {
+        ch.horizon.set(None);
+    }
+    completed
 }
 
 impl DramSystem {
@@ -122,6 +216,15 @@ impl DramSystem {
         let auditor = cfg
             .audit
             .then(|| Box::new(TimingAuditor::new(&cfg.topology, cfg.timing)));
+        let lanes = planned_lanes(cfg.channel_par, cfg.topology.channels);
+        let par = (lanes > 1).then(|| ChannelPool::new(lanes - 1));
+        let par_scratch = if par.is_some() {
+            (0..cfg.topology.channels)
+                .map(|_| ChannelScratch::default())
+                .collect()
+        } else {
+            Vec::new()
+        };
         Self {
             cfg,
             channels,
@@ -132,11 +235,16 @@ impl DramSystem {
             pending: 0,
             record_cmds: false,
             next_slot: 0,
-            ch_horizon: (0..cfg.topology.channels)
-                .map(|_| std::cell::Cell::new(None))
-                .collect(),
             auditor,
+            par,
+            par_scratch,
         }
+    }
+
+    /// Number of stepping lanes [`DramSystem::tick`] fans channels
+    /// across (1 = the serial walk).
+    pub fn parallel_lanes(&self) -> usize {
+        self.par.as_ref().map_or(1, |p| p.workers() + 1)
     }
 
     /// Enables or disables the runtime timing audit. Enabling constructs
@@ -207,10 +315,11 @@ impl DramSystem {
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
         let loc = self.decode_addr(addr);
-        self.channels[loc.channel].push(id, kind, loc, bursts, meta, now);
+        let ch = &mut self.channels[loc.channel];
+        ch.push(id, kind, loc, bursts, meta, now);
+        ch.horizon.set(None);
         self.stats.txns_enqueued += 1;
         self.pending += 1;
-        self.ch_horizon[loc.channel].set(None);
         id
     }
 
@@ -272,7 +381,7 @@ impl DramSystem {
         self.stats.energy.wr_bursts += 1;
         self.stats.bytes_written += self.cfg.topology.bytes_per_burst as u64;
         self.stats.bus_busy_cycles += t.t_bl;
-        self.ch_horizon[loc.channel].set(None);
+        self.channels[loc.channel].horizon.set(None);
     }
 
     /// True when the rank serving `addr` is refreshing at `now`
@@ -336,12 +445,12 @@ impl DramSystem {
         let d = self.cfg.timing.cmd_clock_divisor;
         let next_slot_after_now = (now / d + 1) * d;
         let mut earliest = Cycle::MAX;
-        for (ch, cell) in self.channels.iter().zip(&self.ch_horizon) {
+        for ch in &self.channels {
             // A channel's horizon only moves when its device state
             // changes (enqueue, issued commands, drain-latch flips);
             // between those events the memoised value keeps answering,
             // as long as it is still strictly in the future.
-            let c = match cell.get() {
+            let c = match ch.horizon.get() {
                 Some(v) if v > now => v,
                 _ => {
                     let v = crate::scheduler::channel_next_event(
@@ -350,7 +459,7 @@ impl DramSystem {
                         self.cfg.refresh_enabled,
                         now,
                     );
-                    cell.set(Some(v));
+                    ch.horizon.set(Some(v));
                     v
                 }
             };
@@ -381,64 +490,91 @@ impl DramSystem {
         let audit_mark = self.issued_cmds.len();
         let mut all_empty = true;
         let mut occupancy: u64 = 0;
-        for ci in 0..self.channels.len() {
-            let ch = &mut self.channels[ci];
-            occupancy += ch.q.window_len() as u64;
-            if ch.q.is_empty() {
-                // Only a due refresh could issue on an idle channel; skip
-                // the full scheduling pass otherwise — but still latch
-                // what that pass would have latched: with no queued
-                // writes the drain hysteresis always resolves to off.
-                if ch.write_drain_mode {
-                    ch.write_drain_mode = false;
-                    self.ch_horizon[ci].set(None);
-                }
-                let refresh_due = self.cfg.refresh_enabled
-                    && ch
-                        .ranks
-                        .iter()
-                        .any(|r| crate::scheduler::rank_refresh_due(r, now));
-                if !refresh_due {
-                    continue;
-                }
-            } else {
-                all_empty = false;
+        // Fan out only when at least two channels have queued work; a
+        // slot with one busy channel (or none) runs the same
+        // `channel_slot` inline. The execution venue never affects the
+        // numbers — only where the per-channel writes land first.
+        let busy = self.channels.iter().filter(|c| !c.q.is_empty()).count();
+        let Self {
+            cfg,
+            channels,
+            completions,
+            issued_cmds,
+            stats,
+            pending,
+            par,
+            par_scratch,
+            ..
+        } = self;
+        let cfg = &*cfg;
+        if busy >= 2 && par.is_some() {
+            if let Some(pool) = par.as_ref() {
+                pool.for_each_pair(channels, par_scratch, |ci, ch, sc| {
+                    sc.window_len = ch.q.window_len() as u64;
+                    sc.was_empty = ch.q.is_empty();
+                    sc.stats = DramStats::default();
+                    sc.issued.clear();
+                    sc.completed = channel_slot(
+                        ch,
+                        ci,
+                        &cfg.timing,
+                        cfg.refresh_enabled,
+                        cfg.topology.bytes_per_burst,
+                        now,
+                        &mut sc.stats,
+                        &mut sc.issued,
+                    );
+                });
             }
-            let drain_before = ch.write_drain_mode;
-            let cmds_mark = self.issued_cmds.len();
-            let outcome = schedule_slot(
-                ch,
-                ci,
-                &self.cfg.timing,
-                now,
-                self.cfg.topology.bytes_per_burst,
-                &mut self.stats,
-                &mut self.issued_cmds,
-            );
-            // Harvest the finished transaction, if any. At most one can
-            // complete per slot (one column command), and the scheduler
-            // recorded its slab index — retirement is an O(1) unlink
-            // that promotes the oldest waiting transaction into the
-            // freed window slot, preserving FR-FCFS age priority.
-            if matches!(
-                outcome,
-                crate::scheduler::SlotOutcome::Issued(IssuedKind::Read)
-                    | crate::scheduler::SlotOutcome::Issued(IssuedKind::Write)
-            ) {
-                if let Some((kind, cold)) = ch.take_completed() {
-                    self.completions.push(Completion {
+            // Deterministic merge in channel-index order: the command
+            // stream, completion order and stat accumulation are exactly
+            // what the serial walk would have produced (every stat is a
+            // sum of per-channel u64 deltas).
+            for sc in par_scratch.iter_mut() {
+                occupancy += sc.window_len;
+                if !sc.was_empty {
+                    all_empty = false;
+                }
+                stats.add(&sc.stats);
+                issued_cmds.extend_from_slice(&sc.issued);
+                if let Some((kind, cold)) = sc.completed.take() {
+                    completions.push(Completion {
                         txn: cold.id,
                         meta: cold.meta,
                         done_at: cold.data_done_at,
                         kind,
                     });
-                    self.stats.txns_completed += 1;
-                    self.stats.latency_sum += cold.data_done_at.saturating_sub(cold.enqueued_at);
-                    self.pending -= 1;
+                    stats.txns_completed += 1;
+                    stats.latency_sum += cold.data_done_at.saturating_sub(cold.enqueued_at);
+                    *pending -= 1;
                 }
             }
-            if ch.write_drain_mode != drain_before || self.issued_cmds.len() > cmds_mark {
-                self.ch_horizon[ci].set(None);
+        } else {
+            for (ci, ch) in channels.iter_mut().enumerate() {
+                occupancy += ch.q.window_len() as u64;
+                if !ch.q.is_empty() {
+                    all_empty = false;
+                }
+                if let Some((kind, cold)) = channel_slot(
+                    ch,
+                    ci,
+                    &cfg.timing,
+                    cfg.refresh_enabled,
+                    cfg.topology.bytes_per_burst,
+                    now,
+                    stats,
+                    issued_cmds,
+                ) {
+                    completions.push(Completion {
+                        txn: cold.id,
+                        meta: cold.meta,
+                        done_at: cold.data_done_at,
+                        kind,
+                    });
+                    stats.txns_completed += 1;
+                    stats.latency_sum += cold.data_done_at.saturating_sub(cold.enqueued_at);
+                    *pending -= 1;
+                }
             }
         }
         self.stats.slot_samples += 1;

@@ -6,7 +6,7 @@
 //! encoding, no keep-alive: the API is line-of-sight
 //! (localhost/cluster) tooling, not an internet-facing edge.
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
 
 /// Upper bound on an accepted request body (a job submission is a few
 /// hundred bytes; 1 MiB leaves room for generous synthetic specs).
@@ -42,6 +42,28 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
+/// Reads one `\n`-terminated line holding at most `cap` bytes, through
+/// a [`std::io::Take`]-bounded view of `r` so a client streaming bytes
+/// with no newline is cut off after `cap + 1` bytes instead of growing
+/// the line buffer without limit. Returns `Ok(None)` on a clean EOF
+/// before any byte, and `InvalidData` (`too_big`) once the cap is
+/// exceeded.
+fn read_line_capped(
+    r: &mut impl BufRead,
+    cap: usize,
+    too_big: &str,
+) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    let n = r.by_ref().take(cap as u64 + 1).read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n > cap {
+        return Err(bad(too_big));
+    }
+    Ok(Some(line))
+}
+
 /// Reads one request from `r`. Returns `Ok(None)` on a clean EOF
 /// before any bytes (client connected and went away).
 ///
@@ -50,10 +72,9 @@ fn bad(msg: &str) -> io::Error {
 /// Propagates I/O errors and returns `InvalidData` for malformed or
 /// oversized requests.
 pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
-    let mut line = String::new();
-    if r.read_line(&mut line)? == 0 {
+    let Some(line) = read_line_capped(r, MAX_HEADER_BYTES, "request line too large")? else {
         return Ok(None);
-    }
+    };
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or("").to_ascii_uppercase();
     let target = parts.next().unwrap_or("").to_string();
@@ -65,15 +86,12 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
     let mut headers = Vec::new();
     let mut total = line.len();
     loop {
-        let mut h = String::new();
-        let n = r.read_line(&mut h)?;
-        if n == 0 {
-            return Err(bad("connection closed inside headers"));
-        }
-        total += n;
-        if total > MAX_HEADER_BYTES {
-            return Err(bad("headers too large"));
-        }
+        // Each header line is individually bounded by the combined
+        // budget left, so neither one endless line nor many modest
+        // ones can exceed MAX_HEADER_BYTES in aggregate.
+        let h = read_line_capped(r, MAX_HEADER_BYTES - total, "headers too large")?
+            .ok_or_else(|| bad("connection closed inside headers"))?;
+        total += h.len();
         let h = h.trim_end();
         if h.is_empty() {
             break;
@@ -84,16 +102,27 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
     }
 
     // Absent Content-Length means no body; a present-but-unparseable
-    // one is a malformed request, not a body-less one.
-    let len = match headers
+    // one is a malformed request, not a body-less one. Repeated copies
+    // must agree: silently honouring the first of two conflicting
+    // lengths is classic request-smuggling material (RFC 9110 §8.6),
+    // so a mismatch is a 400.
+    let mut len: Option<usize> = None;
+    for v in headers
         .iter()
-        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .filter(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| v)
     {
-        None => 0,
-        Some((_, v)) => v
+        let parsed = v
             .parse::<usize>()
-            .map_err(|_| bad("invalid Content-Length header"))?,
-    };
+            .map_err(|_| bad("invalid Content-Length header"))?;
+        match len {
+            Some(prev) if prev != parsed => {
+                return Err(bad("conflicting Content-Length headers"));
+            }
+            _ => len = Some(parsed),
+        }
+    }
+    let len = len.unwrap_or(0);
     if len > MAX_BODY_BYTES {
         return Err(bad("body too large"));
     }
@@ -235,6 +264,80 @@ mod tests {
     fn truncated_body_is_an_error() {
         let raw = b"POST /jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
         assert!(read_request(&mut BufReader::new(&raw[..])).is_err());
+    }
+
+    #[test]
+    fn endless_request_line_is_rejected_with_bounded_memory() {
+        // An infinite newline-free stream: without the Take bound this
+        // read_line would grow the buffer forever. Termination of this
+        // test *is* the bounded-memory proof — at most
+        // MAX_HEADER_BYTES + 1 bytes are ever pulled.
+        let mut r = BufReader::new(std::io::repeat(b'A'));
+        let err = read_request(&mut r).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("request line"), "{err}");
+    }
+
+    #[test]
+    fn megabyte_request_line_is_rejected() {
+        // The acceptance-criteria shape: 1 MiB with no newline.
+        let raw = vec![b'A'; 1 << 20];
+        let err = read_request(&mut BufReader::new(&raw[..])).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn request_line_just_under_the_cap_still_parses() {
+        // A huge-but-legal target: the cap applies to the line, not to
+        // any fixed token budget.
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'x', 1000));
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path.len(), 1001);
+    }
+
+    #[test]
+    fn endless_header_line_is_rejected() {
+        let mut raw = b"GET / HTTP/1.1\r\nx-junk: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'B', MAX_HEADER_BYTES + 10));
+        let err = read_request(&mut BufReader::new(&raw[..])).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("headers"), "{err}");
+    }
+
+    #[test]
+    fn many_modest_header_lines_still_hit_the_aggregate_cap() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        let line = format!("x-h: {}\r\n", "c".repeat(1000));
+        for _ in 0..(MAX_HEADER_BYTES / line.len() + 2) {
+            raw.extend_from_slice(line.as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let err = read_request(&mut BufReader::new(&raw[..])).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        let raw = b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nbody!";
+        let err = read_request(&mut BufReader::new(&raw[..])).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("Content-Length"), "{err}");
+    }
+
+    #[test]
+    fn agreeing_duplicate_content_lengths_are_accepted() {
+        // RFC 9110 §8.6 lets a recipient accept repeated identical
+        // values; only disagreement is smuggling material.
+        let raw = b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"body");
     }
 
     #[test]

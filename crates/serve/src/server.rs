@@ -24,10 +24,29 @@ use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often the accept loop checks the shutdown/drain flags.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Per-direction socket timeout for connection handlers. Both
+/// directions are bounded: a silent sender must not wedge
+/// `read_request` and a stalled reader must not wedge
+/// `Response::write_to`.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Extra allowance in the drain-time assertion for scheduling noise on
+/// a loaded machine.
+const DRAIN_SLACK: Duration = Duration::from_secs(5);
+
+/// Applies both I/O timeouts to one accepted connection. A handler's
+/// life is bounded by (roughly) one read timeout plus one write
+/// timeout; `Server::run` asserts that bound when draining.
+fn configure_stream(stream: &TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    Ok(())
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -135,12 +154,21 @@ impl Server {
         }
         self.daemon.begin_drain();
         // Join in-flight connection handlers too (they are bounded by
-        // the per-connection read timeout): otherwise the process can
-        // exit while the `/shutdown` handler is still writing its 202
-        // and the client sees a reset connection.
+        // the per-connection read and write timeouts): otherwise the
+        // process can exit while the `/shutdown` handler is still
+        // writing its 202 and the client sees a reset connection.
+        let drain_started = Instant::now();
         for c in conns {
             let _ = c.join();
         }
+        let drained_in = drain_started.elapsed();
+        // A handler that outlives read+write timeout (plus slack) means
+        // some socket path lost its timeout — exactly the class of bug
+        // the missing set_write_timeout was.
+        debug_assert!(
+            drained_in <= IO_TIMEOUT * 2 + DRAIN_SLACK,
+            "connection drain took {drained_in:?}; a handler is unbounded"
+        );
         for w in self.workers {
             let _ = w.join();
         }
@@ -149,7 +177,9 @@ impl Server {
 }
 
 fn handle_connection(daemon: &Arc<Daemon>, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    if configure_stream(&stream).is_err() {
+        return;
+    }
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -265,5 +295,26 @@ fn cancel(daemon: &Arc<Daemon>, id: u64) -> Response {
         Ok(view) => Response::json(200, &view),
         Err(None) => Response::error(404, "no such job"),
         Err(Some(reason)) => Response::error(409, &reason),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn configure_stream_bounds_both_directions() {
+        // The write-timeout half of this pair was missing once: a
+        // stalled reader could wedge a connection thread forever inside
+        // `Response::write_to`. Pin both directions.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        configure_stream(&server_side).unwrap();
+        assert_eq!(server_side.read_timeout().unwrap(), Some(IO_TIMEOUT));
+        assert_eq!(server_side.write_timeout().unwrap(), Some(IO_TIMEOUT));
+        drop(client);
     }
 }

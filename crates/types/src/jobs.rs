@@ -1,0 +1,52 @@
+//! Worker-count policy shared by every parallel section in the
+//! workspace.
+//!
+//! The run-matrix harness (`redcache-bench`), the serving daemon's
+//! worker pool, and the per-channel stepping pool inside
+//! [`DramSystem`](https://docs.rs) all size themselves through the same
+//! two questions: *how many workers may I use?* ([`max_workers`]) and
+//! *did the operator pin that number explicitly?* ([`explicit_jobs`]).
+//! Keeping the policy here — in the leaf crate everything already
+//! depends on — avoids a dependency cycle between `dram` and `bench`.
+
+/// Maximum worker threads for a parallel section: the `REDCACHE_JOBS`
+/// environment variable when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (falling back to 4 if the
+/// platform cannot report it).
+pub fn max_workers() -> usize {
+    explicit_jobs().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    })
+}
+
+/// The operator-pinned worker count: `Some(n)` when `REDCACHE_JOBS` is
+/// set to a positive integer, `None` when the variable is absent or
+/// unparseable. Callers that would otherwise *round up* a machine-derived
+/// count (e.g. to keep a parallel code path exercised on a small host)
+/// must respect an explicit pin verbatim — `REDCACHE_JOBS=1` has to mean
+/// strictly serial execution for bisection to work.
+pub fn explicit_jobs() -> Option<usize> {
+    let v = std::env::var("REDCACHE_JOBS").ok()?;
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_workers_is_positive() {
+        // The environment is shared with other test threads, so only
+        // the invariant — never zero — is checkable here.
+        assert!(max_workers() >= 1);
+        if let Some(n) = explicit_jobs() {
+            assert!(n >= 1);
+            assert_eq!(max_workers(), n);
+        }
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod jobs;
 pub mod req;
 pub mod stats;
 
