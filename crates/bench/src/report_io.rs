@@ -85,6 +85,30 @@ pub fn write_json_raw<T: Serialize>(path: &Path, name: &str, value: &T) {
     }
 }
 
+/// Writes an already-rendered JSON payload to `path`, wrapped in the
+/// [`Saved`] envelope under the given `schema` name — the serde-free
+/// sibling of [`write_json_at`] for writers (like `redcache-bomber`)
+/// that assemble their JSON by hand. `data_json` must be a valid JSON
+/// value; it is embedded verbatim, indented to match the envelope.
+/// Best-effort, like the other writers.
+pub fn write_raw_envelope(path: &Path, schema: &str, data_json: &str) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() && std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+    }
+    // Match serde_json::to_string_pretty's 2-space indentation so the
+    // artifact is indistinguishable from an enveloped serde write.
+    let data = data_json.trim().replace('\n', "\n  ");
+    let out = format!(
+        "{{\n  \"schema\": \"{schema}\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"data\": {data}\n}}"
+    );
+    match std::fs::write(path, out) {
+        Ok(()) => eprintln!("(saved {})", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 /// Writes `items` as JSON Lines (one compact object per line) to
 /// `path`. Best-effort, like the JSON writers.
 pub fn write_jsonl<T: Serialize>(path: &Path, items: &[T]) {
@@ -290,6 +314,20 @@ mod tests {
         let c = json_key(&("HIST", 1u64, 3u64));
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn raw_envelope_round_trips_through_the_standard_reader() {
+        let dir = std::env::temp_dir().join("redcache_report_io_test_raw");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("raw.json");
+        write_raw_envelope(&path, "bench_serve", "[7,\n  8,\n  9]");
+        let back: Vec<u64> = read_json(&path).expect("raw envelope loads");
+        assert_eq!(back, [7, 8, 9]);
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.contains("\"schema\": \"bench_serve\""));
+        assert!(s.contains("\"schema_version\": 1"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

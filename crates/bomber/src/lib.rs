@@ -1,0 +1,657 @@
+//! **redcache-bomber** — an open-loop HTTP load generator for the
+//! `redcache-served` daemon.
+//!
+//! *Open-loop* means requests are emitted on a fixed schedule (`rate`
+//! requests per second, spread across `connections` keep-alive
+//! connections) regardless of how fast the server answers, and every
+//! latency is measured from the request's **scheduled** start time,
+//! not from when a worker finally got around to sending it. A
+//! closed-loop generator silently slows down when the server does and
+//! so under-reports tail latency (coordinated omission); this one
+//! charges the server for the queueing it causes.
+//!
+//! The crate is deliberately dependency-light: the wire client is
+//! hand-rolled on `std::net` and every artifact is rendered to JSON by
+//! hand (`redcache_bench::report_io::write_raw_envelope` supplies the
+//! versioned envelope), so the bomber itself cannot perturb the system
+//! under test with serialization overhead or allocator churn beyond
+//! what the workload requires.
+
+#![warn(missing_docs)]
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A log-linear latency histogram (microseconds): exact below 32 µs,
+/// then 32 sub-buckets per power of two. Worst-case quantization error
+/// is one sub-bucket, ~3.1% of the value — plenty for p50/p99/p999
+/// reporting without per-sample storage.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS; // 32
+const GROUPS: usize = 64 - SUB_BITS as usize; // exponents 5..=63, plus the linear group
+const BUCKETS: usize = SUB * (GROUPS + 1);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max: 0,
+        }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < SUB as u64 {
+            return value as usize;
+        }
+        let top = 63 - value.leading_zeros(); // >= SUB_BITS
+        let group = (top - SUB_BITS + 1) as usize;
+        let sub = ((value >> (top - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        (group << SUB_BITS) | sub
+    }
+
+    fn lower_bound(index: usize) -> u64 {
+        let group = index >> SUB_BITS;
+        let sub = (index & (SUB - 1)) as u64;
+        if group == 0 {
+            return sub;
+        }
+        let top = group as u32 + SUB_BITS - 1;
+        (1u64 << top) + (sub << (top - SUB_BITS))
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::index(value)] += 1;
+        self.total += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (bucket lower bound;
+    /// `0` when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::lower_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One request kind in the workload mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// `POST /jobs` with a fixed cheap body (all submissions share one
+    /// content key, so after the first they coalesce or hit the cache).
+    Submit,
+    /// `GET /jobs/{i mod 64}` — mostly `404`, which counts as success
+    /// (the probe worked).
+    Status,
+    /// `GET /metrics`.
+    Metrics,
+    /// `GET /healthz`.
+    Health,
+}
+
+/// Workload mix as integer weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Weight of [`Kind::Submit`].
+    pub submit: u32,
+    /// Weight of [`Kind::Status`].
+    pub status: u32,
+    /// Weight of [`Kind::Metrics`].
+    pub metrics: u32,
+    /// Weight of [`Kind::Health`].
+    pub health: u32,
+}
+
+impl Mix {
+    /// Parses `"submit:status:metrics:health"`, e.g. `"1:6:2:1"`.
+    ///
+    /// # Errors
+    ///
+    /// A message when the string is not four `:`-separated integers
+    /// with a positive sum.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let parts: Vec<u32> = s
+            .split(':')
+            .map(|p| p.trim().parse::<u32>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("bad mix {s:?}: {e}"))?;
+        let [submit, status, metrics, health] = parts[..] else {
+            return Err(format!("bad mix {s:?}: want submit:status:metrics:health"));
+        };
+        let mix = Self {
+            submit,
+            status,
+            metrics,
+            health,
+        };
+        if mix.submit + mix.status + mix.metrics + mix.health == 0 {
+            return Err(format!("bad mix {s:?}: all weights are zero"));
+        }
+        Ok(mix)
+    }
+
+    /// A deterministic repeating pattern with the requested
+    /// proportions (no RNG: runs are reproducible by construction).
+    pub fn pattern(&self) -> Vec<Kind> {
+        let mut p = Vec::new();
+        let longest = self
+            .submit
+            .max(self.status)
+            .max(self.metrics)
+            .max(self.health);
+        // Interleave by round-robin over the weights so e.g. 1:6:2:1
+        // spreads the single submit through the cycle instead of
+        // front-loading it.
+        for round in 0..longest {
+            for (kind, weight) in [
+                (Kind::Status, self.status),
+                (Kind::Metrics, self.metrics),
+                (Kind::Submit, self.submit),
+                (Kind::Health, self.health),
+            ] {
+                // Bresenham spread: kind appears in round r exactly
+                // when the cumulative quota crosses an integer there,
+                // giving `weight` evenly spaced occurrences overall.
+                let before = (round as u64 * weight as u64) / longest as u64;
+                let after = ((round as u64 + 1) * weight as u64) / longest as u64;
+                if after > before {
+                    p.push(kind);
+                }
+            }
+        }
+        if p.is_empty() {
+            // Degenerate spacing fallback: plain concatenation.
+            for (kind, weight) in [
+                (Kind::Submit, self.submit),
+                (Kind::Status, self.status),
+                (Kind::Metrics, self.metrics),
+                (Kind::Health, self.health),
+            ] {
+                p.extend(std::iter::repeat(kind).take(weight as usize));
+            }
+        }
+        p
+    }
+
+    /// The mix as its canonical `"a:b:c:d"` spelling.
+    pub fn label(&self) -> String {
+        format!(
+            "{}:{}:{}:{}",
+            self.submit, self.status, self.metrics, self.health
+        )
+    }
+}
+
+/// One worker's wire connection: a hand-rolled HTTP/1.1 client.
+struct Conn {
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// One request/response cycle. Returns `(status, reusable)`.
+    fn roundtrip(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        keep_alive: bool,
+    ) -> io::Result<(u16, bool)> {
+        let body = body.unwrap_or("");
+        let stream = self.reader.get_mut();
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nhost: bomber\r\ncontent-length: {}\r\n",
+            body.len()
+        )?;
+        if !body.is_empty() {
+            stream.write_all(b"content-type: application/json\r\n")?;
+        }
+        if !keep_alive {
+            stream.write_all(b"connection: close\r\n")?;
+        }
+        stream.write_all(b"\r\n")?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "closed before status line",
+            ));
+        }
+        let status = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad status {line:?}"))
+            })?;
+        let mut content_length: Option<usize> = None;
+        let mut server_closes = false;
+        loop {
+            let mut h = String::new();
+            if self.reader.read_line(&mut h)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "eof inside headers",
+                ));
+            }
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = h.split_once(':') {
+                let k = k.trim();
+                let v = v.trim();
+                if k.eq_ignore_ascii_case("content-length") {
+                    content_length = v.parse().ok();
+                } else if k.eq_ignore_ascii_case("connection") {
+                    server_closes = v.eq_ignore_ascii_case("close");
+                }
+            }
+        }
+        match content_length {
+            Some(n) => {
+                // Drain the body without keeping it; the bomber only
+                // cares about status and timing.
+                let mut remaining = n;
+                let mut scratch = [0u8; 4096];
+                while remaining > 0 {
+                    let want = remaining.min(scratch.len());
+                    let got = self.reader.read(&mut scratch[..want])?;
+                    if got == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "eof inside body",
+                        ));
+                    }
+                    remaining -= got;
+                }
+                Ok((status, keep_alive && !server_closes))
+            }
+            None => {
+                let mut sink = Vec::new();
+                self.reader.read_to_end(&mut sink)?;
+                Ok((status, false))
+            }
+        }
+    }
+}
+
+/// Load-run configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon address, e.g. `"127.0.0.1:7878"`.
+    pub addr: String,
+    /// Concurrent connections (= worker threads).
+    pub connections: usize,
+    /// Target request rate, requests/second, across all connections.
+    pub rate: f64,
+    /// Nominal run length (lagging requests are still completed and
+    /// measured after it elapses).
+    pub duration: Duration,
+    /// Workload mix.
+    pub mix: Mix,
+    /// Reuse connections across requests (`false` = one connection per
+    /// request, the thread-per-connection server's native discipline).
+    pub keep_alive: bool,
+    /// Fixed `POST /jobs` body for [`Kind::Submit`].
+    pub submit_body: String,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            connections: 64,
+            rate: 500.0,
+            duration: Duration::from_secs(5),
+            mix: Mix {
+                submit: 1,
+                status: 6,
+                metrics: 2,
+                health: 1,
+            },
+            keep_alive: true,
+            // Cheapest valid job: all submissions share this content
+            // key, so the daemon runs at most one simulation and
+            // serves the rest from the single-flight cache.
+            submit_body: r#"{"workload":"synthetic","preset":"quick","budget":4096}"#.to_string(),
+        }
+    }
+}
+
+/// Aggregated result of one load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests attempted (scheduled and sent, or failed trying).
+    pub sent: u64,
+    /// 2xx and `404` responses (a 404 status probe is a success).
+    pub ok: u64,
+    /// `503`/`429` responses — backpressure working as designed.
+    pub rejected: u64,
+    /// Transport failures and unexpected statuses.
+    pub errors: u64,
+    /// Reconnections after a dead cached connection.
+    pub reconnects: u64,
+    /// Wall-clock from first schedule to last completion, seconds.
+    pub elapsed_s: f64,
+    /// `sent / elapsed_s`.
+    pub achieved_rps: f64,
+    /// Latency percentiles, microseconds, measured from each request's
+    /// *scheduled* time (open-loop: server-induced queueing counts).
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// 99.9th percentile.
+    pub p999_us: u64,
+    /// Maximum.
+    pub max_us: u64,
+}
+
+impl LoadReport {
+    /// The report as a JSON object (hand-rendered; no serde).
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"sent\": {}, \"ok\": {}, \"rejected\": {}, \"errors\": {}, \"reconnects\": {}, \
+             \"elapsed_s\": {:.3}, \"achieved_rps\": {:.1}, \"p50_us\": {}, \"p90_us\": {}, \
+             \"p99_us\": {}, \"p999_us\": {}, \"max_us\": {}}}",
+            self.sent,
+            self.ok,
+            self.rejected,
+            self.errors,
+            self.reconnects,
+            self.elapsed_s,
+            self.achieved_rps,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.p999_us,
+            self.max_us,
+        )
+    }
+}
+
+struct WorkerStats {
+    hist: Histogram,
+    sent: u64,
+    ok: u64,
+    rejected: u64,
+    errors: u64,
+    reconnects: u64,
+}
+
+/// Runs one open-loop load test against a live daemon.
+///
+/// Request *i* is scheduled at `start + i / rate`; whichever worker
+/// claims tick *i* sleeps until then (or not at all if the fleet is
+/// behind) and measures latency from the scheduled instant. The run
+/// ends when every tick scheduled inside `duration` has completed.
+pub fn run_load(cfg: &LoadConfig) -> LoadReport {
+    let ticks = AtomicU64::new(0);
+    let merged = Mutex::new(WorkerStats {
+        hist: Histogram::new(),
+        sent: 0,
+        ok: 0,
+        rejected: 0,
+        errors: 0,
+        reconnects: 0,
+    });
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.connections.max(1) {
+            scope.spawn(|| {
+                let stats = run_worker(cfg, &ticks, start);
+                let mut m = merged.lock().unwrap();
+                m.hist.merge(&stats.hist);
+                m.sent += stats.sent;
+                m.ok += stats.ok;
+                m.rejected += stats.rejected;
+                m.errors += stats.errors;
+                m.reconnects += stats.reconnects;
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let m = merged.into_inner().unwrap();
+    LoadReport {
+        sent: m.sent,
+        ok: m.ok,
+        rejected: m.rejected,
+        errors: m.errors,
+        reconnects: m.reconnects,
+        elapsed_s: elapsed,
+        achieved_rps: m.sent as f64 / elapsed,
+        p50_us: m.hist.quantile(0.50),
+        p90_us: m.hist.quantile(0.90),
+        p99_us: m.hist.quantile(0.99),
+        p999_us: m.hist.quantile(0.999),
+        max_us: m.hist.max(),
+    }
+}
+
+fn run_worker(cfg: &LoadConfig, ticks: &AtomicU64, start: Instant) -> WorkerStats {
+    let pattern = cfg.mix.pattern();
+    let mut stats = WorkerStats {
+        hist: Histogram::new(),
+        sent: 0,
+        ok: 0,
+        rejected: 0,
+        errors: 0,
+        reconnects: 0,
+    };
+    let mut conn: Option<Conn> = None;
+    loop {
+        let i = ticks.fetch_add(1, Ordering::Relaxed);
+        let offset = Duration::from_secs_f64(i as f64 / cfg.rate.max(1e-9));
+        if offset > cfg.duration {
+            break;
+        }
+        let scheduled = start + offset;
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        let kind = pattern[(i as usize) % pattern.len()];
+        let (method, path, body): (&str, String, Option<&str>) = match kind {
+            Kind::Submit => ("POST", "/jobs".to_string(), Some(cfg.submit_body.as_str())),
+            Kind::Status => ("GET", format!("/jobs/{}", i % 64), None),
+            Kind::Metrics => ("GET", "/metrics".to_string(), None),
+            Kind::Health => ("GET", "/healthz".to_string(), None),
+        };
+        stats.sent += 1;
+        let mut attempt = 0;
+        let status = loop {
+            let had_conn = conn.is_some();
+            let c = match conn.as_mut() {
+                Some(c) => c,
+                None => match Conn::connect(&cfg.addr) {
+                    Ok(c) => {
+                        if had_conn || attempt > 0 {
+                            stats.reconnects += 1;
+                        }
+                        conn.insert(c)
+                    }
+                    Err(_) => break None,
+                },
+            };
+            match c.roundtrip(method, &path, body, cfg.keep_alive) {
+                Ok((status, reusable)) => {
+                    if !reusable {
+                        conn = None;
+                    }
+                    break Some(status);
+                }
+                Err(_) => {
+                    // A cached connection may have been idle-closed by
+                    // the server; one fresh retry, then give up on
+                    // this request.
+                    conn = None;
+                    attempt += 1;
+                    if !had_conn || attempt > 1 {
+                        break None;
+                    }
+                }
+            }
+        };
+        match status {
+            Some(s) if (200..300).contains(&s) || s == 404 => stats.ok += 1,
+            Some(503) | Some(429) => stats.rejected += 1,
+            Some(_) => stats.errors += 1,
+            None => {
+                stats.errors += 1;
+                // Don't busy-spin through the schedule when the server
+                // is unreachable.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let latency = Instant::now().saturating_duration_since(scheduled);
+        stats.hist.record(latency.as_micros() as u64);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcache_serve::{Engine, ServeOptions, Server};
+
+    #[test]
+    fn histogram_quantiles_land_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.max(), 10_000);
+        let p50 = h.quantile(0.50);
+        // Lower-bound buckets under-report by at most one sub-bucket
+        // (~3.1%).
+        assert!((4800..=5000).contains(&p50), "p50 = {p50}");
+        let p999 = h.quantile(0.999);
+        assert!((9600..=10_000).contains(&p999), "p999 = {p999}");
+        assert!(h.quantile(1.0) <= h.max());
+        assert_eq!(Histogram::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_indexing_is_monotone() {
+        let mut last = 0usize;
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 1000, 1 << 20, u64::MAX] {
+            let idx = Histogram::index(v);
+            assert!(idx >= last, "index regressed at {v}");
+            assert!(Histogram::lower_bound(idx) <= v);
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn mix_parses_and_patterns_keep_proportions() {
+        let mix = Mix::parse("1:6:2:1").unwrap();
+        let pattern = mix.pattern();
+        let count = |k: Kind| pattern.iter().filter(|&&p| p == k).count();
+        assert_eq!(count(Kind::Submit), 1);
+        assert_eq!(count(Kind::Status), 6);
+        assert_eq!(count(Kind::Metrics), 2);
+        assert_eq!(count(Kind::Health), 1);
+        assert!(Mix::parse("0:0:0:0").is_err());
+        assert!(Mix::parse("1:2:3").is_err());
+        assert!(Mix::parse("a:b:c:d").is_err());
+    }
+
+    #[test]
+    fn open_loop_run_against_a_live_daemon_sees_no_errors() {
+        let server = Server::bind(&ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_capacity: 4,
+            engine: Engine::default(),
+            max_connections: 64,
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let daemon = server.daemon();
+        let handle = std::thread::spawn(move || server.run());
+
+        let report = run_load(&LoadConfig {
+            addr,
+            connections: 8,
+            rate: 400.0,
+            duration: Duration::from_millis(300),
+            // GET-only mix: status probes, metrics, health.
+            mix: Mix::parse("0:4:1:1").unwrap(),
+            ..LoadConfig::default()
+        });
+        daemon.begin_drain();
+        handle.join().unwrap().unwrap();
+
+        assert!(report.sent > 0);
+        assert_eq!(
+            report.errors, 0,
+            "unexpected errors against an idle daemon: {report:?}"
+        );
+        assert_eq!(report.ok + report.rejected, report.sent);
+        assert!(report.p50_us <= report.p99_us && report.p99_us <= report.max_us);
+    }
+}

@@ -1,0 +1,243 @@
+//! `redcache-bomber` — open-loop load generator CLI.
+//!
+//! ```text
+//! redcache-bomber --addr HOST:PORT [flags]      # bomb a running daemon
+//! redcache-bomber --self-host [flags]           # bench in-process servers
+//! ```
+//!
+//! Flags: `--connections N` (default 64), `--rate RPS` (default 500),
+//! `--duration-s S` (default 5), `--mix submit:status:metrics:health`
+//! (default `1:6:2:1`), `--no-keep-alive`, `--out PATH` (default
+//! `BENCH_serve.json`), and for `--self-host`: `--workers N`,
+//! `--queue N`.
+//!
+//! `--self-host` binds three in-process daemons and runs the identical
+//! open-loop schedule against each: the epoll event loop with
+//! keep-alive, the epoll event loop with one connection per request,
+//! and the thread-per-connection baseline (which always closes after
+//! one request). The comparison lands in the versioned `bench_serve`
+//! envelope at `--out`, alongside the server-side metric counters so
+//! client- and server-side views can be reconciled.
+
+use redcache_bomber::{run_load, LoadConfig, LoadReport, Mix};
+use redcache_serve::{Engine, ServeOptions, Server};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: redcache-bomber (--addr HOST:PORT | --self-host) [--connections N] [--rate RPS] \
+         [--duration-s S] [--mix s:st:m:h] [--no-keep-alive] [--out PATH] [--workers N] [--queue N]"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    addr: Option<String>,
+    self_host: bool,
+    cfg: LoadConfig,
+    out: PathBuf,
+    workers: usize,
+    queue: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        self_host: false,
+        cfg: LoadConfig::default(),
+        out: PathBuf::from("BENCH_serve.json"),
+        workers: 1,
+        queue: 32,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" | "-a" => args.addr = Some(val()),
+            "--self-host" => args.self_host = true,
+            "--connections" | "-c" => {
+                args.cfg.connections = val().parse().unwrap_or_else(|_| usage())
+            }
+            "--rate" | "-r" => args.cfg.rate = val().parse().unwrap_or_else(|_| usage()),
+            "--duration-s" | "-d" => {
+                args.cfg.duration =
+                    Duration::from_secs_f64(val().parse().unwrap_or_else(|_| usage()))
+            }
+            "--mix" => args.cfg.mix = Mix::parse(&val()).unwrap_or_else(|_| usage()),
+            "--no-keep-alive" => args.cfg.keep_alive = false,
+            "--out" | "-o" => args.out = PathBuf::from(val()),
+            "--workers" | "-w" => args.workers = val().parse().unwrap_or_else(|_| usage()),
+            "--queue" | "-q" => args.queue = val().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if args.self_host == args.addr.is_some() {
+        // Exactly one target, please.
+        usage();
+    }
+    if args.cfg.connections == 0 || args.cfg.rate <= 0.0 || args.workers == 0 || args.queue == 0 {
+        usage();
+    }
+    args
+}
+
+/// Server-side counters snapshotted after a self-hosted scenario.
+struct ServerSide {
+    http_requests: u64,
+    keepalive_reuses: u64,
+    connections_accepted: u64,
+    http_429_or_503: u64,
+}
+
+struct Scenario {
+    name: &'static str,
+    engine: Engine,
+    keep_alive: bool,
+    report: LoadReport,
+    server: Option<ServerSide>,
+}
+
+fn scenario_json(s: &Scenario) -> String {
+    let server = match &s.server {
+        Some(sv) => format!(
+            ",\n      \"server\": {{\"http_requests\": {}, \"keepalive_reuses\": {}, \
+             \"connections_accepted\": {}, \"http_429_or_503\": {}}}",
+            sv.http_requests, sv.keepalive_reuses, sv.connections_accepted, sv.http_429_or_503
+        ),
+        None => String::new(),
+    };
+    format!(
+        "{{\n      \"name\": \"{}\",\n      \"engine\": \"{}\",\n      \"keep_alive\": {},\n      \
+         \"client\": {}{server}\n    }}",
+        s.name,
+        s.engine,
+        s.keep_alive,
+        s.report.json()
+    )
+}
+
+fn print_summary(s: &Scenario) {
+    let r = &s.report;
+    println!(
+        "{:<18} {:>8.0} rps  ok {:>7}  rejected {:>5}  errors {:>4}  \
+         p50 {:>7}us  p99 {:>8}us  p999 {:>8}us",
+        s.name, r.achieved_rps, r.ok, r.rejected, r.errors, r.p50_us, r.p99_us, r.p999_us
+    );
+}
+
+fn run_self_hosted(args: &Args, name: &'static str, engine: Engine, keep_alive: bool) -> Scenario {
+    let server = Server::bind(&ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: args.workers,
+        queue_capacity: args.queue,
+        spool: None,
+        engine,
+        // Headroom over the client fleet so the bench measures request
+        // throughput, not the admission limiter.
+        max_connections: args.cfg.connections + 64,
+        ..ServeOptions::default()
+    })
+    .expect("bind in-process server");
+    let addr = server.local_addr().to_string();
+    let daemon = server.daemon();
+    let handle = std::thread::spawn(move || server.run());
+
+    let report = run_load(&LoadConfig {
+        addr,
+        keep_alive,
+        ..args.cfg.clone()
+    });
+
+    let m = &daemon.metrics;
+    use std::sync::atomic::Ordering::Relaxed;
+    let server_side = ServerSide {
+        http_requests: m.http_requests.load(Relaxed),
+        keepalive_reuses: m.keepalive_reuses.load(Relaxed),
+        connections_accepted: m.connections_accepted.load(Relaxed),
+        http_429_or_503: m.http_429_or_503.load(Relaxed),
+    };
+    daemon.begin_drain();
+    handle
+        .join()
+        .expect("server thread")
+        .expect("server run succeeds");
+
+    Scenario {
+        name,
+        engine,
+        keep_alive,
+        report,
+        server: Some(server_side),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let scenarios: Vec<Scenario> = if args.self_host {
+        println!(
+            "redcache-bomber self-host: {} connections, {:.0} rps target, {:?}, mix {}",
+            args.cfg.connections,
+            args.cfg.rate,
+            args.cfg.duration,
+            args.cfg.mix.label()
+        );
+        [
+            ("epoll-keepalive", Engine::Epoll, true),
+            ("epoll-close", Engine::Epoll, false),
+            ("threaded-close", Engine::Threaded, false),
+        ]
+        .into_iter()
+        .map(|(name, engine, keep_alive)| {
+            let s = run_self_hosted(&args, name, engine, keep_alive);
+            print_summary(&s);
+            s
+        })
+        .collect()
+    } else {
+        let addr = args.addr.clone().expect("checked in parse_args");
+        println!(
+            "redcache-bomber -> {addr}: {} connections, {:.0} rps target, {:?}, mix {}",
+            args.cfg.connections,
+            args.cfg.rate,
+            args.cfg.duration,
+            args.cfg.mix.label()
+        );
+        let report = run_load(&LoadConfig {
+            addr,
+            ..args.cfg.clone()
+        });
+        let s = Scenario {
+            name: "external",
+            engine: Engine::default(),
+            keep_alive: args.cfg.keep_alive,
+            report,
+            server: None,
+        };
+        print_summary(&s);
+        vec![s]
+    };
+
+    let rows: Vec<String> = scenarios.iter().map(scenario_json).collect();
+    let data = format!(
+        "{{\n  \"host_workers\": {},\n  \"note\": \"open-loop schedule; latency measured from each \
+         request's scheduled start time (coordinated-omission-free); absolute numbers are \
+         host-bound (host_workers cores) — compare scenarios within one run only\",\n  \
+         \"config\": {{\"connections\": {}, \"rate_rps\": {:.0}, \
+         \"duration_s\": {:.1}, \"mix\": \"{}\"}},\n  \"scenarios\": [\n    {}\n  ]\n}}",
+        redcache_bench::pool::max_workers(),
+        args.cfg.connections,
+        args.cfg.rate,
+        args.cfg.duration.as_secs_f64(),
+        args.cfg.mix.label(),
+        rows.join(",\n    ")
+    );
+    redcache_bench::report_io::write_raw_envelope(&args.out, "bench_serve", &data);
+
+    let errors: u64 = scenarios.iter().map(|s| s.report.errors).sum();
+    if errors > 0 {
+        eprintln!("warning: {errors} unexpected errors across scenarios");
+        std::process::exit(1);
+    }
+}

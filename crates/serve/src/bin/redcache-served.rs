@@ -2,11 +2,16 @@
 //!
 //! ```text
 //! redcache-served [--addr 127.0.0.1:7878] [--workers N] [--queue N]
-//!                 [--spool DIR]
+//!                 [--spool DIR] [--engine epoll|threaded]
+//!                 [--max-conns N] [--event-threads N]
 //! ```
 //!
 //! `--workers` defaults to the shared bench pool bound
-//! (`REDCACHE_JOBS` / `available_parallelism`). Shut down with
+//! (`REDCACHE_JOBS` / `available_parallelism`). `--engine` picks the
+//! connection front end (default: the epoll event loop on unix;
+//! `REDCACHE_SERVE_ENGINE` overrides the default), `--max-conns` the
+//! admitted-connection ceiling beyond which accepts get `503`, and
+//! `--event-threads` the number of event loops. Shut down with
 //! SIGTERM, ctrl-c, or `POST /shutdown`: the daemon drains queued and
 //! running jobs — persisting each result to the spool when one is
 //! configured — before exiting.
@@ -15,7 +20,10 @@ use redcache_serve::{signals, ServeOptions, Server};
 use std::path::PathBuf;
 
 fn usage() -> ! {
-    eprintln!("usage: redcache-served [--addr HOST:PORT] [--workers N] [--queue N] [--spool DIR]");
+    eprintln!(
+        "usage: redcache-served [--addr HOST:PORT] [--workers N] [--queue N] [--spool DIR] \
+         [--engine epoll|threaded] [--max-conns N] [--event-threads N]"
+    );
     std::process::exit(2)
 }
 
@@ -29,11 +37,18 @@ fn parse_args() -> ServeOptions {
             "--workers" | "-w" => opts.workers = val().parse().unwrap_or_else(|_| usage()),
             "--queue" | "-q" => opts.queue_capacity = val().parse().unwrap_or_else(|_| usage()),
             "--spool" => opts.spool = Some(PathBuf::from(val())),
+            "--engine" | "-e" => opts.engine = val().parse().unwrap_or_else(|_| usage()),
+            "--max-conns" => opts.max_connections = val().parse().unwrap_or_else(|_| usage()),
+            "--event-threads" => opts.event_threads = val().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
-    if opts.workers == 0 || opts.queue_capacity == 0 {
+    if opts.workers == 0
+        || opts.queue_capacity == 0
+        || opts.max_connections == 0
+        || opts.event_threads == 0
+    {
         usage();
     }
     opts
@@ -50,10 +65,12 @@ fn main() {
         }
     };
     println!(
-        "redcache-served listening on http://{} ({} workers, queue {}{})",
+        "redcache-served listening on http://{} ({} engine, {} workers, queue {}, max {} conns{})",
         server.local_addr(),
+        opts.engine,
         opts.workers,
         opts.queue_capacity,
+        opts.max_connections,
         match &opts.spool {
             Some(dir) => format!(", spool {}", dir.display()),
             None => String::new(),

@@ -1,11 +1,18 @@
 //! A blocking HTTP client for the daemon — used by the `redcache-serve`
-//! CLI and the end-to-end tests. One `TcpStream` per request,
-//! mirroring the server's `Connection: close` discipline.
+//! CLI and the end-to-end tests. The client keeps one connection and
+//! reuses it across requests (HTTP/1.1 keep-alive), so a `wait` poll
+//! loop or a multi-call CLI sequence costs one TCP handshake, not one
+//! per request. A cached connection the server has since closed (idle
+//! deadline, drain) is detected on failure and retried once on a fresh
+//! connection — safe because every daemon endpoint is idempotent:
+//! submission is keyed by content, so a replayed `POST /jobs` coalesces
+//! onto the same job.
 
 use crate::api::{JobRequest, JobView};
 use serde::de::DeserializeOwned;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// One parsed HTTP response.
@@ -43,32 +50,87 @@ impl HttpResult {
     }
 }
 
-/// Client for one daemon address.
-#[derive(Debug, Clone)]
+/// Client for one daemon address, holding at most one cached
+/// keep-alive connection.
+#[derive(Debug)]
 pub struct Client {
     addr: String,
+    conn: Mutex<Option<BufReader<TcpStream>>>,
+}
+
+impl Clone for Client {
+    fn clone(&self) -> Self {
+        // The connection cache is per-handle; a clone starts cold.
+        Self::new(self.addr.clone())
+    }
 }
 
 impl Client {
     /// A client for `addr` (e.g. `"127.0.0.1:7878"`).
     pub fn new(addr: impl Into<String>) -> Self {
-        Self { addr: addr.into() }
+        Self {
+            addr: addr.into(),
+            conn: Mutex::new(None),
+        }
     }
 
-    /// Issues one request.
+    fn connect(addr: &str) -> io::Result<BufReader<TcpStream>> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(BufReader::new(stream))
+    }
+
+    /// Issues one request, reusing the cached connection when one is
+    /// alive.
     ///
     /// # Errors
     ///
     /// Connection or protocol-level I/O failures. HTTP error statuses
     /// are returned in the [`HttpResult`], not as `Err`.
     pub fn request(&self, method: &str, path: &str, body: Option<&[u8]>) -> io::Result<HttpResult> {
-        let mut stream = TcpStream::connect(&self.addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let cached = self.conn.lock().unwrap().take();
+        let reused = cached.is_some();
+        let mut reader = match cached {
+            Some(r) => r,
+            None => Self::connect(&self.addr)?,
+        };
+        match Self::try_request(&self.addr, &mut reader, method, path, body) {
+            Ok((result, reusable)) => {
+                if reusable {
+                    *self.conn.lock().unwrap() = Some(reader);
+                }
+                Ok(result)
+            }
+            Err(_) if reused => {
+                // The cached connection went stale (idle-closed by the
+                // server between requests). One fresh retry; a failure
+                // there is real.
+                let mut reader = Self::connect(&self.addr)?;
+                let (result, reusable) =
+                    Self::try_request(&self.addr, &mut reader, method, path, body)?;
+                if reusable {
+                    *self.conn.lock().unwrap() = Some(reader);
+                }
+                Ok(result)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Writes one request and reads one response off `reader`.
+    /// Returns the result plus whether the connection may be reused.
+    fn try_request(
+        addr: &str,
+        reader: &mut BufReader<TcpStream>,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<(HttpResult, bool)> {
         let body = body.unwrap_or(&[]);
+        let stream = reader.get_mut();
         write!(
             stream,
-            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
-            self.addr,
+            "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n",
             body.len()
         )?;
         if !body.is_empty() {
@@ -78,9 +140,13 @@ impl Client {
         stream.write_all(body)?;
         stream.flush()?;
 
-        let mut reader = BufReader::new(stream);
         let mut line = String::new();
-        reader.read_line(&mut line)?;
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before status line",
+            ));
+        }
         let status = line
             .split_whitespace()
             .nth(1)
@@ -115,20 +181,31 @@ impl Client {
             .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
             .and_then(|(_, v)| v.parse::<usize>().ok());
         let mut body = Vec::new();
+        // Without a content-length the only framing is EOF, so the
+        // connection cannot be reused afterwards.
+        let mut reusable = false;
         match len {
             Some(n) => {
                 body.resize(n, 0);
                 reader.read_exact(&mut body)?;
+                reusable = true;
             }
             None => {
                 reader.read_to_end(&mut body)?;
             }
         }
-        Ok(HttpResult {
-            status,
-            headers,
-            body,
-        })
+        let server_closes = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("connection"))
+            .is_some_and(|(_, v)| v.eq_ignore_ascii_case("close"));
+        Ok((
+            HttpResult {
+                status,
+                headers,
+                body,
+            },
+            reusable && !server_closes,
+        ))
     }
 
     /// `POST /jobs`.
@@ -214,7 +291,8 @@ impl Client {
     }
 
     /// Polls `GET /jobs/{id}` until the job reaches a terminal state
-    /// or `timeout` elapses.
+    /// or `timeout` elapses. The whole loop rides one keep-alive
+    /// connection.
     ///
     /// # Errors
     ///

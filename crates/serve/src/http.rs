@@ -1,10 +1,24 @@
 //! Minimal hand-rolled HTTP/1.1 — just enough for the daemon's API.
 //!
-//! One request per connection (`Connection: close`), bodies sized by
-//! `Content-Length` only, and hard caps on header and body size so a
-//! misbehaving client cannot balloon the daemon. No TLS, no chunked
-//! encoding, no keep-alive: the API is line-of-sight
-//! (localhost/cluster) tooling, not an internet-facing edge.
+//! Two parser entry points share the same grammar and the same
+//! hardening caps:
+//!
+//! * [`read_request`] — the original blocking reader used by the
+//!   thread-per-connection baseline engine and by tools that own a
+//!   socket outright.
+//! * [`parse_request`] — an incremental parser over a growing byte
+//!   buffer for the nonblocking event loop: it returns `Ok(None)`
+//!   while the request is incomplete and `(Request, consumed)` once a
+//!   full request is buffered, which is what makes HTTP/1.1
+//!   keep-alive and pipelining possible (several requests may sit in
+//!   one buffer; callers re-invoke after draining `consumed` bytes).
+//!
+//! Both enforce the PR 6 hardening identically: capped request lines,
+//! an aggregate header budget, conflicting-`Content-Length` rejection
+//! (request-smuggling material, RFC 9110 §8.6), and bounded bodies.
+//! Bodies are sized by `Content-Length` only — no TLS, no chunked
+//! encoding: the API is line-of-sight (localhost/cluster) tooling,
+//! not an internet-facing edge.
 
 use std::io::{self, BufRead, Read, Write};
 
@@ -14,6 +28,13 @@ pub const MAX_BODY_BYTES: usize = 1 << 20;
 
 /// Upper bound on the request line + headers combined.
 const MAX_HEADER_BYTES: usize = 64 << 10;
+
+/// Upper bound on buffered-but-unparsed bytes for one in-flight
+/// request: head budget plus body budget. A connection whose buffer
+/// exceeds this without yielding a complete request is misbehaving
+/// (the parser will have errored already in every reachable case;
+/// this is the event loop's belt-and-braces bound).
+pub const MAX_REQUEST_BYTES: usize = MAX_HEADER_BYTES + MAX_BODY_BYTES;
 
 /// One parsed request.
 #[derive(Debug)]
@@ -26,6 +47,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// True when the request line said `HTTP/1.0` (default close)
+    /// rather than `HTTP/1.1` (default keep-alive).
+    pub http10: bool,
 }
 
 impl Request {
@@ -36,10 +60,67 @@ impl Request {
             .find(|(k, _)| k.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
     }
+
+    /// Whether the connection must close after this request's
+    /// response: `Connection: close` always wins; otherwise HTTP/1.1
+    /// defaults to keep-alive and HTTP/1.0 defaults to close unless
+    /// it opted in with `Connection: keep-alive`.
+    pub fn wants_close(&self) -> bool {
+        let token = |v: &str, t: &str| v.split(',').any(|p| p.trim().eq_ignore_ascii_case(t));
+        match self.header("connection") {
+            Some(v) if token(v, "close") => true,
+            Some(v) => self.http10 && !token(v, "keep-alive"),
+            None => self.http10,
+        }
+    }
 }
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Parses a `METHOD target HTTP/1.x` line (trailing `\r\n` tolerated —
+/// `\r` is whitespace to `split_whitespace`). Shared by both parsers
+/// so they cannot drift.
+fn parse_request_line(line: &str) -> io::Result<(String, String, bool)> {
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1") {
+        return Err(bad("malformed request line"));
+    }
+    Ok((method, target, version == "HTTP/1.0"))
+}
+
+/// Resolves the body length from the header set. Absent
+/// `Content-Length` means no body; a present-but-unparseable one is a
+/// malformed request, not a body-less one. Repeated copies must
+/// agree: silently honouring the first of two conflicting lengths is
+/// classic request-smuggling material (RFC 9110 §8.6), so a mismatch
+/// is a 400. Shared by both parsers.
+fn body_length(headers: &[(String, String)]) -> io::Result<usize> {
+    let mut len: Option<usize> = None;
+    for v in headers
+        .iter()
+        .filter(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| v)
+    {
+        let parsed = v
+            .parse::<usize>()
+            .map_err(|_| bad("invalid Content-Length header"))?;
+        match len {
+            Some(prev) if prev != parsed => {
+                return Err(bad("conflicting Content-Length headers"));
+            }
+            _ => len = Some(parsed),
+        }
+    }
+    let len = len.unwrap_or(0);
+    if len > MAX_BODY_BYTES {
+        return Err(bad("body too large"));
+    }
+    Ok(len)
 }
 
 /// Reads one `\n`-terminated line holding at most `cap` bytes, through
@@ -48,11 +129,7 @@ fn bad(msg: &str) -> io::Error {
 /// the line buffer without limit. Returns `Ok(None)` on a clean EOF
 /// before any byte, and `InvalidData` (`too_big`) once the cap is
 /// exceeded.
-fn read_line_capped(
-    r: &mut impl BufRead,
-    cap: usize,
-    too_big: &str,
-) -> io::Result<Option<String>> {
+fn read_line_capped(r: &mut impl BufRead, cap: usize, too_big: &str) -> io::Result<Option<String>> {
     let mut line = String::new();
     let n = r.by_ref().take(cap as u64 + 1).read_line(&mut line)?;
     if n == 0 {
@@ -75,13 +152,7 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
     let Some(line) = read_line_capped(r, MAX_HEADER_BYTES, "request line too large")? else {
         return Ok(None);
     };
-    let mut parts = line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_ascii_uppercase();
-    let target = parts.next().unwrap_or("").to_string();
-    let version = parts.next().unwrap_or("");
-    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1") {
-        return Err(bad("malformed request line"));
-    }
+    let (method, target, http10) = parse_request_line(&line)?;
 
     let mut headers = Vec::new();
     let mut total = line.len();
@@ -101,31 +172,7 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
         }
     }
 
-    // Absent Content-Length means no body; a present-but-unparseable
-    // one is a malformed request, not a body-less one. Repeated copies
-    // must agree: silently honouring the first of two conflicting
-    // lengths is classic request-smuggling material (RFC 9110 §8.6),
-    // so a mismatch is a 400.
-    let mut len: Option<usize> = None;
-    for v in headers
-        .iter()
-        .filter(|(k, _)| k.eq_ignore_ascii_case("content-length"))
-        .map(|(_, v)| v)
-    {
-        let parsed = v
-            .parse::<usize>()
-            .map_err(|_| bad("invalid Content-Length header"))?;
-        match len {
-            Some(prev) if prev != parsed => {
-                return Err(bad("conflicting Content-Length headers"));
-            }
-            _ => len = Some(parsed),
-        }
-    }
-    let len = len.unwrap_or(0);
-    if len > MAX_BODY_BYTES {
-        return Err(bad("body too large"));
-    }
+    let len = body_length(&headers)?;
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
 
@@ -135,10 +182,90 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
         path,
         headers,
         body,
+        http10,
     }))
 }
 
-/// One response, written with `Content-Length` and `Connection: close`.
+/// Scans `buf[start..]` for a line under the same cap discipline as
+/// [`read_line_capped`]: at most `cap` bytes including the newline.
+/// `Ok(Some(end))` has `buf[start..end]` as the line including its
+/// `\n`; `Ok(None)` means more bytes are needed (and staying under
+/// budget so far).
+fn find_line(buf: &[u8], start: usize, cap: usize, too_big: &str) -> io::Result<Option<usize>> {
+    let avail = buf.len() - start;
+    let window = avail.min(cap + 1);
+    match buf[start..start + window].iter().position(|&b| b == b'\n') {
+        Some(i) if i + 1 > cap => Err(bad(too_big)),
+        Some(i) => Ok(Some(start + i + 1)),
+        None if avail > cap => Err(bad(too_big)),
+        None => Ok(None),
+    }
+}
+
+/// Incrementally parses one request from the front of `buf`.
+///
+/// Returns `Ok(None)` while the buffered bytes form only a prefix of
+/// a request (read more and call again), and `Ok(Some((request,
+/// consumed)))` once a full request is present — the caller drains
+/// `consumed` bytes and may call again immediately to pick up a
+/// pipelined successor.
+///
+/// # Errors
+///
+/// `InvalidData` for malformed or oversized requests, with the same
+/// caps and the same error messages as [`read_request`]: the two
+/// parsers share `parse_request_line` / `body_length`, and this one
+/// mirrors the blocking reader's per-line and aggregate head budgets
+/// exactly.
+pub fn parse_request(buf: &[u8]) -> io::Result<Option<(Request, usize)>> {
+    let Some(line_end) = find_line(buf, 0, MAX_HEADER_BYTES, "request line too large")? else {
+        return Ok(None);
+    };
+    let line =
+        std::str::from_utf8(&buf[..line_end]).map_err(|_| bad("invalid utf-8 in request head"))?;
+    let (method, target, http10) = parse_request_line(line)?;
+
+    let mut headers = Vec::new();
+    let mut pos = line_end;
+    let mut total = line_end;
+    loop {
+        let Some(end) = find_line(buf, pos, MAX_HEADER_BYTES - total, "headers too large")? else {
+            return Ok(None);
+        };
+        let h = std::str::from_utf8(&buf[pos..end])
+            .map_err(|_| bad("invalid utf-8 in request head"))?;
+        total += end - pos;
+        pos = end;
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            headers.push((k.trim().to_string(), v.trim().to_string()));
+        }
+    }
+
+    let len = body_length(&headers)?;
+    if buf.len() - pos < len {
+        return Ok(None);
+    }
+    let body = buf[pos..pos + len].to_vec();
+
+    let path = target.split('?').next().unwrap_or("").to_string();
+    Ok(Some((
+        Request {
+            method,
+            path,
+            headers,
+            body,
+            http10,
+        },
+        pos + len,
+    )))
+}
+
+/// One response, written with an explicit `Content-Length` and
+/// `Connection` header.
 #[derive(Debug)]
 pub struct Response {
     /// HTTP status code.
@@ -186,25 +313,39 @@ impl Response {
         self
     }
 
-    /// Writes the response to `w` and flushes.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the writer's I/O errors.
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        write!(
-            w,
+    /// Serializes the response head + body, announcing either
+    /// `connection: keep-alive` or `connection: close`.
+    pub fn render(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        // Writing into a Vec cannot fail.
+        let _ = write!(
+            out,
             "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
             self.body.len()
-        )?;
+        );
         for (k, v) in &self.extra_headers {
-            write!(w, "{k}: {v}\r\n")?;
+            let _ = write!(out, "{k}: {v}\r\n");
         }
-        w.write_all(b"connection: close\r\n\r\n")?;
-        w.write_all(&self.body)?;
+        let _ = write!(
+            out,
+            "connection: {}\r\n\r\n",
+            if keep_alive { "keep-alive" } else { "close" }
+        );
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Writes the response to `w` (single-shot, `Connection: close`)
+    /// and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's I/O errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&self.render(false))?;
         w.flush()
     }
 }
@@ -216,7 +357,9 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -238,6 +381,7 @@ mod tests {
         assert_eq!(req.path, "/jobs");
         assert_eq!(req.body, b"body");
         assert_eq!(req.header("host"), Some("h"));
+        assert!(!req.http10);
     }
 
     #[test]
@@ -352,5 +496,104 @@ mod tests {
         assert!(s.contains("retry-after: 1\r\n"));
         assert!(s.contains("connection: close"));
         assert!(s.ends_with("}"));
+    }
+
+    // ---- incremental parser ----
+
+    #[test]
+    fn incremental_parser_handles_partial_then_complete() {
+        let raw = b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        // Every strict prefix is Incomplete; the full buffer parses.
+        for cut in 0..raw.len() {
+            assert!(
+                parse_request(&raw[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        let (req, consumed) = parse_request(raw).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn incremental_parser_yields_pipelined_requests_in_order() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        buf.extend_from_slice(b"POST /jobs HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi");
+        buf.extend_from_slice(b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+
+        let (r1, c1) = parse_request(&buf).unwrap().unwrap();
+        assert_eq!(r1.path, "/healthz");
+        assert!(!r1.wants_close());
+        buf.drain(..c1);
+
+        let (r2, c2) = parse_request(&buf).unwrap().unwrap();
+        assert_eq!(r2.path, "/jobs");
+        assert_eq!(r2.body, b"hi");
+        buf.drain(..c2);
+
+        let (r3, c3) = parse_request(&buf).unwrap().unwrap();
+        assert_eq!(r3.path, "/metrics");
+        assert!(r3.wants_close());
+        buf.drain(..c3);
+        assert!(buf.is_empty());
+        assert!(parse_request(&buf).unwrap().is_none());
+    }
+
+    #[test]
+    fn incremental_parser_enforces_the_same_caps() {
+        // Endless request line.
+        let raw = vec![b'A'; MAX_HEADER_BYTES + 2];
+        let err = parse_request(&raw).unwrap_err();
+        assert!(err.to_string().contains("request line"), "{err}");
+
+        // Aggregate header budget.
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        let line = format!("x-h: {}\r\n", "c".repeat(1000));
+        for _ in 0..(MAX_HEADER_BYTES / line.len() + 2) {
+            raw.extend_from_slice(line.as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert!(parse_request(&raw).is_err());
+
+        // Conflicting Content-Length.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nbody!";
+        let err = parse_request(raw).unwrap_err();
+        assert!(err.to_string().contains("Content-Length"), "{err}");
+
+        // Oversized body is rejected from the headers alone, before
+        // any body bytes arrive.
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = parse_request(raw.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("body too large"), "{err}");
+    }
+
+    #[test]
+    fn connection_semantics_follow_version_and_header() {
+        let parse = |s: &str| parse_request(s.as_bytes()).unwrap().unwrap().0;
+        // HTTP/1.1 defaults to keep-alive.
+        assert!(!parse("GET / HTTP/1.1\r\n\r\n").wants_close());
+        // Explicit close always wins, case-insensitively, in lists.
+        assert!(parse("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").wants_close());
+        assert!(parse("GET / HTTP/1.1\r\nConnection: foo, close\r\n\r\n").wants_close());
+        // HTTP/1.0 defaults to close but may opt in.
+        assert!(parse("GET / HTTP/1.0\r\n\r\n").wants_close());
+        assert!(!parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").wants_close());
+    }
+
+    #[test]
+    fn render_announces_keepalive_or_close() {
+        let resp = Response::raw(200, "text/plain", b"ok".to_vec());
+        let ka = String::from_utf8(resp.render(true)).unwrap();
+        assert!(ka.contains("connection: keep-alive\r\n"), "{ka}");
+        let cl = String::from_utf8(resp.render(false)).unwrap();
+        assert!(cl.contains("connection: close\r\n"), "{cl}");
+        // Both carry an accurate Content-Length so a pipelined reader
+        // can frame the body.
+        assert!(ka.contains("content-length: 2\r\n"));
     }
 }

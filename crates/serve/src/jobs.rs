@@ -2,12 +2,25 @@
 //! fixed worker pool, the single-flight content-addressed result
 //! cache, and the in-memory trace store.
 //!
-//! # Lock order
+//! # Sharding and lock order
 //!
-//! `cache` before `jobs`, always; the queue sender mutex is only taken
-//! from the submission path (while holding `cache`) and from
-//! `begin_drain`. Workers never touch the sender, so the order is
-//! acyclic.
+//! The three state maps — `jobs` (by job id), `cache` (by content
+//! key), and `traces` (by trace key) — are each split into
+//! [`SHARD_COUNT`] independently locked shards so that unrelated
+//! submissions, status polls, and completions no longer serialize on
+//! three global mutexes (the contention the event-loop front end
+//! would otherwise immediately expose). Lock-order discipline, which
+//! DESIGN.md §3.12 spells out in full:
+//!
+//! 1. a `cache` shard before a `jobs` shard, always, and the queue
+//!    sender mutex only innermost (taken while holding `cache` on the
+//!    submission path, and alone in `begin_drain`);
+//! 2. never two shards of the same family at once — cross-shard
+//!    operations (the completion fan-out, the retention sweeps) lock
+//!    shards strictly one at a time;
+//! 3. `traces` shards are taken with no other shard held.
+//!
+//! Workers never touch the sender, so the order is acyclic.
 //!
 //! # Single-flight protocol
 //!
@@ -19,9 +32,19 @@
 //! — when the leader finishes, every follower completes with the same
 //! `Arc`'d report, so duplicate and concurrent-identical submissions
 //! cost exactly one simulation and return bit-identical envelopes.
+//!
+//! The PR 5 follower-registration guarantee holds per shard: a
+//! follower is pushed onto the in-flight list *and* inserted into its
+//! jobs shard while the leader's **cache shard** (the one its key
+//! hashes to) is held. The leader's completion path takes that same
+//! cache shard first to swap `InFlight → Done` and harvest the
+//! follower list, so every harvested follower is already visible in
+//! its jobs shard by the time the completion fan-out looks for it —
+//! the shard split changes which mutex provides the ordering, not the
+//! ordering itself.
 
 use crate::api::{JobStatus, JobView, ResolvedJob, TraceSource};
-use crate::metrics::Metrics;
+use crate::metrics::{bump, Metrics};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use redcache::RunReport;
@@ -32,6 +55,35 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Shards per state map. Sixteen is enough that sequential job ids
+/// and hashed content keys both spread evenly, while keeping the
+/// retention sweeps' all-shard scans cheap.
+pub const SHARD_COUNT: usize = 16;
+
+/// A `u64`-keyed hash map split into independently locked shards.
+struct Shards<V> {
+    shards: Vec<Mutex<HashMap<u64, V>>>,
+}
+
+impl<V> Shards<V> {
+    fn new() -> Self {
+        Self {
+            shards: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    /// The shard owning `key`. Job ids are sequential and content
+    /// keys are FNV hashes; low bits spread both well.
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, V>> {
+        &self.shards[(key as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// All shards, for one-at-a-time sweeps.
+    fn iter(&self) -> impl Iterator<Item = &Mutex<HashMap<u64, V>>> {
+        self.shards.iter()
+    }
+}
 
 /// One queued unit of work: a job id to look up and run.
 #[derive(Debug, Clone, Copy)]
@@ -80,6 +132,15 @@ impl Job {
             wall_s: self.wall_s,
             gen_s: self.gen_s,
             error: self.error.clone(),
+        }
+    }
+
+    /// Terminal-and-prunable per the retention policy.
+    fn prunable(&self) -> bool {
+        match self.status {
+            JobStatus::Completed | JobStatus::Failed => true,
+            JobStatus::Canceled => self.retired,
+            JobStatus::Queued | JobStatus::Running => false,
         }
     }
 }
@@ -144,10 +205,10 @@ type TraceCell = Arc<OnceLock<(SharedTraces, f64)>>;
 pub struct Daemon {
     /// All counters exported at `/metrics`.
     pub metrics: Metrics,
-    jobs: Mutex<HashMap<u64, Job>>,
-    cache: Mutex<HashMap<u64, CacheEntry>>,
+    jobs: Shards<Job>,
+    cache: Shards<CacheEntry>,
     /// Trace sets stamped for LRU eviction (stamp, cell).
-    traces: Mutex<HashMap<u64, (u64, TraceCell)>>,
+    traces: Shards<(u64, TraceCell)>,
     tx: Mutex<Option<Sender<WorkItem>>>,
     next_id: AtomicU64,
     /// Monotonic stamp source for the LRU eviction orders.
@@ -179,9 +240,9 @@ impl Daemon {
         let (tx, rx) = bounded(queue_capacity.max(1));
         let d = Arc::new(Self {
             metrics: Metrics::new(workers.max(1)),
-            jobs: Mutex::new(HashMap::new()),
-            cache: Mutex::new(HashMap::new()),
-            traces: Mutex::new(HashMap::new()),
+            jobs: Shards::new(),
+            cache: Shards::new(),
+            traces: Shards::new(),
             tx: Mutex::new(Some(tx)),
             next_id: AtomicU64::new(1),
             lru_clock: AtomicU64::new(0),
@@ -194,70 +255,96 @@ impl Daemon {
         (d, rx)
     }
 
-    /// Next LRU stamp.
+    /// Next LRU stamp. `Relaxed` is enough: the RMW is still atomic
+    /// (stamps stay unique) and every stamp comparison happens under
+    /// a shard lock.
     fn touch(&self) -> u64 {
-        self.lru_clock.fetch_add(1, Ordering::SeqCst)
+        self.lru_clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Evicts least-recently-used `Done` entries beyond the retention
-    /// cap. In-flight entries are never evicted. Caller holds `cache`.
-    fn evict_cached_results(&self, cache: &mut HashMap<u64, CacheEntry>) {
+    /// cap. In-flight entries are never evicted. Takes cache shards
+    /// one at a time with nothing else held; a victim is re-checked
+    /// under its shard lock (same key *and* same stamp) so an entry
+    /// touched between the scan and the eviction survives.
+    fn evict_cached_results(&self) {
         let cap = self.retention.max_cached_results.max(1);
-        let mut done: Vec<(u64, u64)> = cache
-            .iter()
-            .filter_map(|(k, e)| match e {
-                CacheEntry::Done { last_used, .. } => Some((*last_used, *k)),
-                CacheEntry::InFlight { .. } => None,
-            })
-            .collect();
+        let mut done: Vec<(u64, u64)> = Vec::new();
+        for shard in self.cache.iter() {
+            for (k, e) in shard.lock().iter() {
+                if let CacheEntry::Done { last_used, .. } = e {
+                    done.push((*last_used, *k));
+                }
+            }
+        }
         if done.len() <= cap {
             return;
         }
         done.sort_unstable();
-        for (_, key) in &done[..done.len() - cap] {
-            cache.remove(key);
-            self.metrics.cache_evictions.fetch_add(1, Ordering::SeqCst);
+        for &(stamp, key) in &done[..done.len() - cap] {
+            let mut shard = self.cache.shard(key).lock();
+            let stale = matches!(
+                shard.get(&key),
+                Some(CacheEntry::Done { last_used, .. }) if *last_used == stamp
+            );
+            if stale {
+                shard.remove(&key);
+                bump(&self.metrics.cache_evictions);
+            }
         }
     }
 
     /// Drops least-recently-used trace sets beyond the retention cap.
     /// Safe against running jobs: they hold their own `Arc` to the
-    /// traces. Caller holds `traces`.
-    fn evict_trace_sets(&self, traces: &mut HashMap<u64, (u64, TraceCell)>) {
+    /// traces. Same one-shard-at-a-time, stamp-re-checked sweep as
+    /// [`Self::evict_cached_results`].
+    fn evict_trace_sets(&self) {
         let cap = self.retention.max_trace_sets.max(1);
-        if traces.len() <= cap {
+        let mut stamps: Vec<(u64, u64)> = Vec::new();
+        for shard in self.traces.iter() {
+            for (k, (s, _)) in shard.lock().iter() {
+                stamps.push((*s, *k));
+            }
+        }
+        if stamps.len() <= cap {
             return;
         }
-        let mut stamps: Vec<(u64, u64)> = traces.iter().map(|(k, (s, _))| (*s, *k)).collect();
         stamps.sort_unstable();
-        for (_, key) in &stamps[..stamps.len() - cap] {
-            traces.remove(key);
+        for &(stamp, key) in &stamps[..stamps.len() - cap] {
+            let mut shard = self.traces.shard(key).lock();
+            if matches!(shard.get(&key), Some((s, _)) if *s == stamp) {
+                shard.remove(&key);
+            }
         }
     }
 
     /// Prunes the oldest terminal jobs beyond the retention cap.
     /// Cancelled jobs count only once retired (see [`Job::retired`]):
     /// a cancelled leader still in the queue must stay visible so the
-    /// worker that dequeues it can find its key and followers. Caller
-    /// holds `jobs`.
-    fn prune_terminal_jobs(&self, jobs: &mut HashMap<u64, Job>) {
+    /// worker that dequeues it can find its key and followers. A
+    /// victim is re-checked under its shard lock (terminal jobs never
+    /// leave the terminal state, so the re-check only guards against
+    /// a concurrent sweep having removed it first).
+    fn prune_terminal_jobs(&self) {
         let cap = self.retention.max_terminal_jobs.max(1);
-        let mut terminal: Vec<u64> = jobs
-            .values()
-            .filter(|j| match j.status {
-                JobStatus::Completed | JobStatus::Failed => true,
-                JobStatus::Canceled => j.retired,
-                JobStatus::Queued | JobStatus::Running => false,
-            })
-            .map(|j| j.id)
-            .collect();
+        let mut terminal: Vec<u64> = Vec::new();
+        for shard in self.jobs.iter() {
+            for job in shard.lock().values() {
+                if job.prunable() {
+                    terminal.push(job.id);
+                }
+            }
+        }
         if terminal.len() <= cap {
             return;
         }
         terminal.sort_unstable();
-        for id in &terminal[..terminal.len() - cap] {
-            jobs.remove(id);
-            self.metrics.jobs_pruned.fetch_add(1, Ordering::SeqCst);
+        for &id in &terminal[..terminal.len() - cap] {
+            let mut shard = self.jobs.shard(id).lock();
+            if shard.get(&id).map(Job::prunable).unwrap_or(false) {
+                shard.remove(&id);
+                bump(&self.metrics.jobs_pruned);
+            }
         }
     }
 
@@ -280,7 +367,6 @@ impl Daemon {
         let Ok(entries) = std::fs::read_dir(dir) else {
             return;
         };
-        let mut cache = self.cache.lock();
         for entry in entries.flatten() {
             let path = entry.path();
             let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
@@ -297,7 +383,7 @@ impl Daemon {
             };
             match report_io::try_read_json::<RunReport>(&path) {
                 Ok(report) => {
-                    cache.insert(
+                    self.cache.shard(key).lock().insert(
                         key,
                         CacheEntry::Done {
                             report: Arc::new(report),
@@ -315,21 +401,25 @@ impl Daemon {
                 Err(_) => {}
             }
         }
-        self.evict_cached_results(&mut cache);
+        self.evict_cached_results();
     }
 
     /// Completed results resident in the cache.
     pub fn cache_entries(&self) -> usize {
         self.cache
-            .lock()
-            .values()
-            .filter(|e| matches!(e, CacheEntry::Done { .. }))
-            .count()
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .values()
+                    .filter(|e| matches!(e, CacheEntry::Done { .. }))
+                    .count()
+            })
+            .sum()
     }
 
     /// Trace sets resident in the store.
     pub fn trace_sets(&self) -> usize {
-        self.traces.lock().len()
+        self.traces.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Submits a resolved job: cache hit, coalesce, or enqueue — with
@@ -337,10 +427,10 @@ impl Daemon {
     /// daemon is draining.
     pub fn submit(&self, resolved: ResolvedJob) -> Submitted {
         if self.is_draining() {
-            self.metrics.rejected.fetch_add(1, Ordering::SeqCst);
+            bump(&self.metrics.rejected);
             return Submitted::Busy { retry_after_s: 5 };
         }
-        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let key = resolved.key;
         let mut job = Job {
             id,
@@ -359,7 +449,9 @@ impl Daemon {
             error: None,
         };
 
-        let mut cache = self.cache.lock();
+        // Lock order: this key's cache shard, then this id's jobs
+        // shard, then (enqueue path only) the sender.
+        let mut cache = self.cache.shard(key).lock();
         match cache.get_mut(&key) {
             Some(CacheEntry::Done { report, last_used }) => {
                 *last_used = self.touch();
@@ -368,29 +460,30 @@ impl Daemon {
                 job.report = Some(report.clone());
                 job.wall_s = Some(0.0);
                 job.gen_s = Some(0.0);
-                self.metrics.cache_hits.fetch_add(1, Ordering::SeqCst);
-                self.metrics.submitted.fetch_add(1, Ordering::SeqCst);
-                self.metrics.completed.fetch_add(1, Ordering::SeqCst);
+                bump(&self.metrics.cache_hits);
+                bump(&self.metrics.submitted);
+                bump(&self.metrics.completed);
             }
             Some(CacheEntry::InFlight { followers }) => {
                 followers.push(id);
                 job.coalesced = true;
-                self.metrics.coalesced.fetch_add(1, Ordering::SeqCst);
-                self.metrics.submitted.fetch_add(1, Ordering::SeqCst);
+                bump(&self.metrics.coalesced);
+                bump(&self.metrics.submitted);
             }
             None => {
                 // Admission control: the job table gains the entry
                 // first so a worker dequeuing immediately finds it;
-                // the cache lock held across try_send keeps completion
-                // (which needs `cache`) ordered after the insert.
+                // the cache shard held across try_send keeps completion
+                // (which needs this same shard) ordered after the
+                // insert.
                 let view = {
-                    let mut jobs = self.jobs.lock();
+                    let mut jobs = self.jobs.shard(id).lock();
                     jobs.insert(id, job);
                     jobs[&id].view()
                 };
                 // Bump the gauge before try_send: a worker can dequeue
                 // (and decrement) the instant the item lands.
-                self.metrics.queue_depth.fetch_add(1, Ordering::SeqCst);
+                self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
                 let sent = {
                     let tx = self.tx.lock();
                     match tx.as_ref() {
@@ -406,62 +499,70 @@ impl Daemon {
                 return match sent {
                     Ok(()) => {
                         cache.insert(key, CacheEntry::InFlight { followers: vec![] });
-                        self.metrics.submitted.fetch_add(1, Ordering::SeqCst);
+                        bump(&self.metrics.submitted);
                         Submitted::Accepted(view)
                     }
                     Err(()) => {
-                        self.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
-                        self.jobs.lock().remove(&id);
-                        self.metrics.rejected.fetch_add(1, Ordering::SeqCst);
+                        self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        self.jobs.shard(id).lock().remove(&id);
+                        bump(&self.metrics.rejected);
                         Submitted::Busy { retry_after_s: 1 }
                     }
                 };
             }
         }
-        // Cache-hit and coalesced jobs enter the jobs map while the
-        // cache lock is still held: run_job's completion path takes
-        // `cache` before `jobs`, so a follower registered above is
-        // guaranteed to be in the map before its leader can finish.
-        // (Inserting after dropping `cache` opens a window where the
-        // leader completes, finds no such follower, and the follower
-        // is stranded as Queued forever.)
+        // Cache-hit and coalesced jobs enter the jobs map while this
+        // key's cache shard is still held: run_job's completion path
+        // takes the same cache shard before touching jobs shards, so a
+        // follower registered above is guaranteed to be in its jobs
+        // shard before its leader can finish. (Inserting after
+        // dropping the cache shard opens a window where the leader
+        // completes, finds no such follower, and the follower is
+        // stranded as Queued forever.)
+        let prune = matches!(job.status, JobStatus::Completed);
         let view = {
-            let mut jobs = self.jobs.lock();
-            let prune = matches!(job.status, JobStatus::Completed);
+            let mut jobs = self.jobs.shard(id).lock();
             let view = job.view();
             jobs.insert(id, job);
-            if prune {
-                self.prune_terminal_jobs(&mut jobs);
-            }
             view
         };
         drop(cache);
+        if prune {
+            self.prune_terminal_jobs();
+        }
         Submitted::Accepted(view)
     }
 
     /// One job's status.
     pub fn job_view(&self, id: u64) -> Option<JobView> {
-        self.jobs.lock().get(&id).map(Job::view)
+        self.jobs.shard(id).lock().get(&id).map(Job::view)
     }
 
     /// All jobs in submission order.
     pub fn job_views(&self) -> Vec<JobView> {
-        let jobs = self.jobs.lock();
-        let mut views: Vec<JobView> = jobs.values().map(Job::view).collect();
+        let mut views: Vec<JobView> = self
+            .jobs
+            .iter()
+            .flat_map(|s| s.lock().values().map(Job::view).collect::<Vec<_>>())
+            .collect();
         views.sort_by_key(|v| v.id);
         views
     }
 
     /// A completed job's report.
     pub fn job_report(&self, id: u64) -> Option<Arc<RunReport>> {
-        self.jobs.lock().get(&id).and_then(|j| j.report.clone())
+        self.jobs
+            .shard(id)
+            .lock()
+            .get(&id)
+            .and_then(|j| j.report.clone())
     }
 
     /// Cancels a job. Only queued jobs can be cancelled: `Ok` carries
     /// the updated view, `Err` the reason it could not be cancelled
     /// (`None` = no such job).
     pub fn cancel(&self, id: u64) -> Result<JobView, Option<String>> {
-        let mut jobs = self.jobs.lock();
+        let mut jobs = self.jobs.shard(id).lock();
         let Some(job) = jobs.get_mut(&id) else {
             return Err(None);
         };
@@ -469,7 +570,7 @@ impl Daemon {
             JobStatus::Queued => {
                 job.canceled = true;
                 job.status = JobStatus::Canceled;
-                self.metrics.canceled.fetch_add(1, Ordering::SeqCst);
+                bump(&self.metrics.canceled);
                 Ok(job.view())
             }
             other => Err(Some(format!("job is {other:?}, not queued"))),
@@ -497,16 +598,15 @@ impl Daemon {
     /// them, and whether this call performed the generation.
     fn traces_for(&self, r: &ResolvedJob) -> (SharedTraces, f64, bool) {
         let cell: TraceCell = {
-            let mut map = self.traces.lock();
+            let mut map = self.traces.shard(r.trace_key).lock();
             let stamp = self.touch();
             let entry = map.entry(r.trace_key).or_default();
             entry.0 = stamp;
-            let cell = entry.1.clone();
-            // The just-touched key carries the newest stamp, so it
-            // always survives the eviction below.
-            self.evict_trace_sets(&mut map);
-            cell
+            entry.1.clone()
         };
+        // The just-touched key carries the newest stamp at scan time,
+        // so it survives this sweep (run with no shard held).
+        self.evict_trace_sets();
         let mut generated_now = false;
         let (traces, gen_s) = cell.get_or_init(|| {
             generated_now = true;
@@ -532,14 +632,25 @@ impl Daemon {
 
     /// Executes one dequeued work item on worker `widx`.
     fn run_job(&self, id: u64, widx: usize) {
-        self.metrics.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+
+        // The content key names the cache shard, and the lock order
+        // is cache-shard-first — so read the key under the jobs shard
+        // alone, release, then take both in order. The job cannot
+        // vanish in between: only terminal jobs are pruned, and a
+        // queued leader is not terminal (a cancelled one is prunable
+        // only once *this* dequeue retires it).
+        let key = match self.jobs.shard(id).lock().get(&id) {
+            Some(job) => job.key,
+            None => return,
+        };
 
         // Decide: run, or retire a cancelled leader nobody follows.
         let resolved = {
-            let mut cache = self.cache.lock();
-            let mut jobs = self.jobs.lock();
+            let mut cache = self.cache.shard(key).lock();
+            let mut jobs = self.jobs.shard(id).lock();
             let Some(job) = jobs.get_mut(&id) else { return };
-            let key = job.key;
+            debug_assert_eq!(job.key, key);
             if job.canceled {
                 let has_followers = matches!(
                     cache.get(&key),
@@ -548,19 +659,24 @@ impl Daemon {
                 if !has_followers {
                     cache.remove(&key);
                     job.retired = true;
-                    self.prune_terminal_jobs(&mut jobs);
-                    return;
+                    None
+                } else {
+                    // Cancelled leader with followers: run anyway so
+                    // the followers get their result; the leader
+                    // stays cancelled.
+                    Some(job.resolved.clone())
                 }
-                // Cancelled leader with followers: run anyway so the
-                // followers get their result; the leader stays
-                // cancelled.
             } else {
                 job.status = JobStatus::Running;
+                Some(job.resolved.clone())
             }
-            job.resolved.clone()
+        };
+        let Some(resolved) = resolved else {
+            self.prune_terminal_jobs();
+            return;
         };
 
-        self.metrics.running.fetch_add(1, Ordering::SeqCst);
+        self.metrics.running.fetch_add(1, Ordering::Relaxed);
         let busy_started = Instant::now();
         if resolved.hold_ms > 0 {
             std::thread::sleep(std::time::Duration::from_millis(resolved.hold_ms));
@@ -570,37 +686,42 @@ impl Daemon {
             if generated_now {
                 self.metrics
                     .gen_micros
-                    .fetch_add((gen_s * 1e6) as u64, Ordering::SeqCst);
+                    .fetch_add((gen_s * 1e6) as u64, Ordering::Relaxed);
             }
             let (report, wall_s) = run_labelled(resolved.cfg, &resolved.label, traces);
             (report, wall_s, gen_s)
         }));
-        self.metrics.running.fetch_sub(1, Ordering::SeqCst);
+        self.metrics.running.fetch_sub(1, Ordering::Relaxed);
         self.metrics.worker_busy_micros[widx]
-            .fetch_add(busy_started.elapsed().as_micros() as u64, Ordering::SeqCst);
+            .fetch_add(busy_started.elapsed().as_micros() as u64, Ordering::Relaxed);
 
         match outcome {
             Ok((report, wall_s, gen_s)) => {
-                self.metrics.sims.fetch_add(1, Ordering::SeqCst);
+                bump(&self.metrics.sims);
                 self.metrics
                     .sim_micros
-                    .fetch_add((wall_s * 1e6) as u64, Ordering::SeqCst);
+                    .fetch_add((wall_s * 1e6) as u64, Ordering::Relaxed);
                 let report = Arc::new(report);
                 self.persist(resolved.key, &report);
-                let mut cache = self.cache.lock();
-                let followers = match cache.insert(
-                    resolved.key,
-                    CacheEntry::Done {
-                        report: report.clone(),
-                        last_used: self.touch(),
-                    },
-                ) {
-                    Some(CacheEntry::InFlight { followers }) => followers,
-                    _ => Vec::new(),
+                // Swap InFlight → Done and harvest followers under
+                // the key's cache shard; every follower in the list
+                // is already in its jobs shard (registration happened
+                // under this same shard — see submit).
+                let followers = {
+                    let mut cache = self.cache.shard(resolved.key).lock();
+                    match cache.insert(
+                        resolved.key,
+                        CacheEntry::Done {
+                            report: report.clone(),
+                            last_used: self.touch(),
+                        },
+                    ) {
+                        Some(CacheEntry::InFlight { followers }) => followers,
+                        _ => Vec::new(),
+                    }
                 };
-                self.evict_cached_results(&mut cache);
-                let mut jobs = self.jobs.lock();
                 for jid in std::iter::once(id).chain(followers) {
+                    let mut jobs = self.jobs.shard(jid).lock();
                     if let Some(job) = jobs.get_mut(&jid) {
                         if job.canceled {
                             job.retired = true;
@@ -610,22 +731,25 @@ impl Daemon {
                         job.report = Some(report.clone());
                         job.wall_s = Some(if jid == id { wall_s } else { 0.0 });
                         job.gen_s = Some(if jid == id { gen_s } else { 0.0 });
-                        self.metrics.completed.fetch_add(1, Ordering::SeqCst);
+                        bump(&self.metrics.completed);
                     }
                 }
-                self.prune_terminal_jobs(&mut jobs);
+                self.evict_cached_results();
+                self.prune_terminal_jobs();
             }
             Err(panic) => {
                 let msg = panic_message(&panic);
-                let mut cache = self.cache.lock();
                 // Drop the in-flight entry entirely: a retry should
                 // get a fresh run, not a poisoned cache slot.
-                let followers = match cache.remove(&resolved.key) {
-                    Some(CacheEntry::InFlight { followers }) => followers,
-                    _ => Vec::new(),
+                let followers = {
+                    let mut cache = self.cache.shard(resolved.key).lock();
+                    match cache.remove(&resolved.key) {
+                        Some(CacheEntry::InFlight { followers }) => followers,
+                        _ => Vec::new(),
+                    }
                 };
-                let mut jobs = self.jobs.lock();
                 for jid in std::iter::once(id).chain(followers) {
+                    let mut jobs = self.jobs.shard(jid).lock();
                     if let Some(job) = jobs.get_mut(&jid) {
                         if job.canceled {
                             job.retired = true;
@@ -633,10 +757,10 @@ impl Daemon {
                         }
                         job.status = JobStatus::Failed;
                         job.error = Some(msg.clone());
-                        self.metrics.failed.fetch_add(1, Ordering::SeqCst);
+                        bump(&self.metrics.failed);
                     }
                 }
-                self.prune_terminal_jobs(&mut jobs);
+                self.prune_terminal_jobs();
             }
         }
     }
@@ -905,5 +1029,70 @@ mod tests {
         assert_eq!(d2.metrics.sims.load(Ordering::SeqCst), 0);
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_single_flight_survives_concurrent_submitters() {
+        let _serial = SERIAL.lock();
+        let (d, rx) = Daemon::new(1, 64, None);
+
+        // A real worker drains while eight threads hammer the same
+        // content key: ids land in different jobs shards, the key in
+        // one cache shard. The per-shard follower-registration
+        // ordering must guarantee no submission is ever stranded
+        // Queued and the leader simulates exactly once (later
+        // submissions either coalesce onto the in-flight run or hit
+        // the finished cache entry).
+        let worker = {
+            let d = d.clone();
+            let rx = rx.clone();
+            std::thread::spawn(move || worker_loop(&d, &rx, 0))
+        };
+
+        let mut req = tiny_request("hist");
+        req.hold_ms = Some(25); // widen the in-flight window
+        let resolved = resolve(&req).unwrap();
+        let submitters: Vec<_> = (0..8)
+            .map(|_| {
+                let d = d.clone();
+                let r = resolved.clone();
+                std::thread::spawn(move || {
+                    (0..4)
+                        .map(|_| accepted(d.submit(r.clone())).id)
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        let ids: Vec<u64> = submitters
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+
+        // Wait for every job to reach a terminal state, then stop the
+        // worker by closing the queue.
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let all_done = ids
+                .iter()
+                .all(|&id| matches!(d.job_view(id).map(|v| v.status), Some(JobStatus::Completed)));
+            if all_done {
+                break;
+            }
+            assert!(Instant::now() < deadline, "stranded follower: {ids:?}");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        d.begin_drain();
+        worker.join().unwrap();
+
+        assert_eq!(d.metrics.sims.load(Ordering::SeqCst), 1, "single-flight");
+        assert_eq!(d.metrics.submitted.load(Ordering::SeqCst), 32);
+        assert_eq!(d.metrics.completed.load(Ordering::SeqCst), 32);
+        let first = d.job_report(ids[0]).unwrap();
+        for &id in &ids[1..] {
+            assert!(
+                Arc::ptr_eq(&first, &d.job_report(id).unwrap()),
+                "all submissions must share one Arc'd report"
+            );
+        }
     }
 }

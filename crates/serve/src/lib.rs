@@ -27,8 +27,11 @@
 //! | `GET /healthz`            | Liveness + drain state                              |
 //! | `POST /shutdown`          | Begin graceful drain (what SIGTERM does)            |
 //!
-//! The server is hand-rolled on `std::net::TcpListener` — no async
-//! runtime. See `DESIGN.md` §3.10 for the full protocol (queue and
+//! The server is hand-rolled on `std::net` — no async runtime. The
+//! default front end is an epoll event loop (see [`poll`] and
+//! `DESIGN.md` §3.12) with HTTP/1.1 keep-alive and pipelining; the
+//! original thread-per-connection engine remains selectable as a
+//! baseline. See `DESIGN.md` §3.10 for the job protocol (queue and
 //! backpressure semantics, cache-key definition, shutdown sequence).
 
 #![warn(missing_docs)]
@@ -38,10 +41,12 @@ pub mod client;
 pub mod http;
 pub mod jobs;
 pub mod metrics;
+#[cfg(unix)]
+pub mod poll;
 pub mod server;
 pub mod signals;
 
 pub use api::{JobRequest, JobStatus, JobView};
 pub use client::Client;
 pub use jobs::{Daemon, Retention, Submitted};
-pub use server::{ServeOptions, Server};
+pub use server::{Engine, ServeOptions, Server};

@@ -8,9 +8,23 @@
 //! `submitted = completed + failed + canceled` and
 //! `sims ≤ completed` (cache hits and coalesced followers complete
 //! without their own simulation).
+//!
+//! All bumps and loads use `Relaxed` ordering: these are pure
+//! statistics with no cross-field invariant that synchronizes other
+//! memory — every count the e2e suite reconciles is made consistent
+//! by the daemon's mutexes/channel, not by counter ordering. (SeqCst
+//! here would serialize every bump through one global order for no
+//! benefit; the pelikan grow-a-cache notes call this out as the
+//! classic over-synchronization tax.)
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Bumps a pure-statistic counter.
+#[inline]
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
 
 /// All daemon counters. Fields are public atomics so the job machinery
 /// bumps them directly.
@@ -46,6 +60,19 @@ pub struct Metrics {
     pub queue_depth: AtomicU64,
     /// Jobs being simulated right now.
     pub running: AtomicU64,
+    /// Connections currently open (admitted, not yet closed).
+    pub connections_open: AtomicU64,
+    /// Connections accepted from the listener, including ones
+    /// immediately refused over the max-connections limit.
+    pub connections_accepted: AtomicU64,
+    /// Requests served on an already-used connection (keep-alive or
+    /// pipelining; request number ≥ 2 on its socket).
+    pub keepalive_reuses: AtomicU64,
+    /// Responses sent with status 429 or 503 (backpressure +
+    /// connection-limit rejections), counted at response-write time.
+    pub http_429_or_503: AtomicU64,
+    /// HTTP requests routed (any status, any endpoint).
+    pub http_requests: AtomicU64,
     /// Per-worker busy microseconds (index = worker id).
     pub worker_busy_micros: Vec<AtomicU64>,
 }
@@ -69,6 +96,11 @@ impl Metrics {
             gen_micros: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             running: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+            keepalive_reuses: AtomicU64::new(0),
+            http_429_or_503: AtomicU64::new(0),
+            http_requests: AtomicU64::new(0),
             worker_busy_micros: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -77,7 +109,7 @@ impl Metrics {
     /// `cache_entries` and `draining` are point-in-time facts owned by
     /// the daemon rather than the counters.
     pub fn render(&self, queue_capacity: usize, cache_entries: usize, draining: bool) -> String {
-        let get = |a: &AtomicU64| a.load(Ordering::SeqCst);
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let uptime = self.started.elapsed().as_secs_f64();
         let sims = get(&self.sims);
         let submitted = get(&self.submitted);
@@ -196,6 +228,39 @@ impl Metrics {
             format!("running {}", get(&self.running)),
         );
         metric(
+            "connections_open",
+            "gauge",
+            "Connections currently open.",
+            format!("connections_open {}", get(&self.connections_open)),
+        );
+        metric(
+            "connections_accepted_total",
+            "counter",
+            "Connections accepted from the listener (including ones refused over the connection limit).",
+            format!(
+                "connections_accepted_total {}",
+                get(&self.connections_accepted)
+            ),
+        );
+        metric(
+            "keepalive_reuses_total",
+            "counter",
+            "Requests served on an already-used (kept-alive or pipelined) connection.",
+            format!("keepalive_reuses_total {}", get(&self.keepalive_reuses)),
+        );
+        metric(
+            "http_429_or_503_total",
+            "counter",
+            "Responses sent with status 429 or 503 (backpressure and connection-limit rejections).",
+            format!("http_429_or_503_total {}", get(&self.http_429_or_503)),
+        );
+        metric(
+            "http_requests_total",
+            "counter",
+            "HTTP requests routed, any status.",
+            format!("http_requests_total {}", get(&self.http_requests)),
+        );
+        metric(
             "workers",
             "gauge",
             "Size of the worker pool.",
@@ -255,7 +320,7 @@ impl Metrics {
         for (i, w) in self.worker_busy_micros.iter().enumerate() {
             out.push_str(&format!(
                 "redcache_serve_worker_busy_seconds_total{{worker=\"{i}\"}} {:.6}\n",
-                w.load(Ordering::SeqCst) as f64 / 1e6
+                w.load(Ordering::Relaxed) as f64 / 1e6
             ));
         }
         out
@@ -271,6 +336,9 @@ mod tests {
         let m = Metrics::new(2);
         m.submitted.store(4, Ordering::SeqCst);
         m.cache_hits.store(1, Ordering::SeqCst);
+        m.connections_accepted.store(7, Ordering::SeqCst);
+        m.keepalive_reuses.store(5, Ordering::SeqCst);
+        m.http_429_or_503.store(2, Ordering::SeqCst);
         let text = m.render(8, 3, false);
         for name in [
             "jobs_submitted_total",
@@ -288,6 +356,11 @@ mod tests {
             "queue_depth",
             "queue_capacity",
             "running",
+            "connections_open",
+            "connections_accepted_total",
+            "keepalive_reuses_total",
+            "http_429_or_503_total",
+            "http_requests_total",
             "workers",
             "cache_entries",
             "draining",
@@ -306,5 +379,8 @@ mod tests {
         assert!(text.contains("redcache_serve_worker_busy_seconds_total{worker=\"1\"}"));
         assert!(text.contains("redcache_serve_queue_capacity 8\n"));
         assert!(text.contains("redcache_serve_cache_entries 3\n"));
+        assert!(text.contains("redcache_serve_connections_accepted_total 7\n"));
+        assert!(text.contains("redcache_serve_keepalive_reuses_total 5\n"));
+        assert!(text.contains("redcache_serve_http_429_or_503_total 2\n"));
     }
 }

@@ -1,0 +1,371 @@
+//! Readiness polling for the event-driven connection layer, with no
+//! external crates: on Linux this is `epoll(7)` declared straight
+//! through `extern "C"` (std already links libc, the same trick
+//! [`crate::signals`] uses for `signal(2)`); on other unixes it
+//! degrades to a `poll(2)` emulation with the identical API. Non-unix
+//! builds compile the serve crate without this module and fall back to
+//! the threaded engine.
+//!
+//! The surface is deliberately tiny — add/modify/delete one fd with a
+//! `u64` token plus a level-triggered wait — because that is all the
+//! event loop in [`crate::server`] needs. Level-triggered semantics
+//! keep the loop honest: nothing is lost if a readiness notification
+//! is only partially consumed.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// Readiness interest for one registered fd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer half-closed).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the steady state of an idle connection.
+    pub const READ: Self = Self {
+        readable: true,
+        writable: false,
+    };
+    /// Read+write interest — used while a response is partially
+    /// flushed.
+    pub const READ_WRITE: Self = Self {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable (includes peer half-close / pending EOF).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup — the connection should be read to EOF and
+    /// closed.
+    pub hangup: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    // The kernel packs epoll_event on x86-64 only (uapi
+    // `__EPOLL_PACKED`); every other architecture uses natural
+    // alignment.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// A level-triggered `epoll(7)` instance.
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    // The epoll fd is just an integer capability; all operations on it
+    // are kernel-side thread-safe.
+    unsafe impl Send for Poller {}
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    impl Poller {
+        /// Creates a fresh epoll instance (close-on-exec).
+        pub fn new() -> io::Result<Self> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Self { epfd })
+        }
+
+        /// Registers `fd` under `token` with the given interest.
+        pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask(interest),
+                data: token,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut ev) }).map(|_| ())
+        }
+
+        /// Changes a registered fd's token/interest.
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask(interest),
+                data: token,
+            };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_MOD, fd, &mut ev) }).map(|_| ())
+        }
+
+        /// Unregisters `fd`.
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            // Pre-2.6.9 kernels required a non-null event for DEL; a
+            // dummy keeps the call portable.
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+        }
+
+        /// Blocks up to `timeout_ms` (`-1` = forever) and fills `out`
+        /// with ready events. EINTR yields an empty set, not an error.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            const MAX_EVENTS: usize = 256;
+            let mut raw = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+            let n = loop {
+                match cvt(unsafe {
+                    epoll_wait(self.epfd, raw.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms)
+                }) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => break 0,
+                    Err(e) => return Err(e),
+                }
+            };
+            out.clear();
+            for ev in &raw[..n] {
+                // Copy out of the (possibly packed) struct before use.
+                let events = ev.events;
+                let data = ev.data;
+                out.push(Event {
+                    token: data,
+                    readable: events & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: events & EPOLLOUT != 0,
+                    hangup: events & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! `poll(2)` emulation for non-Linux unixes: a registry of
+    //! (fd, token, interest) rebuilt into a `pollfd` array per wait.
+    //! O(n) per call, which is fine for the connection counts these
+    //! hosts see; Linux gets the real epoll above.
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        // nfds_t is `unsigned int` on the BSD family this fallback
+        // targets.
+        fn poll(fds: *mut PollFd, nfds: u32, timeout: i32) -> i32;
+    }
+
+    /// A `poll(2)`-backed stand-in with the epoll `Poller`'s API.
+    pub struct Poller {
+        registry: Mutex<Vec<(RawFd, u64, Interest)>>,
+    }
+
+    impl Poller {
+        /// Creates an empty registry.
+        pub fn new() -> io::Result<Self> {
+            Ok(Self {
+                registry: Mutex::new(Vec::new()),
+            })
+        }
+
+        /// Registers `fd` under `token` with the given interest.
+        pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut reg = self.registry.lock().unwrap();
+            if reg.iter().any(|&(f, _, _)| f == fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            reg.push((fd, token, interest));
+            Ok(())
+        }
+
+        /// Changes a registered fd's token/interest.
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut reg = self.registry.lock().unwrap();
+            match reg.iter_mut().find(|(f, _, _)| *f == fd) {
+                Some(slot) => {
+                    slot.1 = token;
+                    slot.2 = interest;
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        /// Unregisters `fd`.
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut reg = self.registry.lock().unwrap();
+            let before = reg.len();
+            reg.retain(|&(f, _, _)| f != fd);
+            if reg.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        /// Blocks up to `timeout_ms` (`-1` = forever) and fills `out`
+        /// with ready events. EINTR yields an empty set, not an error.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            let snapshot: Vec<(RawFd, u64, Interest)> = self.registry.lock().unwrap().clone();
+            let mut fds: Vec<PollFd> = snapshot
+                .iter()
+                .map(|&(fd, _, interest)| PollFd {
+                    fd,
+                    events: if interest.writable {
+                        POLLIN | POLLOUT
+                    } else {
+                        POLLIN
+                    },
+                    revents: 0,
+                })
+                .collect();
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u32, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    out.clear();
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            out.clear();
+            for (pfd, &(_, token, _)) in fds.iter().zip(&snapshot) {
+                if pfd.revents != 0 {
+                    out.push(Event {
+                        token,
+                        readable: pfd.revents & (POLLIN | POLLHUP) != 0,
+                        writable: pfd.revents & POLLOUT != 0,
+                        hangup: pfd.revents & (POLLERR | POLLHUP) != 0,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub use sys::Poller;
+
+/// Convenience: registers read-only interest.
+pub fn add_readable(p: &Poller, fd: RawFd, token: u64) -> io::Result<()> {
+    p.add(fd, token, Interest::READ)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        add_readable(&poller, listener.as_raw_fd(), 7).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "no client yet, nothing may be ready");
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poller.wait(&mut events, 2_000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn write_interest_toggles_and_delete_unregisters() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller
+            .add(server_side.as_raw_fd(), 1, Interest::READ)
+            .unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "idle socket with read interest only");
+
+        // An empty socket buffer is immediately writable once OUT
+        // interest is registered.
+        poller
+            .modify(server_side.as_raw_fd(), 1, Interest::READ_WRITE)
+            .unwrap();
+        poller.wait(&mut events, 2_000).unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+
+        // After delete, even incoming data wakes nothing.
+        poller.delete(server_side.as_raw_fd()).unwrap();
+        client.write_all(b"ping").unwrap();
+        poller.wait(&mut events, 50).unwrap();
+        assert!(events.is_empty(), "deleted fd must not produce events");
+    }
+}

@@ -1,51 +1,127 @@
-//! The daemon itself: a `TcpListener` accept loop, thread-per-request
-//! handlers, the fixed worker pool, and the graceful-shutdown
-//! sequence.
+//! The daemon itself: the connection front end (an epoll event loop
+//! by default, with the original thread-per-connection engine kept as
+//! a selectable baseline), the fixed worker pool, and the
+//! graceful-shutdown sequence.
+//!
+//! # Engines
+//!
+//! * [`Engine::Epoll`] — the default on unix. A small number of event
+//!   threads each run a level-triggered [`crate::poll::Poller`] over
+//!   nonblocking sockets with per-connection read/write state
+//!   machines: requests are parsed incrementally
+//!   ([`crate::http::parse_request`]), several pipelined requests in
+//!   one buffer are answered in order, and connections persist across
+//!   requests (HTTP/1.1 keep-alive) until the client asks for
+//!   `Connection: close`, a deadline fires, or the daemon drains.
+//!   Idle/read/write deadlines replace the blanket socket timeouts: a
+//!   connection mid-request or mid-response gets [`IO_TIMEOUT`] of
+//!   inactivity, an idle keep-alive connection [`IDLE_TIMEOUT`].
+//!   Beyond `max_connections` admitted sockets, new accepts are
+//!   answered `503` and closed immediately (accept-then-503, so the
+//!   client gets a diagnosable response instead of a SYN backlog
+//!   stall).
+//! * [`Engine::Threaded`] — one thread per accepted connection, one
+//!   request per connection, blanket socket timeouts. Kept verbatim
+//!   as the measured baseline for `redcache-bomber` and as the
+//!   non-unix fallback.
 //!
 //! # Shutdown protocol
 //!
 //! 1. A `SIGTERM`/`SIGINT` (or `POST /shutdown`) flips the drain state.
-//! 2. The accept loop notices within one poll interval, stops
-//!    accepting, and calls [`jobs::Daemon::begin_drain`]: new
-//!    submissions get `503`, and the queue's sender is dropped.
+//! 2. The front end notices within one poll interval, stops accepting
+//!    and reading, flushes pending responses (bounded by
+//!    [`DRAIN_FLUSH`] in the event engine), and calls
+//!    [`jobs::Daemon::begin_drain`]: new submissions get `503`, and
+//!    the queue's sender is dropped.
 //! 3. Workers finish the jobs already queued or running — persisting
 //!    each result to the spool — then exit when `recv` fails on the
 //!    closed, empty channel.
-//! 4. [`Server::run`] joins the in-flight connection handlers (so the
-//!    `/shutdown` caller always receives its `202`) and every worker,
-//!    then returns.
+//! 4. [`Server::run`] joins the front end (so the `/shutdown` caller
+//!    always receives its `202`) and every worker, then returns.
 
 use crate::api::{resolve, JobRequest};
 use crate::http::{read_request, Request, Response};
 use crate::jobs::{self, Daemon, Submitted};
+use crate::metrics::bump;
 use crate::signals;
 use redcache_bench::report_io::{Saved, SCHEMA_VERSION};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// How often the accept loop checks the shutdown/drain flags.
+/// How often the front end checks the shutdown/drain flags.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
-/// Per-direction socket timeout for connection handlers. Both
-/// directions are bounded: a silent sender must not wedge
-/// `read_request` and a stalled reader must not wedge
-/// `Response::write_to`.
+/// Inactivity bound while a request or response is in flight. In the
+/// threaded engine this is the per-direction socket timeout; in the
+/// event engine it is the read/write deadline enforced by the sweep.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Inactivity bound for an idle keep-alive connection (no partial
+/// request buffered, nothing left to write).
+const IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Bound on the event engine's post-shutdown flush of pending
+/// responses.
+const DRAIN_FLUSH: Duration = Duration::from_secs(3);
 
 /// Extra allowance in the drain-time assertion for scheduling noise on
 /// a loaded machine.
 const DRAIN_SLACK: Duration = Duration::from_secs(5);
 
-/// Applies both I/O timeouts to one accepted connection. A handler's
-/// life is bounded by (roughly) one read timeout plus one write
-/// timeout; `Server::run` asserts that bound when draining.
+/// Applies both I/O timeouts to one accepted connection (threaded
+/// engine). A handler's life is bounded by (roughly) one read timeout
+/// plus one write timeout; `Server::run` asserts that bound when
+/// draining.
 fn configure_stream(stream: &TcpStream) -> io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     Ok(())
+}
+
+/// Connection front-end implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Event loop over nonblocking sockets with keep-alive and
+    /// pipelining (unix; falls back to `Threaded` elsewhere).
+    Epoll,
+    /// Thread-per-connection, one request per connection — the
+    /// measured baseline.
+    Threaded,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        if cfg!(unix) {
+            Engine::Epoll
+        } else {
+            Engine::Threaded
+        }
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "epoll" | "event" => Ok(Engine::Epoll),
+            "threaded" | "thread" => Ok(Engine::Threaded),
+            other => Err(format!("unknown engine {other:?} (epoll|threaded)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Engine::Epoll => "epoll",
+            Engine::Threaded => "threaded",
+        })
+    }
 }
 
 /// Daemon configuration.
@@ -59,15 +135,32 @@ pub struct ServeOptions {
     pub queue_capacity: usize,
     /// Directory results are persisted to (and warmed from), if any.
     pub spool: Option<PathBuf>,
+    /// Connection front end.
+    pub engine: Engine,
+    /// Admitted-connection ceiling; accepts beyond it are answered
+    /// `503` and closed.
+    pub max_connections: usize,
+    /// Event-loop threads (epoll engine only).
+    pub event_threads: usize,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
+        // REDCACHE_SERVE_ENGINE=threaded|epoll overrides the default,
+        // same pattern as REDCACHE_CHANNEL_PAR: it lets CI exercise
+        // both front ends without plumbing flags everywhere.
+        let engine = std::env::var("REDCACHE_SERVE_ENGINE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_default();
         Self {
             addr: "127.0.0.1:7878".to_string(),
             workers: redcache_bench::pool::max_workers(),
             queue_capacity: 32,
             spool: None,
+            engine,
+            max_connections: 1024,
+            event_threads: redcache_bench::pool::max_workers().clamp(1, 4),
         }
     }
 }
@@ -78,6 +171,9 @@ pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
     workers: Vec<std::thread::JoinHandle<()>>,
+    engine: Engine,
+    max_connections: usize,
+    event_threads: usize,
 }
 
 impl Server {
@@ -108,6 +204,9 @@ impl Server {
             listener,
             local_addr,
             workers,
+            engine: opts.engine,
+            max_connections: opts.max_connections.max(1),
+            event_threads: opts.event_threads.clamp(1, 64),
         })
     }
 
@@ -129,6 +228,51 @@ impl Server {
     /// Propagates fatal accept-loop I/O errors (per-connection errors
     /// are logged and survived).
     pub fn run(self) -> io::Result<()> {
+        match self.engine {
+            #[cfg(unix)]
+            Engine::Epoll => self.run_event(),
+            #[cfg(not(unix))]
+            Engine::Epoll => self.run_threaded(),
+            Engine::Threaded => self.run_threaded(),
+        }
+    }
+
+    /// The epoll event-loop front end: `event_threads` loops share the
+    /// listener and each own their accepted connections outright.
+    #[cfg(unix)]
+    fn run_event(self) -> io::Result<()> {
+        let shared = Arc::new(event::Shared {
+            daemon: self.daemon.clone(),
+            listener: self.listener,
+            open: AtomicU64::new(0),
+            max_connections: self.max_connections as u64,
+        });
+        let loops: Vec<_> = (0..self.event_threads)
+            .map(|i| {
+                let sh = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-event-{i}"))
+                    .spawn(move || event::run_loop(&sh))
+                    .expect("spawn event loop")
+            })
+            .collect();
+        let mut result = Ok(());
+        for h in loops {
+            match h.join() {
+                Ok(Err(e)) if result.is_ok() => result = Err(e),
+                _ => {}
+            }
+        }
+        self.daemon.begin_drain();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        result
+    }
+
+    /// The thread-per-connection baseline front end.
+    fn run_threaded(self) -> io::Result<()> {
+        let open = Arc::new(AtomicU64::new(0));
         let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
         loop {
             if signals::requested() || self.daemon.is_draining() {
@@ -136,12 +280,32 @@ impl Server {
             }
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    bump(&self.daemon.metrics.connections_accepted);
+                    if open.load(Ordering::Relaxed) >= self.max_connections as u64 {
+                        bump(&self.daemon.metrics.http_429_or_503);
+                        let _ = configure_stream(&stream);
+                        let mut stream = stream;
+                        let _ = Response::error(503, "connection limit reached")
+                            .with_header("retry-after", "1")
+                            .write_to(&mut stream);
+                        continue;
+                    }
+                    open.fetch_add(1, Ordering::Relaxed);
+                    self.daemon
+                        .metrics
+                        .connections_open
+                        .fetch_add(1, Ordering::Relaxed);
                     conns.retain(|h| !h.is_finished());
                     let d = self.daemon.clone();
+                    let open = open.clone();
                     conns.push(
                         std::thread::Builder::new()
                             .name("serve-conn".to_string())
-                            .spawn(move || handle_connection(&d, stream))
+                            .spawn(move || {
+                                handle_connection(&d, stream);
+                                open.fetch_sub(1, Ordering::Relaxed);
+                                d.metrics.connections_open.fetch_sub(1, Ordering::Relaxed);
+                            })
                             .expect("spawn connection handler"),
                     );
                 }
@@ -176,6 +340,16 @@ impl Server {
     }
 }
 
+/// Response accounting shared by both engines: every routed request
+/// counts, and 429/503 responses feed the backpressure counter the
+/// bomber reconciles against.
+fn note_response(daemon: &Daemon, response: &Response) {
+    bump(&daemon.metrics.http_requests);
+    if response.status == 429 || response.status == 503 {
+        bump(&daemon.metrics.http_429_or_503);
+    }
+}
+
 fn handle_connection(daemon: &Arc<Daemon>, stream: TcpStream) {
     if configure_stream(&stream).is_err() {
         return;
@@ -185,12 +359,434 @@ fn handle_connection(daemon: &Arc<Daemon>, stream: TcpStream) {
         Err(_) => return,
     });
     let response = match read_request(&mut reader) {
-        Ok(Some(req)) => route(daemon, &req),
+        Ok(Some(req)) => {
+            let resp = route(daemon, &req);
+            note_response(daemon, &resp);
+            resp
+        }
         Ok(None) => return,
         Err(e) => Response::error(400, &format!("bad request: {e}")),
     };
     let mut stream = stream;
     let _ = response.write_to(&mut stream);
+}
+
+/// The epoll event loop: nonblocking accept, per-connection
+/// read/parse/route/flush state machines, deadline sweeps, and a
+/// bounded drain flush.
+#[cfg(unix)]
+mod event {
+    use super::*;
+    use crate::http::{parse_request, MAX_REQUEST_BYTES};
+    use crate::poll::{Interest, Poller};
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+
+    /// Token reserved for the shared listener in every loop.
+    const LISTENER_TOKEN: u64 = u64::MAX;
+
+    /// Deadline sweep cadence.
+    const SWEEP_INTERVAL: Duration = Duration::from_millis(250);
+
+    /// Read chunk size.
+    const READ_CHUNK: usize = 16 * 1024;
+
+    /// Capacity above which drained buffers are shrunk back, so one
+    /// burst cannot pin a connection's memory forever.
+    const SHRINK_ABOVE: usize = 1 << 20;
+
+    /// State shared by every event loop.
+    pub(super) struct Shared {
+        pub daemon: Arc<Daemon>,
+        pub listener: TcpListener,
+        /// Admitted connections across all loops (the max-connections
+        /// ceiling is global, not per loop).
+        pub open: AtomicU64,
+        pub max_connections: u64,
+    }
+
+    /// One admitted connection's state machine.
+    struct Conn {
+        stream: TcpStream,
+        /// Unparsed request bytes.
+        buf: Vec<u8>,
+        /// Rendered-but-unflushed response bytes.
+        out: Vec<u8>,
+        out_pos: usize,
+        /// Last read or write progress (deadline sweeps key off it).
+        last_activity: Instant,
+        /// Requests served on this connection.
+        served: u64,
+        /// Stop reading; close once `out` is flushed.
+        close_after_flush: bool,
+        /// Current poller interest includes OUT.
+        want_write: bool,
+        /// Unrecoverable; close without flushing.
+        dead: bool,
+    }
+
+    impl Conn {
+        fn pending_out(&self) -> bool {
+            self.out_pos < self.out.len()
+        }
+    }
+
+    pub(super) fn run_loop(shared: &Shared) -> io::Result<()> {
+        EventLoop {
+            shared,
+            poller: Poller::new()?,
+            conns: Vec::new(),
+            free: Vec::new(),
+            pending_free: Vec::new(),
+        }
+        .run()
+    }
+
+    struct EventLoop<'a> {
+        shared: &'a Shared,
+        poller: Poller,
+        conns: Vec<Option<Conn>>,
+        free: Vec<usize>,
+        /// Slots freed during the current event batch; only recycled
+        /// once the batch ends so a stale event cannot hit a new
+        /// connection that reused the token.
+        pending_free: Vec<usize>,
+    }
+
+    impl EventLoop<'_> {
+        fn run(mut self) -> io::Result<()> {
+            self.poller.add(
+                self.shared.listener.as_raw_fd(),
+                LISTENER_TOKEN,
+                Interest::READ,
+            )?;
+            let mut events = Vec::new();
+            let mut last_sweep = Instant::now();
+            loop {
+                if signals::requested() || self.shared.daemon.is_draining() {
+                    break;
+                }
+                self.poller
+                    .wait(&mut events, POLL_INTERVAL.as_millis() as i32)?;
+                for ev in &events {
+                    if ev.token == LISTENER_TOKEN {
+                        self.accept_burst()?;
+                    } else {
+                        self.handle_conn_event(
+                            ev.token as usize,
+                            ev.readable || ev.hangup,
+                            ev.writable,
+                        );
+                    }
+                }
+                self.free.append(&mut self.pending_free);
+                if last_sweep.elapsed() >= SWEEP_INTERVAL {
+                    self.sweep_deadlines();
+                    self.free.append(&mut self.pending_free);
+                    last_sweep = Instant::now();
+                }
+            }
+
+            // Drain: stop accepting and reading, give pending
+            // responses a bounded window to flush, then close all.
+            self.shared.daemon.begin_drain();
+            let drain_started = Instant::now();
+            let deadline = drain_started + DRAIN_FLUSH;
+            while Instant::now() < deadline
+                && self
+                    .conns
+                    .iter()
+                    .any(|c| c.as_ref().map(Conn::pending_out).unwrap_or(false))
+            {
+                self.poller.wait(&mut events, 25)?;
+                for slot in 0..self.conns.len() {
+                    let Some(mut conn) = self.conns[slot].take() else {
+                        continue;
+                    };
+                    if conn.pending_out() {
+                        self.flush(&mut conn);
+                    }
+                    if conn.dead || !conn.pending_out() {
+                        self.finish_close(conn);
+                    } else {
+                        self.conns[slot] = Some(conn);
+                    }
+                }
+            }
+            for slot in 0..self.conns.len() {
+                if let Some(conn) = self.conns[slot].take() {
+                    self.finish_close(conn);
+                }
+            }
+            let drained_in = drain_started.elapsed();
+            // The flush window above is the only unbounded-looking
+            // loop; if the drain overran it, a deadline was lost.
+            debug_assert!(
+                drained_in <= DRAIN_FLUSH + DRAIN_SLACK,
+                "event-loop drain took {drained_in:?}; a loop is unbounded"
+            );
+            Ok(())
+        }
+
+        /// Accepts until the listener would block. Over the global
+        /// ceiling, the socket still gets a one-shot best-effort 503
+        /// so the client sees a diagnosable rejection rather than a
+        /// silent reset.
+        fn accept_burst(&mut self) -> io::Result<()> {
+            loop {
+                match self.shared.listener.accept() {
+                    Ok((stream, _)) => {
+                        bump(&self.shared.daemon.metrics.connections_accepted);
+                        let _ = stream.set_nodelay(true);
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let prev = self.shared.open.fetch_add(1, Ordering::Relaxed);
+                        if prev >= self.shared.max_connections {
+                            self.shared.open.fetch_sub(1, Ordering::Relaxed);
+                            bump(&self.shared.daemon.metrics.http_429_or_503);
+                            let mut stream = stream;
+                            let _ = stream.write(
+                                &Response::error(503, "connection limit reached")
+                                    .with_header("retry-after", "1")
+                                    .render(false),
+                            );
+                            continue;
+                        }
+                        self.shared
+                            .daemon
+                            .metrics
+                            .connections_open
+                            .fetch_add(1, Ordering::Relaxed);
+                        let slot = self.free.pop().unwrap_or_else(|| {
+                            self.conns.push(None);
+                            self.conns.len() - 1
+                        });
+                        let fd = stream.as_raw_fd();
+                        let conn = Conn {
+                            stream,
+                            buf: Vec::new(),
+                            out: Vec::new(),
+                            out_pos: 0,
+                            last_activity: Instant::now(),
+                            served: 0,
+                            close_after_flush: false,
+                            want_write: false,
+                            dead: false,
+                        };
+                        if self.poller.add(fd, slot as u64, Interest::READ).is_err() {
+                            self.shared.open.fetch_sub(1, Ordering::Relaxed);
+                            self.shared
+                                .daemon
+                                .metrics
+                                .connections_open
+                                .fetch_sub(1, Ordering::Relaxed);
+                            self.free.push(slot);
+                            continue;
+                        }
+                        self.conns[slot] = Some(conn);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        /// Drives one connection through read → parse/route → flush.
+        fn handle_conn_event(&mut self, slot: usize, readable: bool, _writable: bool) {
+            let Some(mut conn) = self.conns.get_mut(slot).and_then(Option::take) else {
+                return; // stale event for a closed slot
+            };
+            if readable && !conn.close_after_flush && !conn.dead {
+                self.read_into(&mut conn);
+                if !conn.dead {
+                    self.process_buffer(&mut conn);
+                }
+            }
+            if !conn.dead {
+                self.flush(&mut conn);
+            }
+            self.settle(slot, conn);
+        }
+
+        /// Puts a connection back (updating poller interest) or closes
+        /// it, depending on where the state machine landed.
+        fn settle(&mut self, slot: usize, conn: Conn) {
+            if conn.dead || (conn.close_after_flush && !conn.pending_out()) {
+                self.pending_free.push(slot);
+                self.finish_close(conn);
+                return;
+            }
+            let want = conn.pending_out();
+            if want != conn.want_write {
+                let interest = if want {
+                    Interest::READ_WRITE
+                } else {
+                    Interest::READ
+                };
+                if self
+                    .poller
+                    .modify(conn.stream.as_raw_fd(), slot as u64, interest)
+                    .is_err()
+                {
+                    self.pending_free.push(slot);
+                    self.finish_close(conn);
+                    return;
+                }
+            }
+            let mut conn = conn;
+            conn.want_write = want;
+            self.conns[slot] = Some(conn);
+        }
+
+        /// Nonblocking read until WouldBlock/EOF, appending to the
+        /// parse buffer.
+        fn read_into(&mut self, conn: &mut Conn) {
+            let mut chunk = [0u8; READ_CHUNK];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        // EOF: a partial request is an error; a clean
+                        // close just retires the connection once any
+                        // pending response is out.
+                        if !conn.buf.is_empty() {
+                            self.queue_error(conn, 400, "connection closed inside request");
+                        }
+                        conn.close_after_flush = true;
+                        return;
+                    }
+                    Ok(n) => {
+                        conn.buf.extend_from_slice(&chunk[..n]);
+                        conn.last_activity = Instant::now();
+                        if conn.buf.len() > MAX_REQUEST_BYTES {
+                            // Unreachable past the parser's own caps;
+                            // belt-and-braces bound on buffered bytes.
+                            self.queue_error(conn, 400, "request too large");
+                            return;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conn.dead = true;
+                        return;
+                    }
+                }
+            }
+        }
+
+        /// Parses and routes every complete request buffered so far
+        /// (pipelining), appending responses in arrival order.
+        fn process_buffer(&mut self, conn: &mut Conn) {
+            while !conn.close_after_flush {
+                match parse_request(&conn.buf) {
+                    Ok(Some((req, consumed))) => {
+                        conn.buf.drain(..consumed);
+                        conn.served += 1;
+                        if conn.served > 1 {
+                            bump(&self.shared.daemon.metrics.keepalive_reuses);
+                        }
+                        let response = route(&self.shared.daemon, &req);
+                        note_response(&self.shared.daemon, &response);
+                        // Draining closes too: the flush phase only
+                        // writes, so promising keep-alive would dangle.
+                        let close = req.wants_close() || self.shared.daemon.is_draining();
+                        conn.out.extend_from_slice(&response.render(!close));
+                        if close {
+                            conn.close_after_flush = true;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        self.queue_error(conn, 400, &format!("bad request: {e}"));
+                        break;
+                    }
+                }
+            }
+        }
+
+        /// Appends an error response and marks the connection for
+        /// close (a parse failure poisons the byte stream: nothing
+        /// after it can be framed reliably).
+        fn queue_error(&mut self, conn: &mut Conn, status: u16, msg: &str) {
+            let response = Response::error(status, msg);
+            note_response(&self.shared.daemon, &response);
+            conn.out.extend_from_slice(&response.render(false));
+            conn.buf.clear();
+            conn.close_after_flush = true;
+        }
+
+        /// Nonblocking write until done or WouldBlock.
+        fn flush(&mut self, conn: &mut Conn) {
+            while conn.pending_out() {
+                match conn.stream.write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        return;
+                    }
+                    Ok(n) => {
+                        conn.out_pos += n;
+                        conn.last_activity = Instant::now();
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conn.dead = true;
+                        return;
+                    }
+                }
+            }
+            conn.out.clear();
+            conn.out_pos = 0;
+            if conn.out.capacity() > SHRINK_ABOVE {
+                conn.out.shrink_to(READ_CHUNK);
+            }
+            if conn.buf.capacity() > SHRINK_ABOVE && conn.buf.is_empty() {
+                conn.buf.shrink_to(READ_CHUNK);
+            }
+        }
+
+        /// Closes connections that blew their deadline: IO_TIMEOUT
+        /// with a request or response in flight, IDLE_TIMEOUT for
+        /// idle keep-alive sockets.
+        fn sweep_deadlines(&mut self) {
+            for slot in 0..self.conns.len() {
+                let expired = match &self.conns[slot] {
+                    Some(conn) => {
+                        let limit = if conn.pending_out() {
+                            IO_TIMEOUT
+                        } else if !conn.buf.is_empty() {
+                            IO_TIMEOUT
+                        } else {
+                            IDLE_TIMEOUT
+                        };
+                        conn.last_activity.elapsed() > limit
+                    }
+                    None => false,
+                };
+                if expired {
+                    if let Some(conn) = self.conns[slot].take() {
+                        self.pending_free.push(slot);
+                        self.finish_close(conn);
+                    }
+                }
+            }
+        }
+
+        /// Deregisters and drops one connection, releasing its
+        /// admission slot.
+        fn finish_close(&mut self, conn: Conn) {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            self.shared.open.fetch_sub(1, Ordering::Relaxed);
+            self.shared
+                .daemon
+                .metrics
+                .connections_open
+                .fetch_sub(1, Ordering::Relaxed);
+            // conn (and its socket) drops here.
+        }
+    }
 }
 
 /// Dispatches one request to its handler.
@@ -213,7 +809,7 @@ fn route(daemon: &Arc<Daemon>, req: &Request) -> Response {
             &serde_json::json!({ "ok": true, "draining": daemon.is_draining() }),
         ),
         ("POST", ["shutdown"]) => {
-            // The accept loop polls the signal flag; setting it (not
+            // The front end polls the signal flag; setting it (not
             // just the daemon drain state) also stops `run`.
             signals::request();
             daemon.begin_drain();
@@ -316,5 +912,18 @@ mod tests {
         assert_eq!(server_side.read_timeout().unwrap(), Some(IO_TIMEOUT));
         assert_eq!(server_side.write_timeout().unwrap(), Some(IO_TIMEOUT));
         drop(client);
+    }
+
+    #[test]
+    fn engine_parses_and_defaults_sanely() {
+        assert_eq!("epoll".parse::<Engine>().unwrap(), Engine::Epoll);
+        assert_eq!("Threaded".parse::<Engine>().unwrap(), Engine::Threaded);
+        assert!("frobnicate".parse::<Engine>().is_err());
+        if cfg!(unix) {
+            assert_eq!(Engine::default(), Engine::Epoll);
+        }
+        let opts = ServeOptions::default();
+        assert!(opts.max_connections >= 1);
+        assert!(opts.event_threads >= 1);
     }
 }

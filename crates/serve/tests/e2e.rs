@@ -51,6 +51,7 @@ fn start(workers: usize, queue_capacity: usize, spool: Option<std::path::PathBuf
         workers,
         queue_capacity,
         spool,
+        ..ServeOptions::default()
     })
     .expect("bind ephemeral port");
     let client = Client::new(server.local_addr().to_string());

@@ -1,20 +1,26 @@
-//! Regression tests for the serve-layer hardening sweep, over real
-//! sockets:
+//! Regression tests for the serve-layer hardening sweep and the epoll
+//! event loop, over real sockets:
 //!
 //! (a) a 1 MiB newline-free request line is rejected with `400` and
 //!     bounded memory (the daemon stops reading at the header cap),
 //! (b) a client that submits a request and then never reads the
-//!     response cannot wedge shutdown (write timeouts bound the
-//!     handler; `Server::run` asserts the drain-time bound),
+//!     response cannot wedge shutdown (deadline sweeps / write
+//!     timeouts bound the flush; `Server::run` asserts the drain-time
+//!     bound),
 //! (c) conflicting duplicate `Content-Length` headers get a `400` over
-//!     the wire, not just in the parser unit tests.
+//!     the wire, not just in the parser unit tests,
+//! (d) N pipelined requests on one socket get N in-order responses,
+//! (e) a keep-alive connection persists until `Connection: close`,
+//! (f) accepts beyond `max_connections` are answered `503`,
+//! (g) the client rides one keep-alive connection across many calls
+//!     (connection-count assertion on the server's own counters).
 //!
 //! The shutdown flag is process-global, so every test serializes on
 //! one mutex and resets the flag around itself (same pattern as
 //! `e2e.rs`).
 
 use redcache_serve::{signals, Client, ServeOptions, Server};
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -34,14 +40,16 @@ struct Harness {
 }
 
 fn start() -> Harness {
+    start_with(ServeOptions::default())
+}
+
+fn start_with(mut opts: ServeOptions) -> Harness {
     signals::install();
-    let server = Server::bind(&ServeOptions {
-        addr: "127.0.0.1:0".into(),
-        workers: 1,
-        queue_capacity: 4,
-        spool: None,
-    })
-    .expect("bind ephemeral port");
+    opts.addr = "127.0.0.1:0".into();
+    opts.workers = 1;
+    opts.queue_capacity = 4;
+    opts.spool = None;
+    let server = Server::bind(&opts).expect("bind ephemeral port");
     let addr = server.local_addr();
     let client = Client::new(addr.to_string());
     let thread = std::thread::spawn(move || server.run());
@@ -50,6 +58,52 @@ fn start() -> Harness {
         addr,
         thread,
     }
+}
+
+/// Extracts one un-labelled series value from Prometheus text.
+fn metric(text: &str, name: &str) -> f64 {
+    let prefix = format!("redcache_serve_{name} ");
+    text.lines()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .unwrap_or_else(|| panic!("metric {name} missing in:\n{text}"))
+        .trim()
+        .parse()
+        .expect("metric value parses")
+}
+
+/// Reads one `Content-Length`-framed response off `reader`, returning
+/// `(status, connection_header)`.
+fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, String) {
+    let mut line = String::new();
+    assert!(
+        reader.read_line(&mut line).expect("status line") > 0,
+        "connection closed instead of a response"
+    );
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {line:?}"));
+    let mut content_length = 0usize;
+    let mut connection = String::new();
+    loop {
+        let mut h = String::new();
+        assert!(reader.read_line(&mut h).expect("header") > 0);
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().expect("content-length");
+            } else if k.trim().eq_ignore_ascii_case("connection") {
+                connection = v.trim().to_string();
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, connection)
 }
 
 /// Stops the daemon and joins its thread with a watchdog, so a wedged
@@ -150,9 +204,7 @@ fn conflicting_content_lengths_get_400_over_the_wire() {
         .set_read_timeout(Some(Duration::from_secs(10)))
         .unwrap();
     stream
-        .write_all(
-            b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 6\r\n\r\nbody!!",
-        )
+        .write_all(b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 6\r\n\r\nbody!!")
         .unwrap();
     let mut resp = String::new();
     let _ = stream.read_to_string(&mut resp);
@@ -186,4 +238,197 @@ fn slow_reader_does_not_wedge_shutdown() {
     // Only now release the socket the daemon was (potentially) blocked
     // writing to.
     drop(lazy);
+}
+
+/// (d) Pipelining: several back-to-back requests written in one burst
+/// get their responses in request order on the same socket.
+#[cfg(unix)]
+#[test]
+fn pipelined_requests_get_in_order_responses() {
+    use redcache_serve::Engine;
+    let _g = serial();
+    let h = start_with(ServeOptions {
+        engine: Engine::Epoll,
+        ..ServeOptions::default()
+    });
+
+    let stream = TcpStream::connect(h.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    // Distinguishable endpoints so a reordering would change the
+    // status sequence: 200, 404, 200, 404, 200.
+    writer
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n\
+              GET /jobs/7 HTTP/1.1\r\nhost: t\r\n\r\n\
+              GET /metrics HTTP/1.1\r\nhost: t\r\n\r\n\
+              GET /jobs/8 HTTP/1.1\r\nhost: t\r\n\r\n\
+              GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n",
+        )
+        .unwrap();
+    writer.flush().unwrap();
+
+    let mut reader = BufReader::new(stream);
+    let expected = [200u16, 404, 200, 404, 200];
+    for (i, want) in expected.iter().enumerate() {
+        let (status, connection) = read_response(&mut reader);
+        assert_eq!(status, *want, "response {i} out of order");
+        assert_eq!(connection, "keep-alive", "response {i} must keep alive");
+    }
+    drop(reader);
+    drop(writer);
+
+    shutdown_and_join(h);
+}
+
+/// (e) Keep-alive persists across requests; `Connection: close` is
+/// honored with a closing response followed by EOF.
+#[cfg(unix)]
+#[test]
+fn keepalive_until_connection_close() {
+    use redcache_serve::Engine;
+    let _g = serial();
+    let h = start_with(ServeOptions {
+        engine: Engine::Epoll,
+        ..ServeOptions::default()
+    });
+
+    let stream = TcpStream::connect(h.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    for _ in 0..3 {
+        writer
+            .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+            .unwrap();
+        let (status, connection) = read_response(&mut reader);
+        assert_eq!(status, 200);
+        assert_eq!(connection, "keep-alive");
+    }
+
+    writer
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    let (status, connection) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "close");
+    // And the server actually closes: next read is EOF.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("read to EOF");
+    assert!(
+        rest.is_empty(),
+        "bytes after the closing response: {rest:?}"
+    );
+
+    shutdown_and_join(h);
+}
+
+/// (f) Accepts beyond `max_connections` get a diagnosable `503` and an
+/// immediate close instead of silently starving in the backlog.
+#[cfg(unix)]
+#[test]
+fn accepts_beyond_max_connections_get_503() {
+    use redcache_serve::Engine;
+    let _g = serial();
+    let h = start_with(ServeOptions {
+        engine: Engine::Epoll,
+        max_connections: 4,
+        ..ServeOptions::default()
+    });
+
+    // Fill the admission limit with live keep-alive connections; a
+    // full request/response on each proves the slot is held.
+    let occupants: Vec<BufReader<TcpStream>> = (0..4)
+        .map(|_| {
+            let stream = TcpStream::connect(h.addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            writer
+                .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+                .unwrap();
+            let (status, _) = read_response(&mut reader);
+            assert_eq!(status, 200);
+            reader
+        })
+        .collect();
+
+    // The fifth connection is over the limit.
+    let mut extra = TcpStream::connect(h.addr).expect("connect");
+    extra
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    extra
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+        .unwrap();
+    let mut resp = String::new();
+    let _ = extra.read_to_string(&mut resp);
+    assert!(
+        resp.starts_with("HTTP/1.1 503 "),
+        "expected accept-then-503, got {:?}",
+        &resp[..resp.len().min(120)]
+    );
+    drop(extra);
+
+    // Release the slots and wait for the daemon to notice the closes,
+    // then confirm admission works again end to end.
+    drop(occupants);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(res) = h.client.healthz() {
+            if res.status == 200 {
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "admission never recovered after occupants closed"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let text = h.client.metrics().unwrap().text();
+    assert!(metric(&text, "http_429_or_503_total") >= 1.0);
+
+    shutdown_and_join(h);
+}
+
+/// (g) The satellite connection-count assertion: many `Client` calls
+/// ride one keep-alive connection — the server's own accept counter
+/// says so.
+#[cfg(unix)]
+#[test]
+fn client_reuses_one_connection_across_calls() {
+    use redcache_serve::Engine;
+    let _g = serial();
+    let h = start_with(ServeOptions {
+        engine: Engine::Epoll,
+        ..ServeOptions::default()
+    });
+
+    for _ in 0..5 {
+        assert_eq!(h.client.healthz().unwrap().status, 200);
+    }
+    for _ in 0..3 {
+        assert_eq!(h.client.metrics().unwrap().status, 200);
+    }
+    let text = h.client.metrics().unwrap().text();
+    assert_eq!(
+        metric(&text, "connections_accepted_total"),
+        1.0,
+        "client must reuse a single keep-alive connection:\n{text}"
+    );
+    assert!(
+        metric(&text, "keepalive_reuses_total") >= 8.0,
+        "expected at least 8 reuses:\n{text}"
+    );
+    assert_eq!(metric(&text, "connections_open"), 1.0);
+
+    shutdown_and_join(h);
 }
