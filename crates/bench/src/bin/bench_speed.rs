@@ -32,8 +32,8 @@
 //! `REDCACHE_BUDGET` overrides the per-thread access budget (default:
 //! the tiny preset's 3 000) for longer, steadier measurements.
 
-use redcache::{PolicyKind, RedVariant, RunReport, SimConfig, Simulator};
-use redcache_bench::report_io;
+use redcache::{warm_count, PolicyKind, RedVariant, RunReport, SimConfig, Simulator};
+use redcache_bench::{report_io, run_matrix_timed_opts, RunSpec};
 use redcache_workloads::{GenConfig, SharedTraces, Workload};
 use serde::Serialize;
 use std::time::Instant;
@@ -210,6 +210,14 @@ fn main() {
     let probe = cp_cfg(true);
     let lanes_hbm = redcache_dram::planned_lanes(true, probe.policy.hbm.topology.channels);
     let lanes_ddr = redcache_dram::planned_lanes(true, probe.policy.ddr.topology.channels);
+    // On a one-core host the lane planner already refuses to fan out
+    // (`planned_lanes` requires two available cores), so a serial-vs-
+    // parallel comparison would measure nothing: mark the section
+    // skipped instead of recording noise.
+    let have_two_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        >= 2;
     let mut cp = ChannelParBench {
         policy: cp_kind.to_string(),
         sims: 0,
@@ -220,22 +228,75 @@ fn main() {
         serial_s: 0.0,
         parallel_s: 0.0,
         speedup: 0.0,
+        skipped: !have_two_cores,
     };
-    for (&w, tr) in workloads.iter().zip(&traces) {
-        let (ser, t_ser) = run_timed_cfg(cp_kind, w, tr, cp_cfg(false));
-        let (par, t_par) = run_timed_cfg(cp_kind, w, tr, cp_cfg(true));
-        assert_eq!(
-            ser, par,
-            "{cp_kind} on {w}: parallel channel stepping diverged from the serial walk"
+    if cp.skipped {
+        eprintln!("channel-par: skipped (available_parallelism < 2)");
+    } else {
+        for (&w, tr) in workloads.iter().zip(&traces) {
+            let (ser, t_ser) = run_timed_cfg(cp_kind, w, tr, cp_cfg(false));
+            let (par, t_par) = run_timed_cfg(cp_kind, w, tr, cp_cfg(true));
+            assert_eq!(
+                ser, par,
+                "{cp_kind} on {w}: parallel channel stepping diverged from the serial walk"
+            );
+            cp.sims += 1;
+            cp.serial_s += t_ser;
+            cp.parallel_s += t_par;
+        }
+        cp.speedup = cp.serial_s / cp.parallel_s.max(1e-12);
+        eprintln!(
+            "channel-par ({}, {} lanes on {}ch HBM): {:.3}s serial vs {:.3}s parallel => {:.2}x",
+            cp.policy, cp.lanes_hbm, cp.hbm_channels, cp.serial_s, cp.parallel_s, cp.speedup
         );
-        cp.sims += 1;
-        cp.serial_s += t_ser;
-        cp.parallel_s += t_par;
     }
-    cp.speedup = cp.serial_s / cp.parallel_s.max(1e-12);
+
+    // Warm forking (DESIGN.md §3.13): the full quick matrix with every
+    // spec warming from scratch vs one shared snapshot per workload
+    // forked into all seven policies. Reports are asserted bit-identical
+    // pairwise, so this section is also the bench-side fork-vs-scratch
+    // equivalence check.
+    let mut specs = Vec::new();
+    for &w in &workloads {
+        for &kind in &policies() {
+            specs.push(RunSpec {
+                workload: w,
+                policy: kind,
+                cfg: SimConfig::quick(kind),
+            });
+        }
+    }
+    let started = Instant::now();
+    let scratch = run_matrix_timed_opts(&specs, &gen, false);
+    let scratch_s = started.elapsed().as_secs_f64();
+    let warms_before = warm_count();
+    let started = Instant::now();
+    let forked = run_matrix_timed_opts(&specs, &gen, true);
+    let forked_s = started.elapsed().as_secs_f64();
+    let warms = warm_count() - warms_before;
+    assert_eq!(
+        warms,
+        workloads.len() as u64,
+        "forked matrix must warm exactly once per workload"
+    );
+    for ((spec, s), f) in specs.iter().zip(&scratch).zip(&forked) {
+        assert_eq!(
+            s.report, f.report,
+            "{} on {}: forked report diverged from scratch",
+            spec.policy,
+            spec.workload.info().label
+        );
+    }
+    let wf = WarmForkBench {
+        sims: specs.len(),
+        warms,
+        scratch_s,
+        forked_s,
+        speedup: scratch_s / forked_s.max(1e-12),
+    };
     eprintln!(
-        "channel-par ({}, {} lanes on {}ch HBM): {:.3}s serial vs {:.3}s parallel => {:.2}x",
-        cp.policy, cp.lanes_hbm, cp.hbm_channels, cp.serial_s, cp.parallel_s, cp.speedup
+        "warm-fork: {} sims, {} warmups  {:.3}s scratch vs {:.3}s forked => {:.2}x",
+        wf.sims, wf.warms, wf.scratch_s, wf.forked_s, wf.speedup
     );
 
     let summary = Summary {
@@ -257,6 +318,7 @@ fn main() {
             sims_per_s_cycle_accurate: sims as f64 / total_cycle.max(1e-12),
         },
         channel_par: cp,
+        warm_fork: wf,
         per_policy: rows,
     };
     // Raw write: downstream tooling addresses this file's top-level
@@ -299,6 +361,23 @@ struct ChannelParBench {
     serial_s: f64,
     parallel_s: f64,
     speedup: f64,
+    /// `true` when the host could not exercise the pool (fewer than two
+    /// available cores): the timing fields are zero and meaningless.
+    skipped: bool,
+}
+
+/// Warm-fork measurement (DESIGN.md §3.13): the full quick matrix with
+/// per-spec scratch warmups vs one shared warm snapshot per workload
+/// forked into every policy, reports asserted bit-identical pairwise.
+#[derive(Serialize)]
+struct WarmForkBench {
+    sims: usize,
+    /// Warmup phases the forked matrix executed — exactly one per
+    /// distinct workload (asserted against the process-wide counter).
+    warms: u64,
+    scratch_s: f64,
+    forked_s: f64,
+    speedup: f64,
 }
 
 #[derive(Serialize)]
@@ -312,5 +391,6 @@ struct Summary {
     trace_generation_s: f64,
     total: Totals,
     channel_par: ChannelParBench,
+    warm_fork: WarmForkBench,
     per_policy: Vec<PolicyRow>,
 }

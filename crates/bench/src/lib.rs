@@ -13,10 +13,11 @@
 pub mod pool;
 pub mod report_io;
 
-use redcache::{PolicyKind, RunReport, SimConfig, Simulator};
+use redcache::{PolicyKind, RunReport, SimConfig, Simulator, WarmSnapshot};
 use redcache_workloads::{trace_io, GenConfig, SharedTraces, Workload};
 use serde::Serialize;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Default generator configuration for experiments, overridable with the
 /// `REDCACHE_BUDGET` (accesses per thread) and `REDCACHE_SHRINK`
@@ -60,6 +61,11 @@ pub struct TimedRun {
     /// workload reports the same figure — sum over *distinct* workloads
     /// for the matrix's total generation time.
     pub gen_s: f64,
+    /// Wall-clock seconds spent warming this spec's shared snapshot.
+    /// Like `gen_s`, the warmup runs once per warm group (distinct
+    /// workload × warm-relevant configuration) and every spec of the
+    /// group reports the same figure; `0.0` when forking is disabled.
+    pub warm_s: f64,
 }
 
 /// Runs one simulation under `cfg` against already-generated traces,
@@ -83,6 +89,23 @@ pub fn run_one(spec: &RunSpec, traces: SharedTraces) -> (RunReport, f64) {
     run_labelled(spec.cfg, spec.workload.info().label, traces)
 }
 
+/// Like [`run_labelled`], but resuming from a shared warm snapshot
+/// instead of warming from scratch — the fork half of warm forking
+/// (DESIGN.md §3.13). Bit-identical to [`run_labelled`] on the same
+/// traces; only the warmup work is saved. The wall-clock figure covers
+/// the resumed (measured) phase only.
+pub fn run_labelled_resumed(
+    cfg: SimConfig,
+    label: &str,
+    snapshot: &WarmSnapshot,
+) -> (RunReport, f64) {
+    let started = std::time::Instant::now();
+    let mut report = Simulator::new(cfg).resume(snapshot);
+    let wall_s = started.elapsed().as_secs_f64();
+    report.workload = Some(label.to_string());
+    (report, wall_s)
+}
+
 /// Executes `specs` in parallel (bounded by [`pool::max_workers`]) and
 /// returns the reports in spec order.
 ///
@@ -104,7 +127,14 @@ pub fn run_matrix(specs: &[RunSpec], gen: &GenConfig) -> Vec<RunReport> {
 /// simulation workers as [`SharedTraces`] — a 7-policy column over one
 /// workload costs one generation, not seven.
 ///
-/// Both the generation and the simulation phase run on
+/// The warmup phase is deduplicated the same way (DESIGN.md §3.13):
+/// specs sharing a workload and a warm-relevant configuration
+/// ([`Simulator::warm_key`]) fork one shared [`WarmSnapshot`] instead of
+/// each re-warming — a 7-policy column costs one warmup, not seven —
+/// with bit-identical reports either way. Set `REDCACHE_NO_WARM_FORK=1`
+/// to force per-spec scratch runs (A/B checks, wall-clock baselines).
+///
+/// Generation, warmup, and simulation all run on
 /// [`pool::par_map_indexed`], capped at [`pool::max_workers`] threads
 /// (logical CPUs, or the `REDCACHE_JOBS` override) — an arbitrarily
 /// large matrix never oversubscribes the machine.
@@ -113,6 +143,13 @@ pub fn run_matrix(specs: &[RunSpec], gen: &GenConfig) -> Vec<RunReport> {
 ///
 /// Panics if any simulation panics (its error is propagated).
 pub fn run_matrix_timed(specs: &[RunSpec], gen: &GenConfig) -> Vec<TimedRun> {
+    let fork = std::env::var_os("REDCACHE_NO_WARM_FORK").is_none_or(|v| v != "1");
+    run_matrix_timed_opts(specs, gen, fork)
+}
+
+/// [`run_matrix_timed`] with warm forking under caller control instead
+/// of the environment's (`fork = false` runs every spec from scratch).
+pub fn run_matrix_timed_opts(specs: &[RunSpec], gen: &GenConfig, fork: bool) -> Vec<TimedRun> {
     let n = specs.len();
     let workers = pool::max_workers();
 
@@ -131,19 +168,68 @@ pub fn run_matrix_timed(specs: &[RunSpec], gen: &GenConfig) -> Vec<TimedRun> {
         let gen_s = started.elapsed().as_secs_f64();
         (SharedTraces::from(traces), gen_s)
     });
+    let workload_of: Vec<usize> = specs
+        .iter()
+        .map(|s| {
+            uniq.iter()
+                .position(|w| *w == s.workload)
+                .expect("workload was grouped above")
+        })
+        .collect();
+
+    if !fork {
+        return pool::par_map_indexed(n, workers, |i| {
+            let (traces, gen_s) = &generated[workload_of[i]];
+            let (report, wall_s) = run_one(&specs[i], traces.clone());
+            TimedRun {
+                report,
+                wall_s,
+                gen_s: *gen_s,
+                warm_s: 0.0,
+            }
+        });
+    }
+
+    // Warm groups: one per distinct (workload, warm key) — normally one
+    // per workload, since the warm key excludes everything
+    // policy-specific, but mixed-geometry matrices split correctly.
+    // Each group is warmed once (in parallel, bounded) and its snapshot
+    // forked into every member.
+    let keys: Vec<u64> = specs
+        .iter()
+        .map(|s| Simulator::new(s.cfg).warm_key())
+        .collect();
+    let mut groups: Vec<(usize, u64, usize)> = Vec::new(); // (workload idx, warm key, exemplar spec)
+    let mut group_of: Vec<usize> = Vec::with_capacity(n);
+    for i in 0..n {
+        let probe = (workload_of[i], keys[i]);
+        match groups.iter().position(|&(wi, k, _)| (wi, k) == probe) {
+            Some(g) => group_of.push(g),
+            None => {
+                groups.push((workload_of[i], keys[i], i));
+                group_of.push(groups.len() - 1);
+            }
+        }
+    }
+    let warmed: Vec<(Arc<WarmSnapshot>, f64)> =
+        pool::par_map_indexed(groups.len(), workers, |g| {
+            let (wi, _, si) = groups[g];
+            let started = std::time::Instant::now();
+            let snap = Simulator::new(specs[si].cfg).warm(generated[wi].0.clone());
+            (snap, started.elapsed().as_secs_f64())
+        });
 
     pool::par_map_indexed(n, workers, |i| {
         let spec = specs[i];
-        let wi = uniq
-            .iter()
-            .position(|w| *w == spec.workload)
-            .expect("workload was grouped above");
-        let (traces, gen_s) = &generated[wi];
-        let (report, wall_s) = run_one(&spec, traces.clone());
+        let (_, gen_s) = &generated[workload_of[i]];
+        let (snapshot, warm_s) = &warmed[group_of[i]];
+        let (report, wall_s) =
+            run_labelled_resumed(spec.cfg, spec.workload.info().label, snapshot);
         TimedRun {
             report,
             wall_s,
             gen_s: *gen_s,
+            warm_s: *warm_s,
         }
     })
 }

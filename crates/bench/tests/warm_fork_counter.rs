@@ -1,0 +1,65 @@
+//! Verifies the matrix harness's warm-once contract with the
+//! process-wide warm counter.
+//!
+//! Kept as a single `#[test]` in its own integration-test binary: the
+//! counter is process-global, so sibling tests warming simulators in
+//! parallel would make the delta ambiguous.
+
+use redcache::{warm_count, PolicyKind, RedVariant, SimConfig};
+use redcache_bench::{run_matrix_timed_opts, RunSpec};
+use redcache_workloads::{GenConfig, Workload};
+
+#[test]
+fn forked_matrix_warms_each_workload_exactly_once() {
+    let gen = GenConfig::tiny();
+    let policies = [
+        PolicyKind::NoHbm,
+        PolicyKind::Ideal,
+        PolicyKind::Alloy,
+        PolicyKind::Bear,
+        PolicyKind::Red(RedVariant::Full),
+    ];
+    let workloads = [Workload::Lreg, Workload::Hist, Workload::Is];
+    let mut specs = Vec::new();
+    for &w in &workloads {
+        for &p in &policies {
+            specs.push(RunSpec {
+                workload: w,
+                policy: p,
+                cfg: SimConfig::quick(p),
+            });
+        }
+    }
+
+    // Forked: 15 simulations, 3 distinct workloads (all sharing one
+    // warm key per workload) — exactly 3 warmups.
+    let before = warm_count();
+    let forked = run_matrix_timed_opts(&specs, &gen, true);
+    assert_eq!(
+        warm_count() - before,
+        workloads.len() as u64,
+        "forked matrix re-warmed per spec instead of per workload"
+    );
+
+    // Scratch: every spec pays its own warmup.
+    let before = warm_count();
+    let scratch = run_matrix_timed_opts(&specs, &gen, false);
+    assert_eq!(
+        warm_count() - before,
+        specs.len() as u64,
+        "scratch matrix must warm per spec"
+    );
+
+    // Same results either way, in spec order; forked runs carry the
+    // shared warm time, scratch runs report none.
+    assert_eq!(forked.len(), specs.len());
+    for ((spec, f), s) in specs.iter().zip(&forked).zip(&scratch) {
+        assert_eq!(
+            f.report, s.report,
+            "{} on {}: forked matrix diverged from scratch",
+            spec.policy, spec.workload
+        );
+        assert!(f.warm_s > 0.0, "forked runs record their group's warm time");
+        assert_eq!(s.warm_s, 0.0, "scratch runs have no shared warm time");
+    }
+}

@@ -13,6 +13,12 @@ pub struct CacheGeometry {
     pub block_bytes: usize,
 }
 
+redcache_types::wire_struct!(CacheGeometry {
+    size_bytes,
+    ways,
+    block_bytes,
+});
+
 impl CacheGeometry {
     /// Creates a geometry, checking divisibility.
     ///

@@ -212,7 +212,7 @@ pub struct FillResult {
 }
 
 /// The L1/L2/L3 hierarchy.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Hierarchy {
     cfg: HierarchyConfig,
     l1: Vec<SetAssocCache>,
@@ -473,6 +473,41 @@ impl Hierarchy {
         (sum(&self.l1), sum(&self.l2), *self.l3.stats())
     }
 }
+
+// Snapshot support (DESIGN.md §3.13): SRAM state is plain data, so the
+// captured state is simply a deep copy of the hierarchy itself —
+// contents, LRU ticks, MSHR entries and statistics all travel.
+impl redcache_types::Snapshot for Hierarchy {
+    type State = Hierarchy;
+
+    fn snapshot(&self) -> Hierarchy {
+        self.clone()
+    }
+}
+
+impl redcache_types::Restorable for Hierarchy {
+    fn restore(&mut self, state: &Hierarchy) {
+        *self = state.clone();
+    }
+}
+
+redcache_types::wire_struct!(HierarchyConfig {
+    cores,
+    l1,
+    l2,
+    l3,
+    l1_latency,
+    l2_latency,
+    l3_latency,
+    mshr_entries,
+});
+redcache_types::wire_struct!(Hierarchy {
+    cfg,
+    l1,
+    l2,
+    l3,
+    mshr,
+});
 
 #[cfg(test)]
 mod tests {

@@ -92,6 +92,13 @@ impl Mshr {
     }
 }
 
+redcache_types::wire_struct!(Mshr {
+    capacity,
+    entries,
+    peak,
+    merges,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

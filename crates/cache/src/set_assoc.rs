@@ -250,6 +250,27 @@ impl SetAssocCache {
     }
 }
 
+redcache_types::wire_struct!(Way {
+    valid,
+    line,
+    dirty,
+    version,
+    lru,
+});
+redcache_types::wire_struct!(CacheStats {
+    accesses,
+    hits,
+    fills,
+    evictions,
+    dirty_evictions,
+});
+redcache_types::wire_struct!(SetAssocCache {
+    geometry,
+    ways,
+    tick,
+    stats,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,120 @@
+//! Snapshot/restore round-trips for the SRAM hierarchy (DESIGN.md
+//! §3.13).
+//!
+//! Strategy mirrors the DRAM suite: drive a hierarchy to an arbitrary
+//! mid-stream point (including with misses parked in the MSHR file),
+//! capture its state, install it into a freshly built hierarchy both
+//! directly and through the wire codec, then continue original and
+//! restored copies in lockstep and require identical observable
+//! behaviour — the same hit levels, versions, MSHR outcomes, evictions,
+//! fill waiters, and per-level statistics.
+
+use proptest::prelude::*;
+use redcache_cache::{AccessOutcome, Hierarchy, HierarchyConfig};
+use redcache_types::wire::{Reader, Wire};
+use redcache_types::{CoreId, LineAddr, MemOp, Restorable, Snapshot};
+
+/// One scripted access: `(core, line, store?)`.
+type Op = (u16, u64, bool);
+
+/// Applies `ops[from..to]`, completing one parked MSHR line every third
+/// step so fills and waiter wakeups interleave with fresh accesses.
+/// Everything observable is folded into the returned log.
+fn drive(h: &mut Hierarchy, ops: &[Op], from: usize, to: usize) -> Vec<(AccessOutcome, String)> {
+    let mut log = Vec::new();
+    let mut outstanding: Vec<LineAddr> = Vec::new();
+    for (i, &(core, line, store)) in ops.iter().enumerate().take(to).skip(from) {
+        let core = CoreId(core);
+        let line = LineAddr::new(line);
+        let op = if store { MemOp::Store } else { MemOp::Load };
+        let out = h.access(core, line, op, i as u64 + 1, i as u64);
+        if out.mem_read_needed() {
+            outstanding.push(line);
+        }
+        let mut fills = String::new();
+        if i % 3 == 0 {
+            if let Some(l) = outstanding.pop() {
+                let fill = h.complete_fill(l, i as u64 + 1_000_000);
+                for &w in &fill.waiters {
+                    let evs = h.fill_waiter(core, l, i as u64 + 1_000_000, None);
+                    fills.push_str(&format!("{w}:{evs:?};"));
+                }
+                fills.push_str(&format!("{fill:?}"));
+            }
+        }
+        log.push((out, fills));
+    }
+    log
+}
+
+fn table1_ops(seed_ops: &[(u16, u64, bool)]) -> Vec<Op> {
+    seed_ops.to_vec()
+}
+
+/// Runs `ops`, snapshots after `snap_at` of them, and checks that the
+/// original, a directly restored copy, and a wire round-tripped copy
+/// agree over the rest of the stream.
+fn assert_forkable(cfg: HierarchyConfig, ops: &[Op], snap_at: usize) {
+    let mut orig = Hierarchy::new(cfg);
+    drive(&mut orig, ops, 0, snap_at);
+    let state = orig.snapshot();
+
+    // Direct restore.
+    let mut forked = Hierarchy::new(cfg);
+    forked.restore(&state);
+
+    // Wire round-trip restore: encode, decode, byte-identical re-encode.
+    let mut bytes = Vec::new();
+    state.put(&mut bytes);
+    let mut r = Reader::new(&bytes);
+    let decoded = Hierarchy::get(&mut r).expect("state decodes");
+    assert!(r.is_empty(), "decode must consume the whole payload");
+    let mut re = Vec::new();
+    decoded.put(&mut re);
+    assert_eq!(bytes, re, "snapshot encoding must be deterministic");
+    let mut wired = Hierarchy::new(cfg);
+    wired.restore(&decoded);
+
+    // The restored copies resume with the original's parked misses.
+    assert_eq!(orig.mshr_len(), forked.mshr_len());
+    assert_eq!(orig.mshr_len(), wired.mshr_len());
+
+    // Lockstep continuation.
+    let a = drive(&mut orig, ops, snap_at, ops.len());
+    let b = drive(&mut forked, ops, snap_at, ops.len());
+    let c = drive(&mut wired, ops, snap_at, ops.len());
+    assert_eq!(a, b, "forked copy diverged from the original");
+    assert_eq!(a, c, "wire round-tripped copy diverged from the original");
+    assert_eq!(orig.stats(), forked.stats());
+    assert_eq!(orig.stats(), wired.stats());
+}
+
+#[test]
+fn mshr_parked_misses_survive_the_snapshot() {
+    let cfg = HierarchyConfig::table1(2);
+    // A conflict-heavy stream over few sets keeps misses parked at the
+    // snapshot point.
+    let ops: Vec<Op> = (0..64u64)
+        .map(|i| ((i % 2) as u16, i * 5, i % 4 == 0))
+        .collect();
+    assert_forkable(cfg, &ops, 17);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary access streams, arbitrary snapshot point: the fork
+    /// must be undetectable from the observable behaviour.
+    #[test]
+    fn random_streams_snapshot_in_lockstep(
+        seed_ops in proptest::collection::vec(
+            (0u16..4, 0u64..0x800, any::<bool>()),
+            2..120,
+        ),
+        cut in 0.0f64..1.0,
+    ) {
+        let ops = table1_ops(&seed_ops);
+        let snap_at = ((ops.len() as f64) * cut) as usize;
+        assert_forkable(HierarchyConfig::table1(4), &ops, snap_at);
+    }
+}

@@ -3,14 +3,21 @@
 //! ```text
 //! redcache-sim [--workload RDX] [--policy redcache] [--budget 50000]
 //!              [--shrink 1] [--block 64] [--preset scaled|quick]
-//!              [--warmup 0.3] [--json]
+//!              [--warmup 0.3] [--snapshot-dir DIR] [--json]
 //! ```
 //!
 //! Policies: nohbm | ideal | alloy | bear | red-alpha | red-gamma |
 //! red-basic | red-insitu | redcache.
+//!
+//! `--snapshot-dir` persists the post-warmup simulator state to disk
+//! (keyed by trace content and warm-relevant configuration, like the
+//! `REDCACHE_TRACE_CACHE_DIR` trace cache): later invocations that only
+//! change the policy or its knobs skip the warmup entirely. Defaults to
+//! the `REDCACHE_SNAPSHOT_DIR` environment variable when set.
 
-use redcache::{PolicyKind, RedVariant, RunReport, SimConfig, Simulator};
-use redcache_workloads::{GenConfig, Workload};
+use redcache::{snapshot_io, PolicyKind, RedVariant, RunReport, SimConfig, Simulator};
+use redcache_workloads::{GenConfig, SharedTraces, Workload};
+use std::path::PathBuf;
 
 struct Args {
     workload: Workload,
@@ -20,6 +27,7 @@ struct Args {
     block: usize,
     preset: String,
     warmup: f64,
+    snapshot_dir: Option<PathBuf>,
     json: bool,
 }
 
@@ -27,7 +35,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: redcache-sim [--workload LABEL] [--policy NAME] [--budget N]\n\
          \x20                  [--shrink N] [--block 64|128|256] [--preset scaled|quick]\n\
-         \x20                  [--warmup F] [--json]\n\
+         \x20                  [--warmup F] [--snapshot-dir DIR] [--json]\n\
          workloads: {}\n\
          policies:  nohbm ideal alloy bear red-alpha red-gamma red-basic red-insitu redcache",
         Workload::ALL.map(|w| w.info().label).join(" ")
@@ -44,6 +52,7 @@ fn parse_args() -> Args {
         block: 64,
         preset: "scaled".into(),
         warmup: 0.3,
+        snapshot_dir: std::env::var_os("REDCACHE_SNAPSHOT_DIR").map(PathBuf::from),
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -59,6 +68,7 @@ fn parse_args() -> Args {
             "--block" => args.block = val().parse().unwrap_or_else(|_| usage()),
             "--preset" => args.preset = val(),
             "--warmup" => args.warmup = val().parse().unwrap_or_else(|_| usage()),
+            "--snapshot-dir" => args.snapshot_dir = Some(PathBuf::from(val())),
             "--json" => args.json = true,
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -117,8 +127,18 @@ fn main() {
         gen.threads = cfg.hierarchy.cores;
     }
 
-    let traces = a.workload.generate(&gen);
-    let mut report = Simulator::new(cfg).run(traces);
+    let traces: SharedTraces = a.workload.generate(&gen).into();
+    let sim = Simulator::new(cfg);
+    let mut report = match a.snapshot_dir.as_deref() {
+        // Warm through the on-disk snapshot cache: re-invocations that
+        // only change the policy (or its knobs) skip the warmup phase.
+        Some(dir) => {
+            let snap =
+                snapshot_io::warm_cached_in(&sim, a.workload.info().label, &traces, Some(dir));
+            sim.resume(&snap)
+        }
+        None => sim.run(traces),
+    };
     report.workload = Some(a.workload.info().label.to_string());
     if a.json {
         println!(

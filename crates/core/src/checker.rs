@@ -12,13 +12,22 @@ use redcache_types::LineAddr;
 use std::collections::HashMap;
 
 /// The shadow memory and its expectation table for in-flight reads.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ShadowMemory {
     versions: HashMap<u64, u64>,
     expectations: HashMap<u64, u64>, // req id -> expected version
     violations: u64,
     checks: u64,
 }
+
+// Warm snapshots carry the shadow so resumed runs keep end-to-end
+// version checking across the fork (DESIGN.md §3.13).
+redcache_types::wire_struct!(ShadowMemory {
+    versions,
+    expectations,
+    violations,
+    checks,
+});
 
 impl ShadowMemory {
     /// Creates an empty shadow (all lines at version 0).

@@ -52,6 +52,19 @@ pub struct EpochSample {
     pub gauges: ControllerGauges,
 }
 
+redcache_types::wire_struct!(EpochSample {
+    index,
+    start,
+    end,
+    ctl,
+    hbm,
+    ddr,
+    l1,
+    l2,
+    l3,
+    gauges,
+});
+
 impl EpochSample {
     /// Cycles covered by this epoch (≥ 1 for all but degenerate tails).
     pub fn cycles(&self) -> Cycle {
@@ -213,6 +226,8 @@ struct Baseline {
     l3: CacheStats,
 }
 
+redcache_types::wire_struct!(Baseline { ctl, hbm, ddr, l1, l2, l3 });
+
 /// Closes epochs on a fixed cycle stride, turning the simulator's
 /// cumulative counters into interval deltas.
 ///
@@ -222,7 +237,7 @@ struct Baseline {
 /// the warmup statistics reset via
 /// [`EpochRecorder::note_warmup_reset`], and finalises the series with
 /// [`EpochRecorder::finish`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EpochRecorder {
     stride: Cycle,
     next_boundary: Cycle,
@@ -231,6 +246,17 @@ pub struct EpochRecorder {
     prev: Baseline,
     epochs: Vec<EpochSample>,
 }
+
+// Warm snapshots carry the recorder mid-series: epochs closed during
+// the shared warmup appear identically in every forked run's series.
+redcache_types::wire_struct!(EpochRecorder {
+    stride,
+    next_boundary,
+    epoch_start,
+    warmup_epoch,
+    prev,
+    epochs,
+});
 
 impl EpochRecorder {
     /// A recorder closing an epoch every `stride` cycles.

@@ -35,6 +35,7 @@ pub mod epoch;
 pub mod metrics;
 pub mod profile;
 pub mod sim;
+pub mod snapshot_io;
 
 mod checker;
 
@@ -42,7 +43,7 @@ pub use config::{SimConfig, SimConfigBuilder};
 pub use epoch::{EpochRecorder, EpochSample, TimeSeries};
 pub use metrics::RunReport;
 pub use profile::{last_access_writeback_fraction, MemLevelStream, ReuseProfile};
-pub use sim::{run_workload, Simulator};
+pub use sim::{run_workload, warm_count, Simulator, WarmSnapshot};
 
 // The vocabulary types users need, re-exported at the root.
 pub use redcache_policies::{PolicyConfig, PolicyKind, RedConfig, RedVariant};
@@ -62,7 +63,7 @@ pub mod prelude {
     pub use crate::config::{SimConfig, SimConfigBuilder};
     pub use crate::epoch::{EpochSample, TimeSeries};
     pub use crate::metrics::RunReport;
-    pub use crate::sim::{run_workload, Simulator};
+    pub use crate::sim::{run_workload, Simulator, WarmSnapshot};
     pub use redcache_policies::{PolicyConfig, PolicyKind, RedConfig, RedVariant};
     pub use redcache_types::{ConfigError, Cycle};
     pub use redcache_workloads::{GenConfig, Workload};

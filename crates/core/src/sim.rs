@@ -6,6 +6,20 @@
 //! completions, which fill the hierarchy and wake stalled loads. A
 //! shadow memory checks every read's payload version against the last
 //! writeback, end to end.
+//!
+//! # Warm forking (DESIGN.md §3.13)
+//!
+//! Every built-in run is two phases: [`Simulator::warm`] executes the
+//! §IV.A warmup fraction under the policy-independent
+//! [`redcache_policies::FillController`], drains the memory system to
+//! quiescence, and captures a [`WarmSnapshot`] of the complete machine;
+//! [`Simulator::resume`] builds the measured policy's controller fresh,
+//! adopts the snapshot, and runs the remainder. [`Simulator::run`] is
+//! exactly `warm` + `resume`, so forking one snapshot into N policy
+//! runs is bit-identical to N scratch runs — the fork-vs-scratch golden
+//! suite pins this. Custom controllers that do not opt into
+//! [`redcache_policies::DramCacheController::supports_warm_fork`] take
+//! the legacy single-pass loop with the in-loop statistics reset.
 
 use crate::checker::ShadowMemory;
 use crate::config::SimConfig;
@@ -14,14 +28,30 @@ use crate::metrics::RunReport;
 use redcache_cache::Hierarchy;
 use redcache_cpu::{Core, LoadToken, Poll};
 use redcache_energy::{CpuActivity, EnergyModel};
-use redcache_policies::{build_controller, CompletedReq, DramCacheController, MemorySides};
-use redcache_types::{AccessKind, CoreId, Cycle, LineAddr, MemRequest, ReqId, BLOCK_BYTES};
+use redcache_policies::{
+    build_controller, CompletedReq, DramCacheController, FillController, MemorySides,
+    WarmMemoryState,
+};
+use redcache_types::{
+    AccessKind, CoreId, Cycle, LineAddr, MemRequest, ReqId, Restorable, Snapshot, BLOCK_BYTES,
+};
 use redcache_workloads::SharedTraces;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 // Re-exported for documentation purposes only.
 #[allow(unused_imports)]
 use redcache_policies::PolicyKind;
+
+/// Warmup phases executed by this process, across all simulations. The
+/// matrix-forking bench asserts on deltas of this counter: warming W
+/// workloads into P policy runs each must add exactly W, not W × P.
+static WARM_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of warmup phases executed so far (monotonic).
+pub fn warm_count() -> u64 {
+    WARM_RUNS.load(Ordering::Relaxed)
+}
 
 #[derive(Debug, Clone, Copy)]
 struct WaiterInfo {
@@ -34,7 +64,7 @@ struct WaiterInfo {
 /// `HashMap<u64, WaiterInfo>`: ids are recycled through a free list, so
 /// long runs stop hashing and never grow the table past the peak number
 /// of simultaneous misses.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct WaiterSlab {
     slots: Vec<Option<WaiterInfo>>,
     free: Vec<usize>,
@@ -72,6 +102,16 @@ impl WaiterSlab {
     }
 }
 
+// At a fork point the slab is drained (every slot `None`), but the free
+// list's *order* decides which ids `peek_id` re-offers, and those ids
+// flow into MSHR waiter lists — so the slab is carried verbatim.
+redcache_types::wire_struct!(WaiterInfo {
+    core,
+    load_token,
+    store_version,
+});
+redcache_types::wire_struct!(WaiterSlab { slots, free });
+
 /// Submits dirty L3 evictions to the controller as writeback requests.
 /// A plain function (not a per-run closure) so the hot completion path
 /// borrows only what it needs.
@@ -93,6 +133,548 @@ fn submit_writebacks(
             now,
         );
         *mem_writebacks += 1;
+    }
+}
+
+/// What the main loop is executing (DESIGN.md §3.13).
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    /// Legacy single-pass run: warmup and measurement under one
+    /// controller, statistics reset in-loop at the §IV.A boundary.
+    Full { warmup_target: u64 },
+    /// Policy-independent warmup: run until `target` accesses have
+    /// committed, then drain the memory system to quiescence and stop
+    /// at the fork point.
+    Warm { target: u64 },
+    /// Measured continuation from a warm snapshot (statistics were
+    /// reset at the fork).
+    Measure,
+}
+
+/// The complete mutable state of one simulation, separated from the
+/// loop so warm snapshots can capture and re-install it wholesale.
+struct Machine {
+    cores: Vec<Core>,
+    hierarchy: Hierarchy,
+    shadow: ShadowMemory,
+    waiters: WaiterSlab,
+    next_req: u64,
+    next_version: u64,
+    mem_reads: u64,
+    mem_writebacks: u64,
+    finish: Vec<Option<Cycle>>,
+    done_buf: Vec<CompletedReq>,
+    shadow_violations: u64,
+    recorder: Option<EpochRecorder>,
+    now: Cycle,
+    committed: u64,
+    warmed: bool,
+    warmup_cycle: Cycle,
+    warmup_instructions: u64,
+}
+
+impl Machine {
+    fn new(cfg: &SimConfig, traces: SharedTraces) -> Self {
+        let ncores = cfg.hierarchy.cores;
+        assert!(
+            traces.threads() <= ncores,
+            "{} traces but only {ncores} cores",
+            traces.threads()
+        );
+        let cores: Vec<Core> = traces
+            .into_iter()
+            .chain(std::iter::repeat_with(|| Arc::from(Vec::new())))
+            .take(ncores)
+            .map(|t| Core::new(cfg.core, t))
+            .collect();
+        Self {
+            cores,
+            hierarchy: Hierarchy::new(cfg.hierarchy),
+            shadow: ShadowMemory::new(),
+            waiters: WaiterSlab::default(),
+            next_req: 0,
+            next_version: 1,
+            mem_reads: 0,
+            mem_writebacks: 0,
+            finish: vec![None; ncores],
+            done_buf: Vec::new(),
+            shadow_violations: 0,
+            recorder: cfg.epoch_cycles.map(EpochRecorder::new),
+            now: 0,
+            committed: 0,
+            warmed: false,
+            warmup_cycle: 0,
+            warmup_instructions: 0,
+        }
+    }
+
+    /// Drives the machine until the phase's exit condition. `Full` and
+    /// `Measure` run to completion (all cores finished, memory idle);
+    /// `Warm` stops at the quiescent fork point.
+    fn run(&mut self, cfg: &SimConfig, controller: &mut dyn DramCacheController, phase: Phase) {
+        // Event-driven advance is exact (DESIGN.md §3.7); the runtime
+        // escape hatch exists for A/B equivalence checks.
+        let skip_enabled =
+            cfg.time_skip && std::env::var_os("REDCACHE_NO_SKIP").is_none_or(|v| v != "1");
+        let mut blocked_idle_streak = 0u32;
+        let mut draining = matches!(phase, Phase::Warm { target: 0 });
+        loop {
+            // Fork-point crossing: the cycle that commits the target
+            // access finishes its full poll round first, then the drain
+            // begins — core polls stop, the memory system runs dry.
+            if let Phase::Warm { target } = phase {
+                if !draining && self.committed >= target {
+                    draining = true;
+                }
+            }
+
+            // 1. Core side: each active core may commit one access.
+            let mut all_finished = true;
+            let mut min_wake: Option<Cycle> = None;
+            let mut any_blocked = false;
+            let mut any_ready = false;
+            if draining {
+                // No polls while draining: in-flight fills may still
+                // trigger writebacks, so quiescence is detected below,
+                // not via core completion.
+                all_finished = false;
+            } else {
+                for (ci, core) in self.cores.iter_mut().enumerate() {
+                    if self.finish[ci].is_some() {
+                        continue;
+                    }
+                    match core.poll(self.now) {
+                        Poll::Finished(t) => {
+                            self.finish[ci] = Some(t);
+                            continue;
+                        }
+                        Poll::NotYet(t) => {
+                            all_finished = false;
+                            min_wake = Some(min_wake.map_or(t, |m: Cycle| m.min(t)));
+                        }
+                        Poll::WaitingMem => {
+                            all_finished = false;
+                            any_blocked = true;
+                        }
+                        Poll::Ready(access) => {
+                            all_finished = false;
+                            any_ready = true;
+                            self.committed += 1;
+                            let line = access.addr.line(BLOCK_BYTES);
+                            let is_store = access.op.is_store();
+                            let version = if is_store {
+                                self.next_version += 1;
+                                self.next_version
+                            } else {
+                                0
+                            };
+                            let wid = self.waiters.peek_id();
+                            let out = self.hierarchy.access(
+                                CoreId(ci as u16),
+                                line,
+                                access.op,
+                                version,
+                                wid,
+                            );
+                            submit_writebacks(
+                                &out.writebacks,
+                                controller,
+                                &mut self.shadow,
+                                &mut self.next_req,
+                                &mut self.mem_writebacks,
+                                self.now,
+                            );
+                            if out.hit_level.is_some() {
+                                core.commit_hit(self.now, out.latency);
+                            } else if out.must_retry() {
+                                // MSHR full: retry next cycle.
+                                any_blocked = true;
+                            } else {
+                                let info = if is_store {
+                                    core.commit_store_miss(self.now);
+                                    WaiterInfo {
+                                        core: ci,
+                                        load_token: None,
+                                        store_version: Some(version),
+                                    }
+                                } else {
+                                    let tok = core.commit_load_miss(self.now);
+                                    WaiterInfo {
+                                        core: ci,
+                                        load_token: Some(tok),
+                                        store_version: None,
+                                    }
+                                };
+                                let assigned = self.waiters.insert(info);
+                                debug_assert_eq!(assigned, wid);
+                                if out.mem_read_needed() {
+                                    let id = ReqId(self.next_req);
+                                    self.next_req += 1;
+                                    self.shadow.on_read_submit(id.0, line);
+                                    controller.submit(
+                                        MemRequest::read(id, line, CoreId(ci as u16), self.now),
+                                        self.now,
+                                    );
+                                    self.mem_reads += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // 2. Memory side.
+            controller.tick(self.now, &mut self.done_buf);
+            // Completions wake cores whose earlier poll already answered
+            // for this cycle — never skip past their re-poll.
+            let delivered = !self.done_buf.is_empty();
+            let mut done_buf = std::mem::take(&mut self.done_buf);
+            for d in done_buf.drain(..) {
+                match d.kind {
+                    AccessKind::Read => {
+                        if cfg.check_shadow
+                            && !self.shadow.on_read_complete(d.id.0, d.data_version)
+                        {
+                            self.shadow_violations += 1;
+                        }
+                        let fr = self.hierarchy.complete_fill(d.line, d.data_version);
+                        submit_writebacks(
+                            &fr.writebacks,
+                            controller,
+                            &mut self.shadow,
+                            &mut self.next_req,
+                            &mut self.mem_writebacks,
+                            self.now,
+                        );
+                        for wid in fr.waiters {
+                            let Some(info) = self.waiters.remove(wid) else {
+                                continue;
+                            };
+                            let wbs = self.hierarchy.fill_waiter(
+                                CoreId(info.core as u16),
+                                d.line,
+                                d.data_version,
+                                info.store_version,
+                            );
+                            submit_writebacks(
+                                &wbs,
+                                controller,
+                                &mut self.shadow,
+                                &mut self.next_req,
+                                &mut self.mem_writebacks,
+                                self.now,
+                            );
+                            if let Some(tok) = info.load_token {
+                                self.cores[info.core].complete_load(tok, d.done_at.max(self.now));
+                            }
+                        }
+                    }
+                    AccessKind::Writeback => {}
+                }
+            }
+            self.done_buf = done_buf;
+
+            // 3. Warmup boundary (legacy single-pass runs only): reset
+            // statistics once the configured fraction of the trace has
+            // committed (§IV.A). Functional and adaptive state carries
+            // over; only counters reset.
+            if let Phase::Full { warmup_target } = phase {
+                if !self.warmed && self.committed >= warmup_target {
+                    self.warmed = true;
+                    self.warmup_cycle = self.now;
+                    self.warmup_instructions = self
+                        .cores
+                        .iter()
+                        .map(|c| c.instructions_dispatched())
+                        .sum();
+                    controller.reset_stats();
+                    self.hierarchy.reset_stats();
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.note_warmup_reset();
+                    }
+                }
+            }
+
+            // 3b. Epoch close: after the memory side has ticked cycle
+            // `now`, so the epoch ending here has seen all of it.
+            if let Some(rec) = self.recorder.as_mut() {
+                if self.now >= rec.next_boundary() {
+                    rec.sample(self.now, &*controller, self.hierarchy.stats());
+                }
+            }
+
+            // 4. Termination and time advance.
+            if draining && controller.pending() == 0 && self.hierarchy.mshr_len() == 0 {
+                // Quiescent fork point: nothing in flight anywhere below
+                // the cores (fills completed above may have queued new
+                // writebacks — in that case pending() is nonzero and the
+                // drain continues).
+                break;
+            }
+            if all_finished && controller.pending() == 0 {
+                break;
+            }
+            // A core can look blocked in the same cycle its last
+            // completion arrives; only a *persistent* blocked-with-idle-
+            // memory state is a real deadlock.
+            if any_blocked && controller.pending() == 0 && self.hierarchy.mshr_len() == 0 {
+                blocked_idle_streak += 1;
+                if blocked_idle_streak > 8 {
+                    let now = self.now;
+                    let states: Vec<String> = self
+                        .cores
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, c)| format!("core{i}: {:?}", c.poll(now)))
+                        .collect();
+                    panic!(
+                        "deadlock at cycle {now}: cores blocked with idle memory\n{}",
+                        states.join("\n")
+                    );
+                }
+            } else {
+                blocked_idle_streak = 0;
+            }
+            // Fast-forward across pure-compute stretches (active in both
+            // modes; predates the event-driven advance below and jumps
+            // even past DRAM-refresh edges when memory is fully idle).
+            if controller.pending() == 0 && !any_blocked {
+                if let Some(w) = min_wake {
+                    if w > self.now + 1 {
+                        self.now = w;
+                        continue;
+                    }
+                }
+            }
+            // Event-driven advance: if no core committed this cycle, no
+            // completion was delivered, and neither the cores nor the
+            // memory system can act before `target`, every intermediate
+            // cycle would have been a no-op — jump over it. Exactness
+            // argument in DESIGN.md §3.7. While draining this becomes
+            // the drain accelerator: with polls off the horizon is just
+            // the controller's next event (and any epoch boundary).
+            if skip_enabled
+                && !any_ready
+                && !delivered
+                // When a core wakes next cycle anyway the jump target
+                // cannot exceed `now + 1`; skip the horizon computation.
+                && min_wake.is_none_or(|w| w > self.now + 1)
+            {
+                // An epoch boundary is an event horizon too: the skip
+                // lands on it exactly, where ticking "early" is a no-op
+                // by the `next_event` contract — so recording changes
+                // nothing downstream. The compute fast-forward above is
+                // deliberately NOT clamped: it is shared by both advance
+                // modes, and boundaries it jumps close late as
+                // zero-delta epochs, identically in both (§3.9).
+                let horizon = match self.recorder.as_ref() {
+                    Some(rec) => rec.next_boundary(),
+                    None => Cycle::MAX,
+                };
+                let target = controller
+                    .next_event(self.now)
+                    .min(min_wake.unwrap_or(Cycle::MAX))
+                    .min(horizon);
+                if target != Cycle::MAX && target > self.now + 1 {
+                    self.now = target;
+                    assert!(self.now < cfg.max_cycles, "exceeded max_cycles bound");
+                    continue;
+                }
+            }
+            self.now += 1;
+            assert!(self.now < cfg.max_cycles, "exceeded max_cycles bound");
+        }
+    }
+
+    /// Assembles the run report from the finished machine.
+    fn report(
+        self,
+        cfg: &SimConfig,
+        energy_model: &EnergyModel,
+        controller: &dyn DramCacheController,
+    ) -> RunReport {
+        let now = self.now;
+        let end = self
+            .finish
+            .iter()
+            .map(|f| f.unwrap_or(now))
+            .max()
+            .unwrap_or(now);
+        let cycles = end.saturating_sub(self.warmup_cycle).max(1);
+        let instructions: u64 = self
+            .cores
+            .iter()
+            .map(|c| c.instructions_dispatched())
+            .sum::<u64>()
+            - self.warmup_instructions;
+        let (l1, l2, l3) = self.hierarchy.stats();
+        // Close the partial tail epoch at the loop-exit cycle (itself
+        // identical in both advance modes).
+        let timeseries = self
+            .recorder
+            .map(|rec| rec.finish(now, controller, (l1, l2, l3)));
+        let ctl = controller.stats();
+        let hbm = controller.hbm_stats();
+        let ddr = controller.ddr_stats();
+        let act = CpuActivity {
+            instructions,
+            cycles,
+            cores: cfg.hierarchy.cores,
+            l1_accesses: l1.accesses,
+            l2_accesses: l2.accesses,
+            l3_accesses: l3.accesses,
+        };
+        let hbm_ranks = cfg.policy.hbm.topology.channels * cfg.policy.hbm.topology.ranks;
+        let ddr_ranks = cfg.policy.ddr.topology.channels * cfg.policy.ddr.topology.ranks;
+        let energy = energy_model.system_energy(&act, &ctl, hbm.as_ref(), hbm_ranks, &ddr, ddr_ranks);
+        RunReport {
+            policy: controller.kind(),
+            workload: None,
+            cycles,
+            instructions,
+            mem_reads: self.mem_reads,
+            mem_writebacks: self.mem_writebacks,
+            ctl,
+            hbm,
+            ddr,
+            l1,
+            l2,
+            l3,
+            energy,
+            extras: controller
+                .extras()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            shadow_violations: self.shadow_violations,
+            hbm_audit: controller.hbm_audit(),
+            ddr_audit: controller.ddr_audit(),
+            timeseries,
+        }
+    }
+}
+
+/// The complete simulator state at a quiescent fork point: every core's
+/// execution state and trace cursor, the SRAM hierarchy, the shadow
+/// memory and waiter slab, the epoch recorder mid-series, both DRAM
+/// systems and the functional memory image, plus the id/version
+/// counters (DESIGN.md §3.13). Cheap to share: forking N policy runs
+/// from one snapshot is N `Arc` clones of the handle; the snapshot
+/// itself is immutable.
+#[derive(Debug, Clone)]
+pub struct WarmSnapshot {
+    /// Fingerprint of the warm-relevant configuration
+    /// ([`Simulator::warm_key`]); resuming under a different one panics.
+    key: u64,
+    /// Content identity of the traces this snapshot replays
+    /// ([`SharedTraces::content_key`]).
+    trace_key: u64,
+    traces: SharedTraces,
+    fork_cycle: Cycle,
+    committed: u64,
+    next_req: u64,
+    next_version: u64,
+    shadow_violations: u64,
+    warmup_instructions: u64,
+    finish: Vec<Option<Cycle>>,
+    cores: Vec<redcache_cpu::CoreState>,
+    hierarchy: Hierarchy,
+    shadow: ShadowMemory,
+    waiters: WaiterSlab,
+    recorder: Option<EpochRecorder>,
+    memory: WarmMemoryState,
+}
+
+impl WarmSnapshot {
+    /// The configuration fingerprint this snapshot was warmed under.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The content identity of the traces this snapshot replays.
+    pub fn trace_key(&self) -> u64 {
+        self.trace_key
+    }
+
+    /// The cycle at which the warmup drained to quiescence.
+    pub fn fork_cycle(&self) -> Cycle {
+        self.fork_cycle
+    }
+
+    /// Accesses committed (attempted) during the warmup phase.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// The traces this snapshot replays.
+    pub fn traces(&self) -> &SharedTraces {
+        &self.traces
+    }
+
+    /// Serializes everything except the traces themselves (the on-disk
+    /// format stores only [`WarmSnapshot::trace_key`]; the loader
+    /// re-supplies traces and must match it).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        use redcache_types::wire::Wire;
+        let mut out = Vec::new();
+        self.trace_key.put(&mut out);
+        self.fork_cycle.put(&mut out);
+        self.committed.put(&mut out);
+        self.next_req.put(&mut out);
+        self.next_version.put(&mut out);
+        self.shadow_violations.put(&mut out);
+        self.warmup_instructions.put(&mut out);
+        self.finish.put(&mut out);
+        self.cores.put(&mut out);
+        self.hierarchy.put(&mut out);
+        self.shadow.put(&mut out);
+        self.waiters.put(&mut out);
+        self.recorder.put(&mut out);
+        self.memory.put(&mut out);
+        out
+    }
+
+    /// Decodes a payload written by [`WarmSnapshot::encode_payload`],
+    /// re-attaching `traces`.
+    ///
+    /// # Errors
+    ///
+    /// Fails closed on truncation, trailing bytes, or a trace-identity
+    /// mismatch — a corrupt or mismatched file is a cache miss, never a
+    /// wrong simulation.
+    pub fn decode_payload(
+        payload: &[u8],
+        key: u64,
+        traces: &SharedTraces,
+    ) -> Result<Arc<Self>, redcache_types::wire::WireError> {
+        use redcache_types::wire::{Reader, Wire, WireError};
+        let mut r = Reader::new(payload);
+        let trace_key = u64::get(&mut r)?;
+        if trace_key != traces.content_key() {
+            return Err(WireError("snapshot was warmed on different traces"));
+        }
+        let snap = WarmSnapshot {
+            key,
+            trace_key,
+            traces: traces.clone(),
+            fork_cycle: Wire::get(&mut r)?,
+            committed: Wire::get(&mut r)?,
+            next_req: Wire::get(&mut r)?,
+            next_version: Wire::get(&mut r)?,
+            shadow_violations: Wire::get(&mut r)?,
+            warmup_instructions: Wire::get(&mut r)?,
+            finish: Wire::get(&mut r)?,
+            cores: Wire::get(&mut r)?,
+            hierarchy: Wire::get(&mut r)?,
+            shadow: Wire::get(&mut r)?,
+            waiters: Wire::get(&mut r)?,
+            recorder: Wire::get(&mut r)?,
+            memory: Wire::get(&mut r)?,
+        };
+        if !r.is_empty() {
+            return Err(WireError("trailing bytes after snapshot"));
+        }
+        Ok(Arc::new(snap))
     }
 }
 
@@ -143,10 +725,151 @@ impl Simulator {
         self
     }
 
+    /// Fingerprint of everything the warmup phase depends on: hierarchy
+    /// and core geometry, both DRAM configurations (with the bit-exact
+    /// `channel_par` knob normalised out), the warmup fraction, shadow
+    /// checking, epoch stride. Deliberately **excludes** the policy
+    /// kind, its RedCache overrides and the DRAM-cache block size — the
+    /// warmup is policy-independent (DESIGN.md §3.13) — and the
+    /// `time_skip` mode, which is exact (§3.7), so both advance modes
+    /// share one snapshot. Two configurations with equal keys may fork
+    /// from the same [`WarmSnapshot`].
+    pub fn warm_key(&self) -> u64 {
+        let mut hbm = self.cfg.policy.hbm;
+        let mut ddr = self.cfg.policy.ddr;
+        hbm.channel_par = false;
+        ddr.channel_par = false;
+        let fingerprint = format!(
+            "{:?}|{:?}|{:?}|{:?}|{}|{}|{:?}",
+            self.cfg.hierarchy,
+            self.cfg.core,
+            hbm,
+            ddr,
+            self.cfg.warmup_fraction.to_bits(),
+            self.cfg.check_shadow,
+            self.cfg.epoch_cycles,
+        );
+        redcache_types::wire::fnv1a(fingerprint.as_bytes())
+    }
+
+    /// Runs the §IV.A warmup phase once under the policy-independent
+    /// [`FillController`], drains the memory system to quiescence, and
+    /// captures the complete simulator state. The returned snapshot can
+    /// be [`Simulator::resume`]d by any number of policy runs whose
+    /// [`Simulator::warm_key`] matches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more traces than cores are supplied, on deadlock, or
+    /// when the `max_cycles` bound is exceeded.
+    pub fn warm(&self, traces: impl Into<SharedTraces>) -> Arc<WarmSnapshot> {
+        let traces: SharedTraces = traces.into();
+        let total_accesses = traces.total_accesses();
+        let target = (self.cfg.warmup_fraction * total_accesses as f64) as u64;
+        let mut fill = FillController::new(&self.cfg.policy);
+        let mut m = Machine::new(&self.cfg, traces.clone());
+        WARM_RUNS.fetch_add(1, Ordering::Relaxed);
+        m.run(&self.cfg, &mut fill, Phase::Warm { target });
+        debug_assert_eq!(fill.pending(), 0, "drain left requests in flight");
+        debug_assert_eq!(m.hierarchy.mshr_len(), 0, "drain left MSHR entries");
+        Arc::new(WarmSnapshot {
+            key: self.warm_key(),
+            trace_key: traces.content_key(),
+            traces,
+            fork_cycle: m.now,
+            committed: m.committed,
+            next_req: m.next_req,
+            next_version: m.next_version,
+            shadow_violations: m.shadow_violations,
+            warmup_instructions: m
+                .cores
+                .iter()
+                .map(|c| c.instructions_dispatched())
+                .sum(),
+            finish: m.finish.clone(),
+            cores: m.cores.iter().map(|c| c.snapshot()).collect(),
+            hierarchy: m.hierarchy.snapshot(),
+            shadow: m.shadow.clone(),
+            waiters: m.waiters.clone(),
+            recorder: m.recorder.clone(),
+            memory: fill.capture_warm(),
+        })
+    }
+
+    /// Builds the configured policy's controller and continues from
+    /// `snapshot` to completion — the measured half of a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's key does not match this configuration's
+    /// [`Simulator::warm_key`], plus the [`Simulator::run`] conditions.
+    pub fn resume(self, snapshot: &WarmSnapshot) -> RunReport {
+        let controller = build_controller(&self.cfg.policy);
+        self.resume_with(snapshot, controller)
+    }
+
+    /// Like [`Simulator::resume`], with a caller-supplied controller
+    /// (which must support warm forking).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Simulator::resume`], or a controller whose
+    /// [`DramCacheController::supports_warm_fork`] is `false`.
+    pub fn resume_with(
+        self,
+        snapshot: &WarmSnapshot,
+        mut controller: Box<dyn DramCacheController>,
+    ) -> RunReport {
+        assert!(
+            controller.supports_warm_fork(),
+            "controller does not support warm forking; use Simulator::run_with"
+        );
+        assert_eq!(
+            snapshot.key,
+            self.warm_key(),
+            "warm snapshot belongs to a different configuration"
+        );
+        let mut m = Machine::new(&self.cfg, snapshot.traces.clone());
+        assert_eq!(m.cores.len(), snapshot.cores.len());
+        for (core, st) in m.cores.iter_mut().zip(&snapshot.cores) {
+            core.restore(st);
+        }
+        m.hierarchy.restore(&snapshot.hierarchy);
+        m.shadow = snapshot.shadow.clone();
+        m.waiters = snapshot.waiters.clone();
+        m.recorder = snapshot.recorder.clone();
+        m.finish = snapshot.finish.clone();
+        m.next_req = snapshot.next_req;
+        m.next_version = snapshot.next_version;
+        m.committed = snapshot.committed;
+        // Warmup-phase shadow violations stay visible in the report;
+        // traffic counters and statistics restart at the fork, exactly
+        // like the legacy in-loop reset.
+        m.shadow_violations = snapshot.shadow_violations;
+        m.now = snapshot.fork_cycle;
+        m.warmed = true;
+        m.warmup_cycle = snapshot.fork_cycle;
+        m.warmup_instructions = snapshot.warmup_instructions;
+        m.mem_reads = 0;
+        m.mem_writebacks = 0;
+        controller.adopt_warm(&snapshot.memory);
+        controller.reset_stats();
+        m.hierarchy.reset_stats();
+        if let Some(rec) = m.recorder.as_mut() {
+            rec.note_warmup_reset();
+        }
+        m.run(&self.cfg, &mut *controller, Phase::Measure);
+        m.report(&self.cfg, &self.energy_model, &*controller)
+    }
+
     /// Executes `traces` (one per thread; at most one per core) to
     /// completion and returns the run report. Accepts owned
     /// `ThreadTraces` or a [`SharedTraces`] handle — the latter lets
     /// many concurrent simulations read one generated trace set.
+    ///
+    /// Internally this is [`Simulator::warm`] + [`Simulator::resume`]:
+    /// the warmup runs under the policy-independent fill controller, so
+    /// a scratch run is bit-identical to forking a shared snapshot.
     ///
     /// # Panics
     ///
@@ -159,7 +882,10 @@ impl Simulator {
 
     /// Like [`Simulator::run`], but with a caller-supplied controller —
     /// the extension point for custom DRAM-cache policies (see the
-    /// `custom_policy` example).
+    /// `custom_policy` example). Controllers that opt into
+    /// [`DramCacheController::supports_warm_fork`] take the warm+resume
+    /// path; others run the legacy single-pass loop with the in-loop
+    /// §IV.A statistics reset.
     ///
     /// # Panics
     ///
@@ -170,323 +896,16 @@ impl Simulator {
         mut controller: Box<dyn DramCacheController>,
     ) -> RunReport {
         let traces: SharedTraces = traces.into();
-        let ncores = self.cfg.hierarchy.cores;
-        assert!(
-            traces.threads() <= ncores,
-            "{} traces but only {ncores} cores",
-            traces.threads()
-        );
-        let total_accesses: u64 = traces.total_accesses();
+        if controller.supports_warm_fork() {
+            let snapshot = self.warm(traces);
+            return self.resume_with(&snapshot, controller);
+        }
+        let total_accesses = traces.total_accesses();
         let warmup_target = (self.cfg.warmup_fraction * total_accesses as f64) as u64;
-        let mut cores: Vec<Core> = traces
-            .into_iter()
-            .chain(std::iter::repeat_with(|| Arc::from(Vec::new())))
-            .take(ncores)
-            .map(|t| Core::new(self.cfg.core, t))
-            .collect();
-        let mut hierarchy = Hierarchy::new(self.cfg.hierarchy);
-        let mut shadow = ShadowMemory::new();
-
-        let mut waiters = WaiterSlab::default();
-        let mut next_req: u64 = 0;
-        let mut next_version: u64 = 1;
-        let mut mem_reads: u64 = 0;
-        let mut mem_writebacks: u64 = 0;
-        let mut finish: Vec<Option<Cycle>> = vec![None; ncores];
-        let mut done_buf: Vec<CompletedReq> = Vec::new();
-        let mut shadow_violations = 0u64;
-
-        // Event-driven advance is exact (DESIGN.md §3.7); the runtime
-        // escape hatch exists for A/B equivalence checks.
-        let skip_enabled =
-            self.cfg.time_skip && std::env::var_os("REDCACHE_NO_SKIP").is_none_or(|v| v != "1");
-        // Epoch recorder: purely observational, exact in both advance
-        // modes (DESIGN.md §3.9). `None` costs one untaken branch per
-        // loop iteration.
-        let mut recorder = self.cfg.epoch_cycles.map(EpochRecorder::new);
-
-        let mut now: Cycle = 0;
-        let mut blocked_idle_streak = 0u32;
-        let mut committed: u64 = 0;
-        let mut warmed = warmup_target == 0;
-        let mut warmup_cycle: Cycle = 0;
-        let mut warmup_instructions: u64 = 0;
-        loop {
-            // 1. Core side: each active core may commit one access.
-            let mut all_finished = true;
-            let mut min_wake: Option<Cycle> = None;
-            let mut any_blocked = false;
-            let mut any_ready = false;
-            for (ci, core) in cores.iter_mut().enumerate() {
-                if finish[ci].is_some() {
-                    continue;
-                }
-                match core.poll(now) {
-                    Poll::Finished(t) => {
-                        finish[ci] = Some(t);
-                        continue;
-                    }
-                    Poll::NotYet(t) => {
-                        all_finished = false;
-                        min_wake = Some(min_wake.map_or(t, |m: Cycle| m.min(t)));
-                    }
-                    Poll::WaitingMem => {
-                        all_finished = false;
-                        any_blocked = true;
-                    }
-                    Poll::Ready(access) => {
-                        all_finished = false;
-                        any_ready = true;
-                        committed += 1;
-                        let line = access.addr.line(BLOCK_BYTES);
-                        let is_store = access.op.is_store();
-                        let version = if is_store {
-                            next_version += 1;
-                            next_version
-                        } else {
-                            0
-                        };
-                        let wid = waiters.peek_id();
-                        let out =
-                            hierarchy.access(CoreId(ci as u16), line, access.op, version, wid);
-                        submit_writebacks(
-                            &out.writebacks,
-                            &mut *controller,
-                            &mut shadow,
-                            &mut next_req,
-                            &mut mem_writebacks,
-                            now,
-                        );
-                        if out.hit_level.is_some() {
-                            core.commit_hit(now, out.latency);
-                        } else if out.must_retry() {
-                            // MSHR full: retry next cycle.
-                            any_blocked = true;
-                        } else {
-                            let info = if is_store {
-                                core.commit_store_miss(now);
-                                WaiterInfo {
-                                    core: ci,
-                                    load_token: None,
-                                    store_version: Some(version),
-                                }
-                            } else {
-                                let tok = core.commit_load_miss(now);
-                                WaiterInfo {
-                                    core: ci,
-                                    load_token: Some(tok),
-                                    store_version: None,
-                                }
-                            };
-                            let assigned = waiters.insert(info);
-                            debug_assert_eq!(assigned, wid);
-                            if out.mem_read_needed() {
-                                let id = ReqId(next_req);
-                                next_req += 1;
-                                shadow.on_read_submit(id.0, line);
-                                controller.submit(
-                                    MemRequest::read(id, line, CoreId(ci as u16), now),
-                                    now,
-                                );
-                                mem_reads += 1;
-                            }
-                        }
-                    }
-                }
-            }
-
-            // 2. Memory side.
-            controller.tick(now, &mut done_buf);
-            // Completions wake cores whose earlier poll already answered
-            // for this cycle — never skip past their re-poll.
-            let delivered = !done_buf.is_empty();
-            for d in done_buf.drain(..) {
-                match d.kind {
-                    AccessKind::Read => {
-                        if self.cfg.check_shadow && !shadow.on_read_complete(d.id.0, d.data_version)
-                        {
-                            shadow_violations += 1;
-                        }
-                        let fr = hierarchy.complete_fill(d.line, d.data_version);
-                        submit_writebacks(
-                            &fr.writebacks,
-                            &mut *controller,
-                            &mut shadow,
-                            &mut next_req,
-                            &mut mem_writebacks,
-                            now,
-                        );
-                        for wid in fr.waiters {
-                            let Some(info) = waiters.remove(wid) else {
-                                continue;
-                            };
-                            let wbs = hierarchy.fill_waiter(
-                                CoreId(info.core as u16),
-                                d.line,
-                                d.data_version,
-                                info.store_version,
-                            );
-                            submit_writebacks(
-                                &wbs,
-                                &mut *controller,
-                                &mut shadow,
-                                &mut next_req,
-                                &mut mem_writebacks,
-                                now,
-                            );
-                            if let Some(tok) = info.load_token {
-                                cores[info.core].complete_load(tok, d.done_at.max(now));
-                            }
-                        }
-                    }
-                    AccessKind::Writeback => {}
-                }
-            }
-
-            // 3. Warmup boundary: reset statistics once the configured
-            // fraction of the trace has committed (§IV.A). Functional
-            // and adaptive state carries over; only counters reset.
-            if !warmed && committed >= warmup_target {
-                warmed = true;
-                warmup_cycle = now;
-                warmup_instructions = cores.iter().map(|c| c.instructions_dispatched()).sum();
-                controller.reset_stats();
-                hierarchy.reset_stats();
-                if let Some(rec) = recorder.as_mut() {
-                    rec.note_warmup_reset();
-                }
-            }
-
-            // 3b. Epoch close: after the memory side has ticked cycle
-            // `now`, so the epoch ending here has seen all of it.
-            if let Some(rec) = recorder.as_mut() {
-                if now >= rec.next_boundary() {
-                    rec.sample(now, &*controller, hierarchy.stats());
-                }
-            }
-
-            // 4. Termination and time advance.
-            if all_finished && controller.pending() == 0 {
-                break;
-            }
-            // A core can look blocked in the same cycle its last
-            // completion arrives; only a *persistent* blocked-with-idle-
-            // memory state is a real deadlock.
-            if any_blocked && controller.pending() == 0 && hierarchy.mshr_len() == 0 {
-                blocked_idle_streak += 1;
-                if blocked_idle_streak > 8 {
-                    let states: Vec<String> = cores
-                        .iter_mut()
-                        .enumerate()
-                        .map(|(i, c)| format!("core{i}: {:?}", c.poll(now)))
-                        .collect();
-                    panic!(
-                        "deadlock at cycle {now}: cores blocked with idle memory\n{}",
-                        states.join("\n")
-                    );
-                }
-            } else {
-                blocked_idle_streak = 0;
-            }
-            // Fast-forward across pure-compute stretches (active in both
-            // modes; predates the event-driven advance below and jumps
-            // even past DRAM-refresh edges when memory is fully idle).
-            if controller.pending() == 0 && !any_blocked {
-                if let Some(w) = min_wake {
-                    if w > now + 1 {
-                        now = w;
-                        continue;
-                    }
-                }
-            }
-            // Event-driven advance: if no core committed this cycle, no
-            // completion was delivered, and neither the cores nor the
-            // memory system can act before `target`, every intermediate
-            // cycle would have been a no-op — jump over it. Exactness
-            // argument in DESIGN.md §3.7.
-            if skip_enabled
-                && !any_ready
-                && !delivered
-                // When a core wakes next cycle anyway the jump target
-                // cannot exceed `now + 1`; skip the horizon computation.
-                && min_wake.is_none_or(|w| w > now + 1)
-            {
-                // An epoch boundary is an event horizon too: the skip
-                // lands on it exactly, where ticking "early" is a no-op
-                // by the `next_event` contract — so recording changes
-                // nothing downstream. The compute fast-forward above is
-                // deliberately NOT clamped: it is shared by both advance
-                // modes, and boundaries it jumps close late as
-                // zero-delta epochs, identically in both (§3.9).
-                let horizon = match recorder.as_ref() {
-                    Some(rec) => rec.next_boundary(),
-                    None => Cycle::MAX,
-                };
-                let target = controller
-                    .next_event(now)
-                    .min(min_wake.unwrap_or(Cycle::MAX))
-                    .min(horizon);
-                if target != Cycle::MAX && target > now + 1 {
-                    now = target;
-                    assert!(now < self.cfg.max_cycles, "exceeded max_cycles bound");
-                    continue;
-                }
-            }
-            now += 1;
-            assert!(now < self.cfg.max_cycles, "exceeded max_cycles bound");
-        }
-
-        let end = finish.iter().map(|f| f.unwrap_or(now)).max().unwrap_or(now);
-        let cycles = end.saturating_sub(warmup_cycle).max(1);
-        let instructions: u64 = cores
-            .iter()
-            .map(|c| c.instructions_dispatched())
-            .sum::<u64>()
-            - warmup_instructions;
-        let (l1, l2, l3) = hierarchy.stats();
-        // Close the partial tail epoch at the loop-exit cycle (itself
-        // identical in both advance modes).
-        let timeseries = recorder.map(|rec| rec.finish(now, &*controller, (l1, l2, l3)));
-        let ctl = controller.stats();
-        let hbm = controller.hbm_stats();
-        let ddr = controller.ddr_stats();
-        let act = CpuActivity {
-            instructions,
-            cycles,
-            cores: ncores,
-            l1_accesses: l1.accesses,
-            l2_accesses: l2.accesses,
-            l3_accesses: l3.accesses,
-        };
-        let hbm_ranks = self.cfg.policy.hbm.topology.channels * self.cfg.policy.hbm.topology.ranks;
-        let ddr_ranks = self.cfg.policy.ddr.topology.channels * self.cfg.policy.ddr.topology.ranks;
-        let energy =
-            self.energy_model
-                .system_energy(&act, &ctl, hbm.as_ref(), hbm_ranks, &ddr, ddr_ranks);
-        RunReport {
-            policy: controller.kind(),
-            workload: None,
-            cycles,
-            instructions,
-            mem_reads,
-            mem_writebacks,
-            ctl,
-            hbm,
-            ddr,
-            l1,
-            l2,
-            l3,
-            energy,
-            extras: controller
-                .extras()
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-            shadow_violations,
-            hbm_audit: controller.hbm_audit(),
-            ddr_audit: controller.ddr_audit(),
-            timeseries,
-        }
+        let mut m = Machine::new(&self.cfg, traces);
+        m.warmed = warmup_target == 0;
+        m.run(&self.cfg, &mut *controller, Phase::Full { warmup_target });
+        m.report(&self.cfg, &self.energy_model, &*controller)
     }
 }
 
@@ -608,5 +1027,67 @@ mod tests {
             &GenConfig::tiny(),
         );
         assert_eq!(r.workload.as_deref(), Some("LREG"));
+    }
+
+    #[test]
+    fn forked_resume_matches_scratch_run() {
+        let cfg = SimConfig::quick(PolicyKind::Alloy);
+        let traces: SharedTraces = tiny_traces().into();
+        let snap = Simulator::new(cfg).warm(traces.clone());
+        let forked = Simulator::new(cfg).resume(&snap);
+        let scratch = Simulator::new(cfg).run(traces);
+        assert_eq!(forked, scratch);
+    }
+
+    #[test]
+    fn one_snapshot_forks_into_every_policy() {
+        let cfg = SimConfig::quick(PolicyKind::NoHbm);
+        let traces: SharedTraces = tiny_traces().into();
+        let snap = Simulator::new(cfg).warm(traces.clone());
+        let before = warm_count();
+        for kind in [PolicyKind::Ideal, PolicyKind::Alloy, PolicyKind::Bear] {
+            let mut k = cfg;
+            k.policy.kind = kind;
+            let sim = Simulator::new(k);
+            assert_eq!(sim.warm_key(), snap.key(), "{kind:?} key diverged");
+            let forked = sim.resume(&snap);
+            assert_eq!(forked.shadow_violations, 0, "{kind:?}");
+            assert!(forked.cycles > 0);
+        }
+        // Forking spent zero additional warmups.
+        assert_eq!(warm_count(), before);
+    }
+
+    #[test]
+    fn snapshot_payload_round_trips() {
+        let cfg = SimConfig::quick(PolicyKind::Alloy);
+        let traces: SharedTraces = tiny_traces().into();
+        let snap = Simulator::new(cfg).warm(traces.clone());
+        let payload = snap.encode_payload();
+        let back = WarmSnapshot::decode_payload(&payload, snap.key(), &traces).unwrap();
+        assert_eq!(back.encode_payload(), payload, "re-encode is not stable");
+        let forked = Simulator::new(cfg).resume(&back);
+        let scratch = Simulator::new(cfg).run(traces.clone());
+        assert_eq!(forked, scratch);
+
+        // Different traces are rejected outright.
+        let other: SharedTraces = Workload::Is.generate(&GenConfig::tiny()).into();
+        assert!(WarmSnapshot::decode_payload(&payload, snap.key(), &other).is_err());
+        // Truncation fails closed.
+        assert!(WarmSnapshot::decode_payload(&payload[..payload.len() - 3], snap.key(), &traces)
+            .is_err());
+    }
+
+    #[test]
+    fn mismatched_warm_key_panics() {
+        let cfg = SimConfig::quick(PolicyKind::Alloy);
+        let traces: SharedTraces = tiny_traces().into();
+        let snap = Simulator::new(cfg).warm(traces);
+        let mut other = cfg;
+        other.warmup_fraction = 0.1;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Simulator::new(other).resume(&snap)
+        }));
+        assert!(result.is_err(), "resume accepted a foreign snapshot");
     }
 }

@@ -1,0 +1,138 @@
+//! On-disk persistence for [`WarmSnapshot`]s, keyed like the RCTR trace
+//! cache (DESIGN.md §3.13).
+//!
+//! A snapshot file is a [`redcache_types::wire`] envelope — magic
+//! `RCSN`, format version, the [`Simulator::warm_key`] it was warmed
+//! under, then the snapshot payload. Traces are **not** stored: the
+//! payload carries only [`SharedTraces::content_key`], and the loader
+//! re-supplies the traces and verifies the key, so a snapshot file is
+//! small and can never resurrect a stale trace set. Every decode path
+//! fails closed — a truncated, corrupt, or mismatched file is a cache
+//! miss that triggers a fresh warmup and heals the entry, never a wrong
+//! simulation.
+
+use crate::sim::{Simulator, WarmSnapshot};
+use redcache_types::wire::{decode_file, encode_file};
+use redcache_workloads::SharedTraces;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"RCSN";
+const VERSION: u32 = 1;
+
+/// The file name a warm snapshot caches under —
+/// `{label}-{trace_key:016x}-{warm_key:016x}.rcsn`. Both keys are in
+/// the name so distinct trace sets and distinct warm-relevant
+/// configurations never collide, mirroring the trace cache's
+/// `{label}-{cache_key:016x}.rctr` scheme.
+pub fn snapshot_file_name(label: &str, trace_key: u64, warm_key: u64) -> String {
+    format!("{}-{trace_key:016x}-{warm_key:016x}.rcsn", label.to_lowercase())
+}
+
+/// Writes `snap` to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save(path: &Path, snap: &WarmSnapshot) -> io::Result<()> {
+    let bytes = encode_file(MAGIC, VERSION, snap.key(), &snap.encode_payload());
+    std::fs::write(path, bytes)
+}
+
+/// Reads a snapshot previously written by [`save`], verifying the
+/// envelope (magic, version, `warm_key`) and the trace identity.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on any mismatch or corruption, and propagates
+/// filesystem errors.
+pub fn load(path: &Path, warm_key: u64, traces: &SharedTraces) -> io::Result<Arc<WarmSnapshot>> {
+    let bytes = std::fs::read(path)?;
+    let payload = decode_file(&bytes, MAGIC, VERSION, warm_key).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "not a matching snapshot file")
+    })?;
+    WarmSnapshot::decode_payload(payload, warm_key, traces)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.0))
+}
+
+/// Warms `sim` on `traces` through an optional on-disk cache rooted at
+/// `dir`, keyed by `(label, trace content, warm key)`. A valid cached
+/// snapshot is loaded instead of re-warming; a miss (or any unreadable
+/// or stale entry) warms from scratch and then best-effort persists the
+/// result, so a broken cache directory never fails a run.
+pub fn warm_cached_in(
+    sim: &Simulator,
+    label: &str,
+    traces: &SharedTraces,
+    dir: Option<&Path>,
+) -> Arc<WarmSnapshot> {
+    let Some(dir) = dir else {
+        return sim.warm(traces.clone());
+    };
+    let warm_key = sim.warm_key();
+    let path = dir.join(snapshot_file_name(label, traces.content_key(), warm_key));
+    if let Ok(snap) = load(&path, warm_key, traces) {
+        return snap;
+    }
+    let snap = sim.warm(traces.clone());
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = save(&path, &snap);
+    }
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use redcache_policies::PolicyKind;
+    use redcache_workloads::{GenConfig, Workload};
+
+    fn traces() -> SharedTraces {
+        Workload::Hist.generate(&GenConfig::tiny()).into()
+    }
+
+    #[test]
+    fn file_round_trip_and_fail_closed() {
+        let cfg = SimConfig::quick(PolicyKind::Alloy);
+        let sim = Simulator::new(cfg);
+        let traces = traces();
+        let snap = sim.warm(traces.clone());
+        let dir = std::env::temp_dir().join(format!("redcache_snap_io_{:x}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(snapshot_file_name("hist", snap.trace_key(), snap.key()));
+
+        save(&path, &snap).unwrap();
+        let back = load(&path, snap.key(), &traces).unwrap();
+        assert_eq!(back.encode_payload(), snap.encode_payload());
+        let forked = Simulator::new(cfg).resume(&back);
+        let scratch = Simulator::new(cfg).run(traces.clone());
+        assert_eq!(forked, scratch);
+
+        // Wrong warm key: the envelope check rejects the file.
+        assert!(load(&path, snap.key() ^ 1, &traces).is_err());
+        // Wrong traces: the payload check rejects the file.
+        let other: SharedTraces = Workload::Is.generate(&GenConfig::tiny()).into();
+        assert!(load(&path, snap.key(), &other).is_err());
+        // Truncation and garbage fail closed.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load(&path, snap.key(), &traces).is_err());
+        std::fs::write(&path, b"this is not a snapshot").unwrap();
+        assert!(load(&path, snap.key(), &traces).is_err());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cacheless_warm_still_works() {
+        let cfg = SimConfig::quick(PolicyKind::NoHbm);
+        let traces = traces();
+        let snap = warm_cached_in(&Simulator::new(cfg), "hist", &traces, None);
+        assert_eq!(
+            Simulator::new(cfg).resume(&snap),
+            Simulator::new(cfg).run(traces)
+        );
+    }
+}

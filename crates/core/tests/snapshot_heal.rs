@@ -1,0 +1,88 @@
+//! The on-disk warm-snapshot cache (`--snapshot-dir` /
+//! `REDCACHE_SNAPSHOT_DIR`) must treat damage as a miss, never as
+//! state: a truncated, garbage, or stale-keyed `.rcsn` file triggers a
+//! fresh warmup whose result both heals the entry and simulates
+//! identically to a never-cached run. Mirrors the trace cache's
+//! corrupt-entry heal contract.
+//!
+//! Kept as a single `#[test]` in its own integration-test binary: the
+//! warm counter is process-global, so sibling tests warming simulators
+//! in parallel would make the exactly-one-warmup deltas ambiguous.
+
+use redcache::{snapshot_io, warm_count, PolicyKind, SimConfig, Simulator};
+use redcache_workloads::{GenConfig, SharedTraces, Workload};
+
+#[test]
+fn corrupt_snapshot_entries_rewarm_and_heal() {
+    let cfg = SimConfig::quick(PolicyKind::Alloy);
+    let gen = GenConfig::tiny();
+    let traces: SharedTraces = Workload::Hist.generate(&gen).into();
+    let dir = std::env::temp_dir().join(format!("redcache_snap_heal_{:x}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let scratch = Simulator::new(cfg).run(traces.clone());
+
+    // Cold cache: exactly one warmup, and the entry is persisted.
+    let before = warm_count();
+    let snap = snapshot_io::warm_cached_in(&Simulator::new(cfg), "hist", &traces, Some(&dir));
+    assert_eq!(warm_count() - before, 1);
+    let path = dir.join(snapshot_io::snapshot_file_name(
+        "hist",
+        snap.trace_key(),
+        snap.key(),
+    ));
+    assert!(path.is_file(), "snapshot was not persisted");
+    assert_eq!(Simulator::new(cfg).resume(&snap), scratch);
+
+    // Warm cache: loaded, not re-warmed.
+    let before = warm_count();
+    let loaded = snapshot_io::warm_cached_in(&Simulator::new(cfg), "hist", &traces, Some(&dir));
+    assert_eq!(warm_count() - before, 0, "valid cache entry was re-warmed");
+    assert_eq!(Simulator::new(cfg).resume(&loaded), scratch);
+
+    // Corruption heals: truncation, then garbage, then an envelope
+    // whose warm key matches but whose payload is damaged. Each damaged
+    // entry costs one fresh warmup, produces the scratch-identical
+    // report, and leaves a loadable file behind.
+    let good = std::fs::read(&path).unwrap();
+    let damaged: Vec<Vec<u8>> = vec![
+        good[..good.len() / 3].to_vec(),
+        b"this is not a snapshot".to_vec(),
+        {
+            let mut flipped = good.clone();
+            let mid = flipped.len() / 2;
+            flipped[mid] ^= 0xFF;
+            flipped
+        },
+    ];
+    for bytes in damaged {
+        std::fs::write(&path, &bytes).unwrap();
+        let before = warm_count();
+        let healed = snapshot_io::warm_cached_in(&Simulator::new(cfg), "hist", &traces, Some(&dir));
+        assert_eq!(warm_count() - before, 1, "damaged entry must re-warm");
+        assert_eq!(Simulator::new(cfg).resume(&healed), scratch);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            good,
+            "damaged entry was not healed back to the canonical bytes"
+        );
+    }
+
+    // A snapshot warmed under a different warm-relevant config caches
+    // under a different file name: both entries coexist.
+    let other_cfg = SimConfig::quick(PolicyKind::Alloy)
+        .to_builder()
+        .warmup_fraction(0.1)
+        .build()
+        .expect("preset-derived config validates");
+    let other = snapshot_io::warm_cached_in(&Simulator::new(other_cfg), "hist", &traces, Some(&dir));
+    assert_ne!(other.key(), snap.key());
+    assert_eq!(
+        std::fs::read_dir(&dir).unwrap().count(),
+        2,
+        "distinct warm keys must not collide in the cache directory"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

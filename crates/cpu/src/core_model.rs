@@ -287,6 +287,91 @@ impl Core {
     }
 }
 
+/// Captured execution state of one [`Core`] (DESIGN.md §3.13): the
+/// trace cursor, ROB/in-flight bookkeeping and counters — everything
+/// except the configuration and the trace itself, which are rebuilt
+/// (and re-shared) by [`Core::new`] from the same workload.
+#[derive(Debug, Clone)]
+pub struct CoreState {
+    idx: usize,
+    instr_no: u64,
+    dispatch_ready: Cycle,
+    in_flight: VecDeque<InFlight>,
+    last_completion: Cycle,
+    retire_floor: Cycle,
+    next_token: u64,
+    loads_issued: u64,
+    stores_issued: u64,
+    stall_cycles_mem: Cycle,
+    last_poll: Cycle,
+}
+
+impl redcache_types::Snapshot for Core {
+    type State = CoreState;
+
+    fn snapshot(&self) -> CoreState {
+        CoreState {
+            idx: self.idx,
+            instr_no: self.instr_no,
+            dispatch_ready: self.dispatch_ready,
+            in_flight: self.in_flight.clone(),
+            last_completion: self.last_completion,
+            retire_floor: self.retire_floor,
+            next_token: self.next_token,
+            loads_issued: self.loads_issued,
+            stores_issued: self.stores_issued,
+            stall_cycles_mem: self.stall_cycles_mem,
+            last_poll: self.last_poll,
+        }
+    }
+}
+
+impl redcache_types::Restorable for Core {
+    fn restore(&mut self, state: &CoreState) {
+        assert!(
+            state.idx <= self.trace.len(),
+            "snapshot restored into a core with a different trace"
+        );
+        self.idx = state.idx;
+        self.instr_no = state.instr_no;
+        self.dispatch_ready = state.dispatch_ready;
+        self.in_flight = state.in_flight.clone();
+        self.last_completion = state.last_completion;
+        self.retire_floor = state.retire_floor;
+        self.next_token = state.next_token;
+        self.loads_issued = state.loads_issued;
+        self.stores_issued = state.stores_issued;
+        self.stall_cycles_mem = state.stall_cycles_mem;
+        self.last_poll = state.last_poll;
+    }
+}
+
+impl redcache_types::wire::Wire for LoadToken {
+    fn put(&self, out: &mut Vec<u8>) {
+        redcache_types::wire::Wire::put(&self.0, out);
+    }
+    fn get(
+        r: &mut redcache_types::wire::Reader<'_>,
+    ) -> Result<Self, redcache_types::wire::WireError> {
+        Ok(LoadToken(redcache_types::wire::Wire::get(r)?))
+    }
+}
+
+redcache_types::wire_struct!(InFlight { instr_no, done_at });
+redcache_types::wire_struct!(CoreState {
+    idx,
+    instr_no,
+    dispatch_ready,
+    in_flight,
+    last_completion,
+    retire_floor,
+    next_token,
+    loads_issued,
+    stores_issued,
+    stall_cycles_mem,
+    last_poll,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

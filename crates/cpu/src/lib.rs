@@ -30,5 +30,5 @@
 mod core_model;
 mod trace;
 
-pub use core_model::{Core, CoreConfig, LoadToken, Poll};
+pub use core_model::{Core, CoreConfig, CoreState, LoadToken, Poll};
 pub use trace::{Access, TraceStats};

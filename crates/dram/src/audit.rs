@@ -476,6 +476,75 @@ impl TimingAuditor {
     }
 }
 
+// Snapshot encoding (DESIGN.md §3.13). The auditor serialises its
+// timing parameters and topology dimensions along with the shadow
+// state, so a decoded auditor is self-contained and keeps enforcing
+// the same constraint set it was enforcing at capture.
+redcache_types::wire_enum!(TimingRule {
+    TimingRule::ClockAlign = 0,
+    TimingRule::BankState = 1,
+    TimingRule::Trc = 2,
+    TimingRule::Trp = 3,
+    TimingRule::Tras = 4,
+    TimingRule::Trcd = 5,
+    TimingRule::Trtp = 6,
+    TimingRule::Twr = 7,
+    TimingRule::Trrd = 8,
+    TimingRule::Tfaw = 9,
+    TimingRule::Twtr = 10,
+    TimingRule::Tccd = 11,
+    TimingRule::BusOverlap = 12,
+    TimingRule::RefreshState = 13,
+    TimingRule::RefreshBlock = 14,
+});
+redcache_types::wire_struct!(ViolationRecord {
+    rule,
+    cmd,
+    deadline,
+});
+redcache_types::wire_struct!(CmdHistogram {
+    acts,
+    pres,
+    reads,
+    writes,
+    refreshes,
+    bus_busy_cycles,
+});
+redcache_types::wire_struct!(AuditStats {
+    cmds_audited,
+    violations,
+    rule_counts,
+    first_violation,
+    per_channel,
+    last_cycle,
+});
+redcache_types::wire_struct!(BankShadow {
+    open,
+    last_act,
+    last_pre,
+    last_rd,
+    last_wr_data_end,
+});
+redcache_types::wire_struct!(RankShadow {
+    acts,
+    act_count,
+    wr_data_end,
+    refreshing_until,
+});
+redcache_types::wire_struct!(ChanShadow {
+    last_col,
+    bus_free_at,
+});
+redcache_types::wire_struct!(TimingAuditor {
+    t,
+    ranks_per_channel,
+    banks_per_rank,
+    banks,
+    ranks,
+    chans,
+    stats,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

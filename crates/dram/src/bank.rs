@@ -82,6 +82,20 @@ impl Rank {
     }
 }
 
+redcache_types::wire_struct!(Bank {
+    open_row,
+    ready_act,
+    ready_col,
+    ready_pre,
+});
+redcache_types::wire_struct!(Rank {
+    act_times,
+    ready_act,
+    ready_read,
+    next_refresh,
+    refreshing_until,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

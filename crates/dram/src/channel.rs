@@ -44,7 +44,71 @@ pub(crate) struct Channel {
     pub horizon: std::cell::Cell<Option<Cycle>>,
 }
 
+/// Captured state of one channel (DESIGN.md §3.13): every field of
+/// [`Channel`] except the `horizon` memo, which is a pure cache of the
+/// rest (and a `Cell`, so it cannot live in a `Send + Sync` snapshot).
+/// Restoring marks the horizon dirty; the next `next_event` query
+/// recomputes it from the restored device state.
+#[derive(Debug, Clone)]
+pub(crate) struct ChannelState {
+    ranks: Vec<Rank>,
+    banks: Vec<Vec<Bank>>,
+    q: TxnQueue,
+    bus_free_at: Cycle,
+    last_col_cmd: Option<Cycle>,
+    last_col_kind: Option<TxnKind>,
+    pending_writes: usize,
+    write_drain_mode: bool,
+    rank_inflight: Vec<u32>,
+    completed: Option<u32>,
+}
+
+redcache_types::wire_struct!(ChannelState {
+    ranks,
+    banks,
+    q,
+    bus_free_at,
+    last_col_cmd,
+    last_col_kind,
+    pending_writes,
+    write_drain_mode,
+    rank_inflight,
+    completed,
+});
+
 impl Channel {
+    /// Captures this channel's complete mutable state.
+    pub(crate) fn capture(&self) -> ChannelState {
+        ChannelState {
+            ranks: self.ranks.clone(),
+            banks: self.banks.clone(),
+            q: self.q.clone(),
+            bus_free_at: self.bus_free_at,
+            last_col_cmd: self.last_col_cmd,
+            last_col_kind: self.last_col_kind,
+            pending_writes: self.pending_writes,
+            write_drain_mode: self.write_drain_mode,
+            rank_inflight: self.rank_inflight.clone(),
+            completed: self.completed,
+        }
+    }
+
+    /// Overwrites this channel's mutable state with a captured one
+    /// (same topology; enforced by the caller's config fingerprint).
+    pub(crate) fn restore(&mut self, s: &ChannelState) {
+        self.ranks = s.ranks.clone();
+        self.banks = s.banks.clone();
+        self.q = s.q.clone();
+        self.bus_free_at = s.bus_free_at;
+        self.last_col_cmd = s.last_col_cmd;
+        self.last_col_kind = s.last_col_kind;
+        self.pending_writes = s.pending_writes;
+        self.write_drain_mode = s.write_drain_mode;
+        self.rank_inflight = s.rank_inflight.clone();
+        self.completed = s.completed;
+        self.horizon.set(None);
+    }
+
     pub(crate) fn new(ranks: usize, banks: usize, first_refresh_stagger: Cycle) -> Self {
         Self {
             // Stagger initial refreshes across ranks so they do not all

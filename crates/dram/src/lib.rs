@@ -64,6 +64,8 @@ mod topology;
 pub use audit::{AuditStats, CmdHistogram, TimingAuditor, TimingRule, ViolationRecord, ALL_RULES};
 pub use config::{DramConfig, DramConfigBuilder};
 pub use stats::{DramEnergyEvents, DramStats};
-pub use system::{planned_lanes, Completion, DramSystem, IssuedCmd, IssuedKind, TxnId, TxnKind};
+pub use system::{
+    planned_lanes, Completion, DramSystem, DramSystemState, IssuedCmd, IssuedKind, TxnId, TxnKind,
+};
 pub use timing::TimingParams;
 pub use topology::{AddressMapping, DramLoc, Topology};

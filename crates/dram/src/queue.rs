@@ -105,7 +105,7 @@ impl BankQ {
 }
 
 /// The indexed transaction queue of one channel.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct TxnQueue {
     hot: Vec<TxnHot>,
     cold: Vec<TxnCold>,
@@ -433,6 +433,51 @@ impl TxnQueue {
         (kind, cold)
     }
 }
+
+// Snapshot encoding (DESIGN.md §3.13): the slab, both intrusive lists
+// and every incremental counter are encoded verbatim — a decoded queue
+// is field-for-field the queue that was captured, so the invariants
+// hold by construction on any payload that round-tripped through
+// `encode`/`decode` of real state.
+redcache_types::wire_struct!(TxnHot {
+    kind,
+    loc,
+    bursts_left,
+    seq,
+    in_window,
+    prev,
+    next,
+    bank_prev,
+    bank_next,
+});
+redcache_types::wire_struct!(TxnCold {
+    id,
+    meta,
+    enqueued_at,
+    data_done_at,
+});
+redcache_types::wire_struct!(BankQ {
+    head,
+    tail,
+    window_len,
+    hit_reads,
+    hit_writes,
+    active_pos,
+});
+redcache_types::wire_struct!(TxnQueue {
+    hot,
+    cold,
+    free,
+    head,
+    tail,
+    window_tail,
+    len,
+    window_len,
+    banks,
+    active,
+    next_seq,
+    banks_per_rank,
+});
 
 #[cfg(test)]
 mod tests {

@@ -187,6 +187,29 @@ impl DramStats {
     }
 }
 
+redcache_types::wire_struct!(DramEnergyEvents {
+    acts,
+    pres,
+    rd_bursts,
+    wr_bursts,
+    refreshes,
+});
+redcache_types::wire_struct!(DramStats {
+    energy,
+    bytes_read,
+    bytes_written,
+    bus_busy_cycles,
+    txns_completed,
+    latency_sum,
+    txns_enqueued,
+    empty_slot_samples,
+    slot_samples,
+    col_cmds,
+    demand_acts,
+    audit_violations,
+    window_occupancy_sum,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

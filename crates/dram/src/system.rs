@@ -2,7 +2,7 @@
 //! completions.
 
 use crate::audit::{AuditStats, TimingAuditor};
-use crate::channel::Channel;
+use crate::channel::{Channel, ChannelState};
 use crate::config::DramConfig;
 use crate::par::ChannelPool;
 use crate::queue::TxnCold;
@@ -10,7 +10,8 @@ use crate::scheduler::schedule_slot;
 use crate::stats::DramStats;
 use crate::timing::TimingParams;
 use crate::topology::{decode, DramLoc};
-use redcache_types::{Cycle, PhysAddr};
+use redcache_types::wire::{Reader, Wire, WireError};
+use redcache_types::{Cycle, PhysAddr, Restorable, Snapshot};
 use serde::{Deserialize, Serialize};
 
 /// Unique identifier of a DRAM transaction.
@@ -124,16 +125,25 @@ struct ChannelScratch {
 /// how many lanes [`DramSystem::tick`] fans channels across, given the
 /// `channel_par` knob and the channel count. An explicit
 /// `REDCACHE_JOBS` pin is honoured verbatim (so `REDCACHE_JOBS=1`
-/// forces the serial walk for bisection); otherwise an enabled knob
-/// guarantees at least two lanes even on a single-CPU host, keeping
-/// the parallel code path exercised wherever the equivalence suites
-/// run. Public so benches report the lane count they measured under
-/// without re-deriving the policy.
+/// forces the serial walk for bisection, and the equivalence suites
+/// can pin lanes up on any host); otherwise the knob engages only when
+/// the machine has at least two available cores — on a single-core
+/// host the fan-out is pure overhead (threads time-slice one core, and
+/// benches would record an honest-but-useless slowdown), so the plan
+/// falls back to the serial walk. Public so benches report the lane
+/// count they measured under without re-deriving the policy.
 pub fn planned_lanes(channel_par: bool, channels: usize) -> usize {
     if channel_par && channels > 1 {
         match redcache_types::jobs::explicit_jobs() {
             Some(j) => j.min(channels),
-            None => redcache_types::jobs::max_workers().clamp(2, channels),
+            None => {
+                let avail = std::thread::available_parallelism().map_or(1, |p| p.get());
+                if avail < 2 {
+                    1
+                } else {
+                    avail.min(channels)
+                }
+            }
         }
     } else {
         1
@@ -627,6 +637,104 @@ impl DramSystem {
         }
     }
 }
+
+/// Captured mutable state of a [`DramSystem`] (DESIGN.md §3.13): every
+/// channel's device and queue state, the undrained completion and
+/// command buffers, statistics, transaction counters, slot accounting
+/// and the auditor's shadow state. The configuration and the parallel
+/// stepping venue are *not* part of the state — they are rebuilt from
+/// the config by [`DramSystem::new`], and §3.11 guarantees the venue
+/// never affects the numbers.
+#[derive(Debug, Clone)]
+pub struct DramSystemState {
+    channels: Vec<ChannelState>,
+    completions: Vec<Completion>,
+    issued_cmds: Vec<IssuedCmd>,
+    stats: DramStats,
+    next_txn: u64,
+    pending: usize,
+    record_cmds: bool,
+    next_slot: Cycle,
+    auditor: Option<Box<TimingAuditor>>,
+}
+
+impl Snapshot for DramSystem {
+    type State = DramSystemState;
+
+    fn snapshot(&self) -> DramSystemState {
+        DramSystemState {
+            channels: self.channels.iter().map(Channel::capture).collect(),
+            completions: self.completions.clone(),
+            issued_cmds: self.issued_cmds.clone(),
+            stats: self.stats,
+            next_txn: self.next_txn,
+            pending: self.pending,
+            record_cmds: self.record_cmds,
+            next_slot: self.next_slot,
+            auditor: self.auditor.clone(),
+        }
+    }
+}
+
+impl Restorable for DramSystem {
+    fn restore(&mut self, state: &DramSystemState) {
+        assert_eq!(
+            self.channels.len(),
+            state.channels.len(),
+            "snapshot restored into a system with a different topology"
+        );
+        for (ch, s) in self.channels.iter_mut().zip(&state.channels) {
+            ch.restore(s);
+        }
+        self.completions = state.completions.clone();
+        self.issued_cmds = state.issued_cmds.clone();
+        self.stats = state.stats;
+        self.next_txn = state.next_txn;
+        self.pending = state.pending;
+        self.record_cmds = state.record_cmds;
+        self.next_slot = state.next_slot;
+        self.auditor = state.auditor.clone();
+    }
+}
+
+impl Wire for TxnId {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.0.put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TxnId(u64::get(r)?))
+    }
+}
+
+redcache_types::wire_enum!(TxnKind {
+    TxnKind::Read = 0,
+    TxnKind::Write = 1,
+});
+redcache_types::wire_enum!(IssuedKind {
+    IssuedKind::Activate = 0,
+    IssuedKind::Precharge = 1,
+    IssuedKind::Read = 2,
+    IssuedKind::Write = 3,
+    IssuedKind::Refresh = 4,
+});
+redcache_types::wire_struct!(IssuedCmd { kind, loc, cycle });
+redcache_types::wire_struct!(Completion {
+    txn,
+    meta,
+    done_at,
+    kind,
+});
+redcache_types::wire_struct!(DramSystemState {
+    channels,
+    completions,
+    issued_cmds,
+    stats,
+    next_txn,
+    pending,
+    record_cmds,
+    next_slot,
+    auditor,
+});
 
 #[cfg(test)]
 mod tests {

@@ -130,6 +130,25 @@ impl TimingParams {
     }
 }
 
+redcache_types::wire_struct!(TimingParams {
+    t_rcd,
+    t_cas,
+    t_ccd,
+    t_wtr,
+    t_wr,
+    t_rtp,
+    t_bl,
+    t_cwd,
+    t_rp,
+    t_rrd,
+    t_ras,
+    t_rc,
+    t_faw,
+    t_refi,
+    t_rfc,
+    cmd_clock_divisor,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -105,6 +105,14 @@ pub struct DramLoc {
     pub col: usize,
 }
 
+redcache_types::wire_struct!(DramLoc {
+    channel,
+    rank,
+    bank,
+    row,
+    col,
+});
+
 impl DramLoc {
     /// True when two locations share the same bank (and therefore the
     /// same row buffer).

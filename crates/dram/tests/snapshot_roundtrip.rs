@@ -1,0 +1,183 @@
+//! Snapshot/restore round-trips for the DRAM system (DESIGN.md §3.13).
+//!
+//! Strategy: drive a system to an arbitrary mid-flight point, capture
+//! its state, install the state into a freshly built system (directly
+//! and through the wire codec), then step original and restored copies
+//! in lockstep and require identical observable behaviour — the same
+//! completions in the same order at the same cycles, the same stats,
+//! the same audit verdict. The cases cover the hard state deliberately:
+//! a transaction queue overflowing its 32-entry scheduler window and a
+//! snapshot taken while a rank is mid-refresh.
+
+use proptest::prelude::*;
+use redcache_dram::{DramConfig, DramSystem, DramSystemState, TxnKind};
+use redcache_types::wire::{Reader, Wire};
+use redcache_types::{PhysAddr, Restorable, Snapshot};
+
+/// One injected transaction: enqueue `addr` at `at`.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    at: u64,
+    addr: u64,
+    kind: TxnKind,
+    bursts: u32,
+}
+
+fn drive(sys: &mut DramSystem, ops: &[Op], from: u64, to: u64) -> Vec<redcache_dram::Completion> {
+    let mut done = Vec::new();
+    for now in from..to {
+        for op in ops.iter().filter(|o| o.at == now) {
+            sys.enqueue(PhysAddr::new(op.addr), op.kind, op.addr, op.bursts, now);
+        }
+        sys.tick(now);
+        sys.drain_completions_into(&mut done);
+    }
+    done
+}
+
+/// Runs `ops` on `cfg`, snapshots at `snap_at`, and checks that the
+/// original, a directly restored copy, and a wire round-tripped copy
+/// all agree over the remaining `tail` cycles.
+fn assert_forkable(cfg: DramConfig, ops: &[Op], snap_at: u64, tail: u64) {
+    let mut orig = DramSystem::new(cfg);
+    drive(&mut orig, ops, 0, snap_at);
+    let state = orig.snapshot();
+
+    // Direct restore.
+    let mut forked = DramSystem::new(cfg);
+    forked.restore(&state);
+
+    // Wire round-trip restore: encode, decode, byte-identical re-encode.
+    let mut bytes = Vec::new();
+    state.put(&mut bytes);
+    let mut r = Reader::new(&bytes);
+    let decoded = DramSystemState::get(&mut r).expect("state decodes");
+    assert!(r.is_empty(), "decode must consume the whole payload");
+    let mut re = Vec::new();
+    decoded.put(&mut re);
+    assert_eq!(bytes, re, "snapshot encoding must be deterministic");
+    let mut wired = DramSystem::new(cfg);
+    wired.restore(&decoded);
+
+    // Lockstep continuation: identical completions, stats and horizon.
+    let end = snap_at + tail;
+    let a = drive(&mut orig, ops, snap_at, end);
+    let b = drive(&mut forked, ops, snap_at, end);
+    let c = drive(&mut wired, ops, snap_at, end);
+    assert_eq!(a, b, "forked copy diverged from the original");
+    assert_eq!(a, c, "wire round-tripped copy diverged from the original");
+    assert_eq!(orig.stats(), forked.stats());
+    assert_eq!(orig.stats(), wired.stats());
+    assert_eq!(orig.pending(), forked.pending());
+    assert_eq!(orig.next_event(end), forked.next_event(end));
+    assert_eq!(orig.next_event(end), wired.next_event(end));
+    assert_eq!(orig.audit_stats(), forked.audit_stats());
+    assert_eq!(orig.audit_stats(), wired.audit_stats());
+}
+
+/// A burst of transactions dense enough to overflow the 32-entry
+/// scheduler window on channel 0.
+fn window_overflow_ops() -> Vec<Op> {
+    (0..48)
+        .map(|i| Op {
+            at: i / 4,
+            // Same channel, spread over rows: lots of row conflicts keep
+            // the queue deep while the window promotes in arrival order.
+            addr: i * 0x1_0000,
+            kind: if i % 3 == 0 {
+                TxnKind::Write
+            } else {
+                TxnKind::Read
+            },
+            bursts: 1 + (i % 2) as u32,
+        })
+        .collect()
+}
+
+#[test]
+fn overflowing_window_snapshot_continues_in_lockstep() {
+    let mut cfg = DramConfig::ddr4_table1();
+    cfg.audit = true;
+    // Snapshot while the window is saturated and transactions are still
+    // queued behind it.
+    assert_forkable(cfg, &window_overflow_ops(), 40, 4_000);
+}
+
+#[test]
+fn snapshot_mid_refresh_preserves_the_refresh_window() {
+    let cfg = DramConfig::ddr4_table1();
+    // Keep a trickle of work flowing past the first refresh wave
+    // (t_refi = 24 960, staggered per rank), then snapshot at a cycle
+    // chosen to land inside some rank's tRFC window.
+    let ops: Vec<Op> = (0..200)
+        .map(|i| Op {
+            at: i * 40,
+            addr: i * 0x880,
+            kind: TxnKind::Read,
+            bursts: 1,
+        })
+        .collect();
+    let mut probe = DramSystem::new(cfg);
+    let mut snap_at = None;
+    for now in 0..40_000u64 {
+        for op in ops.iter().filter(|o| o.at == now) {
+            probe.enqueue(PhysAddr::new(op.addr), op.kind, op.addr, op.bursts, now);
+        }
+        probe.tick(now);
+        probe.drain_completions();
+        if now > 0 && probe.is_rank_refreshing(PhysAddr::new(0), now) {
+            snap_at = Some(now);
+            break;
+        }
+    }
+    let snap_at = snap_at.expect("a refresh fires within two tREFI");
+    assert_forkable(cfg, &ops, snap_at, 30_000);
+}
+
+#[test]
+fn snapshot_of_wideio_system_with_multi_burst_txns_round_trips() {
+    let mut cfg = DramConfig::wideio_table1();
+    cfg.audit = true;
+    let ops: Vec<Op> = (0..64)
+        .map(|i| Op {
+            at: i * 7,
+            addr: i * 0x2_0040,
+            kind: if i % 4 == 0 {
+                TxnKind::Write
+            } else {
+                TxnKind::Read
+            },
+            bursts: 4,
+        })
+        .collect();
+    assert_forkable(cfg, &ops, 301, 6_000);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary traffic, arbitrary snapshot point: the fork must be
+    /// undetectable from the observable behaviour.
+    #[test]
+    fn random_traffic_snapshots_are_lockstep_equal(
+        seed_ops in proptest::collection::vec(
+            (0u64..600, 0u64..0x40_0000u64, any::<bool>(), 1u32..3),
+            1..60,
+        ),
+        snap_at in 1u64..900,
+        audit in any::<bool>(),
+    ) {
+        let ops: Vec<Op> = seed_ops
+            .into_iter()
+            .map(|(at, block, write, bursts)| Op {
+                at,
+                addr: block * 64,
+                kind: if write { TxnKind::Write } else { TxnKind::Read },
+                bursts,
+            })
+            .collect();
+        let mut cfg = DramConfig::ddr4_table1();
+        cfg.audit = audit;
+        assert_forkable(cfg, &ops, snap_at, 3_000);
+    }
+}

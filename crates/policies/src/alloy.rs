@@ -318,6 +318,14 @@ impl DramCacheController for AlloyController {
         self.sides.hbm.sys.reset_stats();
         self.sides.ddr.sys.reset_stats();
     }
+
+    fn adopt_warm(&mut self, warm: &crate::WarmMemoryState) {
+        self.sides.restore_warm(warm);
+    }
+
+    fn supports_warm_fork(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

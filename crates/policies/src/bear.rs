@@ -398,6 +398,14 @@ impl DramCacheController for BearController {
         self.epochs_total = 0;
     }
 
+    fn adopt_warm(&mut self, warm: &crate::WarmMemoryState) {
+        self.sides.restore_warm(warm);
+    }
+
+    fn supports_warm_fork(&self) -> bool {
+        true
+    }
+
     fn extras(&self) -> Vec<(&'static str, f64)> {
         vec![
             ("bear_bypass_on", self.bypass_enabled as u8 as f64),

@@ -192,6 +192,27 @@ pub struct ControllerStats {
     pub table_lookups: u64,
 }
 
+redcache_types::wire_struct!(ControllerStats {
+    submitted,
+    completed,
+    reads_completed,
+    read_latency_sum,
+    hbm_probes,
+    hbm_hits,
+    hbm_misses,
+    hbm_writes,
+    fills,
+    fill_bypasses,
+    hbm_bypasses,
+    ddr_reads,
+    ddr_writes,
+    victim_writebacks,
+    gamma_invalidations,
+    last_writes_routed,
+    refresh_bypasses,
+    table_lookups,
+});
+
 impl ControllerStats {
     /// Element-wise accumulation, the inverse of
     /// [`ControllerStats::delta`]: summing an epoch series re-forms the
@@ -297,6 +318,16 @@ pub struct ControllerGauges {
     pub ddr_write_drain_mask: u64,
 }
 
+redcache_types::wire_struct!(ControllerGauges {
+    alpha,
+    gamma,
+    rcu_depth,
+    hbm_window_occupancy,
+    ddr_window_occupancy,
+    hbm_write_drain_mask,
+    ddr_write_drain_mask,
+});
+
 /// The DRAM-cache controller interface driven by the simulator.
 pub trait DramCacheController {
     /// Accepts a request. The controller may buffer internally without
@@ -373,7 +404,46 @@ pub trait DramCacheController {
     /// Zeroes all statistics at the warmup boundary (§IV.A). Functional
     /// and adaptive state (cache contents, α, γ, queues) is preserved.
     fn reset_stats(&mut self);
+
+    /// Adopts the memory state captured at a warm-fork point (DESIGN.md
+    /// §3.13): both DRAM systems' timing/queue state and the functional
+    /// content of main memory. Called on a **freshly built** controller
+    /// before any request is submitted; the warm state is quiescent (no
+    /// in-flight transactions), so no request-machine state transfers.
+    /// The default is a no-op — see
+    /// [`DramCacheController::supports_warm_fork`].
+    fn adopt_warm(&mut self, _warm: &WarmMemoryState) {}
+
+    /// Whether [`DramCacheController::adopt_warm`] actually installs the
+    /// warm state. Controllers must opt in: the simulator falls back to
+    /// the legacy warm-under-policy run for controllers that return
+    /// `false` (the default), so a custom controller is never silently
+    /// forked from state it ignored.
+    fn supports_warm_fork(&self) -> bool {
+        false
+    }
 }
+
+/// The policy-independent memory state captured at the fork point of a
+/// warmup run (DESIGN.md §3.13): the complete timing/queue state of both
+/// DRAM systems plus the functional image of main memory. The HBM side
+/// is captured *un-cached* (refresh counters and bank timing have
+/// advanced, but no fills ever landed), so any policy can adopt it.
+#[derive(Debug, Clone)]
+pub struct WarmMemoryState {
+    /// WideIO/HBM DRAM system state (refresh/bank timing; no contents).
+    pub hbm: redcache_dram::DramSystemState,
+    /// Off-chip DDR4 DRAM system state.
+    pub ddr: redcache_dram::DramSystemState,
+    /// Functional content of main memory: line → version.
+    pub ddr_versions: HashMap<u64, u64>,
+}
+
+redcache_types::wire_struct!(WarmMemoryState {
+    hbm,
+    ddr,
+    ddr_versions,
+});
 
 /// One DRAM side (HBM or DDR) plus its functional version store and the
 /// meta-tag bookkeeping to route completions back to request state
@@ -489,6 +559,29 @@ impl MemorySides {
     /// Snapshot of the DDR side's timing audit (when enabled).
     pub fn ddr_audit(&self) -> Option<AuditStats> {
         self.ddr.sys.audit_stats().cloned()
+    }
+
+    /// Captures the policy-independent warm state of both DRAM systems
+    /// and the functional memory image (DESIGN.md §3.13). Meaningful
+    /// only when both systems are quiescent (no pending transactions).
+    pub fn capture_warm(&self) -> WarmMemoryState {
+        use redcache_types::Snapshot as _;
+        WarmMemoryState {
+            hbm: self.hbm.sys.snapshot(),
+            ddr: self.ddr.sys.snapshot(),
+            ddr_versions: self.ddr_versions.clone(),
+        }
+    }
+
+    /// Installs a previously captured warm state into sides built from
+    /// the same DRAM configurations — the inverse of
+    /// [`MemorySides::capture_warm`], shared by every controller's
+    /// [`DramCacheController::adopt_warm`].
+    pub fn restore_warm(&mut self, warm: &WarmMemoryState) {
+        use redcache_types::Restorable as _;
+        self.hbm.sys.restore(&warm.hbm);
+        self.ddr.sys.restore(&warm.ddr);
+        self.ddr_versions = warm.ddr_versions.clone();
     }
 }
 

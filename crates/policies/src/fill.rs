@@ -1,0 +1,284 @@
+//! The policy-independent **warmup fill controller** (DESIGN.md §3.13).
+//!
+//! Warm-fork runs every workload's warmup phase exactly once, then forks
+//! the snapshot into each policy run. For the fork to be legal the
+//! warmup must not depend on the policy being measured, so this
+//! controller routes every request the No-HBM way — reads and
+//! writebacks go straight to DDR4 — while still **ticking the WideIO
+//! side** so its refresh counters and bank timing advance exactly as
+//! they would under any policy that had issued no HBM traffic. At the
+//! fork point both DRAM systems are quiescent and
+//! [`FillController::capture_warm`] hands the complete memory state to
+//! the simulator's snapshot.
+//!
+//! The HBM *contents* deliberately stay empty: every forked policy
+//! starts from a cold cache with warm main memory, timing state and
+//! core/hierarchy state, which is what makes fork-vs-scratch runs
+//! bit-exact (the scratch path warms under this same controller).
+
+use crate::controller::{
+    CompletedReq, ControllerGauges, ControllerStats, DramCacheController, MemorySides,
+    PolicyConfig, PolicyKind, WarmMemoryState,
+};
+use crate::engine::{legs, Engine, LegSpec};
+use redcache_dram::{AuditStats, DramStats, TxnKind};
+use redcache_types::{AccessKind, Cycle, LineAddr, MemRequest};
+
+/// Controller used for the shared, policy-independent warmup phase.
+#[derive(Debug)]
+pub struct FillController {
+    sides: MemorySides,
+    engine: Engine,
+    stats: ControllerStats,
+    compl_buf: Vec<redcache_dram::Completion>,
+}
+
+impl FillController {
+    /// Builds the fill controller from the same configuration the policy
+    /// runs will use (both DRAM sides are constructed, so the captured
+    /// warm state matches the policies' topologies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(cfg: &PolicyConfig) -> Self {
+        cfg.validate().expect("invalid policy config");
+        Self {
+            sides: MemorySides::new(cfg),
+            engine: Engine::new(),
+            stats: ControllerStats::default(),
+            compl_buf: Vec::new(),
+        }
+    }
+
+    /// Captures the warm memory state at the fork point. Call only when
+    /// [`DramCacheController::pending`] is zero — the snapshot does not
+    /// carry request-machine state.
+    pub fn capture_warm(&self) -> WarmMemoryState {
+        debug_assert_eq!(self.engine.pending(), 0, "fork point must be quiescent");
+        self.sides.capture_warm()
+    }
+}
+
+impl DramCacheController for FillController {
+    fn submit(&mut self, req: MemRequest, now: Cycle) {
+        self.sides.sync_to(now);
+        self.stats.submitted += 1;
+        let addr = self.sides.ddr_addr(req.line);
+        let mut done = Vec::new();
+        match req.kind {
+            AccessKind::Read => {
+                self.stats.ddr_reads += 1;
+                let version = self.sides.ddr_version(req.line);
+                self.engine.start(
+                    req,
+                    version,
+                    &[LegSpec {
+                        leg: legs::DDR_READ,
+                        hbm: false,
+                        kind: TxnKind::Read,
+                        addr,
+                        bursts: 1,
+                        gates_data: true,
+                        deferred: false,
+                    }],
+                    &mut self.sides,
+                    now,
+                    &mut done,
+                );
+            }
+            AccessKind::Writeback => {
+                self.stats.ddr_writes += 1;
+                self.sides.ddr_store(req.line, req.data_version);
+                self.engine.start(
+                    req,
+                    0,
+                    &[LegSpec {
+                        leg: legs::DDR_WRITE,
+                        hbm: false,
+                        kind: TxnKind::Write,
+                        addr,
+                        bursts: 1,
+                        gates_data: true,
+                        deferred: false,
+                    }],
+                    &mut self.sides,
+                    now,
+                    &mut done,
+                );
+            }
+        }
+        debug_assert!(done.is_empty());
+    }
+
+    fn tick(&mut self, now: Cycle, done: &mut Vec<CompletedReq>) {
+        // Unlike No-HBM, the WideIO side ticks too: its refresh windows
+        // and rank timing must be at their natural positions when a
+        // policy adopts the warm state.
+        self.sides.hbm.tick(now);
+        self.sides.ddr.tick(now);
+        let before = done.len();
+        let mut buf = std::mem::take(&mut self.compl_buf);
+        self.sides.ddr.drain_completions_into(&mut buf);
+        for c in &buf {
+            self.engine
+                .on_completion(c.meta, c.done_at, &mut self.sides, done);
+        }
+        buf.clear();
+        self.compl_buf = buf;
+        let _ = self.engine.take_events();
+        for d in &done[before..] {
+            self.stats.completed += 1;
+            if d.kind == AccessKind::Read {
+                self.stats.reads_completed += 1;
+                self.stats.read_latency_sum += d.latency();
+            }
+        }
+    }
+
+    fn next_event(&self, now: Cycle) -> Cycle {
+        // Both sides tick, so the horizon is the earlier of the two:
+        // skipping past an HBM refresh boundary would desynchronise the
+        // warm state from a cycle-by-cycle run.
+        self.sides
+            .ddr
+            .sys
+            .next_event(now)
+            .min(self.sides.hbm.sys.next_event(now))
+    }
+
+    fn pending(&self) -> usize {
+        self.engine.pending()
+    }
+
+    fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    fn hbm_stats(&self) -> Option<DramStats> {
+        None
+    }
+
+    fn ddr_stats(&self) -> DramStats {
+        *self.sides.ddr.sys.stats()
+    }
+
+    fn ddr_audit(&self) -> Option<AuditStats> {
+        self.sides.ddr_audit()
+    }
+
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::NoHbm
+    }
+
+    fn preload(&mut self, line: LineAddr, version: u64) {
+        self.sides.ddr_store(line, version);
+    }
+
+    fn gauges(&self) -> ControllerGauges {
+        self.sides.dram_gauges()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = ControllerStats::default();
+        self.sides.ddr.sys.reset_stats();
+        self.sides.hbm.sys.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcache_types::{CoreId, ReqId};
+
+    fn drive(c: &mut FillController, from: Cycle) -> (Vec<CompletedReq>, Cycle) {
+        let mut done = Vec::new();
+        let mut now = from;
+        while c.pending() > 0 {
+            c.tick(now, &mut done);
+            now += 1;
+            assert!(now < 1_000_000);
+        }
+        (done, now)
+    }
+
+    #[test]
+    fn routes_like_nohbm_and_returns_versions() {
+        let cfg = PolicyConfig::scaled(PolicyKind::NoHbm);
+        let mut c = FillController::new(&cfg);
+        c.preload(LineAddr::new(10), 123);
+        c.submit(
+            MemRequest::read(ReqId(1), LineAddr::new(10), CoreId(0), 0),
+            0,
+        );
+        let (done, _) = drive(&mut c, 0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].data_version, 123);
+        assert_eq!(c.stats().ddr_reads, 1);
+        assert_eq!(c.stats().hbm_probes, 0);
+    }
+
+    #[test]
+    fn warm_capture_round_trips_into_a_policy_controller() {
+        use redcache_types::Snapshot as _;
+        let cfg = PolicyConfig::scaled(PolicyKind::Alloy);
+        let mut fill = FillController::new(&cfg);
+        fill.submit(
+            MemRequest::writeback(ReqId(1), LineAddr::new(5), CoreId(0), 0, 42),
+            0,
+        );
+        let (_, end) = drive(&mut fill, 0);
+        let warm = fill.capture_warm();
+        assert_eq!(warm.ddr_versions.get(&5).copied(), Some(42));
+
+        // A fresh Alloy controller adopting the warm state continues
+        // from the warmed DDR timing position and serves the stored
+        // version.
+        let mut alloy = crate::AlloyController::new(&cfg);
+        assert!(alloy.supports_warm_fork());
+        alloy.adopt_warm(&warm);
+        let mut scratch = crate::AlloyController::new(&cfg);
+        scratch.adopt_warm(&warm);
+        let mut done_a = Vec::new();
+        let mut done_b = Vec::new();
+        alloy.submit(
+            MemRequest::read(ReqId(2), LineAddr::new(5), CoreId(0), end),
+            end,
+        );
+        scratch.submit(
+            MemRequest::read(ReqId(2), LineAddr::new(5), CoreId(0), end),
+            end,
+        );
+        let mut now = end;
+        while alloy.pending() > 0 || scratch.pending() > 0 {
+            alloy.tick(now, &mut done_a);
+            scratch.tick(now, &mut done_b);
+            now += 1;
+            assert!(now < end + 1_000_000);
+        }
+        assert_eq!(done_a, done_b, "adoption is deterministic");
+        assert_eq!(done_a[0].data_version, 42);
+
+        // The warm snapshot itself is unperturbed by the adoptions.
+        let again = fill.capture_warm();
+        let mut b1 = Vec::new();
+        let mut b2 = Vec::new();
+        redcache_types::wire::Wire::put(&warm, &mut b1);
+        redcache_types::wire::Wire::put(&again, &mut b2);
+        assert_eq!(b1, b2);
+        let _ = fill.sides.hbm.sys.snapshot(); // still usable
+    }
+
+    #[test]
+    fn hbm_refresh_state_advances_during_warmup() {
+        let cfg = PolicyConfig::scaled(PolicyKind::NoHbm);
+        let mut c = FillController::new(&cfg);
+        let mut done = Vec::new();
+        let horizon = c.next_event(0);
+        for now in 0..horizon + 1 {
+            c.tick(now, &mut done);
+        }
+        // Ticking past the first horizon must have moved it.
+        assert!(c.next_event(horizon + 1) > horizon);
+    }
+}

@@ -191,6 +191,18 @@ impl DramCacheController for IdealController {
         self.sides.hbm.sys.reset_stats();
         self.sides.ddr.sys.reset_stats();
     }
+
+    fn adopt_warm(&mut self, warm: &crate::WarmMemoryState) {
+        self.sides.restore_warm(warm);
+        // The magic cache never misses, so every line written during the
+        // shared warmup must be servable from it: seed the functional
+        // image with main memory's warmed content.
+        self.versions = warm.ddr_versions.clone();
+    }
+
+    fn supports_warm_fork(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

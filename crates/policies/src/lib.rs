@@ -28,6 +28,7 @@ mod alloy;
 mod bear;
 pub mod controller;
 mod engine;
+mod fill;
 mod ideal;
 mod nohbm;
 mod predictor;
@@ -38,8 +39,9 @@ pub use alloy::AlloyController;
 pub use bear::BearController;
 pub use controller::{
     CompletedReq, ControllerGauges, ControllerStats, DramCacheController, MemorySides,
-    PolicyConfig, PolicyKind,
+    PolicyConfig, PolicyKind, WarmMemoryState,
 };
+pub use fill::FillController;
 pub use ideal::IdealController;
 pub use nohbm::NoHbmController;
 pub use redcache::{RedCacheController, RedConfig, RedVariant};

@@ -150,6 +150,14 @@ impl DramCacheController for NoHbmController {
         self.stats = ControllerStats::default();
         self.sides.ddr.sys.reset_stats();
     }
+
+    fn adopt_warm(&mut self, warm: &crate::WarmMemoryState) {
+        self.sides.restore_warm(warm);
+    }
+
+    fn supports_warm_fork(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -803,6 +803,14 @@ impl DramCacheController for RedCacheController {
         self.alpha.reset_stats();
     }
 
+    fn adopt_warm(&mut self, warm: &crate::WarmMemoryState) {
+        self.sides.restore_warm(warm);
+    }
+
+    fn supports_warm_fork(&self) -> bool {
+        true
+    }
+
     fn gauges(&self) -> ControllerGauges {
         ControllerGauges {
             alpha: self.alpha.alpha() as f64,

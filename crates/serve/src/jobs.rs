@@ -47,8 +47,8 @@ use crate::api::{JobStatus, JobView, ResolvedJob, TraceSource};
 use crate::metrics::{bump, Metrics};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
-use redcache::RunReport;
-use redcache_bench::{report_io, run_labelled};
+use redcache::{RunReport, Simulator, WarmSnapshot};
+use redcache_bench::{report_io, run_labelled_resumed};
 use redcache_workloads::{synthetic, trace_io, SharedTraces};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -172,6 +172,11 @@ pub struct Retention {
     /// Terminal jobs kept for status queries; the oldest beyond this
     /// are pruned (their ids then answer `404`).
     pub max_terminal_jobs: usize,
+    /// Warm snapshots kept resident; least-recently-used beyond this
+    /// are dropped (running jobs keep their `Arc` until they finish).
+    /// A snapshot is the full post-warmup simulator state, so this cap
+    /// is deliberately smaller than the trace cap.
+    pub max_warm_snapshots: usize,
 }
 
 impl Default for Retention {
@@ -180,6 +185,7 @@ impl Default for Retention {
             max_cached_results: 512,
             max_trace_sets: 32,
             max_terminal_jobs: 4096,
+            max_warm_snapshots: 16,
         }
     }
 }
@@ -200,6 +206,21 @@ pub enum Submitted {
 
 type TraceCell = Arc<OnceLock<(SharedTraces, f64)>>;
 
+/// A single-flight warm-snapshot slot. The cell stores the `(trace
+/// key, warm key)` pair it was warmed for alongside the snapshot so a
+/// store-key collision is detected rather than resumed from.
+type SnapCell = Arc<OnceLock<(u64, u64, Arc<WarmSnapshot>)>>;
+
+/// Store key for the warm-snapshot map. Both inputs are already
+/// FNV-quality hashes; one odd-multiplier mix keeps the combination
+/// well spread across shards.
+fn snap_store_key(trace_key: u64, warm_key: u64) -> u64 {
+    trace_key
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(32)
+        ^ warm_key
+}
+
 /// Shared daemon state: everything the HTTP handlers and the workers
 /// touch.
 pub struct Daemon {
@@ -209,6 +230,9 @@ pub struct Daemon {
     cache: Shards<CacheEntry>,
     /// Trace sets stamped for LRU eviction (stamp, cell).
     traces: Shards<(u64, TraceCell)>,
+    /// Warm snapshots shared across policy variants, stamped for LRU
+    /// eviction (stamp, cell) and keyed by [`snap_store_key`].
+    snapshots: Shards<(u64, SnapCell)>,
     tx: Mutex<Option<Sender<WorkItem>>>,
     next_id: AtomicU64,
     /// Monotonic stamp source for the LRU eviction orders.
@@ -243,6 +267,7 @@ impl Daemon {
             jobs: Shards::new(),
             cache: Shards::new(),
             traces: Shards::new(),
+            snapshots: Shards::new(),
             tx: Mutex::new(Some(tx)),
             next_id: AtomicU64::new(1),
             lru_clock: AtomicU64::new(0),
@@ -312,6 +337,30 @@ impl Daemon {
         stamps.sort_unstable();
         for &(stamp, key) in &stamps[..stamps.len() - cap] {
             let mut shard = self.traces.shard(key).lock();
+            if matches!(shard.get(&key), Some((s, _)) if *s == stamp) {
+                shard.remove(&key);
+            }
+        }
+    }
+
+    /// Drops least-recently-used warm snapshots beyond the retention
+    /// cap. Safe against running jobs: they hold their own `Arc` to
+    /// the snapshot. Same one-shard-at-a-time, stamp-re-checked sweep
+    /// as [`Self::evict_trace_sets`].
+    fn evict_warm_snapshots(&self) {
+        let cap = self.retention.max_warm_snapshots.max(1);
+        let mut stamps: Vec<(u64, u64)> = Vec::new();
+        for shard in self.snapshots.iter() {
+            for (k, (s, _)) in shard.lock().iter() {
+                stamps.push((*s, *k));
+            }
+        }
+        if stamps.len() <= cap {
+            return;
+        }
+        stamps.sort_unstable();
+        for &(stamp, key) in &stamps[..stamps.len() - cap] {
+            let mut shard = self.snapshots.shard(key).lock();
             if matches!(shard.get(&key), Some((s, _)) if *s == stamp) {
                 shard.remove(&key);
             }
@@ -420,6 +469,11 @@ impl Daemon {
     /// Trace sets resident in the store.
     pub fn trace_sets(&self) -> usize {
         self.traces.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Warm snapshots resident in the store.
+    pub fn warm_snapshots(&self) -> usize {
+        self.snapshots.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Submits a resolved job: cache hit, coalesce, or enqueue — with
@@ -620,6 +674,40 @@ impl Daemon {
         (traces.clone(), *gen_s, generated_now)
     }
 
+    /// Fetches (or single-flight-warms) the shared warm snapshot for a
+    /// job: the policy-independent post-warmup simulator state, keyed
+    /// by `(trace set, warm-relevant configuration)` so submissions
+    /// that differ only in policy or its knobs (α, γ, RCU depth, …)
+    /// skip the warmup entirely. Returns the snapshot and whether this
+    /// call performed the warmup.
+    fn snapshot_for(&self, r: &ResolvedJob, traces: &SharedTraces) -> (Arc<WarmSnapshot>, bool) {
+        let sim = Simulator::new(r.cfg);
+        let warm_key = sim.warm_key();
+        let key = snap_store_key(r.trace_key, warm_key);
+        let cell: SnapCell = {
+            let mut map = self.snapshots.shard(key).lock();
+            let stamp = self.touch();
+            let entry = map.entry(key).or_default();
+            entry.0 = stamp;
+            entry.1.clone()
+        };
+        // The just-touched key carries the newest stamp at scan time,
+        // so it survives this sweep (run with no shard held).
+        self.evict_warm_snapshots();
+        let mut warmed_now = false;
+        let (tk, wk, snap) = cell.get_or_init(|| {
+            warmed_now = true;
+            (r.trace_key, warm_key, sim.warm(traces.clone()))
+        });
+        if (*tk, *wk) == (r.trace_key, warm_key) {
+            (snap.clone(), warmed_now)
+        } else {
+            // Store-key collision between distinct (trace, config)
+            // pairs: warm privately rather than resume wrong state.
+            (sim.warm(traces.clone()), true)
+        }
+    }
+
     fn persist(&self, key: u64, report: &RunReport) {
         if let Some(dir) = &self.spool {
             report_io::write_json_at(
@@ -688,7 +776,18 @@ impl Daemon {
                     .gen_micros
                     .fetch_add((gen_s * 1e6) as u64, Ordering::Relaxed);
             }
-            let (report, wall_s) = run_labelled(resolved.cfg, &resolved.label, traces);
+            // Fork from the shared warm snapshot (DESIGN.md §3.13): the
+            // leader of a (traces, warm-config) group pays the warmup
+            // once; every other policy/knob variant resumes from it.
+            let sim_started = Instant::now();
+            let (snap, warmed_now) = self.snapshot_for(&resolved, &traces);
+            if !warmed_now {
+                bump(&self.metrics.snapshot_hits);
+            }
+            let (report, _resume_s) = run_labelled_resumed(resolved.cfg, &resolved.label, &snap);
+            // Bill warm + resume to this job; a snapshot hit shows up
+            // as the fork-only (much smaller) wall time.
+            let wall_s = sim_started.elapsed().as_secs_f64();
             (report, wall_s, gen_s)
         }));
         self.metrics.running.fetch_sub(1, Ordering::Relaxed);
@@ -954,6 +1053,45 @@ mod tests {
     }
 
     #[test]
+    fn policy_variants_share_one_warm_snapshot() {
+        let _serial = SERIAL.lock();
+        let (d, rx) = Daemon::new(1, 8, None);
+        let warms_before = redcache::warm_count();
+        // Same workload+gen under three policy variants: the warmup
+        // runs once and the other two resume from the shared snapshot.
+        for policy in ["alloy", "bear", "redcache"] {
+            let mut req = tiny_request("ch");
+            req.policy = Some(policy.into());
+            d.submit(resolve(&req).unwrap());
+        }
+        drain_queue(&d, &rx);
+        assert_eq!(d.metrics.sims.load(Ordering::SeqCst), 3);
+        assert_eq!(
+            redcache::warm_count() - warms_before,
+            1,
+            "snapshot store failed to share the warmup"
+        );
+        assert_eq!(d.metrics.snapshot_hits.load(Ordering::SeqCst), 2);
+        assert_eq!(d.warm_snapshots(), 1);
+        let views = d.job_views();
+        for v in &views {
+            assert_eq!(v.status, JobStatus::Completed);
+        }
+        // A forked run must be bit-identical to a from-scratch one.
+        let mut req = tiny_request("ch");
+        req.policy = Some("bear".into());
+        let r = resolve(&req).unwrap();
+        let traces: SharedTraces = match &r.source {
+            TraceSource::Suite(w) => trace_io::generate_cached(*w, &r.gen).into(),
+            TraceSource::Synthetic(spec) => synthetic::generate(spec, &r.gen).into(),
+        };
+        let mut scratch = Simulator::new(r.cfg).run(traces);
+        scratch.workload = Some(r.label.clone());
+        let forked = d.job_report(views[1].id).unwrap();
+        assert_eq!(*forked, scratch);
+    }
+
+    #[test]
     fn retention_caps_cache_traces_and_terminal_jobs() {
         let _serial = SERIAL.lock();
         let (d, rx) = Daemon::with_retention(
@@ -964,6 +1102,7 @@ mod tests {
                 max_cached_results: 2,
                 max_trace_sets: 2,
                 max_terminal_jobs: 3,
+                max_warm_snapshots: 2,
             },
         );
         let mut ids = Vec::new();
@@ -976,6 +1115,7 @@ mod tests {
         assert_eq!(d.cache_entries(), 2, "result cache exceeded its cap");
         assert_eq!(d.metrics.cache_evictions.load(Ordering::SeqCst), 3);
         assert_eq!(d.trace_sets(), 2, "trace store exceeded its cap");
+        assert_eq!(d.warm_snapshots(), 2, "snapshot store exceeded its cap");
         let views = d.job_views();
         assert_eq!(views.len(), 3, "terminal jobs exceeded retention");
         assert_eq!(d.metrics.jobs_pruned.load(Ordering::SeqCst), 2);

@@ -52,6 +52,10 @@ pub struct Metrics {
     pub jobs_pruned: AtomicU64,
     /// Simulations actually executed (single-flight leaders).
     pub sims: AtomicU64,
+    /// Simulations that started from an already-warm shared snapshot
+    /// (identical trace set and warm-relevant config, different
+    /// policy/knobs) instead of re-running the warmup phase.
+    pub snapshot_hits: AtomicU64,
     /// Microseconds spent simulating, summed over workers.
     pub sim_micros: AtomicU64,
     /// Microseconds spent generating traces (first touch per trace key).
@@ -92,6 +96,7 @@ impl Metrics {
             cache_evictions: AtomicU64::new(0),
             jobs_pruned: AtomicU64::new(0),
             sims: AtomicU64::new(0),
+            snapshot_hits: AtomicU64::new(0),
             sim_micros: AtomicU64::new(0),
             gen_micros: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
@@ -190,6 +195,12 @@ impl Metrics {
             "counter",
             "Simulations actually executed.",
             format!("sims_total {sims}"),
+        );
+        metric(
+            "snapshot_hits_total",
+            "counter",
+            "Simulations forked from an already-warm shared snapshot (warmup skipped).",
+            format!("snapshot_hits_total {}", get(&self.snapshot_hits)),
         );
         metric(
             "sim_seconds_total",
@@ -351,6 +362,7 @@ mod tests {
             "cache_evictions_total",
             "jobs_pruned_total",
             "sims_total",
+            "snapshot_hits_total",
             "sim_seconds_total",
             "gen_seconds_total",
             "queue_depth",

@@ -141,6 +141,23 @@ impl std::fmt::Display for PageId {
     }
 }
 
+macro_rules! wire_newtype {
+    ($($ty:ident),+) => {
+        $(impl crate::wire::Wire for $ty {
+            fn put(&self, out: &mut Vec<u8>) {
+                crate::wire::Wire::put(&self.0, out);
+            }
+            fn get(
+                r: &mut crate::wire::Reader<'_>,
+            ) -> Result<Self, crate::wire::WireError> {
+                Ok($ty(crate::wire::Wire::get(r)?))
+            }
+        })+
+    };
+}
+
+wire_newtype!(PhysAddr, LineAddr, PageId);
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,11 +24,14 @@ pub mod addr;
 pub mod config;
 pub mod jobs;
 pub mod req;
+pub mod snapshot;
 pub mod stats;
+pub mod wire;
 
 pub use addr::{LineAddr, PageId, PhysAddr, BLOCK_BYTES, PAGE_BYTES};
 pub use config::ConfigError;
 pub use req::{AccessKind, CoreId, MemOp, MemRequest, ReqId};
+pub use snapshot::{Restorable, Snapshot};
 pub use stats::{Counter, EwmAverage, Histogram, SatCounter};
 
 /// Simulation time, measured in CPU cycles (3.2 GHz in the paper's

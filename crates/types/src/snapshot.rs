@@ -1,0 +1,42 @@
+//! State checkpointing: the `Snapshot` / `Restorable` trait family.
+//!
+//! Warm-fork checkpointing (DESIGN.md §3.13) needs every stateful
+//! component of the simulator — DRAM channels, the SRAM hierarchy,
+//! cores, the shadow checker, the epoch recorder — to be capturable at
+//! a quiescent point and re-installable into a freshly built instance.
+//! The contract is deliberately split in two:
+//!
+//! * [`Snapshot`] captures an owned, immutable, thread-shareable state
+//!   value (`Arc`-clone it to fork one warm phase into many runs);
+//! * [`Restorable`] installs a captured state into a component that was
+//!   **built from the same configuration** as the snapshotted one.
+//!
+//! Restore does not transfer configuration: topology, timing parameters
+//! and capacities are rebuilt from the config by the component's
+//! constructor, and only mutable runtime state moves. Callers guard the
+//! "same configuration" precondition with a config fingerprint (the
+//! simulator's `warm_key`), not at this trait's level.
+
+/// A component whose complete mutable state can be captured.
+pub trait Snapshot {
+    /// The captured state: owned, cheap to clone relative to re-running
+    /// the history that produced it, and shareable across threads so
+    /// one snapshot can seed many concurrent simulations.
+    type State: Clone + Send + Sync + 'static;
+
+    /// Captures the component's current mutable state.
+    fn snapshot(&self) -> Self::State;
+}
+
+/// A [`Snapshot`] component that can also be restored.
+///
+/// `restore` must leave `self` observably identical to the component
+/// the state was captured from: continuing both side by side from the
+/// capture point must produce bit-identical behaviour. `self` must
+/// have been built from the same configuration as the snapshotted
+/// instance; restoring across configurations is a logic error (callers
+/// enforce it with a config fingerprint).
+pub trait Restorable: Snapshot {
+    /// Installs `state` into `self`, overwriting all mutable state.
+    fn restore(&mut self, state: &Self::State);
+}

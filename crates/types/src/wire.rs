@@ -1,0 +1,450 @@
+//! A tiny hand-rolled binary codec for on-disk snapshots.
+//!
+//! Warm snapshots (DESIGN.md §3.13) persist across process restarts
+//! the same way cached traces do (`REDCACHE_TRACE_CACHE_DIR`): a magic
+//! tag, a format version, a config fingerprint, and a checksummed
+//! payload. The payload encoding is deliberately primitive — fixed
+//! little-endian integers, length-prefixed sequences, one byte per
+//! option/enum tag — because the only requirements are determinism
+//! (identical state encodes to identical bytes) and fail-closed
+//! decoding (any corruption yields an error, never a mangled value;
+//! callers regenerate).
+//!
+//! Implement [`Wire`] for a plain struct with [`crate::wire_struct!`]
+//! and for a fieldless enum with [`crate::wire_enum!`]; both expand to
+//! field-by-field `put`/`get` calls.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+/// Decode failure: the bytes do not describe a valid value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireError(pub &'static str);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Cursor over an encoded buffer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps `buf` with the cursor at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed — decoders check this at
+    /// the end so trailing garbage is rejected, not ignored.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consumes exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError("unexpected end of input"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// A value with a deterministic binary encoding.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `out`.
+    fn put(&self, out: &mut Vec<u8>);
+    /// Decodes one value from `r`, consuming exactly its bytes.
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError>;
+}
+
+macro_rules! wire_int {
+    ($($ty:ty),+) => {
+        $(impl Wire for $ty {
+            fn put(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+                let n = std::mem::size_of::<$ty>();
+                let b = r.take(n)?;
+                Ok(<$ty>::from_le_bytes(b.try_into().expect("take returned n bytes")))
+            }
+        })+
+    };
+}
+
+wire_int!(u8, u16, u32, u64, i64);
+
+impl Wire for bool {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::get(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError("invalid bool")),
+        }
+    }
+}
+
+impl Wire for usize {
+    fn put(&self, out: &mut Vec<u8>) {
+        (*self as u64).put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        usize::try_from(u64::get(r)?).map_err(|_| WireError("usize overflow"))
+    }
+}
+
+impl Wire for f64 {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.to_bits().put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(f64::from_bits(u64::get(r)?))
+    }
+}
+
+/// Reads a sequence length and rejects lengths that cannot possibly
+/// fit in the remaining bytes (every element encodes to ≥ 1 byte), so
+/// corrupt headers fail instead of attempting huge allocations.
+fn get_len(r: &mut Reader<'_>) -> Result<usize, WireError> {
+    let len = usize::get(r)?;
+    if len > r.remaining() {
+        return Err(WireError("sequence length exceeds input"));
+    }
+    Ok(len)
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.len().put(out);
+        for item in self {
+            item.put(out);
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = get_len(r)?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(T::get(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Wire> Wire for VecDeque<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.len().put(out);
+        for item in self {
+            item.put(out);
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = get_len(r)?;
+        let mut v = VecDeque::with_capacity(len);
+        for _ in 0..len {
+            v.push_back(T::get(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Wire> Wire for Box<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        (**self).put(out);
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Box::new(T::get(r)?))
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.put(out);
+            }
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::get(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::get(r)?)),
+            _ => Err(WireError("invalid option tag")),
+        }
+    }
+}
+
+impl<T: Wire + Default + Copy, const N: usize> Wire for [T; N] {
+    fn put(&self, out: &mut Vec<u8>) {
+        for item in self {
+            item.put(out);
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mut a = [T::default(); N];
+        for slot in a.iter_mut() {
+            *slot = T::get(r)?;
+        }
+        Ok(a)
+    }
+}
+
+// Hash maps encode sorted by key so identical contents always produce
+// identical bytes regardless of insertion history — the property the
+// byte-identical snapshot-cache tests pin.
+impl<K, V> Wire for HashMap<K, V>
+where
+    K: Wire + Ord + Eq + Hash,
+    V: Wire,
+{
+    fn put(&self, out: &mut Vec<u8>) {
+        let mut keys: Vec<&K> = self.keys().collect();
+        keys.sort();
+        self.len().put(out);
+        for k in keys {
+            k.put(out);
+            self[k].put(out);
+        }
+    }
+    fn get(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = get_len(r)?;
+        let mut m = HashMap::with_capacity(len);
+        for _ in 0..len {
+            let k = K::get(r)?;
+            let v = V::get(r)?;
+            if m.insert(k, v).is_some() {
+                return Err(WireError("duplicate map key"));
+            }
+        }
+        Ok(m)
+    }
+}
+
+/// Implements [`Wire`] for a struct by encoding the listed fields in
+/// order. Usable on structs with private fields from their own module.
+#[macro_export]
+macro_rules! wire_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::wire::Wire for $ty {
+            fn put(&self, out: &mut Vec<u8>) {
+                $($crate::wire::Wire::put(&self.$field, out);)+
+            }
+            fn get(
+                r: &mut $crate::wire::Reader<'_>,
+            ) -> Result<Self, $crate::wire::WireError> {
+                Ok(Self { $($field: $crate::wire::Wire::get(r)?),+ })
+            }
+        }
+    };
+}
+
+/// Implements [`Wire`] for a fieldless enum as a one-byte tag.
+#[macro_export]
+macro_rules! wire_enum {
+    ($ty:ty { $($variant:path = $tag:literal),+ $(,)? }) => {
+        impl $crate::wire::Wire for $ty {
+            fn put(&self, out: &mut Vec<u8>) {
+                let tag: u8 = match self { $($variant => $tag,)+ };
+                $crate::wire::Wire::put(&tag, out);
+            }
+            fn get(
+                r: &mut $crate::wire::Reader<'_>,
+            ) -> Result<Self, $crate::wire::WireError> {
+                match <u8 as $crate::wire::Wire>::get(r)? {
+                    $($tag => Ok($variant),)+
+                    _ => Err($crate::wire::WireError("invalid enum tag")),
+                }
+            }
+        }
+    };
+}
+
+/// FNV-1a 64-bit hash — the same cheap fingerprint the trace cache
+/// uses for file names, reused here for payload checksums and config
+/// fingerprints.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Wraps an encoded payload in the on-disk envelope:
+/// `magic | version | key | payload_len | payload | fnv1a(payload)`.
+pub fn encode_file(magic: &[u8; 4], version: u32, key: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 32);
+    out.extend_from_slice(magic);
+    version.put(&mut out);
+    key.put(&mut out);
+    payload.len().put(&mut out);
+    out.extend_from_slice(payload);
+    fnv1a(payload).put(&mut out);
+    out
+}
+
+/// Validates the envelope produced by [`encode_file`] — magic, version,
+/// key, length, and checksum — and returns the payload slice. `None`
+/// means the file is stale, truncated, or corrupt: regenerate it.
+pub fn decode_file<'a>(
+    bytes: &'a [u8],
+    magic: &[u8; 4],
+    version: u32,
+    key: u64,
+) -> Option<&'a [u8]> {
+    let mut r = Reader::new(bytes);
+    if r.take(4).ok()? != magic {
+        return None;
+    }
+    if u32::get(&mut r).ok()? != version || u64::get(&mut r).ok()? != key {
+        return None;
+    }
+    let len = usize::get(&mut r).ok()?;
+    if r.remaining() != len + 8 {
+        return None;
+    }
+    let payload = r.take(len).ok()?;
+    let sum = u64::get(&mut r).ok()?;
+    (fnv1a(payload) == sum).then_some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.put(&mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(T::get(&mut r).expect("decodes"), v);
+        assert!(r.is_empty(), "decode must consume every byte");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        roundtrip(0u8);
+        roundtrip(u8::MAX);
+        roundtrip(0xbeefu16);
+        roundtrip(0xdead_beefu32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(3.25f64);
+        roundtrip(f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn sequences_round_trip() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(VecDeque::from([9u32, 8, 7]));
+        roundtrip(Some(7u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip([1u64, 2, 3, 4]);
+        roundtrip(HashMap::from([(1u64, 10u64), (2, 20)]));
+    }
+
+    #[test]
+    fn map_encoding_is_insertion_order_independent() {
+        let mut a = HashMap::new();
+        a.insert(5u64, 50u64);
+        a.insert(1, 10);
+        a.insert(9, 90);
+        let mut b = HashMap::new();
+        b.insert(9u64, 90u64);
+        b.insert(5, 50);
+        b.insert(1, 10);
+        let (mut ba, mut bb) = (Vec::new(), Vec::new());
+        a.put(&mut ba);
+        b.put(&mut bb);
+        assert_eq!(ba, bb);
+    }
+
+    #[test]
+    fn corrupt_input_fails_closed() {
+        let mut buf = Vec::new();
+        vec![1u64, 2, 3].put(&mut buf);
+        // Truncation.
+        let mut r = Reader::new(&buf[..buf.len() - 1]);
+        assert!(Vec::<u64>::get(&mut r).is_err());
+        // Absurd length header.
+        let mut huge = Vec::new();
+        u64::MAX.put(&mut huge);
+        let mut r = Reader::new(&huge);
+        assert!(Vec::<u64>::get(&mut r).is_err());
+        // Bad bool / option / enum tags.
+        let mut r = Reader::new(&[7]);
+        assert!(bool::get(&mut r).is_err());
+        let mut r = Reader::new(&[9]);
+        assert!(Option::<u64>::get(&mut r).is_err());
+    }
+
+    #[test]
+    fn file_envelope_validates_everything() {
+        let payload = b"snapshot payload".to_vec();
+        let f = encode_file(b"RCSN", 1, 0xabcd, &payload);
+        assert_eq!(
+            decode_file(&f, b"RCSN", 1, 0xabcd),
+            Some(payload.as_slice())
+        );
+        // Wrong magic, version, or key.
+        assert!(decode_file(&f, b"XXXX", 1, 0xabcd).is_none());
+        assert!(decode_file(&f, b"RCSN", 2, 0xabcd).is_none());
+        assert!(decode_file(&f, b"RCSN", 1, 0x1234).is_none());
+        // Truncated and bit-flipped payloads.
+        assert!(decode_file(&f[..f.len() - 1], b"RCSN", 1, 0xabcd).is_none());
+        let mut flipped = f.clone();
+        flipped[20] ^= 1;
+        assert!(decode_file(&flipped, b"RCSN", 1, 0xabcd).is_none());
+        // Empty and garbage files.
+        assert!(decode_file(&[], b"RCSN", 1, 0xabcd).is_none());
+        assert!(decode_file(&[0x55; 64], b"RCSN", 1, 0xabcd).is_none());
+    }
+
+    #[test]
+    fn macros_cover_structs_and_enums() {
+        #[derive(Debug, PartialEq)]
+        struct Demo {
+            a: u64,
+            b: Option<u32>,
+            c: Vec<bool>,
+        }
+        wire_struct!(Demo { a, b, c });
+        #[derive(Debug, PartialEq)]
+        enum Tag {
+            X,
+            Y,
+        }
+        wire_enum!(Tag { Tag::X = 0, Tag::Y = 1 });
+        roundtrip(Demo {
+            a: 7,
+            b: Some(9),
+            c: vec![true, false],
+        });
+        roundtrip(Tag::X);
+        roundtrip(Tag::Y);
+    }
+}

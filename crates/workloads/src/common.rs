@@ -38,6 +38,49 @@ impl SharedTraces {
     pub fn streams(&self) -> &[Arc<[Access]>] {
         &self.0
     }
+
+    /// Stable 64-bit identity of the trace *content* (FNV-1a over every
+    /// access of every thread), independent of how the traces were
+    /// produced. Warm-snapshot files are keyed on this (DESIGN.md
+    /// §3.13), mirroring how the RCTR trace cache keys on
+    /// [`crate::trace_io::cache_key`]: a snapshot is only ever restored
+    /// into a simulation replaying byte-identical streams.
+    pub fn content_key(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(self.0.len() as u64);
+        for stream in &self.0 {
+            mix(stream.len() as u64);
+            for a in stream.iter() {
+                mix(a.op.is_store() as u64);
+                mix(a.addr.raw());
+                mix(a.gap as u64);
+            }
+        }
+        h
+    }
+}
+
+// Traces are immutable inputs: their "state" is the (reference-counted)
+// streams themselves, so snapshotting costs `threads` atomic increments
+// and restoring re-points the shared streams.
+impl redcache_types::Snapshot for SharedTraces {
+    type State = SharedTraces;
+
+    fn snapshot(&self) -> SharedTraces {
+        self.clone()
+    }
+}
+
+impl redcache_types::Restorable for SharedTraces {
+    fn restore(&mut self, state: &SharedTraces) {
+        *self = state.clone();
+    }
 }
 
 impl From<ThreadTraces> for SharedTraces {

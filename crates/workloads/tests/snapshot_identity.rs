@@ -1,0 +1,43 @@
+//! Snapshot identity for [`SharedTraces`] (DESIGN.md §3.13).
+//!
+//! Traces are immutable once generated, so their snapshot is the
+//! cheap `Arc` clone itself — but the warm-forking machinery leans on
+//! two properties this suite pins: restore really does hand back the
+//! identical trace set, and `content_key` is a stable fingerprint that
+//! moves when (and only when) the trace content moves.
+
+use proptest::prelude::*;
+use redcache_types::{Restorable, Snapshot};
+use redcache_workloads::{GenConfig, SharedTraces, Workload};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn snapshot_restore_is_identity_and_content_keyed(
+        seed in 0u64..1_000,
+        wi in 0usize..Workload::ALL.len(),
+    ) {
+        let mut gen = GenConfig::tiny();
+        gen.seed = seed;
+        let w = Workload::ALL[wi];
+        let traces: SharedTraces = w.generate(&gen).into();
+
+        // Snapshot → restore hands back the same trace set.
+        let state = traces.snapshot();
+        let mut restored: SharedTraces = w.generate(&gen).into();
+        restored.restore(&state);
+        prop_assert_eq!(restored.content_key(), traces.content_key());
+        prop_assert_eq!(restored.total_accesses(), traces.total_accesses());
+
+        // The key is deterministic across regeneration...
+        let again: SharedTraces = w.generate(&gen).into();
+        prop_assert_eq!(again.content_key(), traces.content_key());
+
+        // ...and sensitive to content changes (some generators are
+        // seed-blind compute kernels, so perturb the workload itself).
+        let other_w = Workload::ALL[(wi + 1) % Workload::ALL.len()];
+        let other: SharedTraces = other_w.generate(&gen).into();
+        prop_assert_ne!(other.content_key(), traces.content_key());
+    }
+}

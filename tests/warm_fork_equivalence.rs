@@ -1,0 +1,160 @@
+//! Golden equivalence suite for fork-after-warmup checkpointing.
+//!
+//! Warm forking (DESIGN.md §3.13) claims the policy-independent warmup
+//! can run **once** per workload and the resulting [`redcache::WarmSnapshot`]
+//! forked into every policy run without changing a single observable:
+//! forked and from-scratch runs must produce bit-identical whole
+//! [`redcache::RunReport`]s — cycle counts, per-level cache statistics,
+//! DRAM command and energy counters, shadow checks, epoch timeseries,
+//! timing-audit payloads. This suite pins that claim across the full
+//! evaluation matrix, in both time-advance modes, and with the audit
+//! and epoch recorders attached.
+
+use redcache::{PolicyKind, RedConfig, RedVariant, SimConfig, Simulator};
+use redcache_workloads::{GenConfig, SharedTraces, Workload};
+
+fn figure_policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Alloy,
+        PolicyKind::Bear,
+        PolicyKind::Red(RedVariant::Alpha),
+        PolicyKind::Red(RedVariant::Gamma),
+        PolicyKind::Red(RedVariant::Basic),
+        PolicyKind::Red(RedVariant::InSitu),
+        PolicyKind::Red(RedVariant::Full),
+    ]
+}
+
+#[test]
+fn forking_matches_scratch_across_the_evaluation_matrix() {
+    // 11 workloads × 7 figure architectures × both time modes. One
+    // warmup per workload (under an arbitrary exemplar policy) feeds
+    // every fork; the snapshot key must agree across the whole policy
+    // family, including across time modes — the warm phase is
+    // policy- and mode-independent by construction.
+    let gen = GenConfig::tiny();
+    for w in Workload::ALL {
+        let traces: SharedTraces = w.generate(&gen).into();
+        let cfg_of = |kind, skip: bool| {
+            SimConfig::quick(kind)
+                .to_builder()
+                .time_skip(skip)
+                .build()
+                .expect("preset-derived config validates")
+        };
+        let snap = Simulator::new(cfg_of(PolicyKind::Alloy, true)).warm(traces.clone());
+        for kind in figure_policies() {
+            for skip in [true, false] {
+                let cfg = cfg_of(kind, skip);
+                assert_eq!(
+                    Simulator::new(cfg).warm_key(),
+                    snap.key(),
+                    "{kind} (skip={skip}) must share {w}'s warm snapshot"
+                );
+                let forked = Simulator::new(cfg).resume(&snap);
+                let scratch = Simulator::new(cfg).run(traces.clone());
+                assert_eq!(
+                    forked, scratch,
+                    "{kind} on {w} (skip={skip}): forked run diverged from scratch"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn forking_matches_scratch_for_baseline_topologies() {
+    // No-HBM and IDEAL exercise the single-sided and always-hit
+    // adoption paths (IDEAL additionally adopts the DDR version table).
+    let gen = GenConfig::tiny();
+    for w in [Workload::Is, Workload::Hist, Workload::Ocn] {
+        let traces: SharedTraces = w.generate(&gen).into();
+        for kind in [PolicyKind::NoHbm, PolicyKind::Ideal] {
+            let cfg = SimConfig::quick(kind);
+            let snap = Simulator::new(cfg).warm(traces.clone());
+            let forked = Simulator::new(cfg).resume(&snap);
+            let scratch = Simulator::new(cfg).run(traces.clone());
+            assert_eq!(forked, scratch, "{kind} on {w}");
+        }
+    }
+}
+
+#[test]
+fn forking_matches_scratch_with_timing_audit_attached() {
+    // The auditor observes every issued command; identical audit
+    // payloads mean the forked run issued the same command stream at
+    // the same cycles as the scratch run.
+    let gen = GenConfig::tiny();
+    let w = Workload::Is;
+    let traces: SharedTraces = w.generate(&gen).into();
+    for kind in [PolicyKind::Alloy, PolicyKind::Red(RedVariant::Full)] {
+        let cfg = SimConfig::quick(kind)
+            .to_builder()
+            .audit_timing(true)
+            .build()
+            .expect("preset-derived config validates");
+        let snap = Simulator::new(cfg).warm(traces.clone());
+        let forked = Simulator::new(cfg).resume(&snap);
+        let scratch = Simulator::new(cfg).run(traces.clone());
+        assert_eq!(forked, scratch, "{kind} with audit");
+        let audit = forked.ddr_audit.as_ref().expect("audit attached");
+        assert!(audit.clean(), "timing violations in the forked run");
+        assert!(audit.cmds_audited > 0);
+    }
+}
+
+#[test]
+fn forking_matches_scratch_with_epoch_recording_enabled() {
+    // The recorder re-baselines at the fork point exactly as it does
+    // at the in-run warmup boundary, so whole reports — *including*
+    // the timeseries — must be bit-identical.
+    let gen = GenConfig::tiny();
+    for kind in [
+        PolicyKind::Alloy,
+        PolicyKind::Red(RedVariant::Full),
+        PolicyKind::NoHbm,
+    ] {
+        for w in [Workload::Ft, Workload::Is, Workload::Hist] {
+            let traces: SharedTraces = w.generate(&gen).into();
+            let cfg = SimConfig::quick(kind)
+                .to_builder()
+                .epoch_cycles(Some(25_000))
+                .build()
+                .expect("preset-derived config validates");
+            let snap = Simulator::new(cfg).warm(traces.clone());
+            let forked = Simulator::new(cfg).resume(&snap);
+            let scratch = Simulator::new(cfg).run(traces.clone());
+            assert_eq!(
+                forked, scratch,
+                "{kind} on {w}: recording-enabled fork diverged from scratch"
+            );
+            let ts = forked.timeseries.as_ref().expect("recording was on");
+            assert!(!ts.epochs.is_empty());
+        }
+    }
+}
+
+#[test]
+fn policy_knob_overrides_share_the_exemplar_snapshot() {
+    // The warm key must be blind to the RedCache α/γ/RCU knobs: a
+    // parameter sweep is exactly the workload for which warm forking
+    // exists. Every override forks from the α=default snapshot and
+    // still matches its own scratch run.
+    let gen = GenConfig::tiny();
+    let w = Workload::Lreg;
+    let traces: SharedTraces = w.generate(&gen).into();
+    let base = SimConfig::quick(PolicyKind::Red(RedVariant::Full));
+    let snap = Simulator::new(base).warm(traces.clone());
+    for alpha_initial in [2u32, 4, 8] {
+        let mut red = RedConfig::for_variant(RedVariant::Full);
+        red.alpha.initial = alpha_initial;
+        red.alpha.min = red.alpha.min.min(alpha_initial);
+        red.alpha.max = red.alpha.max.max(alpha_initial);
+        let mut cfg = base;
+        cfg.policy.red_override = Some(red);
+        assert_eq!(Simulator::new(cfg).warm_key(), snap.key());
+        let forked = Simulator::new(cfg).resume(&snap);
+        let scratch = Simulator::new(cfg).run(traces.clone());
+        assert_eq!(forked, scratch, "alpha initial={alpha_initial}");
+    }
+}
