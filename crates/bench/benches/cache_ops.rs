@@ -12,7 +12,7 @@ fn bench_set_assoc(c: &mut Criterion) {
     group.warm_up_time(Duration::from_secs(1));
     for (name, stride) in [("hit_stream", 0u64), ("miss_stream", 1)] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &stride, |b, &stride| {
-            let mut cache = SetAssocCache::new(CacheGeometry::l3_table1());
+            let mut cache: SetAssocCache = SetAssocCache::new(CacheGeometry::l3_table1());
             for i in 0..1024u64 {
                 cache.fill(LineAddr::new(i), i, false);
             }

@@ -2,7 +2,7 @@
 //! indexed FR-FCFS scheduler kernel.
 //!
 //! Runs the quick-config evaluation matrix (all 11 workloads under the
-//! 7 figure architectures) twice — once with event-driven time advance
+//! registry's figure architectures) twice — once with event-driven time advance
 //! (the default) and once cycle-by-cycle (`time_skip = false`, the
 //! behaviour of `REDCACHE_NO_SKIP=1`) — and reports wall-clock,
 //! simulations/second and simulated cycles/second per policy, plus the
@@ -33,22 +33,64 @@
 //! the tiny preset's 3 000) for longer, steadier measurements.
 
 use redcache::{warm_count, PolicyKind, RedVariant, RunReport, SimConfig, Simulator};
-use redcache_bench::{report_io, run_matrix_timed_opts, RunSpec};
+use redcache_bench::{figure_policies, report_io, run_matrix_timed_opts, RunSpec};
 use redcache_workloads::{GenConfig, SharedTraces, Workload};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// The seven figure architectures, in the paper's legend order.
+/// The figure architecture columns, from the policy registry (the
+/// paper's legend order plus FBR).
 fn policies() -> Vec<PolicyKind> {
-    vec![
-        PolicyKind::Alloy,
-        PolicyKind::Bear,
-        PolicyKind::Red(RedVariant::Alpha),
-        PolicyKind::Red(RedVariant::Gamma),
-        PolicyKind::Red(RedVariant::Basic),
-        PolicyKind::Red(RedVariant::InSitu),
-        PolicyKind::Red(RedVariant::Full),
-    ]
+    figure_policies()
+}
+
+/// Sims/s may drop to this fraction of the prior `BENCH_speed.json`
+/// before the regression gate trips. Generous because CI machines are
+/// noisy; a real kernel regression blows far past it.
+const REGRESSION_FLOOR: f64 = 0.65;
+
+/// The slice of a prior `BENCH_speed.json` the regression gate needs.
+#[derive(Deserialize)]
+struct PriorSummary {
+    budget_per_thread: usize,
+    total: PriorTotals,
+}
+
+#[derive(Deserialize)]
+struct PriorTotals {
+    sims_per_s_event_driven: f64,
+}
+
+/// Compares throughput against the committed baseline (same budget
+/// only — different budgets measure different work). Panics on a
+/// regression beyond [`REGRESSION_FLOOR`] unless
+/// `REDCACHE_BENCH_NO_GATE=1`; runs *before* the new file is written so
+/// a failing run leaves the good baseline in place.
+fn gate_against_prior(path: &std::path::Path, budget: usize, sims_per_s: f64) {
+    if std::env::var_os("REDCACHE_BENCH_NO_GATE").is_some() {
+        return;
+    }
+    let Some(prior) = report_io::read_json::<PriorSummary>(path) else {
+        return;
+    };
+    if prior.budget_per_thread != budget {
+        eprintln!(
+            "regression gate: skipped (prior budget {} != current {})",
+            prior.budget_per_thread, budget
+        );
+        return;
+    }
+    let floor = prior.total.sims_per_s_event_driven * REGRESSION_FLOOR;
+    assert!(
+        sims_per_s >= floor,
+        "event-driven throughput regressed: {sims_per_s:.2} sims/s vs prior \
+         {:.2} (floor {floor:.2}); set REDCACHE_BENCH_NO_GATE=1 to override",
+        prior.total.sims_per_s_event_driven
+    );
+    eprintln!(
+        "regression gate: ok ({sims_per_s:.2} sims/s vs prior {:.2})",
+        prior.total.sims_per_s_event_driven
+    );
 }
 
 #[derive(Serialize)]
@@ -253,7 +295,7 @@ fn main() {
 
     // Warm forking (DESIGN.md §3.13): the full quick matrix with every
     // spec warming from scratch vs one shared snapshot per workload
-    // forked into all seven policies. Reports are asserted bit-identical
+    // forked into every figure policy. Reports are asserted bit-identical
     // pairwise, so this section is also the bench-side fork-vs-scratch
     // equivalence check.
     let mut specs = Vec::new();
@@ -281,7 +323,8 @@ fn main() {
     );
     for ((spec, s), f) in specs.iter().zip(&scratch).zip(&forked) {
         assert_eq!(
-            s.report, f.report,
+            s.report,
+            f.report,
             "{} on {}: forked report diverged from scratch",
             spec.policy,
             spec.workload.info().label
@@ -297,6 +340,12 @@ fn main() {
     eprintln!(
         "warm-fork: {} sims, {} warmups  {:.3}s scratch vs {:.3}s forked => {:.2}x",
         wf.sims, wf.warms, wf.scratch_s, wf.forked_s, wf.speedup
+    );
+
+    gate_against_prior(
+        std::path::Path::new("BENCH_speed.json"),
+        gen.budget_per_thread,
+        sims as f64 / total_event.max(1e-12),
     );
 
     let summary = Summary {

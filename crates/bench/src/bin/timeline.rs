@@ -26,18 +26,7 @@ fn parse_workload(s: &str) -> Option<Workload> {
 }
 
 fn parse_policy(s: &str) -> Option<PolicyKind> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "nohbm" | "no-hbm" => PolicyKind::NoHbm,
-        "ideal" => PolicyKind::Ideal,
-        "alloy" => PolicyKind::Alloy,
-        "bear" => PolicyKind::Bear,
-        "red" | "redcache" | "red-full" => PolicyKind::Red(RedVariant::Full),
-        "red-alpha" => PolicyKind::Red(RedVariant::Alpha),
-        "red-gamma" => PolicyKind::Red(RedVariant::Gamma),
-        "red-basic" => PolicyKind::Red(RedVariant::Basic),
-        "red-insitu" => PolicyKind::Red(RedVariant::InSitu),
-        _ => return None,
-    })
+    s.parse().ok()
 }
 
 struct Args {
@@ -53,10 +42,11 @@ fn usage() -> ! {
         "usage: timeline [--workload <label>] [--policy <name>] [--epoch <cycles>] \
          [--out <path.jsonl>] [--csv <path.csv>]\n\
          workloads: {}\n\
-         policies: nohbm ideal alloy bear redcache red-alpha red-gamma red-basic red-insitu",
+         policies: {}",
         Workload::ALL
             .map(|w| w.info().label.to_ascii_lowercase())
-            .join(" ")
+            .join(" "),
+        redcache_policies::registry::known_names().join(" ")
     );
     std::process::exit(2);
 }

@@ -124,13 +124,13 @@ pub fn run_matrix(specs: &[RunSpec], gen: &GenConfig) -> Vec<RunReport> {
 /// Specs are grouped by workload first: each distinct workload's traces
 /// are generated exactly **once** (in parallel across workloads, through
 /// the optional `REDCACHE_TRACE_CACHE_DIR` disk cache) and handed to the
-/// simulation workers as [`SharedTraces`] — a 7-policy column over one
-/// workload costs one generation, not seven.
+/// simulation workers as [`SharedTraces`] — a policy column over one
+/// workload costs one generation, not one per policy.
 ///
 /// The warmup phase is deduplicated the same way (DESIGN.md §3.13):
 /// specs sharing a workload and a warm-relevant configuration
 /// ([`Simulator::warm_key`]) fork one shared [`WarmSnapshot`] instead of
-/// each re-warming — a 7-policy column costs one warmup, not seven —
+/// each re-warming — a policy column costs one warmup, not one each —
 /// with bit-identical reports either way. Set `REDCACHE_NO_WARM_FORK=1`
 /// to force per-spec scratch runs (A/B checks, wall-clock baselines).
 ///
@@ -211,20 +211,18 @@ pub fn run_matrix_timed_opts(specs: &[RunSpec], gen: &GenConfig, fork: bool) -> 
             }
         }
     }
-    let warmed: Vec<(Arc<WarmSnapshot>, f64)> =
-        pool::par_map_indexed(groups.len(), workers, |g| {
-            let (wi, _, si) = groups[g];
-            let started = std::time::Instant::now();
-            let snap = Simulator::new(specs[si].cfg).warm(generated[wi].0.clone());
-            (snap, started.elapsed().as_secs_f64())
-        });
+    let warmed: Vec<(Arc<WarmSnapshot>, f64)> = pool::par_map_indexed(groups.len(), workers, |g| {
+        let (wi, _, si) = groups[g];
+        let started = std::time::Instant::now();
+        let snap = Simulator::new(specs[si].cfg).warm(generated[wi].0.clone());
+        (snap, started.elapsed().as_secs_f64())
+    });
 
     pool::par_map_indexed(n, workers, |i| {
         let spec = specs[i];
         let (_, gen_s) = &generated[workload_of[i]];
         let (snapshot, warm_s) = &warmed[group_of[i]];
-        let (report, wall_s) =
-            run_labelled_resumed(spec.cfg, spec.workload.info().label, snapshot);
+        let (report, wall_s) = run_labelled_resumed(spec.cfg, spec.workload.info().label, snapshot);
         TimedRun {
             report,
             wall_s,
@@ -300,8 +298,9 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
 }
 
 /// The cached Fig. 9/10/11 evaluation matrix: all 11 workloads under
-/// all 7 architectures (plus No-HBM and IDEAL for context), shared by
-/// the three figure binaries so the expensive matrix runs once.
+/// the registry's figure architectures (the paper's 7 plus FBR;
+/// No-HBM and IDEAL provide context elsewhere), shared by the figure
+/// binaries so the expensive matrix runs once.
 ///
 /// Reports are cached in `results/eval_matrix.json`; delete the file or
 /// set `REDCACHE_RERUN=1` to force re-simulation.
@@ -356,18 +355,12 @@ pub fn eval_matrix() -> (Vec<Workload>, Vec<PolicyKind>, Vec<Vec<RunReport>>) {
     (workloads, policies, reports)
 }
 
-/// The six figure-9/10/11 architectures in the paper's legend order.
+/// The figure-9/10/11 architecture columns: the paper's legend order,
+/// extended by FBR. Sourced from the policy registry
+/// (`redcache_policies::registry`) so a policy added there lands in
+/// every figure and table without touching this crate.
 pub fn figure_policies() -> Vec<PolicyKind> {
-    use redcache::RedVariant as V;
-    vec![
-        PolicyKind::Alloy,
-        PolicyKind::Bear,
-        PolicyKind::Red(V::Alpha),
-        PolicyKind::Red(V::Gamma),
-        PolicyKind::Red(V::Basic),
-        PolicyKind::Red(V::InSitu),
-        PolicyKind::Red(V::Full),
-    ]
+    redcache_policies::registry::figure_kinds()
 }
 
 #[cfg(test)]
@@ -408,7 +401,8 @@ mod tests {
                 "Red-Gamma",
                 "Red-Basic",
                 "Red-InSitu",
-                "RedCache"
+                "RedCache",
+                "FBR"
             ]
         );
     }

@@ -27,6 +27,8 @@
 mod geometry;
 mod hierarchy;
 mod mshr;
+pub mod reference;
+mod replacement;
 mod set_assoc;
 
 pub use geometry::CacheGeometry;
@@ -34,4 +36,5 @@ pub use hierarchy::{
     AccessOutcome, CacheLevel, FillResult, Hierarchy, HierarchyConfig, HierarchyConfigBuilder,
 };
 pub use mshr::{Mshr, MshrOutcome};
+pub use replacement::{DirectMapped, Lfu, Lru, ReplacementPolicy, Slru, TrueLru, FREQ_MAX};
 pub use set_assoc::{AccessResult, CacheStats, Evicted, SetAssocCache};

@@ -1,0 +1,177 @@
+//! Reference set-associative kernel with hard-wired true-LRU.
+//!
+//! This module preserves the original `SetAssocCache` — a global
+//! `tick` incremented on **every** access and fill (hits and misses
+//! alike), an `lru` stamp stored inline in each way, and victim
+//! selection via `min_by_key` over the stamps — exactly as it behaved
+//! before victim selection moved behind the `ReplacementPolicy` trait
+//! (DESIGN.md §3.14). It exists for one purpose: **differential
+//! testing**. The lockstep proptest in `tests/replacement_lockstep.rs`
+//! drives random access/fill/invalidate streams through both kernels
+//! and asserts identical hits, versions, evictions and statistics at
+//! every step.
+//!
+//! The implementation is deliberately frozen; do not use it for
+//! experiments. It is `#[doc(hidden)]` because it is a test oracle,
+//! not part of the supported API surface.
+
+#![doc(hidden)]
+
+use crate::geometry::CacheGeometry;
+use crate::set_assoc::{AccessResult, CacheStats, Evicted};
+use redcache_types::LineAddr;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    valid: bool,
+    line: LineAddr,
+    dirty: bool,
+    version: u64,
+    lru: u64,
+}
+
+/// The pre-trait cache kernel, verbatim.
+#[derive(Debug, Clone)]
+pub struct ReferenceCache {
+    geometry: CacheGeometry,
+    ways: Vec<Way>, // sets * ways, row-major by set
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl ReferenceCache {
+    /// Creates an empty cache of the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        Self {
+            geometry,
+            ways: vec![Way::default(); geometry.sets() * geometry.ways],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let s = self.geometry.set_of(line.raw());
+        let w = self.geometry.ways;
+        s * w..(s + 1) * w
+    }
+
+    /// Looks up `line`; on a hit, refreshes LRU, optionally marks dirty
+    /// and overwrites the stored version (for stores).
+    pub fn access(&mut self, line: LineAddr, write: Option<u64>) -> AccessResult {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.valid && w.line == line {
+                w.lru = self.tick;
+                if let Some(v) = write {
+                    w.dirty = true;
+                    w.version = v;
+                }
+                self.stats.hits += 1;
+                return AccessResult {
+                    hit: true,
+                    version: w.version,
+                };
+            }
+        }
+        AccessResult {
+            hit: false,
+            version: 0,
+        }
+    }
+
+    /// Checks presence without disturbing LRU or stats.
+    pub fn probe(&self, line: LineAddr) -> Option<u64> {
+        let range = self.set_range(line);
+        self.ways[range.clone()]
+            .iter()
+            .find(|w| w.valid && w.line == line)
+            .map(|w| w.version)
+    }
+
+    /// Inserts `line` (after a miss), evicting the LRU way if the set is
+    /// full. `dirty` marks the fill as modified (writeback-allocate).
+    pub fn fill(&mut self, line: LineAddr, version: u64, dirty: bool) -> Option<Evicted> {
+        self.tick += 1;
+        self.stats.fills += 1;
+        let range = self.set_range(line);
+        // Already present: update in place.
+        if let Some(w) = self.ways[range.clone()]
+            .iter_mut()
+            .find(|w| w.valid && w.line == line)
+        {
+            w.lru = self.tick;
+            w.version = version;
+            w.dirty = w.dirty || dirty;
+            return None;
+        }
+        // Free way?
+        let tick = self.tick;
+        if let Some(w) = self.ways[range.clone()].iter_mut().find(|w| !w.valid) {
+            *w = Way {
+                valid: true,
+                line,
+                dirty,
+                version,
+                lru: tick,
+            };
+            return None;
+        }
+        // Evict LRU.
+        let victim_idx = {
+            let base = range.start;
+            let rel = self.ways[range]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .map(|(i, _)| i)
+                .expect("nonzero associativity");
+            base + rel
+        };
+        let v = self.ways[victim_idx];
+        self.ways[victim_idx] = Way {
+            valid: true,
+            line,
+            dirty,
+            version,
+            lru: tick,
+        };
+        self.stats.evictions += 1;
+        if v.dirty {
+            self.stats.dirty_evictions += 1;
+        }
+        Some(Evicted {
+            line: v.line,
+            dirty: v.dirty,
+            version: v.version,
+        })
+    }
+
+    /// Removes `line` if present, returning its eviction record.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
+        let range = self.set_range(line);
+        for w in &mut self.ways[range] {
+            if w.valid && w.line == line {
+                w.valid = false;
+                return Some(Evicted {
+                    line: w.line,
+                    dirty: w.dirty,
+                    version: w.version,
+                });
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+}

@@ -1,0 +1,689 @@
+//! Pluggable set-level replacement policies (DESIGN.md §3.14).
+//!
+//! A [`ReplacementPolicy`] owns the *ordering* state of a
+//! set-associative array — which way of a full set should be displaced
+//! next — while the array itself ([`crate::SetAssocCache`], and the
+//! DRAM-cache `TagStore` in `redcache-policies`) keeps the tags, dirty
+//! bits and versions. The split makes victim selection a drop-in
+//! decision: the stores are generic over `P: ReplacementPolicy` and the
+//! paper's original behaviours ([`TrueLru`] for the SRAM hierarchy,
+//! [`DirectMapped`] for the HBM tag store) are just the default type
+//! parameters.
+//!
+//! ## Call contract
+//!
+//! The store drives the policy through four hooks, always with
+//! `set < sets` and `way < ways` as constructed:
+//!
+//! - [`touch`](ReplacementPolicy::touch) — a resident way was hit
+//!   (lookup hit, or a fill of an already-resident line).
+//! - [`fill`](ReplacementPolicy::fill) — a way was just installed
+//!   (previously empty, or immediately after `evict` on a replacement).
+//! - [`victim`](ReplacementPolicy::victim) — the set is **full**; pick
+//!   the way to displace. Pure: must not mutate (the store may consult
+//!   the victim and then decide *not* to replace, as the FBR policy
+//!   does).
+//! - [`evict`](ReplacementPolicy::evict) — a way was removed
+//!   (invalidate, or the displacement half of a replacement; a
+//!   replacement is always `evict` then `fill` on the same way).
+//!
+//! ## Snapshot and determinism obligations
+//!
+//! Policies are part of the warm-fork snapshot (DESIGN.md §3.13), so
+//! every implementation must be [`Wire`] with a **deterministic,
+//! byte-identical re-encode** and must behave as a pure function of its
+//! event history: no RNG, no wall-clock, no hashing with randomized
+//! state. The round-trip suites in `crates/cache/tests` pin this for
+//! each shipped policy.
+
+use redcache_types::wire::{Reader, Wire, WireError};
+
+/// Sentinel index for "no node" in the intrusive lists below.
+const NONE: u32 = u32::MAX;
+
+/// Frequency counters saturate here (one byte, Banshee-style).
+pub const FREQ_MAX: u32 = 255;
+
+/// Set-level victim selection, decoupled from tag storage.
+///
+/// See the module docs for the call contract and snapshot obligations.
+pub trait ReplacementPolicy: std::fmt::Debug + Clone + Send + Wire + 'static {
+    /// Stable identifier used in docs, tests and error messages.
+    const NAME: &'static str;
+
+    /// Fresh ordering state for `sets × ways` frames, all empty.
+    fn new(sets: usize, ways: usize) -> Self;
+
+    /// A resident way was referenced.
+    fn touch(&mut self, set: usize, way: usize);
+
+    /// A way was installed (it was empty, or `evict` just ran on it).
+    fn fill(&mut self, set: usize, way: usize);
+
+    /// Which way of this **full** set should be displaced. Pure.
+    fn victim(&self, set: usize) -> usize;
+
+    /// A way was removed (invalidate or replacement displacement).
+    fn evict(&mut self, set: usize, way: usize);
+}
+
+/// The pre-refactor SRAM behaviour: a global monotonic tick stamped on
+/// every touch/fill, victim = first way with the minimal stamp.
+///
+/// Stamp *order* is what the old kernel's `min_by_key(|w| w.lru)`
+/// compared, and every touch/fill here corresponds one-to-one (in the
+/// same sequence) with a stamp assignment there, so victim choices are
+/// bit-exact with the original `SetAssocCache` — the lockstep proptest
+/// in `tests/replacement_lockstep.rs` holds the two kernels together.
+#[derive(Debug, Clone)]
+pub struct TrueLru {
+    ways: usize,
+    stamps: Vec<u64>,
+    tick: u64,
+}
+
+redcache_types::wire_struct!(TrueLru { ways, stamps, tick });
+
+impl ReplacementPolicy for TrueLru {
+    const NAME: &'static str = "true-lru";
+
+    fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            ways,
+            stamps: vec![0; sets * ways],
+            tick: 0,
+        }
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        self.tick += 1;
+        self.stamps[set * self.ways + way] = self.tick;
+    }
+
+    fn fill(&mut self, set: usize, way: usize) {
+        self.tick += 1;
+        self.stamps[set * self.ways + way] = self.tick;
+    }
+
+    fn victim(&self, set: usize) -> usize {
+        let base = set * self.ways;
+        let mut best = 0;
+        for rel in 1..self.ways {
+            if self.stamps[base + rel] < self.stamps[base + best] {
+                best = rel;
+            }
+        }
+        best
+    }
+
+    fn evict(&mut self, set: usize, way: usize) {
+        self.stamps[set * self.ways + way] = 0;
+    }
+}
+
+/// The pre-refactor HBM tag-store behaviour: one frame per set, so the
+/// victim is always way 0 and no ordering state exists at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectMapped;
+
+impl Wire for DirectMapped {
+    fn put(&self, _out: &mut Vec<u8>) {}
+
+    fn get(_r: &mut Reader) -> Result<Self, WireError> {
+        Ok(DirectMapped)
+    }
+}
+
+impl ReplacementPolicy for DirectMapped {
+    const NAME: &'static str = "direct";
+
+    fn new(_sets: usize, _ways: usize) -> Self {
+        DirectMapped
+    }
+
+    fn touch(&mut self, _set: usize, _way: usize) {}
+
+    fn fill(&mut self, _set: usize, _way: usize) {}
+
+    fn victim(&self, _set: usize) -> usize {
+        0
+    }
+
+    fn evict(&mut self, _set: usize, _way: usize) {}
+}
+
+/// Shared intrusive doubly-linked-list storage over flat arrays. Node
+/// indices are global frame indices (`set * ways + way`); each policy
+/// keeps its own per-set head/tail cursors.
+#[derive(Debug, Clone)]
+struct Links {
+    prev: Vec<u32>,
+    next: Vec<u32>,
+}
+
+redcache_types::wire_struct!(Links { prev, next });
+
+impl Links {
+    fn new(frames: usize) -> Self {
+        Self {
+            prev: vec![NONE; frames],
+            next: vec![NONE; frames],
+        }
+    }
+}
+
+fn unlink(l: &mut Links, head: &mut u32, tail: &mut u32, i: u32) {
+    let p = l.prev[i as usize];
+    let n = l.next[i as usize];
+    if p == NONE {
+        *head = n;
+    } else {
+        l.next[p as usize] = n;
+    }
+    if n == NONE {
+        *tail = p;
+    } else {
+        l.prev[n as usize] = p;
+    }
+    l.prev[i as usize] = NONE;
+    l.next[i as usize] = NONE;
+}
+
+fn push_front(l: &mut Links, head: &mut u32, tail: &mut u32, i: u32) {
+    l.prev[i as usize] = NONE;
+    l.next[i as usize] = *head;
+    if *head == NONE {
+        *tail = i;
+    } else {
+        l.prev[*head as usize] = i;
+    }
+    *head = i;
+}
+
+fn insert_after(l: &mut Links, tail: &mut u32, after: u32, i: u32) {
+    let n = l.next[after as usize];
+    l.prev[i as usize] = after;
+    l.next[i as usize] = n;
+    l.next[after as usize] = i;
+    if n == NONE {
+        *tail = i;
+    } else {
+        l.prev[n as usize] = i;
+    }
+}
+
+/// O(1) least-recently-used: one recency list per set, head = MRU,
+/// tail = LRU. Every hook is constant time.
+#[derive(Debug, Clone)]
+pub struct Lru {
+    ways: usize,
+    links: Links,
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    in_list: Vec<bool>,
+}
+
+redcache_types::wire_struct!(Lru {
+    ways,
+    links,
+    head,
+    tail,
+    in_list,
+});
+
+impl Lru {
+    fn promote(&mut self, set: usize, way: usize) {
+        let i = (set * self.ways + way) as u32;
+        if self.in_list[i as usize] {
+            unlink(&mut self.links, &mut self.head[set], &mut self.tail[set], i);
+        }
+        push_front(&mut self.links, &mut self.head[set], &mut self.tail[set], i);
+        self.in_list[i as usize] = true;
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    const NAME: &'static str = "lru";
+
+    fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            ways,
+            links: Links::new(sets * ways),
+            head: vec![NONE; sets],
+            tail: vec![NONE; sets],
+            in_list: vec![false; sets * ways],
+        }
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        self.promote(set, way);
+    }
+
+    fn fill(&mut self, set: usize, way: usize) {
+        self.promote(set, way);
+    }
+
+    fn victim(&self, set: usize) -> usize {
+        let t = self.tail[set];
+        debug_assert_ne!(t, NONE, "victim() requires a full set");
+        t as usize - set * self.ways
+    }
+
+    fn evict(&mut self, set: usize, way: usize) {
+        let i = (set * self.ways + way) as u32;
+        if self.in_list[i as usize] {
+            unlink(&mut self.links, &mut self.head[set], &mut self.tail[set], i);
+            self.in_list[i as usize] = false;
+        }
+    }
+}
+
+/// Least-frequently-used with saturating one-byte counters and an
+/// LRU tie-break inside each frequency class.
+///
+/// Each set keeps one list sorted by frequency ascending from the head;
+/// the victim is always the head (lowest frequency, least recently
+/// promoted at that frequency), so selection is O(1). A touch bumps the
+/// counter (saturating at [`FREQ_MAX`]) and bubbles the node toward the
+/// tail past peers of lower-or-equal frequency — O(assoc) worst case,
+/// O(1) amortized on the small associativities used here.
+///
+/// [`Lfu::freq`]/[`Lfu::set_freq`] expose the counters so the FBR
+/// policy can seed a fill with a candidate's sampled frequency and
+/// read the victim's frequency for its admission threshold.
+#[derive(Debug, Clone)]
+pub struct Lfu {
+    ways: usize,
+    links: Links,
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    in_list: Vec<bool>,
+    freq: Vec<u32>,
+}
+
+redcache_types::wire_struct!(Lfu {
+    ways,
+    links,
+    head,
+    tail,
+    in_list,
+    freq,
+});
+
+impl Lfu {
+    /// Moves node `i` tailward until the frequency ordering holds again.
+    fn bubble(&mut self, set: usize, i: u32) {
+        loop {
+            let n = self.links.next[i as usize];
+            if n == NONE || self.freq[n as usize] > self.freq[i as usize] {
+                break;
+            }
+            unlink(&mut self.links, &mut self.head[set], &mut self.tail[set], i);
+            insert_after(&mut self.links, &mut self.tail[set], n, i);
+        }
+    }
+
+    fn insert_sorted(&mut self, set: usize, i: u32) {
+        push_front(&mut self.links, &mut self.head[set], &mut self.tail[set], i);
+        self.bubble(set, i);
+        self.in_list[i as usize] = true;
+    }
+
+    /// Current frequency counter of a way.
+    pub fn freq(&self, set: usize, way: usize) -> u32 {
+        self.freq[set * self.ways + way]
+    }
+
+    /// Overwrites a way's frequency (clamped to [`FREQ_MAX`]) and
+    /// restores the ordering invariant. Used by FBR to transfer a
+    /// candidate counter onto a fresh fill.
+    pub fn set_freq(&mut self, set: usize, way: usize, f: u32) {
+        let i = (set * self.ways + way) as u32;
+        self.freq[i as usize] = f.min(FREQ_MAX);
+        if self.in_list[i as usize] {
+            unlink(&mut self.links, &mut self.head[set], &mut self.tail[set], i);
+            self.insert_sorted(set, i);
+        }
+    }
+}
+
+impl ReplacementPolicy for Lfu {
+    const NAME: &'static str = "lfu";
+
+    fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            ways,
+            links: Links::new(sets * ways),
+            head: vec![NONE; sets],
+            tail: vec![NONE; sets],
+            in_list: vec![false; sets * ways],
+            freq: vec![0; sets * ways],
+        }
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        let i = (set * self.ways + way) as u32;
+        if self.freq[i as usize] < FREQ_MAX {
+            self.freq[i as usize] += 1;
+        }
+        if self.in_list[i as usize] {
+            self.bubble(set, i);
+        }
+    }
+
+    fn fill(&mut self, set: usize, way: usize) {
+        let i = (set * self.ways + way) as u32;
+        if self.in_list[i as usize] {
+            unlink(&mut self.links, &mut self.head[set], &mut self.tail[set], i);
+        }
+        self.freq[i as usize] = 0;
+        self.insert_sorted(set, i);
+    }
+
+    fn victim(&self, set: usize) -> usize {
+        let h = self.head[set];
+        debug_assert_ne!(h, NONE, "victim() requires a full set");
+        h as usize - set * self.ways
+    }
+
+    fn evict(&mut self, set: usize, way: usize) {
+        let i = (set * self.ways + way) as u32;
+        if self.in_list[i as usize] {
+            unlink(&mut self.links, &mut self.head[set], &mut self.tail[set], i);
+            self.in_list[i as usize] = false;
+        }
+        self.freq[i as usize] = 0;
+    }
+}
+
+/// Segmented LRU: fills land in a probationary segment and only a
+/// second reference promotes into the protected segment (capacity
+/// `ways / 2`), which is scan-resistant — a streaming burst can only
+/// displace probationary lines. Victim = probationary LRU, falling back
+/// to protected LRU when probation is empty. All hooks are O(1).
+#[derive(Debug, Clone)]
+pub struct Slru {
+    ways: usize,
+    protected_cap: u32,
+    links: Links,
+    prob_head: Vec<u32>,
+    prob_tail: Vec<u32>,
+    prot_head: Vec<u32>,
+    prot_tail: Vec<u32>,
+    prot_len: Vec<u32>,
+    seg: Vec<u8>, // 0 = probation, 1 = protected
+    in_list: Vec<bool>,
+}
+
+redcache_types::wire_struct!(Slru {
+    ways,
+    protected_cap,
+    links,
+    prob_head,
+    prob_tail,
+    prot_head,
+    prot_tail,
+    prot_len,
+    seg,
+    in_list,
+});
+
+impl Slru {
+    fn unlink_current(&mut self, set: usize, i: u32) {
+        if self.seg[i as usize] == 1 {
+            unlink(
+                &mut self.links,
+                &mut self.prot_head[set],
+                &mut self.prot_tail[set],
+                i,
+            );
+            self.prot_len[set] -= 1;
+        } else {
+            unlink(
+                &mut self.links,
+                &mut self.prob_head[set],
+                &mut self.prob_tail[set],
+                i,
+            );
+        }
+    }
+}
+
+impl ReplacementPolicy for Slru {
+    const NAME: &'static str = "slru";
+
+    fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            ways,
+            protected_cap: (ways / 2) as u32,
+            links: Links::new(sets * ways),
+            prob_head: vec![NONE; sets],
+            prob_tail: vec![NONE; sets],
+            prot_head: vec![NONE; sets],
+            prot_tail: vec![NONE; sets],
+            prot_len: vec![0; sets],
+            seg: vec![0; sets * ways],
+            in_list: vec![false; sets * ways],
+        }
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        let i = (set * self.ways + way) as u32;
+        if !self.in_list[i as usize] {
+            self.fill(set, way);
+            return;
+        }
+        self.unlink_current(set, i);
+        if self.protected_cap == 0 {
+            // Degenerate geometry: plain LRU over probation.
+            self.seg[i as usize] = 0;
+            push_front(
+                &mut self.links,
+                &mut self.prob_head[set],
+                &mut self.prob_tail[set],
+                i,
+            );
+            return;
+        }
+        self.seg[i as usize] = 1;
+        push_front(
+            &mut self.links,
+            &mut self.prot_head[set],
+            &mut self.prot_tail[set],
+            i,
+        );
+        self.prot_len[set] += 1;
+        if self.prot_len[set] > self.protected_cap {
+            let d = self.prot_tail[set];
+            unlink(
+                &mut self.links,
+                &mut self.prot_head[set],
+                &mut self.prot_tail[set],
+                d,
+            );
+            self.prot_len[set] -= 1;
+            self.seg[d as usize] = 0;
+            push_front(
+                &mut self.links,
+                &mut self.prob_head[set],
+                &mut self.prob_tail[set],
+                d,
+            );
+        }
+    }
+
+    fn fill(&mut self, set: usize, way: usize) {
+        let i = (set * self.ways + way) as u32;
+        if self.in_list[i as usize] {
+            self.unlink_current(set, i);
+        }
+        self.seg[i as usize] = 0;
+        push_front(
+            &mut self.links,
+            &mut self.prob_head[set],
+            &mut self.prob_tail[set],
+            i,
+        );
+        self.in_list[i as usize] = true;
+    }
+
+    fn victim(&self, set: usize) -> usize {
+        let base = set * self.ways;
+        let t = self.prob_tail[set];
+        if t != NONE {
+            return t as usize - base;
+        }
+        let t = self.prot_tail[set];
+        debug_assert_ne!(t, NONE, "victim() requires a full set");
+        t as usize - base
+    }
+
+    fn evict(&mut self, set: usize, way: usize) {
+        let i = (set * self.ways + way) as u32;
+        if self.in_list[i as usize] {
+            self.unlink_current(set, i);
+            self.in_list[i as usize] = false;
+            self.seg[i as usize] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<P: ReplacementPolicy>(p: &P) -> P {
+        let mut bytes = Vec::new();
+        p.put(&mut bytes);
+        let mut r = Reader::new(&bytes);
+        let back = P::get(&mut r).expect("policy state decodes");
+        assert!(r.is_empty(), "decode must consume the payload");
+        let mut re = Vec::new();
+        back.put(&mut re);
+        assert_eq!(bytes, re, "{} re-encode must be byte-identical", P::NAME);
+        back
+    }
+
+    #[test]
+    fn true_lru_victim_is_oldest_stamp() {
+        let mut p = TrueLru::new(1, 4);
+        for w in 0..4 {
+            p.fill(0, w);
+        }
+        p.touch(0, 0);
+        assert_eq!(p.victim(0), 1);
+        p.touch(0, 1);
+        assert_eq!(p.victim(0), 2);
+        let q = roundtrip(&p);
+        assert_eq!(q.victim(0), 2);
+    }
+
+    #[test]
+    fn direct_mapped_always_picks_way_zero() {
+        let mut p = DirectMapped::new(8, 1);
+        p.fill(3, 0);
+        p.touch(3, 0);
+        assert_eq!(p.victim(3), 0);
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn lru_list_tracks_recency_per_set() {
+        let mut p = Lru::new(2, 3);
+        for w in 0..3 {
+            p.fill(0, w);
+            p.fill(1, w);
+        }
+        p.touch(0, 0); // set 0 order (MRU→LRU): 0, 2, 1
+        assert_eq!(p.victim(0), 1);
+        assert_eq!(p.victim(1), 0); // set 1 untouched: plain fill order
+        p.evict(0, 1);
+        p.fill(0, 1);
+        assert_eq!(p.victim(0), 2);
+        let q = roundtrip(&p);
+        assert_eq!(q.victim(0), 2);
+        assert_eq!(q.victim(1), 0);
+    }
+
+    #[test]
+    fn lfu_victim_is_lowest_frequency_then_lru() {
+        let mut p = Lfu::new(1, 3);
+        for w in 0..3 {
+            p.fill(0, w);
+        }
+        p.touch(0, 1);
+        p.touch(0, 1);
+        p.touch(0, 2);
+        // Frequencies: way0=0, way1=2, way2=1 → victim way 0.
+        assert_eq!(p.victim(0), 0);
+        assert_eq!(p.freq(0, 1), 2);
+        // Tie at zero: way filled first is the victim.
+        p.evict(0, 1);
+        p.fill(0, 1); // ways 0 and 1 both freq 0; 0 is older
+        assert_eq!(p.victim(0), 0);
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn lfu_set_freq_reorders_and_clamps() {
+        let mut p = Lfu::new(1, 2);
+        p.fill(0, 0);
+        p.fill(0, 1);
+        p.set_freq(0, 0, 10_000);
+        assert_eq!(p.freq(0, 0), FREQ_MAX);
+        assert_eq!(p.victim(0), 1);
+        let q = roundtrip(&p);
+        assert_eq!(q.victim(0), 1);
+    }
+
+    #[test]
+    fn lfu_counters_saturate() {
+        let mut p = Lfu::new(1, 1);
+        p.fill(0, 0);
+        for _ in 0..(FREQ_MAX + 50) {
+            p.touch(0, 0);
+        }
+        assert_eq!(p.freq(0, 0), FREQ_MAX);
+    }
+
+    #[test]
+    fn slru_is_scan_resistant() {
+        let mut p = Slru::new(1, 4); // protected capacity 2
+        for w in 0..4 {
+            p.fill(0, w);
+        }
+        p.touch(0, 0); // promote 0 and 1 into protected
+        p.touch(0, 1);
+        // A scan can only displace probationary ways (2, then 3).
+        assert_eq!(p.victim(0), 2);
+        p.evict(0, 2);
+        p.fill(0, 2);
+        assert_eq!(p.victim(0), 3);
+        let q = roundtrip(&p);
+        assert_eq!(q.victim(0), 3);
+    }
+
+    #[test]
+    fn slru_promotion_overflow_demotes_to_probation() {
+        let mut p = Slru::new(1, 4); // protected capacity 2
+        for w in 0..4 {
+            p.fill(0, w);
+        }
+        p.touch(0, 0);
+        p.touch(0, 1);
+        p.touch(0, 2); // protected full: way 0 demoted to probation MRU
+                       // Probation (MRU→LRU) is now 0, 3 → victim is 3.
+        assert_eq!(p.victim(0), 3);
+        p.evict(0, 3);
+        p.fill(0, 3);
+        assert_eq!(p.victim(0), 0);
+    }
+
+    #[test]
+    fn slru_single_way_set_degenerates_to_lru() {
+        let mut p = Slru::new(1, 1); // protected capacity 0
+        p.fill(0, 0);
+        p.touch(0, 0);
+        assert_eq!(p.victim(0), 0);
+    }
+}

@@ -1,6 +1,10 @@
-//! A generic set-associative, write-back cache with true-LRU replacement.
+//! A generic set-associative, write-back cache with pluggable
+//! replacement (default: true-LRU, bit-exact with the pre-trait
+//! kernel preserved in [`crate::reference`]).
 
 use crate::geometry::CacheGeometry;
+use crate::replacement::{ReplacementPolicy, TrueLru};
+use redcache_types::wire::{Reader, Wire, WireError};
 use redcache_types::LineAddr;
 use serde::{Deserialize, Serialize};
 
@@ -79,27 +83,29 @@ struct Way {
     line: LineAddr,
     dirty: bool,
     version: u64,
-    lru: u64,
 }
 
 /// A set-associative cache storing line addresses, dirty bits and data
-/// versions. All methods are O(associativity).
+/// versions, with victim selection delegated to a [`ReplacementPolicy`]
+/// (DESIGN.md §3.14). Lookup is O(associativity); the ordering cost is
+/// whatever the policy's hooks cost (O(1) for the shipped list-based
+/// policies, O(associativity) victim scan for [`TrueLru`]).
 #[derive(Debug, Clone)]
-pub struct SetAssocCache {
+pub struct SetAssocCache<P: ReplacementPolicy = TrueLru> {
     geometry: CacheGeometry,
     ways: Vec<Way>, // sets * ways, row-major by set
-    tick: u64,
     stats: CacheStats,
+    policy: P,
 }
 
-impl SetAssocCache {
+impl<P: ReplacementPolicy> SetAssocCache<P> {
     /// Creates an empty cache of the given geometry.
     pub fn new(geometry: CacheGeometry) -> Self {
         Self {
             geometry,
             ways: vec![Way::default(); geometry.sets() * geometry.ways],
-            tick: 0,
             stats: CacheStats::default(),
+            policy: P::new(geometry.sets(), geometry.ways),
         }
     }
 
@@ -118,30 +124,29 @@ impl SetAssocCache {
         self.stats = CacheStats::default();
     }
 
-    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
-        let s = self.geometry.set_of(line.raw());
-        let w = self.geometry.ways;
-        s * w..(s + 1) * w
+    /// The replacement policy's current ordering state.
+    pub fn policy(&self) -> &P {
+        &self.policy
     }
 
-    /// Looks up `line`; on a hit, refreshes LRU, optionally marks dirty
-    /// and overwrites the stored version (for stores).
+    /// Looks up `line`; on a hit, notifies the replacement policy,
+    /// optionally marks dirty and overwrites the stored version (for
+    /// stores).
     pub fn access(&mut self, line: LineAddr, write: Option<u64>) -> AccessResult {
-        self.tick += 1;
         self.stats.accesses += 1;
-        let range = self.set_range(line);
-        for w in &mut self.ways[range] {
+        let set = self.geometry.set_of(line.raw());
+        let base = set * self.geometry.ways;
+        for rel in 0..self.geometry.ways {
+            let w = &mut self.ways[base + rel];
             if w.valid && w.line == line {
-                w.lru = self.tick;
                 if let Some(v) = write {
                     w.dirty = true;
                     w.version = v;
                 }
+                let version = w.version;
+                self.policy.touch(set, rel);
                 self.stats.hits += 1;
-                return AccessResult {
-                    hit: true,
-                    version: w.version,
-                };
+                return AccessResult { hit: true, version };
             }
         }
         AccessResult {
@@ -150,65 +155,61 @@ impl SetAssocCache {
         }
     }
 
-    /// Checks presence without disturbing LRU or stats.
+    /// Checks presence without disturbing replacement state or stats.
     pub fn probe(&self, line: LineAddr) -> Option<u64> {
-        let range = self.set_range(line);
-        self.ways[range.clone()]
+        let set = self.geometry.set_of(line.raw());
+        let base = set * self.geometry.ways;
+        self.ways[base..base + self.geometry.ways]
             .iter()
             .find(|w| w.valid && w.line == line)
             .map(|w| w.version)
     }
 
-    /// Inserts `line` (after a miss), evicting the LRU way if the set is
-    /// full. `dirty` marks the fill as modified (writeback-allocate).
+    /// Inserts `line` (after a miss), evicting the policy's victim if
+    /// the set is full. `dirty` marks the fill as modified
+    /// (writeback-allocate).
     ///
-    /// Filling a line that is already present updates it in place and
-    /// returns `None`.
+    /// Filling a line that is already present updates it in place
+    /// (counting as a touch) and returns `None`.
     pub fn fill(&mut self, line: LineAddr, version: u64, dirty: bool) -> Option<Evicted> {
-        self.tick += 1;
         self.stats.fills += 1;
-        let range = self.set_range(line);
+        let set = self.geometry.set_of(line.raw());
+        let base = set * self.geometry.ways;
         // Already present: update in place.
-        if let Some(w) = self.ways[range.clone()]
-            .iter_mut()
-            .find(|w| w.valid && w.line == line)
-        {
-            w.lru = self.tick;
-            w.version = version;
-            w.dirty = w.dirty || dirty;
-            return None;
+        for rel in 0..self.geometry.ways {
+            let w = &mut self.ways[base + rel];
+            if w.valid && w.line == line {
+                w.version = version;
+                w.dirty = w.dirty || dirty;
+                self.policy.touch(set, rel);
+                return None;
+            }
         }
         // Free way?
-        let tick = self.tick;
-        if let Some(w) = self.ways[range.clone()].iter_mut().find(|w| !w.valid) {
-            *w = Way {
-                valid: true,
-                line,
-                dirty,
-                version,
-                lru: tick,
-            };
-            return None;
+        for rel in 0..self.geometry.ways {
+            if !self.ways[base + rel].valid {
+                self.ways[base + rel] = Way {
+                    valid: true,
+                    line,
+                    dirty,
+                    version,
+                };
+                self.policy.fill(set, rel);
+                return None;
+            }
         }
-        // Evict LRU.
-        let victim_idx = {
-            let base = range.start;
-            let rel = self.ways[range]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.lru)
-                .map(|(i, _)| i)
-                .expect("nonzero associativity");
-            base + rel
-        };
-        let v = self.ways[victim_idx];
-        self.ways[victim_idx] = Way {
+        // Full set: displace the policy's victim.
+        let rel = self.policy.victim(set);
+        debug_assert!(rel < self.geometry.ways, "policy victim out of range");
+        let v = self.ways[base + rel];
+        self.ways[base + rel] = Way {
             valid: true,
             line,
             dirty,
             version,
-            lru: tick,
         };
+        self.policy.evict(set, rel);
+        self.policy.fill(set, rel);
         self.stats.evictions += 1;
         if v.dirty {
             self.stats.dirty_evictions += 1;
@@ -222,15 +223,19 @@ impl SetAssocCache {
 
     /// Removes `line` if present, returning its eviction record.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
-        let range = self.set_range(line);
-        for w in &mut self.ways[range] {
+        let set = self.geometry.set_of(line.raw());
+        let base = set * self.geometry.ways;
+        for rel in 0..self.geometry.ways {
+            let w = &mut self.ways[base + rel];
             if w.valid && w.line == line {
                 w.valid = false;
-                return Some(Evicted {
+                let ev = Evicted {
                     line: w.line,
                     dirty: w.dirty,
                     version: w.version,
-                });
+                };
+                self.policy.evict(set, rel);
+                return Some(ev);
             }
         }
         None
@@ -255,7 +260,6 @@ redcache_types::wire_struct!(Way {
     line,
     dirty,
     version,
-    lru,
 });
 redcache_types::wire_struct!(CacheStats {
     accesses,
@@ -264,16 +268,31 @@ redcache_types::wire_struct!(CacheStats {
     evictions,
     dirty_evictions,
 });
-redcache_types::wire_struct!(SetAssocCache {
-    geometry,
-    ways,
-    tick,
-    stats,
-});
+
+// Hand-written because `wire_struct!` cannot name a generic type; the
+// field order matches declaration order like the macro's expansion.
+impl<P: ReplacementPolicy> Wire for SetAssocCache<P> {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.geometry.put(out);
+        self.ways.put(out);
+        self.stats.put(out);
+        self.policy.put(out);
+    }
+
+    fn get(r: &mut Reader) -> Result<Self, WireError> {
+        Ok(Self {
+            geometry: Wire::get(r)?,
+            ways: Wire::get(r)?,
+            stats: Wire::get(r)?,
+            policy: Wire::get(r)?,
+        })
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::replacement::{Lfu, Slru};
 
     fn tiny() -> SetAssocCache {
         // 2 sets × 2 ways of 64 B lines.
@@ -366,5 +385,41 @@ mod tests {
         assert!(c.fill(line(4), 5, false).is_some()); // set 0 overflows
         assert!(c.probe(line(1)).is_some());
         assert!(c.probe(line(3)).is_some());
+    }
+
+    #[test]
+    fn lfu_cache_keeps_the_hot_line() {
+        // 1 set × 2 ways; line 0 is hit repeatedly, line 2 never — a
+        // conflicting fill must displace the cold line even though it
+        // is the more recent arrival.
+        let mut c: SetAssocCache<Lfu> = SetAssocCache::new(CacheGeometry::new(128, 2, 64));
+        c.fill(line(0), 1, false);
+        c.access(line(0), None);
+        c.access(line(0), None);
+        c.fill(line(1), 2, false);
+        let ev = c.fill(line(2), 3, false).expect("set full");
+        assert_eq!(ev.line, line(1));
+        assert!(c.probe(line(0)).is_some());
+    }
+
+    #[test]
+    fn slru_cache_protects_reused_lines_from_scans() {
+        // 1 set × 4 ways, protected capacity 2. Reused lines 0 and 1
+        // survive a scan of one-shot fills.
+        let mut c: SetAssocCache<Slru> = SetAssocCache::new(CacheGeometry::new(256, 4, 64));
+        for i in 0..4 {
+            c.fill(line(i), i, false);
+        }
+        c.access(line(0), None);
+        c.access(line(1), None);
+        for i in 4..10 {
+            let ev = c.fill(line(i), i, false).expect("set full");
+            assert!(
+                ev.line != line(0) && ev.line != line(1),
+                "scan displaced a protected line"
+            );
+        }
+        assert!(c.probe(line(0)).is_some());
+        assert!(c.probe(line(1)).is_some());
     }
 }

@@ -99,7 +99,7 @@ proptest! {
     #[test]
     fn set_assoc_matches_reference(ops in prop::collection::vec(op_strategy(), 1..300)) {
         let geom = CacheGeometry::new(2048, 4, 64); // 8 sets x 4 ways
-        let mut dut = SetAssocCache::new(geom);
+        let mut dut: SetAssocCache = SetAssocCache::new(geom);
         let mut reference = RefCache::new(geom.sets(), geom.ways);
         for op in &ops {
             match *op {

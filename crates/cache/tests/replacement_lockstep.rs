@@ -1,0 +1,170 @@
+//! Differential and snapshot suites for the replacement-policy trait
+//! (DESIGN.md §3.14).
+//!
+//! Two claims are pinned here:
+//!
+//! 1. **Bit-exactness of the refactor.** `SetAssocCache<TrueLru>` (the
+//!    default) must be observably identical to the pre-trait kernel
+//!    preserved verbatim in `redcache_cache::reference` — same hits,
+//!    versions, eviction records and statistics on arbitrary op
+//!    streams. The golden equivalence suites pin whole simulations;
+//!    this proptest pins the kernel itself with much denser coverage.
+//!
+//! 2. **Snapshot round-trips of per-set replacement state.** For every
+//!    shipped policy, a mid-stream wire round-trip (encode → decode →
+//!    byte-identical re-encode) must be undetectable from the
+//!    continuation — the warm-fork obligation.
+
+use proptest::prelude::*;
+use redcache_cache::reference::ReferenceCache;
+use redcache_cache::{CacheGeometry, Lfu, Lru, ReplacementPolicy, SetAssocCache, Slru, TrueLru};
+use redcache_types::wire::{Reader, Wire};
+use redcache_types::LineAddr;
+
+/// One scripted step over a small line universe.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Access(u64, Option<u64>),
+    Fill(u64, u64, bool),
+    Invalidate(u64),
+    Probe(u64),
+}
+
+fn op_strategy(lines: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..lines, proptest::option::of(1u64..1000)).prop_map(|(l, w)| Op::Access(l, w)),
+        (0..lines, 1u64..1000, any::<bool>()).prop_map(|(l, v, d)| Op::Fill(l, v, d)),
+        (0..lines).prop_map(Op::Invalidate),
+        (0..lines).prop_map(Op::Probe),
+    ]
+}
+
+fn geometries() -> Vec<CacheGeometry> {
+    vec![
+        CacheGeometry::new(256, 2, 64),  // 2 sets × 2 ways
+        CacheGeometry::new(512, 4, 64),  // 2 sets × 4 ways
+        CacheGeometry::new(2048, 8, 64), // 4 sets × 8 ways
+    ]
+}
+
+/// Applies one op to a trait-based cache, folding everything observable
+/// into a comparable string.
+fn step<P: ReplacementPolicy>(c: &mut SetAssocCache<P>, op: Op) -> String {
+    match op {
+        Op::Access(l, w) => format!("{:?}", c.access(LineAddr::new(l), w)),
+        Op::Fill(l, v, d) => format!("{:?}", c.fill(LineAddr::new(l), v, d)),
+        Op::Invalidate(l) => format!("{:?}", c.invalidate(LineAddr::new(l))),
+        Op::Probe(l) => format!("{:?}", c.probe(LineAddr::new(l))),
+    }
+}
+
+fn step_ref(c: &mut ReferenceCache, op: Op) -> String {
+    match op {
+        Op::Access(l, w) => format!("{:?}", c.access(LineAddr::new(l), w)),
+        Op::Fill(l, v, d) => format!("{:?}", c.fill(LineAddr::new(l), v, d)),
+        Op::Invalidate(l) => format!("{:?}", c.invalidate(LineAddr::new(l))),
+        Op::Probe(l) => format!("{:?}", c.probe(LineAddr::new(l))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The trait-based default kernel matches the frozen pre-refactor
+    /// kernel step for step on arbitrary streams.
+    #[test]
+    fn true_lru_matches_the_reference_kernel(
+        ops in proptest::collection::vec(op_strategy(24), 1..200),
+        geom_idx in 0usize..3,
+    ) {
+        let geom = geometries()[geom_idx];
+        let mut new_kernel: SetAssocCache = SetAssocCache::new(geom);
+        let mut old_kernel = ReferenceCache::new(geom);
+        for (i, &op) in ops.iter().enumerate() {
+            let a = step(&mut new_kernel, op);
+            let b = step_ref(&mut old_kernel, op);
+            prop_assert_eq!(&a, &b, "step {} diverged on {:?}", i, op);
+        }
+        prop_assert_eq!(new_kernel.stats(), old_kernel.stats());
+        prop_assert_eq!(new_kernel.occupancy(), old_kernel.occupancy());
+    }
+}
+
+/// Drives ops, snapshots mid-stream via the wire codec, and requires the
+/// decoded copy (a) to re-encode byte-identically and (b) to continue in
+/// lockstep with the original.
+fn assert_policy_forkable<P: ReplacementPolicy>(geom: CacheGeometry, ops: &[Op], cut: usize) {
+    let mut orig: SetAssocCache<P> = SetAssocCache::new(geom);
+    for &op in &ops[..cut] {
+        step(&mut orig, op);
+    }
+
+    let mut bytes = Vec::new();
+    orig.put(&mut bytes);
+    let mut r = Reader::new(&bytes);
+    let mut wired = SetAssocCache::<P>::get(&mut r).expect("cache state decodes");
+    assert!(r.is_empty(), "decode must consume the whole payload");
+    let mut re = Vec::new();
+    wired.put(&mut re);
+    assert_eq!(
+        bytes,
+        re,
+        "{}: snapshot encoding must be deterministic",
+        P::NAME
+    );
+
+    for (i, &op) in ops[cut..].iter().enumerate() {
+        let a = step(&mut orig, op);
+        let b = step(&mut wired, op);
+        assert_eq!(
+            a,
+            b,
+            "{}: step {} diverged after restore on {:?}",
+            P::NAME,
+            i,
+            op
+        );
+    }
+    assert_eq!(orig.stats(), wired.stats());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every shipped policy's per-set state survives a wire round-trip
+    /// at an arbitrary stream position.
+    #[test]
+    fn replacement_state_snapshots_in_lockstep(
+        ops in proptest::collection::vec(op_strategy(24), 2..120),
+        geom_idx in 0usize..3,
+        cut in 0.0f64..1.0,
+    ) {
+        let geom = geometries()[geom_idx];
+        let at = ((ops.len() as f64) * cut) as usize;
+        assert_policy_forkable::<TrueLru>(geom, &ops, at);
+        assert_policy_forkable::<Lru>(geom, &ops, at);
+        assert_policy_forkable::<Lfu>(geom, &ops, at);
+        assert_policy_forkable::<Slru>(geom, &ops, at);
+    }
+}
+
+#[test]
+fn conflict_heavy_stream_round_trips_for_every_policy() {
+    // A deterministic stream dense in evictions, invalidations and
+    // re-fills over few sets, snapshotted right after a replacement.
+    let geom = CacheGeometry::new(256, 2, 64); // 2 sets × 2 ways
+    let ops: Vec<Op> = (0..60u64)
+        .map(|i| match i % 4 {
+            0 => Op::Fill(i % 10, i + 1, i % 3 == 0),
+            1 => Op::Access(i % 7, if i % 5 == 0 { Some(i) } else { None }),
+            2 => Op::Invalidate(i % 9),
+            _ => Op::Probe(i % 10),
+        })
+        .collect();
+    for cut in [0, 13, 37, 60] {
+        assert_policy_forkable::<TrueLru>(geom, &ops, cut);
+        assert_policy_forkable::<Lru>(geom, &ops, cut);
+        assert_policy_forkable::<Lfu>(geom, &ops, cut);
+        assert_policy_forkable::<Slru>(geom, &ops, cut);
+    }
+}

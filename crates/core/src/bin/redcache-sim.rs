@@ -6,8 +6,9 @@
 //!              [--warmup 0.3] [--snapshot-dir DIR] [--json]
 //! ```
 //!
-//! Policies: nohbm | ideal | alloy | bear | red-alpha | red-gamma |
-//! red-basic | red-insitu | redcache.
+//! Policies: whatever the policy registry declares — currently nohbm |
+//! ideal | alloy | bear | red-alpha | red-gamma | red-basic |
+//! red-insitu | redcache | fbr (run `--help` for the live list).
 //!
 //! `--snapshot-dir` persists the post-warmup simulator state to disk
 //! (keyed by trace content and warm-relevant configuration, like the
@@ -37,8 +38,9 @@ fn usage() -> ! {
          \x20                  [--shrink N] [--block 64|128|256] [--preset scaled|quick]\n\
          \x20                  [--warmup F] [--snapshot-dir DIR] [--json]\n\
          workloads: {}\n\
-         policies:  nohbm ideal alloy bear red-alpha red-gamma red-basic red-insitu redcache",
-        Workload::ALL.map(|w| w.info().label).join(" ")
+         policies:  {}",
+        Workload::ALL.map(|w| w.info().label).join(" "),
+        redcache::policy_registry::known_names().join(" ")
     );
     std::process::exit(2)
 }

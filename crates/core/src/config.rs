@@ -240,6 +240,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Overrides the FBR replacement knobs (a pure policy knob: warm
+    /// snapshots are shared across its values).
+    pub fn fbr_override(mut self, fbr: Option<redcache_policies::FbrConfig>) -> Self {
+        self.cfg.policy.fbr_override = fbr;
+        self
+    }
+
     /// Validates and returns the finished configuration.
     ///
     /// # Errors
@@ -262,6 +269,7 @@ mod tests {
             PolicyKind::Ideal,
             PolicyKind::Alloy,
             PolicyKind::Bear,
+            PolicyKind::Fbr,
         ] {
             SimConfig::table1(kind).validate().unwrap();
             SimConfig::scaled(kind).validate().unwrap();

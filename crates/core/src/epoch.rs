@@ -167,6 +167,10 @@ fn row(e: &EpochSample) -> Vec<(&'static str, String)> {
             "ddr_write_drain_mask",
             e.gauges.ddr_write_drain_mask.to_string(),
         ),
+        (
+            "fbr_fill_credit",
+            format!("{:.6}", e.gauges.fbr_fill_credit),
+        ),
     ]
 }
 
@@ -226,7 +230,14 @@ struct Baseline {
     l3: CacheStats,
 }
 
-redcache_types::wire_struct!(Baseline { ctl, hbm, ddr, l1, l2, l3 });
+redcache_types::wire_struct!(Baseline {
+    ctl,
+    hbm,
+    ddr,
+    l1,
+    l2,
+    l3
+});
 
 /// Closes epochs on a fixed cycle stride, turning the simulator's
 /// cumulative counters into interval deltas.

@@ -46,7 +46,8 @@ pub use profile::{last_access_writeback_fraction, MemLevelStream, ReuseProfile};
 pub use sim::{run_workload, warm_count, Simulator, WarmSnapshot};
 
 // The vocabulary types users need, re-exported at the root.
-pub use redcache_policies::{PolicyConfig, PolicyKind, RedConfig, RedVariant};
+pub use redcache_policies::registry as policy_registry;
+pub use redcache_policies::{FbrConfig, PolicyConfig, PolicyKind, RedConfig, RedVariant};
 pub use redcache_types::{ConfigError, Cycle};
 
 /// One-stop imports for driving simulations: configuration, execution
@@ -64,7 +65,7 @@ pub mod prelude {
     pub use crate::epoch::{EpochSample, TimeSeries};
     pub use crate::metrics::RunReport;
     pub use crate::sim::{run_workload, Simulator, WarmSnapshot};
-    pub use redcache_policies::{PolicyConfig, PolicyKind, RedConfig, RedVariant};
+    pub use redcache_policies::{FbrConfig, PolicyConfig, PolicyKind, RedConfig, RedVariant};
     pub use redcache_types::{ConfigError, Cycle};
     pub use redcache_workloads::{GenConfig, Workload};
 }

@@ -332,8 +332,7 @@ impl Machine {
             for d in done_buf.drain(..) {
                 match d.kind {
                     AccessKind::Read => {
-                        if cfg.check_shadow
-                            && !self.shadow.on_read_complete(d.id.0, d.data_version)
+                        if cfg.check_shadow && !self.shadow.on_read_complete(d.id.0, d.data_version)
                         {
                             self.shadow_violations += 1;
                         }
@@ -382,11 +381,8 @@ impl Machine {
                 if !self.warmed && self.committed >= warmup_target {
                     self.warmed = true;
                     self.warmup_cycle = self.now;
-                    self.warmup_instructions = self
-                        .cores
-                        .iter()
-                        .map(|c| c.instructions_dispatched())
-                        .sum();
+                    self.warmup_instructions =
+                        self.cores.iter().map(|c| c.instructions_dispatched()).sum();
                     controller.reset_stats();
                     self.hierarchy.reset_stats();
                     if let Some(rec) = self.recorder.as_mut() {
@@ -526,7 +522,8 @@ impl Machine {
         };
         let hbm_ranks = cfg.policy.hbm.topology.channels * cfg.policy.hbm.topology.ranks;
         let ddr_ranks = cfg.policy.ddr.topology.channels * cfg.policy.ddr.topology.ranks;
-        let energy = energy_model.system_energy(&act, &ctl, hbm.as_ref(), hbm_ranks, &ddr, ddr_ranks);
+        let energy =
+            energy_model.system_energy(&act, &ctl, hbm.as_ref(), hbm_ranks, &ddr, ddr_ranks);
         RunReport {
             policy: controller.kind(),
             workload: None,
@@ -729,7 +726,7 @@ impl Simulator {
     /// and core geometry, both DRAM configurations (with the bit-exact
     /// `channel_par` knob normalised out), the warmup fraction, shadow
     /// checking, epoch stride. Deliberately **excludes** the policy
-    /// kind, its RedCache overrides and the DRAM-cache block size — the
+    /// kind, its RedCache/FBR overrides and the DRAM-cache block size — the
     /// warmup is policy-independent (DESIGN.md §3.13) — and the
     /// `time_skip` mode, which is exact (§3.7), so both advance modes
     /// share one snapshot. Two configurations with equal keys may fork
@@ -781,11 +778,7 @@ impl Simulator {
             next_req: m.next_req,
             next_version: m.next_version,
             shadow_violations: m.shadow_violations,
-            warmup_instructions: m
-                .cores
-                .iter()
-                .map(|c| c.instructions_dispatched())
-                .sum(),
+            warmup_instructions: m.cores.iter().map(|c| c.instructions_dispatched()).sum(),
             finish: m.finish.clone(),
             cores: m.cores.iter().map(|c| c.snapshot()).collect(),
             hierarchy: m.hierarchy.snapshot(),
@@ -955,6 +948,7 @@ mod tests {
             PolicyKind::Ideal,
             PolicyKind::Alloy,
             PolicyKind::Bear,
+            PolicyKind::Fbr,
             PolicyKind::Red(crate::RedVariant::Full),
         ] {
             let r = Simulator::new(SimConfig::quick(kind)).run(traces.clone());
@@ -1045,7 +1039,12 @@ mod tests {
         let traces: SharedTraces = tiny_traces().into();
         let snap = Simulator::new(cfg).warm(traces.clone());
         let before = warm_count();
-        for kind in [PolicyKind::Ideal, PolicyKind::Alloy, PolicyKind::Bear] {
+        for kind in [
+            PolicyKind::Ideal,
+            PolicyKind::Alloy,
+            PolicyKind::Bear,
+            PolicyKind::Fbr,
+        ] {
             let mut k = cfg;
             k.policy.kind = kind;
             let sim = Simulator::new(k);
@@ -1074,8 +1073,10 @@ mod tests {
         let other: SharedTraces = Workload::Is.generate(&GenConfig::tiny()).into();
         assert!(WarmSnapshot::decode_payload(&payload, snap.key(), &other).is_err());
         // Truncation fails closed.
-        assert!(WarmSnapshot::decode_payload(&payload[..payload.len() - 3], snap.key(), &traces)
-            .is_err());
+        assert!(
+            WarmSnapshot::decode_payload(&payload[..payload.len() - 3], snap.key(), &traces)
+                .is_err()
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"RCSN";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// The file name a warm snapshot caches under —
 /// `{label}-{trace_key:016x}-{warm_key:016x}.rcsn`. Both keys are in
@@ -27,7 +27,10 @@ const VERSION: u32 = 1;
 /// configurations never collide, mirroring the trace cache's
 /// `{label}-{cache_key:016x}.rctr` scheme.
 pub fn snapshot_file_name(label: &str, trace_key: u64, warm_key: u64) -> String {
-    format!("{}-{trace_key:016x}-{warm_key:016x}.rcsn", label.to_lowercase())
+    format!(
+        "{}-{trace_key:016x}-{warm_key:016x}.rcsn",
+        label.to_lowercase()
+    )
 }
 
 /// Writes `snap` to `path`.

@@ -76,7 +76,8 @@ fn corrupt_snapshot_entries_rewarm_and_heal() {
         .warmup_fraction(0.1)
         .build()
         .expect("preset-derived config validates");
-    let other = snapshot_io::warm_cached_in(&Simulator::new(other_cfg), "hist", &traces, Some(&dir));
+    let other =
+        snapshot_io::warm_cached_in(&Simulator::new(other_cfg), "hist", &traces, Some(&dir));
     assert_ne!(other.key(), snap.key());
     assert_eq!(
         std::fs::read_dir(&dir).unwrap().count(),

@@ -241,11 +241,7 @@ fn worker_loop(shared: &Shared) {
             continue;
         }
         seen = e;
-        let round = shared
-            .current
-            .lock()
-            .expect("pool mutex poisoned")
-            .clone();
+        let round = shared.current.lock().expect("pool mutex poisoned").clone();
         if let Some(r) = round {
             r.work();
         }

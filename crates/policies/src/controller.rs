@@ -17,19 +17,15 @@ pub enum PolicyKind {
     Alloy,
     /// BEAR cache [3].
     Bear,
+    /// Banshee-style frequency-based replacement (FBR).
+    Fbr,
     /// A RedCache variant (§IV.A).
     Red(crate::redcache::RedVariant),
 }
 
 impl std::fmt::Display for PolicyKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PolicyKind::NoHbm => write!(f, "No-HBM"),
-            PolicyKind::Ideal => write!(f, "IDEAL"),
-            PolicyKind::Alloy => write!(f, "Alloy"),
-            PolicyKind::Bear => write!(f, "Bear"),
-            PolicyKind::Red(v) => write!(f, "{v}"),
-        }
+        write!(f, "{}", crate::registry::entry(*self).display)
     }
 }
 
@@ -37,22 +33,16 @@ impl std::str::FromStr for PolicyKind {
     type Err = String;
 
     /// Parses the CLI/API spellings shared by `redcache-sim` and the
-    /// `redcache-serve` daemon (case-insensitive): `nohbm`/`no-hbm`,
-    /// `ideal`, `alloy`, `bear`, `red-alpha`, `red-gamma`, `red-basic`,
-    /// `red-insitu`, and `redcache`/`red-full`/`red`.
+    /// `redcache-serve` daemon (case-insensitive). The accepted
+    /// spellings are whatever the policy registry
+    /// ([`crate::registry::entries`]) declares — adding a policy there
+    /// makes it parseable everywhere at once.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        use crate::redcache::RedVariant;
-        Ok(match s.to_ascii_lowercase().as_str() {
-            "nohbm" | "no-hbm" => PolicyKind::NoHbm,
-            "ideal" => PolicyKind::Ideal,
-            "alloy" => PolicyKind::Alloy,
-            "bear" => PolicyKind::Bear,
-            "red-alpha" => PolicyKind::Red(RedVariant::Alpha),
-            "red-gamma" => PolicyKind::Red(RedVariant::Gamma),
-            "red-basic" => PolicyKind::Red(RedVariant::Basic),
-            "red-insitu" => PolicyKind::Red(RedVariant::InSitu),
-            "redcache" | "red-full" | "red" => PolicyKind::Red(RedVariant::Full),
-            other => return Err(format!("unknown policy {other:?}")),
+        crate::registry::lookup(s).map(|e| e.kind).ok_or_else(|| {
+            format!(
+                "unknown policy {s:?} (known: {})",
+                crate::registry::known_names().join(", ")
+            )
         })
     }
 }
@@ -72,6 +62,11 @@ pub struct PolicyConfig {
     /// Optional RedCache parameter override (used by the ablation
     /// studies); `None` uses [`crate::RedConfig::for_variant`].
     pub red_override: Option<crate::redcache::RedConfig>,
+    /// Optional FBR parameter override; `None` uses
+    /// [`crate::FbrConfig::default`]. Like `red_override`, a pure
+    /// policy knob: warm snapshots are shared across its values.
+    #[serde(default)]
+    pub fbr_override: Option<crate::fbr::FbrConfig>,
 }
 
 impl PolicyConfig {
@@ -83,6 +78,7 @@ impl PolicyConfig {
             ddr: DramConfig::ddr4_table1(),
             cache_block_bytes: 64,
             red_override: None,
+            fbr_override: None,
         }
     }
 
@@ -96,7 +92,14 @@ impl PolicyConfig {
             ddr: DramConfig::ddr4_scaled(512 << 20),
             cache_block_bytes: 64,
             red_override: None,
+            fbr_override: None,
         }
+    }
+
+    /// The effective FBR parameters: the override when present, the
+    /// defaults otherwise.
+    pub fn fbr(&self) -> crate::fbr::FbrConfig {
+        self.fbr_override.unwrap_or_default()
     }
 
     /// 64 B CPU lines per DRAM-cache block.
@@ -119,6 +122,9 @@ impl PolicyConfig {
         }
         self.hbm.validate()?;
         self.ddr.validate()?;
+        if let Some(f) = &self.fbr_override {
+            f.validate()?;
+        }
         Ok(())
     }
 }
@@ -316,6 +322,10 @@ pub struct ControllerGauges {
     pub hbm_write_drain_mask: u64,
     /// Bitmask of DDR channels latched in write-drain mode.
     pub ddr_write_drain_mask: u64,
+    /// FBR's bandwidth-aware fill budget (whole fills' worth of credit
+    /// available right now), 0 for other architectures.
+    #[serde(default)]
+    pub fbr_fill_credit: f64,
 }
 
 redcache_types::wire_struct!(ControllerGauges {
@@ -326,6 +336,7 @@ redcache_types::wire_struct!(ControllerGauges {
     ddr_window_occupancy,
     hbm_write_drain_mask,
     ddr_write_drain_mask,
+    fbr_fill_credit,
 });
 
 /// The DRAM-cache controller interface driven by the simulator.

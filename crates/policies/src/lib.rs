@@ -15,7 +15,16 @@
 //! * [`RedCacheController`] — α/γ adaptive reduced caching with the RCU
 //!   update manager, in all five paper variants
 //!   ([`RedVariant::Alpha`], [`RedVariant::Gamma`], [`RedVariant::Basic`],
-//!   [`RedVariant::InSitu`], [`RedVariant::Full`]).
+//!   [`RedVariant::InSitu`], [`RedVariant::Full`]);
+//! * [`FbrController`] — Banshee-style frequency-based replacement
+//!   [Yu et al., MICRO'17] on the pluggable replacement-policy API:
+//!   sampled frequency counters, thresholded admission, and
+//!   bandwidth-aware fill throttling.
+//!
+//! The [`registry`] module is the single source of truth tying these
+//! together: CLI spellings, display names, figure columns, and
+//! constructors all come from one table, so adding a policy is one
+//! entry there plus its module.
 //!
 //! Every controller owns its DRAM back ends (a WideIO/HBM
 //! [`redcache_dram::DramSystem`] and a DDR4 one), drives them cycle by
@@ -28,11 +37,13 @@ mod alloy;
 mod bear;
 pub mod controller;
 mod engine;
+mod fbr;
 mod fill;
 mod ideal;
 mod nohbm;
 mod predictor;
 pub mod redcache;
+pub mod registry;
 mod tagstore;
 
 pub use alloy::AlloyController;
@@ -41,24 +52,25 @@ pub use controller::{
     CompletedReq, ControllerGauges, ControllerStats, DramCacheController, MemorySides,
     PolicyConfig, PolicyKind, WarmMemoryState,
 };
+pub use fbr::{FbrConfig, FbrController};
 pub use fill::FillController;
 pub use ideal::IdealController;
 pub use nohbm::NoHbmController;
 pub use redcache::{RedCacheController, RedConfig, RedVariant};
 pub use tagstore::{classify, BlockClass};
 
-/// Builds the controller selected by `cfg.kind`.
+/// Builds the controller selected by `cfg.kind` (dispatching through
+/// the [`registry`]).
 pub fn build_controller(cfg: &PolicyConfig) -> Box<dyn DramCacheController> {
-    match cfg.kind {
-        PolicyKind::NoHbm => Box::new(NoHbmController::new(cfg)),
-        PolicyKind::Ideal => Box::new(IdealController::new(cfg)),
-        PolicyKind::Alloy => Box::new(AlloyController::new(cfg)),
-        PolicyKind::Bear => Box::new(BearController::new(cfg)),
-        PolicyKind::Red(variant) => {
-            let red = cfg
-                .red_override
-                .unwrap_or_else(|| RedConfig::for_variant(variant));
-            Box::new(RedCacheController::new(cfg, red))
-        }
-    }
+    (registry::entry(cfg.kind).build)(cfg)
+}
+
+/// Frozen oracles for the lockstep suites (`tests/tagstore_lockstep.rs`).
+/// Not a supported API.
+#[doc(hidden)]
+pub mod testing {
+    pub use crate::tagstore::{ReferenceTagStore, TagStore};
+
+    /// The paper controllers' direct-mapped organisation.
+    pub type DefaultTagStore = TagStore;
 }

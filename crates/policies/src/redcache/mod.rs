@@ -572,7 +572,7 @@ impl RedCacheController {
         }
         // Write miss on an eligible page (Fig. 7 bottom right).
         self.stats.hbm_misses += 1;
-        let victim_dirty = self.tags.entry(line).is_some_and(|e| e.dirty);
+        let victim_dirty = self.tags.victim_entry(line).is_some_and(|e| e.dirty);
         if victim_dirty {
             // Dirty victim: leave it alone, write the new data to DDR.
             self.stats.ddr_writes += 1;

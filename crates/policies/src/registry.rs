@@ -1,0 +1,259 @@
+//! The **policy registry** — the single source of truth for every
+//! controller the harness knows about (DESIGN.md §3.14).
+//!
+//! Each [`PolicyEntry`] carries everything the surrounding layers used
+//! to hard-code in per-crate `match` statements: the CLI/API spellings
+//! ([`PolicyKind::from_str`] delegates here), the figure-legend display
+//! name ([`PolicyKind`]'s `Display` delegates here), whether the policy
+//! is a column of the paper figures (`redcache-bench` enumerates
+//! [`figure_kinds`]), and the constructor ([`crate::build_controller`]
+//! dispatches through `build`). Adding a policy is now one entry in
+//! [`REGISTRY`]: it becomes parseable in `redcache-sim` and the
+//! `redcache-serve` job validator, printable, and benchable at once.
+
+use crate::controller::{DramCacheController, PolicyConfig, PolicyKind};
+use crate::redcache::{RedConfig, RedVariant};
+
+/// Everything the harness knows about one policy.
+pub struct PolicyEntry {
+    /// The kind this entry describes.
+    pub kind: PolicyKind,
+    /// Canonical CLI spelling (lowercase).
+    pub name: &'static str,
+    /// Extra accepted spellings (lowercase; matching is
+    /// case-insensitive over `name` and these).
+    pub aliases: &'static [&'static str],
+    /// Figure-legend display name (`PolicyKind: Display` prints this).
+    pub display: &'static str,
+    /// True when the policy is a column of the paper's figure matrix.
+    pub figure_column: bool,
+    /// One-line description for `--help`-style listings.
+    pub summary: &'static str,
+    /// Constructor. `cfg.kind` must equal `kind`.
+    pub build: fn(&PolicyConfig) -> Box<dyn DramCacheController>,
+}
+
+fn build_nohbm(cfg: &PolicyConfig) -> Box<dyn DramCacheController> {
+    Box::new(crate::NoHbmController::new(cfg))
+}
+
+fn build_ideal(cfg: &PolicyConfig) -> Box<dyn DramCacheController> {
+    Box::new(crate::IdealController::new(cfg))
+}
+
+fn build_alloy(cfg: &PolicyConfig) -> Box<dyn DramCacheController> {
+    Box::new(crate::AlloyController::new(cfg))
+}
+
+fn build_bear(cfg: &PolicyConfig) -> Box<dyn DramCacheController> {
+    Box::new(crate::BearController::new(cfg))
+}
+
+fn build_fbr(cfg: &PolicyConfig) -> Box<dyn DramCacheController> {
+    Box::new(crate::FbrController::new(cfg))
+}
+
+fn build_red(cfg: &PolicyConfig) -> Box<dyn DramCacheController> {
+    let PolicyKind::Red(variant) = cfg.kind else {
+        unreachable!("red builder dispatched for {:?}", cfg.kind);
+    };
+    let red = cfg
+        .red_override
+        .unwrap_or_else(|| RedConfig::for_variant(variant));
+    Box::new(crate::RedCacheController::new(cfg, red))
+}
+
+/// Every known policy, in presentation order (figure columns appear in
+/// the paper's legend order; FBR extends the legend at the end).
+pub static REGISTRY: [PolicyEntry; 10] = [
+    PolicyEntry {
+        kind: PolicyKind::NoHbm,
+        name: "nohbm",
+        aliases: &["no-hbm"],
+        display: "No-HBM",
+        figure_column: false,
+        summary: "no DRAM cache; all traffic to DDR4 (Fig. 1a)",
+        build: build_nohbm,
+    },
+    PolicyEntry {
+        kind: PolicyKind::Ideal,
+        name: "ideal",
+        aliases: &[],
+        display: "IDEAL",
+        figure_column: false,
+        summary: "perfect HBM cache with 100 % hit rate (Fig. 1b)",
+        build: build_ideal,
+    },
+    PolicyEntry {
+        kind: PolicyKind::Alloy,
+        name: "alloy",
+        aliases: &[],
+        display: "Alloy",
+        figure_column: true,
+        summary: "direct-mapped TAD cache with a MAP-I-style predictor",
+        build: build_alloy,
+    },
+    PolicyEntry {
+        kind: PolicyKind::Bear,
+        name: "bear",
+        aliases: &[],
+        display: "Bear",
+        figure_column: true,
+        summary: "Alloy plus bandwidth-aware bypass and probe elision",
+        build: build_bear,
+    },
+    PolicyEntry {
+        kind: PolicyKind::Red(RedVariant::Alpha),
+        name: "red-alpha",
+        aliases: &[],
+        display: "Red-Alpha",
+        figure_column: true,
+        summary: "reduced caching with α-counting only",
+        build: build_red,
+    },
+    PolicyEntry {
+        kind: PolicyKind::Red(RedVariant::Gamma),
+        name: "red-gamma",
+        aliases: &[],
+        display: "Red-Gamma",
+        figure_column: true,
+        summary: "in-DRAM γ-counting applied to the Alloy cache",
+        build: build_red,
+    },
+    PolicyEntry {
+        kind: PolicyKind::Red(RedVariant::Basic),
+        name: "red-basic",
+        aliases: &[],
+        display: "Red-Basic",
+        figure_column: true,
+        summary: "α + γ without the RCU update manager",
+        build: build_red,
+    },
+    PolicyEntry {
+        kind: PolicyKind::Red(RedVariant::InSitu),
+        name: "red-insitu",
+        aliases: &[],
+        display: "Red-InSitu",
+        figure_column: true,
+        summary: "α + γ with in-DRAM (free) r-count processing",
+        build: build_red,
+    },
+    PolicyEntry {
+        kind: PolicyKind::Red(RedVariant::Full),
+        name: "redcache",
+        aliases: &["red-full", "red"],
+        display: "RedCache",
+        figure_column: true,
+        summary: "the full architecture: α + γ + RCU + refresh bypass",
+        build: build_red,
+    },
+    PolicyEntry {
+        kind: PolicyKind::Fbr,
+        name: "fbr",
+        aliases: &["banshee"],
+        display: "FBR",
+        figure_column: true,
+        summary: "Banshee-style frequency-based replacement with fill throttling",
+        build: build_fbr,
+    },
+];
+
+/// All registry entries, in presentation order.
+pub fn entries() -> &'static [PolicyEntry] {
+    &REGISTRY
+}
+
+/// The entry describing `kind`.
+///
+/// # Panics
+///
+/// Panics if `kind` is missing from the registry — a bug by
+/// construction, since the registry covers every [`PolicyKind`].
+pub fn entry(kind: PolicyKind) -> &'static PolicyEntry {
+    REGISTRY
+        .iter()
+        .find(|e| e.kind == kind)
+        .unwrap_or_else(|| panic!("policy {kind:?} missing from the registry"))
+}
+
+/// Looks up a CLI/API spelling (case-insensitive over canonical names
+/// and aliases).
+pub fn lookup(name: &str) -> Option<&'static PolicyEntry> {
+    let lower = name.to_ascii_lowercase();
+    REGISTRY
+        .iter()
+        .find(|e| e.name == lower || e.aliases.contains(&lower.as_str()))
+}
+
+/// Canonical spellings of every known policy, in presentation order
+/// (the `FromStr` error message and CLI usage text print these).
+pub fn known_names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|e| e.name).collect()
+}
+
+/// The figure-matrix columns, in legend order.
+pub fn figure_kinds() -> Vec<PolicyKind> {
+    REGISTRY
+        .iter()
+        .filter(|e| e.figure_column)
+        .map(|e| e.kind)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_has_exactly_one_entry() {
+        for e in entries() {
+            assert_eq!(entry(e.kind).name, e.name, "{:?}", e.kind);
+        }
+        let mut names: Vec<&str> = entries()
+            .iter()
+            .flat_map(|e| std::iter::once(e.name).chain(e.aliases.iter().copied()))
+            .collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate spelling in the registry");
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_knows_aliases() {
+        assert_eq!(lookup("No-HBM").unwrap().kind, PolicyKind::NoHbm);
+        assert_eq!(lookup("BANSHEE").unwrap().kind, PolicyKind::Fbr);
+        assert_eq!(
+            lookup("red").unwrap().kind,
+            PolicyKind::Red(RedVariant::Full)
+        );
+        assert!(lookup("alchemy").is_none());
+    }
+
+    #[test]
+    fn builders_match_their_kind() {
+        for e in entries() {
+            let cfg = PolicyConfig::scaled(e.kind);
+            let c = (e.build)(&cfg);
+            assert_eq!(c.kind(), e.kind, "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn figure_columns_extend_the_paper_legend() {
+        let displays: Vec<&str> = figure_kinds().iter().map(|k| entry(*k).display).collect();
+        assert_eq!(
+            displays,
+            [
+                "Alloy",
+                "Bear",
+                "Red-Alpha",
+                "Red-Gamma",
+                "Red-Basic",
+                "Red-InSitu",
+                "RedCache",
+                "FBR"
+            ]
+        );
+    }
+}

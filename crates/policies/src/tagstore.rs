@@ -1,16 +1,26 @@
-//! The direct-mapped tag-and-data (TAD) store of the HBM cache.
+//! The tag-and-data (TAD) store of the HBM cache, generic over a
+//! set-level [`ReplacementPolicy`] (DESIGN.md §3.14).
 //!
-//! Following Alloy [2], the HBM is organised as a direct-mapped cache
-//! whose tag travels with the data in the otherwise-unused ECC bits
-//! (§IV.A, [32]) — so one WideIO burst carries tag + data, and RedCache's
-//! extra r-count byte rides along at no transfer cost (§III.A.2).
+//! Following Alloy [2], the HBM is organised as a cache whose tag
+//! travels with the data in the otherwise-unused ECC bits (§IV.A,
+//! [32]) — so one WideIO burst carries tag + data, and RedCache's extra
+//! r-count byte rides along at no transfer cost (§III.A.2). The paper's
+//! controllers use the direct-mapped organisation
+//! (`TagStore<DirectMapped>`, the default, bit-exact with the
+//! pre-trait store — pinned by `tests/tagstore_lockstep.rs`); the FBR
+//! policy runs the same store set-associatively over [`Lfu`] frequency
+//! state.
 //!
 //! The store is *functional*: besides the tag it keeps per-64 B-line
 //! payload versions (up to 4 sub-lines for the 256 B granularity sweep)
 //! so controllers can return provably fresh data.
 
+use redcache_cache::{DirectMapped, ReplacementPolicy};
 use redcache_types::{LineAddr, SatCounter};
 use serde::{Deserialize, Serialize};
+
+#[cfg(doc)]
+use redcache_cache::Lfu;
 
 /// The paper's block classification (Fig. 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,38 +58,63 @@ pub struct TagEntry {
     pub r_count: SatCounter,
 }
 
-/// The direct-mapped TAD array.
+/// The TAD array: `sets × assoc` frames, victim selection delegated to
+/// `P`. The default (`assoc = 1`, [`DirectMapped`]) reproduces the
+/// paper's direct-mapped organisation exactly.
 #[derive(Debug)]
-pub struct TagStore {
-    sets: Vec<Option<TagEntry>>,
+pub struct TagStore<P: ReplacementPolicy = DirectMapped> {
+    ways: Vec<Option<TagEntry>>, // sets * assoc, row-major by set
+    sets: usize,
+    assoc: usize,
     lines_per_block: u64,
     occupancy: usize,
+    policy: P,
 }
 
-impl TagStore {
-    /// Builds a tag store with `sets` direct-mapped sets, each holding
+impl<P: ReplacementPolicy> TagStore<P> {
+    /// Builds a direct-mapped tag store with `sets` sets, each holding
     /// one block of `lines_per_block` 64 B lines.
     ///
     /// # Panics
     ///
     /// Panics if `sets == 0` or `lines_per_block` is not 1, 2 or 4.
     pub fn new(sets: usize, lines_per_block: u64) -> Self {
+        Self::with_assoc(sets, 1, lines_per_block)
+    }
+
+    /// Builds a set-associative tag store: `sets` sets of `assoc`
+    /// block frames each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets == 0`, `assoc == 0`, or `lines_per_block` is not
+    /// 1, 2 or 4.
+    pub fn with_assoc(sets: usize, assoc: usize, lines_per_block: u64) -> Self {
         assert!(sets > 0, "need at least one set");
+        assert!(assoc > 0, "need at least one way");
         assert!(
             [1, 2, 4].contains(&lines_per_block),
             "lines_per_block must be 1, 2 or 4"
         );
         Self {
-            sets: vec![None; sets],
+            ways: vec![None; sets * assoc],
+            sets,
+            assoc,
             lines_per_block,
             occupancy: 0,
+            policy: P::new(sets, assoc),
         }
     }
 
     /// Number of sets.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn sets(&self) -> usize {
-        self.sets.len()
+        self.sets
+    }
+
+    /// Block frames per set.
+    pub fn assoc(&self) -> usize {
+        self.assoc
     }
 
     /// 64 B lines per cache block.
@@ -94,7 +129,7 @@ impl TagStore {
 
     /// Set index of the block containing `line`.
     pub fn set_of(&self, line: LineAddr) -> usize {
-        (self.block_of(line) % self.sets.len() as u64) as usize
+        (self.block_of(line) % self.sets as u64) as usize
     }
 
     /// Sub-line slot of `line` within its block.
@@ -102,25 +137,192 @@ impl TagStore {
         (line.raw() % self.lines_per_block) as usize
     }
 
-    /// Resident entry of the set that `line` maps to (hit or victim).
+    /// Way (within its set) holding `line`'s block, if resident.
+    fn way_of(&self, line: LineAddr) -> Option<usize> {
+        let b = self.block_of(line);
+        let base = self.set_of(line) * self.assoc;
+        (0..self.assoc).find(|&w| matches!(&self.ways[base + w], Some(e) if e.block == b))
+    }
+
+    /// First free frame of `set`, if any.
+    fn free_way(&self, set: usize) -> Option<usize> {
+        let base = set * self.assoc;
+        (0..self.assoc).find(|&w| self.ways[base + w].is_none())
+    }
+
+    /// The resident entry holding `line`'s block.
+    pub fn entry(&self, line: LineAddr) -> Option<&TagEntry> {
+        let w = self.way_of(line)?;
+        self.ways[self.set_of(line) * self.assoc + w].as_ref()
+    }
+
+    /// Mutable resident entry holding `line`'s block.
+    pub fn entry_mut(&mut self, line: LineAddr) -> Option<&mut TagEntry> {
+        let w = self.way_of(line)?;
+        let s = self.set_of(line);
+        self.ways[s * self.assoc + w].as_mut()
+    }
+
+    /// True when the block containing `line` is resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.way_of(line).is_some()
+    }
+
+    /// Way (within its set) currently holding `line`'s block, if
+    /// resident. Associative controllers use this right after
+    /// [`Self::install`] to address per-way policy state.
+    pub fn resident_way(&self, line: LineAddr) -> Option<usize> {
+        self.way_of(line)
+    }
+
+    /// Notifies the replacement policy of a reference to `line`'s
+    /// resident block (no-op when absent).
+    pub fn touch(&mut self, line: LineAddr) {
+        if let Some(w) = self.way_of(line) {
+            let s = self.set_of(line);
+            self.policy.touch(s, w);
+        }
+    }
+
+    /// True when `line`'s set still has a free frame (an install would
+    /// not displace anything).
+    pub fn has_free_way(&self, line: LineAddr) -> bool {
+        self.free_way(self.set_of(line)).is_some()
+    }
+
+    /// The entry the policy would displace to make room for `line`:
+    /// `None` while the set still has a free frame (or when the victim
+    /// frame would be the block's own — i.e. `line` is resident).
+    pub fn victim_entry(&self, line: LineAddr) -> Option<&TagEntry> {
+        if self.contains(line) {
+            return None;
+        }
+        let s = self.set_of(line);
+        if self.free_way(s).is_some() {
+            return None;
+        }
+        self.ways[s * self.assoc + self.policy.victim(s)].as_ref()
+    }
+
+    /// The replacement policy's current ordering state.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Mutable replacement-policy state (FBR seeds fill frequencies
+    /// through this).
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
+    /// Installs the block containing `line`, displacing the policy's
+    /// victim if the set is full; any displaced occupant is returned.
+    /// Re-installing a resident block replaces it in place (resetting
+    /// its r-count) and returns the previous entry.
+    pub fn install(&mut self, line: LineAddr, versions: [u64; 4], dirty: bool) -> Option<TagEntry> {
+        let b = self.block_of(line);
+        let s = self.set_of(line);
+        let fresh = TagEntry {
+            block: b,
+            dirty,
+            versions,
+            r_count: SatCounter::u8_zero(),
+        };
+        if let Some(w) = self.way_of(line) {
+            let old = self.ways[s * self.assoc + w].replace(fresh);
+            self.policy.evict(s, w);
+            self.policy.fill(s, w);
+            return old;
+        }
+        if let Some(w) = self.free_way(s) {
+            self.ways[s * self.assoc + w] = Some(fresh);
+            self.occupancy += 1;
+            self.policy.fill(s, w);
+            return None;
+        }
+        let w = self.policy.victim(s);
+        debug_assert!(w < self.assoc, "policy victim out of range");
+        let old = self.ways[s * self.assoc + w].replace(fresh);
+        self.policy.evict(s, w);
+        self.policy.fill(s, w);
+        old
+    }
+
+    /// Removes the block containing `line` (exact match only).
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<TagEntry> {
+        let w = self.way_of(line)?;
+        let s = self.set_of(line);
+        self.occupancy -= 1;
+        self.policy.evict(s, w);
+        self.ways[s * self.assoc + w].take()
+    }
+
+    /// Resident block count.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// First 64 B line of block `block`.
+    pub fn block_first_line(&self, block: u64) -> LineAddr {
+        LineAddr::new(block * self.lines_per_block)
+    }
+
+    /// The HBM-internal physical address of the frame holding `line`
+    /// (frames laid out contiguously, one block each). For absent lines
+    /// this is the set's first frame — with `assoc = 1` that is exactly
+    /// the pre-trait "one block per set" address; associative
+    /// controllers compute fill addresses *after* `install`, when the
+    /// resident way is known.
+    pub fn hbm_addr(&self, line: LineAddr, block_bytes: usize) -> redcache_types::PhysAddr {
+        let frame = self.set_of(line) * self.assoc + self.way_of(line).unwrap_or(0);
+        redcache_types::PhysAddr::new(frame as u64 * block_bytes as u64)
+    }
+}
+
+/// The pre-trait direct-mapped tag store, verbatim — a frozen oracle
+/// for the lockstep suite in `tests/tagstore_lockstep.rs`. Not part of
+/// the supported API.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct ReferenceTagStore {
+    sets: Vec<Option<TagEntry>>,
+    lines_per_block: u64,
+    occupancy: usize,
+}
+
+#[doc(hidden)]
+impl ReferenceTagStore {
+    pub fn new(sets: usize, lines_per_block: u64) -> Self {
+        assert!(sets > 0, "need at least one set");
+        assert!(
+            [1, 2, 4].contains(&lines_per_block),
+            "lines_per_block must be 1, 2 or 4"
+        );
+        Self {
+            sets: vec![None; sets],
+            lines_per_block,
+            occupancy: 0,
+        }
+    }
+
+    pub fn block_of(&self, line: LineAddr) -> u64 {
+        line.raw() / self.lines_per_block
+    }
+
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        (self.block_of(line) % self.sets.len() as u64) as usize
+    }
+
     pub fn entry(&self, line: LineAddr) -> Option<&TagEntry> {
         self.sets[self.set_of(line)].as_ref()
     }
 
-    /// Mutable resident entry of `line`'s set.
-    pub fn entry_mut(&mut self, line: LineAddr) -> Option<&mut TagEntry> {
-        let s = self.set_of(line);
-        self.sets[s].as_mut()
-    }
-
-    /// True when the block containing `line` is resident.
     pub fn contains(&self, line: LineAddr) -> bool {
         let b = self.block_of(line);
         matches!(self.entry(line), Some(e) if e.block == b)
     }
 
-    /// Installs the block containing `line`, displacing the set's
-    /// previous occupant, which is returned.
     pub fn install(&mut self, line: LineAddr, versions: [u64; 4], dirty: bool) -> Option<TagEntry> {
         let b = self.block_of(line);
         let s = self.set_of(line);
@@ -137,7 +339,6 @@ impl TagStore {
         old
     }
 
-    /// Removes the block containing `line` (exact match only).
     pub fn invalidate(&mut self, line: LineAddr) -> Option<TagEntry> {
         let b = self.block_of(line);
         let s = self.set_of(line);
@@ -148,19 +349,10 @@ impl TagStore {
         None
     }
 
-    /// Resident block count.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn occupancy(&self) -> usize {
         self.occupancy
     }
 
-    /// First 64 B line of block `block`.
-    pub fn block_first_line(&self, block: u64) -> LineAddr {
-        LineAddr::new(block * self.lines_per_block)
-    }
-
-    /// The HBM-internal physical address of `line`'s set (one block per
-    /// set, blocks laid out contiguously).
     pub fn hbm_addr(&self, line: LineAddr, block_bytes: usize) -> redcache_types::PhysAddr {
         redcache_types::PhysAddr::new(self.set_of(line) as u64 * block_bytes as u64)
     }
@@ -169,10 +361,11 @@ impl TagStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use redcache_cache::Lfu;
 
     #[test]
     fn install_and_hit() {
-        let mut t = TagStore::new(16, 1);
+        let mut t: TagStore = TagStore::new(16, 1);
         let l = LineAddr::new(5);
         assert!(!t.contains(l));
         assert!(t.install(l, [7, 0, 0, 0], false).is_none());
@@ -183,7 +376,7 @@ mod tests {
 
     #[test]
     fn conflicting_blocks_evict() {
-        let mut t = TagStore::new(16, 1);
+        let mut t: TagStore = TagStore::new(16, 1);
         let a = LineAddr::new(5);
         let b = LineAddr::new(5 + 16); // same set
         t.install(a, [1, 0, 0, 0], true);
@@ -198,7 +391,7 @@ mod tests {
     #[test]
     fn multi_line_blocks_share_entries() {
         let t2 = {
-            let mut t = TagStore::new(8, 2);
+            let mut t: TagStore = TagStore::new(8, 2);
             t.install(LineAddr::new(4), [1, 2, 0, 0], false);
             t
         };
@@ -211,7 +404,7 @@ mod tests {
 
     #[test]
     fn invalidate_requires_exact_block() {
-        let mut t = TagStore::new(16, 1);
+        let mut t: TagStore = TagStore::new(16, 1);
         t.install(LineAddr::new(5), [1, 0, 0, 0], false);
         assert!(t.invalidate(LineAddr::new(5 + 16)).is_none()); // same set, other block
         assert!(t.invalidate(LineAddr::new(5)).is_some());
@@ -220,12 +413,44 @@ mod tests {
 
     #[test]
     fn hbm_addresses_are_unique_per_set() {
-        let t = TagStore::new(64, 1);
+        let t: TagStore = TagStore::new(64, 1);
         let a = t.hbm_addr(LineAddr::new(3), 64);
         let b = t.hbm_addr(LineAddr::new(3 + 64), 64);
         assert_eq!(a, b, "same set, same address");
         let c = t.hbm_addr(LineAddr::new(4), 64);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn associative_sets_hold_conflicting_blocks() {
+        // 4 sets × 2 ways over LFU: two conflicting blocks coexist and
+        // the third displaces the colder one.
+        let mut t: TagStore<Lfu> = TagStore::with_assoc(4, 2, 1);
+        let a = LineAddr::new(1);
+        let b = LineAddr::new(1 + 4); // same set
+        let c = LineAddr::new(1 + 8); // same set
+        assert!(t.install(a, [1, 0, 0, 0], false).is_none());
+        assert!(t.install(b, [2, 0, 0, 0], false).is_none());
+        assert!(t.contains(a) && t.contains(b));
+        assert_eq!(t.occupancy(), 2);
+        t.touch(a); // block a becomes the hot one
+        let victim = t.victim_entry(c).expect("set full");
+        assert_eq!(victim.block, t.block_of(b));
+        let old = t.install(c, [3, 0, 0, 0], false).expect("displacement");
+        assert_eq!(old.block, t.block_of(b));
+        assert!(t.contains(a) && t.contains(c) && !t.contains(b));
+    }
+
+    #[test]
+    fn associative_hbm_addresses_follow_the_resident_way() {
+        let mut t: TagStore<Lfu> = TagStore::with_assoc(4, 2, 1);
+        let a = LineAddr::new(1);
+        let b = LineAddr::new(1 + 4);
+        t.install(a, [0; 4], false);
+        t.install(b, [0; 4], false);
+        let pa = t.hbm_addr(a, 64);
+        let pb = t.hbm_addr(b, 64);
+        assert_ne!(pa, pb, "co-resident blocks occupy distinct frames");
     }
 
     #[test]
@@ -241,6 +466,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "lines_per_block")]
     fn bad_lines_per_block_panics() {
-        let _ = TagStore::new(4, 3);
+        let _: TagStore = TagStore::new(4, 3);
     }
 }

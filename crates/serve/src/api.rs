@@ -287,6 +287,22 @@ mod tests {
     }
 
     #[test]
+    fn every_registry_policy_resolves() {
+        // The daemon's job validator rides on the policy registry: each
+        // canonical spelling (and the FBR alias) must resolve without
+        // touching this crate when a policy is added.
+        for e in redcache::policy_registry::entries() {
+            let mut r = req("hist");
+            r.policy = Some(e.name.into());
+            let resolved = resolve(&r).unwrap_or_else(|m| panic!("{}: {m}", e.name));
+            assert_eq!(resolved.cfg.policy.kind, e.kind, "{}", e.name);
+        }
+        let mut banshee = req("hist");
+        banshee.policy = Some("banshee".into());
+        assert_eq!(resolve(&banshee).unwrap().cfg.policy.kind, PolicyKind::Fbr);
+    }
+
+    #[test]
     fn synthetic_resolves_with_default_spec() {
         let r = resolve(&req("synthetic")).unwrap();
         assert_eq!(r.label, "SYN");

@@ -95,6 +95,14 @@ impl SatCounter {
         self.value
     }
 
+    /// Adds `n`, saturating at the ceiling. Returns the new value.
+    /// (FBR seeds a fresh fill's r-count with the block's sampled
+    /// candidate frequency in one step.)
+    pub fn add(&mut self, n: u32) -> u32 {
+        self.value = self.value.saturating_add(n).min(self.max);
+        self.value
+    }
+
     /// Decrements, saturating at zero. Returns the new value.
     pub fn dec(&mut self) -> u32 {
         self.value = self.value.saturating_sub(1);

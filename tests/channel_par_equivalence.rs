@@ -37,12 +37,13 @@ fn figure_policies() -> Vec<PolicyKind> {
         PolicyKind::Red(RedVariant::Basic),
         PolicyKind::Red(RedVariant::InSitu),
         PolicyKind::Red(RedVariant::Full),
+        PolicyKind::Fbr,
     ]
 }
 
 #[test]
 fn channel_par_is_exact_across_the_evaluation_matrix() {
-    // 11 workloads × 7 figure architectures, each run twice.
+    // 11 workloads × the figure architectures, each run twice.
     let gen = GenConfig::tiny();
     for w in Workload::ALL {
         for kind in figure_policies() {

@@ -23,6 +23,7 @@ fn all_policies() -> Vec<PolicyKind> {
         PolicyKind::Red(RedVariant::Basic),
         PolicyKind::Red(RedVariant::InSitu),
         PolicyKind::Red(RedVariant::Full),
+        PolicyKind::Fbr,
     ]
 }
 

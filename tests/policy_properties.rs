@@ -29,6 +29,7 @@ fn policies() -> Vec<PolicyKind> {
         PolicyKind::Bear,
         PolicyKind::Red(RedVariant::Full),
         PolicyKind::Red(RedVariant::Basic),
+        PolicyKind::Fbr,
     ]
 }
 

@@ -10,7 +10,7 @@
 //! evaluation matrix, in both time-advance modes, and with the audit
 //! and epoch recorders attached.
 
-use redcache::{PolicyKind, RedConfig, RedVariant, SimConfig, Simulator};
+use redcache::{FbrConfig, PolicyKind, RedConfig, RedVariant, SimConfig, Simulator};
 use redcache_workloads::{GenConfig, SharedTraces, Workload};
 
 fn figure_policies() -> Vec<PolicyKind> {
@@ -22,12 +22,13 @@ fn figure_policies() -> Vec<PolicyKind> {
         PolicyKind::Red(RedVariant::Basic),
         PolicyKind::Red(RedVariant::InSitu),
         PolicyKind::Red(RedVariant::Full),
+        PolicyKind::Fbr,
     ]
 }
 
 #[test]
 fn forking_matches_scratch_across_the_evaluation_matrix() {
-    // 11 workloads × 7 figure architectures × both time modes. One
+    // 11 workloads × the figure architectures × both time modes. One
     // warmup per workload (under an arbitrary exemplar policy) feeds
     // every fork; the snapshot key must agree across the whole policy
     // family, including across time modes — the warm phase is
@@ -156,5 +157,33 @@ fn policy_knob_overrides_share_the_exemplar_snapshot() {
         let forked = Simulator::new(cfg).resume(&snap);
         let scratch = Simulator::new(cfg).run(traces.clone());
         assert_eq!(forked, scratch, "alpha initial={alpha_initial}");
+    }
+}
+
+#[test]
+fn fbr_knob_overrides_share_the_exemplar_snapshot() {
+    // Same contract for the FBR knobs: `fbr_override` is a pure policy
+    // parameter, so a threshold/associativity sweep forks from one
+    // snapshot — warmed under a *different* policy — and every point
+    // still matches its own scratch run bit-exactly.
+    let gen = GenConfig::tiny();
+    let w = Workload::Lreg;
+    let traces: SharedTraces = w.generate(&gen).into();
+    let snap = Simulator::new(SimConfig::quick(PolicyKind::Alloy)).warm(traces.clone());
+    for (ways, threshold) in [(1usize, 0u32), (4, 2), (8, 4)] {
+        let mut cfg = SimConfig::quick(PolicyKind::Fbr);
+        cfg.policy.fbr_override = Some(FbrConfig {
+            ways,
+            threshold,
+            ..FbrConfig::default()
+        });
+        assert_eq!(
+            Simulator::new(cfg).warm_key(),
+            snap.key(),
+            "fbr ways={ways} threshold={threshold} must be warm-key-blind"
+        );
+        let forked = Simulator::new(cfg).resume(&snap);
+        let scratch = Simulator::new(cfg).run(traces.clone());
+        assert_eq!(forked, scratch, "fbr ways={ways} threshold={threshold}");
     }
 }
