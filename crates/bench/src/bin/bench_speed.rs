@@ -1,8 +1,9 @@
 //! Wall-clock speed benchmark for the event-driven time advance and the
 //! indexed FR-FCFS scheduler kernel.
 //!
-//! Runs the quick-config evaluation matrix (all 11 workloads under the
-//! registry's figure architectures) twice — once with event-driven time advance
+//! Runs the quick-config evaluation matrix (all 14 suite workloads —
+//! the 11 Table II applications plus the server-class scenarios —
+//! under the registry's figure architectures) twice — once with event-driven time advance
 //! (the default) and once cycle-by-cycle (`time_skip = false`, the
 //! behaviour of `REDCACHE_NO_SKIP=1`) — and reports wall-clock,
 //! simulations/second and simulated cycles/second per policy, plus the

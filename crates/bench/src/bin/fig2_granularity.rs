@@ -8,12 +8,13 @@
 use redcache::metrics::geomean;
 use redcache::{PolicyKind, SimConfig};
 use redcache_bench::{assert_clean, experiment_gen_config, print_table, run_suite, save_json};
-use redcache_workloads::Workload;
+use redcache_workloads::registry::paper_workloads;
 
 fn main() {
     let gen = experiment_gen_config();
     let sizes = [64usize, 128, 256];
-    let workloads = Workload::ALL;
+    // The paper subset: its means are quoted against the paper's.
+    let workloads = paper_workloads();
     // One suite per block size (same Alloy architecture).
     let mut per_size = Vec::new();
     for &bs in &sizes {

@@ -1,5 +1,6 @@
 //! **Figure 9** — relative system execution time of every DRAM-cache
-//! architecture, normalised to the Alloy cache, for the 11 workloads.
+//! architecture, normalised to the Alloy cache, for the 11 Table II
+//! workloads (the `eval_matrix` rows).
 //!
 //! Paper's headline numbers: RedCache averages 0.69× Alloy (31 %
 //! faster) and 0.76× Bear (24 %); α contributes more than γ (27 % vs

@@ -8,7 +8,7 @@
 use redcache::profile::{last_access_writeback_fraction, MemLevelStream};
 use redcache_bench::{experiment_gen_config, save_json};
 use redcache_cache::HierarchyConfig;
-use redcache_workloads::Workload;
+use redcache_workloads::registry::paper_workloads;
 
 fn main() {
     let gen = experiment_gen_config();
@@ -16,7 +16,8 @@ fn main() {
     println!("\n== §II.C: fraction of HBM blocks whose last access is a writeback ==\n");
     let mut out = Vec::new();
     let mut weighted = (0.0f64, 0.0f64);
-    for w in Workload::ALL {
+    // The paper subset: the weighted mean is quoted against §II.C.
+    for w in paper_workloads() {
         let traces = w.generate(&gen);
         let stream = MemLevelStream::extract(&traces, hier);
         // Blocks with >= 2 accesses are the cacheable population.

@@ -1,9 +1,30 @@
 //! **Table II** — the workload suite, with the measured properties of
 //! each generator (accesses, footprint, store fraction, mean reuse).
+//! The paper's 11 Table II applications print first; the registry's
+//! server-class scenarios (beyond the paper) follow in their own
+//! section.
 
 use redcache_bench::experiment_gen_config;
 use redcache_cpu::TraceStats;
-use redcache_workloads::Workload;
+use redcache_workloads::registry::paper_workloads;
+use redcache_workloads::{GenConfig, Workload};
+
+fn row(w: Workload, gen: &GenConfig) {
+    let info = w.info();
+    let flat: Vec<_> = w.generate(gen).into_iter().flatten().collect();
+    let s = TraceStats::from_trace(&flat);
+    println!(
+        "{:<6} {:<24} {:<9} {:<22} {:>9} {:>8}MB {:>6.1}% {:>7.1}",
+        info.label,
+        info.name,
+        info.suite,
+        info.input,
+        s.accesses,
+        s.footprint_bytes() >> 20,
+        s.store_fraction() * 100.0,
+        s.accesses as f64 / s.footprint_lines as f64,
+    );
+}
 
 fn main() {
     let gen = experiment_gen_config();
@@ -12,21 +33,13 @@ fn main() {
         "{:<6} {:<24} {:<9} {:<22} {:>9} {:>10} {:>7} {:>7}",
         "label", "benchmark", "suite", "paper input", "accesses", "footprint", "stores", "reuse"
     );
-    for w in Workload::ALL {
-        let info = w.info();
-        let flat: Vec<_> = w.generate(&gen).into_iter().flatten().collect();
-        let s = TraceStats::from_trace(&flat);
-        println!(
-            "{:<6} {:<24} {:<9} {:<22} {:>9} {:>8}MB {:>6.1}% {:>7.1}",
-            info.label,
-            info.name,
-            info.suite,
-            info.input,
-            s.accesses,
-            s.footprint_bytes() >> 20,
-            s.store_fraction() * 100.0,
-            s.accesses as f64 / s.footprint_lines as f64,
-        );
+    let paper = paper_workloads();
+    for &w in &paper {
+        row(w, &gen);
+    }
+    println!("\n-- beyond the paper: server-class scenarios --\n");
+    for &w in Workload::ALL.iter().filter(|w| !paper.contains(w)) {
+        row(w, &gen);
     }
     println!("\n(accesses/footprints are the scaled-preset values; see DESIGN.md section 1)");
 }

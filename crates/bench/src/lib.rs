@@ -297,15 +297,18 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
     report_io::write_json(name, value);
 }
 
-/// The cached Fig. 9/10/11 evaluation matrix: all 11 workloads under
-/// the registry's figure architectures (the paper's 7 plus FBR;
-/// No-HBM and IDEAL provide context elsewhere), shared by the figure
-/// binaries so the expensive matrix runs once.
+/// The cached Fig. 9/10/11 evaluation matrix: the workload registry's
+/// figure rows (currently the paper's 11 Table II applications — the
+/// server-class scenarios are kept out so the figure means stay
+/// comparable to the paper's) under the registry's figure
+/// architectures (the paper's 7 plus FBR; No-HBM and IDEAL provide
+/// context elsewhere), shared by the figure binaries so the expensive
+/// matrix runs once.
 ///
 /// Reports are cached in `results/eval_matrix.json`; delete the file or
 /// set `REDCACHE_RERUN=1` to force re-simulation.
 pub fn eval_matrix() -> (Vec<Workload>, Vec<PolicyKind>, Vec<Vec<RunReport>>) {
-    let workloads = Workload::ALL.to_vec();
+    let workloads = redcache_workloads::registry::figure_workloads();
     let policies = figure_policies();
     let cache = Path::new("results/eval_matrix.json");
     if std::env::var("REDCACHE_RERUN").is_err() {

@@ -4,11 +4,20 @@
 //! redcache-sim [--workload RDX] [--policy redcache] [--budget 50000]
 //!              [--shrink 1] [--block 64] [--preset scaled|quick]
 //!              [--warmup 0.3] [--snapshot-dir DIR] [--json]
+//!              [--import TRACE] [--tenants W1] [--tenants W1,W2[:R1,R2]]
 //! ```
 //!
 //! Policies: whatever the policy registry declares — currently nohbm |
 //! ideal | alloy | bear | red-alpha | red-gamma | red-basic |
 //! red-insitu | redcache | fbr (run `--help` for the live list).
+//!
+//! `--import` replaces the generated workload with an external trace:
+//! a text file of `addr,rw[,tid]` lines, an `.rcti` envelope, or a raw
+//! `.rctr` trace (see `redcache_workloads::import`). `--tenants`
+//! deterministically interleaves several workloads through one DRAM
+//! cache (DESIGN.md §3.15): `--tenants KVZ,HIST` is round-robin,
+//! `--tenants KVZ,HIST:3,1` weights the slot schedule 3:1; the report's
+//! extras then carry per-tenant traffic and hit counters.
 //!
 //! `--snapshot-dir` persists the post-warmup simulator state to disk
 //! (keyed by trace content and warm-relevant configuration, like the
@@ -17,7 +26,8 @@
 //! the `REDCACHE_SNAPSHOT_DIR` environment variable when set.
 
 use redcache::{snapshot_io, PolicyKind, RedVariant, RunReport, SimConfig, Simulator};
-use redcache_workloads::{GenConfig, SharedTraces, Workload};
+use redcache_types::TenantSchedule;
+use redcache_workloads::{import, multitenant, GenConfig, SharedTraces, Workload};
 use std::path::PathBuf;
 
 struct Args {
@@ -30,6 +40,8 @@ struct Args {
     warmup: f64,
     snapshot_dir: Option<PathBuf>,
     json: bool,
+    import: Option<PathBuf>,
+    tenants: Option<(Vec<Workload>, Vec<u8>)>,
 }
 
 fn usage() -> ! {
@@ -37,12 +49,38 @@ fn usage() -> ! {
         "usage: redcache-sim [--workload LABEL] [--policy NAME] [--budget N]\n\
          \x20                  [--shrink N] [--block 64|128|256] [--preset scaled|quick]\n\
          \x20                  [--warmup F] [--snapshot-dir DIR] [--json]\n\
+         \x20                  [--import TRACE(.txt|.rcti|.rctr)]\n\
+         \x20                  [--tenants W1,W2[,..][:R1,R2[,..]]]\n\
          workloads: {}\n\
          policies:  {}",
         Workload::ALL.map(|w| w.info().label).join(" "),
         redcache::policy_registry::known_names().join(" ")
     );
     std::process::exit(2)
+}
+
+/// Parses `--tenants KVZ,HIST` or `--tenants KVZ,HIST:3,1` into the
+/// workload list and its slot-ratio (all ones when omitted).
+fn parse_tenants(spec: &str) -> Option<(Vec<Workload>, Vec<u8>)> {
+    let (wl, ratio) = match spec.split_once(':') {
+        Some((wl, r)) => (wl, Some(r)),
+        None => (spec, None),
+    };
+    let workloads: Vec<Workload> = wl
+        .split(',')
+        .map(|s| s.trim().parse().ok())
+        .collect::<Option<_>>()?;
+    let ratio: Vec<u8> = match ratio {
+        Some(r) => r
+            .split(',')
+            .map(|s| s.trim().parse().ok())
+            .collect::<Option<_>>()?,
+        None => vec![1; workloads.len()],
+    };
+    if workloads.is_empty() || workloads.len() != ratio.len() {
+        return None;
+    }
+    Some((workloads, ratio))
 }
 
 fn parse_args() -> Args {
@@ -56,6 +94,8 @@ fn parse_args() -> Args {
         warmup: 0.3,
         snapshot_dir: std::env::var_os("REDCACHE_SNAPSHOT_DIR").map(PathBuf::from),
         json: false,
+        import: None,
+        tenants: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,9 +112,15 @@ fn parse_args() -> Args {
             "--warmup" => args.warmup = val().parse().unwrap_or_else(|_| usage()),
             "--snapshot-dir" => args.snapshot_dir = Some(PathBuf::from(val())),
             "--json" => args.json = true,
+            "--import" => args.import = Some(PathBuf::from(val())),
+            "--tenants" => args.tenants = Some(parse_tenants(&val()).unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
+    }
+    if args.import.is_some() && args.tenants.is_some() {
+        eprintln!("--import and --tenants are mutually exclusive");
+        usage();
     }
     args
 }
@@ -129,19 +175,49 @@ fn main() {
         gen.threads = cfg.hierarchy.cores;
     }
 
-    let traces: SharedTraces = a.workload.generate(&gen).into();
+    // Resolve the trace source: an imported external trace, a
+    // multi-tenant weave, or the plain generated workload.
+    let (traces, label): (SharedTraces, String) = if let Some(path) = &a.import {
+        let traces = import::load_any(path).unwrap_or_else(|e| {
+            eprintln!("cannot import {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let label = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().to_uppercase())
+            .unwrap_or_else(|| "IMPORT".into());
+        (traces.into(), label)
+    } else if let Some((workloads, ratio)) = &a.tenants {
+        let sched = TenantSchedule::ratio(ratio).unwrap_or_else(|e| {
+            eprintln!("bad tenant schedule: {e}");
+            std::process::exit(2);
+        });
+        cfg.tenancy = Some(sched);
+        let per_tenant: Vec<_> = workloads.iter().map(|w| w.generate(&gen)).collect();
+        let label = workloads
+            .iter()
+            .map(|w| w.info().label)
+            .collect::<Vec<_>>()
+            .join("+");
+        (multitenant::weave(&per_tenant, &sched).into(), label)
+    } else {
+        (
+            a.workload.generate(&gen).into(),
+            a.workload.info().label.to_string(),
+        )
+    };
+
     let sim = Simulator::new(cfg);
     let mut report = match a.snapshot_dir.as_deref() {
         // Warm through the on-disk snapshot cache: re-invocations that
         // only change the policy (or its knobs) skip the warmup phase.
         Some(dir) => {
-            let snap =
-                snapshot_io::warm_cached_in(&sim, a.workload.info().label, &traces, Some(dir));
+            let snap = snapshot_io::warm_cached_in(&sim, &label, &traces, Some(dir));
             sim.resume(&snap)
         }
         None => sim.run(traces),
     };
-    report.workload = Some(a.workload.info().label.to_string());
+    report.workload = Some(label);
     if a.json {
         println!(
             "{}",

@@ -3,7 +3,7 @@
 use redcache_cache::HierarchyConfig;
 use redcache_cpu::CoreConfig;
 use redcache_policies::{PolicyConfig, PolicyKind};
-use redcache_types::{ConfigError, Cycle};
+use redcache_types::{ConfigError, Cycle, TenantSchedule};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one full-system simulation.
@@ -54,6 +54,15 @@ pub struct SimConfig {
     /// `0` forces off) for single-simulation speed runs and A/B checks.
     #[serde(default)]
     pub channel_par: bool,
+    /// Multi-tenant attribution (DESIGN.md §3.15): `Some(schedule)`
+    /// declares that the trace was woven from N tenant streams by
+    /// `redcache_workloads::multitenant::weave` under this schedule, and
+    /// makes the simulator attribute per-tenant statistics by address
+    /// region. `None` (the default in every preset) is the single-tenant
+    /// run: no attribution, no per-tenant series. Purely observational —
+    /// the simulated machine is identical either way.
+    #[serde(default)]
+    pub tenancy: Option<TenantSchedule>,
 }
 
 fn default_time_skip() -> bool {
@@ -76,6 +85,7 @@ impl SimConfig {
             time_skip: true,
             epoch_cycles: None,
             channel_par: false,
+            tenancy: None,
         }
     }
 
@@ -94,6 +104,7 @@ impl SimConfig {
             time_skip: true,
             epoch_cycles: None,
             channel_par: false,
+            tenancy: None,
         }
     }
 
@@ -125,6 +136,9 @@ impl SimConfig {
         }
         if self.epoch_cycles == Some(0) {
             return Err("epoch_cycles must be nonzero when set".into());
+        }
+        if let Some(sched) = &self.tenancy {
+            sched.validate().map_err(|e| e.message().to_string())?;
         }
         Ok(())
     }
@@ -247,6 +261,14 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Declares the trace as a multi-tenant weave under `sched`
+    /// (DESIGN.md §3.15) and turns on per-tenant attribution. `None`
+    /// is the single-tenant default.
+    pub fn tenancy(mut self, sched: Option<TenantSchedule>) -> Self {
+        self.cfg.tenancy = sched;
+        self
+    }
+
     /// Validates and returns the finished configuration.
     ///
     /// # Errors
@@ -313,6 +335,22 @@ mod tests {
             .is_err());
         assert!(SimConfig::builder(PolicyKind::Alloy)
             .max_cycles(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn tenancy_validates_through_the_builder() {
+        let ok = SimConfig::builder(PolicyKind::Alloy)
+            .tenancy(Some(TenantSchedule::round_robin(2)))
+            .build()
+            .unwrap();
+        assert_eq!(ok.tenancy.unwrap().tenants, 2);
+
+        let mut bad = TenantSchedule::round_robin(2);
+        bad.slots[0] = 0;
+        assert!(SimConfig::builder(PolicyKind::Alloy)
+            .tenancy(Some(bad))
             .build()
             .is_err());
     }

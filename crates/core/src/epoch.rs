@@ -21,7 +21,7 @@ use redcache_cache::CacheStats;
 use redcache_dram::DramStats;
 use redcache_energy::CPU_HZ;
 use redcache_policies::{ControllerGauges, ControllerStats, DramCacheController};
-use redcache_types::Cycle;
+use redcache_types::{Cycle, TenantStats};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::io::{self, Write};
@@ -50,6 +50,10 @@ pub struct EpochSample {
     pub l3: CacheStats,
     /// Live gauges at the closing boundary (not deltas).
     pub gauges: ControllerGauges,
+    /// Per-tenant traffic deltas for this epoch (empty unless the run
+    /// declared a [`redcache_types::TenantSchedule`]; DESIGN.md §3.15).
+    #[serde(default)]
+    pub tenants: Vec<TenantStats>,
 }
 
 redcache_types::wire_struct!(EpochSample {
@@ -63,6 +67,7 @@ redcache_types::wire_struct!(EpochSample {
     l2,
     l3,
     gauges,
+    tenants,
 });
 
 impl EpochSample {
@@ -228,6 +233,7 @@ struct Baseline {
     l1: CacheStats,
     l2: CacheStats,
     l3: CacheStats,
+    tenants: Vec<TenantStats>,
 }
 
 redcache_types::wire_struct!(Baseline {
@@ -236,7 +242,8 @@ redcache_types::wire_struct!(Baseline {
     ddr,
     l1,
     l2,
-    l3
+    l3,
+    tenants
 });
 
 /// Closes epochs on a fixed cycle stride, turning the simulator's
@@ -311,10 +318,12 @@ impl EpochRecorder {
         end: Cycle,
         controller: &dyn DramCacheController,
         (l1, l2, l3): (CacheStats, CacheStats, CacheStats),
+        tenants: &[TenantStats],
     ) {
         let ctl = controller.stats();
         let hbm = controller.hbm_stats();
         let ddr = controller.ddr_stats();
+        let zero = TenantStats::default();
         self.epochs.push(EpochSample {
             index: self.epochs.len() as u64,
             start: self.epoch_start,
@@ -326,6 +335,11 @@ impl EpochRecorder {
             l2: l2.delta(&self.prev.l2),
             l3: l3.delta(&self.prev.l3),
             gauges: controller.gauges(),
+            tenants: tenants
+                .iter()
+                .enumerate()
+                .map(|(i, t)| t.delta_since(self.prev.tenants.get(i).unwrap_or(&zero)))
+                .collect(),
         });
         self.prev = Baseline {
             ctl,
@@ -334,6 +348,7 @@ impl EpochRecorder {
             l1,
             l2,
             l3,
+            tenants: tenants.to_vec(),
         };
         self.epoch_start = end + 1;
     }
@@ -347,10 +362,11 @@ impl EpochRecorder {
         now: Cycle,
         controller: &dyn DramCacheController,
         caches: (CacheStats, CacheStats, CacheStats),
+        tenants: &[TenantStats],
     ) {
         while self.next_boundary <= now {
             let end = self.next_boundary;
-            self.close(end, controller, caches);
+            self.close(end, controller, caches, tenants);
             self.next_boundary += self.stride;
         }
     }
@@ -362,9 +378,10 @@ impl EpochRecorder {
         end: Cycle,
         controller: &dyn DramCacheController,
         caches: (CacheStats, CacheStats, CacheStats),
+        tenants: &[TenantStats],
     ) -> TimeSeries {
         if end >= self.epoch_start || self.epochs.is_empty() {
-            self.close(end.max(self.epoch_start), controller, caches);
+            self.close(end.max(self.epoch_start), controller, caches, tenants);
         }
         TimeSeries {
             epoch_cycles: self.stride,
@@ -408,6 +425,7 @@ mod tests {
                 rcu_depth: 7,
                 ..Default::default()
             },
+            tenants: Vec::new(),
         }
     }
 

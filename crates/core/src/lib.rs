@@ -5,7 +5,8 @@
 //! API of the workspace:
 //!
 //! * a 16-core out-of-order front end ([`redcache_cpu`]) running the
-//!   eleven Table II workloads ([`redcache_workloads`]),
+//!   eleven Table II workloads plus the server-class scenario suite
+//!   ([`redcache_workloads`]),
 //! * the Table I three-level SRAM hierarchy ([`redcache_cache`]),
 //! * cycle-level WideIO/HBM and DDR4 DRAM ([`redcache_dram`]),
 //! * the DRAM-cache controllers under study ([`redcache_policies`]):
@@ -48,7 +49,7 @@ pub use sim::{run_workload, warm_count, Simulator, WarmSnapshot};
 // The vocabulary types users need, re-exported at the root.
 pub use redcache_policies::registry as policy_registry;
 pub use redcache_policies::{FbrConfig, PolicyConfig, PolicyKind, RedConfig, RedVariant};
-pub use redcache_types::{ConfigError, Cycle};
+pub use redcache_types::{ConfigError, Cycle, TenantSchedule, TenantStats};
 
 /// One-stop imports for driving simulations: configuration, execution
 /// and reporting types, plus the workload vocabulary.
@@ -66,6 +67,6 @@ pub mod prelude {
     pub use crate::metrics::RunReport;
     pub use crate::sim::{run_workload, Simulator, WarmSnapshot};
     pub use redcache_policies::{FbrConfig, PolicyConfig, PolicyKind, RedConfig, RedVariant};
-    pub use redcache_types::{ConfigError, Cycle};
+    pub use redcache_types::{ConfigError, Cycle, TenantSchedule, TenantStats};
     pub use redcache_workloads::{GenConfig, Workload};
 }

@@ -33,7 +33,8 @@ use redcache_policies::{
     WarmMemoryState,
 };
 use redcache_types::{
-    AccessKind, CoreId, Cycle, LineAddr, MemRequest, ReqId, Restorable, Snapshot, BLOCK_BYTES,
+    tenancy::tenant_of_addr, AccessKind, CoreId, Cycle, LineAddr, MemRequest, ReqId, Restorable,
+    Snapshot, TenantStats, BLOCK_BYTES,
 };
 use redcache_workloads::SharedTraces;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -121,6 +122,7 @@ fn submit_writebacks(
     shadow: &mut ShadowMemory,
     next_req: &mut u64,
     mem_writebacks: &mut u64,
+    tenants: &mut [TenantStats],
     now: Cycle,
 ) {
     for ev in evicted {
@@ -133,6 +135,13 @@ fn submit_writebacks(
             now,
         );
         *mem_writebacks += 1;
+        if !tenants.is_empty() {
+            // The evicted line's region names its owner (DESIGN.md
+            // §3.15) — no side-band metadata survives the hierarchy,
+            // the address does.
+            let t = tenant_of_addr(ev.line.base(BLOCK_BYTES).raw()).min(tenants.len() - 1);
+            tenants[t].mem_writebacks += 1;
+        }
     }
 }
 
@@ -162,6 +171,11 @@ struct Machine {
     next_version: u64,
     mem_reads: u64,
     mem_writebacks: u64,
+    /// Per-tenant attribution counters, sized by `SimConfig::tenancy`
+    /// (empty for single-tenant runs — every attribution site is then a
+    /// skipped branch). Reset with the other statistics at the §IV.A
+    /// boundary; never carried in warm snapshots.
+    tenants: Vec<TenantStats>,
     finish: Vec<Option<Cycle>>,
     done_buf: Vec<CompletedReq>,
     shadow_violations: u64,
@@ -196,6 +210,10 @@ impl Machine {
             next_version: 1,
             mem_reads: 0,
             mem_writebacks: 0,
+            tenants: vec![
+                TenantStats::default();
+                cfg.tenancy.map_or(0, |s| s.tenants as usize)
+            ],
             finish: vec![None; ncores],
             done_buf: Vec::new(),
             shadow_violations: 0,
@@ -276,15 +294,29 @@ impl Machine {
                                 version,
                                 wid,
                             );
+                            let tenant = if self.tenants.is_empty() {
+                                usize::MAX
+                            } else {
+                                let t = tenant_of_addr(access.addr.raw())
+                                    .min(self.tenants.len() - 1);
+                                let ts = &mut self.tenants[t];
+                                ts.accesses += 1;
+                                ts.stores += is_store as u64;
+                                t
+                            };
                             submit_writebacks(
                                 &out.writebacks,
                                 controller,
                                 &mut self.shadow,
                                 &mut self.next_req,
                                 &mut self.mem_writebacks,
+                                &mut self.tenants,
                                 self.now,
                             );
                             if out.hit_level.is_some() {
+                                if tenant != usize::MAX {
+                                    self.tenants[tenant].hits += 1;
+                                }
                                 core.commit_hit(self.now, out.latency);
                             } else if out.must_retry() {
                                 // MSHR full: retry next cycle.
@@ -316,6 +348,9 @@ impl Machine {
                                         self.now,
                                     );
                                     self.mem_reads += 1;
+                                    if tenant != usize::MAX {
+                                        self.tenants[tenant].mem_reads += 1;
+                                    }
                                 }
                             }
                         }
@@ -343,6 +378,7 @@ impl Machine {
                             &mut self.shadow,
                             &mut self.next_req,
                             &mut self.mem_writebacks,
+                            &mut self.tenants,
                             self.now,
                         );
                         for wid in fr.waiters {
@@ -361,6 +397,7 @@ impl Machine {
                                 &mut self.shadow,
                                 &mut self.next_req,
                                 &mut self.mem_writebacks,
+                                &mut self.tenants,
                                 self.now,
                             );
                             if let Some(tok) = info.load_token {
@@ -385,6 +422,7 @@ impl Machine {
                         self.cores.iter().map(|c| c.instructions_dispatched()).sum();
                     controller.reset_stats();
                     self.hierarchy.reset_stats();
+                    self.tenants.fill(TenantStats::default());
                     if let Some(rec) = self.recorder.as_mut() {
                         rec.note_warmup_reset();
                     }
@@ -395,7 +433,7 @@ impl Machine {
             // `now`, so the epoch ending here has seen all of it.
             if let Some(rec) = self.recorder.as_mut() {
                 if self.now >= rec.next_boundary() {
-                    rec.sample(self.now, &*controller, self.hierarchy.stats());
+                    rec.sample(self.now, &*controller, self.hierarchy.stats(), &self.tenants);
                 }
             }
 
@@ -506,9 +544,11 @@ impl Machine {
         let (l1, l2, l3) = self.hierarchy.stats();
         // Close the partial tail epoch at the loop-exit cycle (itself
         // identical in both advance modes).
-        let timeseries = self
-            .recorder
-            .map(|rec| rec.finish(now, controller, (l1, l2, l3)));
+        let timeseries = {
+            let tenants = &self.tenants;
+            self.recorder
+                .map(|rec| rec.finish(now, controller, (l1, l2, l3), tenants))
+        };
         let ctl = controller.stats();
         let hbm = controller.hbm_stats();
         let ddr = controller.ddr_stats();
@@ -538,11 +578,27 @@ impl Machine {
             l2,
             l3,
             energy,
-            extras: controller
-                .extras()
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
+            extras: {
+                let mut extras: Vec<(String, f64)> = controller
+                    .extras()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect();
+                // Per-tenant roll-up (DESIGN.md §3.15): the report
+                // struct stays policy-shaped; tenancy rides the
+                // open-ended extras channel.
+                for (i, t) in self.tenants.iter().enumerate() {
+                    extras.push((format!("tenant{i}_accesses"), t.accesses as f64));
+                    extras.push((format!("tenant{i}_stores"), t.stores as f64));
+                    extras.push((format!("tenant{i}_hits"), t.hits as f64));
+                    extras.push((format!("tenant{i}_mem_reads"), t.mem_reads as f64));
+                    extras.push((
+                        format!("tenant{i}_mem_writebacks"),
+                        t.mem_writebacks as f64,
+                    ));
+                }
+                extras
+            },
             shadow_violations: self.shadow_violations,
             hbm_audit: controller.hbm_audit(),
             ddr_audit: controller.ddr_audit(),
@@ -725,7 +781,8 @@ impl Simulator {
     /// Fingerprint of everything the warmup phase depends on: hierarchy
     /// and core geometry, both DRAM configurations (with the bit-exact
     /// `channel_par` knob normalised out), the warmup fraction, shadow
-    /// checking, epoch stride. Deliberately **excludes** the policy
+    /// checking, epoch stride, and the tenant schedule (a mid-series
+    /// recorder baseline is tenant-shaped). Deliberately **excludes** the policy
     /// kind, its RedCache/FBR overrides and the DRAM-cache block size — the
     /// warmup is policy-independent (DESIGN.md §3.13) — and the
     /// `time_skip` mode, which is exact (§3.7), so both advance modes
@@ -737,7 +794,7 @@ impl Simulator {
         hbm.channel_par = false;
         ddr.channel_par = false;
         let fingerprint = format!(
-            "{:?}|{:?}|{:?}|{:?}|{}|{}|{:?}",
+            "{:?}|{:?}|{:?}|{:?}|{}|{}|{:?}|{:?}",
             self.cfg.hierarchy,
             self.cfg.core,
             hbm,
@@ -745,6 +802,7 @@ impl Simulator {
             self.cfg.warmup_fraction.to_bits(),
             self.cfg.check_shadow,
             self.cfg.epoch_cycles,
+            self.cfg.tenancy,
         );
         redcache_types::wire::fnv1a(fingerprint.as_bytes())
     }

@@ -2,13 +2,19 @@
 //! resolves it into runnable configuration, and what status it reports
 //! back.
 
-use redcache::{PolicyKind, SimConfig};
+use redcache::{PolicyKind, RedConfig, SimConfig};
 use redcache_bench::report_io;
 use redcache_workloads::{synthetic::SyntheticSpec, trace_io, GenConfig, Workload};
 use serde::{Deserialize, Serialize};
 
 /// Hard cap on the [`JobRequest::hold_ms`] debug delay.
 pub const MAX_HOLD_MS: u64 = 10_000;
+
+/// Hard cap on the number of cells one [`SweepRequest`] may expand to.
+/// The grid flows through the bounded job queue cell by cell, so this
+/// only bounds per-request fan-out, not daemon load (admission control
+/// does that).
+pub const MAX_SWEEP_CELLS: usize = 256;
 
 /// A job submission. Everything except `workload` is optional: the
 /// defaults are the scaled evaluation preset under the full RedCache
@@ -55,6 +61,16 @@ pub struct JobRequest {
     /// Override [`SimConfig::audit_timing`].
     #[serde(default)]
     pub audit_timing: Option<bool>,
+    /// Pin the RedCache α threshold's starting point (the knob the
+    /// paper's Figure 10 sweeps). Only meaningful for `red-*` policies;
+    /// rejected otherwise. Flows into `cfg.policy.red_override`, so it
+    /// re-keys the result cache like any other configuration change.
+    #[serde(default)]
+    pub alpha: Option<u32>,
+    /// Pin the RedCache γ threshold's starting point. Same rules as
+    /// [`JobRequest::alpha`].
+    #[serde(default)]
+    pub gamma: Option<u32>,
     /// Parameters for `workload = "synthetic"` (defaults to
     /// [`SyntheticSpec::mixed`]). Rejected for suite workloads.
     #[serde(default)]
@@ -129,7 +145,38 @@ pub fn resolve(req: &JobRequest) -> Result<ResolvedJob, String> {
     if let Some(a) = req.audit_timing {
         b = b.audit_timing(a);
     }
-    let cfg = b.build().map_err(|e| e.to_string())?;
+    let mut cfg = b.build().map_err(|e| e.to_string())?;
+    if req.alpha.is_some() || req.gamma.is_some() {
+        let PolicyKind::Red(variant) = policy else {
+            return Err(format!(
+                "alpha/gamma overrides only apply to red policies, not {policy}"
+            ));
+        };
+        // Start from the variant's canonical knob set (or an override a
+        // preset already installed) and move the initial threshold,
+        // widening the adaptive band when the pin falls outside it.
+        let mut red = cfg
+            .policy
+            .red_override
+            .unwrap_or_else(|| RedConfig::for_variant(variant));
+        if let Some(a) = req.alpha {
+            if a == 0 {
+                return Err("alpha must be positive".into());
+            }
+            red.alpha.initial = a;
+            red.alpha.min = red.alpha.min.min(a);
+            red.alpha.max = red.alpha.max.max(a);
+        }
+        if let Some(g) = req.gamma {
+            if g == 0 {
+                return Err("gamma must be positive".into());
+            }
+            red.gamma.initial = g;
+            red.gamma.min = red.gamma.min.min(g);
+            red.gamma.max = red.gamma.max.max(g);
+        }
+        cfg.policy.red_override = Some(red);
+    }
 
     let mut gen = GenConfig::scaled();
     if let Some(t) = req.threads {
@@ -241,6 +288,115 @@ pub struct JobView {
     pub error: Option<String>,
 }
 
+/// A parameter-sweep submission: one request fanned into a grid of
+/// ordinary jobs, one per `(policy, α, γ)` cell.
+///
+/// Every cell is `base` with the axis values substituted in, so the
+/// whole grid shares traces and warm snapshots through the existing
+/// single-flight stores. An empty axis means "whatever `base` says" —
+/// a single value, so `{}` axes degenerate to a one-cell sweep.
+///
+/// Baseline policies (`alloy`, `bear`, …) have no α/γ knobs; their
+/// cells drop those axes, so a mixed-policy grid produces *identical*
+/// baseline cells on purpose — they coalesce onto one run through the
+/// single-flight cache, which is exactly what the
+/// `sweep_cache_hits_total` metric counts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SweepRequest {
+    /// The template every cell shares (workload, preset, generator
+    /// overrides, …).
+    pub base: JobRequest,
+    /// α axis; empty means the base request's α.
+    #[serde(default)]
+    pub alphas: Vec<u32>,
+    /// γ axis; empty means the base request's γ.
+    #[serde(default)]
+    pub gammas: Vec<u32>,
+    /// Policy axis; empty means the base request's policy.
+    #[serde(default)]
+    pub policies: Vec<String>,
+}
+
+impl SweepRequest {
+    /// Expands the grid into per-cell [`JobRequest`]s, policy-major
+    /// then α then γ.
+    ///
+    /// # Errors
+    ///
+    /// When the cross product exceeds [`MAX_SWEEP_CELLS`]. Per-cell
+    /// validity (unknown policies, zero thresholds, …) is left to
+    /// [`resolve`], which reports the offending cell precisely.
+    pub fn expand(&self) -> Result<Vec<JobRequest>, String> {
+        let policies: Vec<Option<String>> = if self.policies.is_empty() {
+            vec![self.base.policy.clone()]
+        } else {
+            self.policies.iter().cloned().map(Some).collect()
+        };
+        let alphas: Vec<Option<u32>> = if self.alphas.is_empty() {
+            vec![self.base.alpha]
+        } else {
+            self.alphas.iter().copied().map(Some).collect()
+        };
+        let gammas: Vec<Option<u32>> = if self.gammas.is_empty() {
+            vec![self.base.gamma]
+        } else {
+            self.gammas.iter().copied().map(Some).collect()
+        };
+        let cells = policies.len() * alphas.len() * gammas.len();
+        if cells > MAX_SWEEP_CELLS {
+            return Err(format!(
+                "sweep expands to {cells} cells, over the {MAX_SWEEP_CELLS}-cell cap"
+            ));
+        }
+        let mut out = Vec::with_capacity(cells);
+        for policy in &policies {
+            let takes_knobs = matches!(
+                policy.as_deref().unwrap_or("redcache").parse::<PolicyKind>(),
+                Ok(PolicyKind::Red(_))
+            );
+            for &alpha in &alphas {
+                for &gamma in &gammas {
+                    let mut cell = self.base.clone();
+                    cell.policy = policy.clone();
+                    cell.alpha = if takes_knobs { alpha } else { None };
+                    cell.gamma = if takes_knobs { gamma } else { None };
+                    out.push(cell);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The roll-up body returned for a sweep: per-cell job views in grid
+/// order plus aggregate progress.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepView {
+    /// Daemon-local sweep id (same id space as jobs, so `GET
+    /// /jobs/{id}` can fall through to the roll-up).
+    pub id: u64,
+    /// Cells in the grid.
+    pub total: usize,
+    /// Cells completed.
+    pub completed: usize,
+    /// Cells failed.
+    pub failed: usize,
+    /// Cells cancelled.
+    pub canceled: usize,
+    /// Cells whose terminal job was pruned by retention before this
+    /// roll-up was taken (their per-cell view is gone; they still
+    /// count as settled).
+    pub pruned: usize,
+    /// Cells answered without a fresh simulation (result-cache hits
+    /// plus coalesced duplicates) — the sweep's dedupe payoff.
+    pub deduped: usize,
+    /// True once every cell has settled.
+    pub done: bool,
+    /// Per-cell views, grid order, pruned cells omitted.
+    pub jobs: Vec<JobView>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +493,79 @@ mod tests {
         r.threads = Some(64);
         let resolved = resolve(&r).unwrap();
         assert_eq!(resolved.gen.threads, resolved.cfg.hierarchy.cores);
+    }
+
+    #[test]
+    fn alpha_gamma_pin_the_red_override_and_rekey() {
+        let plain = resolve(&req("hist")).unwrap();
+        let mut tuned = req("hist");
+        tuned.alpha = Some(4);
+        tuned.gamma = Some(32);
+        let r = resolve(&tuned).unwrap();
+        let red = r.cfg.policy.red_override.expect("override installed");
+        assert_eq!(red.alpha.initial, 4);
+        assert_eq!(red.gamma.initial, 32);
+        assert_ne!(r.key, plain.key, "knob change must re-key the cache");
+        assert_eq!(r.trace_key, plain.trace_key, "traces are unaffected");
+
+        // A pin outside the adaptive band widens the band to admit it.
+        let mut wide = req("hist");
+        wide.alpha = Some(100);
+        let red = resolve(&wide).unwrap().cfg.policy.red_override.unwrap();
+        assert_eq!(red.alpha.initial, 100);
+        assert!(red.alpha.max >= 100);
+
+        // Baselines have no α/γ; zero thresholds are nonsense.
+        let mut alloy = req("hist");
+        alloy.policy = Some("alloy".into());
+        alloy.alpha = Some(2);
+        assert!(resolve(&alloy).is_err());
+        let mut zero = req("hist");
+        zero.gamma = Some(0);
+        assert!(resolve(&zero).is_err());
+    }
+
+    #[test]
+    fn sweep_expands_the_grid_policy_major() {
+        let sweep = SweepRequest {
+            base: req("hist"),
+            alphas: vec![1, 2],
+            gammas: vec![8],
+            policies: vec!["redcache".into(), "alloy".into()],
+        };
+        let cells = sweep.expand().unwrap();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].policy.as_deref(), Some("redcache"));
+        assert_eq!((cells[0].alpha, cells[0].gamma), (Some(1), Some(8)));
+        assert_eq!((cells[1].alpha, cells[1].gamma), (Some(2), Some(8)));
+        // Baseline cells drop the knob axes: the two alloy cells are
+        // identical and will dedupe through the single-flight cache.
+        for cell in &cells[2..] {
+            assert_eq!(cell.policy.as_deref(), Some("alloy"));
+            assert_eq!((cell.alpha, cell.gamma), (None, None));
+        }
+        assert_eq!(
+            resolve(&cells[2]).unwrap().key,
+            resolve(&cells[3]).unwrap().key
+        );
+
+        // Empty axes degenerate to the base value: a one-cell sweep.
+        let trivial = SweepRequest {
+            base: req("hist"),
+            ..SweepRequest::default()
+        };
+        assert_eq!(trivial.expand().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn sweep_rejects_oversized_grids() {
+        let sweep = SweepRequest {
+            base: req("hist"),
+            alphas: (1..=32).collect(),
+            gammas: (1..=32).collect(),
+            policies: vec![],
+        };
+        assert!(sweep.expand().is_err(), "1024 cells must exceed the cap");
     }
 
     #[test]

@@ -3,14 +3,18 @@
 //! ```text
 //! redcache-serve [--addr HOST:PORT] submit [--workload W] [--policy P]
 //!                [--preset NAME] [--seed N] [--budget N] [--shrink N]
-//!                [--threads N] [--epoch-cycles N] [--hold-ms N] [--wait]
+//!                [--threads N] [--epoch-cycles N] [--alpha N] [--gamma N]
+//!                [--hold-ms N] [--wait]
+//! redcache-serve [--addr HOST:PORT] sweep [submit flags]
+//!                [--alphas 1,2,4] [--gammas 8,16] [--policies redcache,alloy]
+//!                [--wait]
 //! redcache-serve [--addr HOST:PORT] status <id> | report <id>
 //!                | timeseries <id> | cancel <id> | wait <id>
 //!                | list | metrics | health | shutdown
 //! ```
 
 use redcache_serve::client::HttpResult;
-use redcache_serve::{Client, JobRequest, JobView};
+use redcache_serve::{Client, JobRequest, JobView, SweepRequest, SweepView};
 use std::time::Duration;
 
 fn usage() -> ! {
@@ -19,7 +23,10 @@ fn usage() -> ! {
          commands:\n\
          \x20 submit [--workload W] [--policy P] [--preset NAME] [--seed N]\n\
          \x20        [--budget N] [--shrink N] [--threads N] [--epoch-cycles N]\n\
+         \x20        [--alpha N] [--gamma N]\n\
          \x20        [--hold-ms N] [--wait]     submit a job (prints its JobView)\n\
+         \x20 sweep  [submit flags] [--alphas A,B,..] [--gammas A,B,..]\n\
+         \x20        [--policies P,Q,..] [--wait] fan one grid into deduped jobs\n\
          \x20 status <id>                       one job's status\n\
          \x20 report <id>                       the versioned result envelope\n\
          \x20 timeseries <id>                   epoch series as JSON Lines\n\
@@ -45,32 +52,67 @@ fn id_arg(it: &mut impl Iterator<Item = String>) -> u64 {
         .unwrap_or_else(|| usage())
 }
 
-fn submit(client: &Client, mut it: impl Iterator<Item = String>) -> ! {
-    let mut job = JobRequest {
-        workload: "hist".into(),
-        ..JobRequest::default()
+/// Parsed job-template flags shared by `submit` and `sweep`, plus the
+/// sweep's own axis flags.
+struct Parsed {
+    job: JobRequest,
+    alphas: Vec<u32>,
+    gammas: Vec<u32>,
+    policies: Vec<String>,
+    wait: bool,
+}
+
+fn parse_list<T: std::str::FromStr>(spec: &str) -> Vec<T> {
+    spec.split(',')
+        .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+        .collect()
+}
+
+fn parse_job_flags(mut it: impl Iterator<Item = String>) -> Parsed {
+    let mut p = Parsed {
+        job: JobRequest {
+            workload: "hist".into(),
+            ..JobRequest::default()
+        },
+        alphas: Vec::new(),
+        gammas: Vec::new(),
+        policies: Vec::new(),
+        wait: false,
     };
-    let mut wait = false;
     while let Some(flag) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
-            "--workload" | "-w" => job.workload = val(),
-            "--policy" | "-p" => job.policy = Some(val()),
-            "--preset" => job.preset = Some(val()),
-            "--seed" => job.seed = Some(val().parse().unwrap_or_else(|_| usage())),
-            "--budget" | "-b" => job.budget = Some(val().parse().unwrap_or_else(|_| usage())),
-            "--shrink" | "-s" => job.shrink = Some(val().parse().unwrap_or_else(|_| usage())),
-            "--threads" => job.threads = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--workload" | "-w" => p.job.workload = val(),
+            "--policy" | "-p" => p.job.policy = Some(val()),
+            "--preset" => p.job.preset = Some(val()),
+            "--seed" => p.job.seed = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--budget" | "-b" => p.job.budget = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--shrink" | "-s" => p.job.shrink = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--threads" => p.job.threads = Some(val().parse().unwrap_or_else(|_| usage())),
             "--epoch-cycles" => {
-                job.epoch_cycles = Some(val().parse().unwrap_or_else(|_| usage()));
+                p.job.epoch_cycles = Some(val().parse().unwrap_or_else(|_| usage()));
             }
-            "--hold-ms" => job.hold_ms = Some(val().parse().unwrap_or_else(|_| usage())),
-            "--wait" => wait = true,
+            "--alpha" => p.job.alpha = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--gamma" => p.job.gamma = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--hold-ms" => p.job.hold_ms = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--alphas" => p.alphas = parse_list(&val()),
+            "--gammas" => p.gammas = parse_list(&val()),
+            "--policies" => p.policies = parse_list(&val()),
+            "--wait" => p.wait = true,
             _ => usage(),
         }
     }
-    let res = client.submit(&job).unwrap_or_else(die);
-    if res.status != 202 || !wait {
+    p
+}
+
+fn submit(client: &Client, it: impl Iterator<Item = String>) -> ! {
+    let p = parse_job_flags(it);
+    if !(p.alphas.is_empty() && p.gammas.is_empty() && p.policies.is_empty()) {
+        eprintln!("--alphas/--gammas/--policies are sweep flags; use `sweep`");
+        usage();
+    }
+    let res = client.submit(&p.job).unwrap_or_else(die);
+    if res.status != 202 || !p.wait {
         finish(res);
     }
     let view: JobView = res.json().unwrap_or_else(|e| {
@@ -79,6 +121,32 @@ fn submit(client: &Client, mut it: impl Iterator<Item = String>) -> ! {
     });
     let done = client
         .wait(view.id, Duration::from_secs(600))
+        .unwrap_or_else(die);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&done).expect("view serializes")
+    );
+    std::process::exit(0)
+}
+
+fn sweep(client: &Client, it: impl Iterator<Item = String>) -> ! {
+    let p = parse_job_flags(it);
+    let req = SweepRequest {
+        base: p.job,
+        alphas: p.alphas,
+        gammas: p.gammas,
+        policies: p.policies,
+    };
+    let res = client.submit_sweep(&req).unwrap_or_else(die);
+    if res.status != 202 || !p.wait {
+        finish(res);
+    }
+    let view: SweepView = res.json().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1)
+    });
+    let done = client
+        .wait_sweep(view.id, Duration::from_secs(3600))
         .unwrap_or_else(die);
     println!(
         "{}",
@@ -103,6 +171,7 @@ fn main() {
     let Some(cmd) = it.next() else { usage() };
     match cmd.as_str() {
         "submit" => submit(&client, it),
+        "sweep" => sweep(&client, it),
         "status" => finish(client.job(id_arg(&mut it)).unwrap_or_else(die)),
         "report" => finish(client.report(id_arg(&mut it)).unwrap_or_else(die)),
         "timeseries" => finish(client.timeseries(id_arg(&mut it)).unwrap_or_else(die)),

@@ -8,7 +8,7 @@
 //! submission is keyed by content, so a replayed `POST /jobs` coalesces
 //! onto the same job.
 
-use crate::api::{JobRequest, JobView};
+use crate::api::{JobRequest, JobView, SweepRequest, SweepView};
 use serde::de::DeserializeOwned;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -261,6 +261,61 @@ impl Client {
     /// I/O failures only.
     pub fn cancel(&self, id: u64) -> io::Result<HttpResult> {
         self.request("DELETE", &format!("/jobs/{id}"), None)
+    }
+
+    /// `POST /sweeps`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures only; inspect `status` for 4xx/5xx.
+    pub fn submit_sweep(&self, sweep: &SweepRequest) -> io::Result<HttpResult> {
+        let body = serde_json::to_vec(sweep).expect("sweep request serializes");
+        self.request("POST", "/sweeps", Some(&body))
+    }
+
+    /// `GET /sweeps/{id}`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures only.
+    pub fn sweep(&self, id: u64) -> io::Result<HttpResult> {
+        self.request("GET", &format!("/sweeps/{id}"), None)
+    }
+
+    /// Polls `GET /sweeps/{id}` until every cell settles or `timeout`
+    /// elapses, riding one keep-alive connection.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a non-200 status, or `TimedOut` if cells are
+    /// still live past the deadline.
+    pub fn wait_sweep(&self, id: u64, timeout: Duration) -> io::Result<SweepView> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let res = self.sweep(id)?;
+            if res.status != 200 {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("status {} for sweep {id}: {}", res.status, res.text()),
+                ));
+            }
+            let view: SweepView = res
+                .json()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            if view.done {
+                return Ok(view);
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "sweep {id} still has {} unsettled cells after {timeout:?}",
+                        view.total - (view.completed + view.failed + view.canceled + view.pruned)
+                    ),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(15));
+        }
     }
 
     /// `GET /metrics`.

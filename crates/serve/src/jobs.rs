@@ -43,7 +43,7 @@
 //! the shard split changes which mutex provides the ordering, not the
 //! ordering itself.
 
-use crate::api::{JobStatus, JobView, ResolvedJob, TraceSource};
+use crate::api::{JobStatus, JobView, ResolvedJob, SweepView, TraceSource};
 use crate::metrics::{bump, Metrics};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
@@ -60,6 +60,11 @@ use std::time::Instant;
 /// and hashed content keys both spread evenly, while keeping the
 /// retention sweeps' all-shard scans cheap.
 pub const SHARD_COUNT: usize = 16;
+
+/// Sweep records kept resident; the oldest beyond this are pruned
+/// (their ids then answer `404`, like pruned terminal jobs). A record
+/// is just the child-id list, so the cap is generous.
+const MAX_SWEEPS: usize = 1024;
 
 /// A `u64`-keyed hash map split into independently locked shards.
 struct Shards<V> {
@@ -233,6 +238,10 @@ pub struct Daemon {
     /// Warm snapshots shared across policy variants, stamped for LRU
     /// eviction (stamp, cell) and keyed by [`snap_store_key`].
     snapshots: Shards<(u64, SnapCell)>,
+    /// Sweep roll-up records: sweep id → child job ids in grid order.
+    /// Sweeps share the job id space (one allocator), so an id names
+    /// either a job or a sweep, never both. Taken with no shard held.
+    sweeps: Mutex<HashMap<u64, Vec<u64>>>,
     tx: Mutex<Option<Sender<WorkItem>>>,
     next_id: AtomicU64,
     /// Monotonic stamp source for the LRU eviction orders.
@@ -268,6 +277,7 @@ impl Daemon {
             cache: Shards::new(),
             traces: Shards::new(),
             snapshots: Shards::new(),
+            sweeps: Mutex::new(HashMap::new()),
             tx: Mutex::new(Some(tx)),
             next_id: AtomicU64::new(1),
             lru_clock: AtomicU64::new(0),
@@ -585,6 +595,84 @@ impl Daemon {
             self.prune_terminal_jobs();
         }
         Submitted::Accepted(view)
+    }
+
+    /// Submits a resolved sweep: every cell goes through [`Self::submit`]
+    /// — and therefore through the same admission control and
+    /// single-flight dedupe as an individual job — then a sweep record
+    /// ties the accepted cell ids together for the roll-up.
+    ///
+    /// Backpressure mid-grid returns `Busy` without creating a record;
+    /// cells already accepted stay queued as ordinary jobs. That makes
+    /// a client retry idempotent: resubmitting the same sweep coalesces
+    /// the already-accepted cells onto their in-flight runs (counted in
+    /// `sweep_cache_hits_total`) and only the refused tail enqueues
+    /// fresh work.
+    pub fn submit_sweep(&self, cells: Vec<ResolvedJob>) -> Result<SweepView, u32> {
+        let mut children = Vec::with_capacity(cells.len());
+        for resolved in cells {
+            match self.submit(resolved) {
+                Submitted::Accepted(view) => {
+                    bump(&self.metrics.sweep_cells);
+                    if view.cached || view.coalesced {
+                        bump(&self.metrics.sweep_cache_hits);
+                    }
+                    children.push(view.id);
+                }
+                Submitted::Busy { retry_after_s } => return Err(retry_after_s),
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut sweeps = self.sweeps.lock();
+            sweeps.insert(id, children);
+            // Bounded like every other state map: prune the oldest
+            // records beyond the cap (ids are monotonic, so smallest
+            // id = oldest sweep).
+            while sweeps.len() > MAX_SWEEPS {
+                let oldest = *sweeps.keys().min().expect("nonempty over cap");
+                sweeps.remove(&oldest);
+            }
+        }
+        Ok(self.sweep_view(id).expect("freshly inserted sweep"))
+    }
+
+    /// One sweep's roll-up, computed from the live child views.
+    pub fn sweep_view(&self, id: u64) -> Option<SweepView> {
+        let children = self.sweeps.lock().get(&id)?.clone();
+        let mut view = SweepView {
+            id,
+            total: children.len(),
+            completed: 0,
+            failed: 0,
+            canceled: 0,
+            pruned: 0,
+            deduped: 0,
+            done: false,
+            jobs: Vec::with_capacity(children.len()),
+        };
+        for jid in children {
+            match self.job_view(jid) {
+                Some(j) => {
+                    match j.status {
+                        JobStatus::Completed => view.completed += 1,
+                        JobStatus::Failed => view.failed += 1,
+                        JobStatus::Canceled => view.canceled += 1,
+                        JobStatus::Queued | JobStatus::Running => {}
+                    }
+                    if j.cached || j.coalesced {
+                        view.deduped += 1;
+                    }
+                    view.jobs.push(j);
+                }
+                // Retention pruned the terminal child; it still counts
+                // as settled.
+                None => view.pruned += 1,
+            }
+        }
+        view.done =
+            view.completed + view.failed + view.canceled + view.pruned == view.total;
+        Some(view)
     }
 
     /// One job's status.
@@ -1134,6 +1222,84 @@ mod tests {
         let mut req = tiny_request("hist");
         req.seed = Some(4);
         assert!(accepted(d.submit(resolve(&req).unwrap())).cached);
+    }
+
+    #[test]
+    fn sweep_fans_out_through_single_flight_and_rolls_up() {
+        let _serial = SERIAL.lock();
+        let (d, rx) = Daemon::new(1, 16, None);
+        // 2 red α cells + 2 identical baseline cells (alloy ignores the
+        // α axis): 4 cells, 3 distinct keys, so one cell must dedupe.
+        let sweep = crate::api::SweepRequest {
+            base: tiny_request("hist"),
+            alphas: vec![1, 2],
+            gammas: vec![],
+            policies: vec!["redcache".into(), "alloy".into()],
+        };
+        let cells: Vec<_> = sweep
+            .expand()
+            .unwrap()
+            .iter()
+            .map(|c| resolve(c).unwrap())
+            .collect();
+        assert_eq!(cells.len(), 4);
+        let view = d.submit_sweep(cells).unwrap();
+        assert_eq!(view.total, 4);
+        assert!(!view.done);
+        assert_eq!(view.deduped, 1, "duplicate baseline cell must coalesce");
+        drain_queue(&d, &rx);
+
+        let done = d.sweep_view(view.id).unwrap();
+        assert!(done.done);
+        assert_eq!(done.completed, 4);
+        assert_eq!(done.jobs.len(), 4);
+        assert_eq!(d.metrics.sims.load(Ordering::SeqCst), 3);
+        assert_eq!(d.metrics.sweep_cells.load(Ordering::SeqCst), 4);
+        assert_eq!(d.metrics.sweep_cache_hits.load(Ordering::SeqCst), 1);
+        // The duplicate alloy cells share one Arc'd report.
+        let alloy = &done.jobs[2..];
+        assert!(Arc::ptr_eq(
+            &d.job_report(alloy[0].id).unwrap(),
+            &d.job_report(alloy[1].id).unwrap()
+        ));
+        // The sweep id is not a job id; the record answers instead.
+        assert!(d.job_view(view.id).is_none());
+        assert!(d.sweep_view(done.jobs[0].id).is_none());
+
+        // A resubmission of the same grid is a pure cache hit per cell.
+        let cells: Vec<_> = sweep
+            .expand()
+            .unwrap()
+            .iter()
+            .map(|c| resolve(c).unwrap())
+            .collect();
+        let again = d.submit_sweep(cells).unwrap();
+        assert!(again.done);
+        assert_eq!(again.deduped, 4);
+        assert_eq!(d.metrics.sims.load(Ordering::SeqCst), 3, "no new sims");
+        assert_eq!(d.metrics.sweep_cache_hits.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn sweep_backpressure_returns_busy_without_a_record() {
+        let _serial = SERIAL.lock();
+        let (d, rx) = Daemon::new(1, 2, None);
+        // 5 distinct cells through a 2-deep queue: the grid must hit
+        // admission control mid-fan-out.
+        let mut cells = Vec::new();
+        for seed in 0..5u64 {
+            let mut req = tiny_request("is");
+            req.seed = Some(seed);
+            cells.push(resolve(&req).unwrap());
+        }
+        let sweeps_before = d.sweeps.lock().len();
+        let retry = d.submit_sweep(cells).unwrap_err();
+        assert!(retry >= 1);
+        assert_eq!(d.sweeps.lock().len(), sweeps_before, "no record on Busy");
+        // The accepted prefix still completes as ordinary jobs.
+        drain_queue(&d, &rx);
+        assert_eq!(d.metrics.sims.load(Ordering::SeqCst), 2);
+        assert_eq!(d.metrics.sweep_cells.load(Ordering::SeqCst), 2);
     }
 
     #[test]

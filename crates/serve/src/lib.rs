@@ -23,6 +23,8 @@
 //! | `GET /jobs/{id}/report`   | The versioned `report_io` envelope of a completed job |
 //! | `GET /jobs/{id}/timeseries` | The job's epoch series as JSON Lines              |
 //! | `DELETE /jobs/{id}`       | Cancel a still-queued job                           |
+//! | `POST /sweeps`            | Submit a [`api::SweepRequest`]: one α/γ/policy grid fanned into per-cell jobs, deduped by the single-flight cache |
+//! | `GET /sweeps/{id}`        | A sweep's roll-up (`GET /jobs/{id}` on a sweep id answers the same) |
 //! | `GET /metrics`            | Prometheus text format                              |
 //! | `GET /healthz`            | Liveness + drain state                              |
 //! | `POST /shutdown`          | Begin graceful drain (what SIGTERM does)            |
@@ -46,7 +48,7 @@ pub mod poll;
 pub mod server;
 pub mod signals;
 
-pub use api::{JobRequest, JobStatus, JobView};
+pub use api::{JobRequest, JobStatus, JobView, SweepRequest, SweepView};
 pub use client::Client;
 pub use jobs::{Daemon, Retention, Submitted};
 pub use server::{Engine, ServeOptions, Server};

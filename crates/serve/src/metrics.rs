@@ -52,6 +52,11 @@ pub struct Metrics {
     pub jobs_pruned: AtomicU64,
     /// Simulations actually executed (single-flight leaders).
     pub sims: AtomicU64,
+    /// Cells fanned out by accepted sweep submissions.
+    pub sweep_cells: AtomicU64,
+    /// Sweep cells answered without a fresh simulation (result-cache
+    /// hit or coalesced onto an in-flight identical run).
+    pub sweep_cache_hits: AtomicU64,
     /// Simulations that started from an already-warm shared snapshot
     /// (identical trace set and warm-relevant config, different
     /// policy/knobs) instead of re-running the warmup phase.
@@ -96,6 +101,8 @@ impl Metrics {
             cache_evictions: AtomicU64::new(0),
             jobs_pruned: AtomicU64::new(0),
             sims: AtomicU64::new(0),
+            sweep_cells: AtomicU64::new(0),
+            sweep_cache_hits: AtomicU64::new(0),
             snapshot_hits: AtomicU64::new(0),
             sim_micros: AtomicU64::new(0),
             gen_micros: AtomicU64::new(0),
@@ -195,6 +202,18 @@ impl Metrics {
             "counter",
             "Simulations actually executed.",
             format!("sims_total {sims}"),
+        );
+        metric(
+            "sweep_cells_total",
+            "counter",
+            "Cells fanned out by accepted sweep submissions.",
+            format!("sweep_cells_total {}", get(&self.sweep_cells)),
+        );
+        metric(
+            "sweep_cache_hits_total",
+            "counter",
+            "Sweep cells answered without a fresh simulation (cache hit or coalesced).",
+            format!("sweep_cache_hits_total {}", get(&self.sweep_cache_hits)),
         );
         metric(
             "snapshot_hits_total",
@@ -362,6 +381,8 @@ mod tests {
             "cache_evictions_total",
             "jobs_pruned_total",
             "sims_total",
+            "sweep_cells_total",
+            "sweep_cache_hits_total",
             "snapshot_hits_total",
             "sim_seconds_total",
             "gen_seconds_total",

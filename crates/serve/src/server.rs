@@ -39,7 +39,7 @@
 //! 4. [`Server::run`] joins the front end (so the `/shutdown` caller
 //!    always receives its `202`) and every worker, then returns.
 
-use crate::api::{resolve, JobRequest};
+use crate::api::{resolve, JobRequest, SweepRequest};
 use crate::http::{read_request, Request, Response};
 use crate::jobs::{self, Daemon, Submitted};
 use crate::metrics::bump;
@@ -799,6 +799,8 @@ fn route(daemon: &Arc<Daemon>, req: &Request) -> Response {
         ("GET", ["jobs", id, "report"]) => with_id(id, |id| job_report(daemon, id)),
         ("GET", ["jobs", id, "timeseries"]) => with_id(id, |id| job_timeseries(daemon, id)),
         ("DELETE", ["jobs", id]) => with_id(id, |id| cancel(daemon, id)),
+        ("POST", ["sweeps"]) => submit_sweep(daemon, &req.body),
+        ("GET", ["sweeps", id]) => with_id(id, |id| sweep_status(daemon, id)),
         ("GET", ["metrics"]) => Response::raw(
             200,
             "text/plain; version=0.0.4",
@@ -845,10 +847,47 @@ fn submit(daemon: &Arc<Daemon>, body: &[u8]) -> Response {
     }
 }
 
+/// `POST /sweeps`: expand the grid, resolve every cell (naming the
+/// offending cell on failure), then fan out through the daemon.
+fn submit_sweep(daemon: &Arc<Daemon>, body: &[u8]) -> Response {
+    let req: SweepRequest = match serde_json::from_slice(body) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, &format!("invalid sweep request: {e}")),
+    };
+    let cells = match req.expand() {
+        Ok(c) => c,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let mut resolved = Vec::with_capacity(cells.len());
+    for (i, cell) in cells.iter().enumerate() {
+        match resolve(cell) {
+            Ok(r) => resolved.push(r),
+            Err(msg) => return Response::error(400, &format!("sweep cell {i}: {msg}")),
+        }
+    }
+    match daemon.submit_sweep(resolved) {
+        Ok(view) => Response::json(202, &view),
+        Err(retry_after_s) => Response::error(503, "queue full or draining; retry later")
+            .with_header("retry-after", &retry_after_s.to_string()),
+    }
+}
+
+fn sweep_status(daemon: &Arc<Daemon>, id: u64) -> Response {
+    match daemon.sweep_view(id) {
+        Some(view) => Response::json(200, &view),
+        None => Response::error(404, "no such sweep"),
+    }
+}
+
 fn job_status(daemon: &Arc<Daemon>, id: u64) -> Response {
     match daemon.job_view(id) {
         Some(view) => Response::json(200, &view),
-        None => Response::error(404, "no such job"),
+        // Sweeps share the job id space; `GET /jobs/{id}` on a sweep id
+        // falls through to its roll-up so clients can poll one URL.
+        None => match daemon.sweep_view(id) {
+            Some(view) => Response::json(200, &view),
+            None => Response::error(404, "no such job"),
+        },
     }
 }
 

@@ -12,7 +12,9 @@
 //! one mutex and resets the flag around itself.
 
 use redcache_serve::api::JobStatus;
-use redcache_serve::{signals, Client, JobRequest, JobView, ServeOptions, Server, Submitted};
+use redcache_serve::{
+    signals, Client, JobRequest, JobView, ServeOptions, Server, Submitted, SweepRequest, SweepView,
+};
 use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -256,6 +258,141 @@ fn sigterm_drains_running_work_and_persists_results() {
     assert!(matches!(h.daemon.submit(resolved), Submitted::Busy { .. }));
 
     let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn sweep_fans_out_dedupes_and_rolls_up_over_http() {
+    let _g = serial();
+    let h = start(2, 16, None);
+
+    // A 3-policy × 3-α grid over one tiny workload. The α axis only
+    // exists for the red policies: the three alloy cells are identical
+    // by construction, so single-flight dedupe must collapse them —
+    // 9 cells, 7 distinct configurations.
+    let sweep = SweepRequest {
+        base: tiny_job(42, 0),
+        alphas: vec![1, 2, 4],
+        gammas: vec![],
+        policies: vec!["redcache".into(), "red-alpha".into(), "alloy".into()],
+    };
+    let res = h.client.submit_sweep(&sweep).unwrap();
+    assert_eq!(res.status, 202, "unexpected response: {}", res.text());
+    let view: SweepView = res.json().expect("sweep view");
+    assert_eq!(view.total, 9);
+    assert!(view.deduped >= 2, "duplicate baseline cells must coalesce");
+
+    let done = h.client.wait_sweep(view.id, Duration::from_secs(60)).unwrap();
+    assert!(done.done);
+    assert_eq!(done.completed, 9);
+    assert_eq!(done.failed, 0);
+    assert_eq!(done.jobs.len(), 9);
+
+    // `GET /jobs/{id}` on the sweep id falls through to the roll-up.
+    let via_jobs = h.client.job(view.id).unwrap();
+    assert_eq!(via_jobs.status, 200);
+    let alias: SweepView = via_jobs.json().expect("roll-up via /jobs");
+    assert_eq!(alias.total, 9);
+
+    // Dedupe is pinned by the daemon's own sim counter: 7 distinct
+    // cells → at most 7 simulations (fewer if identicals coalesced
+    // while in flight), and the sweep counters account for all 9.
+    let text = h.client.metrics().unwrap().text();
+    assert_eq!(metric(&text, "sweep_cells_total"), 9.0);
+    assert!(
+        metric(&text, "sims_total") <= 7.0,
+        "identical sweep cells were simulated separately:\n{text}"
+    );
+    assert!(metric(&text, "sweep_cache_hits_total") >= 2.0);
+    assert_metrics_reconcile(&text);
+
+    // The identical alloy cells serve bit-identical report envelopes.
+    let alloy: Vec<&JobView> = done.jobs.iter().filter(|j| j.policy == "Alloy").collect();
+    assert_eq!(alloy.len(), 3);
+    let first = h.client.report(alloy[0].id).unwrap();
+    assert_eq!(first.status, 200);
+    for j in &alloy[1..] {
+        assert_eq!(h.client.report(j.id).unwrap().body, first.body);
+    }
+
+    // Resubmitting the identical grid costs zero new simulations.
+    let sims_before = metric(&text, "sims_total");
+    let res = h.client.submit_sweep(&sweep).unwrap();
+    assert_eq!(res.status, 202);
+    let again: SweepView = res.json().expect("sweep view");
+    assert!(again.done, "a fully cached sweep settles at submission");
+    assert_eq!(again.deduped, 9);
+    let text = h.client.metrics().unwrap().text();
+    assert_eq!(metric(&text, "sims_total"), sims_before);
+
+    h.client.shutdown().unwrap();
+    h.thread.join().unwrap().unwrap();
+    signals::reset();
+}
+
+#[test]
+fn oversized_or_overflowing_sweeps_are_refused() {
+    let _g = serial();
+    let h = start(1, 1, None);
+
+    // Over the cell cap: a 400, not a half-submitted grid.
+    let huge = SweepRequest {
+        base: tiny_job(50, 0),
+        alphas: (1..=32).collect(),
+        gammas: (1..=32).collect(),
+        policies: vec![],
+    };
+    assert_eq!(h.client.submit_sweep(&huge).unwrap().status, 400);
+
+    // A bad cell is named precisely.
+    let bad = SweepRequest {
+        base: tiny_job(51, 0),
+        alphas: vec![1],
+        gammas: vec![],
+        policies: vec!["redcache".into(), "alchemy".into()],
+    };
+    let res = h.client.submit_sweep(&bad).unwrap();
+    assert_eq!(res.status, 400);
+    assert!(res.text().contains("sweep cell 1"), "got: {}", res.text());
+
+    // Backpressure: occupy the single worker and single queue slot,
+    // then a 3×3 grid of distinct cells must hit 503 + Retry-After.
+    let blocker = submit_ok(&h.client, &tiny_job(52, 2_000));
+    wait_for_running(&h.client, blocker.id);
+    submit_ok(&h.client, &tiny_job(53, 0));
+    let grid = SweepRequest {
+        base: tiny_job(54, 0),
+        alphas: vec![1, 2, 4],
+        gammas: vec![8, 16, 32],
+        policies: vec![],
+    };
+    let res = h.client.submit_sweep(&grid).unwrap();
+    assert_eq!(res.status, 503, "expected backpressure: {}", res.text());
+    let retry: u32 = res
+        .header("retry-after")
+        .expect("503 must carry retry-after")
+        .parse()
+        .expect("retry-after is seconds");
+    assert!(retry >= 1);
+    // No roll-up record was created for the refused sweep; the daemon
+    // keeps serving.
+    assert_eq!(h.client.healthz().unwrap().status, 200);
+
+    // Everything accepted still completes and the books balance.
+    h.client.wait(blocker.id, Duration::from_secs(30)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let text = h.client.metrics().unwrap().text();
+        if metric(&text, "queue_depth") == 0.0 && metric(&text, "running") == 0.0 {
+            assert_metrics_reconcile(&text);
+            break;
+        }
+        assert!(Instant::now() < deadline, "queue never drained");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    h.client.shutdown().unwrap();
+    h.thread.join().unwrap().unwrap();
+    signals::reset();
 }
 
 #[test]

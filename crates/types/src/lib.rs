@@ -26,10 +26,12 @@ pub mod jobs;
 pub mod req;
 pub mod snapshot;
 pub mod stats;
+pub mod tenancy;
 pub mod wire;
 
 pub use addr::{LineAddr, PageId, PhysAddr, BLOCK_BYTES, PAGE_BYTES};
 pub use config::ConfigError;
+pub use tenancy::{TenantSchedule, TenantStats, MAX_TENANTS};
 pub use req::{AccessKind, CoreId, MemOp, MemRequest, ReqId};
 pub use snapshot::{Restorable, Snapshot};
 pub use stats::{Counter, EwmAverage, Histogram, SatCounter};

@@ -1,0 +1,247 @@
+//! Multi-tenant interleaving vocabulary (DESIGN.md §3.15).
+//!
+//! A [`TenantSchedule`] describes how up to [`MAX_TENANTS`] scenario
+//! streams share one DRAM cache: a repeating round of slots, each slot
+//! owned by one tenant (round-robin is the all-ones special case).
+//! The schedule lives in `SimConfig` (it is `Copy` and
+//! serde-defaulted, like every other simulation knob) and is consumed
+//! twice with one definition: the workload weaver interleaves tenant
+//! streams slot by slot, and the simulator attributes per-tenant
+//! statistics by address region.
+//!
+//! Tenant attribution is positional in the *address space*, not the
+//! stream: the weaver re-bases tenant `i`'s addresses into region `i`
+//! ([`TENANT_REGION_SHIFT`]), so any component holding an address can
+//! recover its tenant without carrying side-band metadata — through
+//! cache hierarchies, writeback paths, and warm snapshots alike.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum tenants a schedule can name (the fixed-size array keeps
+/// `SimConfig` `Copy`).
+pub const MAX_TENANTS: usize = 4;
+
+/// Log2 of the tenant region size: tenant `i`'s addresses live at
+/// `i << 40` (1 TB apart — far above any generated footprint, far
+/// below the u64 ceiling).
+pub const TENANT_REGION_SHIFT: u32 = 40;
+
+/// Returns the tenant region an address falls in (0 for single-tenant
+/// traces, whose addresses never leave region 0).
+pub const fn tenant_of_addr(raw: u64) -> usize {
+    ((raw >> TENANT_REGION_SHIFT) as usize) & (MAX_TENANTS - 1)
+}
+
+/// Re-bases a raw address into `tenant`'s region.
+pub const fn tag_addr(tenant: usize, raw: u64) -> u64 {
+    raw | ((tenant as u64) << TENANT_REGION_SHIFT)
+}
+
+/// A deterministic slot schedule over N tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TenantSchedule {
+    /// Active tenants (1..=[`MAX_TENANTS`]).
+    pub tenants: u8,
+    /// Consecutive slots tenant `i` owns per round (a ratio schedule;
+    /// all ones is round-robin). Entries past `tenants` are ignored
+    /// and must be zero.
+    pub slots: [u8; MAX_TENANTS],
+}
+
+impl TenantSchedule {
+    /// Round-robin over `n` tenants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds [`MAX_TENANTS`].
+    pub fn round_robin(n: usize) -> Self {
+        assert!(n >= 1 && n <= MAX_TENANTS, "tenants must be 1..={MAX_TENANTS}");
+        let mut slots = [0u8; MAX_TENANTS];
+        slots[..n].fill(1);
+        Self {
+            tenants: n as u8,
+            slots,
+        }
+    }
+
+    /// Ratio schedule: tenant `i` owns `ratio[i]` consecutive slots per
+    /// round.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty/oversized ratios and zero entries.
+    pub fn ratio(ratio: &[u8]) -> Result<Self, crate::ConfigError> {
+        if ratio.is_empty() || ratio.len() > MAX_TENANTS {
+            return Err(crate::ConfigError::new(format!(
+                "tenant count must be 1..={MAX_TENANTS}, got {}",
+                ratio.len()
+            )));
+        }
+        let mut slots = [0u8; MAX_TENANTS];
+        slots[..ratio.len()].copy_from_slice(ratio);
+        let s = Self {
+            tenants: ratio.len() as u8,
+            slots,
+        };
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// Checks internal consistency (used by `SimConfig::validate`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero/oversized tenant counts, zero slot ratios, and
+    /// nonzero entries past the tenant count.
+    pub fn validate(&self) -> Result<(), crate::ConfigError> {
+        let n = self.tenants as usize;
+        if n == 0 || n > MAX_TENANTS {
+            return Err(crate::ConfigError::new(format!(
+                "tenants must be 1..={MAX_TENANTS}, got {n}"
+            )));
+        }
+        if self.slots[..n].iter().any(|&s| s == 0) {
+            return Err(crate::ConfigError::new(
+                "every active tenant needs at least one slot per round",
+            ));
+        }
+        if self.slots[n..].iter().any(|&s| s != 0) {
+            return Err(crate::ConfigError::new(
+                "slot entries past the tenant count must be zero",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Slots per round.
+    pub fn round_len(&self) -> u64 {
+        self.slots[..self.tenants as usize]
+            .iter()
+            .map(|&s| s as u64)
+            .sum()
+    }
+
+    /// The tenant owning global slot `k` — the single definition both
+    /// the weaver and any positional consumer share.
+    pub fn tenant_of_slot(&self, k: u64) -> usize {
+        let mut r = k % self.round_len();
+        for (i, &s) in self.slots[..self.tenants as usize].iter().enumerate() {
+            if r < s as u64 {
+                return i;
+            }
+            r -= s as u64;
+        }
+        unreachable!("slot index inside round")
+    }
+}
+
+/// Per-tenant traffic counters, sampled by the epoch recorder and
+/// totalled into `RunReport` extras. "Hits" are SRAM-hierarchy hits
+/// (the access never reached the DRAM tier); memory reads/writebacks
+/// are the below-L3 traffic the DRAM cache actually sees from this
+/// tenant, attributed by address region — including writebacks, whose
+/// evicted line names its owner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Accesses committed by the tenant's stream slots.
+    pub accesses: u64,
+    /// Stores among those accesses.
+    pub stores: u64,
+    /// Accesses answered inside the SRAM hierarchy.
+    pub hits: u64,
+    /// Below-L3 read requests attributed to this tenant's region.
+    pub mem_reads: u64,
+    /// Below-L3 writebacks of lines in this tenant's region.
+    pub mem_writebacks: u64,
+}
+
+crate::wire_struct!(TenantStats {
+    accesses,
+    stores,
+    hits,
+    mem_reads,
+    mem_writebacks,
+});
+
+impl TenantStats {
+    /// Counter-wise difference from `base` (epoch delta).
+    pub fn delta_since(&self, base: &Self) -> Self {
+        Self {
+            accesses: self.accesses.saturating_sub(base.accesses),
+            stores: self.stores.saturating_sub(base.stores),
+            hits: self.hits.saturating_sub(base.hits),
+            mem_reads: self.mem_reads.saturating_sub(base.mem_reads),
+            mem_writebacks: self.mem_writebacks.saturating_sub(base.mem_writebacks),
+        }
+    }
+
+    /// SRAM-hierarchy hit rate of this tenant's accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_and_ratio_weights() {
+        let rr = TenantSchedule::round_robin(3);
+        assert_eq!(rr.round_len(), 3);
+        let owners: Vec<usize> = (0..6).map(|k| rr.tenant_of_slot(k)).collect();
+        assert_eq!(owners, [0, 1, 2, 0, 1, 2]);
+
+        let w = TenantSchedule::ratio(&[2, 1]).unwrap();
+        assert_eq!(w.round_len(), 3);
+        let owners: Vec<usize> = (0..6).map(|k| w.tenant_of_slot(k)).collect();
+        assert_eq!(owners, [0, 0, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn schedules_validate() {
+        assert!(TenantSchedule::ratio(&[]).is_err());
+        assert!(TenantSchedule::ratio(&[1, 0]).is_err());
+        assert!(TenantSchedule::ratio(&[1, 1, 1, 1, 1]).is_err());
+        assert!(TenantSchedule::ratio(&[3, 1, 2]).is_ok());
+        let mut bad = TenantSchedule::round_robin(2);
+        bad.slots[3] = 1;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn address_regions_round_trip() {
+        for t in 0..MAX_TENANTS {
+            let a = tag_addr(t, 0xAB_CDEF);
+            assert_eq!(tenant_of_addr(a), t);
+            assert_eq!(a & ((1 << TENANT_REGION_SHIFT) - 1), 0xAB_CDEF);
+        }
+        assert_eq!(tenant_of_addr(0), 0);
+    }
+
+    #[test]
+    fn stats_delta_and_hit_rate() {
+        let a = TenantStats {
+            accesses: 10,
+            stores: 2,
+            hits: 8,
+            mem_reads: 2,
+            mem_writebacks: 1,
+        };
+        let d = a.delta_since(&TenantStats {
+            accesses: 4,
+            stores: 1,
+            hits: 3,
+            mem_reads: 1,
+            mem_writebacks: 0,
+        });
+        assert_eq!(d.accesses, 6);
+        assert_eq!(d.hits, 5);
+        assert!((a.hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(TenantStats::default().hit_rate(), 0.0);
+    }
+}

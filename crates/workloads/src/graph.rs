@@ -1,0 +1,144 @@
+//! **GRPH** — pointer-chasing traversal of a synthetic power-law graph,
+//! the second server-class scenario of the engine (DESIGN.md §3.15).
+//!
+//! A CSR structure (offset array + edge array) is laid out over a
+//! power-law degree sequence: node `i`'s degree falls off as
+//! `(i+1)^-0.7`, so a small head of hub nodes owns a large share of the
+//! edges. Threads run random walks: read the two bounding offsets, scan
+//! a few edges, hop to a target biased toward the hubs, and
+//! occasionally mark a visited bitmap. Dependent loads with almost no
+//! spatial locality, but heavy *popularity* locality on the hubs — the
+//! access pattern of graph serving / web-graph ranking tiers.
+
+use crate::common::{elem, GenConfig, Layout, ThreadTraces, TraceBuilder};
+use rand::Rng;
+
+/// Nodes before shrink scaling.
+const NODES_FULL: usize = 512 << 10;
+/// Target average degree.
+const AVG_DEGREE: u64 = 8;
+/// Degree-sequence exponent.
+const DEGREE_EXP: f64 = 0.7;
+/// Edges scanned per visit (bounded: a ranking step, not full BFS).
+const SCAN: u64 = 4;
+
+/// SplitMix64-style mixer: the deterministic "edge array content" —
+/// target of edge `e` — without materialising the array.
+fn mix(seed: u64, e: u64) -> u64 {
+    let mut z = seed ^ e.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub(crate) fn generate(cfg: &GenConfig) -> ThreadTraces {
+    let nodes = cfg.count(NODES_FULL) as u64;
+    let edges_target = nodes * AVG_DEGREE;
+
+    // Power-law degree sequence, scaled so the total lands near the
+    // edge target. Hubs first: deg(i) ∝ (i+1)^-0.7, clamped to [1, 256].
+    let norm: f64 = (0..nodes)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(DEGREE_EXP))
+        .sum();
+    let scale = edges_target as f64 / norm;
+    let mut offsets: Vec<u64> = Vec::with_capacity(nodes as usize + 1);
+    let mut total = 0u64;
+    offsets.push(0);
+    for i in 0..nodes {
+        let deg = (scale / ((i + 1) as f64).powf(DEGREE_EXP)) as u64;
+        total += deg.clamp(1, 256);
+        offsets.push(total);
+    }
+
+    let mut layout = Layout::new();
+    let off_arr = layout.alloc((nodes + 1) * 8);
+    let edge_arr = layout.alloc(total * 4);
+    let visited = layout.alloc(nodes.div_ceil(8));
+    let mut b = TraceBuilder::new(cfg);
+    let edge_seed: u64 = cfg.rng(0x6772).gen();
+
+    for t in 0..cfg.threads {
+        let mut rng = cfg.rng(0x6772_0000 + t as u64);
+        let mut v: u64 = rng.gen_range(0u64..nodes);
+        while b.has_budget(t) {
+            // CSR bounds: offsets[v] and offsets[v+1] (usually the same
+            // line — the cheap half of the chase).
+            b.load(t, elem(off_arr, v, 8), 3);
+            b.load(t, elem(off_arr, v + 1, 8), 1);
+            let (lo, hi) = (offsets[v as usize], offsets[v as usize + 1]);
+            let deg = hi - lo;
+            if deg == 0 {
+                v = rng.gen_range(0u64..nodes);
+                continue;
+            }
+            // Scan a bounded window of the adjacency list.
+            let scan = deg.min(SCAN);
+            let first = if deg > scan {
+                lo + rng.gen_range(0u64..deg - scan + 1)
+            } else {
+                lo
+            };
+            for e in first..first + scan {
+                b.load(t, elem(edge_arr, e, 4), 1);
+            }
+            // Occasionally mark the node visited (frontier update).
+            if rng.gen_range(0u32..16) == 0 {
+                b.store(t, elem(visited, v / 8, 1), 1);
+            }
+            // Hop along one scanned edge. Targets are hub-biased: the
+            // square fold of a uniform deviate lands on low (high-
+            // degree) node ids more often — preferential attachment
+            // without materialising 4 MB of edge values.
+            let pick = first + rng.gen_range(0u64..scan);
+            let u = mix(edge_seed, pick) % (nodes * nodes);
+            v = num_integer_sqrt(u);
+            // Periodic restart keeps walks from trapping in sinks.
+            if rng.gen_range(0u32..64) == 0 {
+                v = rng.gen_range(0u64..nodes);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Integer square root (`f64::sqrt` is exact well past `2^52`, and node
+/// counts stay far below that; the clamp guards the boundary anyway).
+fn num_integer_sqrt(v: u64) -> u64 {
+    let r = (v as f64).sqrt() as u64;
+    r.saturating_sub(1) + ((r.saturating_sub(1) + 1).pow(2) <= v) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcache_cpu::TraceStats;
+
+    #[test]
+    fn deterministic() {
+        let cfg = GenConfig::tiny();
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn walks_are_load_dominated_with_hub_reuse() {
+        let cfg = GenConfig::tiny();
+        let flat: Vec<_> = generate(&cfg).into_iter().flatten().collect();
+        let stores = flat.iter().filter(|a| a.op.is_store()).count();
+        assert!(
+            (stores as f64) < 0.05 * flat.len() as f64,
+            "traversal should be read-dominated"
+        );
+        let s = TraceStats::from_trace(&flat);
+        let reuse = s.accesses as f64 / s.footprint_lines as f64;
+        // Hub bias revisits the head of the CSR arrays.
+        assert!(reuse > 1.5, "hub reuse too low: {reuse}");
+    }
+
+    #[test]
+    fn sqrt_helper_is_exact_on_squares() {
+        for v in [0u64, 1, 2, 3, 4, 8, 9, 15, 16, 1 << 40, (1 << 20) + 1] {
+            let r = num_integer_sqrt(v);
+            assert!(r * r <= v && (r + 1) * (r + 1) > v, "sqrt({v}) = {r}");
+        }
+    }
+}

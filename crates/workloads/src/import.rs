@@ -1,0 +1,395 @@
+//! External trace import: the RCTI envelope and its text front-end
+//! (DESIGN.md §3.15).
+//!
+//! Imported traces feed the exact same `SharedTraces` → RCTR cache →
+//! warm-fork pipeline as generated workloads; the only difference is
+//! provenance, so the import format carries an integrity checksum the
+//! generator formats do not need (a damaged generated entry can always
+//! be regenerated; a damaged *imported* entry can only be healed from
+//! its source text, or rejected):
+//!
+//! ```text
+//! magic "RCTI" | version u32 | fnv1a u64 over the payload
+//! payload: threads u32
+//!   per thread: len u64, then len records of
+//!     op u8 (0 = load, 1 = store) | addr u64 | gap u32
+//! ```
+//!
+//! The text front-end accepts one access per line, `addr,rw[,tid]`:
+//! `addr` decimal or `0x…` hex, `rw` one of `r`/`l` (load) or `w`/`s`
+//! (store), `tid` an optional decimal thread id (default 0). Blank
+//! lines and `#` comments are skipped.
+
+use crate::common::ThreadTraces;
+use redcache_cpu::Access;
+use redcache_types::{MemOp, PhysAddr};
+use std::io::{self, BufRead, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"RCTI";
+const VERSION: u32 = 1;
+/// Imported thread-count ceiling (same sanity bound as RCTR).
+const MAX_THREADS: usize = 4096;
+
+// The envelope checksum (and the content key naming import-cache
+// entries) is the workspace-wide FNV-1a from the wire codec.
+use redcache_types::wire::fnv1a;
+
+fn encode_payload(traces: &ThreadTraces) -> Vec<u8> {
+    let records: usize = traces.iter().map(Vec::len).sum();
+    let mut p = Vec::with_capacity(4 + traces.len() * 8 + records * 13);
+    p.extend_from_slice(&(traces.len() as u32).to_le_bytes());
+    for t in traces {
+        p.extend_from_slice(&(t.len() as u64).to_le_bytes());
+        for a in t {
+            p.push(a.op.is_store() as u8);
+            p.extend_from_slice(&a.addr.raw().to_le_bytes());
+            p.extend_from_slice(&a.gap.to_le_bytes());
+        }
+    }
+    p
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn decode_payload(p: &[u8]) -> io::Result<ThreadTraces> {
+    let mut pos = 0usize;
+    let mut take = |n: usize| -> io::Result<&[u8]> {
+        let s = p
+            .get(pos..pos + n)
+            .ok_or_else(|| bad("truncated RCTI payload"))?;
+        pos += n;
+        Ok(s)
+    };
+    let threads = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+    if threads > MAX_THREADS {
+        return Err(bad("implausible thread count"));
+    }
+    let mut traces = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let len = u64::from_le_bytes(take(8)?.try_into().unwrap()) as usize;
+        let mut t = Vec::with_capacity(len.min(1 << 24));
+        for _ in 0..len {
+            let op = take(1)?[0];
+            let addr = u64::from_le_bytes(take(8)?.try_into().unwrap());
+            let gap = u32::from_le_bytes(take(4)?.try_into().unwrap());
+            t.push(Access {
+                op: if op == 1 { MemOp::Store } else { MemOp::Load },
+                addr: PhysAddr::new(addr),
+                gap,
+            });
+        }
+        traces.push(t);
+    }
+    if pos != p.len() {
+        return Err(bad("trailing bytes after RCTI payload"));
+    }
+    Ok(traces)
+}
+
+/// Writes `traces` as an RCTI envelope.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_rcti<W: Write>(mut w: W, traces: &ThreadTraces) -> io::Result<()> {
+    let payload = encode_payload(traces);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&fnv1a(&payload).to_le_bytes())?;
+    w.write_all(&payload)
+}
+
+/// Reads an RCTI envelope, verifying magic, version and checksum.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic/version, a checksum mismatch,
+/// or a truncated/overlong payload; propagates reader I/O errors.
+pub fn read_rcti<R: Read>(mut r: R) -> io::Result<ThreadTraces> {
+    let mut head = [0u8; 16];
+    r.read_exact(&mut head)?;
+    if &head[..4] != MAGIC {
+        return Err(bad("not an RCTI trace file"));
+    }
+    if u32::from_le_bytes(head[4..8].try_into().unwrap()) != VERSION {
+        return Err(bad("unsupported RCTI version"));
+    }
+    let sum = u64::from_le_bytes(head[8..16].try_into().unwrap());
+    let mut payload = Vec::new();
+    r.read_to_end(&mut payload)?;
+    if fnv1a(&payload) != sum {
+        return Err(bad("RCTI checksum mismatch"));
+    }
+    decode_payload(&payload)
+}
+
+/// Convenience: writes an RCTI envelope to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_rcti(path: &Path, traces: &ThreadTraces) -> io::Result<()> {
+    write_rcti(io::BufWriter::new(std::fs::File::create(path)?), traces)
+}
+
+/// Convenience: reads an RCTI envelope from `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem and format errors.
+pub fn load_rcti(path: &Path) -> io::Result<ThreadTraces> {
+    read_rcti(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Parses the `addr,rw[,tid]` text format into per-thread traces. The
+/// thread count is `max(tid) + 1`; threads with no lines get empty
+/// streams (they pad to idle cores, like short generated traces).
+///
+/// # Errors
+///
+/// Returns `InvalidData` naming the first malformed line; propagates
+/// reader I/O errors.
+pub fn parse_text<R: BufRead>(r: R) -> io::Result<ThreadTraces> {
+    let mut traces: ThreadTraces = Vec::new();
+    for (no, line) in r.lines().enumerate() {
+        let line = line?;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut fields = body.split(',').map(str::trim);
+        let err = |what: &str| bad(&format!("line {}: {what}: {body:?}", no + 1));
+        let addr_s = fields.next().ok_or_else(|| err("missing address"))?;
+        let addr = match addr_s.strip_prefix("0x").or_else(|| addr_s.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => addr_s.parse(),
+        }
+        .map_err(|_| err("bad address"))?;
+        let op = match fields.next().ok_or_else(|| err("missing r/w flag"))? {
+            "r" | "R" | "l" | "L" => MemOp::Load,
+            "w" | "W" | "s" | "S" => MemOp::Store,
+            _ => return Err(err("bad r/w flag")),
+        };
+        let tid: usize = match fields.next() {
+            Some(t) => t.parse().map_err(|_| err("bad thread id"))?,
+            None => 0,
+        };
+        if fields.next().is_some() {
+            return Err(err("trailing fields"));
+        }
+        if tid >= MAX_THREADS {
+            return Err(err("implausible thread id"));
+        }
+        if tid >= traces.len() {
+            traces.resize_with(tid + 1, Vec::new);
+        }
+        traces[tid].push(Access {
+            op,
+            addr: PhysAddr::new(addr),
+            gap: 1,
+        });
+    }
+    if traces.is_empty() {
+        return Err(bad("empty trace: no access lines found"));
+    }
+    Ok(traces)
+}
+
+/// Parses a text trace file; see [`parse_text`].
+///
+/// # Errors
+///
+/// Propagates filesystem and format errors.
+pub fn parse_text_file(path: &Path) -> io::Result<ThreadTraces> {
+    parse_text(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// The import-cache file name for a text source: keyed by the source
+/// *content* (FNV-1a over its bytes), so an edited source never serves
+/// a stale import.
+pub fn cache_file_name(text: &[u8]) -> String {
+    format!("import-{:016x}.rcti", fnv1a(text))
+}
+
+/// Imports `text_path` through an optional RCTI cache rooted at `dir` —
+/// the import twin of `trace_io::generate_cached_in`, with the same
+/// damage-is-a-miss healing: a corrupt or truncated cache entry is
+/// re-imported from the source text and rewritten. Unlike generated
+/// workloads there is no generator to fall back on, so a missing or
+/// unparsable *source* is a hard error (regeneration-or-reject).
+///
+/// # Errors
+///
+/// Propagates source filesystem/format errors. Cache damage alone never
+/// fails the import.
+pub fn import_cached_in(text_path: &Path, dir: Option<&Path>) -> io::Result<ThreadTraces> {
+    let text = std::fs::read(text_path)?;
+    let Some(dir) = dir else {
+        return parse_text(&text[..]);
+    };
+    let path = dir.join(cache_file_name(&text));
+    if let Ok(traces) = load_rcti(&path) {
+        return Ok(traces);
+    }
+    let traces = parse_text(&text[..])?;
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = save_rcti(&path, &traces);
+    }
+    Ok(traces)
+}
+
+/// Loads a trace from any supported on-disk form, by extension:
+/// `.rcti` envelopes, `.rctr` cache entries, anything else as text.
+///
+/// # Errors
+///
+/// Propagates filesystem and format errors.
+pub fn load_any(path: &Path) -> io::Result<ThreadTraces> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("rcti") => load_rcti(path),
+        Some("rctr") => crate::trace_io::load(path),
+        _ => parse_text_file(path),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "# a tiny imported trace\n\
+        0x1000,r\n\
+        0x1040,w,1\n\
+        4096,R,0\n\
+        0x2000,s\n\
+        \n\
+        0x3000,l,3 # trailing comment\n";
+
+    fn sample_traces() -> ThreadTraces {
+        parse_text(SAMPLE.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn text_parses_hex_decimal_flags_and_tids() {
+        let t = sample_traces();
+        assert_eq!(t.len(), 4, "threads = max tid + 1");
+        assert_eq!(t[0].len(), 3);
+        assert_eq!(t[1].len(), 1);
+        assert!(t[2].is_empty());
+        assert_eq!(t[3].len(), 1);
+        assert_eq!(t[0][0].addr.raw(), 0x1000);
+        assert_eq!(t[0][1].addr.raw(), 4096);
+        assert!(t[1][0].op.is_store());
+        assert!(!t[3][0].op.is_store());
+    }
+
+    #[test]
+    fn text_rejects_malformed_lines() {
+        for bad_line in [
+            "xyz,r",
+            "0x10",
+            "0x10,q",
+            "0x10,r,notatid",
+            "0x10,r,0,extra",
+            "0x10,r,9999999",
+            "",
+            "# only comments\n",
+        ] {
+            assert!(parse_text(bad_line.as_bytes()).is_err(), "{bad_line:?}");
+        }
+    }
+
+    #[test]
+    fn rcti_round_trips() {
+        let t = sample_traces();
+        let mut buf = Vec::new();
+        write_rcti(&mut buf, &t).unwrap();
+        assert_eq!(read_rcti(&buf[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn rcti_rejects_damage() {
+        let t = sample_traces();
+        let mut buf = Vec::new();
+        write_rcti(&mut buf, &t).unwrap();
+        // Bad magic.
+        assert!(read_rcti(&b"NOPE"[..]).is_err());
+        // Bad version.
+        let mut v = buf.clone();
+        v[4] = 9;
+        assert!(read_rcti(&v[..]).is_err());
+        // Payload bit flip: caught by the checksum.
+        let mut flip = buf.clone();
+        let last = flip.len() - 1;
+        flip[last] ^= 0x40;
+        assert!(read_rcti(&flip[..]).is_err());
+        // Truncation: caught by the checksum before the decoder runs.
+        let mut trunc = buf.clone();
+        trunc.truncate(trunc.len() - 3);
+        assert!(read_rcti(&trunc[..]).is_err());
+        // Trailing garbage: checksum again.
+        let mut extra = buf;
+        extra.push(0);
+        assert!(read_rcti(&extra[..]).is_err());
+    }
+
+    #[test]
+    fn import_cache_heals_from_source_or_rejects() {
+        let dir = std::env::temp_dir().join(format!("redcache_import_{:x}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("trace.txt");
+        std::fs::write(&src, SAMPLE).unwrap();
+
+        let first = import_cached_in(&src, Some(&dir)).unwrap();
+        let entry = dir.join(cache_file_name(SAMPLE.as_bytes()));
+        assert!(entry.is_file(), "import cache entry missing");
+        let pristine = std::fs::read(&entry).unwrap();
+
+        // Truncate the cache entry: the import re-parses the source and
+        // heals the entry byte-for-byte.
+        std::fs::write(&entry, &pristine[..pristine.len() / 2]).unwrap();
+        let second = import_cached_in(&src, Some(&dir)).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(std::fs::read(&entry).unwrap(), pristine, "not healed");
+
+        // Outright garbage heals the same way.
+        std::fs::write(&entry, b"junk").unwrap();
+        assert_eq!(import_cached_in(&src, Some(&dir)).unwrap(), first);
+        assert_eq!(std::fs::read(&entry).unwrap(), pristine);
+
+        // With the entry damaged *and* the source unparsable, the
+        // import is rejected — never silently served from damage.
+        std::fs::write(&entry, b"junk").unwrap();
+        std::fs::write(&src, "not,a,trace,line").unwrap();
+        assert!(import_cached_in(&src, Some(&dir)).is_err());
+
+        // A missing source is a hard error too (nothing to heal from).
+        std::fs::remove_file(&src).unwrap();
+        assert!(import_cached_in(&src, Some(&dir)).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_any_dispatches_on_extension() {
+        let dir = std::env::temp_dir().join(format!("redcache_loadany_{:x}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = sample_traces();
+
+        let txt = dir.join("a.trace");
+        std::fs::write(&txt, SAMPLE).unwrap();
+        assert_eq!(load_any(&txt).unwrap(), t);
+
+        let rcti = dir.join("a.rcti");
+        save_rcti(&rcti, &t).unwrap();
+        assert_eq!(load_any(&rcti).unwrap(), t);
+
+        let rctr = dir.join("a.rctr");
+        crate::trace_io::save(&rctr, &t).unwrap();
+        assert_eq!(load_any(&rctr).unwrap(), t);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

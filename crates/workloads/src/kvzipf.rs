@@ -1,0 +1,187 @@
+//! **KVZ** — Zipfian key-value serving, the first server-class scenario
+//! of the engine (DESIGN.md §3.15).
+//!
+//! Models a memcached-style node: a hash directory of 8-byte slots plus
+//! a value heap of fixed-size records. Every operation samples a key
+//! from a Zipfian popularity law (θ = 0.99 by default, the YCSB
+//! convention), probes the directory, then reads the value lines; a
+//! configurable fraction of operations rewrites the value and updates
+//! the directory slot. High skew concentrates traffic on a hot key set
+//! that fits the DRAM cache — an F-type reuse profile whose *cold tail*
+//! still streams enough lines to punish indiscriminate caching, which
+//! is exactly the regime where α-counting pays.
+
+use crate::common::{elem, GenConfig, Layout, ThreadTraces, TraceBuilder};
+use rand::Rng;
+
+/// Tunables for the key-value scenario. [`Default`] is the registry
+/// configuration; library callers can explore other mixes through
+/// [`generate_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvParams {
+    /// Zipfian skew θ in thousandths (990 ⇒ θ = 0.99). θ = 0 is
+    /// uniform; larger is more skewed.
+    pub theta_milli: u32,
+    /// Percentage of operations that write their value (YCSB-B-shaped
+    /// 5 % by default).
+    pub write_pct: u32,
+    /// Key-space size before shrink scaling.
+    pub keys_full: usize,
+    /// Cache lines per value record.
+    pub value_lines: u64,
+}
+
+impl Default for KvParams {
+    fn default() -> Self {
+        Self {
+            theta_milli: 990,
+            write_pct: 5,
+            keys_full: 256 << 10,
+            value_lines: 2,
+        }
+    }
+}
+
+/// A cumulative Zipfian distribution over `n` ranks, sampled by binary
+/// search on a uniform deviate. Built once per generation — O(n) setup,
+/// O(log n) per sample, fully deterministic for a given `(n, θ)`.
+struct ZipfTable {
+    cum: Vec<f64>,
+}
+
+impl ZipfTable {
+    fn new(n: usize, theta: f64) -> Self {
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(theta);
+            cum.push(total);
+        }
+        for c in &mut cum {
+            *c /= total;
+        }
+        Self { cum }
+    }
+
+    /// Rank for uniform deviate `u ∈ [0, 1)`; rank 0 is the hottest.
+    fn sample(&self, u: f64) -> usize {
+        self.cum
+            .partition_point(|&c| c < u)
+            .min(self.cum.len() - 1)
+    }
+}
+
+pub(crate) fn generate(cfg: &GenConfig) -> ThreadTraces {
+    generate_with(cfg, KvParams::default())
+}
+
+/// Generates the key-value trace under explicit [`KvParams`].
+pub fn generate_with(cfg: &GenConfig, p: KvParams) -> ThreadTraces {
+    let keys = cfg.count(p.keys_full) as u64;
+    let value_bytes = p.value_lines * 64;
+    let mut layout = Layout::new();
+    let dir = layout.alloc(keys * 8);
+    let heap = layout.alloc(keys * value_bytes);
+    let zipf = ZipfTable::new(keys as usize, p.theta_milli as f64 / 1000.0);
+    let mut b = TraceBuilder::new(cfg);
+
+    for t in 0..cfg.threads {
+        // Each thread is an independent request loop with its own
+        // popularity permutation offset, so threads share the hot set
+        // without replaying identical key sequences.
+        let mut rng = cfg.rng(0x4B56_0000 + t as u64);
+        let rot: u64 = rng.gen_range(0u64..keys);
+        while b.has_budget(t) {
+            let rank = zipf.sample(rng.gen::<f64>()) as u64;
+            // Hot ranks land on scattered slots: rotate + golden-ratio
+            // scramble so popularity is not address-correlated.
+            let key = (rank + rot) % keys;
+            let slot = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) % keys;
+            let is_write = rng.gen_range(0u32..100) < p.write_pct;
+            // Directory probe.
+            b.load(t, elem(dir, slot, 8), 2);
+            // Value lines.
+            let vbase = elem(heap, slot, value_bytes);
+            for l in 0..p.value_lines {
+                if is_write {
+                    b.store(t, elem(vbase, l, 64), 1);
+                } else {
+                    b.load(t, elem(vbase, l, 64), 1);
+                }
+            }
+            if is_write {
+                // Version/length update in the directory slot.
+                b.store(t, elem(dir, slot, 8), 1);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcache_cpu::TraceStats;
+
+    #[test]
+    fn deterministic() {
+        let cfg = GenConfig::tiny();
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn skew_concentrates_reuse() {
+        let cfg = GenConfig::tiny();
+        let reuse_of = |traces: ThreadTraces| {
+            let flat: Vec<_> = traces.into_iter().flatten().collect();
+            let s = TraceStats::from_trace(&flat);
+            s.accesses as f64 / s.footprint_lines as f64
+        };
+        // Zipfian skew revisits the hot set far more than a uniform
+        // sampler of the same key space and budget does.
+        let skewed = reuse_of(generate(&cfg));
+        let uniform = reuse_of(generate_with(
+            &cfg,
+            KvParams {
+                theta_milli: 0,
+                ..KvParams::default()
+            },
+        ));
+        assert!(skewed > 1.3, "hot set never revisited: {skewed}");
+        assert!(
+            skewed > 1.4 * uniform,
+            "Zipfian reuse {skewed} not above uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn write_mix_close_to_configured() {
+        let cfg = GenConfig::tiny();
+        let flat: Vec<_> = generate(&cfg).into_iter().flatten().collect();
+        let stores = flat.iter().filter(|a| a.op.is_store()).count();
+        let frac = stores as f64 / flat.len() as f64;
+        // 5 % of ops write value_lines + 1 of their ~3 accesses.
+        assert!(frac > 0.01 && frac < 0.15, "store fraction {frac}");
+    }
+
+    #[test]
+    fn uniform_theta_spreads_traffic() {
+        let cfg = GenConfig::tiny();
+        let skewed = generate_with(&cfg, KvParams::default());
+        let uniform = generate_with(
+            &cfg,
+            KvParams {
+                theta_milli: 0,
+                ..KvParams::default()
+            },
+        );
+        let lines = |t: &ThreadTraces| {
+            let flat: Vec<_> = t.iter().flatten().copied().collect();
+            TraceStats::from_trace(&flat).footprint_lines
+        };
+        assert!(
+            lines(&uniform) > lines(&skewed),
+            "uniform sampling must touch more distinct lines"
+        );
+    }
+}

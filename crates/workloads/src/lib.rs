@@ -3,6 +3,13 @@
 //! The paper evaluates eleven data-intensive parallel applications
 //! (Table II): FT, IS, MG from NAS; Cholesky, Radix, Ocean, FFT, LU,
 //! Barnes from SPLASH-2; Histogram and Linear Regression from Phoenix.
+//! The scenario engine (DESIGN.md §3.15) extends the suite with
+//! server-class generators — Zipfian key-value serving (KVZ),
+//! power-law graph traversal (GRPH), ML-inference working sets (MLI) —
+//! plus imported external traces ([`import`]) and deterministic
+//! multi-tenant interleaving ([`multitenant`]). All of them register in
+//! [`registry`], the single table behind CLI parsing, figure columns,
+//! and daemon validation.
 //!
 //! Per DESIGN.md §1, each generator **runs the actual kernel** of its
 //! benchmark at a scaled problem size and records the memory reference
@@ -30,13 +37,19 @@ mod cholesky;
 mod common;
 mod fft;
 mod ft;
+mod graph;
 mod hist;
 mod is;
+pub mod kvzipf;
 mod lreg;
 mod lu;
 mod mg;
+mod mlinf;
 mod ocean;
 mod radix;
+pub mod import;
+pub mod multitenant;
+pub mod registry;
 pub mod suite;
 pub mod synthetic;
 pub mod trace_io;

@@ -1,0 +1,100 @@
+//! **MLI** — ML-inference working set, the third server-class scenario
+//! of the engine (DESIGN.md §3.15).
+//!
+//! Models a model-serving tier: per request, a small embedding gather
+//! from a hot table, then a layer-sequential pass — each layer streams
+//! its weight matrix once (zero reuse *within* a request, perfect reuse
+//! *across* requests) while ping-ponging between two small activation
+//! buffers (extreme short-term reuse) and re-reading a tiny per-layer
+//! parameter block (bias/scale — always hot). The resulting profile
+//! mixes an L-type weight stream with an F-type activation set: a
+//! policy must cache the activations and embeddings without burning
+//! fill bandwidth on the weight stream it can never reuse in time.
+
+use crate::common::{elem, GenConfig, Layout, ThreadTraces, TraceBuilder};
+use rand::Rng;
+
+/// Layers per inference pass.
+const LAYERS: u64 = 8;
+/// 8-byte weight words per layer, before shrink scaling.
+const LAYER_WORDS_FULL: usize = 96 << 10;
+/// 8-byte words per activation buffer.
+const ACT_WORDS: u64 = 2 << 10;
+/// Embedding table rows before shrink scaling (one line per row).
+const EMBED_ROWS_FULL: usize = 32 << 10;
+/// Rows gathered per request.
+const GATHER: u64 = 16;
+
+pub(crate) fn generate(cfg: &GenConfig) -> ThreadTraces {
+    let layer_words = cfg.count(LAYER_WORDS_FULL) as u64;
+    let embed_rows = cfg.count(EMBED_ROWS_FULL) as u64;
+    let mut layout = Layout::new();
+    let weights = layout.alloc(LAYERS * layer_words * 8);
+    let embed = layout.alloc(embed_rows * 64);
+    let params = layout.alloc(LAYERS * 256); // bias/scale per layer
+    // Two activation buffers per thread (batch lanes are independent).
+    let acts: Vec<_> = (0..cfg.threads as u64 * 2)
+        .map(|_| layout.alloc(ACT_WORDS * 8))
+        .collect();
+    let mut b = TraceBuilder::new(cfg);
+
+    for t in 0..cfg.threads {
+        let mut rng = cfg.rng(0x4D4C_0000 + t as u64);
+        let (mut a_in, mut a_out) = (acts[t * 2], acts[t * 2 + 1]);
+        while b.has_budget(t) {
+            // Embedding gather: hot-biased row picks (squared fold).
+            for _ in 0..GATHER {
+                let u = rng.gen_range(0u64..embed_rows * embed_rows);
+                let row = (u as f64).sqrt() as u64 % embed_rows;
+                b.load(t, elem(embed, row, 64), 2);
+                b.store(t, elem(a_in, rng.gen_range(0u64..ACT_WORDS), 8), 1);
+            }
+            // Layer-sequential streaming.
+            for l in 0..LAYERS {
+                let wbase = elem(weights, l * layer_words, 8);
+                b.load(t, elem(params, l * 32, 8), 2);
+                b.load(t, elem(params, l * 32 + 8, 8), 1);
+                // Stream the layer in line-sized strides, touching the
+                // activations every few weight lines.
+                let mut w = 0;
+                while w < layer_words && b.has_budget(t) {
+                    b.load(t, elem(wbase, w, 8), 1);
+                    if w % 32 == 0 {
+                        b.load(t, elem(a_in, (w / 32) % ACT_WORDS, 8), 1);
+                        b.store(t, elem(a_out, (w / 32) % ACT_WORDS, 8), 1);
+                    }
+                    w += 8; // next cache line of weights
+                }
+                std::mem::swap(&mut a_in, &mut a_out);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redcache_cpu::TraceStats;
+
+    #[test]
+    fn deterministic() {
+        let cfg = GenConfig::tiny();
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn weights_stream_activations_reuse() {
+        let cfg = GenConfig::tiny();
+        let flat: Vec<_> = generate(&cfg).into_iter().flatten().collect();
+        let s = TraceStats::from_trace(&flat);
+        let reuse = s.accesses as f64 / s.footprint_lines as f64;
+        // The blend sits between a pure stream (~1) and a resident hot
+        // set: the weight stream caps it low, the activations and
+        // params pull it well above 1.
+        assert!(reuse > 1.2, "activation/param reuse missing: {reuse}");
+        let stores = flat.iter().filter(|a| a.op.is_store()).count();
+        let frac = stores as f64 / flat.len() as f64;
+        assert!(frac > 0.01 && frac < 0.35, "store fraction {frac}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Deterministic multi-tenant interleaving (DESIGN.md §3.15).
+//!
+//! [`weave`] merges up to [`MAX_TENANTS`] independently generated
+//! scenario traces into one trace set that exercises a single shared
+//! DRAM cache. Per thread, the tenants' access streams are drained
+//! slot by slot under a [`TenantSchedule`] — round-robin or weighted —
+//! and every access is re-based into its tenant's address region
+//! ([`redcache_types::tenancy::TENANT_REGION_SHIFT`]) so the simulator
+//! can attribute traffic back to tenants by address alone.
+//!
+//! The weave is a pure function of its inputs: same tenant traces and
+//! schedule, same output — which keeps multi-tenant runs bit-identical
+//! across scratch and warm-fork paths just like single-tenant ones.
+
+use crate::common::ThreadTraces;
+use redcache_cpu::Access;
+use redcache_types::tenancy::{tag_addr, TenantSchedule, MAX_TENANTS};
+use redcache_types::PhysAddr;
+
+/// Interleaves one trace set per tenant into a single trace set.
+///
+/// Thread `t` of the result is the slot-scheduled merge of thread `t`
+/// of every tenant: slot `k` takes the next access from
+/// `sched.tenant_of_slot(k)`, with that tenant's addresses re-based
+/// into region `tenant << TENANT_REGION_SHIFT`. A tenant whose stream
+/// for the thread is exhausted forfeits its slots (the others keep
+/// draining), so the result length is the sum of the inputs' lengths.
+///
+/// Thread counts may differ between tenants; the result has the
+/// maximum, with absent streams treated as empty.
+///
+/// # Panics
+///
+/// Panics if `tenants` is empty, exceeds [`MAX_TENANTS`], or does not
+/// match `sched.tenants` — the caller validates the schedule first.
+pub fn weave(tenants: &[ThreadTraces], sched: &TenantSchedule) -> ThreadTraces {
+    assert!(
+        !tenants.is_empty() && tenants.len() <= MAX_TENANTS,
+        "weave takes 1..={MAX_TENANTS} tenant trace sets"
+    );
+    assert_eq!(
+        tenants.len(),
+        sched.tenants as usize,
+        "schedule names {} tenants but {} trace sets given",
+        sched.tenants,
+        tenants.len()
+    );
+    let threads = tenants.iter().map(|t| t.len()).max().unwrap_or(0);
+    let mut out: ThreadTraces = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let streams: Vec<&[Access]> = tenants
+            .iter()
+            .map(|traces| traces.get(t).map(Vec::as_slice).unwrap_or(&[]))
+            .collect();
+        out.push(weave_thread(&streams, sched));
+    }
+    out
+}
+
+/// Slot-schedules one thread's streams into a single tagged stream.
+fn weave_thread(streams: &[&[Access]], sched: &TenantSchedule) -> Vec<Access> {
+    let total: usize = streams.iter().map(|s| s.len()).sum();
+    let mut merged = Vec::with_capacity(total);
+    let mut cursor = vec![0usize; streams.len()];
+    let mut slot: u64 = 0;
+    while merged.len() < total {
+        let tenant = sched.tenant_of_slot(slot);
+        slot += 1;
+        let i = cursor[tenant];
+        if i >= streams[tenant].len() {
+            // Exhausted tenants forfeit their slots; the round keeps
+            // turning so the remaining ratio is preserved.
+            continue;
+        }
+        cursor[tenant] = i + 1;
+        let a = streams[tenant][i];
+        merged.push(Access {
+            addr: PhysAddr::new(tag_addr(tenant, a.addr.raw())),
+            ..a
+        });
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::GenConfig;
+    use crate::suite::Workload;
+    use redcache_types::tenancy::tenant_of_addr;
+
+    fn two_tenants() -> Vec<ThreadTraces> {
+        let cfg = GenConfig::tiny();
+        vec![
+            Workload::Kvz.generate(&cfg),
+            Workload::Hist.generate(&cfg),
+        ]
+    }
+
+    #[test]
+    fn weave_is_deterministic_and_lossless() {
+        let tenants = two_tenants();
+        let sched = TenantSchedule::round_robin(2);
+        let a = weave(&tenants, &sched);
+        let b = weave(&tenants, &sched);
+        assert_eq!(a, b);
+        for t in 0..a.len() {
+            let want: usize = tenants.iter().map(|tr| tr[t].len()).sum();
+            assert_eq!(a[t].len(), want, "thread {t} dropped accesses");
+        }
+    }
+
+    #[test]
+    fn addresses_carry_their_tenant_region() {
+        let tenants = two_tenants();
+        let sched = TenantSchedule::round_robin(2);
+        let woven = weave(&tenants, &sched);
+        for trace in &woven {
+            for acc in trace {
+                assert!(tenant_of_addr(acc.addr.raw()) < 2);
+            }
+        }
+        // Both tenants actually appear, and per-thread counts match the
+        // source streams exactly (region tags are a bijection).
+        let t0: usize = woven
+            .iter()
+            .flatten()
+            .filter(|a| tenant_of_addr(a.addr.raw()) == 0)
+            .count();
+        let t1: usize = woven
+            .iter()
+            .flatten()
+            .filter(|a| tenant_of_addr(a.addr.raw()) == 1)
+            .count();
+        assert_eq!(t0, tenants[0].iter().map(Vec::len).sum::<usize>());
+        assert_eq!(t1, tenants[1].iter().map(Vec::len).sum::<usize>());
+    }
+
+    #[test]
+    fn ratio_schedule_front_loads_the_heavy_tenant() {
+        let tenants = two_tenants();
+        let sched = TenantSchedule::ratio(&[3, 1]).unwrap();
+        let woven = weave(&tenants, &sched);
+        // In the first full rounds of thread 0, tenant 0 owns 3 of
+        // every 4 slots.
+        let head: Vec<usize> = woven[0]
+            .iter()
+            .take(8)
+            .map(|a| tenant_of_addr(a.addr.raw()))
+            .collect();
+        assert_eq!(head, [0, 0, 0, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn exhausted_tenants_forfeit_slots() {
+        let cfg = GenConfig::tiny();
+        let long = Workload::Hist.generate(&cfg);
+        // A much shorter stream: take a prefix of another workload.
+        let short: ThreadTraces = Workload::Kvz
+            .generate(&cfg)
+            .into_iter()
+            .map(|t| t.into_iter().take(5).collect())
+            .collect();
+        let sched = TenantSchedule::round_robin(2);
+        let woven = weave(&[short.clone(), long.clone()], &sched);
+        for t in 0..woven.len() {
+            assert_eq!(woven[t].len(), short[t].len() + long[t].len());
+            // The tail is pure tenant 1 once tenant 0 runs dry.
+            let tail = &woven[t][woven[t].len().saturating_sub(3)..];
+            assert!(tail.iter().all(|a| tenant_of_addr(a.addr.raw()) == 1));
+        }
+    }
+
+    #[test]
+    fn single_tenant_weave_is_identity() {
+        let cfg = GenConfig::tiny();
+        let traces = Workload::Is.generate(&cfg);
+        let woven = weave(std::slice::from_ref(&traces), &TenantSchedule::round_robin(1));
+        assert_eq!(woven, traces);
+    }
+}

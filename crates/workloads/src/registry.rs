@@ -1,0 +1,263 @@
+//! The workload registry: one table from which every dispatch site
+//! derives (DESIGN.md §3.15), mirroring the policy registry of
+//! `redcache-policies`.
+//!
+//! CLI parsing (`Workload::from_str`), the suite listing printed by
+//! `redcache-sim --help`, figure-matrix membership, trace generation
+//! dispatch, and the serve daemon's request validation all read this
+//! table — a new scenario added here lands everywhere at once, exactly
+//! like a new policy added to the policy registry.
+
+use crate::common::{GenConfig, ThreadTraces};
+use crate::suite::{Workload, WorkloadInfo};
+
+/// One row of the registry.
+pub struct WorkloadEntry {
+    /// The enum variant this row describes.
+    pub workload: Workload,
+    /// Table II-style description (label, name, suite, input).
+    pub info: WorkloadInfo,
+    /// Accepted spellings besides the label (all case-insensitive).
+    pub aliases: &'static [&'static str],
+    /// True for the paper's Table II applications; false for the
+    /// server-class scenarios that extend the evaluation.
+    pub paper: bool,
+    /// Membership in the figure matrix (`eval_matrix` rows).
+    pub figure_column: bool,
+    /// One-line description for listings.
+    pub summary: &'static str,
+    /// The trace generator behind [`Workload::generate`].
+    pub generate: fn(&GenConfig) -> ThreadTraces,
+}
+
+/// The registry, in figure order: the eleven Table II applications,
+/// then the server-class scenarios.
+pub static REGISTRY: [WorkloadEntry; 14] = [
+    WorkloadEntry {
+        workload: Workload::Ft,
+        info: Workload::Ft.info(),
+        aliases: &[],
+        paper: true,
+        figure_column: true,
+        summary: "NAS Fourier Transform, class-A-shaped",
+        generate: crate::ft::generate,
+    },
+    WorkloadEntry {
+        workload: Workload::Is,
+        info: Workload::Is.info(),
+        aliases: &[],
+        paper: true,
+        figure_column: true,
+        summary: "NAS Integer Sort, class-A-shaped",
+        generate: crate::is::generate,
+    },
+    WorkloadEntry {
+        workload: Workload::Mg,
+        info: Workload::Mg.info(),
+        aliases: &[],
+        paper: true,
+        figure_column: true,
+        summary: "NAS Multi-Grid, class-A-shaped",
+        generate: crate::mg::generate,
+    },
+    WorkloadEntry {
+        workload: Workload::Ch,
+        info: Workload::Ch.info(),
+        aliases: &["cholesky"],
+        paper: true,
+        figure_column: true,
+        summary: "SPLASH-2 Cholesky factorisation",
+        generate: crate::cholesky::generate,
+    },
+    WorkloadEntry {
+        workload: Workload::Rdx,
+        info: Workload::Rdx.info(),
+        aliases: &["radix"],
+        paper: true,
+        figure_column: true,
+        summary: "SPLASH-2 Radix sort",
+        generate: crate::radix::generate,
+    },
+    WorkloadEntry {
+        workload: Workload::Ocn,
+        info: Workload::Ocn.info(),
+        aliases: &["ocean"],
+        paper: true,
+        figure_column: true,
+        summary: "SPLASH-2 Ocean simulation",
+        generate: crate::ocean::generate,
+    },
+    WorkloadEntry {
+        workload: Workload::Fft,
+        info: Workload::Fft.info(),
+        aliases: &[],
+        paper: true,
+        figure_column: true,
+        summary: "SPLASH-2 FFT",
+        generate: crate::fft::generate,
+    },
+    WorkloadEntry {
+        workload: Workload::Lu,
+        info: Workload::Lu.info(),
+        aliases: &[],
+        paper: true,
+        figure_column: true,
+        summary: "SPLASH-2 LU decomposition",
+        generate: crate::lu::generate,
+    },
+    WorkloadEntry {
+        workload: Workload::Brn,
+        info: Workload::Brn.info(),
+        aliases: &["barnes"],
+        paper: true,
+        figure_column: true,
+        summary: "SPLASH-2 Barnes-Hut n-body",
+        generate: crate::barnes::generate,
+    },
+    WorkloadEntry {
+        workload: Workload::Hist,
+        info: Workload::Hist.info(),
+        aliases: &["histogram"],
+        paper: true,
+        figure_column: true,
+        summary: "Phoenix histogram over a streamed bitmap",
+        generate: crate::hist::generate,
+    },
+    WorkloadEntry {
+        workload: Workload::Lreg,
+        info: Workload::Lreg.info(),
+        aliases: &["linear_regression"],
+        paper: true,
+        figure_column: true,
+        summary: "Phoenix linear regression over a streamed key file",
+        generate: crate::lreg::generate,
+    },
+    WorkloadEntry {
+        workload: Workload::Kvz,
+        info: Workload::Kvz.info(),
+        aliases: &["kv", "zipf", "kv_zipf"],
+        paper: false,
+        figure_column: false,
+        summary: "Zipfian key-value serving (θ=0.99, 5% writes)",
+        generate: crate::kvzipf::generate,
+    },
+    WorkloadEntry {
+        workload: Workload::Grph,
+        info: Workload::Grph.info(),
+        aliases: &["graph"],
+        paper: false,
+        figure_column: false,
+        summary: "pointer-chasing walks over a power-law CSR graph",
+        generate: crate::graph::generate,
+    },
+    WorkloadEntry {
+        workload: Workload::Mli,
+        info: Workload::Mli.info(),
+        aliases: &["ml", "mlinf"],
+        paper: false,
+        figure_column: false,
+        summary: "ML inference: layer-streamed weights, hot activations",
+        generate: crate::mlinf::generate,
+    },
+];
+
+/// All registry rows, in figure order.
+pub fn entries() -> &'static [WorkloadEntry] {
+    &REGISTRY
+}
+
+/// The registry row for `w`.
+///
+/// # Panics
+///
+/// Panics if `w` has no row — the registry tests pin that every
+/// variant has exactly one.
+pub fn entry(w: Workload) -> &'static WorkloadEntry {
+    REGISTRY
+        .iter()
+        .find(|e| e.workload == w)
+        .unwrap_or_else(|| panic!("workload {w:?} missing from registry"))
+}
+
+/// Case-insensitive lookup by figure label or alias — the single
+/// parsing authority behind `Workload::from_str`.
+pub fn lookup(name: &str) -> Option<&'static WorkloadEntry> {
+    REGISTRY.iter().find(|e| {
+        e.info.label.eq_ignore_ascii_case(name)
+            || e.aliases.iter().any(|a| a.eq_ignore_ascii_case(name))
+    })
+}
+
+/// Every accepted primary label, in registry order (for usage strings).
+pub fn known_labels() -> Vec<&'static str> {
+    REGISTRY.iter().map(|e| e.info.label).collect()
+}
+
+/// The figure-matrix workload rows, in figure order.
+pub fn figure_workloads() -> Vec<Workload> {
+    REGISTRY
+        .iter()
+        .filter(|e| e.figure_column)
+        .map(|e| e.workload)
+        .collect()
+}
+
+/// The paper's Table II applications only (paper-faithful reports).
+pub fn paper_workloads() -> Vec<Workload> {
+    REGISTRY
+        .iter()
+        .filter(|e| e.paper)
+        .map(|e| e.workload)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_has_exactly_one_entry() {
+        for w in Workload::ALL {
+            assert_eq!(
+                REGISTRY.iter().filter(|e| e.workload == w).count(),
+                1,
+                "{w:?}"
+            );
+        }
+        assert_eq!(REGISTRY.len(), Workload::ALL.len());
+        // Registry order is the figure order.
+        let order: Vec<Workload> = REGISTRY.iter().map(|e| e.workload).collect();
+        assert_eq!(order, Workload::ALL.to_vec());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_knows_aliases() {
+        assert_eq!(lookup("kvz").unwrap().workload, Workload::Kvz);
+        assert_eq!(lookup("ZIPF").unwrap().workload, Workload::Kvz);
+        assert_eq!(lookup("Graph").unwrap().workload, Workload::Grph);
+        assert_eq!(lookup("ml").unwrap().workload, Workload::Mli);
+        assert_eq!(lookup("hist").unwrap().workload, Workload::Hist);
+        assert!(lookup("quicksort").is_none());
+    }
+
+    #[test]
+    fn paper_set_is_the_eleven_table_ii_rows() {
+        assert_eq!(paper_workloads().len(), 11);
+        assert!(!paper_workloads().contains(&Workload::Kvz));
+        // The figure matrix stays the paper's rows, so figure means
+        // remain comparable to the paper's; the server-class scenarios
+        // are evaluated in their own EXPERIMENTS.md section instead.
+        assert_eq!(figure_workloads(), paper_workloads());
+    }
+
+    #[test]
+    fn generators_match_suite_dispatch() {
+        let cfg = GenConfig::tiny();
+        for e in entries().iter().take(3) {
+            assert_eq!((e.generate)(&cfg), e.workload.generate(&cfg));
+        }
+        for e in entries().iter().rev().take(3) {
+            assert_eq!((e.generate)(&cfg), e.workload.generate(&cfg));
+        }
+    }
+}

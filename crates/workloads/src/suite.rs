@@ -1,4 +1,5 @@
-//! The Table II workload registry.
+//! The workload vocabulary: the Table II applications plus the
+//! server-class scenarios, dispatched through [`crate::registry`].
 
 use crate::common::{GenConfig, ThreadTraces};
 use serde::{Deserialize, Serialize};
@@ -14,7 +15,8 @@ pub fn generation_count() -> u64 {
     GENERATIONS.load(Ordering::Relaxed)
 }
 
-/// The eleven evaluated applications (Table II).
+/// The evaluated applications: the paper's Table II rows plus the
+/// server-class scenarios of the scenario engine (DESIGN.md §3.15).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Workload {
     /// NAS Fourier Transform, class-A-shaped.
@@ -39,6 +41,12 @@ pub enum Workload {
     Hist,
     /// Phoenix Linear Regression (50 MB-key-file-shaped).
     Lreg,
+    /// Zipfian key-value serving (θ = 0.99, 5 % writes).
+    Kvz,
+    /// Pointer-chasing traversal of a power-law CSR graph.
+    Grph,
+    /// ML-inference working set (layer streaming + hot activations).
+    Mli,
 }
 
 /// Static description of a workload — the rows of Table II.
@@ -55,8 +63,11 @@ pub struct WorkloadInfo {
 }
 
 impl Workload {
-    /// All eleven workloads in the paper's figure order.
-    pub const ALL: [Workload; 11] = [
+    /// All workloads in figure order: the paper's eleven Table II
+    /// applications followed by the server-class scenarios. Must match
+    /// the row order of [`crate::registry::REGISTRY`] (pinned by the
+    /// registry tests).
+    pub const ALL: [Workload; 14] = [
         Workload::Ft,
         Workload::Is,
         Workload::Mg,
@@ -68,6 +79,9 @@ impl Workload {
         Workload::Brn,
         Workload::Hist,
         Workload::Lreg,
+        Workload::Kvz,
+        Workload::Grph,
+        Workload::Mli,
     ];
 
     /// Table II row for this workload.
@@ -139,25 +153,32 @@ impl Workload {
                 suite: "PHOENIX",
                 input: "50MB key file",
             },
+            Workload::Kvz => WorkloadInfo {
+                label: "KVZ",
+                name: "Key-Value Zipfian",
+                suite: "SERVER",
+                input: "256K keys, θ=0.99",
+            },
+            Workload::Grph => WorkloadInfo {
+                label: "GRPH",
+                name: "Graph Traversal",
+                suite: "SERVER",
+                input: "512K-node power-law CSR",
+            },
+            Workload::Mli => WorkloadInfo {
+                label: "MLI",
+                name: "ML Inference",
+                suite: "SERVER",
+                input: "8-layer streamed model",
+            },
         }
     }
 
-    /// Generates the per-thread traces for this workload.
+    /// Generates the per-thread traces for this workload, dispatching
+    /// through the registry table.
     pub fn generate(self, cfg: &GenConfig) -> ThreadTraces {
         GENERATIONS.fetch_add(1, Ordering::Relaxed);
-        match self {
-            Workload::Ft => crate::ft::generate(cfg),
-            Workload::Is => crate::is::generate(cfg),
-            Workload::Mg => crate::mg::generate(cfg),
-            Workload::Ch => crate::cholesky::generate(cfg),
-            Workload::Rdx => crate::radix::generate(cfg),
-            Workload::Ocn => crate::ocean::generate(cfg),
-            Workload::Fft => crate::fft::generate(cfg),
-            Workload::Lu => crate::lu::generate(cfg),
-            Workload::Brn => crate::barnes::generate(cfg),
-            Workload::Hist => crate::hist::generate(cfg),
-            Workload::Lreg => crate::lreg::generate(cfg),
-        }
+        (crate::registry::entry(self).generate)(cfg)
     }
 }
 
@@ -170,14 +191,13 @@ impl std::fmt::Display for Workload {
 impl std::str::FromStr for Workload {
     type Err = String;
 
-    /// Parses a figure label (`"RDX"`, `"hist"`, …), case-insensitive —
-    /// the spelling shared by `redcache-sim` and the `redcache-serve`
-    /// job API.
+    /// Parses a figure label or registry alias (`"RDX"`, `"hist"`,
+    /// `"zipf"`, …), case-insensitive — the spelling shared by
+    /// `redcache-sim` and the `redcache-serve` job API, resolved by
+    /// [`crate::registry::lookup`].
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        Workload::ALL
-            .iter()
-            .copied()
-            .find(|w| w.info().label.eq_ignore_ascii_case(s))
+        crate::registry::lookup(s)
+            .map(|e| e.workload)
             .ok_or_else(|| format!("unknown workload {s:?}"))
     }
 }
@@ -188,7 +208,7 @@ mod tests {
     use redcache_cpu::TraceStats;
 
     #[test]
-    fn all_eleven_generate_nonempty_traces() {
+    fn all_registry_workloads_generate_nonempty_traces() {
         let cfg = GenConfig::tiny();
         for w in Workload::ALL {
             let traces = w.generate(&cfg);
@@ -209,11 +229,14 @@ mod tests {
     }
 
     #[test]
-    fn labels_match_paper() {
+    fn labels_match_paper_then_scenarios() {
         let labels: Vec<&str> = Workload::ALL.iter().map(|w| w.info().label).collect();
         assert_eq!(
             labels,
-            ["FT", "IS", "MG", "CH", "RDX", "OCN", "FFT", "LU", "BRN", "HIST", "LREG"]
+            [
+                "FT", "IS", "MG", "CH", "RDX", "OCN", "FFT", "LU", "BRN", "HIST", "LREG", "KVZ",
+                "GRPH", "MLI"
+            ]
         );
     }
 

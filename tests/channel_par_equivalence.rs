@@ -43,7 +43,7 @@ fn figure_policies() -> Vec<PolicyKind> {
 
 #[test]
 fn channel_par_is_exact_across_the_evaluation_matrix() {
-    // 11 workloads × the figure architectures, each run twice.
+    // All 14 suite workloads × the figure architectures, each run twice.
     let gen = GenConfig::tiny();
     for w in Workload::ALL {
         for kind in figure_policies() {

@@ -29,7 +29,8 @@ fn all_policies() -> Vec<PolicyKind> {
 
 #[test]
 fn every_policy_runs_every_workload_without_stale_reads() {
-    // The heavyweight correctness sweep: 11 workloads × 9 architectures,
+    // The heavyweight correctness sweep: all 14 suite workloads × every
+    // architecture,
     // every read checked against the shadow memory.
     for w in Workload::ALL {
         let traces = w.generate(&tiny());

@@ -2,8 +2,8 @@
 //!
 //! 1. *Conservation*: the post-warmup epoch deltas sum **exactly** to
 //!    the end-of-run aggregates — the series is a lossless slicing of
-//!    the counters the report already carries, across all 11 workloads
-//!    under a baseline and a RedCache architecture.
+//!    the counters the report already carries, across all 14 suite
+//!    workloads under a baseline and a RedCache architecture.
 //! 2. *Non-perturbation*: a run with recording enabled produces the
 //!    same `RunReport` (timeseries aside) as a run without it.
 

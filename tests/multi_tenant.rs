@@ -1,0 +1,132 @@
+//! Multi-tenant interleaving suite (DESIGN.md §3.15).
+//!
+//! A woven trace is an ordinary trace: the same deterministic pipeline,
+//! the same warm-fork contract, the same reports — plus per-tenant
+//! attribution that must reconcile exactly with the machine-wide
+//! counters, because both are incremented at the same choke points.
+
+use redcache::{PolicyKind, RedVariant, SimConfig, Simulator, TenantSchedule};
+use redcache_workloads::{multitenant, GenConfig, SharedTraces, Workload};
+
+fn woven(sched: &TenantSchedule) -> SharedTraces {
+    let gen = GenConfig::tiny();
+    let tenants: Vec<_> = [Workload::Kvz, Workload::Hist]
+        .iter()
+        .map(|w| w.generate(&gen))
+        .collect();
+    multitenant::weave(&tenants, sched).into()
+}
+
+fn tenant_extra(r: &redcache::RunReport, key: &str) -> f64 {
+    r.extras
+        .iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("extra {key} missing"))
+        .1
+}
+
+#[test]
+fn tenant_attribution_reconciles_with_machine_counters() {
+    let sched = TenantSchedule::round_robin(2);
+    let cfg = SimConfig::quick(PolicyKind::Red(RedVariant::Full))
+        .to_builder()
+        .tenancy(Some(sched))
+        .build()
+        .unwrap();
+    let traces = woven(&sched);
+    let a = Simulator::new(cfg).run(traces.clone());
+    let b = Simulator::new(cfg).run(traces);
+    assert_eq!(a, b, "woven runs must be deterministic");
+
+    // Every below-L3 request belongs to exactly one tenant region, so
+    // the per-tenant counters partition the machine-wide ones.
+    let reads: f64 = (0..2).map(|i| tenant_extra(&a, &format!("tenant{i}_mem_reads"))).sum();
+    let wbs: f64 = (0..2)
+        .map(|i| tenant_extra(&a, &format!("tenant{i}_mem_writebacks")))
+        .sum();
+    assert_eq!(reads as u64, a.mem_reads, "tenant reads must partition mem_reads");
+    assert_eq!(
+        wbs as u64, a.mem_writebacks,
+        "tenant writebacks must partition mem_writebacks"
+    );
+    for i in 0..2 {
+        let accesses = tenant_extra(&a, &format!("tenant{i}_accesses"));
+        let hits = tenant_extra(&a, &format!("tenant{i}_hits"));
+        assert!(accesses > 0.0, "tenant {i} starved");
+        assert!(hits <= accesses, "tenant {i} hits exceed accesses");
+    }
+}
+
+#[test]
+fn warm_forked_woven_runs_match_scratch() {
+    let sched = TenantSchedule::ratio(&[3, 1]).unwrap();
+    let traces = woven(&sched);
+    for kind in [PolicyKind::Alloy, PolicyKind::Red(RedVariant::Full)] {
+        let cfg = SimConfig::quick(kind)
+            .to_builder()
+            .tenancy(Some(sched))
+            .build()
+            .unwrap();
+        let snap = Simulator::new(cfg).warm(traces.clone());
+        let forked = Simulator::new(cfg).resume(&snap);
+        let scratch = Simulator::new(cfg).run(traces.clone());
+        assert_eq!(forked, scratch, "{kind}: woven fork diverged from scratch");
+    }
+}
+
+#[test]
+fn tenancy_is_purely_observational() {
+    // Same woven trace, attribution on vs off: the simulated machine
+    // must be identical — only the tenant extras may differ.
+    let sched = TenantSchedule::round_robin(2);
+    let traces = woven(&sched);
+    let base = SimConfig::quick(PolicyKind::Alloy);
+    let off = Simulator::new(base).run(traces.clone());
+    let on = Simulator::new(base.to_builder().tenancy(Some(sched)).build().unwrap())
+        .run(traces);
+    assert_eq!(on.cycles, off.cycles);
+    assert_eq!(on.instructions, off.instructions);
+    assert_eq!(on.mem_reads, off.mem_reads);
+    assert_eq!(on.mem_writebacks, off.mem_writebacks);
+    assert_eq!(on.ctl, off.ctl);
+    assert_eq!((on.l1, on.l2, on.l3), (off.l1, off.l2, off.l3));
+    assert_eq!(on.hbm, off.hbm);
+    assert_eq!(on.ddr, off.ddr);
+    let strip = |r: &redcache::RunReport| -> Vec<(String, f64)> {
+        r.extras
+            .iter()
+            .filter(|(k, _)| !k.starts_with("tenant"))
+            .cloned()
+            .collect()
+    };
+    assert_eq!(strip(&on), strip(&off));
+}
+
+#[test]
+fn epoch_series_carries_per_tenant_deltas_that_sum_to_totals() {
+    let sched = TenantSchedule::round_robin(2);
+    let cfg = SimConfig::quick(PolicyKind::Red(RedVariant::Full))
+        .to_builder()
+        .tenancy(Some(sched))
+        .epoch_cycles(Some(25_000))
+        .build()
+        .unwrap();
+    let r = Simulator::new(cfg).run(woven(&sched));
+    let ts = r.timeseries.as_ref().expect("recording was on");
+    assert!(!ts.epochs.is_empty());
+    for e in &ts.epochs {
+        assert_eq!(e.tenants.len(), 2, "epoch {} lost a tenant row", e.index);
+    }
+    // Post-warmup deltas accumulate to exactly the end-of-run totals:
+    // the recorder re-baselines at the same instant the cumulative
+    // counters reset.
+    let we = ts.warmup_epoch.expect("warmup reset seen") as usize;
+    for i in 0..2 {
+        let summed: u64 = ts.epochs[we..].iter().map(|e| e.tenants[i].mem_reads).sum();
+        assert_eq!(
+            summed as f64,
+            tenant_extra(&r, &format!("tenant{i}_mem_reads")),
+            "tenant {i} epoch deltas disagree with the report total"
+        );
+    }
+}

@@ -28,7 +28,8 @@ fn figure_policies() -> Vec<PolicyKind> {
 
 #[test]
 fn forking_matches_scratch_across_the_evaluation_matrix() {
-    // 11 workloads × the figure architectures × both time modes. One
+    // All 14 suite workloads × the figure architectures × both time
+    // modes. One
     // warmup per workload (under an arbitrary exemplar policy) feeds
     // every fork; the snapshot key must agree across the whole policy
     // family, including across time modes — the warm phase is
